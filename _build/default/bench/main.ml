@@ -1,0 +1,197 @@
+(* PT-Guard benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks of every hot operation the paper
+   costs out in hardware (Section IV-F / V-E): the QARMA cipher, the MAC,
+   both write-path classifications, both read paths, and the correction
+   engine's best and worst cases.
+
+   Part 2 — regeneration of every table and figure of the paper via the
+   experiment harness (the same code `bin/ptguard_cli.exe` drives), at
+   bench-friendly sizes. Set PTG_BENCH_FULL=1 for the paper-scale runs
+   recorded in EXPERIMENTS.md.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+
+let full = Sys.getenv_opt "PTG_BENCH_FULL" = Some "1"
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark fixtures                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rng = Ptg_util.Rng.create 2023L
+let key = Ptg_crypto.Qarma.key_of_rng rng
+let baseline_engine = Ptguard.Engine.create ~config:Ptguard.Config.baseline ~rng ()
+let optimized_engine = Ptguard.Engine.create ~config:Ptguard.Config.optimized ~rng ()
+
+let pte_line =
+  Array.init 8 (fun i ->
+      Ptg_pte.X86.make ~writable:true ~user:true ~pfn:(Int64.of_int (0x52700 + i)) ())
+
+let data_line = Array.init 8 (fun i -> Int64.logor 0xDEAD_0000_0000_0000L (Int64.of_int i))
+let addr = 0x7F8A_1000L
+let stored_pte = Ptguard.Engine.process_write baseline_engine ~addr pte_line
+let stored_pte_opt = Ptguard.Engine.process_write optimized_engine ~addr pte_line
+let single_flip = Ptg_pte.Line.flip_bit stored_pte ((3 * 64) + 20)
+
+let hopeless =
+  (* MAC shredded beyond soft match: correction runs all G_max guesses. *)
+  List.fold_left Ptg_pte.Line.flip_bit stored_pte [ 40; 42; 44; 46; 48; 50; 104; 106 ]
+
+let block_p = Ptg_crypto.Block128.make ~hi:0x0123456789ABCDEFL ~lo:0xFEDCBA9876543210L
+let block_t = Ptg_crypto.Block128.make ~hi:0xAAAAAAAAAAAAAAAAL ~lo:0x5555555555555555L
+let masked = Ptg_pte.Protection.masked_for_mac Ptg_pte.Protection.default pte_line
+
+let workload_stream =
+  Ptg_workloads.Workload.stream (Ptg_util.Rng.create 11L)
+    (Option.get (Ptg_workloads.Workload.by_name "xalancbmk"))
+
+let timing_core = Ptg_cpu.Core.create ~guard:Ptg_cpu.Guard_timing.unprotected ()
+let dram = Ptg_dram.Dram.create ()
+let dram_cursor = ref 0
+
+let micro_tests =
+  [
+    Test.make ~name:"qarma128/encrypt"
+      (Staged.stage (fun () -> Ptg_crypto.Qarma.encrypt key ~tweak:block_t block_p));
+    Test.make ~name:"qarma128/decrypt"
+      (Staged.stage (fun () -> Ptg_crypto.Qarma.decrypt key ~tweak:block_t block_p));
+    Test.make ~name:"mac/compute-64B-line"
+      (Staged.stage (fun () -> Ptg_crypto.Mac.compute key ~addr masked));
+    Test.make ~name:"pattern/basic-96bit"
+      (Staged.stage (fun () ->
+           Ptg_pte.Protection.matches_basic_pattern Ptg_pte.Protection.default pte_line));
+    Test.make ~name:"pattern/extended-152bit"
+      (Staged.stage (fun () ->
+           Ptg_pte.Protection.matches_extended_pattern Ptg_pte.Protection.default pte_line));
+    Test.make ~name:"engine/write-pte-line"
+      (Staged.stage (fun () -> Ptguard.Engine.process_write baseline_engine ~addr pte_line));
+    Test.make ~name:"engine/write-data-line"
+      (Staged.stage (fun () -> Ptguard.Engine.process_write baseline_engine ~addr data_line));
+    Test.make ~name:"engine/read-pte-verify"
+      (Staged.stage (fun () ->
+           Ptguard.Engine.process_read baseline_engine ~addr ~is_pte:true stored_pte));
+    Test.make ~name:"engine/read-pte-verify-optimized"
+      (Staged.stage (fun () ->
+           Ptguard.Engine.process_read optimized_engine ~addr ~is_pte:true stored_pte_opt));
+    Test.make ~name:"engine/read-data-optimized-skip"
+      (Staged.stage (fun () ->
+           Ptguard.Engine.process_read optimized_engine ~addr ~is_pte:false data_line));
+    Test.make ~name:"correction/single-flip"
+      (Staged.stage (fun () ->
+           Ptguard.Correction.correct Ptguard.Config.baseline key ~addr single_flip));
+    Test.make ~name:"correction/worst-case-Gmax"
+      (Staged.stage (fun () ->
+           Ptguard.Correction.correct Ptguard.Config.baseline key ~addr hopeless));
+    Test.make ~name:"dram/timed-access"
+      (Staged.stage (fun () ->
+           incr dram_cursor;
+           Ptg_dram.Dram.access dram ~now:!dram_cursor
+             ~addr:(Int64.of_int (!dram_cursor * 8192))
+             ~is_write:false));
+    Test.make ~name:"sim/core-1K-instrs"
+      (Staged.stage (fun () ->
+           Ptg_cpu.Core.run timing_core ~instrs:1000 ~stream:workload_stream));
+  ]
+
+let run_micro () =
+  print_endline "=== Micro-benchmarks (Bechamel, monotonic clock) ===";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if full then 1.0 else 0.25))
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg
+      [ Toolkit.Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"ptguard" micro_tests)
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | _ -> Float.nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-40s %14.1f ns/op\n" name ns)
+    (List.sort compare !rows);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table/figure regeneration                                           *)
+(* ------------------------------------------------------------------ *)
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let run_experiments () =
+  let seed = 42L in
+  section "Tables I-IV and cost model";
+  Ptg_sim.Tables_exp.print_all ();
+  section "Security analysis (Sections IV-G, VI-E)";
+  Ptg_sim.Security_exp.print (Ptg_sim.Security_exp.run ());
+  section "Figure 6: per-workload slowdown and MPKI";
+  Ptg_sim.Fig6.print
+    (Ptg_sim.Fig6.run ~seed
+       ~instrs:(if full then 2_000_000 else 600_000)
+       ~warmup:(if full then 500_000 else 200_000)
+       ());
+  section "Figure 7: slowdown vs MAC latency";
+  Ptg_sim.Fig7.print
+    (Ptg_sim.Fig7.run ~seed
+       ~instrs:(if full then 1_000_000 else 250_000)
+       ~warmup:(if full then 300_000 else 100_000)
+       ());
+  section "Figure 8: PTE value locality (623 processes)";
+  Ptg_sim.Fig8.print (Ptg_sim.Fig8.run ~processes:623 ());
+  section "Figure 9: best-effort correction coverage";
+  Ptg_sim.Fig9.print
+    (Ptg_sim.Fig9.run ~seed ~lines_per_point:(if full then 400 else 150) ());
+  section "Section VII-C: 4-core SAME/MIX";
+  Ptg_sim.Multicore_exp.print
+    (Ptg_sim.Multicore_exp.run ~seed
+       ~instrs_per_core:(if full then 400_000 else 120_000)
+       ~mixes:(if full then 16 else 8) ());
+  section "Attack-vs-mitigation matrix";
+  Ptg_sim.Attacks_exp.print
+    (Ptg_sim.Attacks_exp.run ~seed ~iterations:(if full then 400_000 else 200_000) ());
+  section "Prior defenses vs PT-Guard (Sections II-E, VIII-C)";
+  Ptg_sim.Baselines_exp.print
+    (Ptg_sim.Baselines_exp.run ~trials:(if full then 500 else 250) ());
+  section "Full-system co-simulation (live Rowhammer vs PT-Guard)";
+  List.iter
+    (fun (label, guarded, attack) ->
+      let config = { Ptg_sim.Fullsys.default_config with guarded; attack } in
+      let t = Ptg_sim.Fullsys.create ~config ~seed:42L () in
+      let r = Ptg_sim.Fullsys.run t ~instrs:(if full then 60_000 else 30_000) in
+      Printf.printf "--- %s ---\n" label;
+      Format.printf "%a@.@." Ptg_sim.Fullsys.pp_result r)
+    [
+      ("baseline, no attack", true, false);
+      ("PT-Guard under attack", true, true);
+      ("UNPROTECTED under attack", false, true);
+    ];
+  section "Ablations";
+  Ptg_sim.Ablations.print_correction
+    (Ptg_sim.Ablations.correction ~lines:(if full then 400 else 150) ());
+  print_newline ();
+  Ptg_sim.Ablations.print_pattern (Ptg_sim.Ablations.pattern ());
+  print_newline ();
+  Ptg_sim.Ablations.print_ctb (Ptg_sim.Ablations.ctb_overflow ());
+  print_newline ();
+  Ptg_sim.Ablations.print_page_size
+    (Ptg_sim.Ablations.page_size ~instrs:(if full then 400_000 else 150_000) ())
+
+let () =
+  Printf.printf "PT-Guard bench harness (%s sizes)\n\n%!"
+    (if full then "full" else "reduced; set PTG_BENCH_FULL=1 for paper-scale");
+  run_micro ();
+  run_experiments ()

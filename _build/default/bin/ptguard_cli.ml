@@ -1,0 +1,282 @@
+(* Command-line driver: one subcommand per paper artifact.
+   `ptguard_cli all` regenerates everything EXPERIMENTS.md records. *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the result as CSV to $(docv).")
+
+let instrs_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "instrs" ] ~docv:"N" ~doc:"Timed instructions per workload.")
+
+let design_arg =
+  let designs =
+    [ ("baseline", Ptguard.Config.Baseline); ("optimized", Ptguard.Config.Optimized) ]
+  in
+  Arg.(
+    value
+    & opt (enum designs) Ptguard.Config.Baseline
+    & info [ "design" ] ~docv:"DESIGN" ~doc:"PT-Guard design: baseline or optimized.")
+
+let config_of_design = function
+  | Ptguard.Config.Baseline -> Ptguard.Config.baseline
+  | Ptguard.Config.Optimized -> Ptguard.Config.optimized
+
+let seeds_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ]
+        ~docv:"N"
+        ~doc:"Repeat over N seeds and report mean/stderr (N > 1).")
+
+let fig6_cmd =
+  let run seed instrs design seeds csv =
+    if seeds > 1 then
+      Ptg_sim.Fig6.print_multi
+        (Ptg_sim.Fig6.run_multi ~seeds ~instrs ~config:(config_of_design design) ())
+    else begin
+      let r = Ptg_sim.Fig6.run ~seed ~instrs ~config:(config_of_design design) () in
+      Ptg_sim.Fig6.print r;
+      Option.iter (fun path -> Ptg_sim.Fig6.to_csv r ~path) csv
+    end
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Figure 6: per-workload normalized IPC and LLC MPKI.")
+    Term.(const run $ seed_arg $ instrs_arg 2_000_000 $ design_arg $ seeds_arg $ csv_arg)
+
+let fig7_cmd =
+  let run seed instrs csv =
+    let r = Ptg_sim.Fig7.run ~seed ~instrs () in
+    Ptg_sim.Fig7.print r;
+    Option.iter (fun path -> Ptg_sim.Fig7.to_csv r ~path) csv
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Figure 7: slowdown vs MAC latency for both designs.")
+    Term.(const run $ seed_arg $ instrs_arg 1_000_000 $ csv_arg)
+
+let fig8_cmd =
+  let processes =
+    Arg.(
+      value & opt int 623
+      & info [ "processes" ] ~docv:"N" ~doc:"Processes to profile (paper: 623).")
+  in
+  let run seed processes csv =
+    let r = Ptg_sim.Fig8.run ~seed ~processes () in
+    Ptg_sim.Fig8.print r;
+    Option.iter (fun path -> Ptg_sim.Fig8.to_csv r ~path) csv
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Figure 8: PTE value locality across processes.")
+    Term.(const run $ seed_arg $ processes $ csv_arg)
+
+let fig9_cmd =
+  let lines =
+    Arg.(
+      value & opt int 300
+      & info [ "lines" ] ~docv:"N" ~doc:"Faulty lines per (workload, p_flip) point.")
+  in
+  let run seed lines seeds csv =
+    if seeds > 1 then
+      Ptg_sim.Fig9.print_multi (Ptg_sim.Fig9.run_multi ~seeds ~lines_per_point:lines ())
+    else begin
+      let r = Ptg_sim.Fig9.run ~seed ~lines_per_point:lines () in
+      Ptg_sim.Fig9.print r;
+      Option.iter (fun path -> Ptg_sim.Fig9.to_csv r ~path) csv
+    end
+  in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"Figure 9: best-effort correction coverage vs p_flip.")
+    Term.(const run $ seed_arg $ lines $ seeds_arg $ csv_arg)
+
+let security_cmd =
+  let run () = Ptg_sim.Security_exp.print (Ptg_sim.Security_exp.run ()) in
+  Cmd.v
+    (Cmd.info "security" ~doc:"Sections IV-G/VI-E: analytical MAC security.")
+    Term.(const run $ const ())
+
+let multicore_cmd =
+  let instrs =
+    Arg.(
+      value & opt int 400_000
+      & info [ "instrs" ] ~docv:"N" ~doc:"Instructions per core.")
+  in
+  let mixes =
+    Arg.(value & opt int 16 & info [ "mixes" ] ~docv:"N" ~doc:"Random MIX configs.")
+  in
+  let run seed instrs mixes csv =
+    let r = Ptg_sim.Multicore_exp.run ~seed ~instrs_per_core:instrs ~mixes () in
+    Ptg_sim.Multicore_exp.print r;
+    Option.iter (fun path -> Ptg_sim.Multicore_exp.to_csv r ~path) csv
+  in
+  Cmd.v
+    (Cmd.info "multicore" ~doc:"Section VII-C: 4-core SAME/MIX slowdowns.")
+    Term.(const run $ seed_arg $ instrs $ mixes $ csv_arg)
+
+let tables_cmd =
+  let run () = Ptg_sim.Tables_exp.print_all () in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Tables I-IV and the Section V-E cost summary.")
+    Term.(const run $ const ())
+
+let attacks_cmd =
+  let iterations =
+    Arg.(
+      value & opt int 400_000
+      & info [ "iterations" ] ~docv:"N" ~doc:"Hammer rotations per scenario.")
+  in
+  let run seed iterations csv =
+    let r = Ptg_sim.Attacks_exp.run ~seed ~iterations () in
+    Ptg_sim.Attacks_exp.print r;
+    Option.iter (fun path -> Ptg_sim.Attacks_exp.to_csv r ~path) csv
+  in
+  Cmd.v
+    (Cmd.info "attacks" ~doc:"Attack-vs-mitigation matrix with PT-Guard backstop.")
+    Term.(const run $ seed_arg $ iterations $ csv_arg)
+
+let baselines_cmd =
+  let trials =
+    Arg.(value & opt int 500 & info [ "trials" ] ~docv:"N" ~doc:"Trials per cell.")
+  in
+  let run seed trials csv =
+    let r = Ptg_sim.Baselines_exp.run ~seed ~trials () in
+    Ptg_sim.Baselines_exp.print r;
+    Option.iter (fun path -> Ptg_sim.Baselines_exp.to_csv r ~path) csv
+  in
+  Cmd.v
+    (Cmd.info "baselines"
+       ~doc:"Sections II-E/VIII-C: Monotonic Pointers and SecWalk vs PT-Guard.")
+    Term.(const run $ seed_arg $ trials $ csv_arg)
+
+let ablations_cmd =
+  let run seed =
+    Ptg_sim.Ablations.print_correction (Ptg_sim.Ablations.correction ~seed ());
+    print_newline ();
+    Ptg_sim.Ablations.print_pattern (Ptg_sim.Ablations.pattern ~seed ());
+    print_newline ();
+    Ptg_sim.Ablations.print_ctb (Ptg_sim.Ablations.ctb_overflow ~seed ());
+    print_newline ();
+    Ptg_sim.Ablations.print_page_size (Ptg_sim.Ablations.page_size ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:"Correction-strategy, write-pattern and CTB/re-keying ablations.")
+    Term.(const run $ seed_arg)
+
+let trace_cmd =
+  let workload =
+    Arg.(
+      value & opt string "mcf"
+      & info [ "workload" ] ~docv:"NAME" ~doc:"Workload to trace.")
+  in
+  let save =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"PATH" ~doc:"Persist the trace to $(docv).")
+  in
+  let run seed instrs workload save =
+    match Ptg_workloads.Workload.by_name workload with
+    | None ->
+        Printf.eprintf "unknown workload %s (try: %s)\n" workload
+          (String.concat ", " Ptg_workloads.Workload.names);
+        exit 1
+    | Some spec ->
+        let t = Ptg_sim.Walk_trace.record ~seed ~instrs spec in
+        Printf.printf "recorded %d page-table walks for %s (%d distinct PTE lines)\n"
+          (Ptg_sim.Walk_trace.length t)
+          t.Ptg_sim.Walk_trace.workload
+          (Hashtbl.length (Ptg_sim.Walk_trace.histogram t));
+        Option.iter
+          (fun path ->
+            Ptg_sim.Walk_trace.save t ~path;
+            Printf.printf "saved to %s\n" path)
+          save;
+        Ptg_sim.Walk_trace.print_comparison spec
+          (Ptg_sim.Walk_trace.compare_samplers ~seed spec)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record a page-walk trace (Section VI-F methodology) and validate \
+             the Fig. 9 sampler against trace-frequency replay.")
+    Term.(const run $ seed_arg $ instrs_arg 500_000 $ workload $ save)
+
+let fullsys_cmd =
+  let instrs =
+    Arg.(value & opt int 60_000 & info [ "instrs" ] ~docv:"N" ~doc:"Instructions.")
+  in
+  let run seed instrs =
+    print_endline
+      "Full-system co-simulation: real page tables in DRAM, functional\n\
+       PT-Guard on every walk, Rowhammer attacker running concurrently.\n";
+    List.iter
+      (fun (label, guarded, attack) ->
+        let config = { Ptg_sim.Fullsys.default_config with guarded; attack } in
+        let t = Ptg_sim.Fullsys.create ~config ~seed () in
+        let r = Ptg_sim.Fullsys.run t ~instrs in
+        Printf.printf "=== %s ===\n" label;
+        Format.printf "%a@.@." Ptg_sim.Fullsys.pp_result r)
+      [
+        ("baseline, no attack", true, false);
+        ("PT-Guard under attack", true, true);
+        ("UNPROTECTED under attack", false, true);
+      ];
+    print_endline
+      "The number that matters: WRONG TRANSLATIONS is nonzero only on the\n\
+       unprotected machine — the invariant of Section IV-G holds."
+  in
+  Cmd.v
+    (Cmd.info "fullsys"
+       ~doc:"Full-system co-simulation: execution + live Rowhammer + functional \
+             PT-Guard on real in-DRAM page tables.")
+    Term.(const run $ seed_arg $ instrs)
+
+let all_cmd =
+  let run seed =
+    Ptg_sim.Tables_exp.print_all ();
+    print_newline ();
+    Ptg_sim.Security_exp.print (Ptg_sim.Security_exp.run ());
+    print_newline ();
+    Ptg_sim.Fig6.print (Ptg_sim.Fig6.run ~seed ());
+    print_newline ();
+    Ptg_sim.Fig7.print (Ptg_sim.Fig7.run ~seed ());
+    print_newline ();
+    Ptg_sim.Fig8.print (Ptg_sim.Fig8.run ~seed ());
+    print_newline ();
+    Ptg_sim.Fig9.print (Ptg_sim.Fig9.run ~seed ());
+    print_newline ();
+    Ptg_sim.Multicore_exp.print (Ptg_sim.Multicore_exp.run ~seed ());
+    print_newline ();
+    Ptg_sim.Attacks_exp.print (Ptg_sim.Attacks_exp.run ~seed ());
+    print_newline ();
+    Ptg_sim.Baselines_exp.print (Ptg_sim.Baselines_exp.run ~seed ());
+    print_newline ();
+    Ptg_sim.Ablations.print_correction (Ptg_sim.Ablations.correction ~seed ());
+    print_newline ();
+    Ptg_sim.Ablations.print_pattern (Ptg_sim.Ablations.pattern ~seed ());
+    print_newline ();
+    Ptg_sim.Ablations.print_ctb (Ptg_sim.Ablations.ctb_overflow ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure in sequence.")
+    Term.(const run $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "ptguard_cli" ~version:"1.0.0"
+      ~doc:"PT-Guard (DSN 2023) reproduction: experiments and demos."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; security_cmd; multicore_cmd;
+            tables_cmd; attacks_cmd; baselines_cmd; ablations_cmd; trace_cmd;
+            fullsys_cmd; all_cmd;
+          ]))

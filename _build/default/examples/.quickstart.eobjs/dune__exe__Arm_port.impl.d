@@ -1,0 +1,1 @@
+examples/arm_port.ml: Array Config Correction Engine Format Int64 Layout Printf Ptg_pte Ptg_util Ptguard

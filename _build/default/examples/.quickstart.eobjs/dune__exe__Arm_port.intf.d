@@ -1,0 +1,1 @@
+examples/arm_port.mli:

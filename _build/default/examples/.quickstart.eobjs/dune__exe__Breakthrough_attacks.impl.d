@@ -1,0 +1,1 @@
+examples/breakthrough_attacks.ml: Array Format Int64 List Printf Ptg_dram Ptg_mitigations Ptg_pte Ptg_rowhammer Ptg_util Ptguard

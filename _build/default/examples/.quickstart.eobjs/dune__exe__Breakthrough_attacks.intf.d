@@ -1,0 +1,1 @@
+examples/breakthrough_attacks.mli:

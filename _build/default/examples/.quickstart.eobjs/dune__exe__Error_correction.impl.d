@@ -1,0 +1,1 @@
+examples/error_correction.ml: Array Config Correction Engine Int64 List Printf Ptg_pte Ptg_rowhammer Ptg_util Ptguard

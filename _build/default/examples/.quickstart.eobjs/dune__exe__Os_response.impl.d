@@ -1,0 +1,1 @@
+examples/os_response.ml: Array Format Frame_allocator Int64 List Page_table Printf Ptg_dram Ptg_memctrl Ptg_os Ptg_pte Ptg_util Ptg_vm Ptguard

@@ -1,0 +1,1 @@
+examples/privilege_escalation.ml: Format Frame_allocator Int64 List Page_table Phys_mem Printf Ptg_dram Ptg_memctrl Ptg_pte Ptg_util Ptg_vm Ptguard

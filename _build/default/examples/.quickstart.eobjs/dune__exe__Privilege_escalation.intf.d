@@ -1,0 +1,1 @@
+examples/privilege_escalation.mli:

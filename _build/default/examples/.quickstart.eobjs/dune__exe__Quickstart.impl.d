@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Int64 Ptg_pte Ptg_util Ptguard

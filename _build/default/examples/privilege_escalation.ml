@@ -1,0 +1,157 @@
+(* End-to-end reproduction of the paper's Figure 1 / Figure 3 exploit:
+   Rowhammer flips one PFN bit in the attacker's own PTE so that the
+   attacker's virtual page aliases a page-table page. The attacker then
+   rewrites a PTE through that alias, points its own memory at a kernel
+   secret, and reads it — full privilege escalation on the unprotected
+   system. The same flip against PT-Guard is detected (and, being a
+   single-bit flip, transparently corrected).
+
+   Physical layout (the attacker's "page-table spray", made deterministic
+   here): the kernel's page-table pool starts at frame K; the attacker's
+   data frames start at K + 2^20, so flipping PFN bit 20 of any attacker
+   PTE lands inside the page-table pool.
+
+   Run with: dune exec examples/privilege_escalation.exe *)
+
+open Ptg_vm
+
+let k_pool = 0x400000L (* kernel page-table pool base frame (bit 22) *)
+let pool_frames = 4096L
+let user_base = Int64.add k_pool (Int64.shift_left 1L 20)
+let attacker_vaddr i = Int64.of_int (0x1000_0000 + (i * 4096))
+let npages = 4096
+let secret_frame = 0x3F0000L
+let secret_value = 0xDEAD_BEEF_CAFE_F00DL
+
+type system = {
+  mc : Ptg_memctrl.Memctrl.t;
+  table : Page_table.t;
+  dram : Ptg_dram.Dram.t;
+}
+
+(* Build the victim system: kernel page tables from the dense pool,
+   attacker pages exactly one bit-20 flip above it, a secret planted in
+   kernel memory. *)
+let build ~guarded rng =
+  let dram = Ptg_dram.Dram.create () in
+  let engine =
+    if guarded then
+      Some (Ptguard.Engine.create ~config:Ptguard.Config.optimized ~rng ())
+    else None
+  in
+  let mc = Ptg_memctrl.Memctrl.create ?engine dram in
+  let mem = Ptg_memctrl.Memctrl.phys_mem mc in
+  let kernel_alloc =
+    Frame_allocator.create ~p_break:0.0 ~start_frame:k_pool
+      ~max_frame:(Int64.add k_pool pool_frames) rng
+  in
+  let user_alloc =
+    Frame_allocator.create ~p_break:0.0 ~start_frame:user_base
+      ~max_frame:(Int64.add user_base 65536L) rng
+  in
+  let table = Page_table.create ~mem ~alloc:kernel_alloc in
+  for i = 0 to npages - 1 do
+    let pte =
+      Ptg_pte.X86.make ~writable:true ~user:true ~pfn:(Frame_allocator.alloc user_alloc) ()
+    in
+    Page_table.map table ~vaddr:(attacker_vaddr i) ~pte
+  done;
+  (* The kernel secret lives outside the attacker's mappings. *)
+  mem.Phys_mem.write_word (Int64.shift_left secret_frame 12) secret_value;
+  { mc; table; dram }
+
+(* The Rowhammer step, abstracted: flip PFN bit 20 of the stored PTE for
+   the chosen attacker page (the fault-injection experiments drive the
+   full DRAM disturbance model; here we place the single flip the exploit
+   needs). *)
+let hammer sys ~victim_page =
+  let steps = Page_table.walk sys.table ~vaddr:(attacker_vaddr victim_page) in
+  let leaf = List.nth steps (List.length steps - 1) in
+  let entry_addr = leaf.Page_table.entry_addr in
+  let bit_in_line = (Int64.to_int (Int64.logand entry_addr 63L) / 8 * 64) + 12 + 20 in
+  Ptg_dram.Dram.flip_stored_bit sys.dram ~addr:entry_addr ~bit:bit_in_line;
+  entry_addr
+
+(* Pick the attacker page whose frame, after the bit-20 flip, aliases the
+   page-table page that maps [target_vaddr] — Figure 3's P1/P2 setup. *)
+let choose_victim sys ~target_vaddr =
+  let steps = Page_table.walk sys.table ~vaddr:target_vaddr in
+  let pt_level_entry = List.nth steps 2 (* the PD entry holds the PT frame *) in
+  let pt_frame = Ptg_pte.X86.pfn pt_level_entry.Page_table.entry in
+  (* Attacker page i holds frame user_base + i (sequential allocation), so
+     the page whose frame lands on [pt_frame] after the bit-20 flip is at
+     index pt_frame - k_pool. *)
+  let victim = Int64.to_int (Int64.sub pt_frame k_pool) in
+  assert (victim >= 0 && victim < npages);
+  (victim, pt_frame)
+
+let run_unprotected rng =
+  print_endline "=== Unprotected baseline ===";
+  let sys = build ~guarded:false rng in
+  let target_vaddr = attacker_vaddr 7 in
+  let victim, pt_frame = choose_victim sys ~target_vaddr in
+  Printf.printf "Attacker picks page %d; its PTE's frame flips into the PT pool.\n" victim;
+  ignore (hammer sys ~victim_page:victim);
+  let root = Page_table.root sys.table in
+  match Ptg_memctrl.Mmu.walk sys.mc ~root ~vaddr:(attacker_vaddr victim) with
+  | Ptg_memctrl.Mmu.Translated { paddr; _ } ->
+      Printf.printf "Walk now maps the attacker page to 0x%Lx (frame 0x%Lx = PT page!)\n"
+        paddr (Int64.shift_right_logical paddr 12);
+      assert (Int64.equal (Int64.shift_right_logical paddr 12) pt_frame);
+      (* Figure 3 step 2: rewrite the PTE for target_vaddr through the
+         alias, pointing it at the kernel secret. *)
+      let mem = Ptg_memctrl.Memctrl.phys_mem sys.mc in
+      let idx = Page_table.level_index Page_table.Pt target_vaddr in
+      let p2_addr = Int64.add paddr (Int64.of_int (idx * 8)) in
+      let evil_pte = Ptg_pte.X86.make ~writable:true ~user:true ~pfn:secret_frame () in
+      mem.Phys_mem.write_word p2_addr evil_pte;
+      (match Ptg_memctrl.Mmu.walk sys.mc ~root ~vaddr:target_vaddr with
+      | Ptg_memctrl.Mmu.Translated { paddr = secret_paddr; _ } ->
+          let leaked = mem.Phys_mem.read_word secret_paddr in
+          Printf.printf
+            "Attacker rewrote a PTE through the alias; reading its page now leaks 0x%Lx\n"
+            leaked;
+          if Int64.equal leaked secret_value then
+            print_endline ">>> PRIVILEGE ESCALATION SUCCEEDED (kernel secret exfiltrated)."
+          else print_endline "exploit chain broke unexpectedly"
+      | o -> Format.printf "unexpected second walk: %a@." Ptg_memctrl.Mmu.pp_outcome o)
+  | o -> Format.printf "unexpected: %a@." Ptg_memctrl.Mmu.pp_outcome o
+
+let run_guarded rng =
+  print_endline "\n=== With PT-Guard ===";
+  let sys = build ~guarded:true rng in
+  let target_vaddr = attacker_vaddr 7 in
+  let victim, _ = choose_victim sys ~target_vaddr in
+  let entry_addr = hammer sys ~victim_page:victim in
+  let root = Page_table.root sys.table in
+  (match Ptg_memctrl.Mmu.walk sys.mc ~root ~vaddr:(attacker_vaddr victim) with
+  | Ptg_memctrl.Mmu.Corrected_then_translated { paddr; step; guesses; _ } ->
+      Printf.printf
+        "Walk: flip DETECTED and CORRECTED (%s, %d guesses); page still maps 0x%Lx.\n"
+        (Ptguard.Correction.step_name step) guesses paddr;
+      print_endline ">>> Privilege escalation PREVENTED (PTE healed transparently)."
+  | Ptg_memctrl.Mmu.Integrity_failure { line_addr; _ } ->
+      Printf.printf "Walk: PTECheckFailed on line 0x%Lx; OS exception raised.\n" line_addr;
+      print_endline ">>> Privilege escalation PREVENTED."
+  | o -> Format.printf "unexpected: %a@." Ptg_memctrl.Mmu.pp_outcome o);
+  (* A heavier barrage (several flips in one line) exhausts correction but
+     never escapes detection. *)
+  let rng2 = Ptg_util.Rng.create 77L in
+  List.iter
+    (fun _ ->
+      let bit = Ptg_util.Rng.int rng2 512 in
+      Ptg_dram.Dram.flip_stored_bit sys.dram ~addr:entry_addr ~bit)
+    [ (); (); (); (); (); (); (); (); (); () ];
+  match Ptg_memctrl.Mmu.walk sys.mc ~root ~vaddr:(attacker_vaddr victim) with
+  | Ptg_memctrl.Mmu.Integrity_failure _ ->
+      print_endline
+        "After a 10-flip barrage: uncorrectable, but still DETECTED — exception to OS."
+  | Ptg_memctrl.Mmu.Corrected_then_translated _ ->
+      print_endline "After a 10-flip barrage: still corrected."
+  | Ptg_memctrl.Mmu.Translated _ ->
+      print_endline "!!! tampered PTE consumed — this must never happen"
+  | Ptg_memctrl.Mmu.Not_present _ -> print_endline "walk aborted on non-present entry"
+
+let () =
+  run_unprotected (Ptg_util.Rng.create 1L);
+  run_guarded (Ptg_util.Rng.create 1L)

@@ -1,0 +1,1 @@
+lib/baselines/encrypted_pte.ml: Array Block128 Int64 Ptg_crypto Ptg_pte Qarma

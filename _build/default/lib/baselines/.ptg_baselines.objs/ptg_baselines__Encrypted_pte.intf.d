@@ -1,0 +1,1 @@
+lib/baselines/encrypted_pte.mli: Ptg_pte Ptg_util

@@ -1,0 +1,1 @@
+lib/baselines/monotonic.ml: Int64 Ptg_util

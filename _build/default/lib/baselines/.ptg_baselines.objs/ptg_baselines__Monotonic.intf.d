@@ -1,0 +1,1 @@
+lib/baselines/monotonic.mli: Ptg_pte

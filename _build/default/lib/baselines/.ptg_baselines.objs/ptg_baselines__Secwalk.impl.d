@@ -1,0 +1,1 @@
+lib/baselines/secwalk.ml: Bits Int64 Ptg_util

@@ -1,0 +1,43 @@
+open Ptg_crypto
+
+type t = { key : Qarma.key }
+
+let create ~rng = { key = Qarma.key_of_rng rng }
+
+let tweak ~addr i = Block128.make ~hi:(Int64.of_int i) ~lo:addr
+
+let map_chunks f line =
+  let out = Array.make 8 0L in
+  for i = 0 to 3 do
+    let b = Block128.make ~hi:line.((2 * i) + 1) ~lo:line.(2 * i) in
+    let c = f i b in
+    out.(2 * i) <- c.Block128.lo;
+    out.((2 * i) + 1) <- c.Block128.hi
+  done;
+  out
+
+let encrypt_line t ~addr line =
+  map_chunks (fun i b -> Qarma.encrypt t.key ~tweak:(tweak ~addr i) b) line
+
+let decrypt_line t ~addr line =
+  map_chunks (fun i b -> Qarma.decrypt t.key ~tweak:(tweak ~addr i) b) line
+
+type consume_outcome =
+  | Intact
+  | Garbage_consumed of { wild_pfn : bool; looks_present : bool }
+
+let consume t ~addr ~original ~stored =
+  let decrypted = decrypt_line t ~addr stored in
+  if Ptg_pte.Line.equal decrypted original then Intact
+  else begin
+    let wild_pfn = ref false and looks_present = ref false in
+    Array.iteri
+      (fun i w ->
+        if not (Int64.equal w original.(i)) then begin
+          if not (Int64.equal (Ptg_pte.X86.pfn w) (Ptg_pte.X86.pfn original.(i))) then
+            wild_pfn := true;
+          if Ptg_pte.X86.get_flag w Ptg_pte.X86.Present then looks_present := true
+        end)
+      decrypted;
+    Garbage_consumed { wild_pfn = !wild_pfn; looks_present = !looks_present }
+  end

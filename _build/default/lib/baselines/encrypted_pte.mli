@@ -1,0 +1,37 @@
+(** Memory encryption as a page-table defense (paper Section VII-A).
+
+    The paper's discussion: encryption is complementary — it hides
+    contents and makes controlled tampering impossible, but it provides
+    {e no authentication}: a Rowhammer flip in an encrypted PTE decrypts
+    to garbage that the hardware cannot distinguish from a valid entry,
+    so the system consumes a wild translation or crashes, and nothing can
+    be corrected ("decryption of faulty encrypted data produces
+    meaningless values").
+
+    Modeled as QARMA-128 in an XTS-like mode over the four 16-byte chunks
+    of the PTE cacheline, tweaked by (address, chunk index): the same
+    primitive PT-Guard uses, spent on confidentiality instead of
+    integrity. *)
+
+type t
+
+val create : rng:Ptg_util.Rng.t -> t
+
+val encrypt_line : t -> addr:int64 -> Ptg_pte.Line.t -> Ptg_pte.Line.t
+(** What goes to DRAM. *)
+
+val decrypt_line : t -> addr:int64 -> Ptg_pte.Line.t -> Ptg_pte.Line.t
+(** What the walker consumes — garbage if the stored bits were flipped,
+    with no indication anything is wrong. *)
+
+type consume_outcome =
+  | Intact                 (** decrypted PTEs equal the originals *)
+  | Garbage_consumed of {
+      wild_pfn : bool;     (** some decrypted PFN points somewhere new *)
+      looks_present : bool (** a garbage entry still has the Present bit *)
+    }
+
+val consume : t -> addr:int64 -> original:Ptg_pte.Line.t -> stored:Ptg_pte.Line.t -> consume_outcome
+(** Decrypt [stored] and compare against [original]: the outcome a walk
+    would experience. There is no [Detected] constructor — that is the
+    point. *)

@@ -1,0 +1,23 @@
+type t = { watermark_pfn : int64 }
+
+let create ~watermark_pfn =
+  if Int64.compare watermark_pfn 0L <= 0 then invalid_arg "Monotonic.create";
+  { watermark_pfn }
+
+let watermark t = t.watermark_pfn
+let user_pfn_ok t pfn = Int64.unsigned_compare pfn t.watermark_pfn < 0
+
+let flipped_pfn ~pfn ~bit ~anti_cell =
+  if bit < 0 || bit > 39 then invalid_arg "Monotonic.flipped_pfn: bit";
+  let set = Ptg_util.Bits.get pfn bit in
+  match (anti_cell, set) with
+  | false, true -> Some (Ptg_util.Bits.clear pfn bit) (* true cell: 1 -> 0 *)
+  | true, false -> Some (Ptg_util.Bits.set pfn bit) (* anti cell: 0 -> 1 *)
+  | false, false | true, true -> None
+
+let pfn_flip_blocked t ~pfn ~bit ~anti_cell =
+  match flipped_pfn ~pfn ~bit ~anti_cell with
+  | None -> true (* the flip cannot happen at all *)
+  | Some pfn' -> user_pfn_ok t pfn' (* blocked iff it stays in user space *)
+
+let protects_field _ = false

@@ -1,0 +1,38 @@
+(** Monotonic Pointers (Wu et al., ASPLOS 2019) — paper Section II-E.1.
+
+    The defense places page tables in DRAM true cells (whose Rowhammer
+    flips are 1 -> 0 only) above a physical watermark, with all user pages
+    below it. A 1 -> 0 flip can only decrease a PFN, so a user PTE's PFN
+    can never climb into the page-table region: the self-referencing
+    exploit of Figure 3 is blocked.
+
+    The model exposes the two gaps the paper calls out:
+    - flips in {e non-PFN} fields (user/supervisor, writable, NX, MPK)
+      are not constrained at all;
+    - cells occasionally flip 0 -> 1 ("a small probability that an error
+      can go the other way due to circuit effects"), and a single such
+      flip re-enables the PFN attack. *)
+
+type t
+
+val create : watermark_pfn:int64 -> t
+(** Page tables live at PFNs >= [watermark_pfn]; user frames below. *)
+
+val watermark : t -> int64
+
+val user_pfn_ok : t -> int64 -> bool
+(** Placement check the OS enforces at map time. *)
+
+val pfn_flip_blocked : t -> pfn:int64 -> bit:int -> anti_cell:bool -> bool
+(** Does the defense prevent the flip of PFN bit [bit] from yielding a
+    page-table PFN? True cells ([anti_cell = false]) can only clear bits;
+    anti cells set them. *)
+
+val protects_field : Ptg_pte.X86.flag -> bool
+(** Whether the defense constrains tampering of a given PTE flag — always
+    [false]: monotonic placement only reasons about the PFN. *)
+
+val flipped_pfn : pfn:int64 -> bit:int -> anti_cell:bool -> int64 option
+(** The PFN after a flip of [bit], or [None] when the cell orientation
+    makes that flip impossible (clearing an already-clear bit, setting an
+    already-set one). *)

@@ -1,0 +1,43 @@
+open Ptg_util
+
+let edc_bits = 24
+
+(* The EDC covers the PTE's architectural content: flags, OS bits and the
+   full 40-bit PFN field (bits 0..39). *)
+let content_mask = Bits.mask 40
+
+(* Code bits live in the spare headroom: bits 40..58 (the same bits
+   PT-Guard pools) plus 59..63 — SecWalk's RISC-V target reserves this
+   region, at the cost of protection keys/NX metadata. *)
+let edc_lo = 40
+
+(* CRC-24/OpenPGP (polynomial 0x864CFB): a standard code of the width
+   that fits the PTE's spare bits. SecWalk's RISC-V layout fits 25 bits;
+   the x86 layout modeled here has 24 spare bits (40..63) — one code bit
+   fewer, with the same security character (keyless and linear). *)
+let poly = 0x864CFB
+
+let compute pte =
+  let content = Int64.logand pte content_mask in
+  let crc = ref 0 in
+  for bit = 39 downto 0 do
+    let incoming = if Bits.get content bit then 1 else 0 in
+    let top = (!crc lsr 23) land 1 in
+    crc := ((!crc lsl 1) lor incoming) land 0xFFFFFF;
+    if top = 1 then crc := !crc lxor (poly land 0xFFFFFF)
+  done;
+  !crc
+
+let protect pte =
+  let content = Int64.logand pte content_mask in
+  Bits.insert content ~lo:edc_lo ~hi:(edc_lo + edc_bits - 1) (Int64.of_int (compute pte))
+
+let stored_edc pte =
+  Int64.to_int (Bits.extract pte ~lo:edc_lo ~hi:(edc_lo + edc_bits - 1))
+
+let verify pte = stored_edc pte = compute pte
+let strip pte = Int64.logand pte content_mask
+
+(* The code is keyless and computable by anyone: forging a valid
+   protected PTE for attacker-chosen content is a single CRC evaluation. *)
+let forge _observed ~target = protect target

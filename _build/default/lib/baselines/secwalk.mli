@@ -1,0 +1,41 @@
+(** SecWalk-style error-detection codes for PTEs (paper Section II-E.2).
+
+    SecWalk (Schilling et al., HOST 2021) protects page-table walks with a
+    non-cryptographic error-detection code stored in each PTE's spare
+    bits. The paper's critique, which this model lets us demonstrate:
+
+    - with the space available in a PTE, the code detects only a bounded
+      number of bit flips (up to 4);
+    - the code is linear, so an attacker who can aim flips can modify the
+      PTE {e and} patch the code so the check still passes (the ECCploit
+      pattern).
+
+    We implement the EDC as CRC-24/OpenPGP over the protected PTE bits —
+    the widest standard code that fits the x86 PTE's 24 spare bits
+    (SecWalk's RISC-V layout fits 25; the character is identical).
+    Detection of a handful of flips is near-certain; guarantees stop at
+    the code's Hamming distance; and most importantly the code is keyless
+    and linear. *)
+
+val edc_bits : int
+(** 24 (SecWalk proper: 25 in the RISC-V layout). *)
+
+val compute : int64 -> int
+(** [compute pte] is the EDC over the PTE's protected content
+    (flags + PFN, bits 0..39). *)
+
+val protect : int64 -> int64
+(** Embed the EDC in the PTE's spare bits (51:40 + 58:52, the same
+    headroom PT-Guard pools for its MAC — one PTE protects only itself). *)
+
+val verify : int64 -> bool
+(** Recompute and compare. *)
+
+val strip : int64 -> int64
+
+val forge : int64 -> target:int64 -> int64
+(** The surgical attack: produce a protected PTE encoding [target]
+    (attacker-chosen PFN/flags) whose EDC verifies, given any validly
+    protected PTE. Possible because the code is linear and keyless —
+    contrast with {!Ptguard.Engine}, where this requires guessing a
+    96-bit keyed MAC. *)

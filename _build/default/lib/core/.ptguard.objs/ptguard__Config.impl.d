@@ -1,0 +1,1 @@
+lib/core/config.ml: Format Layout Ptg_crypto Ptg_util

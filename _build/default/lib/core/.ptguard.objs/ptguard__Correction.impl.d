@@ -1,0 +1,1 @@
+lib/core/correction.ml: Array Bits Block128 Config Fun Int64 Layout List Mac Ptg_crypto Ptg_pte Ptg_util Qarma

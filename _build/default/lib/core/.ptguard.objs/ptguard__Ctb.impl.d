@@ -1,0 +1,1 @@
+lib/core/ctb.ml: Int64 List Ptg_pte

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Config Correction Ctb Fun Int64 Layout List Mac Option Ptg_crypto Ptg_pte Ptg_util Qarma

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Correction Ctb Ptg_crypto Ptg_pte Ptg_util

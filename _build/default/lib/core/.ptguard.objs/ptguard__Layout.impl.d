@@ -1,0 +1,1 @@
+lib/core/layout.ml: Fun Int64 List Ptg_crypto Ptg_pte Ptg_util

@@ -1,0 +1,72 @@
+type design = Baseline | Optimized
+
+type t = {
+  design : design;
+  mac_latency_cycles : int;
+  mac_bits : int;
+  soft_match_k : int;
+  correction_enabled : bool;
+  zero_pte_max_bits : int;
+  layout : (module Layout.S);
+  ctb_entries : int;
+  qarma_rounds : int;
+}
+
+let baseline =
+  {
+    design = Baseline;
+    mac_latency_cycles = 10;
+    mac_bits = 96;
+    soft_match_k = 4;
+    correction_enabled = true;
+    zero_pte_max_bits = 4;
+    layout = Layout.default;
+    ctb_entries = 4;
+    qarma_rounds = Ptg_crypto.Qarma.default_rounds;
+  }
+
+let optimized = { baseline with design = Optimized }
+let with_mac_latency t cycles = { t with mac_latency_cycles = cycles }
+let with_correction t b = { t with correction_enabled = b }
+
+let with_mac_bits t bits =
+  if bits < 1 || bits > 96 then invalid_arg "Config.with_mac_bits";
+  { t with mac_bits = bits }
+
+let with_layout t layout = { t with layout }
+let design_name = function Baseline -> "PT-Guard" | Optimized -> "Optimized PT-Guard"
+
+let layout_name t =
+  let module L = (val t.layout : Layout.S) in
+  L.name
+
+let protected_bits_per_pte t =
+  let module L = (val t.layout : Layout.S) in
+  Ptg_util.Bits.popcount L.protected_mask
+
+let masked_for_mac t line =
+  let module L = (val t.layout : Layout.S) in
+  L.masked_for_mac line
+
+let max_correction_guesses t = 1 + (8 * protected_bits_per_pte t) + 1 + 18
+
+let sram_bytes t =
+  let key = 32 in
+  let ctb = 5 * t.ctb_entries in
+  let opt =
+    match t.design with
+    | Baseline -> 0
+    | Optimized ->
+        let module L = (val t.layout : Layout.S) in
+        ((L.identifier_bits + 7) / 8) + 12
+  in
+  key + ctb + opt
+
+let pp fmt t =
+  let module L = (val t.layout : Layout.S) in
+  Format.fprintf fmt
+    "@[<v>%s (%s): MAC %d bits at %d cycles, soft-match k=%d, correction %s,@ \
+     M=%d phys bits, CTB %d entries, SRAM %d bytes, G_max %d@]"
+    (design_name t.design) L.name t.mac_bits t.mac_latency_cycles t.soft_match_k
+    (if t.correction_enabled then "on" else "off")
+    L.phys_addr_bits t.ctb_entries (sram_bytes t) (max_correction_guesses t)

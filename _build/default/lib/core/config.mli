@@ -1,0 +1,61 @@
+(** PT-Guard configuration.
+
+    Two designs from the paper:
+    - [Baseline] (Section IV): MAC embedded on the 96-bit zero pattern;
+      every DRAM read pays the MAC-computation latency.
+    - [Optimized] (Section V): the extended 152-bit pattern additionally
+      plants an identifier in the OS-ignored PTE bits, so regular reads
+      skip the MAC unless the identifier is present; all-zero lines use a
+      pre-computed MAC-zero.
+
+    The page-table format itself is abstracted behind {!Layout.S}: the
+    default configurations target x86-64 (Tables I/IV), and
+    {!with_layout} retargets the same engine at ARMv8 or any other ISA —
+    the Section IV-F generality claim, executable. *)
+
+type design = Baseline | Optimized
+
+type t = {
+  design : design;
+  mac_latency_cycles : int;   (** MAC computation delay (paper default: 10) *)
+  mac_bits : int;             (** 96 default; 64 for the Section VII-A ablation *)
+  soft_match_k : int;         (** MAC fault tolerance for correction (paper: 4) *)
+  correction_enabled : bool;
+  zero_pte_max_bits : int;    (** "almost-zero" threshold for guess strategy 1 (paper: 4) *)
+  layout : (module Layout.S); (** page-table format (default: x86-64 at M = 40) *)
+  ctb_entries : int;          (** collision tracking buffer capacity (paper: 4) *)
+  qarma_rounds : int;
+}
+
+val baseline : t
+(** Section IV design, correction enabled, x86-64 at M = 40, 10-cycle MAC. *)
+
+val optimized : t
+(** Section V design (identifier + MAC-zero optimizations). *)
+
+val with_mac_latency : t -> int -> t
+val with_correction : t -> bool -> t
+val with_mac_bits : t -> int -> t
+
+val with_layout : t -> (module Layout.S) -> t
+(** Retarget the engine at another page-table format (e.g.
+    [Layout.armv8 ()]). *)
+
+val design_name : design -> string
+val layout_name : t -> string
+
+val protected_bits_per_pte : t -> int
+val masked_for_mac : t -> Ptg_pte.Line.t -> Ptg_pte.Line.t
+(** Convenience accessors through the configured layout. *)
+
+val max_correction_guesses : t -> int
+(** G_max of Section VI-D: 1 (soft MAC) + 8*protected-bits (flip&check) +
+    1 (zero reset) + 18 (flag vote x PFN contiguity) = 372 for x86 at
+    M = 40. *)
+
+val sram_bytes : t -> int
+(** SRAM cost per Section V-E: 32 B key + 5 B/CTB entry, plus identifier
+    and 12 B MAC-zero for [Optimized] — 52 B / 71 B at the paper's
+    parameters. *)
+
+val pp : Format.formatter -> t -> unit

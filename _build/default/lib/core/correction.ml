@@ -1,0 +1,282 @@
+open Ptg_util
+open Ptg_crypto
+
+type step =
+  | Soft_mac_match
+  | Flip_and_check
+  | Zero_pte_reset
+  | Flag_majority
+  | Pfn_contiguity
+  | Flags_and_pfn
+
+let step_name = function
+  | Soft_mac_match -> "soft-MAC-match"
+  | Flip_and_check -> "flip-and-check"
+  | Zero_pte_reset -> "zero-PTE-reset"
+  | Flag_majority -> "flag-majority"
+  | Pfn_contiguity -> "pfn-contiguity"
+  | Flags_and_pfn -> "flags+pfn"
+
+type outcome =
+  | Corrected of { line : Ptg_pte.Line.t; step : step; guesses : int }
+  | Uncorrectable of { guesses : int }
+
+type strategy_mask = {
+  use_soft_mac : bool;
+  use_flip_and_check : bool;
+  use_zero_reset : bool;
+  use_flag_vote : bool;
+  use_pfn_contiguity : bool;
+}
+
+let all_strategies =
+  {
+    use_soft_mac = true;
+    use_flip_and_check = true;
+    use_zero_reset = true;
+    use_flag_vote = true;
+    use_pfn_contiguity = true;
+  }
+
+let no_strategies =
+  {
+    use_soft_mac = false;
+    use_flip_and_check = false;
+    use_zero_reset = false;
+    use_flag_vote = false;
+    use_pfn_contiguity = false;
+  }
+
+(* The MAC folds Q(C_i xor A_i) over four 16-byte chunks; a candidate that
+   differs from a cached base in a single chunk needs only one fresh QARMA
+   call. This makes flip-and-check ~4x cheaper. *)
+module Mac_cache = struct
+  type t = {
+    key : Qarma.key;
+    addr : int64;
+    mac_bits : int;
+    masked_for_mac : Ptg_pte.Line.t -> Ptg_pte.Line.t;
+    protected_mask : int64;
+    mutable base : Ptg_pte.Line.t; (* masked for MAC *)
+    mutable q : Block128.t array;  (* 4 chunk ciphertexts for [base] *)
+  }
+
+  let chunk line i = Block128.make ~hi:line.((2 * i) + 1) ~lo:line.(2 * i)
+  let addr_block ~addr i = Block128.make ~hi:(Int64.of_int i) ~lo:addr
+
+  let encrypt_chunk t masked i =
+    let a = addr_block ~addr:t.addr i in
+    Qarma.encrypt t.key ~tweak:a (Block128.logxor (chunk masked i) a)
+
+  let make ~mac_bits ~masked_for_mac ~protected_mask key ~addr line =
+    let masked = masked_for_mac line in
+    let t =
+      { key; addr; mac_bits; masked_for_mac; protected_mask; base = masked; q = [||] }
+    in
+    t.q <- Array.init 4 (fun i -> encrypt_chunk t masked i);
+    t
+
+  let mac_of_blocks t q =
+    let x = Array.fold_left Block128.logxor Block128.zero q in
+    let m =
+      { Mac.hi32 = Int64.logand x.Block128.hi 0xFFFFFFFFL; lo = x.Block128.lo }
+    in
+    Mac.truncate ~width:t.mac_bits m
+
+  (* MAC of the current base. *)
+  let base_mac t = mac_of_blocks t t.q
+
+  (* MAC of the base with one word replaced (word index 0..7). *)
+  let mac_with_word t ~word_idx value =
+    let masked_value = Int64.logand value t.protected_mask in
+    if Int64.equal masked_value t.base.(word_idx) then base_mac t
+    else begin
+      let ci = word_idx / 2 in
+      let candidate_chunk =
+        let hi = if word_idx = (2 * ci) + 1 then masked_value else t.base.((2 * ci) + 1) in
+        let lo = if word_idx = 2 * ci then masked_value else t.base.(2 * ci) in
+        Block128.make ~hi ~lo
+      in
+      let a = addr_block ~addr:t.addr ci in
+      let qc = Qarma.encrypt t.key ~tweak:a (Block128.logxor candidate_chunk a) in
+      let q = Array.copy t.q in
+      q.(ci) <- qc;
+      mac_of_blocks t q
+    end
+
+  (* MAC of an arbitrary candidate line (all chunks recomputed as needed). *)
+  let mac_of_line t line =
+    let masked = t.masked_for_mac line in
+    let q =
+      Array.init 4 (fun i ->
+          let same =
+            Int64.equal masked.(2 * i) t.base.(2 * i)
+            && Int64.equal masked.((2 * i) + 1) t.base.((2 * i) + 1)
+          in
+          if same then t.q.(i) else encrypt_chunk t masked i)
+    in
+    mac_of_blocks t q
+end
+
+let verify_only (cfg : Config.t) key ~addr line =
+  let module L = (val cfg.Config.layout : Layout.S) in
+  let cache =
+    Mac_cache.make ~mac_bits:cfg.Config.mac_bits ~masked_for_mac:L.masked_for_mac
+      ~protected_mask:L.protected_mask key ~addr line
+  in
+  Mac.equal (Mac_cache.base_mac cache)
+    (Mac.truncate ~width:cfg.Config.mac_bits (L.extract_mac line))
+
+let majority_bit words bit =
+  let n = List.length words in
+  let ones = List.length (List.filter (fun w -> Bits.get w bit) words) in
+  2 * ones > n
+
+let correct ?(strategies = all_strategies) ?mac_zero (cfg : Config.t) key ~addr line =
+  let module L = (val cfg.Config.layout : Layout.S) in
+  let k = cfg.Config.soft_match_k in
+  let target = Mac.truncate ~width:cfg.Config.mac_bits (L.extract_mac line) in
+  let cache =
+    Mac_cache.make ~mac_bits:cfg.Config.mac_bits ~masked_for_mac:L.masked_for_mac
+      ~protected_mask:L.protected_mask key ~addr line
+  in
+  let guesses = ref 0 in
+  let matches mac =
+    incr guesses;
+    Mac.soft_match ~k mac target
+  in
+  (* Under the Optimized design, an all-zero candidate's reference MAC is
+     the address-free MAC-zero constant (Section V-B) — the same rule the
+     write path used to embed it. *)
+  let zero_masked candidate = Ptg_pte.Line.is_zero (L.masked_for_mac candidate) in
+  let effective_mac candidate computed_lazily =
+    match mac_zero with
+    | Some mz when zero_masked candidate -> mz
+    | Some _ | None -> computed_lazily ()
+  in
+  (* Bits of an entry that carry page-table content (not MAC/identifier). *)
+  let content_mask =
+    Int64.lognot (Int64.logor L.mac_field_mask L.identifier_field_mask)
+  in
+  let protected_bit_list =
+    List.filter (fun b -> Bits.get L.protected_mask b) (List.init 64 Fun.id)
+  in
+  let exception Found of Ptg_pte.Line.t * step in
+  let try_line step candidate =
+    let mac =
+      effective_mac candidate (fun () -> Mac_cache.mac_of_line cache candidate)
+    in
+    if matches mac then raise (Found (candidate, step))
+  in
+  try
+    (* Step 1: the stored data may be intact with faults only in the MAC. *)
+    if strategies.use_soft_mac then begin
+      let mac = effective_mac line (fun () -> Mac_cache.base_mac cache) in
+      if matches mac then raise (Found (Ptg_pte.Line.copy line, Soft_mac_match))
+    end;
+    (* Step 2: single-bit flip in any protected bit of any PTE. *)
+    if strategies.use_flip_and_check then begin
+      for word = 0 to 7 do
+        List.iter
+          (fun b ->
+            let flipped = Bits.flip line.(word) b in
+            let candidate () =
+              let out = Ptg_pte.Line.copy line in
+              out.(word) <- flipped;
+              out
+            in
+            let mac =
+              match mac_zero with
+              | Some mz when zero_masked (candidate ()) -> mz
+              | Some _ | None -> Mac_cache.mac_with_word cache ~word_idx:word flipped
+            in
+            if matches mac then raise (Found (candidate (), Flip_and_check)))
+          protected_bit_list
+      done
+    end;
+    (* Step 3: reset almost-zero PTEs; later steps inherit the resets. *)
+    let base =
+      if not strategies.use_zero_reset then Ptg_pte.Line.copy line
+      else begin
+        let candidate =
+          Array.map
+            (fun w ->
+              let content = Int64.logand w content_mask in
+              if
+                (not (Int64.equal content 0L))
+                && Bits.popcount content <= cfg.Config.zero_pte_max_bits
+              then Int64.logand w (Int64.lognot content_mask)
+              else w)
+            line
+        in
+        try_line Zero_pte_reset candidate;
+        candidate
+      end
+    in
+    let nonzero_idx =
+      List.filter
+        (fun i -> not (Int64.equal (Int64.logand base.(i) content_mask) 0L))
+        (List.init 8 Fun.id)
+    in
+    let nonzero_words = List.map (fun i -> base.(i)) nonzero_idx in
+    (* Step 4: bitwise flag majority across non-zero PTEs. *)
+    let flag_voted =
+      if nonzero_words = [] then base
+      else
+        Array.mapi
+          (fun i w ->
+            if List.mem i nonzero_idx then
+              List.fold_left
+                (fun w b -> Bits.assign w b (majority_bit nonzero_words b))
+                w L.flag_bits
+            else w)
+          base
+    in
+    if strategies.use_flag_vote && nonzero_words <> [] then
+      try_line Flag_majority flag_voted;
+    (* Step 5: PFN locality. First a majority vote over the top PFN bits;
+       then contiguity reconstruction of all PFNs from each base. *)
+    let pfn_lo, pfn_hi = L.pfn_word_bits in
+    let top_lo = pfn_lo + 8 and top_hi = pfn_hi in
+    let pfn_top_voted from_line =
+      if nonzero_words = [] then from_line
+      else begin
+        let words = List.map (fun i -> from_line.(i)) nonzero_idx in
+        Array.mapi
+          (fun i w ->
+            if List.mem i nonzero_idx then begin
+              let w = ref w in
+              for b = top_lo to top_hi do
+                w := Bits.assign !w b (majority_bit words b)
+              done;
+              !w
+            end
+            else w)
+          from_line
+      end
+    in
+    let contiguity_candidates from_line =
+      (* Assume PTE [b]'s PFN is correct; rebuild the others as a +1-per-
+         index progression. Zero PTEs stay zero. *)
+      List.map
+        (fun b ->
+          let base_pfn = L.pfn from_line.(b) in
+          Array.mapi
+            (fun i w ->
+              if List.mem i nonzero_idx then
+                L.set_pfn w (Int64.add base_pfn (Int64.of_int (i - b)))
+              else w)
+            from_line)
+        (List.filter (fun b -> List.mem b nonzero_idx) (List.init 8 Fun.id))
+    in
+    if strategies.use_pfn_contiguity && nonzero_words <> [] then begin
+      try_line Pfn_contiguity (pfn_top_voted base);
+      List.iter (try_line Pfn_contiguity) (contiguity_candidates base)
+    end;
+    (* Steps 4+5 combined (flags voted, then PFN reconstruction). *)
+    if strategies.use_flag_vote && strategies.use_pfn_contiguity
+       && nonzero_words <> []
+    then
+      List.iter (try_line Flags_and_pfn) (contiguity_candidates flag_voted);
+    Uncorrectable { guesses = !guesses }
+  with Found (candidate, step) -> Corrected { line = candidate; step; guesses = !guesses }

@@ -1,0 +1,66 @@
+(** Best-effort correction of faulty PTE cachelines (paper Section VI).
+
+    On an integrity failure during a page-table walk, the hardware guesses
+    candidate values for the PTE cacheline and accepts the first whose MAC
+    {e soft-matches} (Hamming distance <= k) the stored MAC — a strong MAC
+    makes an incorrect accepted guess as unlikely as a MAC collision. The
+    guess sequence exploits the value locality measured on real systems
+    (Section VI-B / our {!Ptg_vm.Profile}):
+
+    + soft MAC match of the line as-is (faults confined to the MAC bits);
+    + flip-and-check of every protected bit;
+    + reset of almost-zero PTEs (<= 4 set bits) to zero;
+    + bitwise majority vote of the flags across non-zero PTEs;
+    + majority vote of the top PFN bits + contiguity reconstruction of the
+      low 8 PFN bits from each of 8 base choices;
+    + strategies 4 and 5 combined.
+
+    Total G_max = 372 guesses at M = 40. *)
+
+type step =
+  | Soft_mac_match      (** step 1 *)
+  | Flip_and_check      (** step 2 *)
+  | Zero_pte_reset      (** step 3 *)
+  | Flag_majority       (** step 4 *)
+  | Pfn_contiguity      (** step 5 *)
+  | Flags_and_pfn       (** steps 4+5 combined *)
+
+val step_name : step -> string
+
+type outcome =
+  | Corrected of { line : Ptg_pte.Line.t; step : step; guesses : int }
+      (** [line] is the full corrected stored line (MAC still embedded);
+          [guesses] counts MAC checks performed including the successful
+          one. *)
+  | Uncorrectable of { guesses : int }
+
+type strategy_mask = {
+  use_soft_mac : bool;
+  use_flip_and_check : bool;
+  use_zero_reset : bool;
+  use_flag_vote : bool;
+  use_pfn_contiguity : bool;
+}
+
+val all_strategies : strategy_mask
+val no_strategies : strategy_mask
+
+val correct :
+  ?strategies:strategy_mask ->
+  ?mac_zero:Ptg_crypto.Mac.t ->
+  Config.t ->
+  Ptg_crypto.Qarma.key ->
+  addr:int64 ->
+  Ptg_pte.Line.t ->
+  outcome
+(** [correct config key ~addr faulty] runs the guess sequence against the
+    stored (possibly faulty) MAC embedded in [faulty]. The [strategies]
+    mask supports the ablation study (default: all enabled). [mac_zero]
+    is the Optimized design's address-free MAC-zero constant: when given,
+    all-zero candidates are checked against it, mirroring the write path
+    (Section V-B). *)
+
+val verify_only :
+  Config.t -> Ptg_crypto.Qarma.key -> addr:int64 -> Ptg_pte.Line.t -> bool
+(** Exact-match integrity check (no soft matching, no guessing): does the
+    embedded MAC equal the MAC recomputed over the protected bits? *)

@@ -1,0 +1,43 @@
+type t = {
+  sram_key_bytes : int;
+  sram_ctb_bytes : int;
+  sram_identifier_bytes : int;
+  sram_mac_zero_bytes : int;
+  sram_total_bytes : int;
+  dram_overhead_bytes : int;
+  mac_gates : int;
+  mac_area_mm2 : float;
+  mac_energy_nj : float;
+  mac_latency_ns : float;
+}
+
+let of_config (cfg : Config.t) =
+  let sram_key_bytes = 32 in
+  let sram_ctb_bytes = 5 * cfg.Config.ctb_entries in
+  let sram_identifier_bytes, sram_mac_zero_bytes =
+    match cfg.Config.design with
+    | Config.Baseline -> (0, 0)
+    | Config.Optimized -> (7, 12)
+  in
+  {
+    sram_key_bytes;
+    sram_ctb_bytes;
+    sram_identifier_bytes;
+    sram_mac_zero_bytes;
+    sram_total_bytes =
+      sram_key_bytes + sram_ctb_bytes + sram_identifier_bytes + sram_mac_zero_bytes;
+    dram_overhead_bytes = 0;
+    mac_gates = 280_000;
+    mac_area_mm2 = 0.015;
+    mac_energy_nj = 1.6;
+    mac_latency_ns = 3.4;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>SRAM: key %dB + CTB %dB + identifier %dB + MAC-zero %dB = %dB total@,\
+     DRAM storage overhead: %dB@,\
+     MAC circuit: ~%dK gates, %.3f mm^2 (7nm), %.1f nJ/op, %.1f ns latency@]"
+    t.sram_key_bytes t.sram_ctb_bytes t.sram_identifier_bytes t.sram_mac_zero_bytes
+    t.sram_total_bytes t.dram_overhead_bytes (t.mac_gates / 1000) t.mac_area_mm2
+    t.mac_energy_nj t.mac_latency_ns

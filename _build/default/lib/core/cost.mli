@@ -1,0 +1,21 @@
+(** Hardware cost accounting (paper Section V-E and IV-F).
+
+    PT-Guard's selling point is near-zero cost: no DRAM storage, tens of
+    bytes of SRAM, and a MAC circuit of a few hundred thousand gates. This
+    module renders the paper's cost table for a given configuration. *)
+
+type t = {
+  sram_key_bytes : int;          (** 32 B QARMA-256 key *)
+  sram_ctb_bytes : int;          (** 5 B per CTB entry *)
+  sram_identifier_bytes : int;   (** 7 B, Optimized only *)
+  sram_mac_zero_bytes : int;     (** 12 B, Optimized only *)
+  sram_total_bytes : int;
+  dram_overhead_bytes : int;     (** always 0 — the headline claim *)
+  mac_gates : int;               (** ~280K (4 pipelined QARMA encryptors) *)
+  mac_area_mm2 : float;          (** ~0.015 mm^2 at 7 nm *)
+  mac_energy_nj : float;         (** ~1.6 nJ per computation at 15 nm *)
+  mac_latency_ns : float;        (** 3.4 ns (18-round QARMA-128 at 7 nm) *)
+}
+
+val of_config : Config.t -> t
+val pp : Format.formatter -> t -> unit

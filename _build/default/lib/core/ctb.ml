@@ -1,0 +1,27 @@
+type t = { capacity : int; mutable entries : int64 list }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ctb.create: capacity";
+  { capacity; entries = [] }
+
+let capacity t = t.capacity
+let size t = List.length t.entries
+let is_full t = size t >= t.capacity
+let mem t addr = List.exists (Int64.equal (Ptg_pte.Line.line_addr addr)) t.entries
+
+let add t addr =
+  let addr = Ptg_pte.Line.line_addr addr in
+  if List.exists (Int64.equal addr) t.entries then `Already_present
+  else if is_full t then `Full
+  else begin
+    t.entries <- addr :: t.entries;
+    `Added
+  end
+
+let remove t addr =
+  let addr = Ptg_pte.Line.line_addr addr in
+  t.entries <- List.filter (fun a -> not (Int64.equal a addr)) t.entries
+
+let clear t = t.entries <- []
+let entries t = t.entries
+let sram_bytes t = 5 * t.capacity

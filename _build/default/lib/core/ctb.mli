@@ -1,0 +1,33 @@
+(** Collision Tracking Buffer (paper Section IV-D).
+
+    A tiny SRAM table of line addresses whose {e data} happened to equal
+    the MAC that would be computed for them — reads of these lines must be
+    forwarded untouched or the "MAC removal" would corrupt real data.
+    Natural collisions are a 2^-96 event; a full CTB is therefore a strong
+    attack indicator and triggers re-keying (Section VII-B). *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] is 4 in the paper (20 bytes of SRAM). *)
+
+val capacity : t -> int
+val size : t -> int
+val is_full : t -> bool
+
+val mem : t -> int64 -> bool
+(** Is this line address tracked? Consulted on every DRAM read. *)
+
+val add : t -> int64 -> [ `Added | `Already_present | `Full ]
+(** Track a colliding line. [`Full] means the entry could not be inserted
+    — the caller must re-key. *)
+
+val remove : t -> int64 -> unit
+(** The OS rewrote the line with benign data (Section VII-B). *)
+
+val clear : t -> unit
+(** Re-keying voids all tracked collisions. *)
+
+val entries : t -> int64 list
+val sram_bytes : t -> int
+(** 5 bytes per entry (a 34-bit line address within 1 TB, padded). *)

@@ -1,0 +1,331 @@
+open Ptg_crypto
+
+type os_event =
+  | Pte_integrity_failure of { addr : int64 }
+  | Collision_detected of { addr : int64 }
+  | Ctb_overflow
+  | Rekey_completed of { writes : int }
+
+type stats = {
+  mutable writes_total : int;
+  mutable writes_protected : int;
+  mutable writes_mac_zero : int;
+  mutable collisions_tracked : int;
+  mutable reads_total : int;
+  mutable reads_pte : int;
+  mutable mac_computations : int;
+  mutable macs_stripped : int;
+  mutable integrity_failures : int;
+  mutable corrections_attempted : int;
+  mutable corrections_succeeded : int;
+  mutable rekeys : int;
+}
+
+type integrity =
+  | Passed
+  | Corrected of { step : Correction.step; guesses : int }
+  | Failed
+  | Data_protected
+  | Data_passthrough
+
+type read_result = {
+  line : Ptg_pte.Line.t option;
+  integrity : integrity;
+  extra_latency : int;
+  raw_line : Ptg_pte.Line.t;
+}
+
+type t = {
+  config : Config.t;
+  mutable key : Qarma.key;
+  identifier : int64;
+  mutable mac_zero : Mac.t;
+  ctb : Ctb.t;
+  stats : stats;
+  mutable listeners : (os_event -> unit) list;
+}
+
+let fresh_stats () =
+  {
+    writes_total = 0;
+    writes_protected = 0;
+    writes_mac_zero = 0;
+    collisions_tracked = 0;
+    reads_total = 0;
+    reads_pte = 0;
+    mac_computations = 0;
+    macs_stripped = 0;
+    integrity_failures = 0;
+    corrections_attempted = 0;
+    corrections_succeeded = 0;
+    rekeys = 0;
+  }
+
+let create ?(config = Config.baseline) ~rng () =
+  let key = Qarma.key_of_rng ~rounds:config.Config.qarma_rounds rng in
+  let identifier =
+    match config.Config.design with
+    | Config.Baseline -> 0L
+    | Config.Optimized ->
+        let module L = (val config.Config.layout : Layout.S) in
+        Int64.logand (Ptg_util.Rng.next rng) (Ptg_util.Bits.mask L.identifier_bits)
+  in
+  {
+    config;
+    key;
+    identifier;
+    mac_zero = Mac.truncate ~width:config.Config.mac_bits (Mac.compute_zero key);
+    ctb = Ctb.create ~capacity:config.Config.ctb_entries;
+    stats = fresh_stats ();
+    listeners = [];
+  }
+
+let config t = t.config
+let stats t = t.stats
+let key t = t.key
+let identifier t = t.identifier
+let ctb t = t.ctb
+let on_os_event t f = t.listeners <- f :: t.listeners
+let emit t e = List.iter (fun f -> f e) t.listeners
+
+(* The configured page-table layout (x86-64 by default, ARMv8 via
+   Config.with_layout): every format-specific operation goes through it. *)
+let layout t = t.config.Config.layout
+
+(* MAC of a line's protected bits, truncated to the configured width. *)
+let compute_mac t ~addr line =
+  let module L = (val layout t : Layout.S) in
+  Mac.truncate ~width:t.config.Config.mac_bits
+    (Mac.compute t.key ~addr (L.masked_for_mac line))
+
+(* The embedded-MAC comparison is strict over the full 96-bit field: with
+   a truncated MAC the unused upper field bits must be zero, exactly as
+   the write path leaves them. *)
+let embedded_matches ~stored ~computed = Mac.equal stored computed
+
+let pattern_matches t line =
+  let module L = (val layout t : Layout.S) in
+  match t.config.Config.design with
+  | Config.Baseline -> L.matches_basic_pattern line
+  | Config.Optimized -> L.matches_extended_pattern line
+
+let identifier_present t line =
+  let module L = (val layout t : Layout.S) in
+  Int64.equal (L.extract_identifier line) t.identifier
+
+(* Would reading this stored line back be misinterpreted as MAC-protected?
+   Used for write-time collision detection on non-matching lines. *)
+let would_collide t ~addr line =
+  let id_ok =
+    match t.config.Config.design with
+    | Config.Baseline -> true
+    | Config.Optimized -> identifier_present t line
+  in
+  let module L = (val layout t : Layout.S) in
+  id_ok
+  && embedded_matches ~stored:(L.extract_mac line) ~computed:(compute_mac t ~addr line)
+
+let embed t ~addr line =
+  let module L = (val layout t : Layout.S) in
+  let is_zero_line = Ptg_pte.Line.is_zero line in
+  let mac =
+    if t.config.Config.design = Config.Optimized && is_zero_line then begin
+      t.stats.writes_mac_zero <- t.stats.writes_mac_zero + 1;
+      t.mac_zero
+    end
+    else compute_mac t ~addr line
+  in
+  let stored = L.embed_mac line mac in
+  match t.config.Config.design with
+  | Config.Baseline -> stored
+  | Config.Optimized -> L.embed_identifier stored t.identifier
+
+let process_write t ~addr line =
+  t.stats.writes_total <- t.stats.writes_total + 1;
+  if pattern_matches t line then begin
+    t.stats.writes_protected <- t.stats.writes_protected + 1;
+    (* A protected write replaces whatever colliding data was there. *)
+    Ctb.remove t.ctb addr;
+    embed t ~addr line
+  end
+  else begin
+    if would_collide t ~addr line then begin
+      match Ctb.add t.ctb addr with
+      | `Added ->
+          t.stats.collisions_tracked <- t.stats.collisions_tracked + 1;
+          emit t (Collision_detected { addr })
+      | `Already_present -> ()
+      | `Full -> emit t Ctb_overflow
+    end
+    else Ctb.remove t.ctb addr;
+    Ptg_pte.Line.copy line
+  end
+
+let strip t line =
+  let module L = (val layout t : Layout.S) in
+  let line = L.strip_mac line in
+  match t.config.Config.design with
+  | Config.Baseline -> line
+  | Config.Optimized -> L.strip_identifier line
+
+(* Under the Optimized design, faults in the identifier field of a PTE
+   line are trivially corrected because the expected value is known
+   on-chip (Section VI). *)
+let restore_identifier t line =
+  let module L = (val layout t : Layout.S) in
+  match t.config.Config.design with
+  | Config.Baseline -> line
+  | Config.Optimized -> L.embed_identifier line t.identifier
+
+let read_pte t ~addr line =
+  let module L = (val layout t : Layout.S) in
+  let mac_latency = t.config.Config.mac_latency_cycles in
+  let stored = L.extract_mac line in
+  (* Zero PTE cachelines carry the address-free MAC-zero (Section V-B):
+     the check is a comparison against the on-chip constant, no cipher
+     latency. Only the Optimized design embeds MAC-zero. *)
+  let mac_zero_hit =
+    t.config.Config.design = Config.Optimized
+    && Ptg_pte.Line.is_zero (strip t line)
+    && embedded_matches ~stored ~computed:t.mac_zero
+  in
+  if mac_zero_hit then begin
+    t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+    { line = Some (strip t line); integrity = Passed; extra_latency = 0;
+      raw_line = line }
+  end
+  else begin
+  t.stats.mac_computations <- t.stats.mac_computations + 1;
+  let computed = compute_mac t ~addr line in
+  if embedded_matches ~stored ~computed then begin
+    t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+    { line = Some (strip t line); integrity = Passed; extra_latency = mac_latency;
+      raw_line = line }
+  end
+  else if t.config.Config.correction_enabled then begin
+    t.stats.corrections_attempted <- t.stats.corrections_attempted + 1;
+    let candidate = restore_identifier t line in
+    let mac_zero =
+      match t.config.Config.design with
+      | Config.Baseline -> None
+      | Config.Optimized -> Some t.mac_zero
+    in
+    match Correction.correct ?mac_zero:(Option.map Fun.id mac_zero) t.config t.key ~addr candidate with
+    | Correction.Corrected { line = fixed; step; guesses } ->
+        t.stats.corrections_succeeded <- t.stats.corrections_succeeded + 1;
+        {
+          line = Some (strip t fixed);
+          integrity = Corrected { step; guesses };
+          extra_latency = mac_latency * (1 + guesses);
+          raw_line = line;
+        }
+    | Correction.Uncorrectable { guesses } ->
+        t.stats.integrity_failures <- t.stats.integrity_failures + 1;
+        emit t (Pte_integrity_failure { addr });
+        {
+          line = None;
+          integrity = Failed;
+          extra_latency = mac_latency * (1 + guesses);
+          raw_line = line;
+        }
+  end
+  else begin
+    t.stats.integrity_failures <- t.stats.integrity_failures + 1;
+    emit t (Pte_integrity_failure { addr });
+    { line = None; integrity = Failed; extra_latency = mac_latency; raw_line = line }
+  end
+  end
+
+let read_data_baseline t ~addr line =
+  let module L = (val layout t : Layout.S) in
+  let mac_latency = t.config.Config.mac_latency_cycles in
+  t.stats.mac_computations <- t.stats.mac_computations + 1;
+  let computed = compute_mac t ~addr line in
+  let stored = L.extract_mac line in
+  if embedded_matches ~stored ~computed then begin
+    t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+    { line = Some (strip t line); integrity = Data_protected;
+      extra_latency = mac_latency; raw_line = line }
+  end
+  else
+    { line = Some (Ptg_pte.Line.copy line); integrity = Data_passthrough;
+      extra_latency = mac_latency; raw_line = line }
+
+let read_data_optimized t ~addr line =
+  let mac_latency = t.config.Config.mac_latency_cycles in
+  if not (identifier_present t line) then
+    (* No identifier, no embedded MAC: forward with zero added latency —
+       the optimization that flattens Figure 7. *)
+    { line = Some (Ptg_pte.Line.copy line); integrity = Data_passthrough;
+      extra_latency = 0; raw_line = line }
+  else begin
+    let module L = (val layout t : Layout.S) in
+    let stored = L.extract_mac line in
+    let rest_is_zero = Ptg_pte.Line.is_zero (strip t line) in
+    if rest_is_zero && embedded_matches ~stored ~computed:t.mac_zero then begin
+      (* MAC-zero shortcut: comparison against the on-chip constant only. *)
+      t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+      { line = Some (strip t line); integrity = Data_protected;
+        extra_latency = 0; raw_line = line }
+    end
+    else begin
+      t.stats.mac_computations <- t.stats.mac_computations + 1;
+      let computed = compute_mac t ~addr line in
+      if embedded_matches ~stored ~computed then begin
+        t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+        { line = Some (strip t line); integrity = Data_protected;
+          extra_latency = mac_latency; raw_line = line }
+      end
+      else
+        { line = Some (Ptg_pte.Line.copy line); integrity = Data_passthrough;
+          extra_latency = mac_latency; raw_line = line }
+    end
+  end
+
+let process_read t ~addr ~is_pte line =
+  t.stats.reads_total <- t.stats.reads_total + 1;
+  if is_pte then begin
+    t.stats.reads_pte <- t.stats.reads_pte + 1;
+    (* Page-table walks are always verified, CTB or not: a PTE line can
+       never legitimately be a tracked collision because the kernel's
+       protected write evicts any stale CTB entry. *)
+    read_pte t ~addr line
+  end
+  else if Ctb.mem t.ctb addr then
+    { line = Some (Ptg_pte.Line.copy line); integrity = Data_passthrough;
+      extra_latency = 0; raw_line = line }
+  else
+    match t.config.Config.design with
+    | Config.Baseline -> read_data_baseline t ~addr line
+    | Config.Optimized -> read_data_optimized t ~addr line
+
+let rekey t ~rng ~iter_lines =
+  let old = { t with stats = fresh_stats (); listeners = [] } in
+  t.key <- Qarma.key_of_rng ~rounds:t.config.Config.qarma_rounds rng;
+  t.mac_zero <- Mac.truncate ~width:t.config.Config.mac_bits (Mac.compute_zero t.key);
+  Ctb.clear t.ctb;
+  let count = ref 0 in
+  iter_lines (fun ~addr line ->
+      incr count;
+      (* Recover the pre-DRAM view under the old key, then re-embed. *)
+      let logical =
+        let id_ok =
+          match old.config.Config.design with
+          | Config.Baseline -> true
+          | Config.Optimized -> identifier_present old line
+        in
+        let module L = (val layout old : Layout.S) in
+        if
+          id_ok
+          && embedded_matches ~stored:(L.extract_mac line)
+               ~computed:(compute_mac old ~addr line)
+        then strip old line
+        else Ptg_pte.Line.copy line
+      in
+      process_write t ~addr logical);
+  t.stats.rekeys <- t.stats.rekeys + 1;
+  emit t (Rekey_completed { writes = !count })
+
+let pte_bounds_check t line =
+  let module L = (val layout t : Layout.S) in
+  Array.exists L.pfn_out_of_bounds line

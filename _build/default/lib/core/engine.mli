@@ -1,0 +1,103 @@
+(** The PT-Guard integrity engine, as implemented in the memory controller
+    (paper Figure 5).
+
+    The engine sits on the DRAM side of the controller:
+
+    - {b writes} ({!process_write}): if the line matches the PTE bit
+      pattern, the MAC (and, in the Optimized design, the identifier) is
+      embedded before the line goes to DRAM. Lines whose existing data
+      equals the would-be MAC are recorded in the CTB.
+    - {b reads} ({!process_read}): page-table walks ([is_pte = true])
+      always verify the MAC; a mismatch triggers best-effort correction
+      and, failing that, a PTE-integrity exception (the line is {e not}
+      forwarded). Regular reads have the MAC stripped when it verifies,
+      are forwarded untouched otherwise, and — in the Optimized design —
+      skip MAC computation entirely unless the identifier is present.
+
+    The engine is purely functional with respect to DRAM: callers hand it
+    lines on their way in/out of memory. It never sees cache hits, matching
+    the hardware placement. *)
+
+type os_event =
+  | Pte_integrity_failure of { addr : int64 }
+      (** Raised to the OS via the PTECheckFailed path. *)
+  | Collision_detected of { addr : int64 }
+      (** A colliding line was inserted into the CTB (attack indicator). *)
+  | Ctb_overflow
+      (** CTB full: the engine re-keys; the OS should suspect an attack. *)
+  | Rekey_completed of { writes : int }
+
+type stats = {
+  mutable writes_total : int;
+  mutable writes_protected : int;   (** MAC embedded *)
+  mutable writes_mac_zero : int;    (** embedded via the precomputed MAC-zero *)
+  mutable collisions_tracked : int;
+  mutable reads_total : int;
+  mutable reads_pte : int;
+  mutable mac_computations : int;   (** reads that paid the MAC latency *)
+  mutable macs_stripped : int;      (** protected lines cleaned before forwarding *)
+  mutable integrity_failures : int;
+  mutable corrections_attempted : int;
+  mutable corrections_succeeded : int;
+  mutable rekeys : int;
+}
+
+type integrity =
+  | Passed
+      (** PTE read whose MAC verified (line forwarded, MAC stripped). *)
+  | Corrected of { step : Correction.step; guesses : int }
+  | Failed
+      (** Unrecoverable PTE tampering: exception, line not forwarded. *)
+  | Data_protected
+      (** Regular read of a line carrying a verified MAC (stripped). *)
+  | Data_passthrough
+      (** Regular read forwarded untouched (no MAC / mismatch / CTB hit). *)
+
+type read_result = {
+  line : Ptg_pte.Line.t option;
+      (** What the controller forwards to the caches; [None] on [Failed]. *)
+  integrity : integrity;
+  extra_latency : int;
+      (** Cycles added by this read: the MAC latency when a computation
+          was needed, plus correction guesses when correction ran. *)
+  raw_line : Ptg_pte.Line.t;
+      (** The line as stored in DRAM (what the OS would see on a direct
+          read; used for the Section IV-E PFN bounds check). *)
+}
+
+type t
+
+val create : ?config:Config.t -> rng:Ptg_util.Rng.t -> unit -> t
+(** Draws the QARMA key and (Optimized) the 56-bit identifier from [rng].
+    Default config: {!Config.baseline}. *)
+
+val config : t -> Config.t
+val stats : t -> stats
+val key : t -> Ptg_crypto.Qarma.key
+val identifier : t -> int64
+(** The current identifier (0 under [Baseline]). *)
+
+val on_os_event : t -> (os_event -> unit) -> unit
+
+val process_write : t -> addr:int64 -> Ptg_pte.Line.t -> Ptg_pte.Line.t
+(** The line as it should be stored in DRAM (MAC/identifier embedded when
+    the pattern matches). Also performs collision detection. *)
+
+val process_read : t -> addr:int64 -> is_pte:bool -> Ptg_pte.Line.t -> read_result
+(** [line] is the line as read from DRAM (possibly corrupted). *)
+
+val ctb : t -> Ctb.t
+
+val rekey :
+  t ->
+  rng:Ptg_util.Rng.t ->
+  iter_lines:((addr:int64 -> Ptg_pte.Line.t -> Ptg_pte.Line.t) -> unit) ->
+  unit
+(** Gradual re-keying (Section VII-B): draws a fresh key, then
+    [iter_lines] must present every stored line for re-processing — the
+    engine verifies/strips under the old key and re-embeds under the new
+    one. The CTB is cleared. *)
+
+val pte_bounds_check : t -> Ptg_pte.Line.t -> bool
+(** Section IV-E: would the OS's PFN bounds check flag this stored PTE
+    line (a PFN beyond physical memory, i.e. an embedded MAC)? *)

@@ -1,0 +1,92 @@
+module type S = sig
+  val name : string
+  val phys_addr_bits : int
+  val protected_mask : int64
+  val mac_field_mask : int64
+  val identifier_field_mask : int64
+  val identifier_bits : int
+  val matches_basic_pattern : Ptg_pte.Line.t -> bool
+  val matches_extended_pattern : Ptg_pte.Line.t -> bool
+  val embed_mac : Ptg_pte.Line.t -> Ptg_crypto.Mac.t -> Ptg_pte.Line.t
+  val extract_mac : Ptg_pte.Line.t -> Ptg_crypto.Mac.t
+  val strip_mac : Ptg_pte.Line.t -> Ptg_pte.Line.t
+  val masked_for_mac : Ptg_pte.Line.t -> Ptg_pte.Line.t
+  val embed_identifier : Ptg_pte.Line.t -> int64 -> Ptg_pte.Line.t
+  val extract_identifier : Ptg_pte.Line.t -> int64
+  val strip_identifier : Ptg_pte.Line.t -> Ptg_pte.Line.t
+  val pfn : int64 -> int64
+  val set_pfn : int64 -> int64 -> int64
+  val pfn_word_bits : int * int
+  val flag_bits : int list
+  val pfn_out_of_bounds : int64 -> bool
+end
+
+let bits_of_mask mask =
+  List.filter (fun b -> Ptg_util.Bits.get mask b) (List.init 64 Fun.id)
+
+let x86 ?(phys_addr_bits = 40) () : (module S) =
+  let cfg = Ptg_pte.Protection.make ~phys_addr_bits in
+  let module L = struct
+    let name = "x86_64"
+    let phys_addr_bits = phys_addr_bits
+    let protected_mask = Ptg_pte.Protection.protected_mask cfg
+    let mac_field_mask = Ptg_pte.Protection.mac_field_mask
+    let identifier_field_mask = Ptg_pte.Protection.identifier_field_mask
+    let identifier_bits = 56
+    let matches_basic_pattern = Ptg_pte.Protection.matches_basic_pattern cfg
+    let matches_extended_pattern = Ptg_pte.Protection.matches_extended_pattern cfg
+    let embed_mac = Ptg_pte.Protection.embed_mac
+    let extract_mac = Ptg_pte.Protection.extract_mac
+    let strip_mac = Ptg_pte.Protection.strip_mac
+    let masked_for_mac = Ptg_pte.Protection.masked_for_mac cfg
+    let embed_identifier = Ptg_pte.Protection.embed_identifier
+    let extract_identifier = Ptg_pte.Protection.extract_identifier
+    let strip_identifier = Ptg_pte.Protection.strip_identifier
+    let pfn = Ptg_pte.X86.pfn
+    let set_pfn = Ptg_pte.X86.set_pfn
+    let pfn_word_bits = (12, phys_addr_bits - 1)
+
+    let flag_bits =
+      let lo, hi = pfn_word_bits in
+      List.filter (fun b -> not (b >= lo && b <= hi)) (bits_of_mask protected_mask)
+
+    let pfn_out_of_bounds = Ptg_pte.Protection.pfn_out_of_bounds cfg
+  end in
+  (module L)
+
+let armv8 ?(phys_addr_bits = 40) () : (module S) =
+  let cfg = Ptg_pte.Protection_armv8.make ~phys_addr_bits in
+  let module L = struct
+    let name = "armv8"
+    let phys_addr_bits = phys_addr_bits
+    let protected_mask = Ptg_pte.Protection_armv8.protected_mask cfg
+    let mac_field_mask = Ptg_pte.Protection_armv8.mac_field_mask
+    let identifier_field_mask = Ptg_pte.Protection_armv8.identifier_field_mask
+    let identifier_bits = 32
+    let matches_basic_pattern = Ptg_pte.Protection_armv8.matches_basic_pattern cfg
+    let matches_extended_pattern = Ptg_pte.Protection_armv8.matches_extended_pattern cfg
+    let embed_mac = Ptg_pte.Protection_armv8.embed_mac
+    let extract_mac = Ptg_pte.Protection_armv8.extract_mac
+    let strip_mac = Ptg_pte.Protection_armv8.strip_mac
+    let masked_for_mac = Ptg_pte.Protection_armv8.masked_for_mac cfg
+    let embed_identifier = Ptg_pte.Protection_armv8.embed_identifier
+    let extract_identifier = Ptg_pte.Protection_armv8.extract_identifier
+    let strip_identifier = Ptg_pte.Protection_armv8.strip_identifier
+    let pfn = Ptg_pte.Armv8.pfn
+    let set_pfn = Ptg_pte.Armv8.set_pfn
+
+    (* In-use PFN bits are contiguous word bits 12..M-1 on ARM too (the
+       split PFN[39:38] portion at 9:8 is zero below 1 TB). *)
+    let pfn_word_bits = (12, phys_addr_bits - 1)
+
+    let flag_bits =
+      let lo, hi = pfn_word_bits in
+      List.filter (fun b -> not (b >= lo && b <= hi)) (bits_of_mask protected_mask)
+
+    let pfn_out_of_bounds entry =
+      let max_pfn = Int64.shift_left 1L (phys_addr_bits - 12) in
+      Int64.unsigned_compare (Ptg_pte.Armv8.pfn entry) max_pfn >= 0
+  end in
+  (module L)
+
+let default = x86 ()

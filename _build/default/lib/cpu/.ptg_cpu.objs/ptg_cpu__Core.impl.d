@@ -1,0 +1,1 @@
+lib/cpu/core.ml: Cache Guard_timing Int64 List Ptg_dram Ptg_pte Tlb

@@ -1,0 +1,1 @@
+lib/cpu/core.mli: Cache Guard_timing Ptg_dram

@@ -1,0 +1,1 @@
+lib/cpu/guard_timing.ml: Ptg_util Ptguard

@@ -1,0 +1,1 @@
+lib/cpu/guard_timing.mli: Ptg_util Ptguard

@@ -1,0 +1,1 @@
+lib/cpu/multicore.ml: Array Cache Core Guard_timing Int64 Ptg_dram Tlb

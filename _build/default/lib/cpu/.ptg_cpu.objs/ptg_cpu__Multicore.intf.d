@@ -1,0 +1,1 @@
+lib/cpu/multicore.mli: Cache Core Guard_timing

@@ -1,0 +1,98 @@
+type config = { size_bytes : int; assoc : int; line_bytes : int; latency : int }
+
+let l1d_32k = { size_bytes = 32 * 1024; assoc = 8; line_bytes = 64; latency = 4 }
+let l2_256k = { size_bytes = 256 * 1024; assoc = 16; line_bytes = 64; latency = 12 }
+let l3_2m = { size_bytes = 2 * 1024 * 1024; assoc = 16; line_bytes = 64; latency = 38 }
+let l3_1m = { size_bytes = 1024 * 1024; assoc = 16; line_bytes = 64; latency = 38 }
+let mmu_8k = { size_bytes = 8 * 1024; assoc = 4; line_bytes = 8; latency = 1 }
+
+type way = { mutable tag : int64; mutable valid : bool; mutable dirty : bool; mutable lru : int }
+
+type t = {
+  cfg : config;
+  sets : way array array;
+  set_count : int;
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create cfg =
+  if cfg.size_bytes mod (cfg.assoc * cfg.line_bytes) <> 0 then
+    invalid_arg "Cache.create: geometry does not divide";
+  let set_count = cfg.size_bytes / (cfg.assoc * cfg.line_bytes) in
+  {
+    cfg;
+    sets =
+      Array.init set_count (fun _ ->
+          Array.init cfg.assoc (fun _ ->
+              { tag = 0L; valid = false; dirty = false; lru = 0 }));
+    set_count;
+    tick = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let config t = t.cfg
+
+let locate t addr =
+  let line = Int64.div addr (Int64.of_int t.cfg.line_bytes) in
+  let set = Int64.to_int (Int64.rem line (Int64.of_int t.set_count)) in
+  let tag = Int64.div line (Int64.of_int t.set_count) in
+  (t.sets.(set), tag)
+
+type result = Hit | Miss of { writeback : int64 option }
+
+let line_addr_of t ~set_idx ~tag =
+  let line = Int64.add (Int64.mul tag (Int64.of_int t.set_count)) (Int64.of_int set_idx) in
+  Int64.mul line (Int64.of_int t.cfg.line_bytes)
+
+let access t ~addr ~is_write =
+  t.tick <- t.tick + 1;
+  t.accesses <- t.accesses + 1;
+  let set, tag = locate t addr in
+  let set_idx =
+    Int64.to_int
+      (Int64.rem (Int64.div addr (Int64.of_int t.cfg.line_bytes)) (Int64.of_int t.set_count))
+  in
+  match Array.find_opt (fun w -> w.valid && Int64.equal w.tag tag) set with
+  | Some w ->
+      w.lru <- t.tick;
+      if is_write then w.dirty <- true;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Victim: invalid way if any, else true-LRU. *)
+      let victim =
+        match Array.find_opt (fun w -> not w.valid) set with
+        | Some w -> w
+        | None -> Array.fold_left (fun acc w -> if w.lru < acc.lru then w else acc) set.(0) set
+      in
+      let writeback =
+        if victim.valid && victim.dirty then
+          Some (line_addr_of t ~set_idx ~tag:victim.tag)
+        else None
+      in
+      victim.tag <- tag;
+      victim.valid <- true;
+      victim.dirty <- is_write;
+      victim.lru <- t.tick;
+      Miss { writeback }
+
+let probe t ~addr =
+  let set, tag = locate t addr in
+  Array.exists (fun w -> w.valid && Int64.equal w.tag tag) set
+
+let invalidate t ~addr =
+  let set, tag = locate t addr in
+  Array.iter (fun w -> if w.valid && Int64.equal w.tag tag then w.valid <- false) set
+
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0 else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0

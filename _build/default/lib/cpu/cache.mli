@@ -1,0 +1,51 @@
+(** Set-associative cache timing model (tags only, true-LRU).
+
+    Data never lives here — functional data stays in the DRAM model; the
+    caches only decide hit/miss/writeback so the timing simulation knows
+    which accesses reach the memory controller (where PT-Guard acts). *)
+
+type config = {
+  size_bytes : int;
+  assoc : int;
+  line_bytes : int;     (** 64 throughout *)
+  latency : int;        (** access latency in cycles *)
+}
+
+val l1d_32k : config
+(** 32 KB, 8-way, 4 cycles (Table III). *)
+
+val l2_256k : config
+(** 256 KB, 16-way, 12 cycles. *)
+
+val l3_2m : config
+(** 2 MB, 16-way, 38 cycles. *)
+
+val l3_1m : config
+(** 1 MB/core multicore slice (Section VII-C). *)
+
+val mmu_8k : config
+(** 8 KB 4-way MMU (page-walk) cache. *)
+
+type t
+
+type result =
+  | Hit
+  | Miss of { writeback : int64 option }
+      (** [writeback] is the dirty victim's line address, if any. *)
+
+val create : config -> t
+val config : t -> config
+
+val access : t -> addr:int64 -> is_write:bool -> result
+(** Look up the line containing [addr]; on miss the line is installed
+    (allocate-on-miss for reads and writes alike). *)
+
+val probe : t -> addr:int64 -> bool
+(** Non-intrusive lookup (no LRU update, no fill). *)
+
+val invalidate : t -> addr:int64 -> unit
+
+val accesses : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit

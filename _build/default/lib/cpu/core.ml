@@ -1,0 +1,172 @@
+type op = Nonmem | Load of int64 | Store of int64
+
+type config = {
+  l1 : Cache.config;
+  l2 : Cache.config;
+  l3 : Cache.config;
+  tlb_entries : int;
+  mmu_cache : Cache.config;
+  llc_miss_overhead : int;
+  page_shift : int;
+  data_region_bytes : int64;
+}
+
+let default_config =
+  {
+    l1 = Cache.l1d_32k;
+    l2 = Cache.l2_256k;
+    l3 = Cache.l3_2m;
+    tlb_entries = 64;
+    mmu_cache = Cache.mmu_8k;
+    llc_miss_overhead = 30;
+    page_shift = 12;
+    data_region_bytes = Int64.mul 3L (Int64.mul 1024L (Int64.mul 1024L 1024L));
+  }
+
+type result = {
+  instrs : int;
+  cycles : int;
+  ipc : float;
+  llc_mpki : float;
+  dram_reads : int;
+  pte_dram_reads : int;
+  walks : int;
+  tlb_miss_rate : float;
+  guard_mac_computations : int;
+}
+
+type t = {
+  cfg : config;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  tlb : Tlb.t;
+  mmu : Cache.t;
+  dram : Ptg_dram.Dram.t;
+  guard : Guard_timing.t;
+  mutable now : int;
+  mutable dram_reads : int;
+  mutable pte_dram_reads : int;
+  mutable walks : int;
+  mutable walk_listeners : (vpn:int64 -> leaf_line_addr:int64 -> unit) list;
+}
+
+let create ?(config = default_config) ?geometry ?timing ~guard () =
+  {
+    cfg = config;
+    l1 = Cache.create config.l1;
+    l2 = Cache.create config.l2;
+    l3 = Cache.create config.l3;
+    tlb = Tlb.create ~entries:config.tlb_entries ();
+    mmu = Cache.create config.mmu_cache;
+    dram = Ptg_dram.Dram.create ?geometry ?timing ();
+    guard;
+    now = 0;
+    dram_reads = 0;
+    pte_dram_reads = 0;
+    walks = 0;
+    walk_listeners = [];
+  }
+
+(* Synthetic page-table layout: four physically-contiguous regions above
+   the data fold. Each level's entry for a vpn sits at base + index * 8,
+   which gives walks the same spatial locality real radix tables have
+   (adjacent pages share leaf-PTE cachelines). *)
+let leaf_pte_addr t vpn = Int64.add t.cfg.data_region_bytes (Int64.mul vpn 8L)
+
+let upper_entry_addr t ~level vpn =
+  (* level 1 = PD, 2 = PDPT, 3 = PML4. *)
+  let index = Int64.shift_right_logical vpn (9 * level) in
+  let base =
+    Int64.add t.cfg.data_region_bytes
+      (Int64.of_int (512 * 1024 * 1024 * level))
+  in
+  Int64.add base (Int64.mul index 8L)
+
+(* A read or write climbing the hierarchy; returns the stall in cycles.
+   L1 hits are fully pipelined (no stall); hardware-walker accesses skip
+   L1 as real walkers do. *)
+let mem_access t ~paddr ~is_write ~is_pte ~through_l1 =
+  let l1_result =
+    if through_l1 then Cache.access t.l1 ~addr:paddr ~is_write else Cache.Miss { writeback = None }
+  in
+  match l1_result with
+  | Cache.Hit -> 0
+  | Cache.Miss _ -> (
+      match Cache.access t.l2 ~addr:paddr ~is_write:false with
+      | Cache.Hit -> (Cache.config t.l2).Cache.latency
+      | Cache.Miss _ -> (
+          let l2_lat = (Cache.config t.l2).Cache.latency in
+          match Cache.access t.l3 ~addr:paddr ~is_write:false with
+          | Cache.Hit -> l2_lat + (Cache.config t.l3).Cache.latency
+          | Cache.Miss _ ->
+              let l3_lat = (Cache.config t.l3).Cache.latency in
+              let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr:paddr ~is_write:false in
+              let guard_extra = Guard_timing.read_penalty t.guard ~is_pte in
+              if is_pte then t.pte_dram_reads <- t.pte_dram_reads + 1
+              else t.dram_reads <- t.dram_reads + 1;
+              l2_lat + l3_lat + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency
+              + guard_extra))
+
+(* Page-table walk: three upper levels through the MMU cache, leaf PTE
+   through the cache hierarchy (walker port: no L1). *)
+let on_walk t f = t.walk_listeners <- f :: t.walk_listeners
+
+let walk t vpn =
+  t.walks <- t.walks + 1;
+  List.iter
+    (fun f ->
+      f ~vpn ~leaf_line_addr:(Ptg_pte.Line.line_addr (leaf_pte_addr t vpn)))
+    t.walk_listeners;
+  let stall = ref 0 in
+  for level = 3 downto 1 do
+    let addr = upper_entry_addr t ~level vpn in
+    match Cache.access t.mmu ~addr ~is_write:false with
+    | Cache.Hit -> stall := !stall + 1
+    | Cache.Miss _ ->
+        stall := !stall + mem_access t ~paddr:addr ~is_write:false ~is_pte:true ~through_l1:false
+  done;
+  let leaf = leaf_pte_addr t vpn in
+  stall := !stall + mem_access t ~paddr:leaf ~is_write:false ~is_pte:true ~through_l1:false;
+  Tlb.fill t.tlb ~vpn;
+  !stall
+
+let translate t vaddr =
+  (* Fold virtual data addresses into the physical data region, keeping
+     page and line locality. *)
+  let a = Int64.rem vaddr t.cfg.data_region_bytes in
+  if Int64.compare a 0L < 0 then Int64.add a t.cfg.data_region_bytes else a
+
+let run t ~instrs ~stream =
+  let start_cycles = t.now in
+  let start_dram = t.dram_reads and start_pte = t.pte_dram_reads in
+  let start_walks = t.walks in
+  let start_mac = Guard_timing.mac_computations t.guard in
+  Tlb.reset_stats t.tlb;
+  for _ = 1 to instrs do
+    t.now <- t.now + 1;
+    match stream () with
+    | Nonmem -> ()
+    | Load vaddr | Store vaddr as op ->
+        let is_write = match op with Store _ -> true | Load _ | Nonmem -> false in
+        let paddr = translate t vaddr in
+        let vpn = Int64.shift_right_logical paddr t.cfg.page_shift in
+        let stall = ref 0 in
+        if not (Tlb.lookup t.tlb ~vpn) then stall := !stall + walk t vpn;
+        stall := !stall + mem_access t ~paddr ~is_write ~is_pte:false ~through_l1:true;
+        t.now <- t.now + !stall
+  done;
+  let cycles = t.now - start_cycles in
+  let dram_reads = t.dram_reads - start_dram in
+  let pte_dram_reads = t.pte_dram_reads - start_pte in
+  {
+    instrs;
+    cycles;
+    ipc = float_of_int instrs /. float_of_int (max 1 cycles);
+    llc_mpki = 1000.0 *. float_of_int dram_reads /. float_of_int instrs;
+    dram_reads;
+    pte_dram_reads;
+    walks = t.walks - start_walks;
+    tlb_miss_rate = Tlb.miss_rate t.tlb;
+    guard_mac_computations = Guard_timing.mac_computations t.guard - start_mac;
+  }

@@ -1,0 +1,72 @@
+(** In-order single-core timing model (paper Table III).
+
+    One instruction issues per cycle; loads and stores block on the memory
+    hierarchy: L1D -> L2 -> L3 -> DRAM, with a hardware page-table walker
+    fed by a 64-entry TLB and an 8 KB MMU (page-walk) cache. PT-Guard's
+    delay is charged by a {!Guard_timing.t} on every read that reaches
+    DRAM, tagged with the walk/data distinction the paper's isPTE wire
+    carries (Figure 5).
+
+    The paper's own analysis (Section IV-H) reduces slowdown to "extra MAC
+    cycles per DRAM read x DRAM reads per instruction / baseline CPI";
+    this model reproduces exactly those terms — L1 hits are pipelined
+    (free), deeper hits and DRAM accesses stall. Page tables live in a
+    synthetic physical region so leaf-PTE lines contend for L2/L3 space
+    like real walks do. *)
+
+type op =
+  | Nonmem
+  | Load of int64   (** virtual address *)
+  | Store of int64
+
+type config = {
+  l1 : Cache.config;
+  l2 : Cache.config;
+  l3 : Cache.config;
+  tlb_entries : int;
+  mmu_cache : Cache.config;
+  llc_miss_overhead : int;
+      (** fixed request-path cycles added to every DRAM access (queues,
+          on-chip network); calibrated against Figure 6's slowdowns *)
+  page_shift : int;
+      (** 12 for 4 KB pages (the paper's default); 21 models transparent
+          2 MB huge pages — each TLB entry and leaf PTE then covers 512x
+          more memory, shrinking walk traffic (Section III's remark) *)
+  data_region_bytes : int64;
+      (** virtual data addresses are folded into [0, data_region);
+          page tables live above it *)
+}
+
+val default_config : config
+
+type result = {
+  instrs : int;
+  cycles : int;
+  ipc : float;
+  llc_mpki : float;        (** demand data misses per kilo-instruction *)
+  dram_reads : int;        (** data reads reaching DRAM *)
+  pte_dram_reads : int;    (** walk reads reaching DRAM *)
+  walks : int;             (** page-table walks performed *)
+  tlb_miss_rate : float;
+  guard_mac_computations : int;
+}
+
+type t
+
+val create :
+  ?config:config ->
+  ?geometry:Ptg_dram.Geometry.t ->
+  ?timing:Ptg_dram.Timing.t ->
+  guard:Guard_timing.t ->
+  unit ->
+  t
+
+val run : t -> instrs:int -> stream:(unit -> op) -> result
+(** Execute [instrs] instructions drawn from [stream]. Can be called
+    repeatedly (warm caches); statistics are per-call. *)
+
+val on_walk : t -> (vpn:int64 -> leaf_line_addr:int64 -> unit) -> unit
+(** Observer invoked on every page-table walk with the virtual page and
+    the physical line address of the leaf PTE cacheline the walker read —
+    the paper's "execution traces of Page Table Walks accessing [the]
+    memory controller" (Section VI-F). *)

@@ -1,0 +1,56 @@
+type entry = { mutable vpn : int64; mutable valid : bool; mutable lru : int }
+
+type t = {
+  entries : entry array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 64) () =
+  if entries < 1 then invalid_arg "Tlb.create";
+  {
+    entries = Array.init entries (fun _ -> { vpn = 0L; valid = false; lru = 0 });
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let lookup t ~vpn =
+  t.tick <- t.tick + 1;
+  match Array.find_opt (fun e -> e.valid && Int64.equal e.vpn vpn) t.entries with
+  | Some e ->
+      e.lru <- t.tick;
+      t.hits <- t.hits + 1;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      false
+
+let fill t ~vpn =
+  t.tick <- t.tick + 1;
+  if not (Array.exists (fun e -> e.valid && Int64.equal e.vpn vpn) t.entries) then begin
+    let victim =
+      match Array.find_opt (fun e -> not e.valid) t.entries with
+      | Some e -> e
+      | None ->
+          Array.fold_left
+            (fun acc e -> if e.lru < acc.lru then e else acc)
+            t.entries.(0) t.entries
+    in
+    victim.vpn <- vpn;
+    victim.valid <- true;
+    victim.lru <- t.tick
+  end
+
+let flush t = Array.iter (fun e -> e.valid <- false) t.entries
+let hits t = t.hits
+let misses t = t.misses
+
+let miss_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

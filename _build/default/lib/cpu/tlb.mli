@@ -1,0 +1,18 @@
+(** Fully-associative translation lookaside buffer (Table III: 64 entries),
+    true-LRU, keyed by virtual page number. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** Default 64 entries. *)
+
+val lookup : t -> vpn:int64 -> bool
+(** True on hit (updates LRU). A miss does {e not} install — call
+    {!fill} after the walk completes. *)
+
+val fill : t -> vpn:int64 -> unit
+val flush : t -> unit
+val hits : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/crypto/block128.ml: Array Format Int64 Ptg_util

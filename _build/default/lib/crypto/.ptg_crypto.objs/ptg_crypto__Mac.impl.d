@@ -1,0 +1,1 @@
+lib/crypto/mac.ml: Array Block128 Format Int64 Ptg_util Qarma

@@ -1,0 +1,1 @@
+lib/crypto/qarma.ml: Array Block128 Ptg_util

@@ -1,0 +1,1 @@
+lib/crypto/qarma.mli: Block128 Ptg_util

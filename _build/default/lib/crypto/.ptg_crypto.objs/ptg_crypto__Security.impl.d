@@ -1,0 +1,1 @@
+lib/crypto/security.ml: Binomial Float Format Ptg_util

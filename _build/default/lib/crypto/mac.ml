@@ -1,0 +1,87 @@
+type t = { hi32 : int64; lo : int64 }
+
+let zero = { hi32 = 0L; lo = 0L }
+let equal a b = Int64.equal a.hi32 b.hi32 && Int64.equal a.lo b.lo
+let is_well_formed m = Int64.logand m.hi32 0xFFFFFFFF00000000L = 0L
+
+let hamming a b =
+  Ptg_util.Bits.hamming a.hi32 b.hi32 + Ptg_util.Bits.hamming a.lo b.lo
+
+let soft_match ~k a b =
+  if k < 0 then invalid_arg "Mac.soft_match: negative k";
+  hamming a b <= k
+
+let chunk line i =
+  Block128.make ~hi:line.((2 * i) + 1) ~lo:line.(2 * i)
+
+(* A_i binds the MAC to both the line's physical address and the chunk's
+   position within the line. *)
+let addr_block ~addr i = Block128.make ~hi:(Int64.of_int i) ~lo:addr
+
+let fold key ~addr line =
+  if Array.length line <> 8 then invalid_arg "Mac.compute: line must be 8 words";
+  let acc = ref Block128.zero in
+  for i = 0 to 3 do
+    let a = addr_block ~addr i in
+    let q = Qarma.encrypt key ~tweak:a (Block128.logxor (chunk line i) a) in
+    acc := Block128.logxor !acc q
+  done;
+  !acc
+
+let of_block (x : Block128.t) =
+  { hi32 = Int64.logand x.Block128.hi 0xFFFFFFFFL; lo = x.Block128.lo }
+
+let compute key ~addr line = of_block (fold key ~addr line)
+
+let compute_zero key = compute key ~addr:0L (Array.make 8 0L)
+
+let truncate ~width m =
+  if width < 1 || width > 96 then invalid_arg "Mac.truncate: width";
+  if width >= 96 then m
+  else if width > 64 then
+    { m with hi32 = Int64.logand m.hi32 (Ptg_util.Bits.mask (width - 64)) }
+  else { hi32 = 0L; lo = Int64.logand m.lo (Ptg_util.Bits.mask width) }
+
+let split12 m =
+  Array.init 8 (fun i ->
+      let lo_bit = i * 12 in
+      let piece =
+        if lo_bit + 12 <= 64 then
+          Ptg_util.Bits.extract m.lo ~lo:lo_bit ~hi:(lo_bit + 11)
+        else if lo_bit >= 64 then
+          Ptg_util.Bits.extract m.hi32 ~lo:(lo_bit - 64) ~hi:(lo_bit - 64 + 11)
+        else begin
+          (* Slice straddling the 64-bit boundary (slice 5: bits 60..71). *)
+          let low_part = Ptg_util.Bits.extract m.lo ~lo:lo_bit ~hi:63 in
+          let nlow = 64 - lo_bit in
+          let high_part = Ptg_util.Bits.extract m.hi32 ~lo:0 ~hi:(11 - nlow) in
+          Int64.logor low_part (Int64.shift_left high_part nlow)
+        end
+      in
+      Int64.to_int piece)
+
+let join12 pieces =
+  if Array.length pieces <> 8 then invalid_arg "Mac.join12: need 8 pieces";
+  let lo = ref 0L and hi32 = ref 0L in
+  Array.iteri
+    (fun i p ->
+      if p < 0 || p > 0xfff then invalid_arg "Mac.join12: piece out of range";
+      let v = Int64.of_int p in
+      let lo_bit = i * 12 in
+      if lo_bit + 12 <= 64 then lo := Int64.logor !lo (Int64.shift_left v lo_bit)
+      else if lo_bit >= 64 then
+        hi32 := Int64.logor !hi32 (Int64.shift_left v (lo_bit - 64))
+      else begin
+        let nlow = 64 - lo_bit in
+        lo := Int64.logor !lo (Int64.shift_left v lo_bit);
+        hi32 := Int64.logor !hi32 (Int64.shift_right_logical v nlow)
+      end)
+    pieces;
+  { hi32 = Int64.logand !hi32 0xFFFFFFFFL; lo = !lo }
+
+let flip_bit m i =
+  if i < 0 || i > 95 then invalid_arg "Mac.flip_bit: bit index";
+  if i < 64 then { m with lo = Ptg_util.Bits.flip m.lo i }
+  else { m with hi32 = Ptg_util.Bits.flip m.hi32 (i - 64) }
+
+let pp fmt m = Format.fprintf fmt "0x%08Lx%016Lx" m.hi32 m.lo

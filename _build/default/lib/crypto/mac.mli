@@ -1,0 +1,52 @@
+(** The PT-Guard MAC over a 64-byte PTE cacheline (paper Section IV-F).
+
+    The cacheline (eight 64-bit words, unprotected bits zeroed by the
+    caller) is split into four 16-byte chunks [C_i]; each chunk is
+    enciphered as [Q(C_i xor A_i)] where [A_i] encodes the line's physical
+    address and the chunk index, and the four outputs are XOR-folded. The
+    upper 32 bits are dropped, leaving the 96-bit MAC that fits the pooled
+    unused-PFN bits (12 bits in each of the 8 PTEs). *)
+
+type t = { hi32 : int64; lo : int64 }
+(** A 96-bit MAC: [hi32] holds bits 64..95 (top 32 bits are always zero),
+    [lo] holds bits 0..63. *)
+
+val equal : t -> t -> bool
+val zero : t
+
+val is_well_formed : t -> bool
+(** [hi32] fits in 32 bits. *)
+
+val hamming : t -> t -> int
+(** Hamming distance over the 96 MAC bits. *)
+
+val soft_match : k:int -> t -> t -> bool
+(** [soft_match ~k a b] is the fault-tolerant comparison of Section VI-C:
+    true when the Hamming distance is at most [k]. [soft_match ~k:0] is
+    exact equality. *)
+
+val compute : Qarma.key -> addr:int64 -> int64 array -> t
+(** [compute key ~addr line] is the 96-bit MAC of the 8-word [line] at
+    physical line address [addr]. The caller must already have masked the
+    line to its protected bits and zeroed the MAC field itself. *)
+
+val compute_zero : Qarma.key -> t
+(** The pre-computed MAC of the all-zero cacheline {e without} the address
+    input — the MAC-zero optimization of Section V-B. Equals
+    [compute key ~addr:0L all_zero_line]. *)
+
+val truncate : width:int -> t -> t
+(** Keep only the low [width] bits (for the 64-bit-MAC ablation of
+    Section VII-A). Requires [1 <= width <= 96]. *)
+
+val split12 : t -> int array
+(** The 8 twelve-bit slices of the MAC, slice [i] destined for PTE [i] of
+    the line (bits 51:40 of that PTE). Slice 0 holds MAC bits 0..11. *)
+
+val join12 : int array -> t
+(** Inverse of {!split12}; requires 8 values, each within 12 bits. *)
+
+val flip_bit : t -> int -> t
+(** [flip_bit m i] flips MAC bit [i] (0..95) — used by fault injection. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,289 @@
+(* QARMA-128 reflector cipher. State is 16 cells of 8 bits; see the .mli
+   for the construction outline and the DESIGN.md faithfulness note about
+   constants. All steps are individually invertible and [decrypt] replays
+   them in exact reverse, which the test suite uses as the primary
+   correctness oracle. *)
+
+(* sigma_1, the 4-bit S-box recommended in the QARMA paper. *)
+let sigma1 = [| 0xa; 0xd; 0xe; 0x6; 0xf; 0x7; 0x3; 0x5; 0x9; 0x8; 0x0; 0xc; 0xb; 0x1; 0x2; 0x4 |]
+
+(* 8-bit cell S-box: sigma_1 on each nibble, then a nibble swap so the two
+   halves of a cell diffuse into each other across rounds. *)
+let sbox =
+  Array.init 256 (fun x ->
+      let hi = sigma1.(x lsr 4) and lo = sigma1.(x land 0xf) in
+      (lo lsl 4) lor hi)
+
+let sbox_inv =
+  let inv = Array.make 256 0 in
+  Array.iteri (fun i y -> inv.(y) <- i) sbox;
+  inv
+
+(* The Midori cell shuffle used by QARMA: new.(i) = old.(tau.(i)). *)
+let tau = [| 0; 11; 6; 13; 10; 1; 12; 7; 5; 14; 3; 8; 15; 4; 9; 2 |]
+
+let tau_inv =
+  let inv = Array.make 16 0 in
+  Array.iteri (fun i j -> inv.(j) <- i) tau;
+  inv
+
+let permute p cells = Array.init 16 (fun i -> cells.(p.(i)))
+let permute_into p src dst = for i = 0 to 15 do dst.(i) <- src.(p.(i)) done
+
+(* Involutory diffusion matrix M = circ(0, rho^1, rho^4, rho^5) over 8-bit
+   cells, applied column-wise on the 4x4 state (cell index = 4*row + col).
+   Involution: c0^2 + c2^2 = rho^8 = id and c1^2 + c3^2 = rho^2+rho^10 = 0. *)
+let mix cells =
+  let out = Array.make 16 0 in
+  let rot = Ptg_util.Bits.rotl8 in
+  for col = 0 to 3 do
+    for row = 0 to 3 do
+      let c j = cells.((j * 4) + col) in
+      let v =
+        rot (c ((row + 1) land 3)) 1
+        lxor rot (c ((row + 2) land 3)) 4
+        lxor rot (c ((row + 3) land 3)) 5
+      in
+      out.((row * 4) + col) <- v
+    done
+  done;
+  out
+
+let substitute_in_place table cells =
+  for i = 0 to 15 do
+    cells.(i) <- table.(cells.(i))
+  done
+
+(* s ^= k ^ t ^ rc, fused into one pass over the 16 cells. *)
+let xor_round_key s k t rc =
+  for i = 0 to 15 do
+    s.(i) <- s.(i) lxor k.(i) lxor t.(i) lxor rc.(i)
+  done
+
+let xor2_in_place s a b =
+  for i = 0 to 15 do
+    s.(i) <- s.(i) lxor a.(i) lxor b.(i)
+  done
+
+let xor1_in_place s a =
+  for i = 0 to 15 do
+    s.(i) <- s.(i) lxor a.(i)
+  done
+
+(* Rotation lookup tables for the diffusion matrix. *)
+let rot1 = Array.init 256 (fun x -> Ptg_util.Bits.rotl8 x 1)
+let rot4 = Array.init 256 (fun x -> Ptg_util.Bits.rotl8 x 4)
+let rot5 = Array.init 256 (fun x -> Ptg_util.Bits.rotl8 x 5)
+
+let mix_into src dst =
+  for col = 0 to 3 do
+    let c0 = src.(col)
+    and c1 = src.(4 + col)
+    and c2 = src.(8 + col)
+    and c3 = src.(12 + col) in
+    dst.(col) <- rot1.(c1) lxor rot4.(c2) lxor rot5.(c3);
+    dst.(4 + col) <- rot1.(c2) lxor rot4.(c3) lxor rot5.(c0);
+    dst.(8 + col) <- rot1.(c3) lxor rot4.(c0) lxor rot5.(c1);
+    dst.(12 + col) <- rot1.(c0) lxor rot4.(c1) lxor rot5.(c2)
+  done
+
+(* Tweak schedule: cell permutation h, then an 8-bit maximal LFSR
+   (x^8 + x^4 + x^3 + x^2 + 1) on a fixed subset of cells. *)
+let h_perm = [| 6; 5; 14; 15; 0; 1; 2; 3; 7; 12; 13; 4; 8; 9; 10; 11 |]
+
+let h_perm_inv =
+  let inv = Array.make 16 0 in
+  Array.iteri (fun i j -> inv.(j) <- i) h_perm;
+  inv
+
+let lfsr_cells = [| 0; 1; 3; 4; 8; 11; 13 |]
+
+let lfsr x =
+  let fb = (x lxor (x lsr 2) lxor (x lsr 3) lxor (x lsr 4)) land 1 in
+  (x lsr 1) lor (fb lsl 7)
+
+let lfsr_inv y =
+  let b7 = (y lsr 7) land 1 in
+  let x_low = (y lsl 1) land 0xff in
+  (* b7 = b0 xor b2 xor b3 xor b4 of the pre-image; those old bits sit at
+     positions 1..7 of [x_low] except old b0, which we solve for. *)
+  let b0 = b7 lxor ((x_low lsr 2) land 1) lxor ((x_low lsr 3) land 1) lxor ((x_low lsr 4) land 1) in
+  x_low lor b0
+
+let tweak_update t =
+  let t = permute h_perm t in
+  Array.iter (fun i -> t.(i) <- lfsr t.(i)) lfsr_cells;
+  t
+
+let tweak_update_inv t =
+  let t = Array.copy t in
+  Array.iter (fun i -> t.(i) <- lfsr_inv t.(i)) lfsr_cells;
+  permute h_perm_inv t
+
+(* In-place variants driving the hot path: [src] is consumed, the updated
+   tweak lands in [dst]. *)
+let tweak_update_into src dst =
+  permute_into h_perm src dst;
+  Array.iter (fun i -> dst.(i) <- lfsr dst.(i)) lfsr_cells
+
+let tweak_update_inv_into src dst =
+  Array.iter (fun i -> src.(i) <- lfsr_inv src.(i)) lfsr_cells;
+  permute_into h_perm_inv src dst
+
+(* Nothing-up-my-sleeve round constants: the SHA-512 round constants
+   (fractional parts of cube roots of the first primes), paired into
+   128-bit words. 16 round constants plus the backward-key constant. *)
+let constant_words =
+  [|
+    0x428a2f98d728ae22L; 0x7137449123ef65cdL; 0xb5c0fbcfec4d3b2fL; 0xe9b5dba58189dbbcL;
+    0x3956c25bf348b538L; 0x59f111f1b605d019L; 0x923f82a4af194f9bL; 0xab1c5ed5da6d8118L;
+    0xd807aa98a3030242L; 0x12835b0145706fbeL; 0x243185be4ee4b28cL; 0x550c7dc3d5ffb4e2L;
+    0x72be5d74f27b896fL; 0x80deb1fe3b1696b1L; 0x9bdc06a725c71235L; 0xc19bf174cf692694L;
+    0xe49b69c19ef14ad2L; 0xefbe4786384f25e3L; 0x0fc19dc68b8cd5b5L; 0x240ca1cc77ac9c65L;
+    0x2de92c6f592b0275L; 0x4a7484aa6ea6e483L; 0x5cb0a9dcbd41fbd4L; 0x76f988da831153b5L;
+    0x983e5152ee66dfabL; 0xa831c66d2db43210L; 0xb00327c898fb213fL; 0xbf597fc7beef0ee4L;
+    0xc6e00bf33da88fc2L; 0xd5a79147930aa725L; 0x06ca6351e003826fL; 0x142929670a0e6e70L;
+  |]
+
+let max_rounds = 16
+
+let round_constant i =
+  Block128.make ~hi:constant_words.(2 * i) ~lo:constant_words.((2 * i) + 1)
+
+let alpha = Block128.make ~hi:0x27b70a8546d22ffcL ~lo:0x2e1b21385c26c926L
+
+type key = {
+  rounds : int;
+  w0 : int array;
+  w1 : int array;
+  k0 : int array;  (* forward round key *)
+  k0a : int array; (* backward round key: k0 xor alpha *)
+  k1 : int array;  (* reflector key: M(k0) *)
+  rc : int array array;
+}
+
+let default_rounds = 8
+
+let expand_key ?(rounds = default_rounds) ~w0 k0 =
+  if rounds < 1 || rounds > max_rounds then invalid_arg "Qarma.expand_key: rounds";
+  (* Orthomorphism o(w) = (w >>> 1) xor (w >> 127). *)
+  let w1 = Block128.logxor (Block128.rotr1 w0) (Block128.shift_right_127 w0) in
+  let k0_cells = Block128.to_cells k0 in
+  {
+    rounds;
+    w0 = Block128.to_cells w0;
+    w1 = Block128.to_cells w1;
+    k0 = k0_cells;
+    k0a = Block128.to_cells (Block128.logxor k0 alpha);
+    k1 = mix k0_cells;
+    rc = Array.init rounds (fun i -> Block128.to_cells (round_constant i));
+  }
+
+let key_of_rng ?rounds rng =
+  let block () =
+    Block128.make ~hi:(Ptg_util.Rng.next rng) ~lo:(Ptg_util.Rng.next rng)
+  in
+  expand_key ?rounds ~w0:(block ()) (block ())
+
+let rounds k = k.rounds
+
+let encrypt key ~tweak p =
+  let s = ref (Block128.to_cells p) in
+  let s' = ref (Array.make 16 0) in
+  let t = ref (Block128.to_cells tweak) in
+  let t' = ref (Array.make 16 0) in
+  let swap_s () = let tmp = !s in s := !s'; s' := tmp in
+  let swap_t () = let tmp = !t in t := !t'; t' := tmp in
+  xor1_in_place !s key.w0;
+  for i = 0 to key.rounds - 1 do
+    xor_round_key !s key.k0 !t key.rc.(i);
+    if i > 0 then begin
+      permute_into tau !s !s';
+      swap_s ();
+      mix_into !s !s';
+      swap_s ()
+    end;
+    substitute_in_place sbox !s;
+    tweak_update_into !t !t';
+    swap_t ()
+  done;
+  (* Center: whitening, then the keyed pseudo-reflector. *)
+  xor2_in_place !s key.w1 !t;
+  permute_into tau !s !s';
+  swap_s ();
+  mix_into !s !s';
+  swap_s ();
+  xor1_in_place !s key.k1;
+  permute_into tau_inv !s !s';
+  swap_s ();
+  (* Mirrored backward half. *)
+  for i = key.rounds - 1 downto 0 do
+    tweak_update_inv_into !t !t';
+    swap_t ();
+    substitute_in_place sbox_inv !s;
+    if i > 0 then begin
+      mix_into !s !s';
+      swap_s ();
+      permute_into tau_inv !s !s';
+      swap_s ()
+    end;
+    xor_round_key !s key.k0a !t key.rc.(i)
+  done;
+  xor1_in_place !s key.w1;
+  Block128.of_cells !s
+
+let decrypt key ~tweak c =
+  let s = ref (Block128.to_cells c) in
+  let s' = ref (Array.make 16 0) in
+  let t = ref (Block128.to_cells tweak) in
+  let t' = ref (Array.make 16 0) in
+  let swap_s () = let tmp = !s in s := !s'; s' := tmp in
+  let swap_t () = let tmp = !t in t := !t'; t' := tmp in
+  xor1_in_place !s key.w1;
+  (* Undo the backward half (replay it forward). *)
+  for i = 0 to key.rounds - 1 do
+    xor_round_key !s key.k0a !t key.rc.(i);
+    if i > 0 then begin
+      permute_into tau !s !s';
+      swap_s ();
+      mix_into !s !s';
+      swap_s ()
+    end;
+    substitute_in_place sbox !s;
+    tweak_update_into !t !t';
+    swap_t ()
+  done;
+  (* Undo the center. *)
+  permute_into tau !s !s';
+  swap_s ();
+  xor1_in_place !s key.k1;
+  mix_into !s !s';
+  swap_s ();
+  permute_into tau_inv !s !s';
+  swap_s ();
+  xor2_in_place !s key.w1 !t;
+  (* Undo the forward half. *)
+  for i = key.rounds - 1 downto 0 do
+    tweak_update_inv_into !t !t';
+    swap_t ();
+    substitute_in_place sbox_inv !s;
+    if i > 0 then begin
+      mix_into !s !s';
+      swap_s ();
+      permute_into tau_inv !s !s';
+      swap_s ()
+    end;
+    xor_round_key !s key.k0 !t key.rc.(i)
+  done;
+  xor1_in_place !s key.w0;
+  Block128.of_cells !s
+
+module Internal = struct
+  let sbox = sbox
+  let sbox_inv = sbox_inv
+  let tau = tau
+  let tau_inv = tau_inv
+  let mix = mix
+  let tweak_update t = tweak_update (Array.copy t)
+  let tweak_update_inv = tweak_update_inv
+end

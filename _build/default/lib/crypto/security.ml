@@ -1,0 +1,79 @@
+open Ptg_util
+
+let log2_p_escape ~n ~k ~g_max =
+  if n <= 0 || k < 0 || g_max <= 0 then invalid_arg "Security.log2_p_escape";
+  Binomial.log2 (float_of_int g_max)
+  +. Binomial.log2_sum_choose n k
+  -. float_of_int n
+
+let p_escape ~n ~k ~g_max = Float.pow 2.0 (log2_p_escape ~n ~k ~g_max)
+let effective_mac_bits ~n ~k ~g_max = -.log2_p_escape ~n ~k ~g_max
+let security_loss_bits ~n ~k ~g_max = float_of_int n -. effective_mac_bits ~n ~k ~g_max
+
+let p_uncorrectable ~n ~p_flip ~k = Binomial.tail_ge ~n ~p:p_flip (k + 1)
+
+let min_k ~n ~p_flip ~target =
+  let rec go k =
+    if k > n then n
+    else if p_uncorrectable ~n ~p_flip ~k < target then k
+    else go (k + 1)
+  in
+  go 0
+
+let seconds_per_year = 365.25 *. 24.0 *. 3600.0
+let dram_attempts_per_sec = 1.0 /. 50e-9
+
+let years_to_attack ~log2_p_success ~attempts_per_sec =
+  (* E[attempts] = 2^-log2_p; keep in log space until the final division. *)
+  let log2_attempts = -.log2_p_success in
+  let log2_secs = log2_attempts -. Binomial.log2 attempts_per_sec in
+  Float.pow 2.0 (log2_secs -. Binomial.log2 seconds_per_year)
+
+type report = {
+  mac_bits : int;
+  soft_k : int;
+  g_max : int;
+  n_eff : float;
+  loss_bits : float;
+  log2_escape : float;
+  years_detection_only : float;
+  years_with_correction : float;
+  p_uncorrectable_at_1pct : float;
+  p_uncorrectable_at_0p2pct : float;
+}
+
+let report ?(mac_bits = 96) ?(soft_k = 4) ?(g_max = 372) () =
+  let log2_escape = log2_p_escape ~n:mac_bits ~k:soft_k ~g_max in
+  {
+    mac_bits;
+    soft_k;
+    g_max;
+    n_eff = -.log2_escape;
+    loss_bits = float_of_int mac_bits +. log2_escape;
+    log2_escape;
+    years_detection_only =
+      years_to_attack
+        ~log2_p_success:(-.float_of_int mac_bits)
+        ~attempts_per_sec:dram_attempts_per_sec;
+    years_with_correction =
+      years_to_attack ~log2_p_success:log2_escape
+        ~attempts_per_sec:dram_attempts_per_sec;
+    p_uncorrectable_at_1pct = p_uncorrectable ~n:mac_bits ~p_flip:0.01 ~k:soft_k;
+    p_uncorrectable_at_0p2pct = p_uncorrectable ~n:mac_bits ~p_flip:0.002 ~k:soft_k;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>MAC width:                 %d bits@,\
+     Soft-match tolerance k:    %d bits@,\
+     Max correction guesses:    %d@,\
+     Effective MAC security:    %.1f bits@,\
+     Security loss:             %.1f bits@,\
+     log2 P[escape detection]:  %.1f@,\
+     Attack time (detect-only): %.3g years@,\
+     Attack time (correcting):  %.3g years@,\
+     P[>k MAC flips] at 1%%:    %.3g@,\
+     P[>k MAC flips] at 0.2%%:  %.3g@]"
+    r.mac_bits r.soft_k r.g_max r.n_eff r.loss_bits r.log2_escape
+    r.years_detection_only r.years_with_correction r.p_uncorrectable_at_1pct
+    r.p_uncorrectable_at_0p2pct

@@ -1,0 +1,58 @@
+(** Analytical security model for PT-Guard's MAC (paper Sections IV-G and
+    VI-E, Equations 1 and 2).
+
+    All probabilities are tracked in log2 space because quantities like
+    2^-96 underflow doubles only barely and intermediate binomials
+    overflow; the printable reports convert at the edges. *)
+
+val log2_p_escape : n:int -> k:int -> g_max:int -> float
+(** Equation (1) in log2: probability that a tampered PTE escapes detection
+    given an [n]-bit MAC, soft matching tolerating [k] faulty MAC bits and
+    at most [g_max] correction guesses.
+    [log2 (G_max * sum_{h<=k} C(n,h) / 2^n)]. *)
+
+val p_escape : n:int -> k:int -> g_max:int -> float
+(** [2 ** log2_p_escape] (may underflow to 0 for large [n]). *)
+
+val effective_mac_bits : n:int -> k:int -> g_max:int -> float
+(** [n_eff = -log2 p_escape]; the paper reports 66 bits for n=96, k=4,
+    G_max=372. *)
+
+val security_loss_bits : n:int -> k:int -> g_max:int -> float
+(** [n - n_eff]. *)
+
+val p_uncorrectable : n:int -> p_flip:float -> k:int -> float
+(** Equation (2): probability that more than [k] of the [n] MAC bits flip,
+    i.e. the stored MAC itself is beyond the soft-match budget. *)
+
+val min_k : n:int -> p_flip:float -> target:float -> int
+(** Smallest [k] such that [p_uncorrectable] < [target] (the paper picks
+    the smallest k giving < 1% at p_flip = 1%, which is k = 4). *)
+
+val years_to_attack : log2_p_success:float -> attempts_per_sec:float -> float
+(** Expected years until one success when each attempt succeeds with
+    probability [2 ** log2_p_success] at the given attempt rate. The
+    paper's headline numbers: one attempt per 50 ns DRAM access against a
+    96-bit MAC gives > 10^14 years; the k=4-softened 66-bit-effective MAC
+    still gives > 10^4 years. *)
+
+val dram_attempts_per_sec : float
+(** One attempt per 50 ns DRAM access = 2e7/s (Section IV-G). *)
+
+type report = {
+  mac_bits : int;
+  soft_k : int;
+  g_max : int;
+  n_eff : float;
+  loss_bits : float;
+  log2_escape : float;
+  years_detection_only : float;  (** exact match, no correction *)
+  years_with_correction : float; (** soft match + correction guesses *)
+  p_uncorrectable_at_1pct : float;
+  p_uncorrectable_at_0p2pct : float;
+}
+
+val report : ?mac_bits:int -> ?soft_k:int -> ?g_max:int -> unit -> report
+(** Defaults follow the paper: 96-bit MAC, k = 4, G_max = 372. *)
+
+val pp_report : Format.formatter -> report -> unit

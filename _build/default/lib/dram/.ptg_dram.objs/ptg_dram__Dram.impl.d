@@ -1,0 +1,1 @@
+lib/dram/dram.ml: Array Geometry Hashtbl List Option Ptg_pte Timing

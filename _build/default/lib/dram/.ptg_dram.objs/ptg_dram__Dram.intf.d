@@ -1,0 +1,1 @@
+lib/dram/dram.mli: Geometry Ptg_pte Timing

@@ -1,0 +1,1 @@
+lib/dram/geometry.ml: Int64 List

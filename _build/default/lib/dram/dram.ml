@@ -1,0 +1,133 @@
+type bank_state = {
+  mutable open_row : int option;
+  activations : (int, int) Hashtbl.t; (* row -> count since last refresh *)
+}
+
+type t = {
+  geometry : Geometry.t;
+  timing : Timing.t;
+  banks : bank_state array array; (* channel -> flattened bank *)
+  storage : (int64, Ptg_pte.Line.t) Hashtbl.t;
+  mutable epoch : int;
+  mutable activate_listeners : (Geometry.coords -> unit) list;
+  mutable refresh_listeners : (channel:int -> bank:int -> row:int -> unit) list;
+  mutable epoch_listeners : (unit -> unit) list;
+  mutable total_activations : int;
+}
+
+type access_result = {
+  latency : int;
+  outcome : Timing.row_buffer_outcome;
+  coords : Geometry.coords;
+}
+
+let create ?(geometry = Geometry.ddr4_4gb) ?(timing = Timing.ddr4_3ghz) () =
+  {
+    geometry;
+    timing;
+    banks =
+      Array.init geometry.Geometry.channels (fun _ ->
+          Array.init (Geometry.total_banks geometry) (fun _ ->
+              { open_row = None; activations = Hashtbl.create 64 }));
+    storage = Hashtbl.create 4096;
+    epoch = 0;
+    activate_listeners = [];
+    refresh_listeners = [];
+    epoch_listeners = [];
+    total_activations = 0;
+  }
+
+let geometry t = t.geometry
+let timing t = t.timing
+let on_activate t f = t.activate_listeners <- f :: t.activate_listeners
+let subscribe_refresh t f = t.refresh_listeners <- f :: t.refresh_listeners
+let on_refresh_epoch t f = t.epoch_listeners <- f :: t.epoch_listeners
+
+let roll_epoch_if_needed t ~now =
+  let epoch = now / t.timing.Timing.refresh_interval in
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    (* All rows refreshed: activation counts restart. *)
+    Array.iter
+      (fun channel_banks ->
+        Array.iter
+          (fun b ->
+            Hashtbl.reset b.activations;
+            b.open_row <- None)
+          channel_banks)
+      t.banks;
+    List.iter (fun f -> f ()) t.epoch_listeners
+  end
+
+let bump_activation b row =
+  let c = Option.value ~default:0 (Hashtbl.find_opt b.activations row) in
+  Hashtbl.replace b.activations row (c + 1)
+
+let access t ~now ~addr ~is_write =
+  roll_epoch_if_needed t ~now;
+  let coords = Geometry.decode t.geometry addr in
+  let b = t.banks.(coords.Geometry.channel).(coords.Geometry.bank) in
+  let outcome : Timing.row_buffer_outcome =
+    match b.open_row with
+    | Some r when r = coords.Geometry.row -> Timing.Hit
+    | Some _ -> Timing.Conflict
+    | None -> Timing.Closed_row
+  in
+  (match outcome with
+  | Timing.Hit -> ()
+  | Timing.Closed_row | Timing.Conflict ->
+      b.open_row <- Some coords.Geometry.row;
+      bump_activation b coords.Geometry.row;
+      t.total_activations <- t.total_activations + 1;
+      List.iter (fun f -> f coords) t.activate_listeners);
+  let latency =
+    if is_write then Timing.write_latency t.timing outcome
+    else Timing.read_latency t.timing outcome
+  in
+  { latency; outcome; coords }
+
+let read_line t addr =
+  let key = Ptg_pte.Line.line_addr addr in
+  match Hashtbl.find_opt t.storage key with
+  | Some line -> Ptg_pte.Line.copy line
+  | None -> Ptg_pte.Line.create ()
+
+let write_line t addr line =
+  Hashtbl.replace t.storage (Ptg_pte.Line.line_addr addr) (Ptg_pte.Line.copy line)
+
+let refresh_row t ~channel ~bank ~row =
+  let b = t.banks.(channel).(bank) in
+  Hashtbl.remove b.activations row;
+  List.iter (fun f -> f ~channel ~bank ~row) t.refresh_listeners
+
+let activations t ~channel ~bank ~row =
+  Option.value ~default:0 (Hashtbl.find_opt t.banks.(channel).(bank).activations row)
+
+let lines_in_row t ~channel ~bank ~row =
+  Hashtbl.fold
+    (fun addr line acc ->
+      let c = Geometry.decode t.geometry addr in
+      if c.Geometry.channel = channel && c.Geometry.bank = bank && c.Geometry.row = row
+      then (addr, Ptg_pte.Line.copy line) :: acc
+      else acc)
+    t.storage []
+
+let flip_stored_bit t ~addr ~bit =
+  let key = Ptg_pte.Line.line_addr addr in
+  let line =
+    match Hashtbl.find_opt t.storage key with
+    | Some l -> l
+    | None ->
+        let l = Ptg_pte.Line.create () in
+        Hashtbl.replace t.storage key l;
+        l
+  in
+  Hashtbl.replace t.storage key (Ptg_pte.Line.flip_bit line bit)
+
+let total_activations t = t.total_activations
+
+let iter_stored t f =
+  let snapshot = Hashtbl.fold (fun addr line acc -> (addr, Ptg_pte.Line.copy line) :: acc) t.storage [] in
+  List.iter (fun (addr, line) -> f addr line) snapshot
+
+let stored_line_count t = Hashtbl.length t.storage

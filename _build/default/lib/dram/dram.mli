@@ -1,0 +1,70 @@
+(** The DRAM device: banks with row buffers, backing storage for cacheline
+    data, per-row activation counting, and refresh.
+
+    This is both a timing model (row-buffer outcome per access) and a
+    functional store (lines actually hold data so Rowhammer flips corrupt
+    real bits that PT-Guard must then detect/correct). Activation and
+    refresh events are exposed to observers — the Rowhammer fault model and
+    the TRR-style mitigations both subscribe. *)
+
+type t
+
+type access_result = {
+  latency : int;                       (** cycles, excluding integrity-engine delay *)
+  outcome : Timing.row_buffer_outcome;
+  coords : Geometry.coords;
+}
+
+val create : ?geometry:Geometry.t -> ?timing:Timing.t -> unit -> t
+(** Defaults: {!Geometry.ddr4_4gb}, {!Timing.ddr4_3ghz}. *)
+
+val geometry : t -> Geometry.t
+val timing : t -> Timing.t
+
+val on_activate : t -> (Geometry.coords -> unit) -> unit
+(** Register an observer called on every row activation (row-buffer miss
+    or conflict), before the access completes. *)
+
+val subscribe_refresh : t -> (channel:int -> bank:int -> row:int -> unit) -> unit
+(** Observer for targeted row refreshes (issued by mitigations) and for
+    the periodic all-bank refresh sweep (called per refreshed row only for
+    targeted refreshes; the periodic sweep is signalled via {!on_refresh_epoch}). *)
+
+val on_refresh_epoch : t -> (unit -> unit) -> unit
+(** Observer called when the global refresh window rolls over (all rows
+    considered refreshed). *)
+
+val access : t -> now:int -> addr:int64 -> is_write:bool -> access_result
+(** Perform a timed access at cycle [now]. Advancing [now] past the
+    refresh window triggers the epoch rollover. *)
+
+val read_line : t -> int64 -> Ptg_pte.Line.t
+(** Functional read of the 64-byte line containing [addr]. Unwritten lines
+    read as zero. *)
+
+val write_line : t -> int64 -> Ptg_pte.Line.t -> unit
+(** Functional write (line-aligned). *)
+
+val refresh_row : t -> channel:int -> bank:int -> row:int -> unit
+(** Targeted refresh (the mitigation action): notifies subscribers and
+    resets the row's activation count. *)
+
+val activations : t -> channel:int -> bank:int -> row:int -> int
+(** Activations of the row since it was last refreshed. *)
+
+val lines_in_row : t -> channel:int -> bank:int -> row:int -> (int64 * Ptg_pte.Line.t) list
+(** All (address, line) pairs currently stored in the given row. *)
+
+val flip_stored_bit : t -> addr:int64 -> bit:int -> unit
+(** Corrupt one bit of the stored line at [addr] (fault injection). *)
+
+val total_activations : t -> int
+(** Lifetime activate-command count (for bench reporting). *)
+
+val iter_stored : t -> (int64 -> Ptg_pte.Line.t -> unit) -> unit
+(** Visit every stored (non-zero-initialized) line. The callback receives
+    copies; mutating storage during iteration is safe only via
+    {!write_line} on already-visited addresses (used by re-keying, which
+    snapshots addresses first). *)
+
+val stored_line_count : t -> int

@@ -1,0 +1,55 @@
+type t = {
+  channels : int;
+  ranks : int;
+  banks_per_rank : int;
+  rows_per_bank : int;
+  columns : int;
+}
+
+type coords = { channel : int; rank : int; bank : int; row : int; col : int }
+
+let ddr4_4gb =
+  { channels = 1; ranks = 1; banks_per_rank = 16; rows_per_bank = 32768; columns = 128 }
+
+let ddr4_16gb =
+  { channels = 2; ranks = 2; banks_per_rank = 16; rows_per_bank = 32768; columns = 128 }
+
+let capacity_bytes t =
+  let lines =
+    Int64.of_int t.channels
+    |> Int64.mul (Int64.of_int t.ranks)
+    |> Int64.mul (Int64.of_int t.banks_per_rank)
+    |> Int64.mul (Int64.of_int t.rows_per_bank)
+    |> Int64.mul (Int64.of_int t.columns)
+  in
+  Int64.mul lines 64L
+
+let total_banks t = t.ranks * t.banks_per_rank
+
+(* Address layout, low to high: 6 offset | column | channel | bank+rank | row.
+   Bank bits are XORed with the low row bits for permutation interleaving. *)
+let decode t addr =
+  let line = Int64.to_int (Int64.shift_right_logical addr 6) in
+  let col = line mod t.columns in
+  let rest = line / t.columns in
+  let channel = rest mod t.channels in
+  let rest = rest / t.channels in
+  let banks = total_banks t in
+  let bank_raw = rest mod banks in
+  let rest = rest / banks in
+  let row = rest mod t.rows_per_bank in
+  let bank = (bank_raw lxor (row land (banks - 1))) mod banks in
+  let rank = bank / t.banks_per_rank in
+  { channel; rank; bank; row; col }
+
+let encode t { channel; bank; row; col; rank = _ } =
+  let banks = total_banks t in
+  let bank_raw = (bank lxor (row land (banks - 1))) mod banks in
+  let line = ((((row * banks) + bank_raw) * t.channels + channel) * t.columns) + col in
+  Int64.shift_left (Int64.of_int line) 6
+
+let row_neighbors t row ~distance =
+  if distance <= 0 then invalid_arg "Geometry.row_neighbors: distance";
+  List.filter
+    (fun r -> r >= 0 && r < t.rows_per_bank)
+    [ row - distance; row + distance ]

@@ -1,0 +1,43 @@
+(** DRAM organization and physical-address mapping.
+
+    Addresses decompose as row / bank / column / line-offset. The mapping
+    XORs bank bits with low row bits (a common bank-interleaving scheme) so
+    that streaming accesses spread across banks, which matters for the
+    multicore contention model. *)
+
+type t = {
+  channels : int;
+  ranks : int;
+  banks_per_rank : int;
+  rows_per_bank : int;
+  columns : int;        (** cachelines per row (row size / 64 B) *)
+}
+
+type coords = {
+  channel : int;
+  rank : int;
+  bank : int;  (** flattened bank id within the channel: rank * banks_per_rank + bank *)
+  row : int;
+  col : int;
+}
+
+val ddr4_4gb : t
+(** The paper's Table III single-core config: 4 GB, 1 channel, 1 rank,
+    16 banks, 8 KB rows (128 lines/row), 32768 rows/bank. *)
+
+val ddr4_16gb : t
+(** The multicore config of Section VII-C: 16 GB, 2 channels. *)
+
+val capacity_bytes : t -> int64
+val total_banks : t -> int
+(** Banks per channel (ranks * banks_per_rank). *)
+
+val decode : t -> int64 -> coords
+(** Map a physical byte address to DRAM coordinates. The address is first
+    line-aligned. Addresses beyond capacity wrap (mod capacity). *)
+
+val encode : t -> coords -> int64
+(** Inverse of {!decode} (line-aligned address). *)
+
+val row_neighbors : t -> int -> distance:int -> int list
+(** Rows at exactly [distance] from the given row, clipped to the bank. *)

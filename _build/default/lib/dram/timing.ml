@@ -1,0 +1,28 @@
+type t = {
+  t_cas : int;
+  t_rcd : int;
+  t_rp : int;
+  bus_and_queue : int;
+  refresh_interval : int;
+}
+
+let ddr4_3ghz =
+  {
+    t_cas = 42;
+    t_rcd = 42;
+    t_rp = 42;
+    bus_and_queue = 21;
+    refresh_interval = 192_000_000; (* 64 ms at 3 GHz *)
+  }
+
+type row_buffer_outcome = Hit | Closed_row | Conflict
+
+let read_latency t = function
+  | Hit -> t.t_cas + t.bus_and_queue
+  | Closed_row -> t.t_rcd + t.t_cas + t.bus_and_queue
+  | Conflict -> t.t_rp + t.t_rcd + t.t_cas + t.bus_and_queue
+
+(* Writes are posted through the controller's write queue; the critical
+   path seen by the core is just the queue insertion, but we report the
+   same bank occupancy cost for bandwidth accounting. *)
+let write_latency = read_latency

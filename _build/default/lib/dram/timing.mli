@@ -1,0 +1,28 @@
+(** DDR4-like timing parameters, expressed in CPU cycles at the paper's
+    3 GHz clock (Table III).
+
+    The model charges latency per access according to the state of the
+    target bank's row buffer: hit (column access only), closed (activate +
+    column) or conflict (precharge + activate + column). These are the only
+    DRAM timing effects the paper's slowdown analysis depends on — PT-Guard
+    adds a constant MAC latency on top of reads, so what matters is that
+    reads have a realistic base cost. *)
+
+type t = {
+  t_cas : int;        (** column access strobe (CL) *)
+  t_rcd : int;        (** RAS-to-CAS: activate latency *)
+  t_rp : int;         (** precharge *)
+  bus_and_queue : int;(** fixed controller + bus transfer overhead *)
+  refresh_interval : int; (** tREFW: all-rows refresh window (cycles) *)
+}
+
+val ddr4_3ghz : t
+(** DDR4-2400-ish timings at 3 GHz: tCAS = tRCD = tRP = 42 cycles (14 ns),
+    21-cycle fixed overhead, 64 ms refresh window. A row-buffer conflict
+    read costs 147 cycles (~49 ns), matching the paper's "DRAM access
+    takes 50ns". *)
+
+type row_buffer_outcome = Hit | Closed_row | Conflict
+
+val read_latency : t -> row_buffer_outcome -> int
+val write_latency : t -> row_buffer_outcome -> int

@@ -1,0 +1,1 @@
+lib/memctrl/memctrl.ml: Array Int64 Ptg_dram Ptg_pte Ptg_vm Ptguard

@@ -1,0 +1,1 @@
+lib/memctrl/memctrl.mli: Ptg_dram Ptg_pte Ptg_util Ptg_vm Ptguard

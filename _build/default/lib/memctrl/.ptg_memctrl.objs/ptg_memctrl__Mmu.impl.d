@@ -1,0 +1,1 @@
+lib/memctrl/mmu.ml: Array Format Int64 Memctrl Page_table Ptg_pte Ptg_vm Ptguard

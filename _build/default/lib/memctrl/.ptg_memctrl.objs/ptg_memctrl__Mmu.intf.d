@@ -1,0 +1,1 @@
+lib/memctrl/mmu.mli: Format Memctrl Ptg_vm Ptguard

@@ -1,0 +1,79 @@
+type t = {
+  dram : Ptg_dram.Dram.t;
+  engine : Ptguard.Engine.t option;
+  mutable now : int;
+}
+
+let create ?engine dram = { dram; engine; now = 0 }
+let dram t = t.dram
+let engine t = t.engine
+
+type read = {
+  data : Ptg_pte.Line.t option;
+  integrity : Ptguard.Engine.integrity;
+  latency : int;
+}
+
+let advance t = function
+  | Some now -> t.now <- max t.now now
+  | None -> t.now <- t.now + 1
+
+let read_line t ?now ~addr ~is_pte () =
+  advance t now;
+  let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr ~is_write:false in
+  let stored = Ptg_dram.Dram.read_line t.dram addr in
+  match t.engine with
+  | None ->
+      {
+        data = Some stored;
+        integrity = Ptguard.Engine.Data_passthrough;
+        latency = r.Ptg_dram.Dram.latency;
+      }
+  | Some engine ->
+      let g = Ptguard.Engine.process_read engine ~addr ~is_pte stored in
+      {
+        data = g.Ptguard.Engine.line;
+        integrity = g.Ptguard.Engine.integrity;
+        latency = r.Ptg_dram.Dram.latency + g.Ptguard.Engine.extra_latency;
+      }
+
+let write_line t ?now ~addr line () =
+  advance t now;
+  let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr ~is_write:true in
+  let stored =
+    match t.engine with
+    | None -> line
+    | Some engine -> Ptguard.Engine.process_write engine ~addr line
+  in
+  Ptg_dram.Dram.write_line t.dram addr stored;
+  r.Ptg_dram.Dram.latency
+
+(* Word-level OS view: an untimed read-modify-write cycle through the
+   controller. Data reads of a tampered protected line pass the raw bits
+   through — intentionally, see Section IV-E. *)
+let phys_mem t =
+  let read_raw addr =
+    match read_line t ~addr ~is_pte:false () with
+    | { data = Some line; _ } -> line
+    | { data = None; _ } -> assert false (* data reads always forward *)
+  in
+  {
+    Ptg_vm.Phys_mem.read_word =
+      (fun addr ->
+        let line = read_raw (Ptg_pte.Line.line_addr addr) in
+        line.(Int64.to_int (Int64.logand addr 63L) / 8));
+    write_word =
+      (fun addr v ->
+        let base = Ptg_pte.Line.line_addr addr in
+        let line = read_raw base in
+        line.(Int64.to_int (Int64.logand addr 63L) / 8) <- v;
+        ignore (write_line t ~addr:base line ()));
+  }
+
+let rekey t ~rng =
+  match t.engine with
+  | None -> ()
+  | Some engine ->
+      Ptguard.Engine.rekey engine ~rng ~iter_lines:(fun process ->
+          Ptg_dram.Dram.iter_stored t.dram (fun addr line ->
+              Ptg_dram.Dram.write_line t.dram addr (process ~addr line)))

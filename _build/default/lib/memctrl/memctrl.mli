@@ -1,0 +1,39 @@
+(** Memory controller with the PT-Guard engine on its DRAM port.
+
+    This is the functional (bit-accurate) integration point: every line
+    entering DRAM passes {!Ptguard.Engine.process_write} and every line
+    leaving it passes {!Ptguard.Engine.process_read}, with the [is_pte]
+    tag carried by page-walk requests (the paper's isPTE wire). The OS and
+    applications access memory through {!phys_mem}, which performs
+    read-modify-write cycles through the controller — so kernel PTE writes
+    get their MACs embedded exactly as on real hardware, with no software
+    cooperation. *)
+
+type t
+
+val create : ?engine:Ptguard.Engine.t -> Ptg_dram.Dram.t -> t
+(** Without an [engine], the controller is the unprotected baseline. *)
+
+val dram : t -> Ptg_dram.Dram.t
+val engine : t -> Ptguard.Engine.t option
+
+type read = {
+  data : Ptg_pte.Line.t option;
+      (** [None] when a page-walk read failed its integrity check
+          (PTECheckFailed: the line is not forwarded). *)
+  integrity : Ptguard.Engine.integrity;
+  latency : int;  (** DRAM latency + integrity-engine delay *)
+}
+
+val read_line : t -> ?now:int -> addr:int64 -> is_pte:bool -> unit -> read
+val write_line : t -> ?now:int -> addr:int64 -> Ptg_pte.Line.t -> unit -> int
+(** Returns the write latency. *)
+
+val phys_mem : t -> Ptg_vm.Phys_mem.t
+(** Word-granularity OS/application view (untimed, read-modify-write
+    through the engine, tagged as data accesses). Reads of a tampered
+    protected line return the raw stored bits — the situation where the
+    paper's OS-side PFN bounds check (Section IV-E) applies. *)
+
+val rekey : t -> rng:Ptg_util.Rng.t -> unit
+(** Full-memory re-keying sweep over every stored line (Section VII-B). *)

@@ -1,0 +1,29 @@
+(** Hardware page-table walker operating through the guarded memory
+    controller.
+
+    Unlike {!Ptg_vm.Page_table.walk} (a functional walk over raw memory),
+    this walker issues [is_pte]-tagged line reads through {!Memctrl}, so
+    every level's PTE cacheline is integrity-checked by PT-Guard before
+    its entry is consumed — the invariant of Section IV-G: {e no PTE
+    cacheline with bit flips is ever consumed on page table walks}. *)
+
+type outcome =
+  | Translated of { paddr : int64; pte : int64; latency : int }
+  | Not_present of { level : Ptg_vm.Page_table.level; latency : int }
+  | Integrity_failure of {
+      level : Ptg_vm.Page_table.level;
+      line_addr : int64;
+      latency : int;
+    }  (** PTECheckFailed: the walk aborts, the OS gets an exception. *)
+  | Corrected_then_translated of {
+      paddr : int64;
+      pte : int64;
+      step : Ptguard.Correction.step;
+      guesses : int;
+      latency : int;
+    }  (** The walk survived a Rowhammer flip thanks to correction. *)
+
+val walk : Memctrl.t -> root:int64 -> vaddr:int64 -> outcome
+(** 4-level x86_64 walk starting at the PML4 physical address [root]. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/mitigations/blacksmith_campaign.ml: Array Blacksmith Fault_model Format List Mitigation Ptg_dram Ptg_rowhammer Ptg_util

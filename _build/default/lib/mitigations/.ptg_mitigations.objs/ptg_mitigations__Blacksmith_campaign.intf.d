@@ -1,0 +1,1 @@
+lib/mitigations/blacksmith_campaign.mli: Format Ptg_rowhammer Ptg_util

@@ -1,0 +1,1 @@
+lib/mitigations/mitigation.ml: Hashtbl List Option Ptg_dram Ptg_util

@@ -1,0 +1,1 @@
+lib/mitigations/mitigation.mli: Ptg_dram Ptg_util

@@ -1,0 +1,33 @@
+(** The Blacksmith fuzzing loop (Jattke et al., S&P 2022), run against the
+    in-DRAM TRR model.
+
+    Blacksmith's result was empirical: fuzzing non-uniform
+    frequency/phase/amplitude patterns finds bit flips on every
+    TRR-protected DDR4 DIMM tested, without reverse-engineering the
+    mitigation. The campaign here reproduces the loop: random pattern ->
+    fresh TRR-protected module -> hammer -> keep if it flips. With enough
+    tries some phase structures keep the true aggressors out of the
+    sampler's post-REF observation window, and the victim crosses RTH
+    unnoticed. *)
+
+type result = {
+  tries : int;
+  effective_patterns : int;  (** patterns that flipped >= 1 victim bit *)
+  total_flips : int;
+  best_flips : int;
+  best : Ptg_rowhammer.Blacksmith.pattern option;
+}
+
+val campaign :
+  ?tries:int ->
+  ?slots:int ->
+  ?rth:int ->
+  rng:Ptg_util.Rng.t ->
+  victim:int ->
+  unit ->
+  result
+(** Defaults: 40 tries of 600K activation slots against an RTH-10K module
+    with TRR attached and all-ones (true-cell) data planted in the victim
+    row. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,76 @@
+(** Baseline Rowhammer mitigations (paper Sections II-B and VIII-B).
+
+    These are the trackers that breakthrough attacks defeat — implemented
+    so the experiments can demonstrate {e why} PT-Guard's threshold-free
+    detection is needed. Each mitigation subscribes to a DRAM's activation
+    stream and issues victim refreshes through
+    {!Ptg_dram.Dram.refresh_row}; those refreshes in turn disturb their own
+    neighbours in the fault model, which is exactly the lever Half-Double
+    exploits.
+
+    All three follow the victim-refresh paradigm:
+
+    - {b TRR}: an in-DRAM sampler with a handful of entries, evicted (and
+      its history lost) under pressure; mitigates the hottest entry at
+      every REF interval. Many-sided patterns (TRRespass) thrash the
+      sampler so no aggressor accumulates history, while the per-REF
+      refreshes hammer distance-1 rows for Half-Double.
+    - {b PARA}: stateless; on each activation refreshes each neighbour
+      with probability [p]. Protection is probabilistic and [p] must be
+      provisioned for a known RTH.
+    - {b Graphene}: a Misra-Gries frequent-item counter — never misses a
+      row that exceeds the threshold, but the threshold is fixed at design
+      time; a module with lower RTH than provisioned still flips. *)
+
+type t
+
+val name : t -> string
+val refreshes_issued : t -> int
+(** Victim refreshes this mitigation has issued. *)
+
+val detach : t -> unit
+(** Stop reacting to DRAM events (the subscription is silenced). *)
+
+val attach_trr :
+  ?sampler_size:int ->
+  ?ref_interval_acts:int ->
+  ?sample_window:int ->
+  Ptg_dram.Dram.t ->
+  t
+(** In-DRAM TRR model. [sampler_size] defaults to 4 entries per bank;
+    [ref_interval_acts] (activations per bank between REF-time mitigations)
+    defaults to 166 (tREFI / tRC); the sampler observes only the first
+    [sample_window] activations of each interval (default 8), as
+    reverse-engineered from DDR4 parts. On REF: refresh both neighbours of
+    the sampler entry with the highest count, then drop it. When a new row
+    arrives and the sampler is full, the oldest entry is evicted and its
+    count lost. The bounded sampler and the predictable sampling window
+    are exactly the weaknesses TRRespass/SMASH exploit by hammering outside
+    the window and parking decoys inside it. *)
+
+val attach_para : ?p:float -> rng:Ptg_util.Rng.t -> Ptg_dram.Dram.t -> t
+(** PARA: refresh each neighbour with probability [p] (default 0.001) on
+    every activation. *)
+
+val attach_graphene :
+  ?counters:int ->
+  ?threshold:int ->
+  Ptg_dram.Dram.t ->
+  t
+(** Graphene: [counters] Misra-Gries entries per bank (default 128);
+    refresh a row's neighbours whenever its estimated count reaches
+    [threshold] (default 2500 = design-RTH 10K / 4), then reset it. *)
+
+val attach_soft_trr :
+  ?threshold:int ->
+  pt_row:(channel:int -> bank:int -> row:int -> bool) ->
+  Ptg_dram.Dram.t ->
+  t
+(** SoftTRR (Zhang et al., ATC 2022) — paper Section II-E.3: the OS tracks
+    activations of rows {e adjacent to page-table rows} (via PMU-based
+    sampling) and refreshes the PT row itself when a neighbour's count
+    reaches [threshold] (default 2500). Being software, it can only see
+    the attacker's accesses at distance 1 from a PT row: distance-2
+    hammering and the in-DRAM mitigation's own refreshes are invisible to
+    it — the Half-Double blind spot the paper calls out. Only page-table
+    rows (per [pt_row]) are defended at all. *)

@@ -1,0 +1,1 @@
+lib/os/os_handler.ml: Format Hashtbl Int64 List Option Ptg_dram Ptg_memctrl Ptg_pte Ptg_util Ptg_vm Ptguard

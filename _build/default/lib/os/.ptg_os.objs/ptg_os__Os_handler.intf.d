@@ -1,0 +1,1 @@
+lib/os/os_handler.mli: Format Ptg_memctrl Ptg_pte Ptg_util Ptg_vm

@@ -1,0 +1,135 @@
+type event =
+  | Integrity_failure of { addr : int64; row : int; bank : int; channel : int }
+  | Collision of { addr : int64 }
+  | Overflowed_ctb
+  | Rekeyed of { lines : int }
+  | Remapped_pt_page of { old_frame : int64; new_frame : int64 }
+
+let pp_event fmt = function
+  | Integrity_failure { addr; row; bank; channel } ->
+      Format.fprintf fmt "PTE integrity failure at 0x%Lx (ch%d bank%d row%d)" addr
+        channel bank row
+  | Collision { addr } -> Format.fprintf fmt "colliding line tracked at 0x%Lx" addr
+  | Overflowed_ctb -> Format.fprintf fmt "CTB overflow"
+  | Rekeyed { lines } -> Format.fprintf fmt "re-keyed %d lines" lines
+  | Remapped_pt_page { old_frame; new_frame } ->
+      Format.fprintf fmt "remapped PT page frame 0x%Lx -> 0x%Lx" old_frame new_frame
+
+type policy = {
+  auto_rekey_on_overflow : bool;
+  failure_threshold_per_row : int;
+}
+
+let default_policy = { auto_rekey_on_overflow = true; failure_threshold_per_row = 1 }
+
+type t = {
+  policy : policy;
+  mc : Ptg_memctrl.Memctrl.t;
+  rng : Ptg_util.Rng.t;
+  mutable events : event list;
+  row_failures : (int * int * int, int) Hashtbl.t;
+  mutable collisions : int;
+  mutable failures : int;
+}
+
+let journal t e = t.events <- e :: t.events
+
+let attach ?(policy = default_policy) ~rng mc =
+  let t =
+    {
+      policy;
+      mc;
+      rng;
+      events = [];
+      row_failures = Hashtbl.create 16;
+      collisions = 0;
+      failures = 0;
+    }
+  in
+  (match Ptg_memctrl.Memctrl.engine mc with
+  | None -> ()
+  | Some engine ->
+      Ptguard.Engine.on_os_event engine (function
+        | Ptguard.Engine.Pte_integrity_failure { addr } ->
+            let c =
+              Ptg_dram.Geometry.decode
+                (Ptg_dram.Dram.geometry (Ptg_memctrl.Memctrl.dram mc))
+                addr
+            in
+            t.failures <- t.failures + 1;
+            let key =
+              (c.Ptg_dram.Geometry.channel, c.Ptg_dram.Geometry.bank, c.Ptg_dram.Geometry.row)
+            in
+            Hashtbl.replace t.row_failures key
+              (1 + Option.value ~default:0 (Hashtbl.find_opt t.row_failures key));
+            journal t
+              (Integrity_failure
+                 {
+                   addr;
+                   row = c.Ptg_dram.Geometry.row;
+                   bank = c.Ptg_dram.Geometry.bank;
+                   channel = c.Ptg_dram.Geometry.channel;
+                 })
+        | Ptguard.Engine.Collision_detected { addr } ->
+            t.collisions <- t.collisions + 1;
+            journal t (Collision { addr })
+        | Ptguard.Engine.Ctb_overflow ->
+            journal t Overflowed_ctb;
+            if t.policy.auto_rekey_on_overflow then
+              Ptg_memctrl.Memctrl.rekey mc ~rng:t.rng
+        | Ptguard.Engine.Rekey_completed { writes } -> journal t (Rekeyed { lines = writes })));
+  t
+
+let events t = t.events
+let integrity_failures t = t.failures
+let collisions_seen t = t.collisions
+
+let bad_rows t =
+  Hashtbl.fold
+    (fun key n acc -> if n >= t.policy.failure_threshold_per_row then key :: acc else acc)
+    t.row_failures []
+
+let is_bad_row t ~channel ~bank ~row =
+  Option.value ~default:0 (Hashtbl.find_opt t.row_failures (channel, bank, row))
+  >= t.policy.failure_threshold_per_row
+
+let resolve_collision t ~addr ~benign =
+  ignore (Ptg_memctrl.Memctrl.write_line t.mc ~addr benign ());
+  match Ptg_memctrl.Memctrl.engine t.mc with
+  | None -> true
+  | Some engine -> not (Ptguard.Ctb.mem (Ptguard.Engine.ctb engine) addr)
+
+let remap_pt_page t ~table ~alloc ~vaddr =
+  let steps = Ptg_vm.Page_table.walk table ~vaddr in
+  let pd_step =
+    List.find_opt (fun s -> s.Ptg_vm.Page_table.level = Ptg_vm.Page_table.Pd) steps
+  in
+  match pd_step with
+  | Some s when Ptg_pte.X86.get_flag s.Ptg_vm.Page_table.entry Ptg_pte.X86.Present ->
+      let old_frame = Ptg_pte.X86.pfn s.Ptg_vm.Page_table.entry in
+      let new_frame = Ptg_vm.Frame_allocator.alloc_discontiguous alloc in
+      let old_base = Int64.shift_left old_frame 12 in
+      let new_base = Int64.shift_left new_frame 12 in
+      (* Copy the 64 PTE cachelines through the controller: each line is
+         verified (and best-effort corrected) on the way out of the bad
+         row and freshly MACed for its new address. Uncorrectable lines
+         are zeroed — the kernel rebuilds those PTEs from its VMA records
+         on the next fault. *)
+      for i = 0 to 63 do
+        let src = Int64.add old_base (Int64.of_int (i * 64)) in
+        let dst = Int64.add new_base (Int64.of_int (i * 64)) in
+        let line =
+          match Ptg_memctrl.Memctrl.read_line t.mc ~addr:src ~is_pte:true () with
+          | { Ptg_memctrl.Memctrl.data = Some l; _ } -> l
+          | { Ptg_memctrl.Memctrl.data = None; _ } -> Ptg_pte.Line.create ()
+        in
+        ignore (Ptg_memctrl.Memctrl.write_line t.mc ~addr:dst line ())
+      done;
+      (* Point the PDE at the new frame (a normal kernel write, so the
+         parent line is re-MACed by the engine). *)
+      let mem = Ptg_memctrl.Memctrl.phys_mem t.mc in
+      mem.Ptg_vm.Phys_mem.write_word s.Ptg_vm.Page_table.entry_addr
+        (Ptg_pte.X86.set_pfn s.Ptg_vm.Page_table.entry new_frame);
+      journal t (Remapped_pt_page { old_frame; new_frame });
+      Some (old_frame, new_frame)
+  | Some _ | None -> None

@@ -1,0 +1,74 @@
+(** OS-side handling of PT-Guard exceptions (paper Sections IV-G, VII-B).
+
+    PT-Guard's hardware raises three kinds of events to the kernel; the
+    paper sketches the responses and this module implements them against
+    the simulated machine:
+
+    - {b PTE integrity failure} (PTECheckFailed): the walk was aborted.
+      The OS can terminate the victim, or — the availability-preserving
+      response the paper recommends against DoS — treat the affected DRAM
+      row as bad and {e remap} the page-table page away from it
+      ({!remap_pt_page}), rebuilding the entries it can recover.
+    - {b Collision detected}: a data line whose bits equal its would-be
+      MAC was CTB-tracked. Natural probability 2^-96, so the OS treats it
+      as an attack indicator, records the address, and can evict the
+      collision by rewriting the line ({!resolve_collision}).
+    - {b CTB overflow}: re-key the whole memory (gradually in hardware;
+      a sweep here), voiding every MAC an attacker may have learned.
+
+    The handler keeps an event journal so tests and demos can assert the
+    whole exception flow. *)
+
+type event =
+  | Integrity_failure of { addr : int64; row : int; bank : int; channel : int }
+  | Collision of { addr : int64 }
+  | Overflowed_ctb
+  | Rekeyed of { lines : int }
+  | Remapped_pt_page of { old_frame : int64; new_frame : int64 }
+
+val pp_event : Format.formatter -> event -> unit
+
+type policy = {
+  auto_rekey_on_overflow : bool;  (** default true *)
+  failure_threshold_per_row : int;
+      (** integrity failures in one row before it is flagged bad
+          (candidate for remapping); default 1 *)
+}
+
+val default_policy : policy
+
+type t
+
+val attach : ?policy:policy -> rng:Ptg_util.Rng.t -> Ptg_memctrl.Memctrl.t -> t
+(** Subscribe to the controller's engine events. No-op on an unguarded
+    controller. *)
+
+val events : t -> event list
+(** Journal, most recent first. *)
+
+val integrity_failures : t -> int
+val collisions_seen : t -> int
+
+val bad_rows : t -> (int * int * int) list
+(** (channel, bank, row) triples that crossed [failure_threshold_per_row]
+    — the rows the OS should migrate page tables away from. *)
+
+val is_bad_row : t -> channel:int -> bank:int -> row:int -> bool
+
+val resolve_collision : t -> addr:int64 -> benign:Ptg_pte.Line.t -> bool
+(** Rewrite the colliding line with benign data (after, e.g., terminating
+    the offender — Section VII-B); returns true when the CTB entry is
+    gone afterwards. *)
+
+val remap_pt_page :
+  t ->
+  table:Ptg_vm.Page_table.t ->
+  alloc:Ptg_vm.Frame_allocator.t ->
+  vaddr:int64 ->
+  (int64 * int64) option
+(** Migrate the leaf page-table page serving [vaddr] to a freshly
+    allocated frame: copy the 4 KB of PTEs through the controller (each
+    line re-verified/corrected by the engine on the way out and re-MACed
+    at its new address on the way in) and update the parent PDE. Returns
+    [(old_frame, new_frame)], or [None] if the walk has no leaf table.
+    This is the paper's "remap the row experiencing bit flips" response. *)

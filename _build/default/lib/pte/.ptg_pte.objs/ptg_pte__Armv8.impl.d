@@ -1,0 +1,1 @@
+lib/pte/armv8.ml: Bits Format Int64 Ptg_util

@@ -1,0 +1,1 @@
+lib/pte/armv8.mli: Format

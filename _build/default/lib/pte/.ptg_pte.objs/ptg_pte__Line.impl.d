@@ -1,0 +1,1 @@
+lib/pte/line.ml: Array Format Int64 Ptg_util

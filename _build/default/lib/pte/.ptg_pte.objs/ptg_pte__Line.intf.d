@@ -1,0 +1,1 @@
+lib/pte/line.mli: Format

@@ -1,0 +1,1 @@
+lib/pte/protection.ml: Array Bits Format Int64 Ptg_crypto Ptg_util X86

@@ -1,0 +1,1 @@
+lib/pte/protection.mli: Format Line Ptg_crypto

@@ -1,0 +1,1 @@
+lib/pte/protection_armv8.ml: Array Bits Int64 List Ptg_crypto Ptg_util

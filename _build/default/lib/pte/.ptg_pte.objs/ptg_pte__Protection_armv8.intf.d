@@ -1,0 +1,1 @@
+lib/pte/protection_armv8.mli: Line Ptg_crypto

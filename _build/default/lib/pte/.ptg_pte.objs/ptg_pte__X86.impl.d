@@ -1,0 +1,1 @@
+lib/pte/x86.ml: Bits Format Int64 Ptg_util

@@ -1,0 +1,1 @@
+lib/pte/x86.mli: Format

@@ -1,0 +1,59 @@
+open Ptg_util
+
+type field =
+  | Valid
+  | Block
+  | Memory_attributes
+  | Access_permissions
+  | Accessed
+  | Caching
+  | Dirty
+  | Contiguous
+  | Execute_never
+
+let get_valid d = Bits.get d 0
+let set_valid d b = Bits.assign d 0 b
+let get_block d = Bits.get d 1
+let set_block d b = Bits.assign d 1 b
+let memory_attributes d = Bits.extract d ~lo:2 ~hi:5
+let set_memory_attributes d v = Bits.insert d ~lo:2 ~hi:5 v
+let access_permissions d = Bits.extract d ~lo:6 ~hi:7
+let set_access_permissions d v = Bits.insert d ~lo:6 ~hi:7 v
+let get_accessed d = Bits.get d 10
+let set_accessed d b = Bits.assign d 10 b
+let get_contiguous d = Bits.get d 52
+let set_contiguous d b = Bits.assign d 52 b
+let execute_never d = Bits.extract d ~lo:53 ~hi:54
+let set_execute_never d v = Bits.insert d ~lo:53 ~hi:54 v
+let hardware_attributes d = Bits.extract d ~lo:59 ~hi:62
+
+let pfn d =
+  let low = Bits.extract d ~lo:12 ~hi:49 in
+  let high = Bits.extract d ~lo:8 ~hi:9 in
+  Int64.logor low (Int64.shift_left high 38)
+
+let set_pfn d v =
+  let d = Bits.insert d ~lo:12 ~hi:49 (Int64.logand v (Bits.mask 38)) in
+  Bits.insert d ~lo:8 ~hi:9 (Int64.shift_right_logical v 38)
+
+let make ?(writable = false) ?(user = false) ?(execute_never = false) ~pfn:frame () =
+  let d = set_valid 0L true in
+  let d = set_block d false in
+  (* AP[2:1]: AP[2]=read-only, AP[1]=EL0 accessible. *)
+  let ap = (if writable then 0L else 2L) |> fun ap ->
+    if user then Int64.logor ap 1L else ap
+  in
+  let d = set_access_permissions d ap in
+  let d = set_execute_never d (if execute_never then 3L else 0L) in
+  let d = set_accessed d true in
+  set_pfn d frame
+
+let zero = 0L
+let is_zero d = Int64.equal d 0L
+
+let pp fmt d =
+  if is_zero d then Format.fprintf fmt "<zero>"
+  else
+    Format.fprintf fmt "pfn=0x%Lx%s ap=%Ld xn=%Ld" (pfn d)
+      (if get_valid d then " V" else "")
+      (access_permissions d) (execute_never d)

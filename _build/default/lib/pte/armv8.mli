@@ -1,0 +1,46 @@
+(** ARMv8 stage-1 page descriptor codec (paper Table II, ARM ARM D5).
+
+    Included to demonstrate PT-Guard's ISA generality (Section IV-F: "the
+    principles apply to ARMv8 or any other ISA"): ARMv8 also provisions a
+    40-bit output address, leaving the same pooled headroom for a MAC. *)
+
+type field =
+  | Valid              (** bit 0 *)
+  | Block              (** bit 1: table/page vs block descriptor *)
+  | Memory_attributes  (** bits 5:2 (AttrIndx + NS) *)
+  | Access_permissions (** bits 7:6 (AP[2:1]) *)
+  | Accessed           (** bit 10 (AF) *)
+  | Caching            (** bit 11 *)
+  | Dirty              (** bit 51 (DBM) *)
+  | Contiguous         (** bit 52 *)
+  | Execute_never      (** bits 54:53 (PXN/UXN) *)
+
+val get_valid : int64 -> bool
+val set_valid : int64 -> bool -> int64
+val get_block : int64 -> bool
+val set_block : int64 -> bool -> int64
+val memory_attributes : int64 -> int64
+val set_memory_attributes : int64 -> int64 -> int64
+val access_permissions : int64 -> int64
+val set_access_permissions : int64 -> int64 -> int64
+val get_accessed : int64 -> bool
+val set_accessed : int64 -> bool -> int64
+val get_contiguous : int64 -> bool
+val set_contiguous : int64 -> bool -> int64
+val execute_never : int64 -> int64
+val set_execute_never : int64 -> int64 -> int64
+val hardware_attributes : int64 -> int64
+(** Bits 62:59. *)
+
+val pfn : int64 -> int64
+(** The 40-bit output frame number: PFN[37:0] at bits 49:12 and PFN[39:38]
+    at bits 9:8 (Table II's split encoding). *)
+
+val set_pfn : int64 -> int64 -> int64
+
+val make : ?writable:bool -> ?user:bool -> ?execute_never:bool -> pfn:int64 -> unit -> int64
+(** A valid page descriptor. [writable]/[user] map onto AP[2:1]. *)
+
+val zero : int64
+val is_zero : int64 -> bool
+val pp : Format.formatter -> int64 -> unit

@@ -1,0 +1,96 @@
+open Ptg_util
+
+type config = { phys_addr_bits : int }
+
+let make ~phys_addr_bits =
+  if phys_addr_bits < 32 || phys_addr_bits > 40 then
+    invalid_arg "Protection.make: phys_addr_bits must be in [32, 40]";
+  { phys_addr_bits }
+
+let default = make ~phys_addr_bits:40
+
+let mac_field_mask = Bits.field_mask ~lo:40 ~hi:51
+let identifier_field_mask = Bits.field_mask ~lo:52 ~hi:58
+
+let unused_pfn_mask cfg =
+  if cfg.phys_addr_bits >= 40 then 0L
+  else Bits.field_mask ~lo:cfg.phys_addr_bits ~hi:39
+
+let protected_mask cfg =
+  let flags = Int64.logand (Bits.field_mask ~lo:0 ~hi:8) (Int64.lognot (Bits.bit 5)) in
+  let programmable = Bits.field_mask ~lo:9 ~hi:11 in
+  let pfn = Bits.field_mask ~lo:12 ~hi:(cfg.phys_addr_bits - 1) in
+  let keys_nx = Bits.field_mask ~lo:59 ~hi:63 in
+  Int64.logor flags (Int64.logor programmable (Int64.logor pfn keys_nx))
+
+let protected_bits_per_pte cfg = Bits.popcount (protected_mask cfg)
+
+let zero_under mask line = Array.for_all (fun w -> Int64.logand w mask = 0L) line
+
+let basic_pattern_mask cfg = Int64.logor mac_field_mask (unused_pfn_mask cfg)
+
+let matches_basic_pattern cfg line = zero_under (basic_pattern_mask cfg) line
+
+let matches_extended_pattern cfg line =
+  zero_under (Int64.logor (basic_pattern_mask cfg) identifier_field_mask) line
+
+let embed_mac line mac =
+  let pieces = Ptg_crypto.Mac.split12 mac in
+  Array.mapi
+    (fun i w -> Bits.insert w ~lo:40 ~hi:51 (Int64.of_int pieces.(i)))
+    line
+
+let extract_mac line =
+  Ptg_crypto.Mac.join12
+    (Array.map (fun w -> Int64.to_int (Bits.extract w ~lo:40 ~hi:51)) line)
+
+let strip_mac line = Array.map (fun w -> Int64.logand w (Int64.lognot mac_field_mask)) line
+
+let masked_for_mac cfg line =
+  let m = protected_mask cfg in
+  Array.map (fun w -> Int64.logand w m) line
+
+let split7 ident =
+  if Int64.logand ident (Int64.lognot (Bits.mask 56)) <> 0L then
+    invalid_arg "Protection.split7: identifier wider than 56 bits";
+  Array.init 8 (fun i -> Int64.to_int (Bits.extract ident ~lo:(i * 7) ~hi:((i * 7) + 6)))
+
+let join7 pieces =
+  if Array.length pieces <> 8 then invalid_arg "Protection.join7: need 8 pieces";
+  let acc = ref 0L in
+  Array.iteri
+    (fun i p ->
+      if p < 0 || p > 0x7f then invalid_arg "Protection.join7: piece out of range";
+      acc := Int64.logor !acc (Int64.shift_left (Int64.of_int p) (i * 7)))
+    pieces;
+  !acc
+
+let embed_identifier line ident =
+  let pieces = split7 ident in
+  Array.mapi (fun i w -> Bits.insert w ~lo:52 ~hi:58 (Int64.of_int pieces.(i))) line
+
+let extract_identifier line =
+  join7 (Array.map (fun w -> Int64.to_int (Bits.extract w ~lo:52 ~hi:58)) line)
+
+let strip_identifier line =
+  Array.map (fun w -> Int64.logand w (Int64.lognot identifier_field_mask)) line
+
+let pfn_out_of_bounds cfg pte =
+  let max_pfn = Int64.shift_left 1L (cfg.phys_addr_bits - 12) in
+  Int64.unsigned_compare (X86.pfn pte) max_pfn >= 0
+
+let pp_table_iv cfg fmt () =
+  let m = cfg.phys_addr_bits in
+  Format.fprintf fmt
+    "@[<v>Bits      Description                Protected?@,\
+     8:0       Flags                      Yes (except accessed bit)@,\
+     11:9      Programmable               Yes@,\
+     %d:12     PFN                        Yes@,"
+    (m - 1);
+  if m < 40 then Format.fprintf fmt "39:%d     Ignored (Zeros)            -@," m;
+  Format.fprintf fmt
+    "51:40     MAC (1/8th portion)        -@,\
+     58:52     Ignored (Zeros)            -@,\
+     63:59     Prot. Keys / NX Flag       Yes@,\
+     (protected bits per PTE: %d)@]"
+    (protected_bits_per_pte cfg)

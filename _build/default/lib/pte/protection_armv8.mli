@@ -1,0 +1,53 @@
+(** PT-Guard's protection layout for ARMv8 descriptors (paper Section
+    IV-F: "Without loss of generality, we use x86_64 page table format ...
+    but the principles apply to ARMv8 or any other ISA").
+
+    ARMv8 provisions the same 40-bit output address as x86-64, but splits
+    it: PFN[37:0] at bits 49:12 and PFN[39:38] at bits 9:8 (Table II). At
+    M = 40 physical bits a PTE uses PFN bits 27:0 (descriptor bits 39:12),
+    leaving exactly 12 unused PFN bits per PTE — descriptor bits 49:40
+    plus 9:8 — i.e. the same 96 pooled MAC bits per cacheline as x86, just
+    scattered. The OS-ignored bits 58:55 give a 4-bit-per-PTE (32-bit per
+    line) identifier for the optimized design; being narrower than x86's
+    56-bit identifier, data-line identifier collisions are ~2^-32 per read
+    instead of ~2^-56 (still forwarded correctly, merely costing a MAC
+    computation).
+
+    Protected content mirrors Table IV's intent: every architectural field
+    except the Accessed flag (AF, bit 10) — valid/block, memory
+    attributes, access permissions, caching, dirty, contiguous,
+    execute-never, hardware attributes, and the in-use PFN bits. *)
+
+type config = { phys_addr_bits : int }
+
+val default : config
+(** M = 40. *)
+
+val make : phys_addr_bits:int -> config
+(** Supported range: 32..40 (12 to 20 unused PFN bits; the MAC always
+    uses the top 12). *)
+
+val protected_mask : config -> int64
+(** Per-descriptor mask of MAC-protected bits (45 bits at M = 40). *)
+
+val protected_bits_per_pte : config -> int
+
+val mac_field_mask : int64
+(** Bits 49:40 and 9:8 — the scattered 12-bit MAC slice. *)
+
+val identifier_field_mask : int64
+(** Bits 58:55. *)
+
+val matches_basic_pattern : config -> Line.t -> bool
+val matches_extended_pattern : config -> Line.t -> bool
+
+val embed_mac : Line.t -> Ptg_crypto.Mac.t -> Line.t
+val extract_mac : Line.t -> Ptg_crypto.Mac.t
+val strip_mac : Line.t -> Line.t
+val masked_for_mac : config -> Line.t -> Line.t
+
+val embed_identifier : Line.t -> int64 -> Line.t
+(** 32-bit identifier, 4 bits per descriptor. *)
+
+val extract_identifier : Line.t -> int64
+val strip_identifier : Line.t -> Line.t

@@ -1,0 +1,71 @@
+open Ptg_util
+
+type flag =
+  | Present
+  | Writable
+  | User_accessible
+  | Write_through
+  | Cache_disable
+  | Accessed
+  | Dirty
+  | Huge_page
+  | Global
+  | No_execute
+
+let flag_bit = function
+  | Present -> 0
+  | Writable -> 1
+  | User_accessible -> 2
+  | Write_through -> 3
+  | Cache_disable -> 4
+  | Accessed -> 5
+  | Dirty -> 6
+  | Huge_page -> 7
+  | Global -> 8
+  | No_execute -> 63
+
+let all_flags =
+  [ Present; Writable; User_accessible; Write_through; Cache_disable;
+    Accessed; Dirty; Huge_page; Global; No_execute ]
+
+let get_flag pte f = Bits.get pte (flag_bit f)
+let set_flag pte f b = Bits.assign pte (flag_bit f) b
+let pfn pte = Bits.extract pte ~lo:12 ~hi:51
+let set_pfn pte v = Bits.insert pte ~lo:12 ~hi:51 v
+let os_bits pte = Bits.extract pte ~lo:9 ~hi:11
+let set_os_bits pte v = Bits.insert pte ~lo:9 ~hi:11 v
+let protection_key pte = Bits.extract pte ~lo:59 ~hi:62
+let set_protection_key pte v = Bits.insert pte ~lo:59 ~hi:62 v
+let ignored_bits pte = Bits.extract pte ~lo:52 ~hi:58
+
+let make ?(writable = false) ?(user = false) ?(accessed = false) ?(dirty = false)
+    ?(global = false) ?(no_execute = false) ?(protection_key = 0L) ~pfn () =
+  let pte = set_flag 0L Present true in
+  let pte = set_flag pte Writable writable in
+  let pte = set_flag pte User_accessible user in
+  let pte = set_flag pte Accessed accessed in
+  let pte = set_flag pte Dirty dirty in
+  let pte = set_flag pte Global global in
+  let pte = set_flag pte No_execute no_execute in
+  let pte = set_protection_key pte protection_key in
+  set_pfn pte pfn
+
+let zero = 0L
+let is_zero pte = Int64.equal pte 0L
+let phys_addr pte = Int64.shift_left (pfn pte) 12
+
+let pp fmt pte =
+  if is_zero pte then Format.fprintf fmt "<zero>"
+  else begin
+    Format.fprintf fmt "pfn=0x%Lx" (pfn pte);
+    let letter f c = if get_flag pte f then Format.fprintf fmt " %c" c in
+    letter Present 'P';
+    letter Writable 'W';
+    letter User_accessible 'U';
+    letter Accessed 'A';
+    letter Dirty 'D';
+    letter Global 'G';
+    letter No_execute 'X';
+    let pk = protection_key pte in
+    if pk <> 0L then Format.fprintf fmt " pk=%Ld" pk
+  end

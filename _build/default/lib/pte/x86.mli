@@ -1,0 +1,66 @@
+(** x86_64 page table entry codec (paper Table I, Intel SDM Vol. 3A).
+
+    A PTE is a raw [int64]; this module names every architectural field so
+    the rest of the system never hard-codes bit positions. The same layout
+    is used at all four paging levels (PML4E/PDPTE/PDE/PTE). *)
+
+type flag =
+  | Present            (** bit 0 *)
+  | Writable           (** bit 1 *)
+  | User_accessible    (** bit 2 *)
+  | Write_through      (** bit 3 *)
+  | Cache_disable      (** bit 4 *)
+  | Accessed           (** bit 5 *)
+  | Dirty              (** bit 6 *)
+  | Huge_page          (** bit 7: 2 MB page at PDE level / PAT at PTE level *)
+  | Global             (** bit 8 *)
+  | No_execute         (** bit 63 *)
+
+val flag_bit : flag -> int
+val all_flags : flag list
+
+val get_flag : int64 -> flag -> bool
+val set_flag : int64 -> flag -> bool -> int64
+
+val pfn : int64 -> int64
+(** Bits 51:12 — the page frame number. *)
+
+val set_pfn : int64 -> int64 -> int64
+(** [set_pfn pte pfn] keeps only the low 40 bits of [pfn]. *)
+
+val os_bits : int64 -> int64
+(** Bits 11:9, usable by the OS. *)
+
+val set_os_bits : int64 -> int64 -> int64
+
+val protection_key : int64 -> int64
+(** Bits 62:59 — memory protection key domain (MPK). *)
+
+val set_protection_key : int64 -> int64 -> int64
+
+val ignored_bits : int64 -> int64
+(** Bits 58:52, ignored by hardware; PT-Guard's identifier lives here. *)
+
+val make :
+  ?writable:bool ->
+  ?user:bool ->
+  ?accessed:bool ->
+  ?dirty:bool ->
+  ?global:bool ->
+  ?no_execute:bool ->
+  ?protection_key:int64 ->
+  pfn:int64 ->
+  unit ->
+  int64
+(** A present PTE with the given fields; unspecified flags are clear. *)
+
+val zero : int64
+(** The not-present all-zero PTE (the common case in real page tables). *)
+
+val is_zero : int64 -> bool
+
+val phys_addr : int64 -> int64
+(** [pfn pte * 4096]. *)
+
+val pp : Format.formatter -> int64 -> unit
+(** Compact human-readable rendering, e.g. [pfn=0x1a2b P W U A D]. *)

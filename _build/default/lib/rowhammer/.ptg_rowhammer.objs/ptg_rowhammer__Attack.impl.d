@@ -1,0 +1,1 @@
+lib/rowhammer/attack.ml: Array Format List Ptg_dram

@@ -1,0 +1,1 @@
+lib/rowhammer/attack.mli: Format Ptg_dram

@@ -1,0 +1,1 @@
+lib/rowhammer/blacksmith.ml: Array Format List Ptg_dram Ptg_util

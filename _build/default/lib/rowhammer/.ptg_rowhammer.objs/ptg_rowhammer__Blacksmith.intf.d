@@ -1,0 +1,1 @@
+lib/rowhammer/blacksmith.mli: Format Ptg_dram Ptg_util

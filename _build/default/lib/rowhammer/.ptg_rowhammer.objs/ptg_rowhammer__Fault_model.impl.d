@@ -1,0 +1,1 @@
+lib/rowhammer/fault_model.ml: Hashtbl List Option Ptg_dram Ptg_pte Ptg_util

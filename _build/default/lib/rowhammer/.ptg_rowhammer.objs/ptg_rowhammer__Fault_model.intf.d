@@ -1,0 +1,1 @@
+lib/rowhammer/fault_model.mli: Ptg_dram Ptg_util

@@ -1,0 +1,1 @@
+lib/rowhammer/inject.ml: Hashtbl List Ptg_pte Ptg_util

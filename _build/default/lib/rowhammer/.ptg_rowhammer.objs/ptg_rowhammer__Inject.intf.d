@@ -1,0 +1,1 @@
+lib/rowhammer/inject.mli: Ptg_pte Ptg_util

@@ -1,0 +1,57 @@
+(** Rowhammer attack access patterns (paper Section II).
+
+    Each pattern is compiled to a schedule of row activations on one bank.
+    Row-buffer behaviour matters: alternating between at least two rows in
+    the same bank forces an activation per access (a single repeated row
+    would hit in the row buffer and never re-activate), which is why even
+    "single-sided" hammering uses a far dummy row. *)
+
+type pattern =
+  | Single_sided of { aggressor : int; dummy : int }
+      (** Alternate [aggressor] with a far-away [dummy] row. *)
+  | Double_sided of { victim : int }
+      (** Alternate [victim-1] and [victim+1]: the classic strongest pattern. *)
+  | Many_sided of { aggressors : int list }
+      (** Cycle through many aggressor rows so a limited-entry tracker
+          cannot accumulate counts on any of them. *)
+  | Synchronized_many_sided of {
+      aggressors : int list;
+      decoys : int list;
+      ref_interval : int;
+      window : int;
+    }
+      (** TRRespass/SMASH-style: the attacker aligns with the REF cadence
+          ([ref_interval] activations) and feeds [decoys] during the
+          [window] activations the TRR sampler observes after each REF,
+          hammering [aggressors] the rest of the time — the sampler only
+          ever tracks decoys, so mitigations never refresh the real
+          victims. *)
+  | Half_double of { victim : int; distance : int }
+      (** Hammer rows at [victim +/- distance] (distance 2): flips arrive
+          via the mitigation's own refreshes of the distance-1 rows. *)
+
+val pp_pattern : Format.formatter -> pattern -> unit
+val pattern_name : pattern -> string
+
+val aggressor_rows : pattern -> int list
+(** The set of rows the attacker touches. *)
+
+val victim_rows : pattern -> int list
+(** The rows the attacker intends to flip. *)
+
+val schedule : pattern -> iterations:int -> int array
+(** The row-activation sequence: [iterations] passes over the pattern's
+    aggressor rotation. Length = iterations * (rows in rotation). *)
+
+val run :
+  Ptg_dram.Dram.t ->
+  channel:int ->
+  bank:int ->
+  pattern ->
+  iterations:int ->
+  start_time:int ->
+  int
+(** Execute the schedule as timed DRAM accesses (one line of each row,
+    alternating columns to defeat the row buffer). Returns the finish
+    time. Mitigations and fault models attached to the DRAM observe the
+    resulting activations. *)

@@ -1,0 +1,72 @@
+type tuple = { row : int; freq : int; phase : int; amplitude : int }
+type pattern = { period : int; tuples : tuple list }
+
+let schedule pattern ~slots =
+  if pattern.period < 1 then invalid_arg "Blacksmith.schedule: period";
+  List.iter
+    (fun t ->
+      if t.freq < 1 || t.amplitude < 1 || t.phase < 0 then
+        invalid_arg "Blacksmith.schedule: tuple")
+    pattern.tuples;
+  let rot = ref 0 in
+  let filler_a = 30_000 and filler_b = 30_100 in
+  Array.init slots (fun i ->
+      let slot = i mod pattern.period in
+      let active =
+        List.filter
+          (fun t -> (slot - t.phase + (16 * t.freq)) mod t.freq < t.amplitude)
+          pattern.tuples
+      in
+      match active with
+      | [] ->
+          (* keep the activation stream dense, alternating two far rows so
+             the row buffer never absorbs accesses *)
+          if i land 1 = 0 then filler_a else filler_b
+      | l ->
+          incr rot;
+          (List.nth l (!rot mod List.length l)).row)
+
+let random_pattern rng ~victim ~decoys =
+  let period = 64 * (1 + Ptg_util.Rng.int rng 4) in
+  let divisors = [ 1; 2; 4; 8; 16; 32 ] in
+  let random_freq () =
+    period / List.nth divisors (Ptg_util.Rng.int rng (List.length divisors))
+  in
+  let mk row =
+    {
+      row;
+      freq = max 1 (random_freq ());
+      phase = Ptg_util.Rng.int rng period;
+      amplitude = 1 + Ptg_util.Rng.int rng 6;
+    }
+  in
+  let aggressors = [ mk (victim - 1); mk (victim + 1) ] in
+  let decoy_rows = List.init decoys (fun i -> victim + 200 + (2 * i)) in
+  { period; tuples = aggressors @ List.map mk decoy_rows }
+
+let run dram ~channel ~bank pattern ~slots ~start_time =
+  let geometry = Ptg_dram.Dram.geometry dram in
+  let sched = schedule pattern ~slots in
+  let now = ref start_time in
+  Array.iteri
+    (fun i row ->
+      if row >= 0 && row < geometry.Ptg_dram.Geometry.rows_per_bank then begin
+        let coords =
+          { Ptg_dram.Geometry.channel;
+            rank = bank / geometry.Ptg_dram.Geometry.banks_per_rank; bank; row;
+            col = i land (geometry.Ptg_dram.Geometry.columns - 1) }
+        in
+        let addr = Ptg_dram.Geometry.encode geometry coords in
+        let r = Ptg_dram.Dram.access dram ~now:!now ~addr ~is_write:false in
+        now := !now + r.Ptg_dram.Dram.latency
+      end)
+    sched;
+  !now
+
+let pp_pattern fmt p =
+  Format.fprintf fmt "period=%d:" p.period;
+  List.iter
+    (fun t ->
+      Format.fprintf fmt " (row=%d f=%d ph=%d amp=%d)" t.row t.freq t.phase
+        t.amplitude)
+    p.tuples

@@ -1,0 +1,43 @@
+(** Blacksmith-style frequency-domain Rowhammer fuzzing (Jattke et al.,
+    S&P 2022 — one of the paper's "breakthrough" attacks).
+
+    Where TRRespass defeats TRR samplers with {e many} aggressors and
+    SMASH with explicit REF synchronization, Blacksmith fuzzes
+    {e non-uniform} patterns: each aggressor is hammered with its own
+    frequency, phase and amplitude within a repeating period. Patterns
+    whose phase structure keeps the true aggressors out of the sampler's
+    observation slots defeat the mitigation without the attacker ever
+    knowing the REF timing — Blacksmith found effective patterns on all
+    40 DIMMs it fuzzed.
+
+    The model: a pattern is a set of [(row, freq, phase, amplitude)]
+    tuples compiled to an activation schedule; {!campaign} runs the fuzz
+    loop the tool implements — generate a random pattern, hammer a fresh
+    TRR-protected module, keep it if bits flip. *)
+
+type tuple = { row : int; freq : int; phase : int; amplitude : int }
+
+type pattern = { period : int; tuples : tuple list }
+
+val schedule : pattern -> slots:int -> int array
+(** Compile to a row-activation sequence of [slots] accesses: at slot
+    [i], the tuples for which [(i - phase) mod freq < amplitude] are
+    active; among the active rows the schedule round-robins, and slots
+    with no active tuple visit a far filler row (keeping the activation
+    rate constant, as on real hardware). *)
+
+val random_pattern :
+  Ptg_util.Rng.t -> victim:int -> decoys:int -> pattern
+(** A fuzzer candidate: the two distance-1 aggressors of [victim] plus
+    [decoys] far rows, each with randomized frequency (divisors of the
+    period), phase and amplitude — the Blacksmith search space. *)
+
+val run :
+  Ptg_dram.Dram.t -> channel:int -> bank:int -> pattern -> slots:int ->
+  start_time:int -> int
+(** Execute the compiled schedule as timed accesses on one bank; returns
+    the finish time. The fuzzing loop that searches for effective patterns
+    lives in {!Ptg_mitigations.Blacksmith_campaign} (it needs the TRR
+    model). *)
+
+val pp_pattern : Format.formatter -> pattern -> unit

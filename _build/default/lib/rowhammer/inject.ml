@@ -1,0 +1,25 @@
+let flip_bits line bits =
+  List.fold_left (fun l b -> Ptg_pte.Line.flip_bit l b) line bits
+
+let flip_line rng ~p_flip line =
+  if p_flip < 0.0 || p_flip > 1.0 then invalid_arg "Inject.flip_line: p_flip";
+  if p_flip = 0.0 then (Ptg_pte.Line.copy line, [])
+  else begin
+    let bits = ref [] in
+    let bit = ref (Ptg_util.Rng.geometric rng p_flip) in
+    while !bit < 512 do
+      bits := !bit :: !bits;
+      bit := !bit + 1 + Ptg_util.Rng.geometric rng p_flip
+    done;
+    let bits = List.rev !bits in
+    (flip_bits line bits, bits)
+  end
+
+let flip_exactly rng ~n line =
+  if n < 0 || n > 512 then invalid_arg "Inject.flip_exactly: n";
+  let chosen = Hashtbl.create n in
+  while Hashtbl.length chosen < n do
+    Hashtbl.replace chosen (Ptg_util.Rng.int rng 512) ()
+  done;
+  let bits = List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) chosen []) in
+  (flip_bits line bits, bits)

@@ -1,0 +1,18 @@
+(** Direct uniform fault injection into cachelines.
+
+    This is the evaluation methodology of the paper's Section VI-F: "For
+    each PTE cacheline obtained from DRAM, we flip each bit with a uniform
+    probability of p_flip" — decoupled from the full DRAM attack machinery
+    so the correction experiments are controlled and fast. *)
+
+val flip_line : Ptg_util.Rng.t -> p_flip:float -> Ptg_pte.Line.t -> Ptg_pte.Line.t * int list
+(** [flip_line rng ~p_flip line] flips each of the 512 bits independently
+    with probability [p_flip]; returns the faulty line and the flipped bit
+    indices (ascending). Uses geometric skipping, so cost is proportional
+    to the number of flips, not 512. *)
+
+val flip_exactly : Ptg_util.Rng.t -> n:int -> Ptg_pte.Line.t -> Ptg_pte.Line.t * int list
+(** Flip exactly [n] distinct uniformly-chosen bits. *)
+
+val flip_bits : Ptg_pte.Line.t -> int list -> Ptg_pte.Line.t
+(** Flip a given list of bit positions. *)

@@ -1,0 +1,1 @@
+lib/sim/ablations.ml: Array Config Correction Ctb Engine Float Int64 List Printf Ptg_cpu Ptg_crypto Ptg_dram Ptg_memctrl Ptg_pte Ptg_rowhammer Ptg_util Ptg_vm Ptg_workloads Ptguard Rng Table

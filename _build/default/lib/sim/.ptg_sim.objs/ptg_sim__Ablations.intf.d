@@ -1,0 +1,1 @@
+lib/sim/ablations.mli: Ptg_workloads

@@ -1,0 +1,1 @@
+lib/sim/attacks_exp.ml: Array List Option Printf Ptg_dram Ptg_mitigations Ptg_pte Ptg_rowhammer Ptg_util Ptg_vm Ptguard Rng Table

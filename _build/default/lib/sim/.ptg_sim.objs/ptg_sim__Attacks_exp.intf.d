@@ -1,0 +1,1 @@
+lib/sim/attacks_exp.mli:

@@ -1,0 +1,1 @@
+lib/sim/baselines_exp.ml: Array Bits Encrypted_pte Fun Int64 List Monotonic Ptg_baselines Ptg_pte Ptg_util Ptguard Rng Secwalk Table

@@ -1,0 +1,1 @@
+lib/sim/baselines_exp.mli:

@@ -1,0 +1,1 @@
+lib/sim/fig6.ml: Array Float Int64 List Printf Ptg_cpu Ptg_util Ptg_workloads Ptguard Rng Stats Table

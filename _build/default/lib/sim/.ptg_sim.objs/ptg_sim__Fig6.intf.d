@@ -1,0 +1,1 @@
+lib/sim/fig6.mli: Ptg_util Ptg_workloads Ptguard

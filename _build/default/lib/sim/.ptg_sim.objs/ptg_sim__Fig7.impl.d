@@ -1,0 +1,1 @@
+lib/sim/fig7.ml: Array Int64 List Ptg_cpu Ptg_util Ptg_workloads Ptguard Rng Stats Table

@@ -1,0 +1,1 @@
+lib/sim/fig7.mli: Ptg_workloads Ptguard

@@ -1,0 +1,1 @@
+lib/sim/fig8.ml: Array List Printf Ptg_util Ptg_vm Rng Table

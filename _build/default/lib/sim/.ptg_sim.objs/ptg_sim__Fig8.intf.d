@@ -1,0 +1,1 @@
+lib/sim/fig8.mli: Ptg_vm

@@ -1,0 +1,1 @@
+lib/sim/fig9.ml: Array Float Hashtbl Int64 List Option Printf Ptg_pte Ptg_rowhammer Ptg_util Ptg_vm Ptg_workloads Ptguard Rng Stats Table

@@ -1,0 +1,1 @@
+lib/sim/fig9.mli: Ptg_util Ptg_workloads Ptguard

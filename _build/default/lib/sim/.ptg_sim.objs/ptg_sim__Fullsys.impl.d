@@ -1,0 +1,1 @@
+lib/sim/fullsys.ml: Array Format Frame_allocator Hashtbl Int64 Page_table Ptg_cpu Ptg_dram Ptg_memctrl Ptg_pte Ptg_rowhammer Ptg_util Ptg_vm Ptguard Rng

@@ -1,0 +1,1 @@
+lib/sim/fullsys.mli: Format Ptg_rowhammer

@@ -1,0 +1,1 @@
+lib/sim/multicore_exp.ml: Array Int64 List Printf Ptg_cpu Ptg_util Ptg_workloads Ptguard Rng Stats String Table

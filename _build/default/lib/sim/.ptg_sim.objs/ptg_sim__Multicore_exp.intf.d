@@ -1,0 +1,1 @@
+lib/sim/multicore_exp.mli: Ptg_workloads Ptguard

@@ -1,0 +1,1 @@
+lib/sim/security_exp.ml: Format Fun List Printf Ptg_crypto Ptg_util Security

@@ -1,0 +1,1 @@
+lib/sim/security_exp.mli: Ptg_crypto

@@ -1,0 +1,1 @@
+lib/sim/tables_exp.ml: Format List Printf Ptg_cpu Ptg_pte Ptg_util Ptguard Table

@@ -1,0 +1,1 @@
+lib/sim/tables_exp.mli: Ptg_pte Ptguard

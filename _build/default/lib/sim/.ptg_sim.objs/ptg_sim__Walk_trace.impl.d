@@ -1,0 +1,1 @@
+lib/sim/walk_trace.ml: Array Fig9 Fun Hashtbl Int64 List Option Printf Ptg_cpu Ptg_rowhammer Ptg_util Ptg_vm Ptg_workloads Ptguard Rng String

@@ -1,0 +1,1 @@
+lib/sim/walk_trace.mli: Hashtbl Ptg_pte Ptg_workloads

@@ -1,0 +1,35 @@
+(** Prior page-table defenses vs PT-Guard (paper Sections II-E and VIII-C).
+
+    Reproduces the paper's qualitative comparison as a measured matrix.
+    Six threat scenarios are thrown at four defenses (none, Monotonic
+    Pointers, SecWalk-style EDC, PT-Guard) and each trial is scored:
+
+    - [blocked]: the tampering could not produce a dangerous value
+      (Monotonic's placement guarantee);
+    - [detected]: the defense flagged the corruption before use;
+    - [corrected]: flagged and transparently repaired (PT-Guard only);
+    - [escaped]: a tampered PTE would have been consumed.
+
+    The paper's claims this table demonstrates: Monotonic leaves every
+    non-PFN field exposed and collapses on anti-cell flips; a keyless EDC
+    is forged outright and never binds the address; PT-Guard detects
+    everything and corrects most. *)
+
+type outcome_counts = {
+  trials : int;
+  blocked : int;
+  detected : int;
+  corrected : int;
+  escaped : int;
+}
+
+type row = { threat : string; defense : string; counts : outcome_counts }
+type result = { rows : row list }
+
+val threats : string list
+
+val run : ?trials:int -> ?seed:int64 -> unit -> result
+(** Default 500 trials per (threat, defense) cell. *)
+
+val print : result -> unit
+val to_csv : result -> path:string -> unit

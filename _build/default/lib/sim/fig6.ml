@@ -1,0 +1,129 @@
+open Ptg_util
+
+type row = {
+  workload : string;
+  mpki : float;
+  base_ipc : float;
+  norm_ipc : float;
+  slowdown_pct : float;
+  pte_dram_reads : int;
+  dram_reads : int;
+}
+
+type result = {
+  rows : row list;
+  gmean_norm_ipc : float;
+  amean_norm_ipc : float;
+  amean_slowdown_pct : float;
+  max_slowdown_pct : float;
+}
+
+let run_workload ~instrs ~warmup ~seed ~guard spec =
+  let rng = Rng.create seed in
+  let stream = Ptg_workloads.Workload.stream rng spec in
+  let core = Ptg_cpu.Core.create ~guard () in
+  ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
+  Ptg_cpu.Core.run core ~instrs ~stream
+
+let run ?(instrs = 2_000_000) ?(warmup = 500_000) ?(seed = 42L)
+    ?(config = Ptguard.Config.baseline) ?(workloads = Ptg_workloads.Workload.all) () =
+  let rows =
+    List.map
+      (fun spec ->
+        let base =
+          run_workload ~instrs ~warmup ~seed ~guard:Ptg_cpu.Guard_timing.unprotected
+            spec
+        in
+        let guard =
+          Ptg_cpu.Guard_timing.of_config config
+            ~rng:(Rng.create (Int64.add seed 1L))
+        in
+        let guarded = run_workload ~instrs ~warmup ~seed ~guard spec in
+        let norm_ipc =
+          guarded.Ptg_cpu.Core.ipc /. base.Ptg_cpu.Core.ipc
+        in
+        {
+          workload = spec.Ptg_workloads.Workload.name;
+          mpki = base.Ptg_cpu.Core.llc_mpki;
+          base_ipc = base.Ptg_cpu.Core.ipc;
+          norm_ipc;
+          slowdown_pct = 100.0 *. (1.0 -. norm_ipc);
+          pte_dram_reads = base.Ptg_cpu.Core.pte_dram_reads;
+          dram_reads = base.Ptg_cpu.Core.dram_reads;
+        })
+      workloads
+  in
+  let norms = Array.of_list (List.map (fun r -> r.norm_ipc) rows) in
+  let slowdowns = Array.of_list (List.map (fun r -> r.slowdown_pct) rows) in
+  {
+    rows;
+    gmean_norm_ipc = Stats.geomean norms;
+    amean_norm_ipc = Stats.mean norms;
+    amean_slowdown_pct = Stats.mean slowdowns;
+    max_slowdown_pct = Array.fold_left Float.max 0.0 slowdowns;
+  }
+
+let to_rows result =
+  List.map
+    (fun r ->
+      [
+        r.workload;
+        Table.f2 r.mpki;
+        Table.f3 r.base_ipc;
+        Table.f3 r.norm_ipc;
+        Table.fpct r.slowdown_pct;
+        string_of_int r.dram_reads;
+        string_of_int r.pte_dram_reads;
+      ])
+    result.rows
+  @ [
+      [ "GMEAN"; ""; ""; Table.f3 result.gmean_norm_ipc; ""; ""; "" ];
+      [
+        "AMEAN"; ""; ""; Table.f3 result.amean_norm_ipc;
+        Table.fpct result.amean_slowdown_pct; ""; "";
+      ];
+    ]
+
+let header =
+  [ "workload"; "LLC MPKI"; "IPC_b"; "IPC/IPC_b"; "slowdown"; "DRAM rd"; "PTE rd" ]
+
+let print result =
+  print_endline "Figure 6: PT-Guard normalized IPC and LLC MPKI per workload";
+  Table.print
+    ~align:[ Table.Left; Right; Right; Right; Right; Right; Right ]
+    ~header (to_rows result);
+  Printf.printf
+    "Paper: 1.3%% average slowdown, 3.6%% worst (xalancbmk @ 29 MPKI).\n\
+     Here:  %.2f%% average slowdown, %.2f%% worst.\n"
+    result.amean_slowdown_pct result.max_slowdown_pct
+
+let to_csv result ~path = Table.save_csv ~path ~header (to_rows result)
+
+type multi = {
+  runs : result list;
+  amean_slowdown : Stats.summary;
+  max_slowdown : Stats.summary;
+}
+
+let run_multi ?(seeds = 5) ?instrs ?warmup ?config ?workloads () =
+  if seeds < 1 then invalid_arg "Fig6.run_multi: seeds";
+  let runs =
+    List.init seeds (fun i ->
+        run ?instrs ?warmup ?config ?workloads ~seed:(Int64.of_int (1000 + i)) ())
+  in
+  {
+    runs;
+    amean_slowdown =
+      Stats.summarize (Array.of_list (List.map (fun r -> r.amean_slowdown_pct) runs));
+    max_slowdown =
+      Stats.summarize (Array.of_list (List.map (fun r -> r.max_slowdown_pct) runs));
+  }
+
+let print_multi m =
+  Printf.printf
+    "Figure 6 across %d seeds: average slowdown %.2f%% (se %.3f, min %.2f, max %.2f);\n\
+     worst-case slowdown %.2f%% (se %.3f).\n\
+     Paper: 1.3%% average, 3.6%% worst.\n"
+    m.amean_slowdown.Stats.n m.amean_slowdown.Stats.mean m.amean_slowdown.Stats.stderr
+    m.amean_slowdown.Stats.min m.amean_slowdown.Stats.max m.max_slowdown.Stats.mean
+    m.max_slowdown.Stats.stderr

@@ -1,0 +1,58 @@
+(** Figure 6: normalized IPC under PT-Guard and LLC MPKI, per workload.
+
+    Paper result being reproduced: 1.3% average slowdown across 25
+    SPEC/GAP workloads with a 10-cycle MAC; slowdown grows with LLC MPKI;
+    xalancbmk worst at 3.6% (MPKI 29); workloads below 5 MPKI lose < 1%. *)
+
+type row = {
+  workload : string;
+  mpki : float;
+  base_ipc : float;
+  norm_ipc : float;      (** IPC_PT-Guard / IPC_base *)
+  slowdown_pct : float;
+  pte_dram_reads : int;
+  dram_reads : int;
+}
+
+type result = {
+  rows : row list;
+  gmean_norm_ipc : float;
+  amean_norm_ipc : float;
+  amean_slowdown_pct : float;
+  max_slowdown_pct : float;
+}
+
+val run :
+  ?instrs:int ->
+  ?warmup:int ->
+  ?seed:int64 ->
+  ?config:Ptguard.Config.t ->
+  ?workloads:Ptg_workloads.Workload.spec list ->
+  unit ->
+  result
+(** Defaults: 2M timed instructions after 500K warmup per workload, the
+    Baseline PT-Guard design at 10-cycle MAC latency, all 25 workloads.
+    Identical streams (same seed) drive the unprotected and protected
+    runs, so the IPC ratio isolates the MAC delay exactly. *)
+
+val print : result -> unit
+val to_csv : result -> path:string -> unit
+
+type multi = {
+  runs : result list;
+  amean_slowdown : Ptg_util.Stats.summary;  (** across seeds *)
+  max_slowdown : Ptg_util.Stats.summary;
+}
+
+val run_multi :
+  ?seeds:int ->
+  ?instrs:int ->
+  ?warmup:int ->
+  ?config:Ptguard.Config.t ->
+  ?workloads:Ptg_workloads.Workload.spec list ->
+  unit ->
+  multi
+(** Repeat {!run} over [seeds] distinct seeds (default 5) and summarize
+    the run-to-run spread of the headline numbers. *)
+
+val print_multi : multi -> unit

@@ -1,0 +1,32 @@
+(** Figure 7: average and worst-case slowdown of PT-Guard vs Optimized
+    PT-Guard as the MAC computation latency sweeps 5..20 cycles.
+
+    Paper result being reproduced: PT-Guard's average slowdown scales
+    0.7% -> 2.6% across the sweep while Optimized PT-Guard stays below
+    0.3% (its MAC computations cover < 2% of DRAM reads); at the default
+    10 cycles, Optimized averages 0.2% with a 0.4% worst case. *)
+
+type point = {
+  design : Ptguard.Config.design;
+  mac_latency : int;
+  avg_slowdown_pct : float;
+  max_slowdown_pct : float;
+  max_workload : string;
+  mac_reads_fraction : float;
+      (** fraction of DRAM reads that paid the MAC latency *)
+}
+
+type result = { points : point list }
+
+val run :
+  ?instrs:int ->
+  ?warmup:int ->
+  ?seed:int64 ->
+  ?latencies:int list ->
+  ?workloads:Ptg_workloads.Workload.spec list ->
+  unit ->
+  result
+(** Defaults: latencies [5; 10; 15; 20], both designs, all workloads. *)
+
+val print : result -> unit
+val to_csv : result -> path:string -> unit

@@ -1,0 +1,19 @@
+(** Figure 8: distribution of PFN values across the page tables of 623
+    simulated processes.
+
+    Paper result being reproduced: 64.13% zero PTEs and 23.73% contiguous
+    PFNs on average over 623 processes (24M PTEs), with >99% of lines
+    having uniform flags — the locality the correction strategies exploit. *)
+
+type result = {
+  aggregate : Ptg_vm.Profile.aggregate;
+  sample_rows : (float * float * float) array;
+      (** (zero, contiguous, non-contiguous) for a decile sample of
+          processes, sorted by contiguity — the Figure 8 curve shape *)
+}
+
+val run : ?processes:int -> ?seed:int64 -> unit -> result
+(** Default: 623 processes, matching the paper's survey size. *)
+
+val print : result -> unit
+val to_csv : result -> path:string -> unit

@@ -1,0 +1,69 @@
+(** Figure 9: fraction of faulty PTE cachelines corrected by PT-Guard's
+    best-effort correction, per bit-flip probability.
+
+    Paper result being reproduced: across workloads, 93% of erroneous PTE
+    cachelines are corrected at p_flip = 1/512 (the DDR4 worst case) and
+    70% at 1/128 (the LPDDR4 worst case), with 100% detection and no
+    mis-corrections (126M simulated PTE accesses in the paper).
+
+    PTE cachelines are drawn from per-workload simulated processes,
+    weighted by the number of present PTEs in the line — walks fetch the
+    lines of mapped pages, so populated lines dominate the sample, exactly
+    as in traces of page-table walks. *)
+
+type cell = {
+  p_flip : float;
+  sampled : int;          (** faulty lines examined (>= 1 flip) *)
+  corrected : int;
+  uncorrectable : int;    (** detected and reported to the OS *)
+  benign : int;           (** flips confined to unprotected bits *)
+  miscorrections : int;   (** must be 0 *)
+  escapes : int;          (** tampering that passed verification; must be 0 *)
+  corrected_pct : float;  (** corrected / (corrected + uncorrectable) *)
+}
+
+type workload_result = { workload : string; cells : cell list }
+
+type result = {
+  per_workload : workload_result list;
+  average : cell list;       (** pooled over workloads, per p_flip *)
+  step_histogram : (string * int) list;
+      (** which correction strategy fired, across all corrections *)
+}
+
+val default_p_flips : float list
+(** [1/1024; 1/512; 1/256; 1/128], the x-axis of Figure 9. *)
+
+val run :
+  ?lines_per_point:int ->
+  ?seed:int64 ->
+  ?p_flips:float list ->
+  ?config:Ptguard.Config.t ->
+  ?workloads:Ptg_workloads.Workload.spec list ->
+  unit ->
+  result
+(** Defaults: 300 faulty lines per (workload, p_flip) point, the Optimized
+    design, the Figure 9 workload subset. *)
+
+val print : result -> unit
+val to_csv : result -> path:string -> unit
+
+type multi = {
+  p_flips : float list;
+  corrected : Ptg_util.Stats.summary list;  (** per p_flip, across seeds *)
+  total_miscorrections : int;
+  total_escapes : int;
+}
+
+val run_multi :
+  ?seeds:int ->
+  ?lines_per_point:int ->
+  ?p_flips:float list ->
+  ?config:Ptguard.Config.t ->
+  ?workloads:Ptg_workloads.Workload.spec list ->
+  unit ->
+  multi
+(** Repeat {!run} over [seeds] seeds (default 5) and summarize the spread
+    of the average corrected%% per flip probability. *)
+
+val print_multi : multi -> unit

@@ -1,0 +1,235 @@
+open Ptg_util
+open Ptg_vm
+
+type config = {
+  guarded : bool;
+  attack : bool;
+  hammer_period : int;
+  hammer_burst : int;
+  fault : Ptg_rowhammer.Fault_model.config;
+}
+
+let default_config =
+  {
+    guarded = true;
+    attack = true;
+    hammer_period = 2000;
+    hammer_burst = 2000;
+    fault = Ptg_rowhammer.Fault_model.lpddr4;
+  }
+
+type result = {
+  instrs : int;
+  cycles : int;
+  ipc : float;
+  walks : int;
+  walk_corrections : int;
+  walk_exceptions : int;
+  refaults : int;
+  flips_landed : int;
+  wrong_translations : int;
+}
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  dram : Ptg_dram.Dram.t;
+  fault : Ptg_rowhammer.Fault_model.t;
+  mc : Ptg_memctrl.Memctrl.t;
+  table : Page_table.t;
+  root : int64;
+  shadow : (int64, int64) Hashtbl.t; (* vpn -> intended pfn *)
+  vaddrs : int64 array;              (* mapped pages, index-addressable *)
+  tlb : Ptg_cpu.Tlb.t;
+  translations : (int64, int64) Hashtbl.t; (* vpn -> cached paddr (TLB payload) *)
+  victim : Ptg_dram.Geometry.coords;
+  mutable now : int;
+  mutable walks : int;
+  mutable walk_corrections : int;
+  mutable walk_exceptions : int;
+  mutable refaults : int;
+  mutable wrong_translations : int;
+}
+
+let vaddr_base = 0x1000_0000L
+
+let create ?(config = default_config) ?(pages = 2048) ~seed () =
+  let rng = Rng.create seed in
+  let dram = Ptg_dram.Dram.create () in
+  let fault =
+    Ptg_rowhammer.Fault_model.attach ~config:config.fault ~rng:(Rng.split rng) dram
+  in
+  let engine =
+    if config.guarded then
+      Some (Ptguard.Engine.create ~config:Ptguard.Config.optimized ~rng:(Rng.split rng) ())
+    else None
+  in
+  let mc = Ptg_memctrl.Memctrl.create ?engine dram in
+  let mem = Ptg_memctrl.Memctrl.phys_mem mc in
+  (* Contiguous kernel pool: the leaf tables land in a couple of DRAM rows,
+     which is exactly what the attacker wants to aim at. *)
+  let kernel_alloc = Frame_allocator.create ~p_break:0.0 ~start_frame:0x20000L rng in
+  let user_alloc = Frame_allocator.create ~p_break:0.05 ~start_frame:0x80000L rng in
+  let table = Page_table.create ~mem ~alloc:kernel_alloc in
+  let shadow = Hashtbl.create pages in
+  let vaddrs =
+    Array.init pages (fun i ->
+        let vaddr = Int64.add vaddr_base (Int64.of_int (i * 4096)) in
+        let pfn = Frame_allocator.alloc user_alloc in
+        Page_table.map table ~vaddr
+          ~pte:(Ptg_pte.X86.make ~writable:true ~user:true ~pfn ());
+        Hashtbl.replace shadow (Int64.shift_right_logical vaddr 12) pfn;
+        vaddr)
+  in
+  let victim =
+    match Page_table.leaf_line_addrs table with
+    | first :: _ -> Ptg_dram.Geometry.decode (Ptg_dram.Dram.geometry dram) first
+    | [] -> assert false
+  in
+  {
+    cfg = config;
+    rng;
+    dram;
+    fault;
+    mc;
+    table;
+    root = Page_table.root table;
+    shadow;
+    vaddrs;
+    tlb = Ptg_cpu.Tlb.create ();
+    translations = Hashtbl.create 64;
+    victim;
+    now = 0;
+    walks = 0;
+    walk_corrections = 0;
+    walk_exceptions = 0;
+    refaults = 0;
+    wrong_translations = 0;
+  }
+
+(* The OS page-fault path after an integrity exception (or a PTE whose
+   Present bit was flipped off): rebuild the whole damaged PTE cacheline
+   from the kernel's authoritative records (the shadow mapping) and flush
+   the TLB, as a real kernel would after INVLPG/remap. *)
+let refault t vaddr =
+  t.refaults <- t.refaults + 1;
+  let vpn = Int64.shift_right_logical vaddr 12 in
+  let line_base_vpn = Int64.mul (Int64.div vpn 8L) 8L in
+  for k = 0 to 7 do
+    let v = Int64.add line_base_vpn (Int64.of_int k) in
+    match Hashtbl.find_opt t.shadow v with
+    | Some pfn ->
+        Page_table.map t.table
+          ~vaddr:(Int64.shift_left v 12)
+          ~pte:(Ptg_pte.X86.make ~writable:true ~user:true ~pfn ())
+    | None -> ()
+  done;
+  Ptg_cpu.Tlb.flush t.tlb;
+  Hashtbl.reset t.translations
+
+let check_translation t vaddr paddr =
+  let vpn = Int64.shift_right_logical vaddr 12 in
+  match Hashtbl.find_opt t.shadow vpn with
+  | Some pfn ->
+      if not (Int64.equal (Int64.shift_right_logical paddr 12) pfn) then
+        t.wrong_translations <- t.wrong_translations + 1
+  | None -> ()
+
+let rec do_walk ?(retried = false) t vaddr =
+  t.walks <- t.walks + 1;
+  match Ptg_memctrl.Mmu.walk t.mc ~root:t.root ~vaddr with
+  | Ptg_memctrl.Mmu.Translated { paddr; latency; _ } ->
+      check_translation t vaddr paddr;
+      t.now <- t.now + latency;
+      Some paddr
+  | Ptg_memctrl.Mmu.Corrected_then_translated { paddr; latency; _ } ->
+      t.walk_corrections <- t.walk_corrections + 1;
+      check_translation t vaddr paddr;
+      t.now <- t.now + latency;
+      Some paddr
+  | Ptg_memctrl.Mmu.Integrity_failure { latency; _ } ->
+      t.walk_exceptions <- t.walk_exceptions + 1;
+      t.now <- t.now + latency + 2000 (* exception + kernel fault handler *);
+      if retried then None
+      else begin
+        refault t vaddr;
+        do_walk ~retried:true t vaddr
+      end
+  | Ptg_memctrl.Mmu.Not_present { latency; _ } ->
+      (* a flip cleared a Present bit (or tore an upper level): the kernel
+         sees an ordinary page fault and rebuilds from its records *)
+      t.now <- t.now + latency + 2000;
+      if retried then None
+      else begin
+        refault t vaddr;
+        do_walk ~retried:true t vaddr
+      end
+
+let hammer t =
+  ignore
+    (Ptg_rowhammer.Attack.run t.dram ~channel:t.victim.Ptg_dram.Geometry.channel
+       ~bank:t.victim.Ptg_dram.Geometry.bank
+       (Ptg_rowhammer.Attack.Double_sided { victim = t.victim.Ptg_dram.Geometry.row })
+       ~iterations:t.cfg.hammer_burst ~start_time:t.now)
+
+let run t ~instrs =
+  let start_cycles = t.now and start_walks = t.walks in
+  let start_corr = t.walk_corrections and start_exc = t.walk_exceptions in
+  let start_refaults = t.refaults and start_wrong = t.wrong_translations in
+  let hot = Array.sub t.vaddrs 0 (min 32 (Array.length t.vaddrs)) in
+  for i = 1 to instrs do
+    t.now <- t.now + 1;
+    if t.cfg.attack && i mod t.cfg.hammer_period = 0 then hammer t;
+    (* 35% memory operations: mostly hot pages (TLB-resident), a cold
+       tail that walks. *)
+    if Rng.bernoulli t.rng 0.35 then begin
+      let vaddr =
+        if Rng.bernoulli t.rng 0.8 then Rng.choose t.rng hot
+        else Rng.choose t.rng t.vaddrs
+      in
+      let vpn = Int64.shift_right_logical vaddr 12 in
+      let paddr =
+        if Ptg_cpu.Tlb.lookup t.tlb ~vpn then Hashtbl.find_opt t.translations vpn
+        else begin
+          match do_walk t vaddr with
+          | Some paddr ->
+              Ptg_cpu.Tlb.fill t.tlb ~vpn;
+              Hashtbl.replace t.translations vpn paddr;
+              Some paddr
+          | None -> None
+        end
+      in
+      match paddr with
+      | Some paddr ->
+          (* the data access itself, timed through the controller *)
+          let r = Ptg_memctrl.Memctrl.read_line t.mc ~now:t.now ~addr:paddr ~is_pte:false () in
+          t.now <- t.now + (r.Ptg_memctrl.Memctrl.latency / 4)
+          (* /4: a crude cache-hit discount so data traffic does not
+             swamp the walk effects this mode studies *)
+      | None -> ()
+    end
+  done;
+  let cycles = t.now - start_cycles in
+  {
+    instrs;
+    cycles;
+    ipc = float_of_int instrs /. float_of_int (max 1 cycles);
+    walks = t.walks - start_walks;
+    walk_corrections = t.walk_corrections - start_corr;
+    walk_exceptions = t.walk_exceptions - start_exc;
+    refaults = t.refaults - start_refaults;
+    flips_landed = Ptg_rowhammer.Fault_model.flip_count t.fault;
+    wrong_translations = t.wrong_translations - start_wrong;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "@[<v>instructions:        %d@,\
+     cycles:              %d (IPC %.3f)@,\
+     page-table walks:    %d@,\
+     corrected walks:     %d@,\
+     walk exceptions:     %d (OS re-faults: %d)@,\
+     Rowhammer flips:     %d@,\
+     WRONG TRANSLATIONS:  %d@]"
+    r.instrs r.cycles r.ipc r.walks r.walk_corrections r.walk_exceptions r.refaults
+    r.flips_landed r.wrong_translations

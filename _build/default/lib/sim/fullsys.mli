@@ -1,0 +1,57 @@
+(** Full-system co-simulation: the analogue of the paper's gem5
+    full-system mode.
+
+    Unlike the calibrated timing model behind Figures 6/7 (synthetic
+    page-table layout, classification-only guard), this mode wires
+    {e everything} together functionally:
+
+    - a process's 4-level page tables are built in simulated DRAM through
+      the guarded memory controller (MACs embedded by the engine on every
+      kernel write);
+    - the core's TLB misses trigger {!Ptg_memctrl.Mmu.walk}s that read the
+      {e actual} PTE cachelines back through the controller, paying real
+      verification (and correction) work;
+    - a Rowhammer attacker hammers the DRAM rows holding the leaf page
+      table concurrently with execution, injecting real flips via the
+      disturbance fault model;
+    - a shadow copy of the intended address space checks every
+      translation the core consumes: any mismatch is an exploit
+      ([wrong_translations] — the number the whole paper is about).
+
+    Runs are slower than the calibrated model (the cipher executes in
+    software on every walk line), so use demo-scale instruction counts. *)
+
+type config = {
+  guarded : bool;
+  attack : bool;
+  hammer_period : int;   (** instructions between attacker bursts *)
+  hammer_burst : int;    (** double-sided rotations per burst *)
+  fault : Ptg_rowhammer.Fault_model.config;
+}
+
+val default_config : config
+(** Guarded, under attack, bursts of 2000 rotations every 2000
+    instructions, LPDDR4-class fault model (RTH 4.8K, p_flip 1%). *)
+
+type result = {
+  instrs : int;
+  cycles : int;
+  ipc : float;
+  walks : int;
+  walk_corrections : int;   (** walks that survived via correction *)
+  walk_exceptions : int;    (** PTECheckFailed walks (OS re-faulted) *)
+  refaults : int;           (** pages the OS rebuilt after exceptions *)
+  flips_landed : int;       (** Rowhammer flips in the PT rows *)
+  wrong_translations : int; (** translations disagreeing with the shadow
+                                mapping: MUST be 0 when guarded *)
+}
+
+type t
+
+val create : ?config:config -> ?pages:int -> seed:int64 -> unit -> t
+(** Build the machine and a process with [pages] mapped pages
+    (default 2048). *)
+
+val run : t -> instrs:int -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,106 @@
+open Ptg_util
+
+type row = {
+  label : string;
+  workloads : string list;
+  base_ipc : float;
+  norm_ipc : float;
+  slowdown_pct : float;
+  avg_queue_delay : float;
+}
+
+type result = {
+  rows : row list;
+  avg_slowdown_pct : float;
+  max_slowdown_pct : float;
+  max_label : string;
+}
+
+let run_mix ~instrs_per_core ~seed ~guard specs =
+  let mc = Ptg_cpu.Multicore.create ~guard () in
+  let streams =
+    Array.mapi
+      (fun i spec ->
+        Ptg_workloads.Workload.stream (Rng.create (Int64.add seed (Int64.of_int i))) spec)
+      specs
+  in
+  Ptg_cpu.Multicore.run mc ~instrs_per_core ~streams
+
+let run ?(instrs_per_core = 400_000) ?(seed = 7L)
+    ?(same = Ptg_workloads.Workload.all) ?(mixes = 16)
+    ?(config = Ptguard.Config.baseline) () =
+  let mix_rng = Rng.create (Int64.add seed 100L) in
+  let cases =
+    List.map
+      (fun spec ->
+        ( "SAME " ^ spec.Ptg_workloads.Workload.name,
+          Ptg_workloads.Workload.multicore_same spec ))
+      same
+    @ Array.to_list
+        (Array.mapi
+           (fun i mix -> (Printf.sprintf "MIX%d" (i + 1), mix))
+           (Ptg_workloads.Workload.multicore_mixes mix_rng mixes))
+  in
+  let rows =
+    List.map
+      (fun (label, specs) ->
+        let base =
+          run_mix ~instrs_per_core ~seed ~guard:Ptg_cpu.Guard_timing.unprotected specs
+        in
+        let guard =
+          Ptg_cpu.Guard_timing.of_config config ~rng:(Rng.create (Int64.add seed 1L))
+        in
+        let guarded = run_mix ~instrs_per_core ~seed ~guard specs in
+        let norm_ipc =
+          guarded.Ptg_cpu.Multicore.aggregate_ipc /. base.Ptg_cpu.Multicore.aggregate_ipc
+        in
+        {
+          label;
+          workloads =
+            Array.to_list (Array.map (fun s -> s.Ptg_workloads.Workload.name) specs);
+          base_ipc = base.Ptg_cpu.Multicore.aggregate_ipc;
+          norm_ipc;
+          slowdown_pct = 100.0 *. (1.0 -. norm_ipc);
+          avg_queue_delay = base.Ptg_cpu.Multicore.avg_queue_delay;
+        })
+      cases
+  in
+  let max_row =
+    List.fold_left
+      (fun acc r -> if r.slowdown_pct > acc.slowdown_pct then r else acc)
+      (List.hd rows) rows
+  in
+  {
+    rows;
+    avg_slowdown_pct =
+      Stats.mean (Array.of_list (List.map (fun r -> r.slowdown_pct) rows));
+    max_slowdown_pct = max_row.slowdown_pct;
+    max_label = max_row.label;
+  }
+
+let header = [ "configuration"; "workloads"; "IPC_b"; "IPC/IPC_b"; "slowdown"; "queue delay" ]
+
+let to_rows result =
+  List.map
+    (fun r ->
+      [
+        r.label;
+        String.concat "+" r.workloads;
+        Table.f3 r.base_ipc;
+        Table.f3 r.norm_ipc;
+        Table.fpct r.slowdown_pct;
+        Table.f2 r.avg_queue_delay;
+      ])
+    result.rows
+
+let print result =
+  print_endline "Section VII-C: 4-core slowdown (SAME and MIX configurations)";
+  Table.print
+    ~align:[ Table.Left; Left; Right; Right; Right; Right ]
+    ~header (to_rows result);
+  Printf.printf
+    "Average slowdown %.2f%%, worst %.2f%% (%s).\n\
+     Paper: 0.5%% average, 1.6%% worst case.\n"
+    result.avg_slowdown_pct result.max_slowdown_pct result.max_label
+
+let to_csv result ~path = Table.save_csv ~path ~header (to_rows result)

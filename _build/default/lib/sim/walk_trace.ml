@@ -1,0 +1,132 @@
+open Ptg_util
+
+type t = { workload : string; line_indices : int array }
+
+let record ?(instrs = 500_000) ?(seed = 18L) (spec : Ptg_workloads.Workload.spec) =
+  let rng = Rng.create seed in
+  let stream = Ptg_workloads.Workload.stream rng spec in
+  let core = Ptg_cpu.Core.create ~guard:Ptg_cpu.Guard_timing.unprotected () in
+  let acc = ref [] in
+  Ptg_cpu.Core.on_walk core (fun ~vpn:_ ~leaf_line_addr ->
+      (* the leaf region starts at the data fold; each line is 64 B and
+         covers 8 consecutive leaf PTEs *)
+      let base = Ptg_cpu.Core.default_config.Ptg_cpu.Core.data_region_bytes in
+      let idx = Int64.to_int (Int64.div (Int64.sub leaf_line_addr base) 64L) in
+      acc := idx :: !acc);
+  ignore (Ptg_cpu.Core.run core ~instrs:(instrs / 4) ~stream);
+  acc := [];
+  ignore (Ptg_cpu.Core.run core ~instrs ~stream);
+  { workload = spec.Ptg_workloads.Workload.name; line_indices = Array.of_list (List.rev !acc) }
+
+let length t = Array.length t.line_indices
+
+let histogram t =
+  let h = Hashtbl.create 1024 in
+  Array.iter
+    (fun i -> Hashtbl.replace h i (1 + Option.value ~default:0 (Hashtbl.find_opt h i)))
+    t.line_indices;
+  h
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# %s\n" t.workload;
+      Array.iter (fun i -> Printf.fprintf oc "%d\n" i) t.line_indices)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let workload =
+        if String.length header > 2 && String.sub header 0 2 = "# " then
+          String.sub header 2 (String.length header - 2)
+        else invalid_arg "Walk_trace.load: missing header"
+      in
+      let acc = ref [] in
+      (try
+         while true do
+           acc := int_of_string (String.trim (input_line ic)) :: !acc
+         done
+       with End_of_file -> ());
+      { workload; line_indices = Array.of_list (List.rev !acc) })
+
+type replay_result = {
+  trace_len : int;
+  faulty : int;
+  corrected : int;
+  uncorrectable : int;
+  corrected_pct : float;
+}
+
+let replay_with_faults ?(p_flip = 1.0 /. 512.0) ?(seed = 19L) ?(max_events = 2000) t
+    ~lines =
+  if Array.length lines = 0 then invalid_arg "Walk_trace.replay_with_faults: no lines";
+  let rng = Rng.create seed in
+  let engine =
+    Ptguard.Engine.create ~config:Ptguard.Config.optimized ~rng:(Rng.split rng) ()
+  in
+  let corrected = ref 0 and uncorrectable = ref 0 and faulty = ref 0 in
+  let n = Array.length t.line_indices in
+  let i = ref 0 in
+  while !i < n && !faulty < max_events do
+    let idx = t.line_indices.(!i) mod Array.length lines in
+    let line = lines.(idx) in
+    let addr = Int64.of_int (0x4800_0000 + (idx * 64)) in
+    let stored = Ptguard.Engine.process_write engine ~addr line in
+    let damaged, flips = Ptg_rowhammer.Inject.flip_line rng ~p_flip stored in
+    if flips <> [] then begin
+      incr faulty;
+      match Ptguard.Engine.process_read engine ~addr ~is_pte:true damaged with
+      | { Ptguard.Engine.integrity = Ptguard.Engine.Corrected _; _ } -> incr corrected
+      | { integrity = Ptguard.Engine.Failed; _ } -> incr uncorrectable
+      | _ -> () (* benign: unprotected-bit damage *)
+    end;
+    incr i
+  done;
+  let denom = max 1 (!corrected + !uncorrectable) in
+  {
+    trace_len = n;
+    faulty = !faulty;
+    corrected = !corrected;
+    uncorrectable = !uncorrectable;
+    corrected_pct = 100.0 *. float_of_int !corrected /. float_of_int denom;
+  }
+
+type sampler_comparison = { trace_pct : float; weighted_pct : float }
+
+let compare_samplers ?(instrs = 400_000) ?(seed = 20L) ?(p_flip = 1.0 /. 512.0)
+    (spec : Ptg_workloads.Workload.spec) =
+  (* One synthetic process underlies both samplers. *)
+  let rng = Rng.create seed in
+  let params =
+    {
+      (Ptg_vm.Process_model.draw_params rng) with
+      Ptg_vm.Process_model.target_ptes = 32768;
+      mean_run = 40.0;
+      mean_gap = 8.0;
+      p_break = 0.06;
+    }
+  in
+  let lines = Ptg_vm.Process_model.leaf_lines rng params in
+  (* trace-frequency replay *)
+  let trace = record ~instrs ~seed spec in
+  let trace_result = replay_with_faults ~p_flip ~seed trace ~lines in
+  (* weighted-sampler replay (the Fig. 9 default) via Fig9's machinery *)
+  let weighted =
+    Fig9.run ~lines_per_point:trace_result.faulty ~seed ~p_flips:[ p_flip ]
+      ~workloads:[ spec ] ()
+  in
+  let weighted_pct =
+    match weighted.Fig9.average with c :: _ -> c.Fig9.corrected_pct | [] -> 0.0
+  in
+  { trace_pct = trace_result.corrected_pct; weighted_pct }
+
+let print_comparison (spec : Ptg_workloads.Workload.spec) c =
+  Printf.printf
+    "Sampler validation (%s): trace-frequency replay corrects %.1f%%, the\n\
+     Fig. 9 weighted sampler %.1f%% — the approximation the harness uses.\n"
+    spec.Ptg_workloads.Workload.name c.trace_pct c.weighted_pct

@@ -1,0 +1,68 @@
+(** Page-table-walk traces (paper Section VI-F methodology).
+
+    The paper drives the correction study from "execution traces of Page
+    Table Walks accessing [the] memory controller" extracted from gem5.
+    This module does the equivalent: it records, from the timing core, the
+    leaf-PTE cacheline index touched by every walk of a workload, persists
+    traces to disk, and replays them against the functional PT-Guard
+    engine with fault injection.
+
+    It also validates Figure 9's default methodology: the experiment's
+    present-PTE-weighted line sampler is an approximation of true
+    walk-frequency sampling; {!compare_samplers} measures how close the
+    two are on the same workload. *)
+
+type t = {
+  workload : string;
+  line_indices : int array;
+      (** chronological leaf-PTE-line indices (leaf line k covers virtual
+          pages 8k..8k+7 of the workload's address space) *)
+}
+
+val record :
+  ?instrs:int -> ?seed:int64 -> Ptg_workloads.Workload.spec -> t
+(** Run the workload on the timing core (default 500K instructions after
+    a short warmup) and record one entry per page-table walk. *)
+
+val length : t -> int
+
+val histogram : t -> (int, int) Hashtbl.t
+(** line index -> access count. *)
+
+val save : t -> path:string -> unit
+(** One decimal index per line, preceded by a [# workload] header. *)
+
+val load : path:string -> t
+
+type replay_result = {
+  trace_len : int;
+  faulty : int;
+  corrected : int;
+  uncorrectable : int;
+  corrected_pct : float;
+}
+
+val replay_with_faults :
+  ?p_flip:float ->
+  ?seed:int64 ->
+  ?max_events:int ->
+  t ->
+  lines:Ptg_pte.Line.t array ->
+  replay_result
+(** Replay the trace against PT-Guard: each walked line (trace index mod
+    the population size) is written through the engine, hit with uniform
+    faults at [p_flip] (default 1/512), and read back as a walk; only
+    events with at least one flip count (capped at [max_events],
+    default 2000). *)
+
+type sampler_comparison = {
+  trace_pct : float;      (** corrected%% under true walk-frequency replay *)
+  weighted_pct : float;   (** corrected%% under Fig. 9's weighted sampler *)
+}
+
+val compare_samplers :
+  ?instrs:int -> ?seed:int64 -> ?p_flip:float -> Ptg_workloads.Workload.spec ->
+  sampler_comparison
+(** The methodology check: both samplers over the same synthetic process. *)
+
+val print_comparison : Ptg_workloads.Workload.spec -> sampler_comparison -> unit

@@ -1,0 +1,56 @@
+let log_factorial =
+  (* Memoized exact summation; n stays small (<= a few thousand) here. *)
+  let cache = ref [| 0.0 |] in
+  fun n ->
+    if n < 0 then invalid_arg "Binomial.log_factorial";
+    let c = !cache in
+    if n < Array.length c then c.(n)
+    else begin
+      let len = max (n + 1) (2 * Array.length c) in
+      let c' = Array.make len 0.0 in
+      Array.blit c 0 c' 0 (Array.length c);
+      for i = Array.length c to len - 1 do
+        c'.(i) <- c'.(i - 1) +. log (float_of_int i)
+      done;
+      cache := c';
+      c'.(n)
+    end
+
+let log_choose n k =
+  if k < 0 || k > n then neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let choose_float n k = exp (log_choose n k)
+let log2 x = log x /. log 2.0
+
+let log2_sum_choose n k =
+  if k < 0 then neg_infinity
+  else begin
+    (* Sum in log space anchored at the largest term for stability. *)
+    let k = min k n in
+    let logs = Array.init (k + 1) (fun h -> log_choose n h) in
+    let m = Array.fold_left Float.max neg_infinity logs in
+    let s = Array.fold_left (fun acc l -> acc +. exp (l -. m)) 0.0 logs in
+    (m +. log s) /. log 2.0
+  end
+
+let pmf ~n ~p k =
+  if k < 0 || k > n then 0.0
+  else if p <= 0.0 then if k = 0 then 1.0 else 0.0
+  else if p >= 1.0 then if k = n then 1.0 else 0.0
+  else
+    exp
+      (log_choose n k
+      +. (float_of_int k *. log p)
+      +. (float_of_int (n - k) *. log (1.0 -. p)))
+
+let tail_ge ~n ~p k =
+  if k <= 0 then 1.0
+  else if k > n then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for i = k to n do
+      acc := !acc +. pmf ~n ~p i
+    done;
+    Float.min 1.0 !acc
+  end

@@ -1,0 +1,29 @@
+(** Log-space binomial arithmetic for the security analysis.
+
+    The paper's Equations (1) and (2) involve terms like [C(96, h)] and
+    binomial tails with [n = 96]; these overflow naive integer arithmetic and
+    underflow naive floats, so everything is computed in log space. *)
+
+val log_factorial : int -> float
+(** Natural log of [n!], via Lanczos-free lgamma summation (exact
+    accumulation for the small [n] used here). *)
+
+val log_choose : int -> int -> float
+(** [log_choose n k] = ln C(n,k); [neg_infinity] when [k < 0 || k > n]. *)
+
+val choose_float : int -> int -> float
+(** C(n,k) as a float (may be inf for huge n). *)
+
+val log2_sum_choose : int -> int -> float
+(** [log2_sum_choose n k] = log2 (sum_{h=0..k} C(n,h)), computed stably.
+    This is the Hamming-ball volume term of Equation (1). *)
+
+val pmf : n:int -> p:float -> int -> float
+(** Binomial probability mass: P[X = k] for X ~ B(n, p). *)
+
+val tail_ge : n:int -> p:float -> int -> float
+(** [tail_ge ~n ~p k] = P[X >= k] for X ~ B(n, p): Equation (2)'s
+    uncorrectable-MAC probability uses [tail_ge ~n:96 ~p:p_flip (k+1)]. *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)

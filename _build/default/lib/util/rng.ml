@@ -1,0 +1,79 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: expands a 64-bit seed into well-distributed state words. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref seed in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  (* xoshiro must not start from the all-zero state. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let next t =
+  let open Int64 in
+  let result = mul (Bits.rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- Bits.rotl t.s3 45;
+  result
+
+let split t = create (next t)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int64_bounded t bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Rng.int64_bounded";
+  (* Rejection sampling over the top bits to avoid modulo bias. *)
+  let rec go () =
+    let r = Int64.shift_right_logical (next t) 1 in
+    let v = Int64.rem r bound in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound) 1L then go ()
+    else v
+  in
+  go ()
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (int64_bounded t (Int64.of_int bound))
+
+let float t =
+  (* 53 random bits into the mantissa. *)
+  let r = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float r *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next t) 1L = 1L
+let bernoulli t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose";
+  a.(int t (Array.length a))
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric";
+  if p >= 1.0 then 0
+  else
+    let u = float t in
+    let u = if u <= 0.0 then epsilon_float else u in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the simulator (fault injection, workload
+    address streams, allocator fragmentation, PARA coin flips, ...) draws
+    from an explicit generator state so that experiments are reproducible
+    from a seed. The generator is xoshiro256** seeded via SplitMix64. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed. Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Use to give each subsystem its own stream so that adding draws in one
+    subsystem does not perturb another. *)
+
+val copy : t -> t
+(** Snapshot of the current state (advances nothing). *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val int64_bounded : t -> int64 -> int64
+(** [int64_bounded t bound] is uniform in [0, bound); [bound] > 0. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] is the number of failures before the first success of
+    a Bernoulli([p]) sequence; requires [0 < p <= 1]. Used to skip ahead in
+    sparse fault injection instead of testing every bit. *)

@@ -1,0 +1,79 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  stderr : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive sample";
+        acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+  end
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int n
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let stderr xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else stddev xs /. sqrt (float_of_int n)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then { n = 0; mean = 0.0; stddev = 0.0; stderr = 0.0; min = 0.0; max = 0.0 }
+  else
+    {
+      n;
+      mean = mean xs;
+      stddev = stddev xs;
+      stderr = stderr xs;
+      min = Array.fold_left Float.min xs.(0) xs;
+      max = Array.fold_left Float.max xs.(0) xs;
+    }
+
+let weighted_mean pairs =
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iter
+    (fun (x, w) ->
+      if w < 0.0 then invalid_arg "Stats.weighted_mean: negative weight";
+      num := !num +. (x *. w);
+      den := !den +. w)
+    pairs;
+  if !den = 0.0 then 0.0 else !num /. !den

@@ -1,0 +1,36 @@
+(** Descriptive statistics over float samples.
+
+    Used by the experiment harness for the AMEAN/GMEAN rows of Figure 6, the
+    standard-error annotations of Figure 8, and bench reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  stderr : float;  (** standard error of the mean: stddev / sqrt n *)
+  min : float;
+  max : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean; requires all elements > 0; 0 on an empty array. *)
+
+val variance : float array -> float
+(** Population variance (division by [n]). *)
+
+val stddev : float array -> float
+
+val stderr : float array -> float
+(** Standard error of the mean. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0,100], linear interpolation between
+    order statistics. The input array is not modified. *)
+
+val summarize : float array -> summary
+
+val weighted_mean : (float * float) array -> float
+(** [weighted_mean [| (x, w); ... |]] with weights [w >= 0]. *)

@@ -1,0 +1,90 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?(align = []) ~header rows =
+  let ncols = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Table.render: row %d has %d cells, expected %d" i
+             (List.length row) ncols))
+    rows;
+  let aligns =
+    Array.init ncols (fun i ->
+        match List.nth_opt align i with Some a -> a | None -> Left)
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 1024 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad aligns.(i) widths.(i) cell);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  sep ();
+  line header;
+  sep ();
+  List.iter line rows;
+  sep ();
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let csv ~header rows =
+  let buf = Buffer.create 1024 in
+  let line row =
+    Buffer.add_string buf (String.concat "," (List.map csv_field row));
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  List.iter line rows;
+  Buffer.contents buf
+
+let save_csv ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (csv ~header rows))
+
+let fpct x = Printf.sprintf "%.2f%%" x
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x

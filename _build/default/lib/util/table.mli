@@ -1,0 +1,29 @@
+(** Plain-text table and CSV rendering for experiment output.
+
+    Every figure/table regeneration prints through this module so that the
+    harness output has a uniform, diff-friendly shape. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a boxed ASCII table. [align] gives the
+    per-column alignment (default all [Left]); missing entries default to
+    [Left]. Every row must have the same width as [header]. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** {!render} followed by [print_string]. *)
+
+val csv : header:string list -> string list list -> string
+(** RFC-4180-ish CSV encoding (quotes fields containing commas/quotes). *)
+
+val save_csv : path:string -> header:string list -> string list list -> unit
+(** Write {!csv} output to [path]. *)
+
+val fpct : float -> string
+(** Percent with two decimals, e.g. [fpct 1.3333] = ["1.33%"]. *)
+
+val f2 : float -> string
+(** Two-decimal fixed rendering. *)
+
+val f3 : float -> string
+(** Three-decimal fixed rendering. *)

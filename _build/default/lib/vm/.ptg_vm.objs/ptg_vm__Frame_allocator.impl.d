@@ -1,0 +1,1 @@
+lib/vm/frame_allocator.ml: Array Int64 Ptg_util

@@ -1,0 +1,1 @@
+lib/vm/frame_allocator.mli: Ptg_util

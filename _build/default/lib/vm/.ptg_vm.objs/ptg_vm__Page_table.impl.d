@@ -1,0 +1,1 @@
+lib/vm/page_table.ml: Bits Format Frame_allocator Int64 List Option Phys_mem Ptg_pte Ptg_util

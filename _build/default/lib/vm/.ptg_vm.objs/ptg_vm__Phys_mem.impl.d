@@ -1,0 +1,1 @@
+lib/vm/phys_mem.ml: Array Hashtbl Int64 Option Ptg_dram Ptg_pte

@@ -1,0 +1,1 @@
+lib/vm/process_model.ml: Array Float Frame_allocator Int64 List Page_table Ptg_pte Ptg_util Rng

@@ -1,0 +1,1 @@
+lib/vm/process_model.mli: Frame_allocator Page_table Ptg_pte Ptg_util

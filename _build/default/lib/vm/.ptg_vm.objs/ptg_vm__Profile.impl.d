@@ -1,0 +1,1 @@
+lib/vm/profile.ml: Array Bits Int64 List Ptg_pte Ptg_util Stats

@@ -1,0 +1,43 @@
+type t = {
+  rng : Ptg_util.Rng.t;
+  p_break : float;
+  start_frame : int64;
+  max_frame : int64;
+  mutable cursor : int64;
+  mutable count : int;
+}
+
+let create ?(p_break = 0.45) ?(start_frame = 0x1000L) ?(max_frame = 0x1000_0000L) rng =
+  if p_break < 0.0 || p_break > 1.0 then invalid_arg "Frame_allocator.create: p_break";
+  if Int64.compare start_frame max_frame >= 0 then
+    invalid_arg "Frame_allocator.create: empty frame range";
+  { rng; p_break; start_frame; max_frame; cursor = start_frame; count = 0 }
+
+let jump t =
+  (* Relocate the cursor: another allocation stream claimed the next
+     frames. Distance is a modest skip, as buddy free lists are clustered. *)
+  let skip = Int64.of_int (1 + Ptg_util.Rng.int t.rng 4096) in
+  let range = Int64.sub t.max_frame t.start_frame in
+  t.cursor <-
+    Int64.add t.start_frame (Int64.rem (Int64.add (Int64.sub t.cursor t.start_frame) skip) range)
+
+let take t =
+  let f = t.cursor in
+  t.cursor <- Int64.add t.cursor 1L;
+  if Int64.compare t.cursor t.max_frame >= 0 then t.cursor <- t.start_frame;
+  t.count <- t.count + 1;
+  f
+
+let alloc t = take t
+
+let alloc_run t n =
+  if n < 0 then invalid_arg "Frame_allocator.alloc_run";
+  Array.init n (fun i ->
+      if i > 0 && Ptg_util.Rng.bernoulli t.rng t.p_break then jump t;
+      take t)
+
+let alloc_discontiguous t =
+  jump t;
+  take t
+
+let frames_allocated t = t.count

@@ -1,0 +1,32 @@
+(** Physical frame allocator with a contiguity/fragmentation model.
+
+    Linux's buddy allocator plus demand paging produce the PFN locality the
+    paper measures (Fig. 8, Insight 2): pages faulted in sequence within a
+    VMA usually receive consecutive frames, broken occasionally when other
+    processes' allocations interleave. [p_break] is the per-page
+    probability of such a break; each break also leaves a gap, modeling
+    the frames the interloper consumed. *)
+
+type t
+
+val create :
+  ?p_break:float ->
+  ?start_frame:int64 ->
+  ?max_frame:int64 ->
+  Ptg_util.Rng.t ->
+  t
+(** Defaults: [p_break] = 0.45, frames in [0x1000, 2^28) (i.e. within a
+    1 TB physical space, far from frame 0). *)
+
+val alloc : t -> int64
+(** One frame at the current allocation cursor (advances it). *)
+
+val alloc_run : t -> int -> int64 array
+(** [alloc_run t n] allocates [n] frames for [n] consecutively-faulted
+    pages: consecutive frames except at fragmentation breaks. *)
+
+val alloc_discontiguous : t -> int64
+(** A frame from a deliberately distant location (used for page-table
+    pages themselves, which the kernel allocates from its own pools). *)
+
+val frames_allocated : t -> int

@@ -1,0 +1,44 @@
+type t = { read_word : int64 -> int64; write_word : int64 -> int64 -> unit }
+
+let check_aligned addr =
+  if Int64.logand addr 7L <> 0L then
+    invalid_arg "Phys_mem: unaligned word address"
+
+let of_hashtbl () =
+  let store : (int64, int64) Hashtbl.t = Hashtbl.create 4096 in
+  {
+    read_word =
+      (fun addr ->
+        check_aligned addr;
+        Option.value ~default:0L (Hashtbl.find_opt store addr));
+    write_word =
+      (fun addr v ->
+        check_aligned addr;
+        if Int64.equal v 0L then Hashtbl.remove store addr
+        else Hashtbl.replace store addr v);
+  }
+
+let of_dram dram =
+  {
+    read_word =
+      (fun addr ->
+        check_aligned addr;
+        let line = Ptg_dram.Dram.read_line dram addr in
+        let idx = Int64.to_int (Int64.logand addr 63L) / 8 in
+        line.(idx));
+    write_word =
+      (fun addr v ->
+        check_aligned addr;
+        let line = Ptg_dram.Dram.read_line dram addr in
+        let idx = Int64.to_int (Int64.logand addr 63L) / 8 in
+        line.(idx) <- v;
+        Ptg_dram.Dram.write_line dram addr line);
+  }
+
+let read_line t addr =
+  let base = Ptg_pte.Line.line_addr addr in
+  Array.init 8 (fun i -> t.read_word (Int64.add base (Int64.of_int (i * 8))))
+
+let write_line t addr line =
+  let base = Ptg_pte.Line.line_addr addr in
+  Array.iteri (fun i w -> t.write_word (Int64.add base (Int64.of_int (i * 8))) w) line

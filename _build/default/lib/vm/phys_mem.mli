@@ -1,0 +1,26 @@
+(** Word-addressable physical memory abstraction.
+
+    Page tables are built through this interface so the same construction
+    code can target either a plain hashtable (fast, for profiling
+    experiments) or a simulated DRAM device (for end-to-end demos where
+    Rowhammer corrupts the stored page tables and PT-Guard inspects the
+    traffic). Word addresses must be 8-byte aligned. *)
+
+type t = {
+  read_word : int64 -> int64;
+  write_word : int64 -> int64 -> unit;
+}
+
+val of_hashtbl : unit -> t
+(** Fresh, zero-initialized sparse memory. *)
+
+val of_dram : Ptg_dram.Dram.t -> t
+(** Backed by a DRAM device's functional storage (read-modify-write at
+    line granularity). Note: accesses through this view are {e untimed}
+    and bypass any memory-controller integrity engine; use the memory
+    controller's own API when PT-Guard must observe the traffic. *)
+
+val read_line : t -> int64 -> Ptg_pte.Line.t
+(** Assemble the 64-byte line containing the address. *)
+
+val write_line : t -> int64 -> Ptg_pte.Line.t -> unit

@@ -1,0 +1,65 @@
+(** Statistical model of a Linux process's address space.
+
+    Generates the leaf-level PTE cachelines of a realistic process without
+    materializing the radix tree — the scale of the paper's Figure 8
+    profile (623 processes, 24M PTEs) makes streaming generation
+    necessary. The model reproduces the three properties the paper
+    measures and exploits for correction:
+
+    - {b sparseness}: page-table pages are allocated whole (512 entries)
+      but populated only in demand-faulted runs, leaving ~64% zero PTEs;
+    - {b PFN contiguity}: sequentially faulted pages draw consecutive
+      frames from the allocator, broken by fragmentation (~24% of all
+      PTEs end up contiguous with a neighbour);
+    - {b flag uniformity}: permissions are per-VMA, so the 8 PTEs of a
+      cacheline almost always agree on every flag.
+
+    Knobs are drawn per process, giving the cross-process spread visible
+    in Figure 8. *)
+
+type vma_kind = Code | Data | Heap | Stack | Shared_lib | Mmap
+
+val vma_kind_name : vma_kind -> string
+
+type size_class = Small | Medium | Large
+
+type params = {
+  size_class : size_class;
+  target_ptes : int;    (** total leaf PTE slots (allocated PT pages * 512) *)
+  mean_run : float;     (** mean length of a present-page run *)
+  mean_gap : float;     (** mean length of a gap between runs *)
+  p_break : float;      (** allocator fragmentation probability *)
+}
+
+val draw_params : Ptg_util.Rng.t -> params
+(** Process population model: 60% small (~2K PTEs), 30% medium (~30K),
+    10% large (~250K); locality knobs jittered per process. The resulting
+    623-process aggregate matches the paper's 24M-PTE profile. *)
+
+type vma = {
+  kind : vma_kind;
+  start_vpn : int64;   (** first virtual page number, 512-aligned *)
+  npages : int;        (** pages spanned (present or not) *)
+  writable : bool;
+  user : bool;
+  no_execute : bool;
+  protection_key : int64;
+}
+
+val generate_vmas : Ptg_util.Rng.t -> params -> vma list
+(** Carve the target PTE budget into VMAs with kind-appropriate sizes and
+    permissions, at disjoint 2 MB-aligned regions. *)
+
+val leaf_lines : Ptg_util.Rng.t -> params -> Ptg_pte.Line.t array
+(** All leaf PTE cachelines of one generated process (zero lines from the
+    unpopulated parts of allocated page-table pages included). *)
+
+val populate :
+  Ptg_util.Rng.t ->
+  params ->
+  table:Page_table.t ->
+  alloc:Frame_allocator.t ->
+  vma list
+(** Functional variant: actually install the process's mappings into a
+    {!Page_table.t} (used by the end-to-end attack demos, with modest
+    [target_ptes]). Returns the VMAs created. *)

@@ -1,0 +1,47 @@
+(** PTE value-locality profiling — the measurement behind the paper's
+    Figure 8 and the correction guess strategies of Section VI-B. *)
+
+type category = Zero | Contiguous | Non_contiguous
+
+val categorize : Ptg_pte.Line.t -> category array
+(** Per-PTE category within one cacheline. A non-zero PTE is [Contiguous]
+    when its PFN continues the +1-per-page progression from its nearest
+    non-zero neighbour in the line (i.e. [pfn_i - pfn_j = i - j]); ties
+    between equally-near neighbours accept either side. *)
+
+type process_stats = {
+  total_ptes : int;
+  zero : int;
+  contiguous : int;
+  non_contiguous : int;
+  flag_uniform_lines : int; (** lines whose non-zero PTEs agree on all flags *)
+  nonzero_lines : int;      (** lines with at least one non-zero PTE *)
+}
+
+val stats_of_lines : Ptg_pte.Line.t array -> process_stats
+
+val pct_zero : process_stats -> float
+val pct_contiguous : process_stats -> float
+val pct_non_contiguous : process_stats -> float
+
+val flag_uniformity : process_stats -> float
+(** Fraction of non-zero-bearing lines whose non-zero PTEs share identical
+    flag values (paper Insight 3: > 99%). Flags here are all protected
+    non-PFN bits (permissions, protection keys, NX) excluding Accessed
+    and Dirty, which genuinely vary per page. *)
+
+type aggregate = {
+  processes : int;
+  mean_zero : float;
+  stderr_zero : float;
+  mean_contiguous : float;
+  stderr_contiguous : float;
+  mean_non_contiguous : float;
+  mean_flag_uniformity : float;
+  total_ptes_profiled : int;
+  per_process : (float * float * float) array;
+      (** (zero, contiguous, non-contiguous) percentages, sorted by
+          contiguous descending — the x-axis ordering of Figure 8 *)
+}
+
+val aggregate : process_stats list -> aggregate

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Int64 List Ptg_cpu Ptg_util

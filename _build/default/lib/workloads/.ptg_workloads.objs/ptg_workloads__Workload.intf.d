@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Ptg_cpu Ptg_util

@@ -1,0 +1,52 @@
+(** Synthetic stand-ins for the paper's evaluation workloads.
+
+    The paper runs 20 SPEC CPU-2017 benchmarks (all int + fp except gcc,
+    blender and parest, with ref inputs) and 5 GAP graph kernels on
+    USA-road. Neither suite is available here, so each workload is a
+    synthetic memory-access generator calibrated to the property the
+    paper's performance results actually depend on: its LLC misses per
+    kilo-instruction (Figure 6, bottom — the paper's own analysis ties
+    slowdown directly to MPKI, Section IV-H).
+
+    The generator model: a fraction [pct_mem] of instructions are memory
+    operations; each touches a small hot working set (cache-resident) or,
+    with the calibrated cold probability, a random line of a large cold
+    region (cache- and TLB-hostile). Cold accesses produce both the LLC
+    misses and the page-table walks whose DRAM reads PT-Guard taxes. *)
+
+type suite = Spec_int | Spec_fp | Gap
+
+type spec = {
+  name : string;
+  suite : suite;
+  target_mpki : float;   (** calibration target from Figure 6 (bottom) *)
+  pct_mem : float;       (** memory instructions per instruction *)
+  hot_pages : int;       (** cache-resident working set *)
+  cold_pages : int;      (** streaming/irregular region (TLB-hostile) *)
+  cold_page_run : float; (** mean lines touched per cold page visit; sets
+                             the walk-to-miss ratio *)
+}
+
+val all : spec list
+(** The 25 workloads: 9 SPECint + 11 SPECfp + 5 GAP, ordered as in
+    Figure 6. *)
+
+val by_name : string -> spec option
+val names : string list
+
+val high_mpki : spec list
+(** Workloads with MPKI > 10 (the paper's "memory-intensive" set). *)
+
+val fig9_subset : spec list
+(** The 4 SPEC + 2 GAP workloads shown in Figure 9. *)
+
+val stream : Ptg_util.Rng.t -> spec -> unit -> Ptg_cpu.Core.op
+(** An infinite instruction stream for the workload. Deterministic for a
+    given RNG state. *)
+
+val multicore_same : spec -> spec array
+(** 4 instances of the same workload (the SAME configuration). *)
+
+val multicore_mixes : Ptg_util.Rng.t -> int -> spec array array
+(** [multicore_mixes rng n] draws [n] random 4-workload mixes (the MIX
+    configuration; paper Section VII-C uses 16). *)

@@ -1,0 +1,1 @@
+test/test_armv8.ml: Alcotest Armv8 Int64 Ptg_pte Ptg_util QCheck2 QCheck_alcotest

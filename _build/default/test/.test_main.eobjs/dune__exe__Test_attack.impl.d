@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Array Attack Ptg_dram Ptg_rowhammer

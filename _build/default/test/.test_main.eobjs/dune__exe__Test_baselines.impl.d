@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Encrypted_pte Int64 List Monotonic Ptg_baselines Ptg_pte Ptg_sim Ptg_util Secwalk

@@ -1,0 +1,1 @@
+test/test_binomial.ml: Alcotest Binomial Float Ptg_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Int64 Ptg_util QCheck2 QCheck_alcotest

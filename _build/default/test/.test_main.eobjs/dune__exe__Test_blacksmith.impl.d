@@ -1,0 +1,1 @@
+test/test_blacksmith.ml: Alcotest Array Blacksmith List Ptg_dram Ptg_mitigations Ptg_rowhammer Ptg_util

@@ -1,0 +1,1 @@
+test/test_block128.ml: Alcotest Array Block128 Int64 Ptg_crypto QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Int64 Ptg_cpu Tlb

@@ -1,0 +1,1 @@
+test/test_correction.ml: Alcotest Array Config Correction Int64 List Mac Ptg_crypto Ptg_pte Ptg_rowhammer Ptg_util Ptguard QCheck2 QCheck_alcotest Qarma

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Core Guard_timing Int64 Multicore Option Ptg_cpu Ptg_util Ptg_workloads Ptguard

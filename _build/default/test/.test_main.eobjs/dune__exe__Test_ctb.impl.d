@@ -1,0 +1,1 @@
+test/test_ctb.ml: Alcotest Ctb Ptguard

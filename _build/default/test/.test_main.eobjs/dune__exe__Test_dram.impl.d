@@ -1,0 +1,1 @@
+test/test_dram.ml: Alcotest Array Dram Geometry Int64 List Ptg_dram Ptg_pte Ptg_util Timing

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Config Ctb Engine Hashtbl Int64 Ptg_pte Ptg_util Ptguard

@@ -1,0 +1,1 @@
+test/test_engine_armv8.ml: Alcotest Array Config Correction Engine Int64 Layout List Ptg_pte Ptg_rowhammer Ptg_util Ptguard

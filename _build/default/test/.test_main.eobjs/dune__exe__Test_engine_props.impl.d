@@ -1,0 +1,1 @@
+test/test_engine_props.ml: Array Config Correction Engine Int64 Lazy List Ptg_pte Ptg_rowhammer Ptg_util Ptg_vm Ptguard QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Filename List Ptg_sim Ptg_util Ptg_vm Ptg_workloads Ptguard Sys

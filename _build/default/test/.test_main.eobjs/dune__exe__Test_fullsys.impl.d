@@ -1,0 +1,1 @@
+test/test_fullsys.ml: Alcotest Ptg_sim

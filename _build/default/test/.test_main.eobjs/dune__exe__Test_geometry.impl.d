@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Geometry Int64 Ptg_dram Ptg_util QCheck2 QCheck_alcotest

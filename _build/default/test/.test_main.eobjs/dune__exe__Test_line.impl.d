@@ -1,0 +1,1 @@
+test/test_line.ml: Alcotest Array Int64 Line List Ptg_pte Ptg_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mac.ml: Alcotest Array Block128 Int64 List Mac Ptg_crypto QCheck2 QCheck_alcotest Qarma

@@ -1,0 +1,1 @@
+test/test_memctrl.ml: Alcotest Array Format Int64 List Memctrl Mmu Printf Ptg_dram Ptg_memctrl Ptg_pte Ptg_util Ptg_vm Ptguard

@@ -1,0 +1,1 @@
+test/test_mitigation.ml: Alcotest Array Attack Dram Fault_model Geometry Mitigation Ptg_dram Ptg_mitigations Ptg_rowhammer Ptg_util

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Int64 List Option Os_handler Ptg_dram Ptg_memctrl Ptg_os Ptg_pte Ptg_util Ptg_vm Ptguard

@@ -1,0 +1,1 @@
+test/test_process_model.ml: Alcotest Array Frame_allocator Int64 List Page_table Phys_mem Process_model Profile Ptg_pte Ptg_util Ptg_vm

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Format Int64 Profile Ptg_pte Ptg_vm

@@ -1,0 +1,1 @@
+test/test_protection.ml: Alcotest Array Int64 Line List Mac Printf Protection Ptg_crypto Ptg_pte Ptg_util QCheck2 QCheck_alcotest X86

@@ -1,0 +1,1 @@
+test/test_protection_armv8.ml: Alcotest Armv8 Array Block128 Int64 Line Mac Protection_armv8 Ptg_crypto Ptg_pte Ptg_util QCheck2 QCheck_alcotest Qarma

@@ -1,0 +1,1 @@
+test/test_qarma.ml: Alcotest Array Block128 Hashtbl Ptg_crypto Ptg_util QCheck2 QCheck_alcotest Qarma String

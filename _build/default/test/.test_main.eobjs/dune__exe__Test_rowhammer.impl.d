@@ -1,0 +1,1 @@
+test/test_rowhammer.ml: Alcotest Array Dram Fault_model Geometry Inject Int64 List Ptg_dram Ptg_pte Ptg_rowhammer Ptg_util

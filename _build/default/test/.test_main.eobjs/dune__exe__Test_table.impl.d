@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Filename List Ptg_util String Sys Table

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Frame_allocator Int64 List Page_table Phys_mem Ptg_dram Ptg_pte Ptg_util Ptg_vm QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_walk_trace.ml: Alcotest Array Filename Float Hashtbl Option Ptg_sim Ptg_util Ptg_vm Ptg_workloads Sys

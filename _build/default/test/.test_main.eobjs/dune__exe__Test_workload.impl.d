@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Int64 List Option Ptg_cpu Ptg_util Ptg_workloads Workload

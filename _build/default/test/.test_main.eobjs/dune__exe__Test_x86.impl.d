@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Format Int64 List Ptg_pte Ptg_util QCheck2 QCheck_alcotest String X86

@@ -1,0 +1,73 @@
+open Ptg_pte
+
+(* Table II of the paper: the ARMv8 descriptor with its split PFN. *)
+
+let test_valid_block () =
+  let d = Armv8.set_valid 0L true in
+  Alcotest.(check int64) "valid is bit 0" 1L d;
+  Alcotest.(check bool) "get_valid" true (Armv8.get_valid d);
+  let d = Armv8.set_block 0L true in
+  Alcotest.(check int64) "block is bit 1" 2L d
+
+let test_fields () =
+  let d = Armv8.set_memory_attributes 0L 0xFL in
+  Alcotest.(check int64) "attrs at 5:2" (Int64.shift_left 0xFL 2) d;
+  let d = Armv8.set_access_permissions 0L 3L in
+  Alcotest.(check int64) "AP at 7:6" (Int64.shift_left 3L 6) d;
+  let d = Armv8.set_accessed 0L true in
+  Alcotest.(check int64) "AF at bit 10" (Int64.shift_left 1L 10) d;
+  let d = Armv8.set_contiguous 0L true in
+  Alcotest.(check int64) "contiguous at bit 52" (Int64.shift_left 1L 52) d;
+  let d = Armv8.set_execute_never 0L 3L in
+  Alcotest.(check int64) "XN at 54:53" (Int64.shift_left 3L 53) d
+
+let test_pfn_split () =
+  (* PFN[37:0] at bits 49:12, PFN[39:38] at bits 9:8. *)
+  let pfn_low_only = 0x3F_FFFF_FFFFL in
+  let d = Armv8.set_pfn 0L pfn_low_only in
+  Alcotest.(check int64) "low part roundtrip" pfn_low_only (Armv8.pfn d);
+  Alcotest.(check int64) "bits 9:8 clear for 38-bit pfn" 0L
+    (Ptg_util.Bits.extract d ~lo:8 ~hi:9);
+  let pfn_high = Int64.shift_left 3L 38 in
+  let d = Armv8.set_pfn 0L pfn_high in
+  Alcotest.(check int64) "high bits land at 9:8" 3L (Ptg_util.Bits.extract d ~lo:8 ~hi:9);
+  Alcotest.(check int64) "high part roundtrip" pfn_high (Armv8.pfn d)
+
+let test_make () =
+  let d = Armv8.make ~writable:true ~user:true ~execute_never:true ~pfn:0x777L () in
+  Alcotest.(check bool) "valid" true (Armv8.get_valid d);
+  Alcotest.(check int64) "pfn" 0x777L (Armv8.pfn d);
+  Alcotest.(check int64) "xn set" 3L (Armv8.execute_never d);
+  Alcotest.(check bool) "accessed" true (Armv8.get_accessed d);
+  (* AP[2] (read-only) must be clear when writable. *)
+  Alcotest.(check int64) "AP writable+user" 1L (Armv8.access_permissions d);
+  let ro = Armv8.make ~writable:false ~user:false ~pfn:1L () in
+  Alcotest.(check int64) "AP read-only kernel" 2L (Armv8.access_permissions ro)
+
+let test_hardware_attributes () =
+  let d = Ptg_util.Bits.insert 0L ~lo:59 ~hi:62 0xAL in
+  Alcotest.(check int64) "hw attrs 62:59" 0xAL (Armv8.hardware_attributes d)
+
+let prop_pfn_roundtrip =
+  QCheck2.Test.make ~name:"40-bit pfn roundtrip" ~count:500
+    QCheck2.Gen.(map (fun x -> Int64.logand x 0xFF_FFFF_FFFFL) int64)
+    (fun pfn -> Int64.equal (Armv8.pfn (Armv8.set_pfn 0L pfn)) pfn)
+
+let prop_pfn_preserves_flags =
+  QCheck2.Test.make ~name:"set_pfn preserves valid/AP" ~count:300
+    QCheck2.Gen.(map (fun x -> Int64.logand x 0xFF_FFFF_FFFFL) int64)
+    (fun pfn ->
+      let d = Armv8.make ~writable:true ~user:true ~pfn:0L () in
+      let d' = Armv8.set_pfn d pfn in
+      Armv8.get_valid d' && Int64.equal (Armv8.access_permissions d') 1L)
+
+let suite =
+  [
+    Alcotest.test_case "valid/block" `Quick test_valid_block;
+    Alcotest.test_case "fields" `Quick test_fields;
+    Alcotest.test_case "split pfn" `Quick test_pfn_split;
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "hardware attributes" `Quick test_hardware_attributes;
+    QCheck_alcotest.to_alcotest prop_pfn_roundtrip;
+    QCheck_alcotest.to_alcotest prop_pfn_preserves_flags;
+  ]

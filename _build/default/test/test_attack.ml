@@ -1,0 +1,74 @@
+open Ptg_rowhammer
+
+let test_names () =
+  Alcotest.(check string) "double-sided name" "double-sided"
+    (Attack.pattern_name (Attack.Double_sided { victim = 5 }))
+
+let test_rows () =
+  let ds = Attack.Double_sided { victim = 100 } in
+  Alcotest.(check (list int)) "ds aggressors" [ 99; 101 ] (Attack.aggressor_rows ds);
+  Alcotest.(check (list int)) "ds victims" [ 100 ] (Attack.victim_rows ds);
+  let hd = Attack.Half_double { victim = 100; distance = 2 } in
+  Alcotest.(check (list int)) "hd aggressors" [ 98; 102 ] (Attack.aggressor_rows hd);
+  let ss = Attack.Single_sided { aggressor = 10; dummy = 9999 } in
+  Alcotest.(check (list int)) "ss victims" [ 9; 11 ] (Attack.victim_rows ss)
+
+let test_schedule_alternates () =
+  let sched = Attack.schedule (Attack.Double_sided { victim = 100 }) ~iterations:10 in
+  Alcotest.(check int) "length" 20 (Array.length sched);
+  (* consecutive entries differ: the row buffer is always defeated *)
+  for i = 0 to Array.length sched - 2 do
+    if sched.(i) = sched.(i + 1) then Alcotest.fail "consecutive same-row access"
+  done
+
+let test_synchronized_schedule () =
+  let p =
+    Attack.Synchronized_many_sided
+      { aggressors = [ 99; 101 ]; decoys = [ 500; 502 ]; ref_interval = 20; window = 4 }
+  in
+  let sched = Attack.schedule p ~iterations:40 in
+  Array.iteri
+    (fun i row ->
+      if i mod 20 < 4 then begin
+        if row <> 500 && row <> 502 then Alcotest.fail "window slot not a decoy"
+      end
+      else if row <> 99 && row <> 101 then Alcotest.fail "body slot not an aggressor")
+    sched;
+  Alcotest.check_raises "window validation"
+    (Invalid_argument "Attack.schedule: window >= ref_interval") (fun () ->
+      ignore
+        (Attack.schedule
+           (Attack.Synchronized_many_sided
+              { aggressors = [ 1 ]; decoys = [ 2 ]; ref_interval = 4; window = 4 })
+           ~iterations:1))
+
+let test_run_activates () =
+  let dram = Ptg_dram.Dram.create () in
+  let finish =
+    Attack.run dram ~channel:0 ~bank:0
+      (Attack.Double_sided { victim = 100 })
+      ~iterations:50 ~start_time:0
+  in
+  Alcotest.(check bool) "time advanced" true (finish > 0);
+  Alcotest.(check int) "every access activated" 100 (Ptg_dram.Dram.total_activations dram)
+
+let test_run_observed_by_mitigation () =
+  let dram = Ptg_dram.Dram.create () in
+  let seen = ref 0 in
+  Ptg_dram.Dram.on_activate dram (fun c ->
+      if c.Ptg_dram.Geometry.bank = 3 then incr seen);
+  ignore
+    (Attack.run dram ~channel:0 ~bank:3
+       (Attack.Double_sided { victim = 42 })
+       ~iterations:25 ~start_time:0);
+  Alcotest.(check int) "activations on the attacked bank" 50 !seen
+
+let suite =
+  [
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "aggressor/victim rows" `Quick test_rows;
+    Alcotest.test_case "schedule alternates" `Quick test_schedule_alternates;
+    Alcotest.test_case "synchronized schedule" `Quick test_synchronized_schedule;
+    Alcotest.test_case "run activates" `Quick test_run_activates;
+    Alcotest.test_case "run observed" `Quick test_run_observed_by_mitigation;
+  ]

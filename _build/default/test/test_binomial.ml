@@ -1,0 +1,82 @@
+open Ptg_util
+
+let check_f tol = Alcotest.(check (float tol))
+
+let test_log_factorial () =
+  check_f 1e-9 "0!" 0.0 (Binomial.log_factorial 0);
+  check_f 1e-9 "1!" 0.0 (Binomial.log_factorial 1);
+  check_f 1e-9 "5!" (log 120.0) (Binomial.log_factorial 5);
+  check_f 1e-6 "10!" (log 3628800.0) (Binomial.log_factorial 10)
+
+let test_choose () =
+  check_f 1e-9 "C(5,2)" 10.0 (Binomial.choose_float 5 2);
+  check_f 1e-9 "C(n,0)" 1.0 (Binomial.choose_float 96 0);
+  check_f 1e-9 "C(n,n)" 1.0 (Binomial.choose_float 96 96);
+  check_f 1e-9 "C out of range" 0.0 (Binomial.choose_float 5 6);
+  (* C(96,4) = 3321960 — the Hamming-ball term in Eq. 1 *)
+  check_f 1.0 "C(96,4)" 3_321_960.0 (Binomial.choose_float 96 4)
+
+let test_log2_sum_choose () =
+  (* sum over all h of C(n,h) = 2^n *)
+  check_f 1e-6 "full Hamming ball = 2^n" 20.0 (Binomial.log2_sum_choose 20 20);
+  check_f 1e-6 "ball k=0 is 1" 0.0 (Binomial.log2_sum_choose 96 0);
+  (* 1 + 96 = 97 *)
+  check_f 1e-6 "ball k=1" (Binomial.log2 97.0) (Binomial.log2_sum_choose 96 1)
+
+let test_pmf () =
+  check_f 1e-9 "pmf p=0 k=0" 1.0 (Binomial.pmf ~n:10 ~p:0.0 0);
+  check_f 1e-9 "pmf p=1 k=n" 1.0 (Binomial.pmf ~n:10 ~p:1.0 10);
+  check_f 1e-9 "pmf k out of range" 0.0 (Binomial.pmf ~n:10 ~p:0.5 11);
+  (* B(2, 0.5): 0.25, 0.5, 0.25 *)
+  check_f 1e-9 "pmf B(2,.5) k=1" 0.5 (Binomial.pmf ~n:2 ~p:0.5 1);
+  (* pmf sums to 1 *)
+  let total = ref 0.0 in
+  for k = 0 to 30 do
+    total := !total +. Binomial.pmf ~n:30 ~p:0.37 k
+  done;
+  check_f 1e-9 "pmf sums to 1" 1.0 !total
+
+let test_tail () =
+  check_f 1e-9 "tail k<=0 is 1" 1.0 (Binomial.tail_ge ~n:10 ~p:0.3 0);
+  check_f 1e-9 "tail k>n is 0" 0.0 (Binomial.tail_ge ~n:10 ~p:0.3 11);
+  (* complement check: P[X>=1] = 1 - (1-p)^n *)
+  let p = 0.1 and n = 20 in
+  check_f 1e-9 "tail ge 1 complement"
+    (1.0 -. ((1.0 -. p) ** float_of_int n))
+    (Binomial.tail_ge ~n ~p 1);
+  (* monotone decreasing in k *)
+  let prev = ref 1.1 in
+  for k = 0 to 20 do
+    let t = Binomial.tail_ge ~n:20 ~p:0.4 k in
+    if t > !prev +. 1e-12 then Alcotest.fail "tail not monotone";
+    prev := t
+  done
+
+let prop_choose_symmetry =
+  QCheck2.Test.make ~name:"C(n,k) = C(n,n-k)" ~count:200
+    QCheck2.Gen.(pair (int_range 0 60) (int_range 0 60))
+    (fun (n, k) ->
+      let k = min k n in
+      Float.abs (Binomial.log_choose n k -. Binomial.log_choose n (n - k)) < 1e-9)
+
+let prop_pascal =
+  QCheck2.Test.make ~name:"Pascal: C(n,k) = C(n-1,k-1)+C(n-1,k)" ~count:200
+    QCheck2.Gen.(pair (int_range 1 50) (int_range 1 49))
+    (fun (n, k) ->
+      let k = min k (n - 1) in
+      if k < 1 then true
+      else
+        let lhs = Binomial.choose_float n k in
+        let rhs = Binomial.choose_float (n - 1) (k - 1) +. Binomial.choose_float (n - 1) k in
+        Float.abs (lhs -. rhs) /. lhs < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "log_factorial" `Quick test_log_factorial;
+    Alcotest.test_case "choose" `Quick test_choose;
+    Alcotest.test_case "log2_sum_choose" `Quick test_log2_sum_choose;
+    Alcotest.test_case "pmf" `Quick test_pmf;
+    Alcotest.test_case "tail" `Quick test_tail;
+    QCheck_alcotest.to_alcotest prop_choose_symmetry;
+    QCheck_alcotest.to_alcotest prop_pascal;
+  ]

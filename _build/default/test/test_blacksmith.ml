@@ -1,0 +1,92 @@
+open Ptg_rowhammer
+
+let test_schedule_activation_rule () =
+  let p =
+    {
+      Blacksmith.period = 8;
+      tuples = [ { Blacksmith.row = 100; freq = 4; phase = 1; amplitude = 2 } ];
+    }
+  in
+  let sched = Blacksmith.schedule p ~slots:16 in
+  (* active at slots where (i - 1) mod 4 < 2, i.e. i mod 4 in {1, 2} *)
+  Array.iteri
+    (fun i row ->
+      let should_be_active = i mod 4 = 1 || i mod 4 = 2 in
+      if should_be_active then Alcotest.(check int) "active slot" 100 row
+      else if row = 100 then Alcotest.failf "row active at wrong slot %d" i)
+    sched
+
+let test_schedule_filler_alternates () =
+  let p = { Blacksmith.period = 4; tuples = [] } in
+  let sched = Blacksmith.schedule p ~slots:10 in
+  for i = 0 to 8 do
+    if sched.(i) = sched.(i + 1) then Alcotest.fail "filler must alternate rows"
+  done
+
+let test_schedule_validation () =
+  Alcotest.check_raises "bad tuple" (Invalid_argument "Blacksmith.schedule: tuple")
+    (fun () ->
+      ignore
+        (Blacksmith.schedule
+           {
+             Blacksmith.period = 8;
+             tuples = [ { Blacksmith.row = 1; freq = 0; phase = 0; amplitude = 1 } ];
+           }
+           ~slots:4))
+
+let test_random_pattern_shape () =
+  let rng = Ptg_util.Rng.create 2L in
+  for _ = 1 to 50 do
+    let p = Blacksmith.random_pattern rng ~victim:500 ~decoys:3 in
+    Alcotest.(check int) "aggressors + decoys" 5 (List.length p.Blacksmith.tuples);
+    let rows = List.map (fun t -> t.Blacksmith.row) p.Blacksmith.tuples in
+    Alcotest.(check bool) "both distance-1 aggressors present" true
+      (List.mem 499 rows && List.mem 501 rows);
+    List.iter
+      (fun t ->
+        if t.Blacksmith.freq < 1 || t.Blacksmith.freq > p.Blacksmith.period then
+          Alcotest.fail "freq out of range";
+        if t.Blacksmith.phase < 0 || t.Blacksmith.phase >= p.Blacksmith.period then
+          Alcotest.fail "phase out of range")
+      p.Blacksmith.tuples
+  done
+
+let test_run_activates () =
+  let dram = Ptg_dram.Dram.create () in
+  let p =
+    {
+      Blacksmith.period = 4;
+      tuples =
+        [
+          { Blacksmith.row = 100; freq = 2; phase = 0; amplitude = 1 };
+          { Blacksmith.row = 102; freq = 2; phase = 1; amplitude = 1 };
+        ];
+    }
+  in
+  let finish = Blacksmith.run dram ~channel:0 ~bank:0 p ~slots:100 ~start_time:0 in
+  Alcotest.(check bool) "time advanced" true (finish > 0);
+  Alcotest.(check int) "dense activation stream" 100 (Ptg_dram.Dram.total_activations dram)
+
+let test_campaign_finds_patterns () =
+  (* The Blacksmith empirical result in miniature: fuzzing finds at least
+     one pattern that flips bits through TRR, even though the uniform
+     double-sided pattern is fully mitigated (test_mitigation.ml). *)
+  let rng = Ptg_util.Rng.create 77L in
+  let r = Ptg_mitigations.Blacksmith_campaign.campaign ~tries:20 ~rng ~victim:900 () in
+  Alcotest.(check int) "tries recorded" 20 r.Ptg_mitigations.Blacksmith_campaign.tries;
+  Alcotest.(check bool) "fuzzing found an effective pattern" true
+    (r.Ptg_mitigations.Blacksmith_campaign.effective_patterns >= 1);
+  Alcotest.(check bool) "best pattern reported" true
+    (r.Ptg_mitigations.Blacksmith_campaign.best <> None);
+  Alcotest.(check bool) "not every random pattern works" true
+    (r.Ptg_mitigations.Blacksmith_campaign.effective_patterns < 20)
+
+let suite =
+  [
+    Alcotest.test_case "schedule activation rule" `Quick test_schedule_activation_rule;
+    Alcotest.test_case "schedule filler" `Quick test_schedule_filler_alternates;
+    Alcotest.test_case "schedule validation" `Quick test_schedule_validation;
+    Alcotest.test_case "random pattern shape" `Quick test_random_pattern_shape;
+    Alcotest.test_case "run activates" `Quick test_run_activates;
+    Alcotest.test_case "campaign finds patterns" `Slow test_campaign_finds_patterns;
+  ]

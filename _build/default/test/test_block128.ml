@@ -1,0 +1,87 @@
+open Ptg_crypto
+
+let block =
+  Alcotest.testable
+    (fun fmt b -> Block128.pp fmt b)
+    Block128.equal
+
+let test_basics () =
+  Alcotest.check block "xor self is zero" Block128.zero
+    (Block128.logxor
+       (Block128.make ~hi:0xAAL ~lo:0xBBL)
+       (Block128.make ~hi:0xAAL ~lo:0xBBL));
+  Alcotest.(check bool) "equal" true
+    (Block128.equal (Block128.of_int64 5L) (Block128.make ~hi:0L ~lo:5L));
+  Alcotest.(check int) "compare orders by hi" (-1)
+    (Block128.compare (Block128.make ~hi:1L ~lo:0L) (Block128.make ~hi:2L ~lo:0L))
+
+let test_popcount_hamming () =
+  Alcotest.(check int) "popcount" 128 (Block128.popcount (Block128.lognot Block128.zero));
+  Alcotest.(check int) "hamming one bit" 1
+    (Block128.hamming Block128.zero (Block128.of_int64 0x10L));
+  Alcotest.(check int) "hamming across halves" 2
+    (Block128.hamming Block128.zero (Block128.make ~hi:1L ~lo:1L))
+
+let test_rotr1 () =
+  (* bit 0 of lo wraps to bit 63 of hi *)
+  Alcotest.check block "lo bit0 -> hi bit63"
+    (Block128.make ~hi:Int64.min_int ~lo:0L)
+    (Block128.rotr1 (Block128.of_int64 1L));
+  (* bit 0 of hi moves to bit 63 of lo *)
+  Alcotest.check block "hi bit0 -> lo bit63"
+    (Block128.make ~hi:0L ~lo:Int64.min_int)
+    (Block128.rotr1 (Block128.make ~hi:1L ~lo:0L))
+
+let test_shift_right_127 () =
+  Alcotest.check block "top bit isolated" (Block128.of_int64 1L)
+    (Block128.shift_right_127 (Block128.make ~hi:Int64.min_int ~lo:0L));
+  Alcotest.check block "zero otherwise" Block128.zero
+    (Block128.shift_right_127 (Block128.make ~hi:0x7FFFFFFFFFFFFFFFL ~lo:(-1L)))
+
+let test_cells () =
+  let b = Block128.make ~hi:0x0011223344556677L ~lo:0x8899AABBCCDDEEFFL in
+  let cells = Block128.to_cells b in
+  Alcotest.(check int) "cell 0 is MSB of hi" 0x00 cells.(0);
+  Alcotest.(check int) "cell 7 is LSB of hi" 0x77 cells.(7);
+  Alcotest.(check int) "cell 8 is MSB of lo" 0x88 cells.(8);
+  Alcotest.(check int) "cell 15 is LSB of lo" 0xFF cells.(15)
+
+let test_cells_validation () =
+  Alcotest.check_raises "wrong length" (Invalid_argument "Block128.of_cells: length")
+    (fun () -> ignore (Block128.of_cells (Array.make 15 0)));
+  Alcotest.check_raises "cell range"
+    (Invalid_argument "Block128.of_cells: cell range") (fun () ->
+      ignore (Block128.of_cells (Array.make 16 256)))
+
+let test_hex () =
+  Alcotest.(check string) "hex" "000000000000000a000000000000000b"
+    (Block128.to_hex (Block128.make ~hi:0xAL ~lo:0xBL))
+
+let gen_block =
+  QCheck2.Gen.map (fun (hi, lo) -> Block128.make ~hi ~lo) QCheck2.Gen.(pair int64 int64)
+
+let prop_cells_roundtrip =
+  QCheck2.Test.make ~name:"to_cells/of_cells roundtrip" ~count:300 gen_block
+    (fun b -> Block128.equal (Block128.of_cells (Block128.to_cells b)) b)
+
+let prop_rotr1_period =
+  QCheck2.Test.make ~name:"rotr1 applied 128 times is identity" ~count:50 gen_block
+    (fun b ->
+      let r = ref b in
+      for _ = 1 to 128 do
+        r := Block128.rotr1 !r
+      done;
+      Block128.equal !r b)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "popcount/hamming" `Quick test_popcount_hamming;
+    Alcotest.test_case "rotr1" `Quick test_rotr1;
+    Alcotest.test_case "shift_right_127" `Quick test_shift_right_127;
+    Alcotest.test_case "cells layout" `Quick test_cells;
+    Alcotest.test_case "cells validation" `Quick test_cells_validation;
+    Alcotest.test_case "hex" `Quick test_hex;
+    QCheck_alcotest.to_alcotest prop_cells_roundtrip;
+    QCheck_alcotest.to_alcotest prop_rotr1_period;
+  ]

@@ -1,0 +1,122 @@
+open Ptg_cpu
+
+let tiny = { Cache.size_bytes = 512; assoc = 2; line_bytes = 64; latency = 3 }
+(* 512 B / (2 * 64) = 4 sets *)
+
+let is_hit = function Cache.Hit -> true | Cache.Miss _ -> false
+
+let test_geometry_validation () =
+  Alcotest.check_raises "bad geometry"
+    (Invalid_argument "Cache.create: geometry does not divide") (fun () ->
+      ignore (Cache.create { tiny with Cache.size_bytes = 500 }))
+
+let test_miss_then_hit () =
+  let c = Cache.create tiny in
+  Alcotest.(check bool) "cold miss" false (is_hit (Cache.access c ~addr:0L ~is_write:false));
+  Alcotest.(check bool) "then hit" true (is_hit (Cache.access c ~addr:0L ~is_write:false));
+  Alcotest.(check bool) "same line hit" true
+    (is_hit (Cache.access c ~addr:63L ~is_write:false));
+  Alcotest.(check bool) "next line miss" false
+    (is_hit (Cache.access c ~addr:64L ~is_write:false))
+
+let test_lru_eviction () =
+  let c = Cache.create tiny in
+  (* 4 sets: addresses 0, 256, 512 all map to set 0 (line/4 mod 4). *)
+  let set0 n = Int64.of_int (n * 4 * 64) in
+  ignore (Cache.access c ~addr:(set0 0) ~is_write:false);
+  ignore (Cache.access c ~addr:(set0 1) ~is_write:false);
+  (* touch 0 so 1 becomes LRU *)
+  ignore (Cache.access c ~addr:(set0 0) ~is_write:false);
+  ignore (Cache.access c ~addr:(set0 2) ~is_write:false) (* evicts 1 *);
+  Alcotest.(check bool) "0 survives" true (Cache.probe c ~addr:(set0 0));
+  Alcotest.(check bool) "1 evicted" false (Cache.probe c ~addr:(set0 1));
+  Alcotest.(check bool) "2 present" true (Cache.probe c ~addr:(set0 2))
+
+let test_writeback () =
+  let c = Cache.create tiny in
+  let set0 n = Int64.of_int (n * 4 * 64) in
+  ignore (Cache.access c ~addr:(set0 0) ~is_write:true) (* dirty *);
+  ignore (Cache.access c ~addr:(set0 1) ~is_write:false);
+  (match Cache.access c ~addr:(set0 2) ~is_write:false with
+  | Cache.Miss { writeback = Some addr } ->
+      Alcotest.(check int64) "dirty victim address" (set0 0) addr
+  | Cache.Miss { writeback = None } -> Alcotest.fail "expected writeback"
+  | Cache.Hit -> Alcotest.fail "expected miss");
+  (* clean eviction has no writeback *)
+  match Cache.access c ~addr:(set0 3) ~is_write:false with
+  | Cache.Miss { writeback = None } -> ()
+  | _ -> Alcotest.fail "expected clean miss"
+
+let test_probe_no_side_effect () =
+  let c = Cache.create tiny in
+  Alcotest.(check bool) "probe miss" false (Cache.probe c ~addr:0L);
+  Alcotest.(check int) "probe not counted" 0 (Cache.accesses c)
+
+let test_invalidate () =
+  let c = Cache.create tiny in
+  ignore (Cache.access c ~addr:0L ~is_write:false);
+  Cache.invalidate c ~addr:0L;
+  Alcotest.(check bool) "gone" false (Cache.probe c ~addr:0L)
+
+let test_stats () =
+  let c = Cache.create tiny in
+  ignore (Cache.access c ~addr:0L ~is_write:false);
+  ignore (Cache.access c ~addr:0L ~is_write:false);
+  Alcotest.(check int) "accesses" 2 (Cache.accesses c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c);
+  Alcotest.(check (float 1e-9)) "miss rate" 0.5 (Cache.miss_rate c);
+  Cache.reset_stats c;
+  Alcotest.(check int) "reset" 0 (Cache.accesses c)
+
+let test_presets_sizes () =
+  (* Table III *)
+  Alcotest.(check int) "L1 32K" (32 * 1024) Cache.l1d_32k.Cache.size_bytes;
+  Alcotest.(check int) "L1 8-way" 8 Cache.l1d_32k.Cache.assoc;
+  Alcotest.(check int) "L2 256K" (256 * 1024) Cache.l2_256k.Cache.size_bytes;
+  Alcotest.(check int) "L2 16-way" 16 Cache.l2_256k.Cache.assoc;
+  Alcotest.(check int) "L3 2M" (2 * 1024 * 1024) Cache.l3_2m.Cache.size_bytes;
+  Alcotest.(check int) "MMU 8K" (8 * 1024) Cache.mmu_8k.Cache.size_bytes;
+  Alcotest.(check int) "MMU 4-way" 4 Cache.mmu_8k.Cache.assoc
+
+let test_tlb () =
+  let t = Tlb.create ~entries:2 () in
+  Alcotest.(check bool) "cold miss" false (Tlb.lookup t ~vpn:1L);
+  Tlb.fill t ~vpn:1L;
+  Alcotest.(check bool) "hit after fill" true (Tlb.lookup t ~vpn:1L);
+  Tlb.fill t ~vpn:2L;
+  (* touch 1 so 2 is LRU, then fill 3: 2 evicted *)
+  ignore (Tlb.lookup t ~vpn:1L);
+  Tlb.fill t ~vpn:3L;
+  Alcotest.(check bool) "1 kept" true (Tlb.lookup t ~vpn:1L);
+  Alcotest.(check bool) "2 evicted" false (Tlb.lookup t ~vpn:2L);
+  Tlb.flush t;
+  Alcotest.(check bool) "flush clears" false (Tlb.lookup t ~vpn:1L);
+  Alcotest.(check bool) "miss rate sensible" true (Tlb.miss_rate t > 0.0);
+  Tlb.reset_stats t;
+  Alcotest.(check int) "stats reset" 0 (Tlb.misses t)
+
+let test_tlb_fill_idempotent () =
+  let t = Tlb.create ~entries:4 () in
+  Tlb.fill t ~vpn:9L;
+  Tlb.fill t ~vpn:9L;
+  Tlb.fill t ~vpn:10L;
+  Tlb.fill t ~vpn:11L;
+  Tlb.fill t ~vpn:12L;
+  (* all four distinct vpns must still fit: the duplicate fill must not
+     have consumed a second entry *)
+  Alcotest.(check bool) "9 present" true (Tlb.lookup t ~vpn:9L);
+  Alcotest.(check bool) "12 present" true (Tlb.lookup t ~vpn:12L)
+
+let suite =
+  [
+    Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
+    Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+    Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "writeback" `Quick test_writeback;
+    Alcotest.test_case "probe side-effect-free" `Quick test_probe_no_side_effect;
+    Alcotest.test_case "invalidate" `Quick test_invalidate;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "Table III presets" `Quick test_presets_sizes;
+    Alcotest.test_case "tlb" `Quick test_tlb;
+    Alcotest.test_case "tlb fill idempotent" `Quick test_tlb_fill_idempotent;
+  ]

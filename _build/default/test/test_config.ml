@@ -1,0 +1,66 @@
+open Ptguard
+
+let test_defaults () =
+  let c = Config.baseline in
+  Alcotest.(check int) "10-cycle MAC" 10 c.Config.mac_latency_cycles;
+  Alcotest.(check int) "96-bit MAC" 96 c.Config.mac_bits;
+  Alcotest.(check int) "k = 4" 4 c.Config.soft_match_k;
+  Alcotest.(check bool) "correction on" true c.Config.correction_enabled;
+  Alcotest.(check int) "almost-zero threshold" 4 c.Config.zero_pte_max_bits;
+  Alcotest.(check int) "CTB 4 entries" 4 c.Config.ctb_entries;
+  Alcotest.(check bool) "designs differ" true
+    (Config.optimized.Config.design <> c.Config.design)
+
+let test_g_max_paper () =
+  (* Section VI-D: 1 + 352 + 1 + 18 = 372 guesses at M = 40. *)
+  Alcotest.(check int) "G_max = 372" 372 (Config.max_correction_guesses Config.baseline);
+  (* At M = 32 there are 36 protected bits per PTE: 1 + 288 + 1 + 18. *)
+  let cfg32 = Config.with_layout Config.baseline (Layout.x86 ~phys_addr_bits:32 ()) in
+  Alcotest.(check int) "G_max at M=32" 308 (Config.max_correction_guesses cfg32);
+  (* The ARMv8 layout protects 45 bits per descriptor: 1 + 360 + 1 + 18. *)
+  let cfg_arm = Config.with_layout Config.baseline (Layout.armv8 ()) in
+  Alcotest.(check int) "G_max on ARMv8" 380 (Config.max_correction_guesses cfg_arm);
+  Alcotest.(check string) "layout name" "armv8" (Config.layout_name cfg_arm)
+
+let test_sram_paper () =
+  (* Section V-E: 52 bytes baseline, 71 bytes optimized. *)
+  Alcotest.(check int) "baseline 52 B" 52 (Config.sram_bytes Config.baseline);
+  Alcotest.(check int) "optimized 71 B" 71 (Config.sram_bytes Config.optimized);
+  (* ARM's identifier is 32-bit: 4 B instead of 7 B. *)
+  Alcotest.(check int) "ARM optimized 68 B" 68
+    (Config.sram_bytes (Config.with_layout Config.optimized (Layout.armv8 ())))
+
+let test_builders () =
+  let c = Config.with_mac_latency Config.baseline 20 in
+  Alcotest.(check int) "latency set" 20 c.Config.mac_latency_cycles;
+  let c = Config.with_correction Config.baseline false in
+  Alcotest.(check bool) "correction off" false c.Config.correction_enabled;
+  let c = Config.with_mac_bits Config.baseline 64 in
+  Alcotest.(check int) "mac bits" 64 c.Config.mac_bits;
+  Alcotest.check_raises "mac bits range" (Invalid_argument "Config.with_mac_bits")
+    (fun () -> ignore (Config.with_mac_bits Config.baseline 97))
+
+let test_cost () =
+  let c = Cost.of_config Config.optimized in
+  Alcotest.(check int) "total sram" 71 c.Cost.sram_total_bytes;
+  Alcotest.(check int) "no DRAM overhead" 0 c.Cost.dram_overhead_bytes;
+  Alcotest.(check int) "gates" 280_000 c.Cost.mac_gates;
+  Alcotest.(check (float 1e-9)) "latency ns" 3.4 c.Cost.mac_latency_ns;
+  let b = Cost.of_config Config.baseline in
+  Alcotest.(check int) "baseline no identifier sram" 0 b.Cost.sram_identifier_bytes;
+  Alcotest.(check int) "baseline total" 52 b.Cost.sram_total_bytes
+
+let test_names () =
+  Alcotest.(check string) "baseline name" "PT-Guard" (Config.design_name Config.Baseline);
+  Alcotest.(check string) "optimized name" "Optimized PT-Guard"
+    (Config.design_name Config.Optimized)
+
+let suite =
+  [
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "paper: G_max" `Quick test_g_max_paper;
+    Alcotest.test_case "paper: SRAM bytes" `Quick test_sram_paper;
+    Alcotest.test_case "builders" `Quick test_builders;
+    Alcotest.test_case "cost" `Quick test_cost;
+    Alcotest.test_case "names" `Quick test_names;
+  ]

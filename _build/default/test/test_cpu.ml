@@ -1,0 +1,146 @@
+open Ptg_cpu
+
+(* --- Guard_timing ------------------------------------------------------ *)
+
+let test_guard_unprotected () =
+  let g = Guard_timing.unprotected in
+  Alcotest.(check int) "no penalty" 0 (Guard_timing.read_penalty g ~is_pte:true);
+  Alcotest.(check int) "no computations" 0 (Guard_timing.mac_computations g)
+
+let test_guard_baseline_charges_all () =
+  let g =
+    Guard_timing.of_config Ptguard.Config.baseline ~rng:(Ptg_util.Rng.create 1L)
+  in
+  for _ = 1 to 10 do
+    Alcotest.(check int) "data read pays" 10 (Guard_timing.read_penalty g ~is_pte:false);
+    Alcotest.(check int) "pte read pays" 10 (Guard_timing.read_penalty g ~is_pte:true)
+  done;
+  Alcotest.(check int) "all computed" 20 (Guard_timing.mac_computations g);
+  Alcotest.(check int) "reads observed" 20 (Guard_timing.reads_observed g)
+
+let test_guard_optimized () =
+  let g =
+    Guard_timing.of_config ~p_data_protected:0.0 Ptguard.Config.optimized
+      ~rng:(Ptg_util.Rng.create 1L)
+  in
+  for _ = 1 to 10 do
+    Alcotest.(check int) "data read free" 0 (Guard_timing.read_penalty g ~is_pte:false);
+    Alcotest.(check int) "pte read pays" 10 (Guard_timing.read_penalty g ~is_pte:true)
+  done;
+  Alcotest.(check int) "only PTE reads computed" 10 (Guard_timing.mac_computations g)
+
+let test_guard_latency_config () =
+  let cfg = Ptguard.Config.with_mac_latency Ptguard.Config.baseline 17 in
+  let g = Guard_timing.of_config cfg ~rng:(Ptg_util.Rng.create 1L) in
+  Alcotest.(check int) "configured latency" 17 (Guard_timing.read_penalty g ~is_pte:false)
+
+(* --- Core timing -------------------------------------------------------- *)
+
+let test_nonmem_ipc_one () =
+  let core = Core.create ~guard:Guard_timing.unprotected () in
+  let r = Core.run core ~instrs:10_000 ~stream:(fun () -> Core.Nonmem) in
+  Alcotest.(check int) "1 cycle per instr" 10_000 r.Core.cycles;
+  Alcotest.(check (float 1e-9)) "IPC 1" 1.0 r.Core.ipc;
+  Alcotest.(check int) "no dram traffic" 0 (r.Core.dram_reads + r.Core.pte_dram_reads)
+
+let test_l1_resident_stream () =
+  let core = Core.create ~guard:Guard_timing.unprotected () in
+  (* loop over 4 lines of one page: after warmup, all L1 hits *)
+  let i = ref 0 in
+  let stream () =
+    incr i;
+    Core.Load (Int64.of_int (64 * (!i mod 4)))
+  in
+  ignore (Core.run core ~instrs:100 ~stream);
+  let r = Core.run core ~instrs:10_000 ~stream in
+  Alcotest.(check int) "L1 hits are pipelined" 10_000 r.Core.cycles;
+  Alcotest.(check int) "one walk at most" 0 r.Core.walks
+
+let test_miss_costs_latency () =
+  let core = Core.create ~guard:Guard_timing.unprotected () in
+  (* a single load to a cold address *)
+  let fired = ref false in
+  let stream () =
+    if !fired then Core.Nonmem
+    else begin
+      fired := true;
+      Core.Load 0x12345000L
+    end
+  in
+  let r = Core.run core ~instrs:10 ~stream in
+  Alcotest.(check int) "one walk" 1 r.Core.walks;
+  Alcotest.(check bool) "dram read happened" true
+    (r.Core.dram_reads + r.Core.pte_dram_reads >= 1);
+  Alcotest.(check bool) "stall charged" true (r.Core.cycles > 200)
+
+let test_guard_adds_exact_latency () =
+  (* Identical streams; the guarded run must cost exactly
+     10 * (#DRAM reads) more cycles. *)
+  let mk_stream seed = Ptg_workloads.Workload.stream (Ptg_util.Rng.create seed)
+      (Option.get (Ptg_workloads.Workload.by_name "omnetpp")) in
+  let base_core = Core.create ~guard:Guard_timing.unprotected () in
+  let base = Core.run base_core ~instrs:200_000 ~stream:(mk_stream 5L) in
+  let g = Guard_timing.of_config Ptguard.Config.baseline ~rng:(Ptg_util.Rng.create 1L) in
+  let guard_core = Core.create ~guard:g () in
+  let guarded = Core.run guard_core ~instrs:200_000 ~stream:(mk_stream 5L) in
+  Alcotest.(check int) "same memory behaviour"
+    (base.Core.dram_reads + base.Core.pte_dram_reads)
+    (guarded.Core.dram_reads + guarded.Core.pte_dram_reads);
+  Alcotest.(check int) "extra cycles = 10 per DRAM read"
+    (10 * (guarded.Core.dram_reads + guarded.Core.pte_dram_reads))
+    (guarded.Core.cycles - base.Core.cycles)
+
+let test_tlb_miss_rate_reported () =
+  let core = Core.create ~guard:Guard_timing.unprotected () in
+  let rng = Ptg_util.Rng.create 3L in
+  let stream () =
+    Core.Load (Int64.mul 4096L (Ptg_util.Rng.int64_bounded rng 100_000L))
+  in
+  let r = Core.run core ~instrs:20_000 ~stream in
+  Alcotest.(check bool) "random pages miss the TLB" true (r.Core.tlb_miss_rate > 0.5);
+  Alcotest.(check bool) "walks roughly match TLB misses" true (r.Core.walks > 1000)
+
+(* --- Multicore ----------------------------------------------------------- *)
+
+let test_multicore_runs () =
+  let mc = Multicore.create ~guard:Guard_timing.unprotected () in
+  let streams = Array.init 4 (fun _ -> fun () -> Core.Nonmem) in
+  let r = Multicore.run mc ~instrs_per_core:1000 ~streams in
+  Array.iter
+    (fun pc -> Alcotest.(check int) "each core ran" 1000 pc.Multicore.instrs)
+    r.Multicore.per_core;
+  Alcotest.(check int) "nonmem total cycles" 1000 r.Multicore.total_cycles;
+  Alcotest.(check (float 1e-9)) "aggregate ipc 4" 4.0 r.Multicore.aggregate_ipc
+
+let test_multicore_stream_count () =
+  let mc = Multicore.create ~guard:Guard_timing.unprotected () in
+  Alcotest.check_raises "stream arity"
+    (Invalid_argument "Multicore.run: need one stream per core") (fun () ->
+      ignore (Multicore.run mc ~instrs_per_core:1 ~streams:[||]))
+
+let test_multicore_contention () =
+  let spec = Option.get (Ptg_workloads.Workload.by_name "pr") in
+  let mc = Multicore.create ~guard:Guard_timing.unprotected () in
+  let streams =
+    Array.init 4 (fun i ->
+        Ptg_workloads.Workload.stream (Ptg_util.Rng.create (Int64.of_int i)) spec)
+  in
+  let r = Multicore.run mc ~instrs_per_core:100_000 ~streams in
+  Alcotest.(check bool) "memory-heavy mix queues" true (r.Multicore.avg_queue_delay > 0.1);
+  Alcotest.(check bool) "dram reads recorded" true (r.Multicore.dram_reads > 1000)
+
+let suite =
+  [
+    Alcotest.test_case "guard: unprotected" `Quick test_guard_unprotected;
+    Alcotest.test_case "guard: baseline charges all" `Quick test_guard_baseline_charges_all;
+    Alcotest.test_case "guard: optimized" `Quick test_guard_optimized;
+    Alcotest.test_case "guard: latency config" `Quick test_guard_latency_config;
+    Alcotest.test_case "core: nonmem IPC 1" `Quick test_nonmem_ipc_one;
+    Alcotest.test_case "core: L1-resident stream" `Quick test_l1_resident_stream;
+    Alcotest.test_case "core: miss cost" `Quick test_miss_costs_latency;
+    Alcotest.test_case "core: guard latency exact" `Slow test_guard_adds_exact_latency;
+    Alcotest.test_case "core: tlb miss rate" `Quick test_tlb_miss_rate_reported;
+    Alcotest.test_case "multicore: runs" `Quick test_multicore_runs;
+    Alcotest.test_case "multicore: stream arity" `Quick test_multicore_stream_count;
+    Alcotest.test_case "multicore: contention" `Slow test_multicore_contention;
+  ]

@@ -1,0 +1,58 @@
+open Ptguard
+
+let test_basics () =
+  let c = Ctb.create ~capacity:4 in
+  Alcotest.(check int) "capacity" 4 (Ctb.capacity c);
+  Alcotest.(check int) "empty" 0 (Ctb.size c);
+  Alcotest.(check bool) "not full" false (Ctb.is_full c);
+  Alcotest.(check bool) "mem miss" false (Ctb.mem c 0x1000L)
+
+let test_add_mem () =
+  let c = Ctb.create ~capacity:4 in
+  Alcotest.(check bool) "added" true (Ctb.add c 0x1000L = `Added);
+  Alcotest.(check bool) "mem hit" true (Ctb.mem c 0x1000L);
+  Alcotest.(check bool) "duplicate" true (Ctb.add c 0x1000L = `Already_present);
+  Alcotest.(check int) "size 1" 1 (Ctb.size c)
+
+let test_line_alignment () =
+  let c = Ctb.create ~capacity:4 in
+  ignore (Ctb.add c 0x1038L);
+  Alcotest.(check bool) "aligned lookup" true (Ctb.mem c 0x1000L);
+  Alcotest.(check bool) "other offsets of same line" true (Ctb.mem c 0x103FL)
+
+let test_full () =
+  let c = Ctb.create ~capacity:2 in
+  ignore (Ctb.add c 0x0L);
+  ignore (Ctb.add c 0x40L);
+  Alcotest.(check bool) "full" true (Ctb.is_full c);
+  Alcotest.(check bool) "overflow" true (Ctb.add c 0x80L = `Full);
+  Alcotest.(check int) "size unchanged" 2 (Ctb.size c)
+
+let test_remove_clear () =
+  let c = Ctb.create ~capacity:4 in
+  ignore (Ctb.add c 0x0L);
+  ignore (Ctb.add c 0x40L);
+  Ctb.remove c 0x0L;
+  Alcotest.(check bool) "removed" false (Ctb.mem c 0x0L);
+  Alcotest.(check bool) "other kept" true (Ctb.mem c 0x40L);
+  Ctb.clear c;
+  Alcotest.(check int) "cleared" 0 (Ctb.size c)
+
+let test_sram () =
+  Alcotest.(check int) "paper: 20 bytes for 4 entries" 20
+    (Ctb.sram_bytes (Ctb.create ~capacity:4))
+
+let test_validation () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Ctb.create: capacity")
+    (fun () -> ignore (Ctb.create ~capacity:0))
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "add/mem" `Quick test_add_mem;
+    Alcotest.test_case "line alignment" `Quick test_line_alignment;
+    Alcotest.test_case "full" `Quick test_full;
+    Alcotest.test_case "remove/clear" `Quick test_remove_clear;
+    Alcotest.test_case "sram bytes" `Quick test_sram;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

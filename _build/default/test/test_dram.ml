@@ -1,0 +1,134 @@
+open Ptg_dram
+
+let t = Timing.ddr4_3ghz
+
+let test_latencies () =
+  Alcotest.(check int) "row hit" (t.Timing.t_cas + t.Timing.bus_and_queue)
+    (Timing.read_latency t Timing.Hit);
+  Alcotest.(check int) "closed row"
+    (t.Timing.t_rcd + t.Timing.t_cas + t.Timing.bus_and_queue)
+    (Timing.read_latency t Timing.Closed_row);
+  Alcotest.(check int) "conflict"
+    (t.Timing.t_rp + t.Timing.t_rcd + t.Timing.t_cas + t.Timing.bus_and_queue)
+    (Timing.read_latency t Timing.Conflict);
+  (* The paper's "DRAM access takes 50ns": conflict ~ 147 cycles @3GHz. *)
+  Alcotest.(check int) "conflict is 147 cycles" 147 (Timing.read_latency t Timing.Conflict)
+
+let test_row_buffer_state_machine () =
+  let d = Dram.create () in
+  let r1 = Dram.access d ~now:0 ~addr:0x1000L ~is_write:false in
+  Alcotest.(check bool) "first access opens row" true
+    (r1.Dram.outcome = Timing.Closed_row);
+  let r2 = Dram.access d ~now:100 ~addr:0x1040L ~is_write:false in
+  Alcotest.(check bool) "same row hits" true (r2.Dram.outcome = Timing.Hit);
+  (* Access a different row in the same bank: need an address mapping to
+     the same bank but another row; same column+channel, row+1. *)
+  let g = Dram.geometry d in
+  let c = Geometry.decode g 0x1000L in
+  let other = Geometry.encode g { c with Geometry.row = c.Geometry.row + 1 } in
+  let r3 = Dram.access d ~now:200 ~addr:other ~is_write:false in
+  Alcotest.(check bool) "row conflict" true (r3.Dram.outcome = Timing.Conflict)
+
+let test_storage () =
+  let d = Dram.create () in
+  Alcotest.(check bool) "unwritten reads zero" true
+    (Ptg_pte.Line.is_zero (Dram.read_line d 0x2000L));
+  let line = Array.init 8 Int64.of_int in
+  Dram.write_line d 0x2000L line;
+  Alcotest.(check bool) "read back" true (Ptg_pte.Line.equal line (Dram.read_line d 0x2000L));
+  (* line-granular: offset within line reads same line *)
+  Alcotest.(check bool) "unaligned addr same line" true
+    (Ptg_pte.Line.equal line (Dram.read_line d 0x2038L));
+  Alcotest.(check int) "stored count" 1 (Dram.stored_line_count d)
+
+let test_flip_stored_bit () =
+  let d = Dram.create () in
+  let line = Array.make 8 0L in
+  Dram.write_line d 0x3000L line;
+  Dram.flip_stored_bit d ~addr:0x3000L ~bit:70;
+  let got = Dram.read_line d 0x3000L in
+  Alcotest.(check int64) "bit 70 is word 1 bit 6" (Ptg_util.Bits.bit 6) got.(1)
+
+let test_activation_counting () =
+  let d = Dram.create () in
+  let g = Dram.geometry d in
+  let c = Geometry.decode g 0x1000L in
+  let row_addr r = Geometry.encode g { c with Geometry.row = r } in
+  (* alternate two rows to force activations *)
+  for _ = 1 to 5 do
+    ignore (Dram.access d ~now:0 ~addr:(row_addr 10) ~is_write:false);
+    ignore (Dram.access d ~now:0 ~addr:(row_addr 12) ~is_write:false)
+  done;
+  Alcotest.(check int) "row 10 activations" 5
+    (Dram.activations d ~channel:c.Geometry.channel ~bank:c.Geometry.bank ~row:10);
+  Alcotest.(check int) "total activations" 10 (Dram.total_activations d)
+
+let test_refresh_row_resets () =
+  let d = Dram.create () in
+  let g = Dram.geometry d in
+  let c = Geometry.decode g 0x1000L in
+  let row_addr r = Geometry.encode g { c with Geometry.row = r } in
+  ignore (Dram.access d ~now:0 ~addr:(row_addr 20) ~is_write:false);
+  ignore (Dram.access d ~now:0 ~addr:(row_addr 22) ~is_write:false);
+  Dram.refresh_row d ~channel:c.Geometry.channel ~bank:c.Geometry.bank ~row:20;
+  Alcotest.(check int) "refresh clears count" 0
+    (Dram.activations d ~channel:c.Geometry.channel ~bank:c.Geometry.bank ~row:20)
+
+let test_listeners () =
+  let d = Dram.create () in
+  let acts = ref 0 and refreshes = ref 0 and epochs = ref 0 in
+  Dram.on_activate d (fun _ -> incr acts);
+  Dram.subscribe_refresh d (fun ~channel:_ ~bank:_ ~row:_ -> incr refreshes);
+  Dram.on_refresh_epoch d (fun () -> incr epochs);
+  ignore (Dram.access d ~now:0 ~addr:0x1000L ~is_write:false);
+  ignore (Dram.access d ~now:1 ~addr:0x1040L ~is_write:false) (* row hit: no act *);
+  Dram.refresh_row d ~channel:0 ~bank:0 ~row:5;
+  Alcotest.(check int) "one activation" 1 !acts;
+  Alcotest.(check int) "one refresh" 1 !refreshes;
+  (* jump past the refresh window *)
+  ignore
+    (Dram.access d
+       ~now:((Dram.timing d).Timing.refresh_interval + 1)
+       ~addr:0x1000L ~is_write:false);
+  Alcotest.(check int) "epoch rolled" 1 !epochs
+
+let test_epoch_clears_activations () =
+  let d = Dram.create () in
+  let g = Dram.geometry d in
+  let c = Geometry.decode g 0x1000L in
+  ignore (Dram.access d ~now:0 ~addr:0x1000L ~is_write:false);
+  ignore
+    (Dram.access d
+       ~now:((Dram.timing d).Timing.refresh_interval + 1)
+       ~addr:0x800000L ~is_write:false);
+  Alcotest.(check int) "counts cleared at epoch" 0
+    (Dram.activations d ~channel:c.Geometry.channel ~bank:c.Geometry.bank
+       ~row:c.Geometry.row)
+
+let test_lines_in_row_and_iter () =
+  let d = Dram.create () in
+  let g = Dram.geometry d in
+  let c = Geometry.decode g 0x4000L in
+  Dram.write_line d 0x4000L (Array.make 8 7L);
+  Dram.write_line d 0x4040L (Array.make 8 9L);
+  let in_row =
+    Dram.lines_in_row d ~channel:c.Geometry.channel ~bank:c.Geometry.bank
+      ~row:c.Geometry.row
+  in
+  Alcotest.(check int) "two lines in row" 2 (List.length in_row);
+  let n = ref 0 in
+  Dram.iter_stored d (fun _ _ -> incr n);
+  Alcotest.(check int) "iter_stored visits all" 2 !n
+
+let suite =
+  [
+    Alcotest.test_case "timing latencies" `Quick test_latencies;
+    Alcotest.test_case "row buffer" `Quick test_row_buffer_state_machine;
+    Alcotest.test_case "storage" `Quick test_storage;
+    Alcotest.test_case "flip stored bit" `Quick test_flip_stored_bit;
+    Alcotest.test_case "activation counting" `Quick test_activation_counting;
+    Alcotest.test_case "refresh resets" `Quick test_refresh_row_resets;
+    Alcotest.test_case "listeners" `Quick test_listeners;
+    Alcotest.test_case "epoch clears" `Quick test_epoch_clears_activations;
+    Alcotest.test_case "lines_in_row / iter" `Quick test_lines_in_row_and_iter;
+  ]

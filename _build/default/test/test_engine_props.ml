@@ -1,0 +1,120 @@
+(* Property tests over the engine's end-to-end invariants, driven by the
+   realistic process-model line population and by adversarial random data. *)
+
+open Ptguard
+
+let engine_of ~design seed =
+  let config = match design with `B -> Config.baseline | `O -> Config.optimized in
+  Engine.create ~config ~rng:(Ptg_util.Rng.create seed) ()
+
+(* A pool of realistic PTE cachelines shared across properties. *)
+let line_pool =
+  lazy
+    (let rng = Ptg_util.Rng.create 314L in
+     let params =
+       { (Ptg_vm.Process_model.draw_params rng) with Ptg_vm.Process_model.target_ptes = 8192 }
+     in
+     Ptg_vm.Process_model.leaf_lines rng params)
+
+let gen_pool_line =
+  QCheck2.Gen.map
+    (fun i ->
+      let pool = Lazy.force line_pool in
+      Ptg_pte.Line.copy pool.(i mod Array.length pool))
+    QCheck2.Gen.(int_bound 100_000)
+
+let gen_addr =
+  QCheck2.Gen.map
+    (fun a -> Int64.mul 64L (Int64.of_int (1 + abs (a mod 1_000_000))))
+    QCheck2.Gen.int
+
+let masked = Config.masked_for_mac Config.baseline
+
+let prop_roundtrip_baseline =
+  QCheck2.Test.make ~name:"write/read roundtrip restores any PTE line (baseline)"
+    ~count:60
+    QCheck2.Gen.(pair gen_pool_line gen_addr)
+    (fun (line, addr) ->
+      let e = engine_of ~design:`B 1L in
+      let stored = Engine.process_write e ~addr line in
+      match Engine.process_read e ~addr ~is_pte:true stored with
+      | { Engine.integrity = Engine.Passed; line = Some out; _ } ->
+          Ptg_pte.Line.equal out line
+      | _ -> false)
+
+let prop_roundtrip_optimized =
+  QCheck2.Test.make ~name:"write/read roundtrip restores any PTE line (optimized)"
+    ~count:60
+    QCheck2.Gen.(pair gen_pool_line gen_addr)
+    (fun (line, addr) ->
+      let e = engine_of ~design:`O 2L in
+      let stored = Engine.process_write e ~addr line in
+      match Engine.process_read e ~addr ~is_pte:true stored with
+      | { Engine.integrity = Engine.Passed; line = Some out; _ } ->
+          Ptg_pte.Line.equal out line
+      | _ -> false)
+
+let prop_data_reads_preserve_content =
+  (* Whatever a data read forwards, the program-visible content equals
+     what was written: either the MAC was stripped (protected line) or the
+     line passed through untouched. *)
+  QCheck2.Test.make ~name:"data write/read never alters program-visible data"
+    ~count:80
+    QCheck2.Gen.(triple (array_size (QCheck2.Gen.return 8) int64) gen_addr bool)
+    (fun (words, addr, optimized) ->
+      let line = Ptg_pte.Line.of_words words in
+      let e = engine_of ~design:(if optimized then `O else `B) 3L in
+      let stored = Engine.process_write e ~addr line in
+      match Engine.process_read e ~addr ~is_pte:false stored with
+      | { Engine.line = Some out; _ } -> Ptg_pte.Line.equal out line
+      | { Engine.line = None; _ } -> false)
+
+let prop_no_silent_consumption =
+  (* The core invariant under arbitrary damage: a PTE read either passes
+     with the protected content intact, corrects faithfully, or fails —
+     never forwards altered protected bits. *)
+  QCheck2.Test.make ~name:"tampered protected bits never consumed on walks"
+    ~count:60
+    QCheck2.Gen.(triple gen_pool_line gen_addr (int_range 1 20))
+    (fun (line, addr, nflips) ->
+      let e = engine_of ~design:`O 4L in
+      let stored = Engine.process_write e ~addr line in
+      let rng = Ptg_util.Rng.create (Int64.of_int nflips) in
+      let faulty, _ = Ptg_rowhammer.Inject.flip_exactly rng ~n:nflips stored in
+      match Engine.process_read e ~addr ~is_pte:true faulty with
+      | { Engine.integrity = Engine.Passed; line = Some out; _ }
+      | { Engine.integrity = Engine.Corrected _; line = Some out; _ } ->
+          Ptg_pte.Line.equal (masked out) (masked line)
+      | { Engine.integrity = Engine.Failed; line = None; _ } -> true
+      | _ -> false)
+
+let prop_verify_only_agrees_with_engine =
+  QCheck2.Test.make ~name:"verify_only matches the engine's clean-read verdict"
+    ~count:50
+    QCheck2.Gen.(pair gen_pool_line gen_addr)
+    (fun (line, addr) ->
+      let e = engine_of ~design:`B 5L in
+      let stored = Engine.process_write e ~addr line in
+      Correction.verify_only Config.baseline (Engine.key e) ~addr stored)
+
+let prop_stats_monotone =
+  QCheck2.Test.make ~name:"reads_total counts every process_read" ~count:30
+    QCheck2.Gen.(int_range 1 20)
+    (fun n ->
+      let e = engine_of ~design:`B 6L in
+      let line = Ptg_pte.Line.create () in
+      for i = 1 to n do
+        ignore (Engine.process_read e ~addr:(Int64.of_int (i * 64)) ~is_pte:false line)
+      done;
+      (Engine.stats e).Engine.reads_total = n)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_roundtrip_baseline;
+      prop_roundtrip_optimized;
+      prop_data_reads_preserve_content;
+      prop_no_silent_consumption;
+      prop_verify_only_agrees_with_engine;
+      prop_stats_monotone;
+    ]

@@ -1,0 +1,217 @@
+(* Smoke tests of the experiment harness with reduced sizes: every table/
+   figure module must run end-to-end and satisfy its structural invariants
+   (the full-size shape checks live in EXPERIMENTS.md's recorded runs). *)
+
+let test_fig6_small () =
+  let workloads =
+    List.filter_map Ptg_workloads.Workload.by_name [ "povray"; "omnetpp" ]
+  in
+  let r = Ptg_sim.Fig6.run ~instrs:150_000 ~warmup:50_000 ~workloads () in
+  Alcotest.(check int) "two rows" 2 (List.length r.Ptg_sim.Fig6.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "slowdown non-negative" true
+        (row.Ptg_sim.Fig6.slowdown_pct >= -0.2);
+      Alcotest.(check bool) "normalized IPC <= 1" true (row.Ptg_sim.Fig6.norm_ipc <= 1.001))
+    r.Ptg_sim.Fig6.rows;
+  (* the memory-bound workload must lose more than the cache-resident one *)
+  let by_name n = List.find (fun row -> row.Ptg_sim.Fig6.workload = n) r.Ptg_sim.Fig6.rows in
+  Alcotest.(check bool) "slowdown grows with MPKI" true
+    ((by_name "omnetpp").Ptg_sim.Fig6.slowdown_pct
+    > (by_name "povray").Ptg_sim.Fig6.slowdown_pct)
+
+let test_fig7_small () =
+  let workloads = List.filter_map Ptg_workloads.Workload.by_name [ "mcf" ] in
+  let r = Ptg_sim.Fig7.run ~instrs:100_000 ~warmup:50_000 ~latencies:[ 5; 20 ] ~workloads () in
+  Alcotest.(check int) "2 designs x 2 latencies" 4 (List.length r.Ptg_sim.Fig7.points);
+  let find design lat =
+    List.find
+      (fun p -> p.Ptg_sim.Fig7.design = design && p.Ptg_sim.Fig7.mac_latency = lat)
+      r.Ptg_sim.Fig7.points
+  in
+  (* slowdown grows with MAC latency for the baseline design *)
+  Alcotest.(check bool) "latency sensitivity" true
+    ((find Ptguard.Config.Baseline 20).Ptg_sim.Fig7.avg_slowdown_pct
+    >= (find Ptguard.Config.Baseline 5).Ptg_sim.Fig7.avg_slowdown_pct);
+  (* the optimized design computes MACs on far fewer reads *)
+  Alcotest.(check bool) "optimized MAC-read fraction small" true
+    ((find Ptguard.Config.Optimized 20).Ptg_sim.Fig7.mac_reads_fraction
+    < (find Ptguard.Config.Baseline 20).Ptg_sim.Fig7.mac_reads_fraction /. 2.0)
+
+let test_fig8_small () =
+  let r = Ptg_sim.Fig8.run ~processes:40 () in
+  let a = r.Ptg_sim.Fig8.aggregate in
+  Alcotest.(check int) "processes" 40 a.Ptg_vm.Profile.processes;
+  (* loose bands on a small sample *)
+  Alcotest.(check bool) "zero share plausible" true
+    (a.Ptg_vm.Profile.mean_zero > 50.0 && a.Ptg_vm.Profile.mean_zero < 80.0);
+  Alcotest.(check bool) "contiguous share plausible" true
+    (a.Ptg_vm.Profile.mean_contiguous > 12.0 && a.Ptg_vm.Profile.mean_contiguous < 35.0);
+  Alcotest.(check bool) "flag uniformity" true (a.Ptg_vm.Profile.mean_flag_uniformity > 0.99)
+
+let test_fig9_small () =
+  let workloads = List.filter_map Ptg_workloads.Workload.by_name [ "mcf" ] in
+  let r =
+    Ptg_sim.Fig9.run ~lines_per_point:40
+      ~p_flips:[ 1.0 /. 512.0; 1.0 /. 128.0 ]
+      ~workloads ()
+  in
+  List.iter
+    (fun (c : Ptg_sim.Fig9.cell) ->
+      Alcotest.(check int) "no mis-corrections" 0 c.Ptg_sim.Fig9.miscorrections;
+      Alcotest.(check int) "no escapes (100% detection)" 0 c.Ptg_sim.Fig9.escapes;
+      Alcotest.(check int) "sampled count" 40 c.Ptg_sim.Fig9.sampled)
+    r.Ptg_sim.Fig9.average;
+  (* correction degrades with p_flip *)
+  match r.Ptg_sim.Fig9.average with
+  | [ low_p; high_p ] ->
+      Alcotest.(check bool) "more flips, less correction" true
+        (low_p.Ptg_sim.Fig9.corrected_pct >= high_p.Ptg_sim.Fig9.corrected_pct)
+  | _ -> Alcotest.fail "expected two cells"
+
+let test_multicore_small () =
+  let same = List.filter_map Ptg_workloads.Workload.by_name [ "xz" ] in
+  let r = Ptg_sim.Multicore_exp.run ~instrs_per_core:50_000 ~same ~mixes:1 () in
+  Alcotest.(check int) "1 SAME + 1 MIX" 2 (List.length r.Ptg_sim.Multicore_exp.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) "slowdown sane" true
+        (row.Ptg_sim.Multicore_exp.slowdown_pct > -1.0
+        && row.Ptg_sim.Multicore_exp.slowdown_pct < 10.0))
+    r.Ptg_sim.Multicore_exp.rows
+
+let test_attacks_matrix () =
+  let r = Ptg_sim.Attacks_exp.run ~iterations:60_000 () in
+  Alcotest.(check int) "all scenarios ran" 12 (List.length r.Ptg_sim.Attacks_exp.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int)
+        (row.Ptg_sim.Attacks_exp.attack ^ " vs " ^ row.Ptg_sim.Attacks_exp.mitigation
+        ^ ": zero escapes")
+        0 row.Ptg_sim.Attacks_exp.escapes;
+      Alcotest.(check int) "every tampered line accounted"
+        row.Ptg_sim.Attacks_exp.pte_lines_tampered
+        (row.Ptg_sim.Attacks_exp.detected + row.Ptg_sim.Attacks_exp.corrected))
+    r.Ptg_sim.Attacks_exp.rows;
+  let find attack mitigation =
+    List.find
+      (fun row ->
+        row.Ptg_sim.Attacks_exp.attack = attack
+        && row.Ptg_sim.Attacks_exp.mitigation = mitigation)
+      r.Ptg_sim.Attacks_exp.rows
+  in
+  (* the motivation story *)
+  Alcotest.(check bool) "bare double-sided flips" true
+    ((find "double-sided" "none").Ptg_sim.Attacks_exp.bit_flips > 0);
+  Alcotest.(check int) "TRR stops double-sided" 0
+    (find "double-sided" "TRR").Ptg_sim.Attacks_exp.bit_flips;
+  Alcotest.(check bool) "TRRespass defeats TRR" true
+    ((find "sync many-sided (TRRespass)" "TRR").Ptg_sim.Attacks_exp.bit_flips > 0)
+
+let test_fig6_multi () =
+  let workloads = List.filter_map Ptg_workloads.Workload.by_name [ "omnetpp" ] in
+  let m = Ptg_sim.Fig6.run_multi ~seeds:3 ~instrs:80_000 ~warmup:30_000 ~workloads () in
+  Alcotest.(check int) "three runs" 3 (List.length m.Ptg_sim.Fig6.runs);
+  Alcotest.(check int) "summary n" 3 m.Ptg_sim.Fig6.amean_slowdown.Ptg_util.Stats.n;
+  Alcotest.(check bool) "spread finite" true
+    (m.Ptg_sim.Fig6.amean_slowdown.Ptg_util.Stats.stderr >= 0.0)
+
+let test_fig9_multi () =
+  let workloads = List.filter_map Ptg_workloads.Workload.by_name [ "mcf" ] in
+  let m =
+    Ptg_sim.Fig9.run_multi ~seeds:2 ~lines_per_point:25
+      ~p_flips:[ 1.0 /. 512.0 ] ~workloads ()
+  in
+  Alcotest.(check int) "one p_flip summary" 1 (List.length m.Ptg_sim.Fig9.corrected);
+  Alcotest.(check int) "no miscorrections across seeds" 0
+    m.Ptg_sim.Fig9.total_miscorrections;
+  Alcotest.(check int) "no escapes across seeds" 0 m.Ptg_sim.Fig9.total_escapes
+
+let test_security_exp () =
+  let r = Ptg_sim.Security_exp.run () in
+  Alcotest.(check int) "chosen k" 4 r.Ptg_sim.Security_exp.chosen_k;
+  Alcotest.(check int) "k sweep rows" 9 (List.length r.Ptg_sim.Security_exp.k_sweep);
+  Alcotest.(check int) "width sweep rows" 4
+    (List.length r.Ptg_sim.Security_exp.mac_width_sweep)
+
+let test_ablation_pattern () =
+  let r = Ptg_sim.Ablations.pattern ~lines:2000 () in
+  Alcotest.(check int) "every PTE line matches basic"
+    r.Ptg_sim.Ablations.pte_lines_tested r.Ptg_sim.Ablations.pte_basic_matches;
+  Alcotest.(check int) "every PTE line matches extended"
+    r.Ptg_sim.Ablations.pte_lines_tested r.Ptg_sim.Ablations.pte_extended_matches;
+  Alcotest.(check bool) "extended pattern sheds data lines" true
+    (r.Ptg_sim.Ablations.extended_matches < r.Ptg_sim.Ablations.basic_matches)
+
+let test_ablation_ctb () =
+  let r = Ptg_sim.Ablations.ctb_overflow () in
+  Alcotest.(check int) "4 collisions tracked" 4 r.Ptg_sim.Ablations.ctb_entries_before;
+  Alcotest.(check bool) "overflow signalled" true r.Ptg_sim.Ablations.overflow_signalled;
+  Alcotest.(check int) "rekey performed" 1 r.Ptg_sim.Ablations.rekeys;
+  Alcotest.(check int) "CTB clean after rekey" 0 r.Ptg_sim.Ablations.collisions_after_rekey;
+  Alcotest.(check bool) "reads correct after rekey" true
+    r.Ptg_sim.Ablations.reads_correct_after_rekey
+
+let test_csv_exports () =
+  (* every experiment's CSV exporter produces a parseable header+rows file *)
+  let check_file path min_lines =
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Sys.remove path;
+    if !n < min_lines then Alcotest.failf "%s: only %d lines" path !n
+  in
+  let tmp suffix = Filename.temp_file "ptg_csv" suffix in
+  let workloads = List.filter_map Ptg_workloads.Workload.by_name [ "povray" ] in
+  let f6 = Ptg_sim.Fig6.run ~instrs:30_000 ~warmup:10_000 ~workloads () in
+  let p = tmp "_f6.csv" in
+  Ptg_sim.Fig6.to_csv f6 ~path:p;
+  check_file p 3;
+  let f8 = Ptg_sim.Fig8.run ~processes:5 () in
+  let p = tmp "_f8.csv" in
+  Ptg_sim.Fig8.to_csv f8 ~path:p;
+  check_file p 6;
+  let f9 =
+    Ptg_sim.Fig9.run ~lines_per_point:10 ~p_flips:[ 1.0 /. 512.0 ] ~workloads ()
+  in
+  let p = tmp "_f9.csv" in
+  Ptg_sim.Fig9.to_csv f9 ~path:p;
+  check_file p 3;
+  let b = Ptg_sim.Baselines_exp.run ~trials:5 () in
+  let p = tmp "_bl.csv" in
+  Ptg_sim.Baselines_exp.to_csv b ~path:p;
+  check_file p 25
+
+let test_ablation_correction () =
+  let r = Ptg_sim.Ablations.correction ~lines:60 () in
+  let pct label =
+    (List.find (fun row -> row.Ptg_sim.Ablations.label = label) r.Ptg_sim.Ablations.rows)
+      .Ptg_sim.Ablations.corrected_pct
+  in
+  Alcotest.(check bool) "all >= without flip-and-check" true
+    (pct "all strategies" >= pct "without flip-and-check");
+  Alcotest.(check bool) "all >= only soft-MAC" true
+    (pct "all strategies" >= pct "only soft-MAC")
+
+let suite =
+  [
+    Alcotest.test_case "fig6 (small)" `Slow test_fig6_small;
+    Alcotest.test_case "fig7 (small)" `Slow test_fig7_small;
+    Alcotest.test_case "fig8 (small)" `Slow test_fig8_small;
+    Alcotest.test_case "fig9 (small)" `Slow test_fig9_small;
+    Alcotest.test_case "multicore (small)" `Slow test_multicore_small;
+    Alcotest.test_case "attacks matrix" `Slow test_attacks_matrix;
+    Alcotest.test_case "fig6 multi-seed" `Slow test_fig6_multi;
+    Alcotest.test_case "fig9 multi-seed" `Slow test_fig9_multi;
+    Alcotest.test_case "security experiment" `Quick test_security_exp;
+    Alcotest.test_case "ablation: pattern" `Quick test_ablation_pattern;
+    Alcotest.test_case "ablation: ctb overflow" `Quick test_ablation_ctb;
+    Alcotest.test_case "ablation: correction" `Slow test_ablation_correction;
+    Alcotest.test_case "csv exports" `Slow test_csv_exports;
+  ]

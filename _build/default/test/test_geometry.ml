@@ -1,0 +1,71 @@
+open Ptg_dram
+
+let test_capacity () =
+  Alcotest.(check int64) "4 GB config"
+    (Int64.mul 4L (Int64.mul 1024L (Int64.mul 1024L 1024L)))
+    (Geometry.capacity_bytes Geometry.ddr4_4gb);
+  Alcotest.(check int64) "16 GB config"
+    (Int64.mul 16L (Int64.mul 1024L (Int64.mul 1024L 1024L)))
+    (Geometry.capacity_bytes Geometry.ddr4_16gb)
+
+let test_total_banks () =
+  Alcotest.(check int) "4gb banks" 16 (Geometry.total_banks Geometry.ddr4_4gb);
+  Alcotest.(check int) "16gb banks" 32 (Geometry.total_banks Geometry.ddr4_16gb)
+
+let test_decode_fields_in_range () =
+  let g = Geometry.ddr4_4gb in
+  let rng = Ptg_util.Rng.create 1L in
+  for _ = 1 to 1000 do
+    let addr = Ptg_util.Rng.int64_bounded rng (Geometry.capacity_bytes g) in
+    let c = Geometry.decode g addr in
+    if c.Geometry.channel < 0 || c.Geometry.channel >= g.Geometry.channels then
+      Alcotest.fail "channel out of range";
+    if c.Geometry.bank < 0 || c.Geometry.bank >= Geometry.total_banks g then
+      Alcotest.fail "bank out of range";
+    if c.Geometry.row < 0 || c.Geometry.row >= g.Geometry.rows_per_bank then
+      Alcotest.fail "row out of range";
+    if c.Geometry.col < 0 || c.Geometry.col >= g.Geometry.columns then
+      Alcotest.fail "col out of range"
+  done
+
+let test_adjacent_lines_same_row () =
+  (* Consecutive lines land in the same row (locality preserved). *)
+  let g = Geometry.ddr4_4gb in
+  let a = Geometry.decode g 0x10000L in
+  let b = Geometry.decode g 0x10040L in
+  Alcotest.(check int) "same row" a.Geometry.row b.Geometry.row;
+  Alcotest.(check int) "same bank" a.Geometry.bank b.Geometry.bank;
+  Alcotest.(check int) "next column" (a.Geometry.col + 1) b.Geometry.col
+
+let test_row_neighbors () =
+  let g = Geometry.ddr4_4gb in
+  Alcotest.(check (list int)) "interior" [ 99; 101 ]
+    (Geometry.row_neighbors g 100 ~distance:1);
+  Alcotest.(check (list int)) "edge clipped" [ 1 ] (Geometry.row_neighbors g 0 ~distance:1);
+  Alcotest.(check (list int)) "distance 2" [ 98; 102 ]
+    (Geometry.row_neighbors g 100 ~distance:2);
+  Alcotest.check_raises "distance 0" (Invalid_argument "Geometry.row_neighbors: distance")
+    (fun () -> ignore (Geometry.row_neighbors g 5 ~distance:0))
+
+let prop_decode_encode =
+  QCheck2.Test.make ~name:"encode inverts decode (line-aligned)" ~count:500
+    QCheck2.Gen.(map Int64.abs int64)
+    (fun raw ->
+      let g = Ptg_dram.Geometry.ddr4_4gb in
+      let addr =
+        Int64.mul 64L
+          (Int64.rem (Int64.div raw 64L)
+             (Int64.div (Geometry.capacity_bytes g) 64L))
+      in
+      let c = Geometry.decode g addr in
+      Int64.equal (Geometry.encode g c) addr)
+
+let suite =
+  [
+    Alcotest.test_case "capacity" `Quick test_capacity;
+    Alcotest.test_case "total banks" `Quick test_total_banks;
+    Alcotest.test_case "decode ranges" `Quick test_decode_fields_in_range;
+    Alcotest.test_case "line locality" `Quick test_adjacent_lines_same_row;
+    Alcotest.test_case "row neighbors" `Quick test_row_neighbors;
+    QCheck_alcotest.to_alcotest prop_decode_encode;
+  ]

@@ -1,0 +1,64 @@
+open Ptg_pte
+
+let test_create () =
+  let l = Line.create () in
+  Alcotest.(check int) "8 words" 8 (Array.length l);
+  Alcotest.(check bool) "zero" true (Line.is_zero l)
+
+let test_equal_copy () =
+  let a = Array.init 8 Int64.of_int in
+  let b = Line.copy a in
+  Alcotest.(check bool) "copy equal" true (Line.equal a b);
+  b.(0) <- 99L;
+  Alcotest.(check bool) "copy independent" false (Line.equal a b);
+  Alcotest.(check int64) "original untouched" 0L a.(0)
+
+let test_of_words () =
+  Alcotest.check_raises "wrong length" (Invalid_argument "Line.of_words: need 8 words")
+    (fun () -> ignore (Line.of_words (Array.make 9 0L)))
+
+let test_bits () =
+  let l = Line.create () in
+  let l = Line.set_bit l 100 true in
+  Alcotest.(check bool) "get set bit" true (Line.get_bit l 100);
+  Alcotest.(check int64) "bit 100 in word 1" (Ptg_util.Bits.bit 36) l.(1);
+  let l = Line.flip_bit l 100 in
+  Alcotest.(check bool) "flip clears" false (Line.get_bit l 100);
+  Alcotest.check_raises "bit 512 invalid" (Invalid_argument "Line.flip_bit: bit index")
+    (fun () -> ignore (Line.flip_bit l 512))
+
+let test_hamming () =
+  let a = Line.create () in
+  let b = Line.flip_bit (Line.flip_bit a 0) 511 in
+  Alcotest.(check int) "hamming 2" 2 (Line.hamming a b);
+  Alcotest.(check int) "hamming self" 0 (Line.hamming b b)
+
+let test_line_addr () =
+  Alcotest.(check int64) "aligns down" 0x1000L (Line.line_addr 0x103FL);
+  Alcotest.(check int64) "already aligned" 0x1040L (Line.line_addr 0x1040L)
+
+let prop_flip_involution =
+  QCheck2.Test.make ~name:"line flip_bit involution" ~count:300
+    QCheck2.Gen.(pair (array_size (return 8) int64) (int_bound 511))
+    (fun (l, i) -> Line.equal (Line.flip_bit (Line.flip_bit l i) i) l)
+
+let prop_hamming_counts_flips =
+  QCheck2.Test.make ~name:"hamming equals number of distinct flips" ~count:200
+    QCheck2.Gen.(
+      pair (array_size (return 8) int64) (list_size (int_range 0 20) (int_bound 511)))
+    (fun (l, bits) ->
+      let distinct = List.sort_uniq compare bits in
+      let flipped = List.fold_left Line.flip_bit l distinct in
+      Line.hamming l flipped = List.length distinct)
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "equal/copy" `Quick test_equal_copy;
+    Alcotest.test_case "of_words" `Quick test_of_words;
+    Alcotest.test_case "bit ops" `Quick test_bits;
+    Alcotest.test_case "hamming" `Quick test_hamming;
+    Alcotest.test_case "line_addr" `Quick test_line_addr;
+    QCheck_alcotest.to_alcotest prop_flip_involution;
+    QCheck_alcotest.to_alcotest prop_hamming_counts_flips;
+  ]

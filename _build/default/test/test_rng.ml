@@ -1,0 +1,127 @@
+open Ptg_util
+
+let test_determinism () =
+  let a = Rng.create 123L and b = Rng.create 123L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 123L and b = Rng.create 124L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.next a) (Rng.next b)) then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy () =
+  let a = Rng.create 5L in
+  ignore (Rng.next a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_split_independence () =
+  let a = Rng.create 5L in
+  let b = Rng.split a in
+  (* The split stream must not equal the parent's continuation. *)
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.next a) (Rng.next b)) then differs := true
+  done;
+  Alcotest.(check bool) "split differs from parent" true !differs
+
+let test_int_bounds () =
+  let rng = Rng.create 9L in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "Rng.int out of bounds"
+  done;
+  Alcotest.check_raises "int 0 invalid" (Invalid_argument "Rng.int") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int64_bounds () =
+  let rng = Rng.create 9L in
+  for _ = 1 to 1000 do
+    let v = Rng.int64_bounded rng 1000L in
+    if Int64.compare v 0L < 0 || Int64.compare v 1000L >= 0 then
+      Alcotest.fail "int64_bounded out of bounds"
+  done
+
+let test_float_range () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_bernoulli_edges () =
+  let rng = Rng.create 1L in
+  for _ = 1 to 100 do
+    if Rng.bernoulli rng 0.0 then Alcotest.fail "bernoulli 0 fired";
+    if not (Rng.bernoulli rng 1.0) then Alcotest.fail "bernoulli 1 missed"
+  done
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 2L in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  if rate < 0.27 || rate > 0.33 then
+    Alcotest.failf "bernoulli(0.3) rate %.3f out of tolerance" rate
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 3L in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  Array.sort compare b;
+  Alcotest.(check (array int)) "shuffle is a permutation" a b
+
+let test_choose () =
+  let rng = Rng.create 4L in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.choose rng a in
+    if not (Array.exists (( = ) v) a) then Alcotest.fail "choose outside array"
+  done;
+  Alcotest.check_raises "choose empty" (Invalid_argument "Rng.choose") (fun () ->
+      ignore (Rng.choose rng [||]))
+
+let test_geometric_mean () =
+  let rng = Rng.create 5L in
+  let p = 0.2 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng p
+  done;
+  (* E[failures before first success] = (1-p)/p = 4 *)
+  let mean = float_of_int !sum /. float_of_int n in
+  if mean < 3.6 || mean > 4.4 then
+    Alcotest.failf "geometric(0.2) mean %.2f, expected ~4" mean
+
+let test_geometric_edge () =
+  let rng = Rng.create 6L in
+  Alcotest.(check int) "geometric p=1 is 0" 0 (Rng.geometric rng 1.0);
+  Alcotest.check_raises "geometric p=0 invalid" (Invalid_argument "Rng.geometric")
+    (fun () -> ignore (Rng.geometric rng 0.0))
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int64 bounds" `Quick test_int64_bounds;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bernoulli edges" `Quick test_bernoulli_edges;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "choose" `Quick test_choose;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "geometric edges" `Quick test_geometric_edge;
+  ]

@@ -1,0 +1,91 @@
+open Ptg_crypto
+
+(* These tests pin the implementation to the numbers the paper states in
+   Sections IV-G and VI-E. *)
+
+let test_paper_k_choice () =
+  (* "tolerating up to k = 4 bits of errors is needed to achieve <1%
+     uncorrectable errors in MAC" at p_flip = 1%. *)
+  Alcotest.(check int) "min k at 1% flip rate" 4
+    (Security.min_k ~n:96 ~p_flip:0.01 ~target:0.01)
+
+let test_paper_effective_bits () =
+  (* "The effective security for MAC then becomes 66 bits." *)
+  let n_eff = Security.effective_mac_bits ~n:96 ~k:4 ~g_max:372 in
+  if n_eff < 65.0 || n_eff > 67.0 then
+    Alcotest.failf "n_eff %.2f not ~66 bits" n_eff
+
+let test_paper_attack_times () =
+  (* Detection-only: "the time needed for a successful attack exceeds
+     10^14 years". *)
+  let detect =
+    Security.years_to_attack ~log2_p_success:(-96.0)
+      ~attempts_per_sec:Security.dram_attempts_per_sec
+  in
+  Alcotest.(check bool) "detect-only > 1e14 years" true (detect > 1e14);
+  (* With correction: "security for more than 10,000 years". *)
+  let n_eff = Security.effective_mac_bits ~n:96 ~k:4 ~g_max:372 in
+  let correcting =
+    Security.years_to_attack ~log2_p_success:(-.n_eff)
+      ~attempts_per_sec:Security.dram_attempts_per_sec
+  in
+  Alcotest.(check bool) "correcting > 1e4 years" true (correcting > 1e4)
+
+let test_uncorrectable_bounds () =
+  let p = Security.p_uncorrectable ~n:96 ~p_flip:0.01 ~k:4 in
+  Alcotest.(check bool) "k=4 @1% below 1%" true (p < 0.01);
+  Alcotest.(check bool) "k=4 @1% nonzero" true (p > 1e-4);
+  let p3 = Security.p_uncorrectable ~n:96 ~p_flip:0.01 ~k:3 in
+  Alcotest.(check bool) "k=3 @1% exceeds 1%" true (p3 > 0.01)
+
+let test_p_escape_consistency () =
+  (* p_escape with k=0, g_max=1 is exactly 2^-n. *)
+  Alcotest.(check (float 1e-9)) "k=0 g=1 gives -n" (-96.0)
+    (Security.log2_p_escape ~n:96 ~k:0 ~g_max:1);
+  (* G_max multiplies the probability: log2 gains log2(G). *)
+  let a = Security.log2_p_escape ~n:96 ~k:2 ~g_max:1 in
+  let b = Security.log2_p_escape ~n:96 ~k:2 ~g_max:4 in
+  Alcotest.(check (float 1e-9)) "g_max factor" 2.0 (b -. a)
+
+let test_monotonicities () =
+  (* Larger k = weaker effective MAC. *)
+  let prev = ref infinity in
+  for k = 0 to 8 do
+    let n_eff = Security.effective_mac_bits ~n:96 ~k ~g_max:372 in
+    if n_eff > !prev +. 1e-9 then Alcotest.fail "n_eff not decreasing in k";
+    prev := n_eff
+  done;
+  (* Larger n = stronger. *)
+  Alcotest.(check bool) "wider MAC stronger" true
+    (Security.effective_mac_bits ~n:96 ~k:4 ~g_max:372
+    > Security.effective_mac_bits ~n:64 ~k:4 ~g_max:372)
+
+let test_security_loss () =
+  let loss = Security.security_loss_bits ~n:96 ~k:4 ~g_max:372 in
+  (* Paper: n - n_eff = 96 - 66 = 30ish bits of loss. *)
+  Alcotest.(check bool) "loss ~30 bits" true (loss > 29.0 && loss < 31.0)
+
+let test_report_defaults () =
+  let r = Security.report () in
+  Alcotest.(check int) "mac bits" 96 r.Security.mac_bits;
+  Alcotest.(check int) "k" 4 r.Security.soft_k;
+  Alcotest.(check int) "g_max" 372 r.Security.g_max;
+  Alcotest.(check bool) "p_unc 0.2%% < p_unc 1%%" true
+    (r.Security.p_uncorrectable_at_0p2pct < r.Security.p_uncorrectable_at_1pct)
+
+let test_validation () =
+  Alcotest.check_raises "bad args" (Invalid_argument "Security.log2_p_escape")
+    (fun () -> ignore (Security.log2_p_escape ~n:0 ~k:0 ~g_max:1))
+
+let suite =
+  [
+    Alcotest.test_case "paper: k = 4" `Quick test_paper_k_choice;
+    Alcotest.test_case "paper: n_eff = 66" `Quick test_paper_effective_bits;
+    Alcotest.test_case "paper: attack times" `Quick test_paper_attack_times;
+    Alcotest.test_case "uncorrectable bounds" `Quick test_uncorrectable_bounds;
+    Alcotest.test_case "p_escape consistency" `Quick test_p_escape_consistency;
+    Alcotest.test_case "monotonicities" `Quick test_monotonicities;
+    Alcotest.test_case "security loss" `Quick test_security_loss;
+    Alcotest.test_case "report defaults" `Quick test_report_defaults;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

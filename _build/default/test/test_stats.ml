@@ -1,0 +1,77 @@
+open Ptg_util
+
+let check_f = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  check_f "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_f "mean empty" 0.0 (Stats.mean [||]);
+  check_f "mean single" 7.0 (Stats.mean [| 7.0 |])
+
+let test_geomean () =
+  check_f "geomean of 2,8" 4.0 (Stats.geomean [| 2.0; 8.0 |]);
+  check_f "geomean identical" 3.0 (Stats.geomean [| 3.0; 3.0; 3.0 |]);
+  Alcotest.check_raises "geomean non-positive"
+    (Invalid_argument "Stats.geomean: non-positive sample") (fun () ->
+      ignore (Stats.geomean [| 1.0; 0.0 |]))
+
+let test_variance_stddev () =
+  check_f "variance" 2.0 (Stats.variance [| 1.0; 3.0; 5.0 |] *. 3.0 /. 4.0);
+  (* direct: mean 3, deviations -2,0,2 -> var = 8/3 *)
+  check_f "variance direct" (8.0 /. 3.0) (Stats.variance [| 1.0; 3.0; 5.0 |]);
+  check_f "stddev" (sqrt (8.0 /. 3.0)) (Stats.stddev [| 1.0; 3.0; 5.0 |]);
+  check_f "variance constant" 0.0 (Stats.variance [| 4.0; 4.0 |])
+
+let test_stderr () =
+  let xs = [| 1.0; 3.0; 5.0 |] in
+  check_f "stderr = stddev/sqrt n" (Stats.stddev xs /. sqrt 3.0) (Stats.stderr xs)
+
+let test_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_f "p0" 10.0 (Stats.percentile xs 0.0);
+  check_f "p100" 40.0 (Stats.percentile xs 100.0);
+  check_f "p50 interpolated" 25.0 (Stats.percentile xs 50.0);
+  (* input untouched *)
+  let ys = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.percentile ys 50.0);
+  Alcotest.(check (float 0.0)) "input not sorted in place" 3.0 ys.(0)
+
+let test_summarize () =
+  let s = Stats.summarize [| 2.0; 4.0; 6.0 |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  check_f "min" 2.0 s.Stats.min;
+  check_f "max" 6.0 s.Stats.max;
+  check_f "mean" 4.0 s.Stats.mean
+
+let test_weighted_mean () =
+  check_f "weighted" 3.0 (Stats.weighted_mean [| (1.0, 1.0); (4.0, 2.0) |]);
+  check_f "weighted zero total" 0.0 (Stats.weighted_mean [| (5.0, 0.0) |]);
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Stats.weighted_mean: negative weight") (fun () ->
+      ignore (Stats.weighted_mean [| (1.0, -1.0) |]))
+
+let prop_mean_bounds =
+  QCheck2.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck2.Gen.(array_size (int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let m = Stats.mean xs in
+      let lo = Array.fold_left Float.min xs.(0) xs in
+      let hi = Array.fold_left Float.max xs.(0) xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let prop_geomean_le_mean =
+  QCheck2.Test.make ~name:"geomean <= arithmetic mean (AM-GM)" ~count:200
+    QCheck2.Gen.(array_size (int_range 1 50) (float_range 0.001 1000.0))
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "geomean" `Quick test_geomean;
+    Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+    Alcotest.test_case "stderr" `Quick test_stderr;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+    QCheck_alcotest.to_alcotest prop_mean_bounds;
+    QCheck_alcotest.to_alcotest prop_geomean_le_mean;
+  ]

@@ -1,0 +1,58 @@
+open Ptg_util
+
+(* tiny local substring helper to avoid external deps *)
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_render_shape () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "3 rules + header + 2 rows" 6 (List.length lines);
+  let widths = List.map String.length lines in
+  List.iter (fun w -> Alcotest.(check int) "uniform width" (List.hd widths) w) widths
+
+let test_render_mismatch () =
+  Alcotest.check_raises "row width mismatch"
+    (Invalid_argument "Table.render: row 0 has 1 cells, expected 2") (fun () ->
+      ignore (Table.render ~header:[ "a"; "b" ] [ [ "only" ] ]))
+
+let test_alignment () =
+  let s =
+    Table.render ~align:[ Table.Right ] ~header:[ "n" ] [ [ "1" ]; [ "100" ] ]
+  in
+  Alcotest.(check bool) "right aligned" true (contains_substring s "|   1 |")
+
+let test_csv_quoting () =
+  let s = Table.csv ~header:[ "x" ] [ [ "a,b" ]; [ "say \"hi\"" ]; [ "plain" ] ] in
+  Alcotest.(check bool) "comma quoted" true (contains_substring s "\"a,b\"");
+  Alcotest.(check bool) "quote doubled" true
+    (contains_substring s "\"say \"\"hi\"\"\"");
+  Alcotest.(check bool) "plain unquoted" true (contains_substring s "\nplain\n")
+
+let test_formatters () =
+  Alcotest.(check string) "fpct" "1.33%" (Table.fpct 1.3333);
+  Alcotest.(check string) "f2" "2.50" (Table.f2 2.5);
+  Alcotest.(check string) "f3" "0.125" (Table.f3 0.125)
+
+let test_save_csv () =
+  let path = Filename.temp_file "ptg_test" ".csv" in
+  Table.save_csv ~path ~header:[ "a" ] [ [ "1" ] ];
+  let ic = open_in path in
+  let line1 = input_line ic in
+  let line2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "a" line1;
+  Alcotest.(check string) "row" "1" line2
+
+let suite =
+  [
+    Alcotest.test_case "render shape" `Quick test_render_shape;
+    Alcotest.test_case "row mismatch" `Quick test_render_mismatch;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "formatters" `Quick test_formatters;
+    Alcotest.test_case "save csv" `Quick test_save_csv;
+  ]

@@ -1,0 +1,75 @@
+let spec = Option.get (Ptg_workloads.Workload.by_name "mcf")
+
+let test_record () =
+  let t = Ptg_sim.Walk_trace.record ~instrs:100_000 spec in
+  Alcotest.(check string) "workload name" "mcf" t.Ptg_sim.Walk_trace.workload;
+  Alcotest.(check bool) "walks recorded" true (Ptg_sim.Walk_trace.length t > 100);
+  Array.iter
+    (fun i -> if i < 0 then Alcotest.fail "negative line index")
+    t.Ptg_sim.Walk_trace.line_indices
+
+let test_record_deterministic () =
+  let a = Ptg_sim.Walk_trace.record ~instrs:50_000 ~seed:3L spec in
+  let b = Ptg_sim.Walk_trace.record ~instrs:50_000 ~seed:3L spec in
+  Alcotest.(check (array int)) "same trace for same seed"
+    a.Ptg_sim.Walk_trace.line_indices b.Ptg_sim.Walk_trace.line_indices
+
+let test_histogram () =
+  let t =
+    { Ptg_sim.Walk_trace.workload = "x"; line_indices = [| 1; 2; 1; 3; 1 |] }
+  in
+  let h = Ptg_sim.Walk_trace.histogram t in
+  Alcotest.(check int) "count of 1" 3 (Hashtbl.find h 1);
+  Alcotest.(check int) "count of 2" 1 (Hashtbl.find h 2)
+
+let test_save_load () =
+  let t =
+    { Ptg_sim.Walk_trace.workload = "demo"; line_indices = [| 5; 7; 5; 0; 12345 |] }
+  in
+  let path = Filename.temp_file "ptg_trace" ".txt" in
+  Ptg_sim.Walk_trace.save t ~path;
+  let t' = Ptg_sim.Walk_trace.load ~path in
+  Sys.remove path;
+  Alcotest.(check string) "workload" "demo" t'.Ptg_sim.Walk_trace.workload;
+  Alcotest.(check (array int)) "indices" t.Ptg_sim.Walk_trace.line_indices
+    t'.Ptg_sim.Walk_trace.line_indices
+
+let test_replay () =
+  let rng = Ptg_util.Rng.create 4L in
+  let params =
+    { (Ptg_vm.Process_model.draw_params rng) with Ptg_vm.Process_model.target_ptes = 4096 }
+  in
+  let lines = Ptg_vm.Process_model.leaf_lines rng params in
+  let trace =
+    { Ptg_sim.Walk_trace.workload = "synthetic";
+      line_indices = Array.init 3000 (fun i -> i * 7) }
+  in
+  let r =
+    Ptg_sim.Walk_trace.replay_with_faults ~p_flip:(1.0 /. 512.0) ~max_events:150 trace
+      ~lines
+  in
+  Alcotest.(check int) "faulty events capped" 150 r.Ptg_sim.Walk_trace.faulty;
+  Alcotest.(check bool) "corrects a solid majority" true
+    (r.Ptg_sim.Walk_trace.corrected_pct > 60.0);
+  Alcotest.(check bool) "accounting consistent" true
+    (r.Ptg_sim.Walk_trace.corrected + r.Ptg_sim.Walk_trace.uncorrectable
+    <= r.Ptg_sim.Walk_trace.faulty)
+
+let test_sampler_agreement () =
+  (* The weighted sampler is Fig. 9's approximation of trace replay: the
+     two must agree within a few points at the same p_flip. *)
+  let c = Ptg_sim.Walk_trace.compare_samplers ~instrs:200_000 spec in
+  let gap = Float.abs (c.Ptg_sim.Walk_trace.trace_pct -. c.Ptg_sim.Walk_trace.weighted_pct) in
+  if gap > 12.0 then
+    Alcotest.failf "samplers disagree: trace %.1f%% vs weighted %.1f%%"
+      c.Ptg_sim.Walk_trace.trace_pct c.Ptg_sim.Walk_trace.weighted_pct
+
+let suite =
+  [
+    Alcotest.test_case "record" `Slow test_record;
+    Alcotest.test_case "record deterministic" `Slow test_record_deterministic;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "save/load" `Quick test_save_load;
+    Alcotest.test_case "replay with faults" `Slow test_replay;
+    Alcotest.test_case "sampler agreement" `Slow test_sampler_agreement;
+  ]

@@ -1,0 +1,99 @@
+open Ptg_workloads
+
+let test_catalogue () =
+  Alcotest.(check int) "25 workloads" 25 (List.length Workload.all);
+  Alcotest.(check int) "9 SPECint" 9
+    (List.length (List.filter (fun s -> s.Workload.suite = Workload.Spec_int) Workload.all));
+  Alcotest.(check int) "11 SPECfp" 11
+    (List.length (List.filter (fun s -> s.Workload.suite = Workload.Spec_fp) Workload.all));
+  Alcotest.(check int) "5 GAP" 5
+    (List.length (List.filter (fun s -> s.Workload.suite = Workload.Gap) Workload.all));
+  (* paper exclusions are honoured *)
+  List.iter
+    (fun name ->
+      Alcotest.(check (option reject)) (name ^ " excluded") None
+        (Option.map (fun _ -> ()) (Workload.by_name name)))
+    [ "gcc"; "blender"; "parest" ];
+  Alcotest.(check bool) "xalancbmk present" true (Workload.by_name "xalancbmk" <> None)
+
+let test_mpki_shape () =
+  let x = Option.get (Workload.by_name "xalancbmk") in
+  Alcotest.(check (float 0.01)) "xalancbmk is the 29-MPKI outlier" 29.0
+    x.Workload.target_mpki;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Workload.name ^ " high-mpki classification")
+        (s.Workload.target_mpki > 10.0)
+        (List.memq s Workload.high_mpki))
+    Workload.all;
+  Alcotest.(check int) "fig9 subset size" 6 (List.length Workload.fig9_subset)
+
+let test_stream_determinism () =
+  let spec = Option.get (Workload.by_name "mcf") in
+  let s1 = Workload.stream (Ptg_util.Rng.create 42L) spec in
+  let s2 = Workload.stream (Ptg_util.Rng.create 42L) spec in
+  for _ = 1 to 1000 do
+    if s1 () <> s2 () then Alcotest.fail "streams diverge"
+  done
+
+let test_stream_mix () =
+  let spec = Option.get (Workload.by_name "mcf") in
+  let s = Workload.stream (Ptg_util.Rng.create 7L) spec in
+  let mem = ref 0 and n = 50_000 in
+  for _ = 1 to n do
+    match s () with Ptg_cpu.Core.Nonmem -> () | _ -> incr mem
+  done;
+  let frac = float_of_int !mem /. float_of_int n in
+  if Float.abs (frac -. spec.Workload.pct_mem) > 0.02 then
+    Alcotest.failf "memory fraction %.3f, expected %.3f" frac spec.Workload.pct_mem
+
+let test_stream_addresses_bounded () =
+  let spec = Option.get (Workload.by_name "bfs") in
+  let s = Workload.stream (Ptg_util.Rng.create 9L) spec in
+  let bound = Int64.mul 4096L (Int64.of_int (spec.Workload.cold_pages + spec.Workload.hot_pages)) in
+  for _ = 1 to 20_000 do
+    match s () with
+    | Ptg_cpu.Core.Load a | Ptg_cpu.Core.Store a ->
+        if Int64.compare a 0L < 0 || Int64.compare a bound >= 0 then
+          Alcotest.failf "address 0x%Lx out of region" a
+    | Ptg_cpu.Core.Nonmem -> ()
+  done
+
+let test_mpki_calibration () =
+  (* End-to-end: simulated MPKI within 15% of the Figure 6 target. *)
+  List.iter
+    (fun name ->
+      let spec = Option.get (Workload.by_name name) in
+      let stream = Workload.stream (Ptg_util.Rng.create 11L) spec in
+      let core = Ptg_cpu.Core.create ~guard:Ptg_cpu.Guard_timing.unprotected () in
+      ignore (Ptg_cpu.Core.run core ~instrs:300_000 ~stream);
+      let r = Ptg_cpu.Core.run core ~instrs:1_000_000 ~stream in
+      let err =
+        Float.abs (r.Ptg_cpu.Core.llc_mpki -. spec.Workload.target_mpki)
+        /. spec.Workload.target_mpki
+      in
+      if err > 0.15 then
+        Alcotest.failf "%s MPKI %.2f vs target %.2f (%.0f%% off)" name
+          r.Ptg_cpu.Core.llc_mpki spec.Workload.target_mpki (100.0 *. err))
+    [ "xalancbmk"; "mcf"; "pr" ]
+
+let test_multicore_helpers () =
+  let spec = Option.get (Workload.by_name "lbm") in
+  let same = Workload.multicore_same spec in
+  Alcotest.(check int) "SAME has 4" 4 (Array.length same);
+  Array.iter (fun s -> Alcotest.(check string) "all same" "lbm" s.Workload.name) same;
+  let mixes = Workload.multicore_mixes (Ptg_util.Rng.create 3L) 16 in
+  Alcotest.(check int) "16 mixes" 16 (Array.length mixes);
+  Array.iter (fun m -> Alcotest.(check int) "4 per mix" 4 (Array.length m)) mixes
+
+let suite =
+  [
+    Alcotest.test_case "catalogue" `Quick test_catalogue;
+    Alcotest.test_case "MPKI shape" `Quick test_mpki_shape;
+    Alcotest.test_case "stream determinism" `Quick test_stream_determinism;
+    Alcotest.test_case "stream op mix" `Quick test_stream_mix;
+    Alcotest.test_case "addresses bounded" `Quick test_stream_addresses_bounded;
+    Alcotest.test_case "MPKI calibration" `Slow test_mpki_calibration;
+    Alcotest.test_case "multicore helpers" `Quick test_multicore_helpers;
+  ]

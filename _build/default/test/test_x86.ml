@@ -1,0 +1,96 @@
+open Ptg_pte
+
+(* Table I of the paper: every field at its architected bit position. *)
+let test_table_i_positions () =
+  let expected =
+    [
+      (X86.Present, 0); (X86.Writable, 1); (X86.User_accessible, 2);
+      (X86.Write_through, 3); (X86.Cache_disable, 4); (X86.Accessed, 5);
+      (X86.Dirty, 6); (X86.Huge_page, 7); (X86.Global, 8); (X86.No_execute, 63);
+    ]
+  in
+  List.iter
+    (fun (flag, bit) -> Alcotest.(check int) "flag bit" bit (X86.flag_bit flag))
+    expected;
+  Alcotest.(check int) "all flags listed" 10 (List.length X86.all_flags)
+
+let test_flag_roundtrip () =
+  List.iter
+    (fun flag ->
+      let pte = X86.set_flag 0L flag true in
+      Alcotest.(check bool) "set then get" true (X86.get_flag pte flag);
+      Alcotest.(check int) "exactly one bit" 1 (Ptg_util.Bits.popcount pte);
+      Alcotest.(check bool) "clear" false
+        (X86.get_flag (X86.set_flag pte flag false) flag))
+    X86.all_flags
+
+let test_pfn_field () =
+  let pte = X86.set_pfn 0L 0xF_FFFF_FFFFL in
+  (* PFN occupies 51:12 — 40 bits. *)
+  Alcotest.(check int64) "pfn read back" 0xF_FFFF_FFFFL (X86.pfn pte);
+  Alcotest.(check int64) "bits below 12 clear" 0L (Ptg_util.Bits.extract pte ~lo:0 ~hi:11);
+  Alcotest.(check int64) "bits above 51 clear" 0L (Ptg_util.Bits.extract pte ~lo:52 ~hi:63);
+  (* overwide pfn truncated to 40 bits *)
+  Alcotest.(check int64) "pfn truncated" 0L (X86.pfn (X86.set_pfn 0L (Int64.shift_left 1L 40)))
+
+let test_os_and_keys () =
+  let pte = X86.set_os_bits 0L 0b101L in
+  Alcotest.(check int64) "os bits" 0b101L (X86.os_bits pte);
+  Alcotest.(check int64) "os bits at 11:9" (Int64.shift_left 0b101L 9) pte;
+  let pte = X86.set_protection_key 0L 0xFL in
+  Alcotest.(check int64) "protection key" 0xFL (X86.protection_key pte);
+  Alcotest.(check int64) "keys at 62:59" (Int64.shift_left 0xFL 59) pte
+
+let test_ignored_bits () =
+  let pte = Ptg_util.Bits.insert 0L ~lo:52 ~hi:58 0x7FL in
+  Alcotest.(check int64) "ignored bits 58:52" 0x7FL (X86.ignored_bits pte)
+
+let test_make () =
+  let pte =
+    X86.make ~writable:true ~user:true ~accessed:true ~dirty:true ~global:true
+      ~no_execute:true ~protection_key:5L ~pfn:0x1234L ()
+  in
+  Alcotest.(check bool) "present" true (X86.get_flag pte X86.Present);
+  Alcotest.(check bool) "writable" true (X86.get_flag pte X86.Writable);
+  Alcotest.(check bool) "user" true (X86.get_flag pte X86.User_accessible);
+  Alcotest.(check bool) "nx" true (X86.get_flag pte X86.No_execute);
+  Alcotest.(check int64) "pfn" 0x1234L (X86.pfn pte);
+  Alcotest.(check int64) "key" 5L (X86.protection_key pte);
+  let minimal = X86.make ~pfn:1L () in
+  Alcotest.(check bool) "defaults clear" false (X86.get_flag minimal X86.Writable)
+
+let test_phys_addr () =
+  let pte = X86.make ~pfn:0xABCL () in
+  Alcotest.(check int64) "phys addr" (Int64.shift_left 0xABCL 12) (X86.phys_addr pte)
+
+let test_zero () =
+  Alcotest.(check bool) "zero is zero" true (X86.is_zero X86.zero);
+  Alcotest.(check bool) "non-zero" false (X86.is_zero (X86.make ~pfn:1L ()))
+
+let test_pp () =
+  let s = Format.asprintf "%a" X86.pp (X86.make ~writable:true ~pfn:0x1AL ()) in
+  Alcotest.(check bool) "pp mentions pfn" true
+    (String.length s > 0 && s.[0] = 'p');
+  let z = Format.asprintf "%a" X86.pp X86.zero in
+  Alcotest.(check string) "pp zero" "<zero>" z
+
+let prop_fields_independent =
+  QCheck2.Test.make ~name:"pfn write preserves flags" ~count:300
+    QCheck2.Gen.(pair int64 (int_bound 0xFFFF))
+    (fun (raw, pfn) ->
+      let pte = X86.set_pfn raw (Int64.of_int pfn) in
+      List.for_all (fun f -> X86.get_flag pte f = X86.get_flag raw f) X86.all_flags)
+
+let suite =
+  [
+    Alcotest.test_case "Table I positions" `Quick test_table_i_positions;
+    Alcotest.test_case "flag roundtrip" `Quick test_flag_roundtrip;
+    Alcotest.test_case "pfn field" `Quick test_pfn_field;
+    Alcotest.test_case "os bits / protection keys" `Quick test_os_and_keys;
+    Alcotest.test_case "ignored bits" `Quick test_ignored_bits;
+    Alcotest.test_case "make" `Quick test_make;
+    Alcotest.test_case "phys addr" `Quick test_phys_addr;
+    Alcotest.test_case "zero" `Quick test_zero;
+    Alcotest.test_case "pp" `Quick test_pp;
+    QCheck_alcotest.to_alcotest prop_fields_independent;
+  ]
