@@ -8,13 +8,27 @@
    Part 2 — regeneration of every table and figure of the paper via the
    experiment harness (the same code `bin/ptguard_cli.exe` drives), at
    bench-friendly sizes. Set PTG_BENCH_FULL=1 for the paper-scale runs
-   recorded in EXPERIMENTS.md.
+   recorded in EXPERIMENTS.md. The experiment sweeps fan out across
+   PTG_BENCH_JOBS worker domains (default: the recommended domain count);
+   results are bit-identical for any job count.
+
+   Part 3 — a serial-vs-parallel wall-clock comparison of the Figure 6
+   sweep through Ptg_util.Pool, recorded in EXPERIMENTS.md's "Parallel
+   runs" section.
 
    Run with: dune exec bench/main.exe *)
 
 open Bechamel
 
 let full = Sys.getenv_opt "PTG_BENCH_FULL" = Some "1"
+
+let jobs =
+  match Sys.getenv_opt "PTG_BENCH_JOBS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> j
+      | _ -> invalid_arg "PTG_BENCH_JOBS must be a positive integer")
+  | None -> Ptg_util.Pool.default_jobs ()
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmark fixtures                                            *)
@@ -140,24 +154,24 @@ let run_experiments () =
   Ptg_sim.Security_exp.print (Ptg_sim.Security_exp.run ());
   section "Figure 6: per-workload slowdown and MPKI";
   Ptg_sim.Fig6.print
-    (Ptg_sim.Fig6.run ~seed
+    (Ptg_sim.Fig6.run ~jobs ~seed
        ~instrs:(if full then 2_000_000 else 600_000)
        ~warmup:(if full then 500_000 else 200_000)
        ());
   section "Figure 7: slowdown vs MAC latency";
   Ptg_sim.Fig7.print
-    (Ptg_sim.Fig7.run ~seed
+    (Ptg_sim.Fig7.run ~jobs ~seed
        ~instrs:(if full then 1_000_000 else 250_000)
        ~warmup:(if full then 300_000 else 100_000)
        ());
   section "Figure 8: PTE value locality (623 processes)";
-  Ptg_sim.Fig8.print (Ptg_sim.Fig8.run ~processes:623 ());
+  Ptg_sim.Fig8.print (Ptg_sim.Fig8.run ~jobs ~processes:623 ());
   section "Figure 9: best-effort correction coverage";
   Ptg_sim.Fig9.print
-    (Ptg_sim.Fig9.run ~seed ~lines_per_point:(if full then 400 else 150) ());
+    (Ptg_sim.Fig9.run ~jobs ~seed ~lines_per_point:(if full then 400 else 150) ());
   section "Section VII-C: 4-core SAME/MIX";
   Ptg_sim.Multicore_exp.print
-    (Ptg_sim.Multicore_exp.run ~seed
+    (Ptg_sim.Multicore_exp.run ~jobs ~seed
        ~instrs_per_core:(if full then 400_000 else 120_000)
        ~mixes:(if full then 16 else 8) ());
   section "Attack-vs-mitigation matrix";
@@ -181,17 +195,51 @@ let run_experiments () =
     ];
   section "Ablations";
   Ptg_sim.Ablations.print_correction
-    (Ptg_sim.Ablations.correction ~lines:(if full then 400 else 150) ());
+    (Ptg_sim.Ablations.correction ~jobs ~lines:(if full then 400 else 150) ());
   print_newline ();
   Ptg_sim.Ablations.print_pattern (Ptg_sim.Ablations.pattern ());
   print_newline ();
   Ptg_sim.Ablations.print_ctb (Ptg_sim.Ablations.ctb_overflow ());
   print_newline ();
   Ptg_sim.Ablations.print_page_size
-    (Ptg_sim.Ablations.page_size ~instrs:(if full then 400_000 else 150_000) ())
+    (Ptg_sim.Ablations.page_size ~jobs ~instrs:(if full then 400_000 else 150_000) ())
+
+(* ------------------------------------------------------------------ *)
+(* Pool scaling: serial vs parallel wall clock                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_scaling () =
+  section
+    (Printf.sprintf "Pool scaling: Figure 6 sweep, jobs 1 vs %d (of %d recommended)"
+       (max jobs 4) (Ptg_util.Pool.default_jobs ()));
+  let instrs = if full then 2_000_000 else 300_000 in
+  let warmup = if full then 500_000 else 100_000 in
+  let timed j =
+    let t0 = Unix.gettimeofday () in
+    let r = Ptg_sim.Fig6.run ~jobs:j ~instrs ~warmup () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let parallel_jobs = max jobs 4 in
+  let t_serial, r_serial = timed 1 in
+  let t_parallel, r_parallel = timed parallel_jobs in
+  let csv r =
+    let path = Filename.temp_file "ptg_scaling" ".csv" in
+    Ptg_sim.Fig6.to_csv r ~path;
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  Printf.printf
+    "  jobs 1:  %6.2f s\n  jobs %d:  %6.2f s\n  speedup: %.2fx\n  CSV identical: %b\n"
+    t_serial parallel_jobs t_parallel (t_serial /. t_parallel)
+    (String.equal (csv r_serial) (csv r_parallel))
 
 let () =
-  Printf.printf "PT-Guard bench harness (%s sizes)\n\n%!"
-    (if full then "full" else "reduced; set PTG_BENCH_FULL=1 for paper-scale");
+  Printf.printf "PT-Guard bench harness (%s sizes, %d worker domains)\n\n%!"
+    (if full then "full" else "reduced; set PTG_BENCH_FULL=1 for paper-scale")
+    jobs;
   run_micro ();
-  run_experiments ()
+  run_experiments ();
+  run_scaling ()

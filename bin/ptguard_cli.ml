@@ -6,6 +6,25 @@ open Cmdliner
 let seed_arg =
   Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_arg =
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "%d is not a positive job count" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt positive_int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the experiment sweeps (default: the \
+           recommended domain count of this machine). Results are \
+           bit-identical for any job count; only wall-clock time changes.")
+
 let csv_arg =
   Arg.(
     value
@@ -38,29 +57,31 @@ let seeds_arg =
         ~doc:"Repeat over N seeds and report mean/stderr (N > 1).")
 
 let fig6_cmd =
-  let run seed instrs design seeds csv =
+  let run seed instrs design seeds jobs csv =
     if seeds > 1 then
       Ptg_sim.Fig6.print_multi
-        (Ptg_sim.Fig6.run_multi ~seeds ~instrs ~config:(config_of_design design) ())
+        (Ptg_sim.Fig6.run_multi ~jobs ~seeds ~instrs ~config:(config_of_design design) ())
     else begin
-      let r = Ptg_sim.Fig6.run ~seed ~instrs ~config:(config_of_design design) () in
+      let r = Ptg_sim.Fig6.run ~jobs ~seed ~instrs ~config:(config_of_design design) () in
       Ptg_sim.Fig6.print r;
       Option.iter (fun path -> Ptg_sim.Fig6.to_csv r ~path) csv
     end
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Figure 6: per-workload normalized IPC and LLC MPKI.")
-    Term.(const run $ seed_arg $ instrs_arg 2_000_000 $ design_arg $ seeds_arg $ csv_arg)
+    Term.(
+      const run $ seed_arg $ instrs_arg 2_000_000 $ design_arg $ seeds_arg $ jobs_arg
+      $ csv_arg)
 
 let fig7_cmd =
-  let run seed instrs csv =
-    let r = Ptg_sim.Fig7.run ~seed ~instrs () in
+  let run seed instrs jobs csv =
+    let r = Ptg_sim.Fig7.run ~jobs ~seed ~instrs () in
     Ptg_sim.Fig7.print r;
     Option.iter (fun path -> Ptg_sim.Fig7.to_csv r ~path) csv
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Figure 7: slowdown vs MAC latency for both designs.")
-    Term.(const run $ seed_arg $ instrs_arg 1_000_000 $ csv_arg)
+    Term.(const run $ seed_arg $ instrs_arg 1_000_000 $ jobs_arg $ csv_arg)
 
 let fig8_cmd =
   let processes =
@@ -68,14 +89,14 @@ let fig8_cmd =
       value & opt int 623
       & info [ "processes" ] ~docv:"N" ~doc:"Processes to profile (paper: 623).")
   in
-  let run seed processes csv =
-    let r = Ptg_sim.Fig8.run ~seed ~processes () in
+  let run seed processes jobs csv =
+    let r = Ptg_sim.Fig8.run ~jobs ~seed ~processes () in
     Ptg_sim.Fig8.print r;
     Option.iter (fun path -> Ptg_sim.Fig8.to_csv r ~path) csv
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"Figure 8: PTE value locality across processes.")
-    Term.(const run $ seed_arg $ processes $ csv_arg)
+    Term.(const run $ seed_arg $ processes $ jobs_arg $ csv_arg)
 
 let fig9_cmd =
   let lines =
@@ -83,18 +104,19 @@ let fig9_cmd =
       value & opt int 300
       & info [ "lines" ] ~docv:"N" ~doc:"Faulty lines per (workload, p_flip) point.")
   in
-  let run seed lines seeds csv =
+  let run seed lines seeds jobs csv =
     if seeds > 1 then
-      Ptg_sim.Fig9.print_multi (Ptg_sim.Fig9.run_multi ~seeds ~lines_per_point:lines ())
+      Ptg_sim.Fig9.print_multi
+        (Ptg_sim.Fig9.run_multi ~jobs ~seeds ~lines_per_point:lines ())
     else begin
-      let r = Ptg_sim.Fig9.run ~seed ~lines_per_point:lines () in
+      let r = Ptg_sim.Fig9.run ~jobs ~seed ~lines_per_point:lines () in
       Ptg_sim.Fig9.print r;
       Option.iter (fun path -> Ptg_sim.Fig9.to_csv r ~path) csv
     end
   in
   Cmd.v
     (Cmd.info "fig9" ~doc:"Figure 9: best-effort correction coverage vs p_flip.")
-    Term.(const run $ seed_arg $ lines $ seeds_arg $ csv_arg)
+    Term.(const run $ seed_arg $ lines $ seeds_arg $ jobs_arg $ csv_arg)
 
 let security_cmd =
   let run () = Ptg_sim.Security_exp.print (Ptg_sim.Security_exp.run ()) in
@@ -111,14 +133,14 @@ let multicore_cmd =
   let mixes =
     Arg.(value & opt int 16 & info [ "mixes" ] ~docv:"N" ~doc:"Random MIX configs.")
   in
-  let run seed instrs mixes csv =
-    let r = Ptg_sim.Multicore_exp.run ~seed ~instrs_per_core:instrs ~mixes () in
+  let run seed instrs mixes jobs csv =
+    let r = Ptg_sim.Multicore_exp.run ~jobs ~seed ~instrs_per_core:instrs ~mixes () in
     Ptg_sim.Multicore_exp.print r;
     Option.iter (fun path -> Ptg_sim.Multicore_exp.to_csv r ~path) csv
   in
   Cmd.v
     (Cmd.info "multicore" ~doc:"Section VII-C: 4-core SAME/MIX slowdowns.")
-    Term.(const run $ seed_arg $ instrs $ mixes $ csv_arg)
+    Term.(const run $ seed_arg $ instrs $ mixes $ jobs_arg $ csv_arg)
 
 let tables_cmd =
   let run () = Ptg_sim.Tables_exp.print_all () in
@@ -156,19 +178,19 @@ let baselines_cmd =
     Term.(const run $ seed_arg $ trials $ csv_arg)
 
 let ablations_cmd =
-  let run seed =
-    Ptg_sim.Ablations.print_correction (Ptg_sim.Ablations.correction ~seed ());
+  let run seed jobs =
+    Ptg_sim.Ablations.print_correction (Ptg_sim.Ablations.correction ~jobs ~seed ());
     print_newline ();
     Ptg_sim.Ablations.print_pattern (Ptg_sim.Ablations.pattern ~seed ());
     print_newline ();
     Ptg_sim.Ablations.print_ctb (Ptg_sim.Ablations.ctb_overflow ~seed ());
     print_newline ();
-    Ptg_sim.Ablations.print_page_size (Ptg_sim.Ablations.page_size ~seed ())
+    Ptg_sim.Ablations.print_page_size (Ptg_sim.Ablations.page_size ~jobs ~seed ())
   in
   Cmd.v
     (Cmd.info "ablations"
        ~doc:"Correction-strategy, write-pattern and CTB/re-keying ablations.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ jobs_arg)
 
 let trace_cmd =
   let workload =
@@ -238,26 +260,26 @@ let fullsys_cmd =
     Term.(const run $ seed_arg $ instrs)
 
 let all_cmd =
-  let run seed =
+  let run seed jobs =
     Ptg_sim.Tables_exp.print_all ();
     print_newline ();
     Ptg_sim.Security_exp.print (Ptg_sim.Security_exp.run ());
     print_newline ();
-    Ptg_sim.Fig6.print (Ptg_sim.Fig6.run ~seed ());
+    Ptg_sim.Fig6.print (Ptg_sim.Fig6.run ~jobs ~seed ());
     print_newline ();
-    Ptg_sim.Fig7.print (Ptg_sim.Fig7.run ~seed ());
+    Ptg_sim.Fig7.print (Ptg_sim.Fig7.run ~jobs ~seed ());
     print_newline ();
-    Ptg_sim.Fig8.print (Ptg_sim.Fig8.run ~seed ());
+    Ptg_sim.Fig8.print (Ptg_sim.Fig8.run ~jobs ~seed ());
     print_newline ();
-    Ptg_sim.Fig9.print (Ptg_sim.Fig9.run ~seed ());
+    Ptg_sim.Fig9.print (Ptg_sim.Fig9.run ~jobs ~seed ());
     print_newline ();
-    Ptg_sim.Multicore_exp.print (Ptg_sim.Multicore_exp.run ~seed ());
+    Ptg_sim.Multicore_exp.print (Ptg_sim.Multicore_exp.run ~jobs ~seed ());
     print_newline ();
     Ptg_sim.Attacks_exp.print (Ptg_sim.Attacks_exp.run ~seed ());
     print_newline ();
     Ptg_sim.Baselines_exp.print (Ptg_sim.Baselines_exp.run ~seed ());
     print_newline ();
-    Ptg_sim.Ablations.print_correction (Ptg_sim.Ablations.correction ~seed ());
+    Ptg_sim.Ablations.print_correction (Ptg_sim.Ablations.correction ~jobs ~seed ());
     print_newline ();
     Ptg_sim.Ablations.print_pattern (Ptg_sim.Ablations.pattern ~seed ());
     print_newline ();
@@ -265,7 +287,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure in sequence.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ jobs_arg)
 
 let () =
   let info =

@@ -35,11 +35,15 @@ let create cfg =
 
 let config t = t.cfg
 
+(* Single source of truth for the address split: every caller gets the
+   set, its index, and the tag from the same divide/rem chain, so a
+   writeback address can never be reconstructed from a different set
+   index than the one the lookup used. *)
 let locate t addr =
   let line = Int64.div addr (Int64.of_int t.cfg.line_bytes) in
-  let set = Int64.to_int (Int64.rem line (Int64.of_int t.set_count)) in
+  let set_idx = Int64.to_int (Int64.rem line (Int64.of_int t.set_count)) in
   let tag = Int64.div line (Int64.of_int t.set_count) in
-  (t.sets.(set), tag)
+  (t.sets.(set_idx), set_idx, tag)
 
 type result = Hit | Miss of { writeback : int64 option }
 
@@ -50,11 +54,7 @@ let line_addr_of t ~set_idx ~tag =
 let access t ~addr ~is_write =
   t.tick <- t.tick + 1;
   t.accesses <- t.accesses + 1;
-  let set, tag = locate t addr in
-  let set_idx =
-    Int64.to_int
-      (Int64.rem (Int64.div addr (Int64.of_int t.cfg.line_bytes)) (Int64.of_int t.set_count))
-  in
+  let set, set_idx, tag = locate t addr in
   match Array.find_opt (fun w -> w.valid && Int64.equal w.tag tag) set with
   | Some w ->
       w.lru <- t.tick;
@@ -80,11 +80,11 @@ let access t ~addr ~is_write =
       Miss { writeback }
 
 let probe t ~addr =
-  let set, tag = locate t addr in
+  let set, _, tag = locate t addr in
   Array.exists (fun w -> w.valid && Int64.equal w.tag tag) set
 
 let invalidate t ~addr =
-  let set, tag = locate t addr in
+  let set, _, tag = locate t addr in
   Array.iter (fun w -> if w.valid && Int64.equal w.tag tag then w.valid <- false) set
 
 let accesses t = t.accesses

@@ -30,7 +30,7 @@ let masks =
     ("only zero-reset", { none with Correction.use_zero_reset = true });
   ]
 
-let correction ?(lines = 400) ?(seed = 21L) ?(p_flip = 1.0 /. 256.0) () =
+let correction ?jobs ?(lines = 400) ?(seed = 21L) ?(p_flip = 1.0 /. 256.0) () =
   let rng = Rng.create seed in
   let config = Config.optimized in
   let engine = Engine.create ~config ~rng:(Rng.split rng) () in
@@ -60,9 +60,12 @@ let correction ?(lines = 400) ?(seed = 21L) ?(p_flip = 1.0 /. 256.0) () =
       cases := (addr, line, faulty) :: !cases
     end
   done;
+  (* Every mask replays the same pre-drawn faults; [Correction.correct]
+     draws nothing, so fanning the masks across domains is exact. *)
   let rows =
-    List.map
-      (fun (label, strategies) ->
+    Array.to_list
+      (Pool.parallel_map ?jobs
+         (fun (label, strategies) ->
         let corrected = ref 0 and guesses_sum = ref 0 in
         List.iter
           (fun (addr, original, faulty) ->
@@ -85,7 +88,7 @@ let correction ?(lines = 400) ?(seed = 21L) ?(p_flip = 1.0 /. 256.0) () =
             (if !corrected = 0 then 0.0
              else float_of_int !guesses_sum /. float_of_int !corrected);
         })
-      masks
+         (Array.of_list masks))
   in
   { p_flip; lines; rows }
 
@@ -183,37 +186,36 @@ type page_size_row = {
 
 type page_size_result = { rows : page_size_row list }
 
-let page_size ?(instrs = 400_000) ?(seed = 24L)
+let page_size ?jobs ?(instrs = 400_000) ?(seed = 24L)
     ?(workloads = Ptg_workloads.Workload.high_mpki) () =
   let run_config label page_shift =
-    let slowdowns = ref [] and walks = ref [] in
-    List.iter
-      (fun spec ->
-        let core_cfg = { Ptg_cpu.Core.default_config with Ptg_cpu.Core.page_shift } in
-        let run guard =
-          let rng = Rng.create seed in
-          let stream = Ptg_workloads.Workload.stream rng spec in
-          let core = Ptg_cpu.Core.create ~config:core_cfg ~guard () in
-          ignore (Ptg_cpu.Core.run core ~instrs:(instrs / 4) ~stream);
-          Ptg_cpu.Core.run core ~instrs ~stream
-        in
-        let base = run Ptg_cpu.Guard_timing.unprotected in
-        let guarded =
-          run
-            (Ptg_cpu.Guard_timing.of_config Config.baseline
-               ~rng:(Rng.create (Int64.add seed 1L)))
-        in
-        slowdowns :=
-          (100.0 *. (1.0 -. (guarded.Ptg_cpu.Core.ipc /. base.Ptg_cpu.Core.ipc)))
-          :: !slowdowns;
-        walks :=
-          (1000.0 *. float_of_int base.Ptg_cpu.Core.walks /. float_of_int instrs)
-          :: !walks)
-      workloads;
+    (* Each workload simulates from seed-derived generators only, so the
+       per-workload fan-out is exact for any job count. *)
+    let per =
+      Pool.parallel_map ?jobs
+        (fun spec ->
+          let core_cfg = { Ptg_cpu.Core.default_config with Ptg_cpu.Core.page_shift } in
+          let run guard =
+            let rng = Rng.create seed in
+            let stream = Ptg_workloads.Workload.stream rng spec in
+            let core = Ptg_cpu.Core.create ~config:core_cfg ~guard () in
+            ignore (Ptg_cpu.Core.run core ~instrs:(instrs / 4) ~stream);
+            Ptg_cpu.Core.run core ~instrs ~stream
+          in
+          let base = run Ptg_cpu.Guard_timing.unprotected in
+          let guarded =
+            run
+              (Ptg_cpu.Guard_timing.of_config Config.baseline
+                 ~rng:(Rng.create (Int64.add seed 1L)))
+          in
+          ( 100.0 *. (1.0 -. (guarded.Ptg_cpu.Core.ipc /. base.Ptg_cpu.Core.ipc)),
+            1000.0 *. float_of_int base.Ptg_cpu.Core.walks /. float_of_int instrs ))
+        (Array.of_list workloads)
+    in
     {
       page = label;
-      avg_slowdown_pct = Ptg_util.Stats.mean (Array.of_list !slowdowns);
-      walks_per_kinstr = Ptg_util.Stats.mean (Array.of_list !walks);
+      avg_slowdown_pct = Ptg_util.Stats.mean (Array.map fst per);
+      walks_per_kinstr = Ptg_util.Stats.mean (Array.map snd per);
     }
   in
   { rows = [ run_config "4K" 12; run_config "2M" 21 ] }

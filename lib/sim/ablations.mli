@@ -20,7 +20,11 @@ type correction_result = {
   rows : correction_row list;  (** "all", "without X...", "only X..." *)
 }
 
-val correction : ?lines:int -> ?seed:int64 -> ?p_flip:float -> unit -> correction_result
+val correction :
+  ?jobs:int -> ?lines:int -> ?seed:int64 -> ?p_flip:float -> unit -> correction_result
+(** [jobs] fans the strategy masks across domains; every mask replays the
+    same pre-drawn faults, so results are independent of the job count. *)
+
 val print_correction : correction_result -> unit
 
 (** {2 Write-pattern selectivity} *)
@@ -49,7 +53,8 @@ type page_size_row = {
 type page_size_result = { rows : page_size_row list }
 
 val page_size :
-  ?instrs:int -> ?seed:int64 -> ?workloads:Ptg_workloads.Workload.spec list ->
+  ?jobs:int -> ?instrs:int -> ?seed:int64 ->
+  ?workloads:Ptg_workloads.Workload.spec list ->
   unit -> page_size_result
 (** PT-Guard's slowdown with 4 KB vs 2 MB pages: "larger page sizes would
     only reduce the slowdown by reducing frequency of page-table-walks"

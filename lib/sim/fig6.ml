@@ -25,10 +25,12 @@ let run_workload ~instrs ~warmup ~seed ~guard spec =
   ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
   Ptg_cpu.Core.run core ~instrs ~stream
 
-let run ?(instrs = 2_000_000) ?(warmup = 500_000) ?(seed = 42L)
+let run ?jobs ?(instrs = 2_000_000) ?(warmup = 500_000) ?(seed = 42L)
     ?(config = Ptguard.Config.baseline) ?(workloads = Ptg_workloads.Workload.all) () =
-  let rows =
-    List.map
+  (* Each workload run builds its own Rng/Engine from [seed] alone, so the
+     per-workload fan-out is bit-identical to serial execution. *)
+  let rows_arr =
+    Pool.parallel_map ?jobs
       (fun spec ->
         let base =
           run_workload ~instrs ~warmup ~seed ~guard:Ptg_cpu.Guard_timing.unprotected
@@ -51,8 +53,9 @@ let run ?(instrs = 2_000_000) ?(warmup = 500_000) ?(seed = 42L)
           pte_dram_reads = base.Ptg_cpu.Core.pte_dram_reads;
           dram_reads = base.Ptg_cpu.Core.dram_reads;
         })
-      workloads
+      (Array.of_list workloads)
   in
+  let rows = Array.to_list rows_arr in
   let norms = Array.of_list (List.map (fun r -> r.norm_ipc) rows) in
   let slowdowns = Array.of_list (List.map (fun r -> r.slowdown_pct) rows) in
   {
@@ -105,11 +108,13 @@ type multi = {
   max_slowdown : Stats.summary;
 }
 
-let run_multi ?(seeds = 5) ?instrs ?warmup ?config ?workloads () =
+let run_multi ?jobs ?(seeds = 5) ?instrs ?warmup ?config ?workloads () =
   if seeds < 1 then invalid_arg "Fig6.run_multi: seeds";
+  (* Seeds run in sequence; each seed's workloads fan out across [jobs]
+     domains (nesting both would oversubscribe the pool). *)
   let runs =
     List.init seeds (fun i ->
-        run ?instrs ?warmup ?config ?workloads ~seed:(Int64.of_int (1000 + i)) ())
+        run ?jobs ?instrs ?warmup ?config ?workloads ~seed:(Int64.of_int (1000 + i)) ())
   in
   {
     runs;

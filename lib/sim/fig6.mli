@@ -23,6 +23,7 @@ type result = {
 }
 
 val run :
+  ?jobs:int ->
   ?instrs:int ->
   ?warmup:int ->
   ?seed:int64 ->
@@ -33,7 +34,10 @@ val run :
 (** Defaults: 2M timed instructions after 500K warmup per workload, the
     Baseline PT-Guard design at 10-cycle MAC latency, all 25 workloads.
     Identical streams (same seed) drive the unprotected and protected
-    runs, so the IPC ratio isolates the MAC delay exactly. *)
+    runs, so the IPC ratio isolates the MAC delay exactly. [jobs] fans
+    the per-workload runs across domains via {!Ptg_util.Pool} (default
+    {!Ptg_util.Pool.default_jobs}); the result is bit-identical for any
+    job count. *)
 
 val print : result -> unit
 val to_csv : result -> path:string -> unit
@@ -45,6 +49,7 @@ type multi = {
 }
 
 val run_multi :
+  ?jobs:int ->
   ?seeds:int ->
   ?instrs:int ->
   ?warmup:int ->
@@ -53,6 +58,7 @@ val run_multi :
   unit ->
   multi
 (** Repeat {!run} over [seeds] distinct seeds (default 5) and summarize
-    the run-to-run spread of the headline numbers. *)
+    the run-to-run spread of the headline numbers. [jobs] is passed to
+    each per-seed {!run}. *)
 
 val print_multi : multi -> unit

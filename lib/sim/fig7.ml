@@ -11,24 +11,32 @@ type point = {
 
 type result = { points : point list }
 
-let run ?(instrs = 1_000_000) ?(warmup = 300_000) ?(seed = 42L)
+let run ?jobs ?(instrs = 1_000_000) ?(warmup = 300_000) ?(seed = 42L)
     ?(latencies = [ 5; 10; 15; 20 ]) ?(workloads = Ptg_workloads.Workload.all) () =
-  (* Baseline (unprotected) runs are shared across the sweep. *)
+  (* Baseline (unprotected) runs are shared across the sweep; each one
+     seeds its own Rng, so both this fan-out and the per-point fan-out
+     below are bit-identical to serial execution. *)
   let base_results =
-    List.map
-      (fun spec ->
-        let rng = Rng.create seed in
-        let stream = Ptg_workloads.Workload.stream rng spec in
-        let core = Ptg_cpu.Core.create ~guard:Ptg_cpu.Guard_timing.unprotected () in
-        ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
-        (spec, Ptg_cpu.Core.run core ~instrs ~stream))
-      workloads
+    Array.to_list
+      (Pool.parallel_map ?jobs
+         (fun spec ->
+           let rng = Rng.create seed in
+           let stream = Ptg_workloads.Workload.stream rng spec in
+           let core = Ptg_cpu.Core.create ~guard:Ptg_cpu.Guard_timing.unprotected () in
+           ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
+           (spec, Ptg_cpu.Core.run core ~instrs ~stream))
+         (Array.of_list workloads))
+  in
+  let cases =
+    Array.of_list
+      (List.concat_map
+         (fun design -> List.map (fun lat -> (design, lat)) latencies)
+         [ Ptguard.Config.Baseline; Ptguard.Config.Optimized ])
   in
   let points =
-    List.concat_map
-      (fun design ->
-        List.map
-          (fun mac_latency ->
+    Array.to_list
+      (Pool.parallel_map ?jobs
+         (fun (design, mac_latency) ->
             let cfg =
               Ptguard.Config.with_mac_latency
                 (match design with
@@ -74,8 +82,7 @@ let run ?(instrs = 1_000_000) ?(warmup = 300_000) ?(seed = 42L)
               max_workload = max_n;
               mac_reads_fraction = Stats.mean (Array.of_list mac_fracs);
             })
-          latencies)
-      [ Ptguard.Config.Baseline; Ptguard.Config.Optimized ]
+         cases)
   in
   { points }
 

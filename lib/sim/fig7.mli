@@ -19,6 +19,7 @@ type point = {
 type result = { points : point list }
 
 val run :
+  ?jobs:int ->
   ?instrs:int ->
   ?warmup:int ->
   ?seed:int64 ->
@@ -26,7 +27,9 @@ val run :
   ?workloads:Ptg_workloads.Workload.spec list ->
   unit ->
   result
-(** Defaults: latencies [5; 10; 15; 20], both designs, all workloads. *)
+(** Defaults: latencies [5; 10; 15; 20], both designs, all workloads.
+    [jobs] fans the shared baseline runs and the (design, latency) sweep
+    points across domains; results are independent of the job count. *)
 
 val print : result -> unit
 val to_csv : result -> path:string -> unit

@@ -5,12 +5,19 @@ type result = {
   sample_rows : (float * float * float) array;
 }
 
-let run ?(processes = 623) ?(seed = 8L) () =
+let run ?jobs ?(processes = 623) ?(seed = 8L) () =
   let rng = Rng.create seed in
+  (* Per-process generators are split off the master stream serially, in
+     process order, so the fan-out across domains cannot perturb any
+     process's draw sequence: results are identical for any job count. *)
+  let rngs = Array.init processes (fun _ -> Rng.split rng) in
   let stats =
-    List.init processes (fun _ ->
-        let params = Ptg_vm.Process_model.draw_params rng in
-        Ptg_vm.Profile.stats_of_lines (Ptg_vm.Process_model.leaf_lines rng params))
+    Array.to_list
+      (Pool.parallel_map ?jobs
+         (fun rng ->
+           let params = Ptg_vm.Process_model.draw_params rng in
+           Ptg_vm.Profile.stats_of_lines (Ptg_vm.Process_model.leaf_lines rng params))
+         rngs)
   in
   let aggregate = Ptg_vm.Profile.aggregate stats in
   let n = Array.length aggregate.Ptg_vm.Profile.per_process in

@@ -12,8 +12,11 @@ type result = {
           processes, sorted by contiguity — the Figure 8 curve shape *)
 }
 
-val run : ?processes:int -> ?seed:int64 -> unit -> result
-(** Default: 623 processes, matching the paper's survey size. *)
+val run : ?jobs:int -> ?processes:int -> ?seed:int64 -> unit -> result
+(** Default: 623 processes, matching the paper's survey size. [jobs]
+    fans the per-process page-table synthesis across domains; each
+    process draws from its own serially-split generator, so results are
+    independent of the job count. *)
 
 val print : result -> unit
 val to_csv : result -> path:string -> unit

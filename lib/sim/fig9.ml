@@ -68,26 +68,37 @@ type tally = {
   mutable escapes : int;
 }
 
-let run ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
+let run ?jobs ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
     ?(config = Ptguard.Config.optimized)
     ?(workloads = Ptg_workloads.Workload.fig9_subset) () =
   let rng = Rng.create seed in
   let mask line = Ptguard.Config.masked_for_mac config line in
-  let steps : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let per_workload, avg_tallies =
-    let avg = List.map (fun p -> (p, { sampled = 0; corrected = 0; uncorrectable = 0; benign = 0; miscorrections = 0; escapes = 0 })) p_flips in
-    let per =
-      List.map
-        (fun spec ->
-          let params = process_params rng spec in
+  (* Per-workload generator state is split off the master stream serially,
+     in workload order, before fanning out across domains — the injection
+     sequence each workload sees is therefore independent of the job
+     count, and parallel runs are bit-identical to serial ones. *)
+  let prepared =
+    Array.of_list
+      (List.map
+         (fun spec ->
+           let params = process_params rng spec in
+           let wl_rng = Rng.split rng in
+           let engine_rng = Rng.split rng in
+           (spec, params, wl_rng, engine_rng))
+         workloads)
+  in
+  let per_results =
+    Pool.parallel_map ?jobs
+      (fun (spec, params, wl_rng, engine_rng) ->
+          let rng = wl_rng in
+          let steps : (string, int) Hashtbl.t = Hashtbl.create 8 in
           let lines = Ptg_vm.Process_model.leaf_lines rng params in
           let sample = weighted_sampler rng lines in
-          let engine = Ptguard.Engine.create ~config ~rng:(Rng.split rng) () in
+          let engine = Ptguard.Engine.create ~config ~rng:engine_rng () in
           let cells =
             List.map
               (fun p_flip ->
                 let t = { sampled = 0; corrected = 0; uncorrectable = 0; benign = 0; miscorrections = 0; escapes = 0 } in
-                let avg_t = List.assoc p_flip avg in
                 let addr_counter = ref 0 in
                 while t.sampled < lines_per_point do
                   let line = sample () in
@@ -124,12 +135,6 @@ let run ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
                         t.escapes <- t.escapes + 1)
                   end
                 done;
-                avg_t.sampled <- avg_t.sampled + t.sampled;
-                avg_t.corrected <- avg_t.corrected + t.corrected;
-                avg_t.uncorrectable <- avg_t.uncorrectable + t.uncorrectable;
-                avg_t.benign <- avg_t.benign + t.benign;
-                avg_t.miscorrections <- avg_t.miscorrections + t.miscorrections;
-                avg_t.escapes <- avg_t.escapes + t.escapes;
                 let denom = max 1 (t.corrected + t.uncorrectable) in
                 {
                   p_flip;
@@ -143,33 +148,47 @@ let run ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
                 })
               p_flips
           in
-          { workload = spec.Ptg_workloads.Workload.name; cells })
-        workloads
-    in
-    (per, avg)
+          ({ workload = spec.Ptg_workloads.Workload.name; cells }, steps))
+      prepared
   in
+  let per_workload = Array.to_list (Array.map fst per_results) in
+  (* Merge the per-workload strategy histograms in workload order. *)
+  let steps : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iter
+    (fun (_, wl_steps) ->
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace steps k (v + Option.value ~default:0 (Hashtbl.find_opt steps k)))
+        wl_steps)
+    per_results;
+  (* Pool the per-workload tallies into the per-p_flip average row. *)
   let average =
-    List.map
-      (fun (p_flip, t) ->
-        let denom = max 1 (t.corrected + t.uncorrectable) in
+    List.mapi
+      (fun pi p_flip ->
+        let cells = List.map (fun w -> List.nth w.cells pi) per_workload in
+        let sum g = List.fold_left (fun acc c -> acc + g c) 0 cells in
+        let corrected = sum (fun c -> c.corrected) in
+        let uncorrectable = sum (fun c -> c.uncorrectable) in
+        let denom = max 1 (corrected + uncorrectable) in
         {
           p_flip;
-          sampled = t.sampled;
-          corrected = t.corrected;
-          uncorrectable = t.uncorrectable;
-          benign = t.benign;
-          miscorrections = t.miscorrections;
-          escapes = t.escapes;
-          corrected_pct = 100.0 *. float_of_int t.corrected /. float_of_int denom;
+          sampled = sum (fun c -> c.sampled);
+          corrected;
+          uncorrectable;
+          benign = sum (fun c -> c.benign);
+          miscorrections = sum (fun c -> c.miscorrections);
+          escapes = sum (fun c -> c.escapes);
+          corrected_pct = 100.0 *. float_of_int corrected /. float_of_int denom;
         })
-      avg_tallies
+      p_flips
   in
   {
     per_workload;
     average;
     step_histogram =
       List.sort
-        (fun (_, a) (_, b) -> compare b a)
+        (fun (ka, a) (kb, b) ->
+          match compare b a with 0 -> String.compare ka kb | c -> c)
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) steps []);
   }
 
@@ -216,12 +235,12 @@ type multi = {
   total_escapes : int;
 }
 
-let run_multi ?(seeds = 5) ?lines_per_point ?(p_flips = default_p_flips) ?config
-    ?workloads () =
+let run_multi ?jobs ?(seeds = 5) ?lines_per_point ?(p_flips = default_p_flips)
+    ?config ?workloads () =
   if seeds < 1 then invalid_arg "Fig9.run_multi: seeds";
   let runs =
     List.init seeds (fun i ->
-        run ?lines_per_point ~p_flips ?config ?workloads
+        run ?jobs ?lines_per_point ~p_flips ?config ?workloads
           ~seed:(Int64.of_int (2000 + i)) ())
   in
   let corrected =

@@ -35,6 +35,7 @@ val default_p_flips : float list
 (** [1/1024; 1/512; 1/256; 1/128], the x-axis of Figure 9. *)
 
 val run :
+  ?jobs:int ->
   ?lines_per_point:int ->
   ?seed:int64 ->
   ?p_flips:float list ->
@@ -43,7 +44,10 @@ val run :
   unit ->
   result
 (** Defaults: 300 faulty lines per (workload, p_flip) point, the Optimized
-    design, the Figure 9 workload subset. *)
+    design, the Figure 9 workload subset. [jobs] fans the per-workload
+    injection campaigns across domains; each workload draws from its own
+    generator split serially off the master stream, so results are
+    independent of the job count. *)
 
 val print : result -> unit
 val to_csv : result -> path:string -> unit
@@ -56,6 +60,7 @@ type multi = {
 }
 
 val run_multi :
+  ?jobs:int ->
   ?seeds:int ->
   ?lines_per_point:int ->
   ?p_flips:float list ->

@@ -23,6 +23,7 @@ type result = {
 }
 
 val run :
+  ?jobs:int ->
   ?instrs_per_core:int ->
   ?seed:int64 ->
   ?same:Ptg_workloads.Workload.spec list ->
@@ -31,7 +32,9 @@ val run :
   unit ->
   result
 (** Defaults: every workload as a SAME configuration (the paper runs 18)
-    plus 16 random MIXes, 400K instructions per core, baseline design. *)
+    plus 16 random MIXes, 400K instructions per core, baseline design.
+    [jobs] fans the SAME/MIX cases across domains; results are
+    independent of the job count. *)
 
 val print : result -> unit
 val to_csv : result -> path:string -> unit

@@ -1,0 +1,81 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Shared task queue. All tasks (indices into the input array) are
+   enqueued and the queue closed before workers start; the condition
+   variable lets workers sleep in the (here: impossible-by-construction,
+   but cheap to handle) window where the queue is empty but not closed,
+   and wakes everyone on failure so the pool drains promptly. *)
+type state = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  tasks : int Queue.t;
+  mutable closed : bool;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+}
+
+let take st =
+  Mutex.lock st.mutex;
+  let rec next () =
+    if st.error <> None then None
+    else if not (Queue.is_empty st.tasks) then Some (Queue.pop st.tasks)
+    else if st.closed then None
+    else begin
+      Condition.wait st.nonempty st.mutex;
+      next ()
+    end
+  in
+  let r = next () in
+  Mutex.unlock st.mutex;
+  r
+
+let fail st exn bt =
+  Mutex.lock st.mutex;
+  if st.error = None then st.error <- Some (exn, bt);
+  Queue.clear st.tasks;
+  Condition.broadcast st.nonempty;
+  Mutex.unlock st.mutex
+
+let parallel_map ?jobs f a =
+  let n = Array.length a in
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j -> if j < 1 then invalid_arg "Pool.parallel_map: jobs" else j
+  in
+  let jobs = min jobs n in
+  if jobs <= 1 then Array.map f a
+  else begin
+    let st =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        tasks = Queue.create ();
+        closed = false;
+        error = None;
+      }
+    in
+    (* [None] cells are only ever written (to [Some]) by the one worker
+       that popped that index; Domain.join publishes them to the caller. *)
+    let results = Array.make n None in
+    let rec worker () =
+      match take st with
+      | None -> ()
+      | Some i -> (
+          match f a.(i) with
+          | v ->
+              results.(i) <- Some v;
+              worker ()
+          | exception exn -> fail st exn (Printexc.get_raw_backtrace ()))
+    in
+    Mutex.lock st.mutex;
+    for i = 0 to n - 1 do
+      Queue.push i st.tasks
+    done;
+    st.closed <- true;
+    Mutex.unlock st.mutex;
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    match st.error with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> Array.map (function Some v -> v | None -> assert false) results
+  end

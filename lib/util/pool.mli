@@ -1,0 +1,26 @@
+(** Fixed-size domain pool for embarrassingly-parallel experiment sweeps.
+
+    Every figure of the paper's evaluation is a sweep over independent
+    (workload, seed, configuration) runs, each of which builds its own
+    {!Rng} and engine state from an explicit seed. [parallel_map] fans
+    such runs out across OCaml 5 domains: a fixed set of workers pulls
+    tasks from a mutex/condvar-protected queue (no work stealing), so
+    results are bit-identical to serial execution — the job count only
+    changes wall-clock time, never a number. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the number of workers used when
+    [?jobs] is omitted. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ~jobs f a] is [Array.map f a], computed by up to [jobs]
+    worker domains (default {!default_jobs}; capped at [Array.length a]).
+    Input order is preserved. [jobs <= 1] runs serially in the calling
+    domain with no spawns. If any [f] raises, remaining queued tasks are
+    abandoned and the first exception (in completion order) is re-raised
+    at the join point with its backtrace. Raises [Invalid_argument] if
+    [jobs < 1].
+
+    [f] must not assume it runs in the calling domain; tasks must be
+    independent (sharing only immutable or per-task state), which is what
+    seed-derived experiment runs guarantee. *)

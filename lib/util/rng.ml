@@ -37,12 +37,14 @@ let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
 let int64_bounded t bound =
   if Int64.compare bound 0L <= 0 then invalid_arg "Rng.int64_bounded";
-  (* Rejection sampling over the top bits to avoid modulo bias. *)
+  (* Rejection sampling over 63 random bits to avoid modulo bias: accept
+     [r] iff it falls below the largest multiple of [bound] that fits in
+     2^63, i.e. iff [r - (r mod bound) <= 2^63 - bound]. *)
+  let limit = Int64.sub Int64.max_int (Int64.sub bound 1L) in
   let rec go () =
     let r = Int64.shift_right_logical (next t) 1 in
     let v = Int64.rem r bound in
-    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound) 1L then go ()
-    else v
+    if Int64.compare (Int64.sub r v) limit > 0 then go () else v
   in
   go ()
 

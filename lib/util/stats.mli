@@ -28,7 +28,9 @@ val stderr : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [0,100], linear interpolation between
-    order statistics. The input array is not modified. *)
+    order statistics. The input array is not modified. NaN samples carry
+    no order information, so any NaN in [xs] raises [Invalid_argument]
+    rather than silently skewing the order statistics. *)
 
 val summarize : float array -> summary
 

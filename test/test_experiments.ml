@@ -108,6 +108,42 @@ let test_attacks_matrix () =
   Alcotest.(check bool) "TRRespass defeats TRR" true
     ((find "sync many-sided (TRRespass)" "TRR").Ptg_sim.Attacks_exp.bit_flips > 0)
 
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let test_fig6_jobs_determinism () =
+  (* The determinism guarantee of Ptg_util.Pool: same seed => byte-identical
+     CSV regardless of the job count. *)
+  let workloads =
+    List.filter_map Ptg_workloads.Workload.by_name [ "povray"; "omnetpp"; "mcf" ]
+  in
+  let csv jobs =
+    let r = Ptg_sim.Fig6.run ~jobs ~instrs:60_000 ~warmup:20_000 ~workloads () in
+    let path = Filename.temp_file "ptg_jobs" ".csv" in
+    Ptg_sim.Fig6.to_csv r ~path;
+    slurp path
+  in
+  Alcotest.(check string) "fig6 CSV byte-identical, jobs 1 vs 4" (csv 1) (csv 4)
+
+let test_fig9_jobs_determinism () =
+  let workloads = List.filter_map Ptg_workloads.Workload.by_name [ "mcf"; "pr" ] in
+  let cells jobs =
+    let r =
+      Ptg_sim.Fig9.run ~jobs ~lines_per_point:25 ~p_flips:[ 1.0 /. 512.0 ]
+        ~workloads ()
+    in
+    List.map
+      (fun (c : Ptg_sim.Fig9.cell) ->
+        (c.Ptg_sim.Fig9.corrected, c.Ptg_sim.Fig9.uncorrectable, c.Ptg_sim.Fig9.benign))
+      r.Ptg_sim.Fig9.average
+  in
+  Alcotest.(check bool) "fig9 tallies identical, jobs 1 vs 3" true
+    (cells 1 = cells 3)
+
 let test_fig6_multi () =
   let workloads = List.filter_map Ptg_workloads.Workload.by_name [ "omnetpp" ] in
   let m = Ptg_sim.Fig6.run_multi ~seeds:3 ~instrs:80_000 ~warmup:30_000 ~workloads () in
@@ -207,6 +243,8 @@ let suite =
     Alcotest.test_case "fig9 (small)" `Slow test_fig9_small;
     Alcotest.test_case "multicore (small)" `Slow test_multicore_small;
     Alcotest.test_case "attacks matrix" `Slow test_attacks_matrix;
+    Alcotest.test_case "fig6 jobs determinism" `Slow test_fig6_jobs_determinism;
+    Alcotest.test_case "fig9 jobs determinism" `Slow test_fig9_jobs_determinism;
     Alcotest.test_case "fig6 multi-seed" `Slow test_fig6_multi;
     Alcotest.test_case "fig9 multi-seed" `Slow test_fig9_multi;
     Alcotest.test_case "security experiment" `Quick test_security_exp;

@@ -7,6 +7,7 @@ let () =
       ("util.bits", Test_bits.suite);
       ("util.rng", Test_rng.suite);
       ("util.stats", Test_stats.suite);
+      ("util.pool", Test_pool.suite);
       ("util.binomial", Test_binomial.suite);
       ("util.table", Test_table.suite);
       ("crypto.block128", Test_block128.suite);

@@ -1,0 +1,66 @@
+open Ptg_util
+
+(* Spin long enough that a slow first task finishes after every other
+   task when four workers run concurrently; the result array must still
+   come back in input order. *)
+let test_ordering_slow_first () =
+  let f i =
+    let spins = if i = 0 then 3_000_000 else 1_000 in
+    let acc = ref 0 in
+    for k = 1 to spins do
+      acc := !acc lxor k
+    done;
+    (i * 2) + (!acc land 0)
+  in
+  let input = Array.init 32 Fun.id in
+  let expected = Array.map (fun i -> i * 2) input in
+  Alcotest.(check (array int)) "order preserved under slow-first" expected
+    (Pool.parallel_map ~jobs:4 f input)
+
+let test_exception_propagates () =
+  Alcotest.check_raises "worker exception re-raised at join" (Failure "boom")
+    (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:3
+           (fun i -> if i = 5 then failwith "boom" else i)
+           (Array.init 16 Fun.id)))
+
+let test_jobs_one_serial () =
+  (* jobs:1 must take the spawn-free serial path and agree with Array.map. *)
+  let input = Array.init 10 Fun.id in
+  Alcotest.(check (array int)) "jobs:1 = Array.map"
+    (Array.map succ input)
+    (Pool.parallel_map ~jobs:1 succ input)
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs:0 rejected"
+    (Invalid_argument "Pool.parallel_map: jobs") (fun () ->
+      ignore (Pool.parallel_map ~jobs:0 Fun.id [| 1 |]))
+
+let test_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty input" [||]
+    (Pool.parallel_map ~jobs:4 succ [||]);
+  Alcotest.(check (array int)) "singleton input" [| 8 |]
+    (Pool.parallel_map ~jobs:4 succ [| 7 |])
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1)
+
+let prop_matches_array_map =
+  QCheck2.Test.make ~name:"parallel_map f = Array.map f" ~count:100
+    QCheck2.Gen.(pair (int_range 1 8) (array_size (int_range 0 64) int))
+    (fun (jobs, a) ->
+      let f x = (2 * x) + 1 in
+      Pool.parallel_map ~jobs f a = Array.map f a)
+
+let suite =
+  [
+    Alcotest.test_case "ordering under slow-first workload" `Quick
+      test_ordering_slow_first;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+    Alcotest.test_case "jobs:1 serial path" `Quick test_jobs_one_serial;
+    Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+    QCheck_alcotest.to_alcotest prop_matches_array_map;
+  ]

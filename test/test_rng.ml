@@ -47,6 +47,40 @@ let test_int64_bounds () =
       Alcotest.fail "int64_bounded out of bounds"
   done
 
+let test_int64_small_bound_uniform () =
+  (* Unbiased rejection sampling: each residue of a small bound must get
+     ~1/bound of the mass. With n = 70K draws over bound 7, each bucket
+     has sd ~92, so +-500 is a > 5-sigma tolerance. *)
+  let rng = Rng.create 13L in
+  let bound = 7 in
+  let counts = Array.make bound 0 in
+  let n = 70_000 in
+  for _ = 1 to n do
+    let v = Int64.to_int (Rng.int64_bounded rng (Int64.of_int bound)) in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expect = n / bound in
+  Array.iteri
+    (fun i c ->
+      if abs (c - expect) > 500 then
+        Alcotest.failf "residue %d: %d draws, expected ~%d" i c expect)
+    counts
+
+let test_int64_large_bounds () =
+  (* Bounds near 2^63 reject close to half (or, at max_int, almost none)
+     of the raw draws; the fixed accept condition must terminate and stay
+     in range rather than discarding full valid blocks. *)
+  let rng = Rng.create 17L in
+  let check bound =
+    for _ = 1 to 1000 do
+      let v = Rng.int64_bounded rng bound in
+      if Int64.compare v 0L < 0 || Int64.compare v bound >= 0 then
+        Alcotest.failf "int64_bounded %Ld out of range: %Ld" bound v
+    done
+  in
+  check (Int64.add (Int64.shift_left 1L 62) 3L);
+  check Int64.max_int
+
 let test_float_range () =
   let rng = Rng.create 11L in
   for _ = 1 to 1000 do
@@ -117,6 +151,9 @@ let suite =
     Alcotest.test_case "split independence" `Quick test_split_independence;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int64 bounds" `Quick test_int64_bounds;
+    Alcotest.test_case "int64 small-bound uniformity" `Quick
+      test_int64_small_bound_uniform;
+    Alcotest.test_case "int64 large bounds" `Quick test_int64_large_bounds;
     Alcotest.test_case "float range" `Quick test_float_range;
     Alcotest.test_case "bernoulli edges" `Quick test_bernoulli_edges;
     Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;

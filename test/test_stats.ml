@@ -35,6 +35,21 @@ let test_percentile () =
   ignore (Stats.percentile ys 50.0);
   Alcotest.(check (float 0.0)) "input not sorted in place" 3.0 ys.(0)
 
+let test_percentile_float_ordering () =
+  (* Regression: sorting must use Float.compare, and mixed-sign unsorted
+     input must land on the true order statistics. *)
+  check_f "median of mixed signs" 1.0
+    (Stats.percentile [| -5.0; 3.0; -1.0; 7.0 |] 50.0);
+  check_f "p25 of mixed signs" (-2.0)
+    (Stats.percentile [| -5.0; 3.0; -1.0; 7.0 |] 25.0);
+  check_f "infinities sort last" 3.0
+    (Stats.percentile [| infinity; 3.0; neg_infinity |] 50.0)
+
+let test_percentile_nan_rejected () =
+  Alcotest.check_raises "NaN input raises"
+    (Invalid_argument "Stats.percentile: NaN sample") (fun () ->
+      ignore (Stats.percentile [| 1.0; Float.nan; 2.0 |] 50.0))
+
 let test_summarize () =
   let s = Stats.summarize [| 2.0; 4.0; 6.0 |] in
   Alcotest.(check int) "n" 3 s.Stats.n;
@@ -70,6 +85,9 @@ let suite =
     Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
     Alcotest.test_case "stderr" `Quick test_stderr;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile float ordering" `Quick
+      test_percentile_float_ordering;
+    Alcotest.test_case "percentile rejects NaN" `Quick test_percentile_nan_rejected;
     Alcotest.test_case "summarize" `Quick test_summarize;
     Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
     QCheck_alcotest.to_alcotest prop_mean_bounds;
