@@ -65,6 +65,16 @@ let timing_core = Ptg_cpu.Core.create ~guard:Ptg_cpu.Guard_timing.unprotected ()
 let dram = Ptg_dram.Dram.create ()
 let dram_cursor = ref 0
 
+(* Observability fixtures (after the unobserved engines, so their RNG
+   draws are unchanged). *)
+let obs_sink = Ptg_obs.Sink.create ()
+
+let observed_engine =
+  Ptguard.Engine.create ~config:Ptguard.Config.baseline ~obs:obs_sink ~rng ()
+
+let stored_pte_obs = Ptguard.Engine.process_write observed_engine ~addr pte_line
+let obs_counter = Ptg_obs.Registry.counter (Ptg_obs.Sink.registry obs_sink) "bench_ticks"
+
 let micro_tests =
   [
     Test.make ~name:"qarma128/encrypt"
@@ -98,6 +108,12 @@ let micro_tests =
     Test.make ~name:"correction/worst-case-Gmax"
       (Staged.stage (fun () ->
            Ptguard.Correction.correct Ptguard.Config.baseline key ~addr hopeless));
+    Test.make ~name:"obs/counter-incr"
+      (Staged.stage (fun () -> Ptg_obs.Registry.incr obs_counter));
+    Test.make ~name:"engine/read-pte-verify-observed"
+      (Staged.stage (fun () ->
+           Ptguard.Engine.process_read observed_engine ~addr ~is_pte:true
+             stored_pte_obs));
     Test.make ~name:"dram/timed-access"
       (Staged.stage (fun () ->
            incr dram_cursor;
@@ -236,10 +252,52 @@ let run_scaling () =
     t_serial parallel_jobs t_parallel (t_serial /. t_parallel)
     (String.equal (csv r_serial) (csv r_parallel))
 
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: the same Figure 6 sweep with the sink off    *)
+(* and on. The disabled path is a single option branch per operation,   *)
+(* so "off" must match the pre-observability wall clock; "on" bounds    *)
+(* the full-instrumentation cost quoted in README.md.                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_obs_overhead () =
+  section "Observability overhead: Figure 6 sweep, obs off vs on";
+  let instrs = if full then 1_000_000 else 300_000 in
+  let warmup = if full then 300_000 else 100_000 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_off, r_off = timed (fun () -> Ptg_sim.Fig6.run ~jobs ~instrs ~warmup ()) in
+  let sink = Ptg_obs.Sink.create () in
+  let t_on, r_on =
+    timed (fun () -> Ptg_sim.Fig6.run ~jobs ~instrs ~warmup ~obs:sink ())
+  in
+  let rows = Ptg_obs.Registry.rows (Ptg_obs.Sink.metrics sink) in
+  Printf.printf
+    "  obs off: %6.2f s\n\
+    \  obs on:  %6.2f s (%+.1f%% wall clock)\n\
+    \  collected: %d metric rows, %d trace events\n\
+    \  figure results identical: %b\n"
+    t_off t_on
+    (100.0 *. ((t_on -. t_off) /. t_off))
+    (List.length rows)
+    (Ptg_obs.Trace.recorded (Ptg_obs.Sink.trace sink))
+    (r_off = r_on)
+
 let () =
   Printf.printf "PT-Guard bench harness (%s sizes, %d worker domains)\n\n%!"
     (if full then "full" else "reduced; set PTG_BENCH_FULL=1 for paper-scale")
     jobs;
-  run_micro ();
-  run_experiments ();
-  run_scaling ()
+  (* PTG_BENCH_ONLY=micro|experiments|scaling|obs runs a single section. *)
+  match Sys.getenv_opt "PTG_BENCH_ONLY" with
+  | Some "micro" -> run_micro ()
+  | Some "experiments" -> run_experiments ()
+  | Some "scaling" -> run_scaling ()
+  | Some "obs" -> run_obs_overhead ()
+  | Some other -> invalid_arg ("unknown PTG_BENCH_ONLY section: " ^ other)
+  | None ->
+      run_micro ();
+      run_experiments ();
+      run_scaling ();
+      run_obs_overhead ()

@@ -56,22 +56,106 @@ let seeds_arg =
         ~docv:"N"
         ~doc:"Repeat over N seeds and report mean/stderr (N > 1).")
 
+(* Observability plumbing: --metrics/--trace pick their format from the
+   file extension (.json/.jsonl -> line-JSON, anything else -> CSV). *)
+let jsonl_path path =
+  Filename.check_suffix path ".jsonl" || Filename.check_suffix path ".json"
+
+let save_metrics sink path =
+  let snap = Ptg_obs.Sink.metrics sink in
+  if jsonl_path path then Ptg_obs.Registry.save_jsonl snap ~path
+  else Ptg_obs.Registry.save_csv snap ~path
+
+let save_trace sink path =
+  let trace = Ptg_obs.Sink.trace sink in
+  if jsonl_path path then Ptg_obs.Trace.save_jsonl trace ~path
+  else Ptg_obs.Trace.save_csv trace ~path
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Collect observability metrics and write them to $(docv) \
+           (.json/.jsonl for line-JSON, otherwise CSV).")
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"PATH"
+        ~doc:
+          "Collect the structured event trace and write it to $(docv) \
+           (.json/.jsonl for line-JSON, otherwise CSV).")
+
+let sink_of ~trace ~metrics =
+  if trace <> None || metrics <> None then Some (Ptg_obs.Sink.create ()) else None
+
+let export_sink sink ~trace ~metrics =
+  match sink with
+  | None -> ()
+  | Some s ->
+      Option.iter (save_metrics s) metrics;
+      Option.iter (save_trace s) trace
+
+let warmup_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "warmup" ] ~docv:"N" ~doc:"Warmup instructions per workload.")
+
+let workloads_arg =
+  let workloads_conv =
+    let parse s =
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | name :: rest -> (
+            match Ptg_workloads.Workload.by_name name with
+            | Some spec -> go (spec :: acc) rest
+            | None ->
+                Error
+                  (`Msg
+                    (Printf.sprintf "unknown workload %s (try: %s)" name
+                       (String.concat ", " Ptg_workloads.Workload.names))))
+      in
+      go [] (String.split_on_char ',' s)
+    in
+    let print fmt specs =
+      Format.pp_print_string fmt
+        (String.concat ","
+           (List.map (fun s -> s.Ptg_workloads.Workload.name) specs))
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some workloads_conv) None
+    & info [ "workloads" ] ~docv:"W1,W2,.."
+        ~doc:"Comma-separated workload subset (default: all 25).")
+
 let fig6_cmd =
-  let run seed instrs design seeds jobs csv =
+  let run seed instrs warmup design workloads seeds jobs csv trace metrics =
+    let obs = sink_of ~trace ~metrics in
+    let config = config_of_design design in
     if seeds > 1 then
       Ptg_sim.Fig6.print_multi
-        (Ptg_sim.Fig6.run_multi ~jobs ~seeds ~instrs ~config:(config_of_design design) ())
+        (Ptg_sim.Fig6.run_multi ~jobs ~seeds ~instrs ~warmup ~config ?workloads
+           ?obs ())
     else begin
-      let r = Ptg_sim.Fig6.run ~jobs ~seed ~instrs ~config:(config_of_design design) () in
+      let r =
+        Ptg_sim.Fig6.run ~jobs ~seed ~instrs ~warmup ~config ?workloads ?obs ()
+      in
       Ptg_sim.Fig6.print r;
       Option.iter (fun path -> Ptg_sim.Fig6.to_csv r ~path) csv
-    end
+    end;
+    export_sink obs ~trace ~metrics
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Figure 6: per-workload normalized IPC and LLC MPKI.")
     Term.(
-      const run $ seed_arg $ instrs_arg 2_000_000 $ design_arg $ seeds_arg $ jobs_arg
-      $ csv_arg)
+      const run $ seed_arg $ instrs_arg 2_000_000 $ warmup_arg 500_000 $ design_arg
+      $ workloads_arg $ seeds_arg $ jobs_arg $ csv_arg $ trace_file_arg
+      $ metrics_arg)
 
 let fig7_cmd =
   let run seed instrs jobs csv =
@@ -233,14 +317,15 @@ let fullsys_cmd =
   let instrs =
     Arg.(value & opt int 60_000 & info [ "instrs" ] ~docv:"N" ~doc:"Instructions.")
   in
-  let run seed instrs =
+  let run seed instrs trace metrics =
+    let obs = sink_of ~trace ~metrics in
     print_endline
       "Full-system co-simulation: real page tables in DRAM, functional\n\
        PT-Guard on every walk, Rowhammer attacker running concurrently.\n";
     List.iter
       (fun (label, guarded, attack) ->
         let config = { Ptg_sim.Fullsys.default_config with guarded; attack } in
-        let t = Ptg_sim.Fullsys.create ~config ~seed () in
+        let t = Ptg_sim.Fullsys.create ~config ?obs ~seed () in
         let r = Ptg_sim.Fullsys.run t ~instrs in
         Printf.printf "=== %s ===\n" label;
         Format.printf "%a@.@." Ptg_sim.Fullsys.pp_result r)
@@ -251,13 +336,40 @@ let fullsys_cmd =
       ];
     print_endline
       "The number that matters: WRONG TRANSLATIONS is nonzero only on the\n\
-       unprotected machine — the invariant of Section IV-G holds."
+       unprotected machine — the invariant of Section IV-G holds.";
+    export_sink obs ~trace ~metrics
   in
   Cmd.v
     (Cmd.info "fullsys"
        ~doc:"Full-system co-simulation: execution + live Rowhammer + functional \
              PT-Guard on real in-DRAM page tables.")
-    Term.(const run $ seed_arg $ instrs)
+    Term.(const run $ seed_arg $ instrs $ trace_file_arg $ metrics_arg)
+
+let stats_cmd =
+  let instrs =
+    Arg.(value & opt int 20_000 & info [ "instrs" ] ~docv:"N" ~doc:"Instructions.")
+  in
+  let pages =
+    Arg.(value & opt int 512 & info [ "pages" ] ~docv:"N" ~doc:"Mapped pages.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the registry as line-JSON instead of CSV.")
+  in
+  let run seed instrs pages json trace =
+    let r = Ptg_sim.Stats_exp.run ~seed ~pages ~instrs () in
+    let snap = Ptg_obs.Sink.metrics r.Ptg_sim.Stats_exp.sink in
+    print_string
+      (if json then Ptg_obs.Registry.to_jsonl snap
+       else Ptg_obs.Registry.to_csv snap);
+    Option.iter (save_trace r.Ptg_sim.Stats_exp.sink) trace
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"One fully-observed full-system run; dump every metric the stack \
+             reports (engine, memory controller, DRAM, TLB, OS journal).")
+    Term.(const run $ seed_arg $ instrs $ pages $ json $ trace_file_arg)
 
 let all_cmd =
   let run seed jobs =
@@ -300,5 +412,5 @@ let () =
           [
             fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; security_cmd; multicore_cmd;
             tables_cmd; attacks_cmd; baselines_cmd; ablations_cmd; trace_cmd;
-            fullsys_cmd; all_cmd;
+            fullsys_cmd; stats_cmd; all_cmd;
           ]))

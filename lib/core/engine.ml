@@ -35,6 +35,47 @@ type read_result = {
   raw_line : Ptg_pte.Line.t;
 }
 
+(* Observability mirror of [stats]: registry counters resolved once at
+   creation, plus the shared trace ring. [None] when the engine was built
+   without a sink — the disabled path costs one option branch. *)
+type obs = {
+  o_writes_total : Ptg_obs.Registry.counter;
+  o_writes_protected : Ptg_obs.Registry.counter;
+  o_writes_unprotected : Ptg_obs.Registry.counter;
+  o_writes_mac_zero : Ptg_obs.Registry.counter;
+  o_collisions : Ptg_obs.Registry.counter;
+  o_ctb_overflows : Ptg_obs.Registry.counter;
+  o_reads_total : Ptg_obs.Registry.counter;
+  o_reads_pte : Ptg_obs.Registry.counter;
+  o_mac_computations : Ptg_obs.Registry.counter;
+  o_macs_stripped : Ptg_obs.Registry.counter;
+  o_integrity_failures : Ptg_obs.Registry.counter;
+  o_corrections_attempted : Ptg_obs.Registry.counter;
+  o_corrections_succeeded : Ptg_obs.Registry.counter;
+  o_rekeys : Ptg_obs.Registry.counter;
+  o_trace : Ptg_obs.Trace.t;
+}
+
+let obs_of_sink sink =
+  let c = Ptg_obs.Registry.counter (Ptg_obs.Sink.registry sink) in
+  {
+    o_writes_total = c "engine_writes_total";
+    o_writes_protected = c "engine_writes_protected";
+    o_writes_unprotected = c "engine_writes_unprotected";
+    o_writes_mac_zero = c "engine_writes_mac_zero";
+    o_collisions = c "engine_collisions_tracked";
+    o_ctb_overflows = c "engine_ctb_overflows";
+    o_reads_total = c "engine_reads_total";
+    o_reads_pte = c "engine_reads_pte";
+    o_mac_computations = c "engine_mac_computations";
+    o_macs_stripped = c "engine_macs_stripped";
+    o_integrity_failures = c "engine_integrity_failures";
+    o_corrections_attempted = c "engine_corrections_attempted";
+    o_corrections_succeeded = c "engine_corrections_succeeded";
+    o_rekeys = c "engine_rekeys";
+    o_trace = Ptg_obs.Sink.trace sink;
+  }
+
 type t = {
   config : Config.t;
   mutable key : Qarma.key;
@@ -43,7 +84,14 @@ type t = {
   ctb : Ctb.t;
   stats : stats;
   mutable listeners : (os_event -> unit) list;
+  obs : obs option;
 }
+
+let obs_incr t sel =
+  match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr (sel o)
+
+let obs_event t e =
+  match t.obs with None -> () | Some o -> Ptg_obs.Trace.record o.o_trace e
 
 let fresh_stats () =
   {
@@ -61,7 +109,7 @@ let fresh_stats () =
     rekeys = 0;
   }
 
-let create ?(config = Config.baseline) ~rng () =
+let create ?(config = Config.baseline) ?obs ~rng () =
   let key = Qarma.key_of_rng ~rounds:config.Config.qarma_rounds rng in
   let identifier =
     match config.Config.design with
@@ -78,6 +126,7 @@ let create ?(config = Config.baseline) ~rng () =
     ctb = Ctb.create ~capacity:config.Config.ctb_entries;
     stats = fresh_stats ();
     listeners = [];
+    obs = Option.map obs_of_sink obs;
   }
 
 let config t = t.config
@@ -131,6 +180,7 @@ let embed t ~addr line =
   let mac =
     if t.config.Config.design = Config.Optimized && is_zero_line then begin
       t.stats.writes_mac_zero <- t.stats.writes_mac_zero + 1;
+      obs_incr t (fun o -> o.o_writes_mac_zero);
       t.mac_zero
     end
     else compute_mac t ~addr line
@@ -142,20 +192,28 @@ let embed t ~addr line =
 
 let process_write t ~addr line =
   t.stats.writes_total <- t.stats.writes_total + 1;
+  obs_incr t (fun o -> o.o_writes_total);
   if pattern_matches t line then begin
     t.stats.writes_protected <- t.stats.writes_protected + 1;
+    obs_incr t (fun o -> o.o_writes_protected);
     (* A protected write replaces whatever colliding data was there. *)
     Ctb.remove t.ctb addr;
     embed t ~addr line
   end
   else begin
+    obs_incr t (fun o -> o.o_writes_unprotected);
     if would_collide t ~addr line then begin
       match Ctb.add t.ctb addr with
       | `Added ->
           t.stats.collisions_tracked <- t.stats.collisions_tracked + 1;
+          obs_incr t (fun o -> o.o_collisions);
+          obs_event t (Ptg_obs.Trace.Ctb_insert { addr });
           emit t (Collision_detected { addr })
       | `Already_present -> ()
-      | `Full -> emit t Ctb_overflow
+      | `Full ->
+          obs_incr t (fun o -> o.o_ctb_overflows);
+          obs_event t Ptg_obs.Trace.Ctb_overflow;
+          emit t Ctb_overflow
     end
     else Ctb.remove t.ctb addr;
     Ptg_pte.Line.copy line
@@ -191,19 +249,27 @@ let read_pte t ~addr line =
   in
   if mac_zero_hit then begin
     t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+    obs_incr t (fun o -> o.o_macs_stripped);
+    obs_event t (Ptg_obs.Trace.Mac_verify { addr; ok = true });
     { line = Some (strip t line); integrity = Passed; extra_latency = 0;
       raw_line = line }
   end
   else begin
   t.stats.mac_computations <- t.stats.mac_computations + 1;
+  obs_incr t (fun o -> o.o_mac_computations);
   let computed = compute_mac t ~addr line in
   if embedded_matches ~stored ~computed then begin
     t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+    obs_incr t (fun o -> o.o_macs_stripped);
+    obs_event t (Ptg_obs.Trace.Mac_verify { addr; ok = true });
     { line = Some (strip t line); integrity = Passed; extra_latency = mac_latency;
       raw_line = line }
   end
-  else if t.config.Config.correction_enabled then begin
+  else begin
+  obs_event t (Ptg_obs.Trace.Mac_verify { addr; ok = false });
+  if t.config.Config.correction_enabled then begin
     t.stats.corrections_attempted <- t.stats.corrections_attempted + 1;
+    obs_incr t (fun o -> o.o_corrections_attempted);
     let candidate = restore_identifier t line in
     let mac_zero =
       match t.config.Config.design with
@@ -213,6 +279,10 @@ let read_pte t ~addr line =
     match Correction.correct ?mac_zero:(Option.map Fun.id mac_zero) t.config t.key ~addr candidate with
     | Correction.Corrected { line = fixed; step; guesses } ->
         t.stats.corrections_succeeded <- t.stats.corrections_succeeded + 1;
+        obs_incr t (fun o -> o.o_corrections_succeeded);
+        obs_event t
+          (Ptg_obs.Trace.Correction
+             { addr; step = Correction.step_name step; guesses; ok = true });
         {
           line = Some (strip t fixed);
           integrity = Corrected { step; guesses };
@@ -221,6 +291,9 @@ let read_pte t ~addr line =
         }
     | Correction.Uncorrectable { guesses } ->
         t.stats.integrity_failures <- t.stats.integrity_failures + 1;
+        obs_incr t (fun o -> o.o_integrity_failures);
+        obs_event t
+          (Ptg_obs.Trace.Correction { addr; step = "uncorrectable"; guesses; ok = false });
         emit t (Pte_integrity_failure { addr });
         {
           line = None;
@@ -231,8 +304,10 @@ let read_pte t ~addr line =
   end
   else begin
     t.stats.integrity_failures <- t.stats.integrity_failures + 1;
+    obs_incr t (fun o -> o.o_integrity_failures);
     emit t (Pte_integrity_failure { addr });
     { line = None; integrity = Failed; extra_latency = mac_latency; raw_line = line }
+  end
   end
   end
 
@@ -240,10 +315,12 @@ let read_data_baseline t ~addr line =
   let module L = (val layout t : Layout.S) in
   let mac_latency = t.config.Config.mac_latency_cycles in
   t.stats.mac_computations <- t.stats.mac_computations + 1;
+  obs_incr t (fun o -> o.o_mac_computations);
   let computed = compute_mac t ~addr line in
   let stored = L.extract_mac line in
   if embedded_matches ~stored ~computed then begin
     t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+    obs_incr t (fun o -> o.o_macs_stripped);
     { line = Some (strip t line); integrity = Data_protected;
       extra_latency = mac_latency; raw_line = line }
   end
@@ -265,14 +342,17 @@ let read_data_optimized t ~addr line =
     if rest_is_zero && embedded_matches ~stored ~computed:t.mac_zero then begin
       (* MAC-zero shortcut: comparison against the on-chip constant only. *)
       t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+      obs_incr t (fun o -> o.o_macs_stripped);
       { line = Some (strip t line); integrity = Data_protected;
         extra_latency = 0; raw_line = line }
     end
     else begin
       t.stats.mac_computations <- t.stats.mac_computations + 1;
+      obs_incr t (fun o -> o.o_mac_computations);
       let computed = compute_mac t ~addr line in
       if embedded_matches ~stored ~computed then begin
         t.stats.macs_stripped <- t.stats.macs_stripped + 1;
+        obs_incr t (fun o -> o.o_macs_stripped);
         { line = Some (strip t line); integrity = Data_protected;
           extra_latency = mac_latency; raw_line = line }
       end
@@ -284,8 +364,10 @@ let read_data_optimized t ~addr line =
 
 let process_read t ~addr ~is_pte line =
   t.stats.reads_total <- t.stats.reads_total + 1;
+  obs_incr t (fun o -> o.o_reads_total);
   if is_pte then begin
     t.stats.reads_pte <- t.stats.reads_pte + 1;
+    obs_incr t (fun o -> o.o_reads_pte);
     (* Page-table walks are always verified, CTB or not: a PTE line can
        never legitimately be a tracked collision because the kernel's
        protected write evicts any stale CTB entry. *)
@@ -300,7 +382,10 @@ let process_read t ~addr ~is_pte line =
     | Config.Optimized -> read_data_optimized t ~addr line
 
 let rekey t ~rng ~iter_lines =
-  let old = { t with stats = fresh_stats (); listeners = [] } in
+  (* [old] is a read-only view under the outgoing key: no stats, no
+     listeners, and no observability (the re-embedding writes on [t] are
+     the ones that count). *)
+  let old = { t with stats = fresh_stats (); listeners = []; obs = None } in
   t.key <- Qarma.key_of_rng ~rounds:t.config.Config.qarma_rounds rng;
   t.mac_zero <- Mac.truncate ~width:t.config.Config.mac_bits (Mac.compute_zero t.key);
   Ctb.clear t.ctb;
@@ -324,6 +409,8 @@ let rekey t ~rng ~iter_lines =
       in
       process_write t ~addr logical);
   t.stats.rekeys <- t.stats.rekeys + 1;
+  obs_incr t (fun o -> o.o_rekeys);
+  obs_event t (Ptg_obs.Trace.Rekey { writes = !count });
   emit t (Rekey_completed { writes = !count })
 
 let pte_bounds_check t line =

@@ -67,9 +67,14 @@ type read_result = {
 
 type t
 
-val create : ?config:Config.t -> rng:Ptg_util.Rng.t -> unit -> t
+val create :
+  ?config:Config.t -> ?obs:Ptg_obs.Sink.t -> rng:Ptg_util.Rng.t -> unit -> t
 (** Draws the QARMA key and (Optimized) the 56-bit identifier from [rng].
-    Default config: {!Config.baseline}. *)
+    Default config: {!Config.baseline}. When [obs] is given, every {!stats}
+    field is mirrored into [engine_*] counters and MAC-verify / correction /
+    CTB / rekey events are recorded in the trace ring; without it the
+    engine's behaviour and RNG stream are unchanged (a single [option]
+    branch per operation). *)
 
 val config : t -> Config.t
 val stats : t -> stats

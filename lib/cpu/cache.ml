@@ -8,16 +8,27 @@ let mmu_8k = { size_bytes = 8 * 1024; assoc = 4; line_bytes = 8; latency = 1 }
 
 type way = { mutable tag : int64; mutable valid : bool; mutable dirty : bool; mutable lru : int }
 
+type obs = {
+  o_accesses : Ptg_obs.Registry.counter;
+  o_misses : Ptg_obs.Registry.counter;
+}
+
 type t = {
   cfg : config;
   sets : way array array;
   set_count : int;
+  obs : obs option;
   mutable tick : int;
   mutable accesses : int;
   mutable misses : int;
 }
 
-let create cfg =
+let obs_of_sink ~name sink =
+  let labels = [ ("cache", name) ] in
+  let c = Ptg_obs.Registry.counter (Ptg_obs.Sink.registry sink) ~labels in
+  { o_accesses = c "cache_accesses"; o_misses = c "cache_misses" }
+
+let create ?obs ?(name = "cache") cfg =
   if cfg.size_bytes mod (cfg.assoc * cfg.line_bytes) <> 0 then
     invalid_arg "Cache.create: geometry does not divide";
   let set_count = cfg.size_bytes / (cfg.assoc * cfg.line_bytes) in
@@ -28,6 +39,7 @@ let create cfg =
           Array.init cfg.assoc (fun _ ->
               { tag = 0L; valid = false; dirty = false; lru = 0 }));
     set_count;
+    obs = Option.map (obs_of_sink ~name) obs;
     tick = 0;
     accesses = 0;
     misses = 0;
@@ -54,6 +66,7 @@ let line_addr_of t ~set_idx ~tag =
 let access t ~addr ~is_write =
   t.tick <- t.tick + 1;
   t.accesses <- t.accesses + 1;
+  (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_accesses);
   let set, set_idx, tag = locate t addr in
   match Array.find_opt (fun w -> w.valid && Int64.equal w.tag tag) set with
   | Some w ->
@@ -62,6 +75,7 @@ let access t ~addr ~is_write =
       Hit
   | None ->
       t.misses <- t.misses + 1;
+      (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_misses);
       (* Victim: invalid way if any, else true-LRU. *)
       let victim =
         match Array.find_opt (fun w -> not w.valid) set with

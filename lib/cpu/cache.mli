@@ -33,7 +33,11 @@ type result =
   | Miss of { writeback : int64 option }
       (** [writeback] is the dirty victim's line address, if any. *)
 
-val create : config -> t
+val create : ?obs:Ptg_obs.Sink.t -> ?name:string -> config -> t
+(** With [obs], accesses and misses are mirrored into
+    [cache_accesses{cache="name"}] / [cache_misses{cache="name"}]
+    (default label ["cache"]). *)
+
 val config : t -> config
 
 val access : t -> addr:int64 -> is_write:bool -> result

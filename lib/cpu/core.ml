@@ -35,6 +35,22 @@ type result = {
   guard_mac_computations : int;
 }
 
+type obs = {
+  o_dram_reads : Ptg_obs.Registry.counter;
+  o_pte_dram_reads : Ptg_obs.Registry.counter;
+  o_walks : Ptg_obs.Registry.counter;
+  o_trace : Ptg_obs.Trace.t;
+}
+
+let obs_of_sink sink =
+  let c = Ptg_obs.Registry.counter (Ptg_obs.Sink.registry sink) in
+  {
+    o_dram_reads = c "core_dram_reads";
+    o_pte_dram_reads = c "core_pte_dram_reads";
+    o_walks = c "core_walks";
+    o_trace = Ptg_obs.Sink.trace sink;
+  }
+
 type t = {
   cfg : config;
   l1 : Cache.t;
@@ -44,6 +60,7 @@ type t = {
   mmu : Cache.t;
   dram : Ptg_dram.Dram.t;
   guard : Guard_timing.t;
+  obs : obs option;
   mutable now : int;
   mutable dram_reads : int;
   mutable pte_dram_reads : int;
@@ -51,16 +68,17 @@ type t = {
   mutable walk_listeners : (vpn:int64 -> leaf_line_addr:int64 -> unit) list;
 }
 
-let create ?(config = default_config) ?geometry ?timing ~guard () =
+let create ?(config = default_config) ?geometry ?timing ?obs ~guard () =
   {
     cfg = config;
-    l1 = Cache.create config.l1;
-    l2 = Cache.create config.l2;
-    l3 = Cache.create config.l3;
-    tlb = Tlb.create ~entries:config.tlb_entries ();
-    mmu = Cache.create config.mmu_cache;
-    dram = Ptg_dram.Dram.create ?geometry ?timing ();
+    l1 = Cache.create ?obs ~name:"l1" config.l1;
+    l2 = Cache.create ?obs ~name:"l2" config.l2;
+    l3 = Cache.create ?obs ~name:"l3" config.l3;
+    tlb = Tlb.create ~entries:config.tlb_entries ?obs ();
+    mmu = Cache.create ?obs ~name:"mmu" config.mmu_cache;
+    dram = Ptg_dram.Dram.create ?geometry ?timing ?obs ();
     guard;
+    obs = Option.map obs_of_sink obs;
     now = 0;
     dram_reads = 0;
     pte_dram_reads = 0;
@@ -105,6 +123,11 @@ let mem_access t ~paddr ~is_write ~is_pte ~through_l1 =
               let guard_extra = Guard_timing.read_penalty t.guard ~is_pte in
               if is_pte then t.pte_dram_reads <- t.pte_dram_reads + 1
               else t.dram_reads <- t.dram_reads + 1;
+              (match t.obs with
+              | None -> ()
+              | Some o ->
+                  Ptg_obs.Registry.incr
+                    (if is_pte then o.o_pte_dram_reads else o.o_dram_reads));
               l2_lat + l3_lat + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency
               + guard_extra))
 
@@ -114,6 +137,7 @@ let on_walk t f = t.walk_listeners <- f :: t.walk_listeners
 
 let walk t vpn =
   t.walks <- t.walks + 1;
+  (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_walks);
   List.iter
     (fun f ->
       f ~vpn ~leaf_line_addr:(Ptg_pte.Line.line_addr (leaf_pte_addr t vpn)))
@@ -124,6 +148,11 @@ let walk t vpn =
     match Cache.access t.mmu ~addr ~is_write:false with
     | Cache.Hit -> stall := !stall + 1
     | Cache.Miss _ ->
+        (match t.obs with
+        | None -> ()
+        | Some o ->
+            Ptg_obs.Trace.record o.o_trace
+              (Ptg_obs.Trace.Mmu_cache_miss { addr }));
         stall := !stall + mem_access t ~paddr:addr ~is_write:false ~is_pte:true ~through_l1:false
   done;
   let leaf = leaf_pte_addr t vpn in

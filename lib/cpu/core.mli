@@ -57,9 +57,16 @@ val create :
   ?config:config ->
   ?geometry:Ptg_dram.Geometry.t ->
   ?timing:Ptg_dram.Timing.t ->
+  ?obs:Ptg_obs.Sink.t ->
   guard:Guard_timing.t ->
   unit ->
   t
+(** With [obs], the core mirrors DRAM read counts and walks into
+    [core_*] counters, propagates the sink to its caches (labelled
+    [l1]/[l2]/[l3]/[mmu]), TLB and DRAM device, and records an
+    [Mmu_cache_miss] trace event per upper-level walk miss. The caller's
+    [guard] is {e not} rewired — build it with
+    {!Guard_timing.of_config} [?obs] to observe it too. *)
 
 val run : t -> instrs:int -> stream:(unit -> op) -> result
 (** Execute [instrs] instructions drawn from [stream]. Can be called

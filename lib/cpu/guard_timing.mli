@@ -15,6 +15,7 @@ val unprotected : t
 
 val of_config :
   ?p_data_protected:float ->
+  ?obs:Ptg_obs.Sink.t ->
   Ptguard.Config.t ->
   rng:Ptg_util.Rng.t ->
   t
@@ -23,7 +24,11 @@ val of_config :
     - [Baseline] design: ignored — every DRAM read computes the MAC;
     - [Optimized]: only reads whose identifier matches compute it; the
       paper measures < 2% of DRAM reads in total, of which page walks are
-      the majority, so the default for data reads is 0.005. *)
+      the majority, so the default for data reads is 0.005.
+
+    With [obs], reads and charged MAC computations are mirrored into
+    [guard_reads]/[guard_mac_computations]; the shared {!unprotected}
+    instance never carries a sink. *)
 
 val read_penalty : t -> is_pte:bool -> int
 (** Extra cycles charged to this DRAM read. *)

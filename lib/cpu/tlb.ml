@@ -1,16 +1,32 @@
 type entry = { mutable vpn : int64; mutable valid : bool; mutable lru : int }
 
+type obs = {
+  o_hits : Ptg_obs.Registry.counter;
+  o_misses : Ptg_obs.Registry.counter;
+  o_trace : Ptg_obs.Trace.t;
+}
+
 type t = {
   entries : entry array;
+  obs : obs option;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ?(entries = 64) () =
+let obs_of_sink sink =
+  let c = Ptg_obs.Registry.counter (Ptg_obs.Sink.registry sink) in
+  {
+    o_hits = c "tlb_hits";
+    o_misses = c "tlb_misses";
+    o_trace = Ptg_obs.Sink.trace sink;
+  }
+
+let create ?(entries = 64) ?obs () =
   if entries < 1 then invalid_arg "Tlb.create";
   {
     entries = Array.init entries (fun _ -> { vpn = 0L; valid = false; lru = 0 });
+    obs = Option.map obs_of_sink obs;
     tick = 0;
     hits = 0;
     misses = 0;
@@ -22,9 +38,15 @@ let lookup t ~vpn =
   | Some e ->
       e.lru <- t.tick;
       t.hits <- t.hits + 1;
+      (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_hits);
       true
   | None ->
       t.misses <- t.misses + 1;
+      (match t.obs with
+      | None -> ()
+      | Some o ->
+          Ptg_obs.Registry.incr o.o_misses;
+          Ptg_obs.Trace.record o.o_trace (Ptg_obs.Trace.Tlb_miss { vpn }));
       false
 
 let fill t ~vpn =

@@ -3,8 +3,10 @@
 
 type t
 
-val create : ?entries:int -> unit -> t
-(** Default 64 entries. *)
+val create : ?entries:int -> ?obs:Ptg_obs.Sink.t -> unit -> t
+(** Default 64 entries. With [obs], hits/misses are mirrored into
+    [tlb_hits]/[tlb_misses] and each miss records a [Tlb_miss] trace
+    event. *)
 
 val lookup : t -> vpn:int64 -> bool
 (** True on hit (updates LRU). A miss does {e not} install — call

@@ -3,11 +3,34 @@ type bank_state = {
   activations : (int, int) Hashtbl.t; (* row -> count since last refresh *)
 }
 
+type obs = {
+  o_activations : Ptg_obs.Registry.counter;
+  o_row_hits : Ptg_obs.Registry.counter;
+  o_row_conflicts : Ptg_obs.Registry.counter;
+  o_row_closed : Ptg_obs.Registry.counter;
+  o_refresh_epochs : Ptg_obs.Registry.counter;
+  o_hot_row_threshold : int;
+  o_trace : Ptg_obs.Trace.t;
+}
+
+let obs_of_sink ~hot_row_threshold sink =
+  let c = Ptg_obs.Registry.counter (Ptg_obs.Sink.registry sink) in
+  {
+    o_activations = c "dram_activations";
+    o_row_hits = c "dram_row_hits";
+    o_row_conflicts = c "dram_row_conflicts";
+    o_row_closed = c "dram_row_closed";
+    o_refresh_epochs = c "dram_refresh_epochs";
+    o_hot_row_threshold = hot_row_threshold;
+    o_trace = Ptg_obs.Sink.trace sink;
+  }
+
 type t = {
   geometry : Geometry.t;
   timing : Timing.t;
   banks : bank_state array array; (* channel -> flattened bank *)
   storage : (int64, Ptg_pte.Line.t) Hashtbl.t;
+  obs : obs option;
   mutable epoch : int;
   mutable activate_listeners : (Geometry.coords -> unit) list;
   mutable refresh_listeners : (channel:int -> bank:int -> row:int -> unit) list;
@@ -21,7 +44,8 @@ type access_result = {
   coords : Geometry.coords;
 }
 
-let create ?(geometry = Geometry.ddr4_4gb) ?(timing = Timing.ddr4_3ghz) () =
+let create ?(geometry = Geometry.ddr4_4gb) ?(timing = Timing.ddr4_3ghz)
+    ?obs ?(hot_row_threshold = 4096) () =
   {
     geometry;
     timing;
@@ -30,6 +54,7 @@ let create ?(geometry = Geometry.ddr4_4gb) ?(timing = Timing.ddr4_3ghz) () =
           Array.init (Geometry.total_banks geometry) (fun _ ->
               { open_row = None; activations = Hashtbl.create 64 }));
     storage = Hashtbl.create 4096;
+    obs = Option.map (obs_of_sink ~hot_row_threshold) obs;
     epoch = 0;
     activate_listeners = [];
     refresh_listeners = [];
@@ -47,6 +72,9 @@ let roll_epoch_if_needed t ~now =
   let epoch = now / t.timing.Timing.refresh_interval in
   if epoch > t.epoch then begin
     t.epoch <- epoch;
+    (match t.obs with
+    | None -> ()
+    | Some o -> Ptg_obs.Registry.incr o.o_refresh_epochs);
     (* All rows refreshed: activation counts restart. *)
     Array.iter
       (fun channel_banks ->
@@ -80,6 +108,30 @@ let access t ~now ~addr ~is_write =
       bump_activation b coords.Geometry.row;
       t.total_activations <- t.total_activations + 1;
       List.iter (fun f -> f coords) t.activate_listeners);
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+      (match outcome with
+      | Timing.Hit -> Ptg_obs.Registry.incr o.o_row_hits
+      | Timing.Conflict -> Ptg_obs.Registry.incr o.o_row_conflicts
+      | Timing.Closed_row -> Ptg_obs.Registry.incr o.o_row_closed);
+      if outcome <> Timing.Hit then begin
+        Ptg_obs.Registry.incr o.o_activations;
+        let row = coords.Geometry.row in
+        let count =
+          Option.value ~default:0 (Hashtbl.find_opt b.activations row)
+        in
+        (* Fire exactly once per refresh window, on the crossing access. *)
+        if count = o.o_hot_row_threshold then
+          Ptg_obs.Trace.record o.o_trace
+            (Ptg_obs.Trace.Row_activation
+               {
+                 channel = coords.Geometry.channel;
+                 bank = coords.Geometry.bank;
+                 row;
+                 count;
+               })
+      end);
   let latency =
     if is_write then Timing.write_latency t.timing outcome
     else Timing.read_latency t.timing outcome

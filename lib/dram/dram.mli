@@ -15,8 +15,18 @@ type access_result = {
   coords : Geometry.coords;
 }
 
-val create : ?geometry:Geometry.t -> ?timing:Timing.t -> unit -> t
-(** Defaults: {!Geometry.ddr4_4gb}, {!Timing.ddr4_3ghz}. *)
+val create :
+  ?geometry:Geometry.t ->
+  ?timing:Timing.t ->
+  ?obs:Ptg_obs.Sink.t ->
+  ?hot_row_threshold:int ->
+  unit ->
+  t
+(** Defaults: {!Geometry.ddr4_4gb}, {!Timing.ddr4_3ghz}. With [obs], the
+    device counts activations, row-buffer outcomes and refresh epochs
+    ([dram_*]) and records a [Row_activation] trace event the first time a
+    row's per-window activation count reaches [hot_row_threshold]
+    (default 4096, roughly half a DDR4 Rowhammer threshold). *)
 
 val geometry : t -> Geometry.t
 val timing : t -> Timing.t

@@ -1,12 +1,37 @@
+type obs = {
+  o_reads_total : Ptg_obs.Registry.counter;
+  o_reads_pte : Ptg_obs.Registry.counter;
+  o_reads_failed : Ptg_obs.Registry.counter;
+  o_writes_total : Ptg_obs.Registry.counter;
+  o_read_latency : Ptg_obs.Registry.histogram;
+}
+
+let obs_of_sink sink =
+  let reg = Ptg_obs.Sink.registry sink in
+  let c = Ptg_obs.Registry.counter reg in
+  {
+    o_reads_total = c "memctrl_reads_total";
+    o_reads_pte = c "memctrl_reads_pte";
+    o_reads_failed = c "memctrl_reads_failed";
+    o_writes_total = c "memctrl_writes_total";
+    o_read_latency = Ptg_obs.Registry.histogram reg "memctrl_read_latency";
+  }
+
 type t = {
   dram : Ptg_dram.Dram.t;
   engine : Ptguard.Engine.t option;
+  obs : obs option;
   mutable now : int;
 }
 
-let create ?engine dram = { dram; engine; now = 0 }
+let create ?engine ?obs dram =
+  { dram; engine; obs = Option.map obs_of_sink obs; now = 0 }
+
 let dram t = t.dram
 let engine t = t.engine
+
+let obs_incr t sel =
+  match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr (sel o)
 
 type read = {
   data : Ptg_pte.Line.t option;
@@ -20,25 +45,36 @@ let advance t = function
 
 let read_line t ?now ~addr ~is_pte () =
   advance t now;
+  obs_incr t (fun o -> o.o_reads_total);
+  if is_pte then obs_incr t (fun o -> o.o_reads_pte);
   let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr ~is_write:false in
   let stored = Ptg_dram.Dram.read_line t.dram addr in
-  match t.engine with
-  | None ->
-      {
-        data = Some stored;
-        integrity = Ptguard.Engine.Data_passthrough;
-        latency = r.Ptg_dram.Dram.latency;
-      }
-  | Some engine ->
-      let g = Ptguard.Engine.process_read engine ~addr ~is_pte stored in
-      {
-        data = g.Ptguard.Engine.line;
-        integrity = g.Ptguard.Engine.integrity;
-        latency = r.Ptg_dram.Dram.latency + g.Ptguard.Engine.extra_latency;
-      }
+  let result =
+    match t.engine with
+    | None ->
+        {
+          data = Some stored;
+          integrity = Ptguard.Engine.Data_passthrough;
+          latency = r.Ptg_dram.Dram.latency;
+        }
+    | Some engine ->
+        let g = Ptguard.Engine.process_read engine ~addr ~is_pte stored in
+        {
+          data = g.Ptguard.Engine.line;
+          integrity = g.Ptguard.Engine.integrity;
+          latency = r.Ptg_dram.Dram.latency + g.Ptguard.Engine.extra_latency;
+        }
+  in
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+      if result.data = None then Ptg_obs.Registry.incr o.o_reads_failed;
+      Ptg_obs.Registry.observe o.o_read_latency (float_of_int result.latency));
+  result
 
 let write_line t ?now ~addr line () =
   advance t now;
+  obs_incr t (fun o -> o.o_writes_total);
   let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr ~is_write:true in
   let stored =
     match t.engine with

@@ -11,8 +11,11 @@
 
 type t
 
-val create : ?engine:Ptguard.Engine.t -> Ptg_dram.Dram.t -> t
-(** Without an [engine], the controller is the unprotected baseline. *)
+val create : ?engine:Ptguard.Engine.t -> ?obs:Ptg_obs.Sink.t -> Ptg_dram.Dram.t -> t
+(** Without an [engine], the controller is the unprotected baseline.
+    With [obs], the controller counts reads/writes ([memctrl_*]),
+    failed page-walk reads, and a read-latency histogram; behaviour is
+    otherwise unchanged. *)
 
 val dram : t -> Ptg_dram.Dram.t
 val engine : t -> Ptguard.Engine.t option

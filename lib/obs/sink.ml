@@ -1,0 +1,18 @@
+type t = { registry : Registry.t; trace : Trace.t }
+
+let create ?(trace_capacity = 4096) () =
+  { registry = Registry.create (); trace = Trace.create ~capacity:trace_capacity () }
+
+let registry t = t.registry
+let trace t = t.trace
+let child t = create ~trace_capacity:(Trace.capacity t.trace) ()
+
+let merge_into ~src ~dst =
+  Registry.absorb dst.registry (Registry.snapshot src.registry);
+  Trace.append ~src:src.trace ~dst:dst.trace
+
+let metrics t = Registry.snapshot t.registry
+
+let reset t =
+  Registry.reset t.registry;
+  Trace.clear t.trace

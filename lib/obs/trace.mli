@@ -1,0 +1,60 @@
+(** Bounded structured event trace.
+
+    A fixed-capacity ring of typed events: when full, the oldest event is
+    dropped (and accounted for in {!dropped}). Events carry only primitive
+    payloads so every subsystem — from the DRAM model up to the OS layer —
+    can record into the same ring without dependency cycles.
+
+    Export is deterministic: events appear in recording order, with a
+    monotonically increasing global sequence number, so traces produced
+    from per-task rings merged in task order are byte-stable across job
+    counts. *)
+
+type event =
+  | Mac_verify of { addr : int64; ok : bool }
+      (** A page-walk read's MAC check (before any correction attempt). *)
+  | Correction of { addr : int64; step : string; guesses : int; ok : bool }
+      (** A best-effort correction attempt; [step] is the strategy that
+          fired ("uncorrectable" when every strategy failed). *)
+  | Ctb_insert of { addr : int64 }
+  | Ctb_overflow
+  | Rekey of { writes : int }
+  | Row_activation of { channel : int; bank : int; row : int; count : int }
+      (** A row's activation count reached the configured hot threshold. *)
+  | Tlb_miss of { vpn : int64 }
+  | Mmu_cache_miss of { addr : int64 }
+  | Os_journal of { entry : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 events. Raises [Invalid_argument] on
+    [capacity < 1]. *)
+
+val capacity : t -> int
+val record : t -> event -> unit
+val length : t -> int
+(** Retained events. *)
+
+val recorded : t -> int
+(** Total events ever offered (retained + dropped). *)
+
+val dropped : t -> int
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val clear : t -> unit
+
+val append : src:t -> dst:t -> unit
+(** Record [src]'s retained events into [dst] in order; [src]'s dropped
+    count carries over into [dst]'s accounting. [src] is unchanged. *)
+
+val kind : event -> string
+val attrs : event -> (string * string) list
+
+val to_csv : t -> string
+(** [seq,kind,attrs] rows; [attrs] is a ";"-joined [k=v] list. *)
+
+val to_jsonl : t -> string
+val save_csv : t -> path:string -> unit
+val save_jsonl : t -> path:string -> unit

@@ -15,6 +15,13 @@ let pp_event fmt = function
   | Remapped_pt_page { old_frame; new_frame } ->
       Format.fprintf fmt "remapped PT page frame 0x%Lx -> 0x%Lx" old_frame new_frame
 
+let event_kind = function
+  | Integrity_failure _ -> "integrity_failure"
+  | Collision _ -> "collision"
+  | Overflowed_ctb -> "ctb_overflow"
+  | Rekeyed _ -> "rekeyed"
+  | Remapped_pt_page _ -> "remapped_pt_page"
+
 type policy = {
   auto_rekey_on_overflow : bool;
   failure_threshold_per_row : int;
@@ -22,24 +29,52 @@ type policy = {
 
 let default_policy = { auto_rekey_on_overflow = true; failure_threshold_per_row = 1 }
 
+type obs = {
+  o_by_kind : (string * Ptg_obs.Registry.counter) list;
+  o_trace : Ptg_obs.Trace.t;
+}
+
+let obs_of_sink sink =
+  let reg = Ptg_obs.Sink.registry sink in
+  {
+    o_by_kind =
+      List.map
+        (fun kind ->
+          (kind, Ptg_obs.Registry.counter reg ~labels:[ ("kind", kind) ] "os_journal_entries"))
+        [ "integrity_failure"; "collision"; "ctb_overflow"; "rekeyed"; "remapped_pt_page" ];
+    o_trace = Ptg_obs.Sink.trace sink;
+  }
+
 type t = {
   policy : policy;
   mc : Ptg_memctrl.Memctrl.t;
   rng : Ptg_util.Rng.t;
+  obs : obs option;
   mutable events : event list;
   row_failures : (int * int * int, int) Hashtbl.t;
   mutable collisions : int;
   mutable failures : int;
 }
 
-let journal t e = t.events <- e :: t.events
+let journal t e =
+  t.events <- e :: t.events;
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      let kind = event_kind e in
+      (match List.assoc_opt kind o.o_by_kind with
+      | Some c -> Ptg_obs.Registry.incr c
+      | None -> ());
+      Ptg_obs.Trace.record o.o_trace
+        (Ptg_obs.Trace.Os_journal { entry = Format.asprintf "%a" pp_event e })
 
-let attach ?(policy = default_policy) ~rng mc =
+let attach ?(policy = default_policy) ?obs ~rng mc =
   let t =
     {
       policy;
       mc;
       rng;
+      obs = Option.map obs_of_sink obs;
       events = [];
       row_failures = Hashtbl.create 16;
       collisions = 0;

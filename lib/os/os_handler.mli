@@ -39,9 +39,16 @@ val default_policy : policy
 
 type t
 
-val attach : ?policy:policy -> rng:Ptg_util.Rng.t -> Ptg_memctrl.Memctrl.t -> t
+val attach :
+  ?policy:policy ->
+  ?obs:Ptg_obs.Sink.t ->
+  rng:Ptg_util.Rng.t ->
+  Ptg_memctrl.Memctrl.t ->
+  t
 (** Subscribe to the controller's engine events. No-op on an unguarded
-    controller. *)
+    controller. With [obs], every journal entry increments
+    [os_journal_entries{kind="..."}] and records an [Os_journal] trace
+    event carrying the rendered {!pp_event} text. *)
 
 val events : t -> event list
 (** Journal, most recent first. *)

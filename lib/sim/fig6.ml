@@ -18,29 +18,40 @@ type result = {
   max_slowdown_pct : float;
 }
 
-let run_workload ~instrs ~warmup ~seed ~guard spec =
+let run_workload ?obs ~instrs ~warmup ~seed ~guard spec =
   let rng = Rng.create seed in
   let stream = Ptg_workloads.Workload.stream rng spec in
-  let core = Ptg_cpu.Core.create ~guard () in
+  let core = Ptg_cpu.Core.create ?obs ~guard () in
   ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
   Ptg_cpu.Core.run core ~instrs ~stream
 
 let run ?jobs ?(instrs = 2_000_000) ?(warmup = 500_000) ?(seed = 42L)
-    ?(config = Ptguard.Config.baseline) ?(workloads = Ptg_workloads.Workload.all) () =
+    ?(config = Ptguard.Config.baseline) ?(workloads = Ptg_workloads.Workload.all)
+    ?obs () =
   (* Each workload run builds its own Rng/Engine from [seed] alone, so the
-     per-workload fan-out is bit-identical to serial execution. *)
+     per-workload fan-out is bit-identical to serial execution. Each task
+     writes into its own child sink; the children are merged into [obs] in
+     task order after the join, so metrics and traces are also identical
+     for any job count. *)
+  let children =
+    match obs with
+    | None -> [||]
+    | Some sink ->
+        Array.init (List.length workloads) (fun _ -> Ptg_obs.Sink.child sink)
+  in
   let rows_arr =
     Pool.parallel_map ?jobs
-      (fun spec ->
+      (fun (i, spec) ->
+        let obs = if Array.length children = 0 then None else Some children.(i) in
         let base =
           run_workload ~instrs ~warmup ~seed ~guard:Ptg_cpu.Guard_timing.unprotected
             spec
         in
         let guard =
-          Ptg_cpu.Guard_timing.of_config config
+          Ptg_cpu.Guard_timing.of_config config ?obs
             ~rng:(Rng.create (Int64.add seed 1L))
         in
-        let guarded = run_workload ~instrs ~warmup ~seed ~guard spec in
+        let guarded = run_workload ?obs ~instrs ~warmup ~seed ~guard spec in
         let norm_ipc =
           guarded.Ptg_cpu.Core.ipc /. base.Ptg_cpu.Core.ipc
         in
@@ -53,8 +64,12 @@ let run ?jobs ?(instrs = 2_000_000) ?(warmup = 500_000) ?(seed = 42L)
           pte_dram_reads = base.Ptg_cpu.Core.pte_dram_reads;
           dram_reads = base.Ptg_cpu.Core.dram_reads;
         })
-      (Array.of_list workloads)
+      (Array.of_list (List.mapi (fun i spec -> (i, spec)) workloads))
   in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      Array.iter (fun child -> Ptg_obs.Sink.merge_into ~src:child ~dst:sink) children);
   let rows = Array.to_list rows_arr in
   let norms = Array.of_list (List.map (fun r -> r.norm_ipc) rows) in
   let slowdowns = Array.of_list (List.map (fun r -> r.slowdown_pct) rows) in
@@ -108,13 +123,14 @@ type multi = {
   max_slowdown : Stats.summary;
 }
 
-let run_multi ?jobs ?(seeds = 5) ?instrs ?warmup ?config ?workloads () =
+let run_multi ?jobs ?(seeds = 5) ?instrs ?warmup ?config ?workloads ?obs () =
   if seeds < 1 then invalid_arg "Fig6.run_multi: seeds";
   (* Seeds run in sequence; each seed's workloads fan out across [jobs]
      domains (nesting both would oversubscribe the pool). *)
   let runs =
     List.init seeds (fun i ->
-        run ?jobs ?instrs ?warmup ?config ?workloads ~seed:(Int64.of_int (1000 + i)) ())
+        run ?jobs ?instrs ?warmup ?config ?workloads ?obs
+          ~seed:(Int64.of_int (1000 + i)) ())
   in
   {
     runs;

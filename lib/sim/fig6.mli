@@ -29,6 +29,7 @@ val run :
   ?seed:int64 ->
   ?config:Ptguard.Config.t ->
   ?workloads:Ptg_workloads.Workload.spec list ->
+  ?obs:Ptg_obs.Sink.t ->
   unit ->
   result
 (** Defaults: 2M timed instructions after 500K warmup per workload, the
@@ -37,7 +38,10 @@ val run :
     runs, so the IPC ratio isolates the MAC delay exactly. [jobs] fans
     the per-workload runs across domains via {!Ptg_util.Pool} (default
     {!Ptg_util.Pool.default_jobs}); the result is bit-identical for any
-    job count. *)
+    job count. With [obs], the {e guarded} run of each workload reports
+    into a per-task child sink; children merge into [obs] in workload
+    order after the join, so metrics/trace exports are also byte-identical
+    for any job count. *)
 
 val print : result -> unit
 val to_csv : result -> path:string -> unit
@@ -55,6 +59,7 @@ val run_multi :
   ?warmup:int ->
   ?config:Ptguard.Config.t ->
   ?workloads:Ptg_workloads.Workload.spec list ->
+  ?obs:Ptg_obs.Sink.t ->
   unit ->
   multi
 (** Repeat {!run} over [seeds] distinct seeds (default 5) and summarize

@@ -12,7 +12,8 @@ type point = {
 type result = { points : point list }
 
 let run ?jobs ?(instrs = 1_000_000) ?(warmup = 300_000) ?(seed = 42L)
-    ?(latencies = [ 5; 10; 15; 20 ]) ?(workloads = Ptg_workloads.Workload.all) () =
+    ?(latencies = [ 5; 10; 15; 20 ]) ?(workloads = Ptg_workloads.Workload.all)
+    ?obs () =
   (* Baseline (unprotected) runs are shared across the sweep; each one
      seeds its own Rng, so both this fan-out and the per-point fan-out
      below are bit-identical to serial execution. *)
@@ -33,10 +34,18 @@ let run ?jobs ?(instrs = 1_000_000) ?(warmup = 300_000) ?(seed = 42L)
          (fun design -> List.map (fun lat -> (design, lat)) latencies)
          [ Ptguard.Config.Baseline; Ptguard.Config.Optimized ])
   in
+  let children =
+    match obs with
+    | None -> [||]
+    | Some sink -> Array.init (Array.length cases) (fun _ -> Ptg_obs.Sink.child sink)
+  in
   let points =
     Array.to_list
       (Pool.parallel_map ?jobs
-         (fun (design, mac_latency) ->
+         (fun (case_idx, (design, mac_latency)) ->
+            let obs =
+              if Array.length children = 0 then None else Some children.(case_idx)
+            in
             let cfg =
               Ptguard.Config.with_mac_latency
                 (match design with
@@ -48,7 +57,7 @@ let run ?jobs ?(instrs = 1_000_000) ?(warmup = 300_000) ?(seed = 42L)
               List.fold_left
                 (fun (acc, (mx_v, mx_n), fr) (spec, base) ->
                   let guard =
-                    Ptg_cpu.Guard_timing.of_config cfg
+                    Ptg_cpu.Guard_timing.of_config cfg ?obs
                       ~rng:(Rng.create (Int64.add seed 1L))
                   in
                   let rng = Rng.create seed in
@@ -82,8 +91,12 @@ let run ?jobs ?(instrs = 1_000_000) ?(warmup = 300_000) ?(seed = 42L)
               max_workload = max_n;
               mac_reads_fraction = Stats.mean (Array.of_list mac_fracs);
             })
-         cases)
+         (Array.mapi (fun i case -> (i, case)) cases))
   in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      Array.iter (fun child -> Ptg_obs.Sink.merge_into ~src:child ~dst:sink) children);
   { points }
 
 let header =

@@ -25,11 +25,14 @@ val run :
   ?seed:int64 ->
   ?latencies:int list ->
   ?workloads:Ptg_workloads.Workload.spec list ->
+  ?obs:Ptg_obs.Sink.t ->
   unit ->
   result
 (** Defaults: latencies [5; 10; 15; 20], both designs, all workloads.
     [jobs] fans the shared baseline runs and the (design, latency) sweep
-    points across domains; results are independent of the job count. *)
+    points across domains; results are independent of the job count.
+    With [obs], each sweep case's guard reports into a child sink merged
+    back in case order (deterministic for any job count). *)
 
 val print : result -> unit
 val to_csv : result -> path:string -> unit

@@ -5,7 +5,7 @@ type result = {
   sample_rows : (float * float * float) array;
 }
 
-let run ?jobs ?(processes = 623) ?(seed = 8L) () =
+let run ?jobs ?(processes = 623) ?(seed = 8L) ?obs () =
   let rng = Rng.create seed in
   (* Per-process generators are split off the master stream serially, in
      process order, so the fan-out across domains cannot perturb any
@@ -20,6 +20,18 @@ let run ?jobs ?(processes = 623) ?(seed = 8L) () =
          rngs)
   in
   let aggregate = Ptg_vm.Profile.aggregate stats in
+  (* Pure profiling (no engine): the summary counts are written once by
+     the parent, after the join, so they are trivially job-independent. *)
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      let reg = Ptg_obs.Sink.registry sink in
+      Ptg_obs.Registry.add
+        (Ptg_obs.Registry.counter reg "fig8_processes")
+        aggregate.Ptg_vm.Profile.processes;
+      Ptg_obs.Registry.add
+        (Ptg_obs.Registry.counter reg "fig8_ptes_profiled")
+        aggregate.Ptg_vm.Profile.total_ptes_profiled);
   let n = Array.length aggregate.Ptg_vm.Profile.per_process in
   let sample_rows =
     Array.init (min 11 n) (fun i ->

@@ -12,7 +12,8 @@ type result = {
           processes, sorted by contiguity — the Figure 8 curve shape *)
 }
 
-val run : ?jobs:int -> ?processes:int -> ?seed:int64 -> unit -> result
+val run :
+  ?jobs:int -> ?processes:int -> ?seed:int64 -> ?obs:Ptg_obs.Sink.t -> unit -> result
 (** Default: 623 processes, matching the paper's survey size. [jobs]
     fans the per-process page-table synthesis across domains; each
     process draws from its own serially-split generator, so results are

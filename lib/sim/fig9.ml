@@ -70,7 +70,7 @@ type tally = {
 
 let run ?jobs ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
     ?(config = Ptguard.Config.optimized)
-    ?(workloads = Ptg_workloads.Workload.fig9_subset) () =
+    ?(workloads = Ptg_workloads.Workload.fig9_subset) ?obs () =
   let rng = Rng.create seed in
   let mask line = Ptguard.Config.masked_for_mac config line in
   (* Per-workload generator state is split off the master stream serially,
@@ -84,17 +84,18 @@ let run ?jobs ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
            let params = process_params rng spec in
            let wl_rng = Rng.split rng in
            let engine_rng = Rng.split rng in
-           (spec, params, wl_rng, engine_rng))
+           let child = Option.map Ptg_obs.Sink.child obs in
+           (spec, params, wl_rng, engine_rng, child))
          workloads)
   in
   let per_results =
     Pool.parallel_map ?jobs
-      (fun (spec, params, wl_rng, engine_rng) ->
+      (fun (spec, params, wl_rng, engine_rng, child) ->
           let rng = wl_rng in
           let steps : (string, int) Hashtbl.t = Hashtbl.create 8 in
           let lines = Ptg_vm.Process_model.leaf_lines rng params in
           let sample = weighted_sampler rng lines in
-          let engine = Ptguard.Engine.create ~config ~rng:engine_rng () in
+          let engine = Ptguard.Engine.create ~config ?obs:child ~rng:engine_rng () in
           let cells =
             List.map
               (fun p_flip ->
@@ -151,6 +152,15 @@ let run ?jobs ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
           ({ workload = spec.Ptg_workloads.Workload.name; cells }, steps))
       prepared
   in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      Array.iter
+        (fun (_, _, _, _, child) ->
+          match child with
+          | Some src -> Ptg_obs.Sink.merge_into ~src ~dst:sink
+          | None -> ())
+        prepared);
   let per_workload = Array.to_list (Array.map fst per_results) in
   (* Merge the per-workload strategy histograms in workload order. *)
   let steps : (string, int) Hashtbl.t = Hashtbl.create 8 in

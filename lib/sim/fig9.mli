@@ -41,13 +41,15 @@ val run :
   ?p_flips:float list ->
   ?config:Ptguard.Config.t ->
   ?workloads:Ptg_workloads.Workload.spec list ->
+  ?obs:Ptg_obs.Sink.t ->
   unit ->
   result
 (** Defaults: 300 faulty lines per (workload, p_flip) point, the Optimized
     design, the Figure 9 workload subset. [jobs] fans the per-workload
     injection campaigns across domains; each workload draws from its own
     generator split serially off the master stream, so results are
-    independent of the job count. *)
+    independent of the job count. With [obs], each workload's engine
+    reports into a child sink merged back in workload order. *)
 
 val print : result -> unit
 val to_csv : result -> path:string -> unit

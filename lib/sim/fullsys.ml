@@ -36,6 +36,7 @@ type t = {
   dram : Ptg_dram.Dram.t;
   fault : Ptg_rowhammer.Fault_model.t;
   mc : Ptg_memctrl.Memctrl.t;
+  os : Ptg_os.Os_handler.t option;
   table : Page_table.t;
   root : int64;
   shadow : (int64, int64) Hashtbl.t; (* vpn -> intended pfn *)
@@ -53,18 +54,34 @@ type t = {
 
 let vaddr_base = 0x1000_0000L
 
-let create ?(config = default_config) ?(pages = 2048) ~seed () =
+let create ?(config = default_config) ?(pages = 2048) ?obs ~seed () =
   let rng = Rng.create seed in
-  let dram = Ptg_dram.Dram.create () in
+  let dram = Ptg_dram.Dram.create ?obs () in
   let fault =
     Ptg_rowhammer.Fault_model.attach ~config:config.fault ~rng:(Rng.split rng) dram
   in
   let engine =
     if config.guarded then
-      Some (Ptguard.Engine.create ~config:Ptguard.Config.optimized ~rng:(Rng.split rng) ())
+      Some (Ptguard.Engine.create ~config:Ptguard.Config.optimized ?obs ~rng:(Rng.split rng) ())
     else None
   in
-  let mc = Ptg_memctrl.Memctrl.create ?engine dram in
+  let mc = Ptg_memctrl.Memctrl.create ?engine ?obs dram in
+  (* OS journal observer: only attached when observability is on, and
+     carefully non-perturbing — a private RNG (never drawn from: rekey-on-
+     overflow is disabled) so the simulation's own stream is untouched. *)
+  let os =
+    match obs with
+    | None -> None
+    | Some _ ->
+        Some
+          (Ptg_os.Os_handler.attach
+             ~policy:
+               {
+                 Ptg_os.Os_handler.auto_rekey_on_overflow = false;
+                 failure_threshold_per_row = 1;
+               }
+             ?obs ~rng:(Rng.create 0L) mc)
+  in
   let mem = Ptg_memctrl.Memctrl.phys_mem mc in
   (* Contiguous kernel pool: the leaf tables land in a couple of DRAM rows,
      which is exactly what the attacker wants to aim at. *)
@@ -92,11 +109,12 @@ let create ?(config = default_config) ?(pages = 2048) ~seed () =
     dram;
     fault;
     mc;
+    os;
     table;
     root = Page_table.root table;
     shadow;
     vaddrs;
-    tlb = Ptg_cpu.Tlb.create ();
+    tlb = Ptg_cpu.Tlb.create ?obs ();
     translations = Hashtbl.create 64;
     victim;
     now = 0;
@@ -221,6 +239,10 @@ let run t ~instrs =
     flips_landed = Ptg_rowhammer.Fault_model.flip_count t.fault;
     wrong_translations = t.wrong_translations - start_wrong;
   }
+
+let memctrl t = t.mc
+let os_handler t = t.os
+let engine t = Ptg_memctrl.Memctrl.engine t.mc
 
 let pp_result fmt r =
   Format.fprintf fmt

@@ -48,10 +48,23 @@ type result = {
 
 type t
 
-val create : ?config:config -> ?pages:int -> seed:int64 -> unit -> t
+val create :
+  ?config:config -> ?pages:int -> ?obs:Ptg_obs.Sink.t -> seed:int64 -> unit -> t
 (** Build the machine and a process with [pages] mapped pages
-    (default 2048). *)
+    (default 2048). With [obs], the DRAM device, integrity engine, memory
+    controller and TLB all report into the sink, and a read-only
+    {!Ptg_os.Os_handler} is attached (auto-rekey disabled, private RNG) so
+    journal entries land in the trace — the observed run consumes exactly
+    the same random stream and produces exactly the same {!result} as the
+    unobserved one. *)
 
 val run : t -> instrs:int -> result
+
+val memctrl : t -> Ptg_memctrl.Memctrl.t
+val os_handler : t -> Ptg_os.Os_handler.t option
+(** The journal observer; [Some] exactly when [obs] was passed. *)
+
+val engine : t -> Ptguard.Engine.t option
+(** The controller's integrity engine ([None] when unguarded). *)
 
 val pp_result : Format.formatter -> result -> unit

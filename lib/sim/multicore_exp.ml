@@ -28,7 +28,7 @@ let run_mix ~instrs_per_core ~seed ~guard specs =
 
 let run ?jobs ?(instrs_per_core = 400_000) ?(seed = 7L)
     ?(same = Ptg_workloads.Workload.all) ?(mixes = 16)
-    ?(config = Ptguard.Config.baseline) () =
+    ?(config = Ptguard.Config.baseline) ?obs () =
   let mix_rng = Rng.create (Int64.add seed 100L) in
   let cases =
     List.map
@@ -44,15 +44,23 @@ let run ?jobs ?(instrs_per_core = 400_000) ?(seed = 7L)
   (* The MIX compositions above are drawn serially from [mix_rng]; each
      case then simulates from seed-derived generators only, so the
      per-case fan-out is bit-identical to serial execution. *)
+  let children =
+    match obs with
+    | None -> [||]
+    | Some sink ->
+        Array.init (List.length cases) (fun _ -> Ptg_obs.Sink.child sink)
+  in
   let rows =
     Array.to_list
       (Pool.parallel_map ?jobs
-         (fun (label, specs) ->
+         (fun (i, (label, specs)) ->
+        let obs = if Array.length children = 0 then None else Some children.(i) in
         let base =
           run_mix ~instrs_per_core ~seed ~guard:Ptg_cpu.Guard_timing.unprotected specs
         in
         let guard =
-          Ptg_cpu.Guard_timing.of_config config ~rng:(Rng.create (Int64.add seed 1L))
+          Ptg_cpu.Guard_timing.of_config config ?obs
+            ~rng:(Rng.create (Int64.add seed 1L))
         in
         let guarded = run_mix ~instrs_per_core ~seed ~guard specs in
         let norm_ipc =
@@ -67,8 +75,12 @@ let run ?jobs ?(instrs_per_core = 400_000) ?(seed = 7L)
           slowdown_pct = 100.0 *. (1.0 -. norm_ipc);
           avg_queue_delay = base.Ptg_cpu.Multicore.avg_queue_delay;
         })
-         (Array.of_list cases))
+         (Array.of_list (List.mapi (fun i case -> (i, case)) cases)))
   in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      Array.iter (fun child -> Ptg_obs.Sink.merge_into ~src:child ~dst:sink) children);
   let max_row =
     List.fold_left
       (fun acc r -> if r.slowdown_pct > acc.slowdown_pct then r else acc)

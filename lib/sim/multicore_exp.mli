@@ -29,12 +29,14 @@ val run :
   ?same:Ptg_workloads.Workload.spec list ->
   ?mixes:int ->
   ?config:Ptguard.Config.t ->
+  ?obs:Ptg_obs.Sink.t ->
   unit ->
   result
 (** Defaults: every workload as a SAME configuration (the paper runs 18)
     plus 16 random MIXes, 400K instructions per core, baseline design.
     [jobs] fans the SAME/MIX cases across domains; results are
-    independent of the job count. *)
+    independent of the job count. With [obs], each case's guard reports
+    into a child sink merged back in case order. *)
 
 val print : result -> unit
 val to_csv : result -> path:string -> unit

@@ -1,0 +1,10 @@
+type result = {
+  sink : Ptg_obs.Sink.t;
+  fullsys : Fullsys.result;
+}
+
+let run ?(seed = 42L) ?(pages = 512) ?(instrs = 20_000) () =
+  let sink = Ptg_obs.Sink.create () in
+  let sim = Fullsys.create ~pages ~obs:sink ~seed () in
+  let fullsys = Fullsys.run sim ~instrs in
+  { sink; fullsys }

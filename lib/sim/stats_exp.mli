@@ -1,0 +1,17 @@
+(** The [ptguard_cli stats] experiment: one fully-observed {!Fullsys} run.
+
+    Everything in the stack reports into a single {!Ptg_obs.Sink}: the
+    DRAM device, the integrity engine, the memory controller, the TLB and
+    the OS journal. The run is single-domain and seed-deterministic, so
+    the exported metrics and trace are byte-stable — the CLI golden tests
+    pin them. *)
+
+type result = {
+  sink : Ptg_obs.Sink.t;
+  fullsys : Fullsys.result;
+}
+
+val run : ?seed:int64 -> ?pages:int -> ?instrs:int -> unit -> result
+(** Defaults: seed 42, 512 mapped pages, 20K instructions — small enough
+    for tests, busy enough that MAC verifications, corrections and OS
+    journal entries all appear in the sink. *)

@@ -16,6 +16,9 @@ val print : ?align:align list -> header:string list -> string list list -> unit
 val csv : header:string list -> string list list -> string
 (** RFC-4180-ish CSV encoding (quotes fields containing commas/quotes). *)
 
+val csv_field : string -> string
+(** Encode one CSV field (quoting/escaping only when needed). *)
+
 val save_csv : path:string -> header:string list -> string list list -> unit
 (** Write {!csv} output to [path]. *)
 

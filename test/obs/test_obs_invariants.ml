@@ -1,0 +1,216 @@
+(* Property tests tying the observability layer to the engine: the obs
+   counters must mirror [Engine.stats] exactly, the counter algebra must
+   satisfy the paper's accounting identities, and attaching a sink must
+   never perturb engine behaviour. *)
+
+open Ptguard
+module Rng = Ptg_util.Rng
+module Registry = Ptg_obs.Registry
+module Sink = Ptg_obs.Sink
+
+(* A pool of realistic PTE cachelines shared across properties. *)
+let line_pool =
+  lazy
+    (let rng = Rng.create 2718L in
+     let params =
+       {
+         (Ptg_vm.Process_model.draw_params rng) with
+         Ptg_vm.Process_model.target_ptes = 4096;
+       }
+     in
+     Ptg_vm.Process_model.leaf_lines rng params)
+
+let pool_line rng =
+  let pool = Lazy.force line_pool in
+  Ptg_pte.Line.copy pool.(Rng.int rng (Array.length pool))
+
+let random_data_line rng =
+  Ptg_pte.Line.of_words (Array.init 8 (fun _ -> Rng.next rng))
+
+(* Drive [ops] random operations against an engine: PTE and data writes,
+   reads of previously written lines (occasionally bit-flipped), and reads
+   of never-written garbage. Returns the engine and the number of reads
+   whose [extra_latency] was nonzero. *)
+let run_workload ?obs ~design ~seed ~ops () =
+  let config =
+    match design with `B -> Config.baseline | `O -> Config.optimized
+  in
+  let engine = Engine.create ~config ?obs ~rng:(Rng.create seed) () in
+  let drv = Rng.create (Int64.add seed 1L) in
+  let store = Hashtbl.create 64 in
+  let slow_reads = ref 0 in
+  let read ~addr ~is_pte line =
+    let r = Engine.process_read engine ~addr ~is_pte line in
+    if r.Engine.extra_latency > 0 then incr slow_reads
+  in
+  for _ = 1 to ops do
+    let addr = Int64.mul 64L (Int64.of_int (1 + Rng.int drv 256)) in
+    match Rng.int drv 5 with
+    | 0 ->
+        let line = pool_line drv in
+        Hashtbl.replace store addr
+          (true, Engine.process_write engine ~addr line)
+    | 1 ->
+        let line = random_data_line drv in
+        Hashtbl.replace store addr
+          (false, Engine.process_write engine ~addr line)
+    | 2 | 3 -> (
+        match Hashtbl.find_opt store addr with
+        | None -> read ~addr ~is_pte:false (random_data_line drv)
+        | Some (is_pte, stored) ->
+            let line =
+              if Rng.bernoulli drv 0.25 then
+                fst
+                  (Ptg_rowhammer.Inject.flip_exactly drv
+                     ~n:(1 + Rng.int drv 3) stored)
+              else stored
+            in
+            read ~addr ~is_pte line)
+    | _ -> read ~addr ~is_pte:(Rng.bool drv) (random_data_line drv)
+  done;
+  (engine, !slow_reads)
+
+let counter_of snap name =
+  match Registry.find snap name with
+  | Some v -> int_of_float v
+  | None -> 0
+
+let gen_seed = QCheck2.Gen.map Int64.of_int QCheck2.Gen.(int_bound 100_000)
+
+let gen_run = QCheck2.Gen.(triple bool gen_seed (int_range 20 200))
+
+let prop_obs_mirrors_stats =
+  QCheck2.Test.make ~name:"obs counters mirror Engine.stats field for field"
+    ~count:40 gen_run
+    (fun (optimized, seed, ops) ->
+      let sink = Sink.create () in
+      let design = if optimized then `O else `B in
+      let engine, _ = run_workload ~obs:sink ~design ~seed ~ops () in
+      let s = Engine.stats engine in
+      let snap = Sink.metrics sink in
+      let c = counter_of snap in
+      c "engine_writes_total" = s.Engine.writes_total
+      && c "engine_writes_protected" = s.Engine.writes_protected
+      && c "engine_writes_mac_zero" = s.Engine.writes_mac_zero
+      && c "engine_collisions_tracked" = s.Engine.collisions_tracked
+      && c "engine_reads_total" = s.Engine.reads_total
+      && c "engine_reads_pte" = s.Engine.reads_pte
+      && c "engine_mac_computations" = s.Engine.mac_computations
+      && c "engine_macs_stripped" = s.Engine.macs_stripped
+      && c "engine_integrity_failures" = s.Engine.integrity_failures
+      && c "engine_corrections_attempted" = s.Engine.corrections_attempted
+      && c "engine_corrections_succeeded" = s.Engine.corrections_succeeded
+      && c "engine_rekeys" = s.Engine.rekeys)
+
+let prop_write_partition =
+  QCheck2.Test.make
+    ~name:"writes_protected + writes_unprotected = writes_total" ~count:40
+    gen_run
+    (fun (optimized, seed, ops) ->
+      let sink = Sink.create () in
+      let design = if optimized then `O else `B in
+      let (_ : Engine.t * int) = run_workload ~obs:sink ~design ~seed ~ops () in
+      let c = counter_of (Sink.metrics sink) in
+      c "engine_writes_protected" + c "engine_writes_unprotected"
+      = c "engine_writes_total")
+
+let prop_ordering =
+  QCheck2.Test.make
+    ~name:"reads_pte <= reads_total and successes <= attempts" ~count:40
+    gen_run
+    (fun (optimized, seed, ops) ->
+      let design = if optimized then `O else `B in
+      let engine, _ = run_workload ~design ~seed ~ops () in
+      let s = Engine.stats engine in
+      s.Engine.reads_pte <= s.Engine.reads_total
+      && s.Engine.corrections_succeeded <= s.Engine.corrections_attempted
+      && s.Engine.macs_stripped <= s.Engine.reads_total)
+
+let prop_mac_latency_accounting =
+  (* With a nonzero MAC latency, the reads that paid extra cycles are
+     exactly the reads that computed a MAC: shortcut paths (CTB hits,
+     identifier absent, MAC-zero) charge nothing and compute nothing. *)
+  QCheck2.Test.make
+    ~name:"mac_computations = reads with nonzero extra_latency" ~count:40
+    gen_run
+    (fun (optimized, seed, ops) ->
+      let design = if optimized then `O else `B in
+      let engine, slow_reads = run_workload ~design ~seed ~ops () in
+      (Engine.stats engine).Engine.mac_computations = slow_reads)
+
+let prop_obs_never_perturbs =
+  QCheck2.Test.make ~name:"attaching a sink never changes engine behaviour"
+    ~count:30 gen_run
+    (fun (optimized, seed, ops) ->
+      let design = if optimized then `O else `B in
+      let plain, plain_slow = run_workload ~design ~seed ~ops () in
+      let observed, obs_slow =
+        run_workload ~obs:(Sink.create ()) ~design ~seed ~ops ()
+      in
+      let a = Engine.stats plain and b = Engine.stats observed in
+      plain_slow = obs_slow && a = b)
+
+let prop_snapshot_roundtrip =
+  (* merge earlier (diff later earlier) = later, and reset really zeroes:
+     the snapshot algebra the parallel merge relies on. *)
+  QCheck2.Test.make ~name:"snapshot diff/merge/reset round-trips" ~count:30
+    QCheck2.Gen.(pair gen_seed (int_range 10 100))
+    (fun (seed, ops) ->
+      let sink = Sink.create () in
+      let (_ : Engine.t * int) =
+        run_workload ~obs:sink ~design:`B ~seed ~ops ()
+      in
+      let earlier = Sink.metrics sink in
+      let (_ : Engine.t * int) =
+        run_workload ~obs:sink ~design:`O ~seed:(Int64.add seed 7L) ~ops ()
+      in
+      let later = Sink.metrics sink in
+      let recombined = Registry.merge earlier (Registry.diff later earlier) in
+      let roundtrip = Registry.equal recombined later in
+      Sink.reset sink;
+      let zeroed =
+        List.for_all
+          (fun (_, v) -> v = 0.0)
+          (Registry.rows (Sink.metrics sink))
+        && Ptg_obs.Trace.recorded (Sink.trace sink) = 0
+      in
+      roundtrip && zeroed)
+
+let prop_child_merge_equals_single_sink =
+  (* The Pool.parallel_map contract: per-task child sinks merged in task
+     order give the same snapshot as one shared sink fed sequentially. *)
+  QCheck2.Test.make ~name:"child sinks merged in order = one shared sink"
+    ~count:20
+    QCheck2.Gen.(pair gen_seed (int_range 10 80))
+    (fun (seed, ops) ->
+      let seeds = [ seed; Int64.add seed 3L; Int64.add seed 9L ] in
+      let shared = Sink.create () in
+      List.iter
+        (fun s ->
+          ignore (run_workload ~obs:shared ~design:`B ~seed:s ~ops ()))
+        seeds;
+      let parent = Sink.create () in
+      let children =
+        List.map
+          (fun s ->
+            let child = Sink.child parent in
+            ignore (run_workload ~obs:child ~design:`B ~seed:s ~ops ());
+            child)
+          seeds
+      in
+      List.iter (fun child -> Sink.merge_into ~src:child ~dst:parent) children;
+      Registry.equal (Sink.metrics shared) (Sink.metrics parent)
+      && Ptg_obs.Trace.events (Sink.trace shared)
+         = Ptg_obs.Trace.events (Sink.trace parent))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_obs_mirrors_stats;
+      prop_write_partition;
+      prop_ordering;
+      prop_mac_latency_accounting;
+      prop_obs_never_perturbs;
+      prop_snapshot_roundtrip;
+      prop_child_merge_equals_single_sink;
+    ]

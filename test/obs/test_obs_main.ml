@@ -1,0 +1,9 @@
+(* Fast observability tier: `dune build @obs` runs just this binary. *)
+
+let () =
+  Alcotest.run "ptg_obs"
+    [
+      ("obs.registry", Test_obs_registry.suite);
+      ("obs.trace", Test_obs_trace.suite);
+      ("obs.invariants", Test_obs_invariants.suite);
+    ]

@@ -1,0 +1,105 @@
+(* Unit tests for the bounded event-trace ring: drop-oldest semantics,
+   accounting, merging, and the two exporters. *)
+
+open Ptg_obs
+
+let insert n = Trace.Ctb_insert { addr = Int64.of_int (n * 64) }
+
+let test_ring () =
+  let t = Trace.create ~capacity:3 () in
+  Alcotest.(check int) "capacity" 3 (Trace.capacity t);
+  List.iter (fun n -> Trace.record t (insert n)) [ 0; 1; 2; 3; 4 ];
+  Alcotest.(check int) "length capped" 3 (Trace.length t);
+  Alcotest.(check int) "recorded counts everything" 5 (Trace.recorded t);
+  Alcotest.(check int) "dropped = recorded - retained" 2 (Trace.dropped t);
+  (* Oldest events go first; the ring keeps the newest three. *)
+  let addrs =
+    List.map
+      (function
+        | Trace.Ctb_insert { addr } -> Int64.to_int addr / 64
+        | _ -> Alcotest.fail "unexpected event")
+      (Trace.events t)
+  in
+  Alcotest.(check (list int)) "drop-oldest order" [ 2; 3; 4 ] addrs;
+  Trace.clear t;
+  Alcotest.(check int) "clear length" 0 (Trace.length t);
+  Alcotest.(check int) "clear recorded" 0 (Trace.recorded t);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Trace.create: capacity") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+let test_append () =
+  let src = Trace.create ~capacity:2 () in
+  let dst = Trace.create ~capacity:8 () in
+  Trace.record dst (insert 0);
+  List.iter (fun n -> Trace.record src (insert n)) [ 1; 2; 3 ];
+  Trace.append ~src ~dst;
+  (* src retained [2;3] and dropped one; dst keeps its own event first and
+     inherits src's drop count so global accounting stays truthful. *)
+  Alcotest.(check int) "merged length" 3 (Trace.length dst);
+  Alcotest.(check int) "merged recorded" 4 (Trace.recorded dst);
+  Alcotest.(check int) "merged dropped" 1 (Trace.dropped dst)
+
+let test_kind_attrs () =
+  let cases =
+    [
+      ( Trace.Mac_verify { addr = 0x40L; ok = false },
+        "mac_verify",
+        [ ("addr", "0x40"); ("ok", "false") ] );
+      ( Trace.Correction { addr = 0x80L; step = "pfn"; guesses = 7; ok = true },
+        "correction",
+        [ ("addr", "0x80"); ("step", "pfn"); ("guesses", "7"); ("ok", "true") ]
+      );
+      (Trace.Ctb_overflow, "ctb_overflow", []);
+      (Trace.Rekey { writes = 9 }, "rekey", [ ("writes", "9") ]);
+      ( Trace.Row_activation { channel = 0; bank = 3; row = 17; count = 4096 },
+        "row_activation",
+        [
+          ("channel", "0"); ("bank", "3"); ("row", "17"); ("count", "4096");
+        ] );
+      (Trace.Tlb_miss { vpn = 0x2000L }, "tlb_miss", [ ("vpn", "0x2000") ]);
+      ( Trace.Mmu_cache_miss { addr = 0x1000L },
+        "mmu_cache_miss",
+        [ ("addr", "0x1000") ] );
+      ( Trace.Os_journal { entry = "rekeyed" },
+        "os_journal",
+        [ ("entry", "rekeyed") ] );
+    ]
+  in
+  List.iter
+    (fun (e, kind, attrs) ->
+      Alcotest.(check string) ("kind " ^ kind) kind (Trace.kind e);
+      Alcotest.(check (list (pair string string)))
+        ("attrs " ^ kind) attrs (Trace.attrs e))
+    cases
+
+let test_exports () =
+  let t = Trace.create ~capacity:8 () in
+  Trace.record t (Trace.Mac_verify { addr = 0x40L; ok = true });
+  Trace.record t Trace.Ctb_overflow;
+  Alcotest.(check string)
+    "csv" "seq,kind,attrs\n0,mac_verify,addr=0x40;ok=true\n1,ctb_overflow,\n"
+    (Trace.to_csv t);
+  Alcotest.(check string)
+    "jsonl"
+    "{\"seq\":0,\"kind\":\"mac_verify\",\"addr\":\"0x40\",\"ok\":\"true\"}\n\
+     {\"seq\":1,\"kind\":\"ctb_overflow\"}\n"
+    (Trace.to_jsonl t)
+
+let test_export_seq_after_drop () =
+  let t = Trace.create ~capacity:2 () in
+  List.iter (fun n -> Trace.record t (insert n)) [ 0; 1; 2 ];
+  (* seq numbers are global: the first retained event is number 1. *)
+  Alcotest.(check string)
+    "csv seq offset"
+    "seq,kind,attrs\n1,ctb_insert,addr=0x40\n2,ctb_insert,addr=0x80\n"
+    (Trace.to_csv t)
+
+let suite =
+  [
+    Alcotest.test_case "ring semantics" `Quick test_ring;
+    Alcotest.test_case "append" `Quick test_append;
+    Alcotest.test_case "kind and attrs" `Quick test_kind_attrs;
+    Alcotest.test_case "exports" `Quick test_exports;
+    Alcotest.test_case "seq after drop" `Quick test_export_seq_after_drop;
+  ]

@@ -1,0 +1,76 @@
+(* End-to-end tests of the ptguard_cli binary: golden output for the
+   stats experiment, artifact determinism across job counts, and the
+   error paths. Tests execute from _build/default/test, so the CLI lives
+   one directory up. *)
+
+let cli =
+  Filename.concat Filename.parent_dir_name
+    (Filename.concat "bin" "ptguard_cli.exe")
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let exec ?(out = Filename.null) args =
+  Sys.command (Printf.sprintf "%s %s > %s 2> %s" cli args out Filename.null)
+
+let tmp suffix = Filename.temp_file "ptg_cli_" suffix
+
+let test_stats_golden () =
+  let out = tmp "stats.csv" in
+  Alcotest.(check int) "exit code" 0 (exec ~out "stats");
+  Alcotest.(check string) "stdout matches the pinned golden file"
+    (read_file "golden/stats_default.csv")
+    (read_file out)
+
+let test_stats_json_and_trace () =
+  let out = tmp "stats.jsonl" in
+  let trace = tmp "trace.jsonl" in
+  Alcotest.(check int) "exit code" 0
+    (exec ~out
+       (Printf.sprintf "stats --instrs 4000 --pages 128 --json --trace %s"
+          trace));
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  Alcotest.(check bool) "json output" true
+    (starts_with "{\"metric\":" (read_file out));
+  Alcotest.(check bool) "jsonl trace" true
+    (starts_with "{\"seq\":0," (read_file trace))
+
+let test_fig6_artifacts_job_invariant () =
+  let run jobs =
+    let out = tmp "fig6.txt" in
+    let trace = tmp "fig6_trace.csv" in
+    let metrics = tmp "fig6_metrics.csv" in
+    let code =
+      exec ~out
+        (Printf.sprintf
+           "fig6 --workloads mcf,bc --instrs 6000 --warmup 2000 -j %d \
+            --trace %s --metrics %s"
+           jobs trace metrics)
+    in
+    Alcotest.(check int) "exit code" 0 code;
+    (read_file out, read_file trace, read_file metrics)
+  in
+  let out1, trace1, metrics1 = run 1 in
+  let out4, trace4, metrics4 = run 4 in
+  Alcotest.(check string) "stdout identical across -j" out1 out4;
+  Alcotest.(check string) "trace identical across -j" trace1 trace4;
+  Alcotest.(check string) "metrics identical across -j" metrics1 metrics4;
+  Alcotest.(check bool) "metrics non-trivial" true
+    (String.length metrics1 > String.length "metric,value\n")
+
+let test_error_paths () =
+  Alcotest.(check int) "unknown flag" 124 (exec "stats --no-such-flag");
+  Alcotest.(check int) "unknown subcommand" 124 (exec "frobnicate");
+  Alcotest.(check int) "bad workload name" 124
+    (exec "fig6 --workloads not_a_workload --instrs 1000 --warmup 100")
+
+let suite =
+  [
+    Alcotest.test_case "stats golden output" `Slow test_stats_golden;
+    Alcotest.test_case "stats json and trace" `Slow test_stats_json_and_trace;
+    Alcotest.test_case "fig6 artifacts job-invariant" `Slow
+      test_fig6_artifacts_job_invariant;
+    Alcotest.test_case "error exit codes" `Quick test_error_paths;
+  ]

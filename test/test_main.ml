@@ -43,4 +43,6 @@ let () =
       ("os", Test_os.suite);
       ("walk_trace", Test_walk_trace.suite);
       ("fullsys", Test_fullsys.suite);
+      ("obs.integration", Test_obs_integration.suite);
+      ("cli", Test_cli.suite);
     ]

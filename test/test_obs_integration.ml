@@ -1,0 +1,119 @@
+(* Cross-subsystem observability checks: the same failure must be counted
+   identically by the engine, the memory controller, the OS journal and
+   the metric registry; attaching a sink must not perturb any simulation;
+   and exports must be byte-identical for any domain count. *)
+
+module Rng = Ptg_util.Rng
+module Registry = Ptg_obs.Registry
+module Trace = Ptg_obs.Trace
+module Sink = Ptg_obs.Sink
+
+let counter_of sink name =
+  match Registry.find (Sink.metrics sink) name with
+  | Some v -> int_of_float v
+  | None -> Alcotest.failf "counter %s missing" name
+
+(* Seed/size combination known (from test_fullsys) to produce landed
+   flips, corrections and walk exceptions. *)
+let busy_instrs = 25_000
+
+let test_failure_accounting_agrees () =
+  let sink = Sink.create () in
+  let sim = Ptg_sim.Fullsys.create ~pages:1024 ~obs:sink ~seed:2L () in
+  let r = Ptg_sim.Fullsys.run sim ~instrs:busy_instrs in
+  let engine =
+    match Ptg_sim.Fullsys.engine sim with
+    | Some e -> e
+    | None -> Alcotest.fail "guarded run has no engine"
+  in
+  let os =
+    match Ptg_sim.Fullsys.os_handler sim with
+    | Some os -> os
+    | None -> Alcotest.fail "observed run has no OS handler"
+  in
+  let failures = (Ptguard.Engine.stats engine).Ptguard.Engine.integrity_failures in
+  Alcotest.(check bool) "run actually fails some walks" true (failures > 0);
+  Alcotest.(check int) "result.walk_exceptions" failures r.Ptg_sim.Fullsys.walk_exceptions;
+  (* One event, four observers: engine stats, engine counter, the OS
+     journal, and the controller's failed-read counter. *)
+  Alcotest.(check int) "engine counter" failures
+    (counter_of sink "engine_integrity_failures");
+  Alcotest.(check int) "OS journal" failures
+    (Ptg_os.Os_handler.integrity_failures os);
+  Alcotest.(check int) "journal counter" failures
+    (counter_of sink {|os_journal_entries{kind="integrity_failure"}|});
+  Alcotest.(check int) "memctrl failed reads" failures
+    (counter_of sink "memctrl_reads_failed");
+  (* Corrections agree between result record and engine counter. *)
+  Alcotest.(check int) "corrections" r.Ptg_sim.Fullsys.walk_corrections
+    (counter_of sink "engine_corrections_succeeded")
+
+let test_obs_does_not_perturb_fullsys () =
+  let plain = Ptg_sim.Fullsys.create ~pages:1024 ~seed:2L () in
+  let r_plain = Ptg_sim.Fullsys.run plain ~instrs:busy_instrs in
+  let observed =
+    Ptg_sim.Fullsys.create ~pages:1024 ~obs:(Sink.create ()) ~seed:2L ()
+  in
+  let r_obs = Ptg_sim.Fullsys.run observed ~instrs:busy_instrs in
+  Alcotest.(check bool) "identical result records" true (r_plain = r_obs)
+
+let small_fig6 ?obs ~jobs () =
+  let workloads =
+    List.filter_map Ptg_workloads.Workload.by_name [ "mcf"; "bc"; "xalancbmk" ]
+  in
+  Ptg_sim.Fig6.run ~jobs ~instrs:8_000 ~warmup:2_000 ~workloads ?obs ()
+
+let test_fig6_exports_job_invariant () =
+  let run jobs =
+    let sink = Sink.create () in
+    let r = small_fig6 ~obs:sink ~jobs () in
+    (r, Registry.to_csv (Sink.metrics sink), Trace.to_csv (Sink.trace sink))
+  in
+  let r1, metrics1, trace1 = run 1 in
+  let r4, metrics4, trace4 = run 4 in
+  Alcotest.(check bool) "results identical" true (r1 = r4);
+  Alcotest.(check string) "metrics CSV byte-identical" metrics1 metrics4;
+  Alcotest.(check string) "trace CSV byte-identical" trace1 trace4;
+  Alcotest.(check bool) "trace is non-trivial" true
+    (String.length trace1 > String.length "seq,kind,attrs\n")
+
+let test_fig6_obs_off_unchanged () =
+  let bare = small_fig6 ~jobs:2 () in
+  let observed = small_fig6 ~obs:(Sink.create ()) ~jobs:2 () in
+  Alcotest.(check bool) "observed run returns the same figure" true
+    (bare = observed)
+
+let test_stats_exp_deterministic () =
+  let a = Ptg_sim.Stats_exp.run () in
+  let b = Ptg_sim.Stats_exp.run () in
+  let sink_a = a.Ptg_sim.Stats_exp.sink and sink_b = b.Ptg_sim.Stats_exp.sink in
+  Alcotest.(check bool) "same fullsys result" true
+    (a.Ptg_sim.Stats_exp.fullsys = b.Ptg_sim.Stats_exp.fullsys);
+  Alcotest.(check string) "metrics byte-stable"
+    (Registry.to_jsonl (Sink.metrics sink_a))
+    (Registry.to_jsonl (Sink.metrics sink_b));
+  Alcotest.(check string) "trace byte-stable"
+    (Trace.to_jsonl (Sink.trace sink_a))
+    (Trace.to_jsonl (Sink.trace sink_b));
+  (* The default stats run must exercise the interesting paths: MAC
+     verifies in the trace and nonzero engine activity in the metrics. *)
+  let kinds =
+    List.sort_uniq compare
+      (List.map Trace.kind (Trace.events (Sink.trace sink_a)))
+  in
+  Alcotest.(check bool) "mac_verify traced" true (List.mem "mac_verify" kinds);
+  Alcotest.(check bool) "tlb_miss traced" true (List.mem "tlb_miss" kinds)
+
+let suite =
+  [
+    Alcotest.test_case "failure accounting agrees everywhere" `Slow
+      test_failure_accounting_agrees;
+    Alcotest.test_case "obs does not perturb fullsys" `Slow
+      test_obs_does_not_perturb_fullsys;
+    Alcotest.test_case "fig6 exports job-invariant" `Slow
+      test_fig6_exports_job_invariant;
+    Alcotest.test_case "fig6 unchanged with obs off" `Slow
+      test_fig6_obs_off_unchanged;
+    Alcotest.test_case "stats experiment deterministic" `Slow
+      test_stats_exp_deterministic;
+  ]
