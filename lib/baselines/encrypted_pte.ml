@@ -1,8 +1,8 @@
 open Ptg_crypto
 
-type t = { key : Qarma.key }
+type t = { key : Qarma.key; sc : Qarma.scratch }
 
-let create ~rng = { key = Qarma.key_of_rng rng }
+let create ~rng = { key = Qarma.key_of_rng rng; sc = Qarma.scratch () }
 
 let tweak ~addr i = Block128.make ~hi:(Int64.of_int i) ~lo:addr
 
@@ -17,10 +17,10 @@ let map_chunks f line =
   out
 
 let encrypt_line t ~addr line =
-  map_chunks (fun i b -> Qarma.encrypt t.key ~tweak:(tweak ~addr i) b) line
+  map_chunks (fun i b -> Qarma.encrypt_with t.sc t.key ~tweak:(tweak ~addr i) b) line
 
 let decrypt_line t ~addr line =
-  map_chunks (fun i b -> Qarma.decrypt t.key ~tweak:(tweak ~addr i) b) line
+  map_chunks (fun i b -> Qarma.decrypt_with t.sc t.key ~tweak:(tweak ~addr i) b) line
 
 type consume_outcome =
   | Intact

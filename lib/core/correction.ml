@@ -59,6 +59,7 @@ module Mac_cache = struct
     protected_mask : int64;
     mutable base : Ptg_pte.Line.t; (* masked for MAC *)
     mutable q : Block128.t array;  (* 4 chunk ciphertexts for [base] *)
+    sc : Qarma.scratch;            (* reused across the correction search *)
   }
 
   let chunk line i = Block128.make ~hi:line.((2 * i) + 1) ~lo:line.(2 * i)
@@ -66,12 +67,13 @@ module Mac_cache = struct
 
   let encrypt_chunk t masked i =
     let a = addr_block ~addr:t.addr i in
-    Qarma.encrypt t.key ~tweak:a (Block128.logxor (chunk masked i) a)
+    Qarma.encrypt_with t.sc t.key ~tweak:a (Block128.logxor (chunk masked i) a)
 
   let make ~mac_bits ~masked_for_mac ~protected_mask key ~addr line =
     let masked = masked_for_mac line in
     let t =
-      { key; addr; mac_bits; masked_for_mac; protected_mask; base = masked; q = [||] }
+      { key; addr; mac_bits; masked_for_mac; protected_mask; base = masked;
+        q = [||]; sc = Qarma.scratch () }
     in
     t.q <- Array.init 4 (fun i -> encrypt_chunk t masked i);
     t
@@ -98,7 +100,7 @@ module Mac_cache = struct
         Block128.make ~hi ~lo
       in
       let a = addr_block ~addr:t.addr ci in
-      let qc = Qarma.encrypt t.key ~tweak:a (Block128.logxor candidate_chunk a) in
+      let qc = Qarma.encrypt_with t.sc t.key ~tweak:a (Block128.logxor candidate_chunk a) in
       let q = Array.copy t.q in
       q.(ci) <- qc;
       mac_of_blocks t q

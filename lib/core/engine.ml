@@ -85,6 +85,9 @@ type t = {
   stats : stats;
   mutable listeners : (os_event -> unit) list;
   obs : obs option;
+  (* Reused by every MAC computation; engines are single-domain, and the
+     read-only view [rekey] builds shares it safely (strictly sequential). *)
+  mac_ctx : Mac.ctx;
 }
 
 let obs_incr t sel =
@@ -127,6 +130,7 @@ let create ?(config = Config.baseline) ?obs ~rng () =
     stats = fresh_stats ();
     listeners = [];
     obs = Option.map obs_of_sink obs;
+    mac_ctx = Mac.ctx ();
   }
 
 let config t = t.config
@@ -145,7 +149,7 @@ let layout t = t.config.Config.layout
 let compute_mac t ~addr line =
   let module L = (val layout t : Layout.S) in
   Mac.truncate ~width:t.config.Config.mac_bits
-    (Mac.compute t.key ~addr (L.masked_for_mac line))
+    (Mac.compute_with t.mac_ctx t.key ~addr (L.masked_for_mac line))
 
 (* The embedded-MAC comparison is strict over the full 96-bit field: with
    a truncated MAC the unused upper field bits must be zero, exactly as

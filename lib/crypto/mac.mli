@@ -30,6 +30,16 @@ val compute : Qarma.key -> addr:int64 -> int64 array -> t
     physical line address [addr]. The caller must already have masked the
     line to its protected bits and zeroed the MAC field itself. *)
 
+type ctx
+(** Reusable working state for {!compute_with} (wraps a {!Qarma.scratch}).
+    Not thread-safe: one per domain. *)
+
+val ctx : unit -> ctx
+
+val compute_with : ctx -> Qarma.key -> addr:int64 -> int64 array -> t
+(** Allocation-free {!compute}: identical result, but the per-chunk blocks
+    and cipher state live in [ctx] instead of being freshly allocated. *)
+
 val compute_zero : Qarma.key -> t
 (** The pre-computed MAC of the all-zero cacheline {e without} the address
     input — the MAC-zero optimization of Section V-B. Equals

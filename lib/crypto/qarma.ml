@@ -278,6 +278,125 @@ let decrypt key ~tweak c =
   xor1_in_place !s key.w0;
   Block128.of_cells !s
 
+(* Scratch-context API: a reusable pair of state/tweak double buffers so
+   the hot MAC paths encrypt without allocating. The round sequences below
+   mirror [encrypt]/[decrypt] above exactly; the pure functions stay as the
+   reference implementation and the property tests check agreement. *)
+
+type scratch = {
+  mutable s : int array;   (* state *)
+  mutable s' : int array;  (* state spare (permute/mix destination) *)
+  mutable t : int array;   (* tweak *)
+  mutable t' : int array;  (* tweak spare *)
+}
+
+let scratch () =
+  {
+    s = Array.make 16 0;
+    s' = Array.make 16 0;
+    t = Array.make 16 0;
+    t' = Array.make 16 0;
+  }
+
+let swap_state sc = let tmp = sc.s in sc.s <- sc.s'; sc.s' <- tmp
+let swap_tweak sc = let tmp = sc.t in sc.t <- sc.t'; sc.t' <- tmp
+
+(* Consumes the plaintext cells in [sc.s] and tweak cells in [sc.t],
+   leaving the ciphertext cells in [sc.s]. *)
+let encrypt_cells key sc =
+  xor1_in_place sc.s key.w0;
+  for i = 0 to key.rounds - 1 do
+    xor_round_key sc.s key.k0 sc.t key.rc.(i);
+    if i > 0 then begin
+      permute_into tau sc.s sc.s';
+      swap_state sc;
+      mix_into sc.s sc.s';
+      swap_state sc
+    end;
+    substitute_in_place sbox sc.s;
+    tweak_update_into sc.t sc.t';
+    swap_tweak sc
+  done;
+  xor2_in_place sc.s key.w1 sc.t;
+  permute_into tau sc.s sc.s';
+  swap_state sc;
+  mix_into sc.s sc.s';
+  swap_state sc;
+  xor1_in_place sc.s key.k1;
+  permute_into tau_inv sc.s sc.s';
+  swap_state sc;
+  for i = key.rounds - 1 downto 0 do
+    tweak_update_inv_into sc.t sc.t';
+    swap_tweak sc;
+    substitute_in_place sbox_inv sc.s;
+    if i > 0 then begin
+      mix_into sc.s sc.s';
+      swap_state sc;
+      permute_into tau_inv sc.s sc.s';
+      swap_state sc
+    end;
+    xor_round_key sc.s key.k0a sc.t key.rc.(i)
+  done;
+  xor1_in_place sc.s key.w1
+
+(* Inverse of [encrypt_cells]: ciphertext cells in [sc.s] and tweak cells
+   in [sc.t] on entry, plaintext cells in [sc.s] on exit. *)
+let decrypt_cells key sc =
+  xor1_in_place sc.s key.w1;
+  for i = 0 to key.rounds - 1 do
+    xor_round_key sc.s key.k0a sc.t key.rc.(i);
+    if i > 0 then begin
+      permute_into tau sc.s sc.s';
+      swap_state sc;
+      mix_into sc.s sc.s';
+      swap_state sc
+    end;
+    substitute_in_place sbox sc.s;
+    tweak_update_into sc.t sc.t';
+    swap_tweak sc
+  done;
+  permute_into tau sc.s sc.s';
+  swap_state sc;
+  xor1_in_place sc.s key.k1;
+  mix_into sc.s sc.s';
+  swap_state sc;
+  permute_into tau_inv sc.s sc.s';
+  swap_state sc;
+  xor2_in_place sc.s key.w1 sc.t;
+  for i = key.rounds - 1 downto 0 do
+    tweak_update_inv_into sc.t sc.t';
+    swap_tweak sc;
+    substitute_in_place sbox_inv sc.s;
+    if i > 0 then begin
+      mix_into sc.s sc.s';
+      swap_state sc;
+      permute_into tau_inv sc.s sc.s';
+      swap_state sc
+    end;
+    xor_round_key sc.s key.k0 sc.t key.rc.(i)
+  done;
+  xor1_in_place sc.s key.w0
+
+let encrypt_raw sc key ~t_hi ~t_lo ~p_hi ~p_lo =
+  Block128.fill_cells sc.s ~hi:p_hi ~lo:p_lo;
+  Block128.fill_cells sc.t ~hi:t_hi ~lo:t_lo;
+  encrypt_cells key sc
+
+let out_hi sc = Block128.pack_hi sc.s
+let out_lo sc = Block128.pack_lo sc.s
+
+let encrypt_with sc key ~tweak p =
+  Block128.to_cells_into p sc.s;
+  Block128.to_cells_into tweak sc.t;
+  encrypt_cells key sc;
+  Block128.make ~hi:(Block128.pack_hi sc.s) ~lo:(Block128.pack_lo sc.s)
+
+let decrypt_with sc key ~tweak c =
+  Block128.to_cells_into c sc.s;
+  Block128.to_cells_into tweak sc.t;
+  decrypt_cells key sc;
+  Block128.make ~hi:(Block128.pack_hi sc.s) ~lo:(Block128.pack_lo sc.s)
+
 module Internal = struct
   let sbox = sbox
   let sbox_inv = sbox_inv

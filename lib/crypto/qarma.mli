@@ -42,6 +42,41 @@ val encrypt : key -> tweak:Block128.t -> Block128.t -> Block128.t
 val decrypt : key -> tweak:Block128.t -> Block128.t -> Block128.t
 (** Exact inverse of {!encrypt} for the same key and tweak. *)
 
+(** {2 Scratch-context API}
+
+    The pure functions above allocate fresh cell arrays on every call,
+    which dominates the cost of MAC-ing a PTE line millions of times per
+    simulation. A {!scratch} preallocates the state and tweak double
+    buffers once; the [_with]/[_raw] entry points below reuse it and are
+    property-tested to agree with {!encrypt}/{!decrypt} exactly. A scratch
+    is not thread-safe: give each domain (each engine, each correction
+    engine) its own. *)
+
+type scratch
+(** Reusable cipher working state; see {!val-scratch}. *)
+
+val scratch : unit -> scratch
+(** Allocate a fresh scratch context. *)
+
+val encrypt_with : scratch -> key -> tweak:Block128.t -> Block128.t -> Block128.t
+(** [encrypt_with sc key ~tweak p] = [encrypt key ~tweak p], reusing [sc]'s
+    buffers instead of allocating. Only the result block is allocated. *)
+
+val decrypt_with : scratch -> key -> tweak:Block128.t -> Block128.t -> Block128.t
+(** Scratch-reusing {!decrypt}. *)
+
+val encrypt_raw :
+  scratch -> key -> t_hi:int64 -> t_lo:int64 -> p_hi:int64 -> p_lo:int64 -> unit
+(** Fully allocation-free encryption: tweak and plaintext halves are passed
+    as bare [int64]s and the ciphertext is left in the scratch, readable
+    via {!out_hi}/{!out_lo} until the next [_raw]/[_with] call. *)
+
+val out_hi : scratch -> int64
+(** High 64 bits of the last {!encrypt_raw} result. *)
+
+val out_lo : scratch -> int64
+(** Low 64 bits of the last {!encrypt_raw} result. *)
+
 (**/**)
 
 module Internal : sig

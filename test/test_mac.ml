@@ -97,6 +97,26 @@ let prop_split_pieces_width =
   QCheck2.Test.make ~name:"split12 pieces fit 12 bits" ~count:300 gen_mac (fun m ->
       Array.for_all (fun p -> p >= 0 && p < 4096) (Mac.split12 m))
 
+(* One ctx shared across all samples: stale state would break agreement. *)
+let shared_ctx = Mac.ctx ()
+
+let gen_line =
+  QCheck2.Gen.(array_size (return 8) int64)
+
+let prop_compute_with_agrees =
+  QCheck2.Test.make ~name:"compute_with agrees with compute" ~count:300
+    QCheck2.Gen.(pair int64 gen_line)
+    (fun (addr, line) ->
+      Mac.equal (Mac.compute_with shared_ctx key ~addr line) (Mac.compute key ~addr line))
+
+let prop_compute_with_agrees_fresh_keys =
+  QCheck2.Test.make ~name:"compute_with agrees under random keys" ~count:50
+    QCheck2.Gen.(triple int64 int64 gen_line)
+    (fun (seed, addr, line) ->
+      let rng = Ptg_util.Rng.create seed in
+      let k = Qarma.key_of_rng rng in
+      Mac.equal (Mac.compute_with shared_ctx k ~addr line) (Mac.compute k ~addr line))
+
 let prop_hamming_symmetric =
   QCheck2.Test.make ~name:"hamming symmetric" ~count:300
     QCheck2.Gen.(pair gen_mac gen_mac)
@@ -118,4 +138,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_split_join;
     QCheck_alcotest.to_alcotest prop_split_pieces_width;
     QCheck_alcotest.to_alcotest prop_hamming_symmetric;
+    QCheck_alcotest.to_alcotest prop_compute_with_agrees;
+    QCheck_alcotest.to_alcotest prop_compute_with_agrees_fresh_keys;
   ]

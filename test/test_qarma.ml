@@ -126,6 +126,45 @@ let prop_injective_sample =
               (Qarma.encrypt fixed_key ~tweak p1)
               (Qarma.encrypt fixed_key ~tweak p2)))
 
+(* Scratch-context API: one shared scratch reused across every qcheck
+   sample, so state left over from a previous call would be caught. *)
+let shared_scratch = Qarma.scratch ()
+
+let prop_encrypt_with_agrees =
+  QCheck2.Test.make ~name:"encrypt_with agrees with pure encrypt" ~count:500
+    QCheck2.Gen.(pair gen_block gen_block)
+    (fun (p, tweak) ->
+      Block128.equal
+        (Qarma.encrypt_with shared_scratch fixed_key ~tweak p)
+        (Qarma.encrypt fixed_key ~tweak p))
+
+let prop_decrypt_with_agrees =
+  QCheck2.Test.make ~name:"decrypt_with agrees with pure decrypt" ~count:500
+    QCheck2.Gen.(pair gen_block gen_block)
+    (fun (c, tweak) ->
+      Block128.equal
+        (Qarma.decrypt_with shared_scratch fixed_key ~tweak c)
+        (Qarma.decrypt fixed_key ~tweak c))
+
+let prop_encrypt_raw_agrees =
+  QCheck2.Test.make ~name:"encrypt_raw agrees with pure encrypt" ~count:500
+    QCheck2.Gen.(pair gen_block gen_block)
+    (fun (p, tweak) ->
+      Qarma.encrypt_raw shared_scratch fixed_key ~t_hi:tweak.Block128.hi
+        ~t_lo:tweak.Block128.lo ~p_hi:p.Block128.hi ~p_lo:p.Block128.lo;
+      let c = Qarma.encrypt fixed_key ~tweak p in
+      Int64.equal (Qarma.out_hi shared_scratch) c.Block128.hi
+      && Int64.equal (Qarma.out_lo shared_scratch) c.Block128.lo)
+
+let prop_scratch_agrees_across_rounds =
+  QCheck2.Test.make ~name:"scratch API agrees for r in 1..16" ~count:64
+    QCheck2.Gen.(triple (int_range 1 16) gen_block gen_block)
+    (fun (rounds, p, tweak) ->
+      let key = Qarma.expand_key ~rounds ~w0:(Block128.of_int64 42L) (Block128.of_int64 7L) in
+      Block128.equal
+        (Qarma.encrypt_with shared_scratch key ~tweak p)
+        (Qarma.encrypt key ~tweak p))
+
 let suite =
   [
     Alcotest.test_case "sbox bijective" `Quick test_internal_sbox_bijective;
@@ -141,4 +180,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_roundtrip_all_rounds;
     QCheck_alcotest.to_alcotest prop_injective_sample;
+    QCheck_alcotest.to_alcotest prop_encrypt_with_agrees;
+    QCheck_alcotest.to_alcotest prop_decrypt_with_agrees;
+    QCheck_alcotest.to_alcotest prop_encrypt_raw_agrees;
+    QCheck_alcotest.to_alcotest prop_scratch_agrees_across_rounds;
   ]
