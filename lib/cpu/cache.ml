@@ -17,10 +17,19 @@ type t = {
   cfg : config;
   sets : way array array;
   set_count : int;
+  (* Shift/mask decomposition of the address split; exact because
+     [create] validates that line size and set count are powers of two
+     and simulated physical addresses are non-negative. *)
+  line_shift : int;
+  set_shift : int;
+  set_mask : int;
   obs : obs option;
   mutable tick : int;
   mutable accesses : int;
   mutable misses : int;
+  (* Writeback protocol of [access_fast]: valid until the next access. *)
+  mutable wb_pending : bool;
+  mutable wb_addr : int64;
 }
 
 let obs_of_sink ~name sink =
@@ -28,10 +37,21 @@ let obs_of_sink ~name sink =
   let c = Ptg_obs.Registry.counter (Ptg_obs.Sink.registry sink) ~labels in
   { o_accesses = c "cache_accesses"; o_misses = c "cache_misses" }
 
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let r = ref 0 in
+  while 1 lsl !r < n do incr r done;
+  !r
+
 let create ?obs ?(name = "cache") cfg =
   if cfg.size_bytes mod (cfg.assoc * cfg.line_bytes) <> 0 then
     invalid_arg "Cache.create: geometry does not divide";
   let set_count = cfg.size_bytes / (cfg.assoc * cfg.line_bytes) in
+  if not (is_pow2 cfg.line_bytes) then
+    invalid_arg "Cache.create: line_bytes must be a power of two";
+  if not (is_pow2 set_count) then
+    invalid_arg "Cache.create: set count must be a power of two";
   {
     cfg;
     sets =
@@ -39,59 +59,95 @@ let create ?obs ?(name = "cache") cfg =
           Array.init cfg.assoc (fun _ ->
               { tag = 0L; valid = false; dirty = false; lru = 0 }));
     set_count;
+    line_shift = log2 cfg.line_bytes;
+    set_shift = log2 set_count;
+    set_mask = set_count - 1;
     obs = Option.map (obs_of_sink ~name) obs;
     tick = 0;
     accesses = 0;
     misses = 0;
+    wb_pending = false;
+    wb_addr = 0L;
   }
 
 let config t = t.cfg
 
-(* Single source of truth for the address split: every caller gets the
-   set, its index, and the tag from the same divide/rem chain, so a
+(* Single source of truth for the address split: every caller derives the
+   set, its index, and the tag from the same shift/mask chain, so a
    writeback address can never be reconstructed from a different set
    index than the one the lookup used. *)
 let locate t addr =
-  let line = Int64.div addr (Int64.of_int t.cfg.line_bytes) in
-  let set_idx = Int64.to_int (Int64.rem line (Int64.of_int t.set_count)) in
-  let tag = Int64.div line (Int64.of_int t.set_count) in
+  let line = Int64.shift_right_logical addr t.line_shift in
+  let set_idx = Int64.to_int line land t.set_mask in
+  let tag = Int64.shift_right_logical line t.set_shift in
   (t.sets.(set_idx), set_idx, tag)
 
 type result = Hit | Miss of { writeback : int64 option }
 
 let line_addr_of t ~set_idx ~tag =
-  let line = Int64.add (Int64.mul tag (Int64.of_int t.set_count)) (Int64.of_int set_idx) in
-  Int64.mul line (Int64.of_int t.cfg.line_bytes)
+  let line = Int64.logor (Int64.shift_left tag t.set_shift) (Int64.of_int set_idx) in
+  Int64.shift_left line t.line_shift
 
-let access t ~addr ~is_write =
+let access_fast t ~addr ~is_write =
   t.tick <- t.tick + 1;
   t.accesses <- t.accesses + 1;
   (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_accesses);
-  let set, set_idx, tag = locate t addr in
-  match Array.find_opt (fun w -> w.valid && Int64.equal w.tag tag) set with
-  | Some w ->
-      w.lru <- t.tick;
-      if is_write then w.dirty <- true;
-      Hit
-  | None ->
-      t.misses <- t.misses + 1;
-      (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_misses);
-      (* Victim: invalid way if any, else true-LRU. *)
-      let victim =
-        match Array.find_opt (fun w -> not w.valid) set with
-        | Some w -> w
-        | None -> Array.fold_left (fun acc w -> if w.lru < acc.lru then w else acc) set.(0) set
-      in
-      let writeback =
-        if victim.valid && victim.dirty then
-          Some (line_addr_of t ~set_idx ~tag:victim.tag)
-        else None
-      in
-      victim.tag <- tag;
-      victim.valid <- true;
-      victim.dirty <- is_write;
-      victim.lru <- t.tick;
-      Miss { writeback }
+  t.wb_pending <- false;
+  let line = Int64.shift_right_logical addr t.line_shift in
+  let set_idx = Int64.to_int line land t.set_mask in
+  let tag = Int64.shift_right_logical line t.set_shift in
+  let set = t.sets.(set_idx) in
+  let n = Array.length set in
+  let hit = ref (-1) in
+  let i = ref 0 in
+  while !hit < 0 && !i < n do
+    let w = Array.unsafe_get set !i in
+    if w.valid && Int64.equal w.tag tag then hit := !i;
+    incr i
+  done;
+  if !hit >= 0 then begin
+    let w = Array.unsafe_get set !hit in
+    w.lru <- t.tick;
+    if is_write then w.dirty <- true;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_misses);
+    (* Victim: first invalid way if any, else true-LRU — the leftmost
+       minimum, matching the strict-< fold this loop replaced. *)
+    let victim = ref (-1) in
+    let j = ref 0 in
+    while !victim < 0 && !j < n do
+      if not (Array.unsafe_get set !j).valid then victim := !j;
+      incr j
+    done;
+    if !victim < 0 then begin
+      let best = ref 0 in
+      for k = 1 to n - 1 do
+        if (Array.unsafe_get set k).lru < (Array.unsafe_get set !best).lru then
+          best := k
+      done;
+      victim := !best
+    end;
+    let w = Array.unsafe_get set !victim in
+    if w.valid && w.dirty then begin
+      t.wb_pending <- true;
+      t.wb_addr <- line_addr_of t ~set_idx ~tag:w.tag
+    end;
+    w.tag <- tag;
+    w.valid <- true;
+    w.dirty <- is_write;
+    w.lru <- t.tick;
+    false
+  end
+
+let writeback_pending t = t.wb_pending
+let writeback_addr t = t.wb_addr
+
+let access t ~addr ~is_write =
+  if access_fast t ~addr ~is_write then Hit
+  else Miss { writeback = (if t.wb_pending then Some t.wb_addr else None) }
 
 let probe t ~addr =
   let set, _, tag = locate t addr in

@@ -42,7 +42,21 @@ val config : t -> config
 
 val access : t -> addr:int64 -> is_write:bool -> result
 (** Look up the line containing [addr]; on miss the line is installed
-    (allocate-on-miss for reads and writes alike). *)
+    (allocate-on-miss for reads and writes alike). Convenience wrapper
+    around {!access_fast}, allocating the result. *)
+
+val access_fast : t -> addr:int64 -> is_write:bool -> bool
+(** Allocation-free {!access}: returns [true] on hit. On a miss that
+    evicts a dirty line, the writeback is published through
+    {!writeback_pending}/{!writeback_addr} and stays readable until the
+    next access to this cache. *)
+
+val writeback_pending : t -> bool
+(** Whether the last {!access_fast} miss evicted a dirty line. *)
+
+val writeback_addr : t -> int64
+(** Line address of that dirty victim; meaningful only when
+    {!writeback_pending} is [true]. *)
 
 val probe : t -> addr:int64 -> bool
 (** Non-intrusive lookup (no LRU update, no fill). *)

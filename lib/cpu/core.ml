@@ -105,31 +105,28 @@ let upper_entry_addr t ~level vpn =
    L1 hits are fully pipelined (no stall); hardware-walker accesses skip
    L1 as real walkers do. *)
 let mem_access t ~paddr ~is_write ~is_pte ~through_l1 =
-  let l1_result =
-    if through_l1 then Cache.access t.l1 ~addr:paddr ~is_write else Cache.Miss { writeback = None }
-  in
-  match l1_result with
-  | Cache.Hit -> 0
-  | Cache.Miss _ -> (
-      match Cache.access t.l2 ~addr:paddr ~is_write:false with
-      | Cache.Hit -> (Cache.config t.l2).Cache.latency
-      | Cache.Miss _ -> (
-          let l2_lat = (Cache.config t.l2).Cache.latency in
-          match Cache.access t.l3 ~addr:paddr ~is_write:false with
-          | Cache.Hit -> l2_lat + (Cache.config t.l3).Cache.latency
-          | Cache.Miss _ ->
-              let l3_lat = (Cache.config t.l3).Cache.latency in
-              let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr:paddr ~is_write:false in
-              let guard_extra = Guard_timing.read_penalty t.guard ~is_pte in
-              if is_pte then t.pte_dram_reads <- t.pte_dram_reads + 1
-              else t.dram_reads <- t.dram_reads + 1;
-              (match t.obs with
-              | None -> ()
-              | Some o ->
-                  Ptg_obs.Registry.incr
-                    (if is_pte then o.o_pte_dram_reads else o.o_dram_reads));
-              l2_lat + l3_lat + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency
-              + guard_extra))
+  if through_l1 && Cache.access_fast t.l1 ~addr:paddr ~is_write then 0
+  else if Cache.access_fast t.l2 ~addr:paddr ~is_write:false then
+    (Cache.config t.l2).Cache.latency
+  else begin
+    let l2_lat = (Cache.config t.l2).Cache.latency in
+    if Cache.access_fast t.l3 ~addr:paddr ~is_write:false then
+      l2_lat + (Cache.config t.l3).Cache.latency
+    else begin
+      let l3_lat = (Cache.config t.l3).Cache.latency in
+      let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr:paddr ~is_write:false in
+      let guard_extra = Guard_timing.read_penalty t.guard ~is_pte in
+      if is_pte then t.pte_dram_reads <- t.pte_dram_reads + 1
+      else t.dram_reads <- t.dram_reads + 1;
+      (match t.obs with
+      | None -> ()
+      | Some o ->
+          Ptg_obs.Registry.incr
+            (if is_pte then o.o_pte_dram_reads else o.o_dram_reads));
+      l2_lat + l3_lat + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency
+      + guard_extra
+    end
+  end
 
 (* Page-table walk: three upper levels through the MMU cache, leaf PTE
    through the cache hierarchy (walker port: no L1). *)
@@ -145,15 +142,15 @@ let walk t vpn =
   let stall = ref 0 in
   for level = 3 downto 1 do
     let addr = upper_entry_addr t ~level vpn in
-    match Cache.access t.mmu ~addr ~is_write:false with
-    | Cache.Hit -> stall := !stall + 1
-    | Cache.Miss _ ->
-        (match t.obs with
-        | None -> ()
-        | Some o ->
-            Ptg_obs.Trace.record o.o_trace
-              (Ptg_obs.Trace.Mmu_cache_miss { addr }));
-        stall := !stall + mem_access t ~paddr:addr ~is_write:false ~is_pte:true ~through_l1:false
+    if Cache.access_fast t.mmu ~addr ~is_write:false then stall := !stall + 1
+    else begin
+      (match t.obs with
+      | None -> ()
+      | Some o ->
+          Ptg_obs.Trace.record o.o_trace
+            (Ptg_obs.Trace.Mmu_cache_miss { addr }));
+      stall := !stall + mem_access t ~paddr:addr ~is_write:false ~is_pte:true ~through_l1:false
+    end
   done;
   let leaf = leaf_pte_addr t vpn in
   stall := !stall + mem_access t ~paddr:leaf ~is_write:false ~is_pte:true ~through_l1:false;

@@ -132,31 +132,25 @@ let dram_access t core ~paddr ~is_pte =
   wait + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency + guard_extra
 
 let mem_access t core ~paddr ~is_write ~is_pte ~through_l1 =
-  let l1_result =
-    if through_l1 then Cache.access core.l1 ~addr:paddr ~is_write
-    else Cache.Miss { writeback = None }
-  in
-  match l1_result with
-  | Cache.Hit -> 0
-  | Cache.Miss _ -> (
-      match Cache.access core.l2 ~addr:paddr ~is_write:false with
-      | Cache.Hit -> (Cache.config core.l2).Cache.latency
-      | Cache.Miss _ -> (
-          let l2_lat = (Cache.config core.l2).Cache.latency in
-          match Cache.access t.llc ~addr:paddr ~is_write:false with
-          | Cache.Hit -> l2_lat + (Cache.config t.llc).Cache.latency
-          | Cache.Miss _ ->
-              l2_lat + (Cache.config t.llc).Cache.latency
-              + dram_access t core ~paddr ~is_pte))
+  if through_l1 && Cache.access_fast core.l1 ~addr:paddr ~is_write then 0
+  else if Cache.access_fast core.l2 ~addr:paddr ~is_write:false then
+    (Cache.config core.l2).Cache.latency
+  else begin
+    let l2_lat = (Cache.config core.l2).Cache.latency in
+    if Cache.access_fast t.llc ~addr:paddr ~is_write:false then
+      l2_lat + (Cache.config t.llc).Cache.latency
+    else
+      l2_lat + (Cache.config t.llc).Cache.latency
+      + dram_access t core ~paddr ~is_pte
+  end
 
 let walk t core vpn =
   let stall = ref 0 in
   for level = 3 downto 1 do
     let addr = upper_entry_addr t core ~level vpn in
-    match Cache.access core.mmu ~addr ~is_write:false with
-    | Cache.Hit -> stall := !stall + 1
-    | Cache.Miss _ ->
-        stall := !stall + mem_access t core ~paddr:addr ~is_write:false ~is_pte:true ~through_l1:false
+    if Cache.access_fast core.mmu ~addr ~is_write:false then stall := !stall + 1
+    else
+      stall := !stall + mem_access t core ~paddr:addr ~is_write:false ~is_pte:true ~through_l1:false
   done;
   stall :=
     !stall
@@ -183,19 +177,22 @@ let run t ~instrs_per_core ~streams =
   if Array.length streams <> t.cfg.cores then
     invalid_arg "Multicore.run: need one stream per core";
   let total = t.cfg.cores * instrs_per_core in
+  let ncores = Array.length t.cores in
   for _ = 1 to total do
-    (* Advance the core that is earliest in global time and not done. *)
-    let next = ref None in
-    Array.iter
-      (fun c ->
-        if c.done_instrs < instrs_per_core then
-          match !next with
-          | None -> next := Some c
-          | Some b -> if c.now < b.now then next := Some c)
-      t.cores;
-    match !next with
-    | None -> ()
-    | Some c -> step t c (streams.(c.id) ())
+    (* Advance the core that is earliest in global time and not done —
+       leftmost minimum, same pick as the option-accumulating scan this
+       index loop replaced. *)
+    let next = ref (-1) in
+    for i = 0 to ncores - 1 do
+      let c = t.cores.(i) in
+      if c.done_instrs < instrs_per_core
+         && (!next < 0 || c.now < t.cores.(!next).now)
+      then next := i
+    done;
+    if !next >= 0 then begin
+      let c = t.cores.(!next) in
+      step t c (streams.(c.id) ())
+    end
   done;
   let total_cycles = Array.fold_left (fun acc c -> max acc c.now) 0 t.cores in
   {

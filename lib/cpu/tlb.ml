@@ -32,37 +32,64 @@ let create ?(entries = 64) ?obs () =
     misses = 0;
   }
 
+(* Index of the valid entry holding [vpn], or -1. Runs once per
+   instruction, so this is a closure-free index loop. *)
+let find t vpn =
+  let entries = t.entries in
+  let n = Array.length entries in
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < n do
+    let e = Array.unsafe_get entries !i in
+    if e.valid && Int64.equal e.vpn vpn then found := !i;
+    incr i
+  done;
+  !found
+
 let lookup t ~vpn =
   t.tick <- t.tick + 1;
-  match Array.find_opt (fun e -> e.valid && Int64.equal e.vpn vpn) t.entries with
-  | Some e ->
-      e.lru <- t.tick;
-      t.hits <- t.hits + 1;
-      (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_hits);
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      (match t.obs with
-      | None -> ()
-      | Some o ->
-          Ptg_obs.Registry.incr o.o_misses;
-          Ptg_obs.Trace.record o.o_trace (Ptg_obs.Trace.Tlb_miss { vpn }));
-      false
+  let idx = find t vpn in
+  if idx >= 0 then begin
+    (Array.unsafe_get t.entries idx).lru <- t.tick;
+    t.hits <- t.hits + 1;
+    (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_hits);
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (match t.obs with
+    | None -> ()
+    | Some o ->
+        Ptg_obs.Registry.incr o.o_misses;
+        Ptg_obs.Trace.record o.o_trace (Ptg_obs.Trace.Tlb_miss { vpn }));
+    false
+  end
 
 let fill t ~vpn =
   t.tick <- t.tick + 1;
-  if not (Array.exists (fun e -> e.valid && Int64.equal e.vpn vpn) t.entries) then begin
-    let victim =
-      match Array.find_opt (fun e -> not e.valid) t.entries with
-      | Some e -> e
-      | None ->
-          Array.fold_left
-            (fun acc e -> if e.lru < acc.lru then e else acc)
-            t.entries.(0) t.entries
-    in
-    victim.vpn <- vpn;
-    victim.valid <- true;
-    victim.lru <- t.tick
+  if find t vpn < 0 then begin
+    let entries = t.entries in
+    let n = Array.length entries in
+    (* First invalid entry if any, else the leftmost LRU minimum —
+       identical victim choice to the fold this replaced. *)
+    let victim = ref (-1) in
+    let j = ref 0 in
+    while !victim < 0 && !j < n do
+      if not (Array.unsafe_get entries !j).valid then victim := !j;
+      incr j
+    done;
+    if !victim < 0 then begin
+      let best = ref 0 in
+      for k = 1 to n - 1 do
+        if (Array.unsafe_get entries k).lru < (Array.unsafe_get entries !best).lru
+        then best := k
+      done;
+      victim := !best
+    end;
+    let e = Array.unsafe_get entries !victim in
+    e.vpn <- vpn;
+    e.valid <- true;
+    e.lru <- t.tick
   end
 
 let flush t = Array.iter (fun e -> e.valid <- false) t.entries

@@ -1,4 +1,21 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256** seeded via SplitMix64.
+
+   The four state words live in an int64 bigarray rather than mutable
+   record fields: bigarray loads and stores compile to unboxed moves,
+   where every store to a mutable [int64] field allocates a fresh box —
+   and [next] runs several times per simulated instruction. The update
+   math is unchanged, so streams are bit-identical to the record-based
+   implementation this replaced. *)
+
+type t = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let make4 s0 s1 s2 s3 : t =
+  let a = Bigarray.Array1.create Bigarray.Int64 Bigarray.c_layout 4 in
+  Bigarray.Array1.unsafe_set a 0 s0;
+  Bigarray.Array1.unsafe_set a 1 s1;
+  Bigarray.Array1.unsafe_set a 2 s2;
+  Bigarray.Array1.unsafe_set a 3 s3;
+  a
 
 (* SplitMix64: expands a 64-bit seed into well-distributed state words. *)
 let splitmix64 state =
@@ -17,23 +34,42 @@ let create seed =
   let s3 = splitmix64 state in
   (* xoshiro must not start from the all-zero state. *)
   if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
-    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
-  else { s0; s1; s2; s3 }
+    make4 1L 2L 3L 4L
+  else make4 s0 s1 s2 s3
 
-let next t =
+(* Local rotate so [next] stays free of cross-module calls; [n] is a
+   nonzero literal at both uses. *)
+let rotl w n =
+  Int64.logor (Int64.shift_left w n) (Int64.shift_right_logical w (64 - n))
+
+let next (t : t) =
   let open Int64 in
-  let result = mul (Bits.rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- Bits.rotl t.s3 45;
+  let s0 = Bigarray.Array1.unsafe_get t 0
+  and s1 = Bigarray.Array1.unsafe_get t 1
+  and s2 = Bigarray.Array1.unsafe_get t 2
+  and s3 = Bigarray.Array1.unsafe_get t 3 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  Bigarray.Array1.unsafe_set t 0 s0;
+  Bigarray.Array1.unsafe_set t 1 s1;
+  Bigarray.Array1.unsafe_set t 2 s2;
+  Bigarray.Array1.unsafe_set t 3 s3;
   result
 
 let split t = create (next t)
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let copy (t : t) =
+  make4
+    (Bigarray.Array1.unsafe_get t 0)
+    (Bigarray.Array1.unsafe_get t 1)
+    (Bigarray.Array1.unsafe_get t 2)
+    (Bigarray.Array1.unsafe_get t 3)
 
 let int64_bounded t bound =
   if Int64.compare bound 0L <= 0 then invalid_arg "Rng.int64_bounded";

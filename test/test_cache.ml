@@ -78,6 +78,53 @@ let test_presets_sizes () =
   Alcotest.(check int) "MMU 8K" (8 * 1024) Cache.mmu_8k.Cache.size_bytes;
   Alcotest.(check int) "MMU 4-way" 4 Cache.mmu_8k.Cache.assoc
 
+let test_pow2_validation () =
+  Alcotest.check_raises "non-pow2 set count"
+    (Invalid_argument "Cache.create: set count must be a power of two") (fun () ->
+      ignore (Cache.create { Cache.size_bytes = 384; assoc = 2; line_bytes = 64; latency = 1 }));
+  Alcotest.check_raises "non-pow2 line size"
+    (Invalid_argument "Cache.create: line_bytes must be a power of two") (fun () ->
+      ignore (Cache.create { Cache.size_bytes = 384; assoc = 2; line_bytes = 48; latency = 1 }))
+
+let test_access_fast_protocol () =
+  let c = Cache.create tiny in
+  let set0 n = Int64.of_int (n * 4 * 64) in
+  Alcotest.(check bool) "cold miss" false (Cache.access_fast c ~addr:(set0 0) ~is_write:true);
+  Alcotest.(check bool) "no writeback on cold miss" false (Cache.writeback_pending c);
+  Alcotest.(check bool) "then hit" true (Cache.access_fast c ~addr:(set0 0) ~is_write:false);
+  ignore (Cache.access_fast c ~addr:(set0 1) ~is_write:false);
+  Alcotest.(check bool) "conflict miss" false (Cache.access_fast c ~addr:(set0 2) ~is_write:false);
+  Alcotest.(check bool) "dirty victim published" true (Cache.writeback_pending c);
+  Alcotest.(check int64) "victim line address" (set0 0) (Cache.writeback_addr c);
+  Alcotest.(check bool) "next access clears it" true
+    (Cache.access_fast c ~addr:(set0 2) ~is_write:false);
+  Alcotest.(check bool) "cleared" false (Cache.writeback_pending c)
+
+(* The shift/mask address split must agree with the div/rem chain it
+   replaced. A direct-mapped cache makes the split observable through the
+   public API: hit iff same line, dirty-conflict writeback iff same set,
+   and the writeback address reconstructs the victim's line address. *)
+let gen_addr =
+  QCheck2.Gen.map (fun x -> Int64.shift_right_logical x 1) QCheck2.Gen.int64
+
+let prop_split_matches_divrem =
+  QCheck2.Test.make ~name:"shift/mask address split agrees with div/rem" ~count:1000
+    QCheck2.Gen.(pair gen_addr gen_addr)
+    (fun (a1, a2) ->
+      let c =
+        Cache.create { Cache.size_bytes = 1024; assoc = 1; line_bytes = 64; latency = 1 }
+      in
+      ignore (Cache.access c ~addr:a1 ~is_write:true);
+      let line1 = Int64.div a1 64L and line2 = Int64.div a2 64L in
+      let set1 = Int64.rem line1 16L and set2 = Int64.rem line2 16L in
+      match Cache.access c ~addr:a2 ~is_write:false with
+      | Cache.Hit -> Int64.equal line1 line2
+      | Cache.Miss { writeback = Some wb } ->
+          (not (Int64.equal line1 line2))
+          && Int64.equal set1 set2
+          && Int64.equal wb (Int64.mul line1 64L)
+      | Cache.Miss { writeback = None } -> not (Int64.equal set1 set2))
+
 let test_tlb () =
   let t = Tlb.create ~entries:2 () in
   Alcotest.(check bool) "cold miss" false (Tlb.lookup t ~vpn:1L);
@@ -117,6 +164,9 @@ let suite =
     Alcotest.test_case "invalidate" `Quick test_invalidate;
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "Table III presets" `Quick test_presets_sizes;
+    Alcotest.test_case "power-of-two validation" `Quick test_pow2_validation;
+    Alcotest.test_case "access_fast writeback protocol" `Quick test_access_fast_protocol;
+    QCheck_alcotest.to_alcotest prop_split_matches_divrem;
     Alcotest.test_case "tlb" `Quick test_tlb;
     Alcotest.test_case "tlb fill idempotent" `Quick test_tlb_fill_idempotent;
   ]
