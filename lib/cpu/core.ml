@@ -33,12 +33,14 @@ type result = {
   walks : int;
   tlb_miss_rate : float;
   guard_mac_computations : int;
+  cache_writebacks : int;
 }
 
 type obs = {
   o_dram_reads : Ptg_obs.Registry.counter;
   o_pte_dram_reads : Ptg_obs.Registry.counter;
   o_walks : Ptg_obs.Registry.counter;
+  o_cache_writebacks : Ptg_obs.Registry.counter;
   o_trace : Ptg_obs.Trace.t;
 }
 
@@ -48,6 +50,7 @@ let obs_of_sink sink =
     o_dram_reads = c "core_dram_reads";
     o_pte_dram_reads = c "core_pte_dram_reads";
     o_walks = c "core_walks";
+    o_cache_writebacks = c "core_cache_writebacks";
     o_trace = Ptg_obs.Sink.trace sink;
   }
 
@@ -65,6 +68,7 @@ type t = {
   mutable dram_reads : int;
   mutable pte_dram_reads : int;
   mutable walks : int;
+  mutable cache_writebacks : int;
   mutable walk_listeners : (vpn:int64 -> leaf_line_addr:int64 -> unit) list;
 }
 
@@ -83,6 +87,7 @@ let create ?(config = default_config) ?geometry ?timing ?obs ~guard () =
     dram_reads = 0;
     pte_dram_reads = 0;
     walks = 0;
+    cache_writebacks = 0;
     walk_listeners = [];
   }
 
@@ -101,30 +106,53 @@ let upper_entry_addr t ~level vpn =
   in
   Int64.add base (Int64.mul index 8L)
 
+(* A dirty victim published by the last miss is retired to DRAM as a
+   posted write: it updates device state (row buffers, activation counts)
+   but charges no stall — write buffers take it off the critical path. *)
+let drain_writeback t cache =
+  if Cache.writeback_pending cache then begin
+    let addr = Cache.writeback_addr cache in
+    ignore (Ptg_dram.Dram.access t.dram ~now:t.now ~addr ~is_write:true);
+    t.cache_writebacks <- t.cache_writebacks + 1;
+    match t.obs with
+    | None -> ()
+    | Some o ->
+        Ptg_obs.Registry.incr o.o_cache_writebacks;
+        Ptg_obs.Trace.record o.o_trace (Ptg_obs.Trace.Cache_writeback { addr })
+  end
+
 (* A read or write climbing the hierarchy; returns the stall in cycles.
    L1 hits are fully pipelined (no stall); hardware-walker accesses skip
-   L1 as real walkers do. *)
+   L1 as real walkers do. Each level's dirty eviction is drained before
+   the next level is probed, so DRAM sees a deterministic order:
+   L1 writeback, L2 access, L2 writeback, L3 access, L3 writeback,
+   demand read. *)
 let mem_access t ~paddr ~is_write ~is_pte ~through_l1 =
   if through_l1 && Cache.access_fast t.l1 ~addr:paddr ~is_write then 0
-  else if Cache.access_fast t.l2 ~addr:paddr ~is_write:false then
-    (Cache.config t.l2).Cache.latency
   else begin
-    let l2_lat = (Cache.config t.l2).Cache.latency in
-    if Cache.access_fast t.l3 ~addr:paddr ~is_write:false then
-      l2_lat + (Cache.config t.l3).Cache.latency
+    if through_l1 then drain_writeback t t.l1;
+    if Cache.access_fast t.l2 ~addr:paddr ~is_write:false then
+      (Cache.config t.l2).Cache.latency
     else begin
-      let l3_lat = (Cache.config t.l3).Cache.latency in
-      let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr:paddr ~is_write:false in
-      let guard_extra = Guard_timing.read_penalty t.guard ~is_pte in
-      if is_pte then t.pte_dram_reads <- t.pte_dram_reads + 1
-      else t.dram_reads <- t.dram_reads + 1;
-      (match t.obs with
-      | None -> ()
-      | Some o ->
-          Ptg_obs.Registry.incr
-            (if is_pte then o.o_pte_dram_reads else o.o_dram_reads));
-      l2_lat + l3_lat + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency
-      + guard_extra
+      drain_writeback t t.l2;
+      let l2_lat = (Cache.config t.l2).Cache.latency in
+      if Cache.access_fast t.l3 ~addr:paddr ~is_write:false then
+        l2_lat + (Cache.config t.l3).Cache.latency
+      else begin
+        drain_writeback t t.l3;
+        let l3_lat = (Cache.config t.l3).Cache.latency in
+        let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr:paddr ~is_write:false in
+        let guard_extra = Guard_timing.read_penalty t.guard ~is_pte in
+        if is_pte then t.pte_dram_reads <- t.pte_dram_reads + 1
+        else t.dram_reads <- t.dram_reads + 1;
+        (match t.obs with
+        | None -> ()
+        | Some o ->
+            Ptg_obs.Registry.incr
+              (if is_pte then o.o_pte_dram_reads else o.o_dram_reads));
+        l2_lat + l3_lat + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency
+        + guard_extra
+      end
     end
   end
 
@@ -167,6 +195,7 @@ let run t ~instrs ~stream =
   let start_cycles = t.now in
   let start_dram = t.dram_reads and start_pte = t.pte_dram_reads in
   let start_walks = t.walks in
+  let start_wb = t.cache_writebacks in
   let start_mac = Guard_timing.mac_computations t.guard in
   Tlb.reset_stats t.tlb;
   for _ = 1 to instrs do
@@ -195,4 +224,5 @@ let run t ~instrs ~stream =
     walks = t.walks - start_walks;
     tlb_miss_rate = Tlb.miss_rate t.tlb;
     guard_mac_computations = Guard_timing.mac_computations t.guard - start_mac;
+    cache_writebacks = t.cache_writebacks - start_wb;
   }

@@ -49,6 +49,9 @@ type result = {
   walks : int;             (** page-table walks performed *)
   tlb_miss_rate : float;
   guard_mac_computations : int;
+  cache_writebacks : int;
+      (** dirty victims written back to DRAM (posted: they update device
+          state and activation counts but charge no stall) *)
 }
 
 type t

@@ -36,6 +36,7 @@ type result = {
   dram_reads : int;
   pte_dram_reads : int;
   avg_queue_delay : float;
+  cache_writebacks : int;
 }
 
 type core_state = {
@@ -61,6 +62,7 @@ type t = {
   mutable pte_dram_reads : int;
   mutable queue_delay_total : int;
   mutable queued_accesses : int;
+  mutable cache_writebacks : int;
 }
 
 let create ?(config = default_config) ~guard () =
@@ -87,6 +89,7 @@ let create ?(config = default_config) ~guard () =
     pte_dram_reads = 0;
     queue_delay_total = 0;
     queued_accesses = 0;
+    cache_writebacks = 0;
   }
 
 (* Cores address disjoint physical slices so they do not share data but do
@@ -131,17 +134,33 @@ let dram_access t core ~paddr ~is_pte =
   end;
   wait + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency + guard_extra
 
+(* Posted writebacks: dirty victims update DRAM device state but skip the
+   channel-queue model and charge no stall (write buffers absorb them). *)
+let drain_writeback t core cache =
+  if Cache.writeback_pending cache then begin
+    ignore
+      (Ptg_dram.Dram.access t.dram ~now:core.now
+         ~addr:(Cache.writeback_addr cache) ~is_write:true);
+    t.cache_writebacks <- t.cache_writebacks + 1
+  end
+
 let mem_access t core ~paddr ~is_write ~is_pte ~through_l1 =
   if through_l1 && Cache.access_fast core.l1 ~addr:paddr ~is_write then 0
-  else if Cache.access_fast core.l2 ~addr:paddr ~is_write:false then
-    (Cache.config core.l2).Cache.latency
   else begin
-    let l2_lat = (Cache.config core.l2).Cache.latency in
-    if Cache.access_fast t.llc ~addr:paddr ~is_write:false then
-      l2_lat + (Cache.config t.llc).Cache.latency
-    else
-      l2_lat + (Cache.config t.llc).Cache.latency
-      + dram_access t core ~paddr ~is_pte
+    if through_l1 then drain_writeback t core core.l1;
+    if Cache.access_fast core.l2 ~addr:paddr ~is_write:false then
+      (Cache.config core.l2).Cache.latency
+    else begin
+      drain_writeback t core core.l2;
+      let l2_lat = (Cache.config core.l2).Cache.latency in
+      if Cache.access_fast t.llc ~addr:paddr ~is_write:false then
+        l2_lat + (Cache.config t.llc).Cache.latency
+      else begin
+        drain_writeback t core t.llc;
+        l2_lat + (Cache.config t.llc).Cache.latency
+        + dram_access t core ~paddr ~is_pte
+      end
+    end
   end
 
 let walk t core vpn =
@@ -213,4 +232,5 @@ let run t ~instrs_per_core ~streams =
     avg_queue_delay =
       (if t.queued_accesses = 0 then 0.0
        else float_of_int t.queue_delay_total /. float_of_int t.queued_accesses);
+    cache_writebacks = t.cache_writebacks;
   }

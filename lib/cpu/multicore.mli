@@ -40,6 +40,9 @@ type result = {
   dram_reads : int;
   pte_dram_reads : int;
   avg_queue_delay : float;      (** mean channel queueing per DRAM access *)
+  cache_writebacks : int;
+      (** dirty victims written back to DRAM across all cores (posted:
+          no stall, no channel occupancy, but they touch row buffers) *)
 }
 
 type t

@@ -7,6 +7,7 @@ type event =
   | Row_activation of { channel : int; bank : int; row : int; count : int }
   | Tlb_miss of { vpn : int64 }
   | Mmu_cache_miss of { addr : int64 }
+  | Cache_writeback of { addr : int64 }
   | Os_journal of { entry : string }
 
 type t = {
@@ -58,6 +59,7 @@ let kind = function
   | Row_activation _ -> "row_activation"
   | Tlb_miss _ -> "tlb_miss"
   | Mmu_cache_miss _ -> "mmu_cache_miss"
+  | Cache_writeback _ -> "cache_writeback"
   | Os_journal _ -> "os_journal"
 
 let hex a = Printf.sprintf "0x%Lx" a
@@ -83,6 +85,7 @@ let attrs = function
       ]
   | Tlb_miss { vpn } -> [ ("vpn", hex vpn) ]
   | Mmu_cache_miss { addr } -> [ ("addr", hex addr) ]
+  | Cache_writeback { addr } -> [ ("addr", hex addr) ]
   | Os_journal { entry } -> [ ("entry", entry) ]
 
 let to_csv t =

@@ -23,6 +23,8 @@ type event =
       (** A row's activation count reached the configured hot threshold. *)
   | Tlb_miss of { vpn : int64 }
   | Mmu_cache_miss of { addr : int64 }
+  | Cache_writeback of { addr : int64 }
+      (** A dirty cacheline evicted and written back to DRAM. *)
   | Os_journal of { entry : string }
 
 type t

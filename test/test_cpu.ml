@@ -90,6 +90,38 @@ let test_guard_adds_exact_latency () =
     (10 * (guarded.Core.dram_reads + guarded.Core.pte_dram_reads))
     (guarded.Core.cycles - base.Core.cycles)
 
+let test_writeback_reaches_dram () =
+  (* A dirty L1 victim must produce exactly one DRAM write: counted in
+     the result, the obs counter, and the trace — with the victim's line
+     address. Direct-mapped 2-set L1 makes the eviction easy to force. *)
+  let cfg =
+    { Core.default_config with
+      Core.l1 = { Cache.size_bytes = 128; assoc = 1; line_bytes = 64; latency = 1 } }
+  in
+  let sink = Ptg_obs.Sink.create () in
+  let core = Core.create ~config:cfg ~obs:sink ~guard:Guard_timing.unprotected () in
+  (* Store dirties line 0; the load at 128 maps to the same set (2 sets *
+     64 B) and evicts it. Both live in page 0: one walk, no other stores. *)
+  let ops = [| Core.Store 0L; Core.Load 128L; Core.Nonmem |] in
+  let i = ref (-1) in
+  let stream () =
+    incr i;
+    ops.(min !i 2)
+  in
+  let r = Core.run core ~instrs:3 ~stream in
+  Alcotest.(check int) "one writeback in result" 1 r.Core.cache_writebacks;
+  let wb_events =
+    List.filter_map
+      (function
+        | Ptg_obs.Trace.Cache_writeback { addr } -> Some addr
+        | _ -> None)
+      (Ptg_obs.Trace.events (Ptg_obs.Sink.trace sink))
+  in
+  Alcotest.(check (list int64)) "one trace event, victim line address" [ 0L ]
+    wb_events;
+  Alcotest.(check int) "clean reruns add none" 0
+    (Core.run core ~instrs:3 ~stream:(fun () -> Core.Nonmem)).Core.cache_writebacks
+
 let test_tlb_miss_rate_reported () =
   let core = Core.create ~guard:Guard_timing.unprotected () in
   let rng = Ptg_util.Rng.create 3L in
@@ -139,6 +171,7 @@ let suite =
     Alcotest.test_case "core: L1-resident stream" `Quick test_l1_resident_stream;
     Alcotest.test_case "core: miss cost" `Quick test_miss_costs_latency;
     Alcotest.test_case "core: guard latency exact" `Slow test_guard_adds_exact_latency;
+    Alcotest.test_case "core: writeback reaches DRAM" `Quick test_writeback_reaches_dram;
     Alcotest.test_case "core: tlb miss rate" `Quick test_tlb_miss_rate_reported;
     Alcotest.test_case "multicore: runs" `Quick test_multicore_runs;
     Alcotest.test_case "multicore: stream arity" `Quick test_multicore_stream_count;
