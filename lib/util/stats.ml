@@ -9,6 +9,7 @@ type summary = {
 
 let mean xs =
   let n = Array.length xs in
+  if Array.exists Float.is_nan xs then invalid_arg "Stats.mean: NaN sample";
   if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
 
 let geomean xs =
@@ -36,9 +37,23 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
+(* Bessel-corrected (/ (n-1)): the standard error estimates dispersion of
+   the sample mean from the sample itself, where the population formula
+   is biased low. Undefined below two samples — reported as 0. *)
+let sample_variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int (n - 1)
+  end
+
 let stderr xs =
   let n = Array.length xs in
-  if n = 0 then 0.0 else stddev xs /. sqrt (float_of_int n)
+  if n < 2 then 0.0
+  else sqrt (sample_variance xs) /. sqrt (float_of_int n)
 
 let percentile xs p =
   let n = Array.length xs in
@@ -58,6 +73,7 @@ let percentile xs p =
 
 let summarize xs =
   let n = Array.length xs in
+  if Array.exists Float.is_nan xs then invalid_arg "Stats.summarize: NaN sample";
   if n = 0 then { n = 0; mean = 0.0; stddev = 0.0; stderr = 0.0; min = 0.0; max = 0.0 }
   else
     {

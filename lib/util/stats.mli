@@ -7,13 +7,14 @@ type summary = {
   n : int;
   mean : float;
   stddev : float;
-  stderr : float;  (** standard error of the mean: stddev / sqrt n *)
+  stderr : float;  (** standard error of the mean: sample stddev / sqrt n *)
   min : float;
   max : float;
 }
 
 val mean : float array -> float
-(** Arithmetic mean; 0 on an empty array. *)
+(** Arithmetic mean; 0 on an empty array. Raises [Invalid_argument] on a
+    NaN sample (like {!percentile}). *)
 
 val geomean : float array -> float
 (** Geometric mean; requires all elements > 0; 0 on an empty array. *)
@@ -23,8 +24,13 @@ val variance : float array -> float
 
 val stddev : float array -> float
 
+val sample_variance : float array -> float
+(** Bessel-corrected variance (division by [n-1]); 0 below two samples. *)
+
 val stderr : float array -> float
-(** Standard error of the mean. *)
+(** Standard error of the mean, from the Bessel-corrected sample
+    variance: [sqrt (sample_variance xs) / sqrt n]; 0 below two
+    samples. *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [0,100], linear interpolation between
@@ -33,6 +39,7 @@ val percentile : float array -> float -> float
     rather than silently skewing the order statistics. *)
 
 val summarize : float array -> summary
+(** Raises [Invalid_argument] on a NaN sample. *)
 
 val weighted_mean : (float * float) array -> float
 (** [weighted_mean [| (x, w); ... |]] with weights [w >= 0]. *)

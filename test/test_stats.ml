@@ -22,8 +22,23 @@ let test_variance_stddev () =
   check_f "variance constant" 0.0 (Stats.variance [| 4.0; 4.0 |])
 
 let test_stderr () =
+  (* Hand-computed with Bessel's correction: mean 3, squared deviations
+     4+0+4 = 8, sample variance 8/(3-1) = 4, stderr = 2/sqrt 3. *)
   let xs = [| 1.0; 3.0; 5.0 |] in
-  check_f "stderr = stddev/sqrt n" (Stats.stddev xs /. sqrt 3.0) (Stats.stderr xs)
+  check_f "sample variance /(n-1)" 4.0 (Stats.sample_variance xs);
+  check_f "stderr = sample stddev/sqrt n" (2.0 /. sqrt 3.0) (Stats.stderr xs);
+  Alcotest.(check bool) "corrected stderr exceeds population formula" true
+    (Stats.stderr xs > Stats.stddev xs /. sqrt 3.0);
+  check_f "undefined below two samples" 0.0 (Stats.stderr [| 42.0 |]);
+  check_f "empty" 0.0 (Stats.stderr [||])
+
+let test_mean_nan_rejected () =
+  Alcotest.check_raises "mean NaN raises"
+    (Invalid_argument "Stats.mean: NaN sample") (fun () ->
+      ignore (Stats.mean [| 1.0; Float.nan |]));
+  Alcotest.check_raises "summarize NaN raises"
+    (Invalid_argument "Stats.summarize: NaN sample") (fun () ->
+      ignore (Stats.summarize [| Float.nan |]))
 
 let test_percentile () =
   let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
@@ -84,6 +99,7 @@ let suite =
     Alcotest.test_case "geomean" `Quick test_geomean;
     Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
     Alcotest.test_case "stderr" `Quick test_stderr;
+    Alcotest.test_case "mean/summarize reject NaN" `Quick test_mean_nan_rejected;
     Alcotest.test_case "percentile" `Quick test_percentile;
     Alcotest.test_case "percentile float ordering" `Quick
       test_percentile_float_ordering;
