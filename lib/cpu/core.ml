@@ -170,7 +170,10 @@ let walk t vpn =
   let stall = ref 0 in
   for level = 3 downto 1 do
     let addr = upper_entry_addr t ~level vpn in
-    if Cache.access_fast t.mmu ~addr ~is_write:false then stall := !stall + 1
+    if Cache.access_fast t.mmu ~addr ~is_write:false then
+      (* Configured MMU-cache hit latency, not a hardcoded cycle (equal
+         under the default preset, where latency = 1). *)
+      stall := !stall + (Cache.config t.mmu).Cache.latency
     else begin
       (match t.obs with
       | None -> ()

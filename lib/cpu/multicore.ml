@@ -167,7 +167,8 @@ let walk t core vpn =
   let stall = ref 0 in
   for level = 3 downto 1 do
     let addr = upper_entry_addr t core ~level vpn in
-    if Cache.access_fast core.mmu ~addr ~is_write:false then stall := !stall + 1
+    if Cache.access_fast core.mmu ~addr ~is_write:false then
+      stall := !stall + (Cache.config core.mmu).Cache.latency
     else
       stall := !stall + mem_access t core ~paddr:addr ~is_write:false ~is_pte:true ~through_l1:false
   done;
