@@ -285,19 +285,87 @@ let run_obs_overhead () =
     (Ptg_obs.Trace.recorded (Ptg_obs.Sink.trace sink))
     (r_off = r_on)
 
+(* ------------------------------------------------------------------ *)
+(* Figure 6 regression benchmark: BENCH_fig6.json                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Single-job reduced Figure 6 sweep measured on this container before
+   the allocation-free hot-path work (commit 9ec9bcf), the denominator
+   of the "speedup_vs_pre_pr" field below. *)
+let pre_pr_wall_time_s = 7.84
+
+let run_fig6_json () =
+  section "Figure 6 regression benchmark (BENCH_fig6.json)";
+  let instrs = if full then 2_000_000 else 600_000 in
+  let warmup = if full then 500_000 else 200_000 in
+  (* Always single-job: the wall-time gate needs the serial path (this
+     container has one hardware thread; domain fan-out only adds noise). *)
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_off, r_off =
+    timed (fun () -> Ptg_sim.Fig6.run ~jobs:1 ~seed:42L ~instrs ~warmup ())
+  in
+  let sink = Ptg_obs.Sink.create () in
+  let t_on, r_on =
+    timed (fun () -> Ptg_sim.Fig6.run ~jobs:1 ~seed:42L ~instrs ~warmup ~obs:sink ())
+  in
+  let n_workloads = List.length r_off.Ptg_sim.Fig6.rows in
+  (* Base and guarded runs both simulate warmup + timed instructions. *)
+  let simulated = 2 * n_workloads * (instrs + warmup) in
+  let instrs_per_sec = float_of_int simulated /. t_off in
+  let path =
+    match Sys.getenv_opt "PTG_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_fig6.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"fig6\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"jobs\": 1,\n\
+    \  \"instrs\": %d,\n\
+    \  \"warmup\": %d,\n\
+    \  \"workloads\": %d,\n\
+    \  \"wall_time_s\": %.3f,\n\
+    \  \"wall_time_obs_s\": %.3f,\n\
+    \  \"instrs_per_sec\": %.0f,\n\
+    \  \"amean_slowdown_pct\": %.4f,\n\
+    \  \"obs_results_identical\": %b,\n\
+    \  \"pre_pr_wall_time_s\": %.2f,\n\
+    \  \"speedup_vs_pre_pr\": %.2f\n\
+     }\n"
+    (if full then "full" else "reduced")
+    instrs warmup n_workloads t_off t_on instrs_per_sec
+    r_off.Ptg_sim.Fig6.amean_slowdown_pct (r_off = r_on) pre_pr_wall_time_s
+    (pre_pr_wall_time_s /. t_off);
+  close_out oc;
+  Printf.printf
+    "  wall: %.2f s (obs on: %.2f s), %.0f simulated instrs/s\n\
+    \  speedup vs pre-PR %.2f s: %.2fx\n\
+    \  wrote %s\n"
+    t_off t_on instrs_per_sec pre_pr_wall_time_s
+    (pre_pr_wall_time_s /. t_off)
+    path
+
 let () =
   Printf.printf "PT-Guard bench harness (%s sizes, %d worker domains)\n\n%!"
     (if full then "full" else "reduced; set PTG_BENCH_FULL=1 for paper-scale")
     jobs;
-  (* PTG_BENCH_ONLY=micro|experiments|scaling|obs runs a single section. *)
+  (* PTG_BENCH_ONLY=micro|experiments|scaling|obs|fig6 runs one section. *)
   match Sys.getenv_opt "PTG_BENCH_ONLY" with
   | Some "micro" -> run_micro ()
   | Some "experiments" -> run_experiments ()
   | Some "scaling" -> run_scaling ()
   | Some "obs" -> run_obs_overhead ()
+  | Some "fig6" -> run_fig6_json ()
   | Some other -> invalid_arg ("unknown PTG_BENCH_ONLY section: " ^ other)
   | None ->
       run_micro ();
       run_experiments ();
       run_scaling ();
-      run_obs_overhead ()
+      run_obs_overhead ();
+      run_fig6_json ()

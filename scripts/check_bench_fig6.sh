@@ -1,0 +1,68 @@
+#!/bin/sh
+# Regression gate for the Figure 6 benchmark.
+#
+# Re-runs the single-job reduced Figure 6 sweep (PTG_BENCH_ONLY=fig6),
+# then compares the fresh BENCH_fig6.json against the committed baseline
+# at the repo root. Fails when:
+#   - the committed baseline is missing,
+#   - either file is missing a required field (or is not a reduced-mode
+#     single-job measurement),
+#   - fresh wall time exceeds the baseline by more than 25%.
+#
+# Usage: scripts/check_bench_fig6.sh
+# (builds via dune; run from anywhere inside the repo)
+set -eu
+cd "$(dirname "$0")/.."
+
+base=BENCH_fig6.json
+if [ ! -f "$base" ]; then
+    echo "FAIL: missing committed baseline $base" >&2
+    echo "  (generate with: PTG_BENCH_ONLY=fig6 dune exec bench/main.exe)" >&2
+    exit 1
+fi
+
+out=$(mktemp /tmp/ptg_bench_fig6.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+PTG_BENCH_ONLY=fig6 PTG_BENCH_JSON="$out" dune exec bench/main.exe >/dev/null
+
+# One "key": value pair per line in our own emitter, so sed suffices.
+num_field() {
+    sed -n 's/^ *"'"$2"'": *\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p' "$1" | head -1
+}
+str_field() {
+    sed -n 's/^ *"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+status=0
+for f in "$base" "$out"; do
+    for k in jobs instrs warmup workloads wall_time_s wall_time_obs_s \
+             instrs_per_sec amean_slowdown_pct pre_pr_wall_time_s \
+             speedup_vs_pre_pr; do
+        v=$(num_field "$f" "$k")
+        if [ -z "$v" ]; then
+            echo "FAIL: missing field \"$k\" in $f" >&2
+            status=1
+        fi
+    done
+    mode=$(str_field "$f" mode)
+    if [ "$mode" != "reduced" ]; then
+        echo "FAIL: $f is not a reduced-mode measurement (mode=\"$mode\")" >&2
+        status=1
+    fi
+    jobs=$(num_field "$f" jobs)
+    if [ "$jobs" != "1" ]; then
+        echo "FAIL: $f is not single-job (jobs=$jobs)" >&2
+        status=1
+    fi
+done
+[ "$status" -eq 0 ] || exit "$status"
+
+b=$(num_field "$base" wall_time_s)
+n=$(num_field "$out" wall_time_s)
+awk -v b="$b" -v n="$n" 'BEGIN {
+    if (n > 1.25 * b) {
+        printf "FAIL: wall time %.2fs vs baseline %.2fs (>25%% regression)\n", n, b
+        exit 1
+    }
+    printf "OK: wall time %.2fs vs baseline %.2fs (limit %.2fs)\n", n, b, 1.25 * b
+}'
