@@ -351,21 +351,77 @@ let run_fig6_json () =
     (pre_pr_wall_time_s /. t_off)
     path
 
+(* ------------------------------------------------------------------ *)
+(* Serving throughput: cold (computed) vs cache-hot served requests.   *)
+(* The server, client and load generator are the real ptg_server       *)
+(* stack over a real loopback socket; only the scenario is small.      *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve () =
+  section "Serving: cold vs cache-hot requests/sec (ptg_server over TCP)";
+  let scenario =
+    Ptg_sim.Scenario.make ~reduced:true
+      ~processes:(if full then 623 else 60)
+      Ptg_sim.Scenario.Fig8
+  in
+  let config =
+    {
+      (Ptg_server.Server.default_config (Ptg_server.Server.Tcp 0)) with
+      Ptg_server.Server.workers = jobs;
+    }
+  in
+  let server = Ptg_server.Server.start config in
+  Fun.protect
+    ~finally:(fun () -> Ptg_server.Server.stop server)
+    (fun () ->
+      let addr = Ptg_server.Server.listen_addr server in
+      (* Cold: one request, nothing cached — response time is dominated
+         by the experiment itself. *)
+      let t0 = Unix.gettimeofday () in
+      let client = Ptg_server.Client.connect addr in
+      (match Ptg_server.Client.run client scenario with
+      | Ok (Ptg_server.Protocol.Result { cache = Ptg_server.Protocol.Miss; _ })
+        -> ()
+      | _ -> failwith "serve bench: cold request did not compute");
+      Ptg_server.Client.close client;
+      let cold_s = Unix.gettimeofday () -. t0 in
+      (* Hot: a closed-loop load against the now-warm cache. *)
+      let report =
+        Ptg_server.Client.loadgen ~addr ~clients:4
+          ~requests_per_client:(if full then 500 else 200)
+          ~scenarios:[ scenario ]
+      in
+      let cold_rps = 1.0 /. cold_s in
+      Printf.printf
+        "  cold:   %8.2f req/s (one computed request: %.3f s)\n\
+        \  hot:    %8.2f req/s (%d requests, %d clients, p99 %.0f us)\n\
+        \  ratio:  %8.0fx\n\
+        \  hits %d / misses %d / shed %d / errors %d\n"
+        cold_rps cold_s report.Ptg_server.Client.throughput_rps
+        report.Ptg_server.Client.ok report.Ptg_server.Client.clients
+        report.Ptg_server.Client.p99_us
+        (report.Ptg_server.Client.throughput_rps /. cold_rps)
+        report.Ptg_server.Client.hits report.Ptg_server.Client.misses
+        report.Ptg_server.Client.overloaded report.Ptg_server.Client.errors)
+
 let () =
   Printf.printf "PT-Guard bench harness (%s sizes, %d worker domains)\n\n%!"
     (if full then "full" else "reduced; set PTG_BENCH_FULL=1 for paper-scale")
     jobs;
-  (* PTG_BENCH_ONLY=micro|experiments|scaling|obs|fig6 runs one section. *)
+  (* PTG_BENCH_ONLY=micro|experiments|scaling|obs|fig6|serve runs one
+     section. *)
   match Sys.getenv_opt "PTG_BENCH_ONLY" with
   | Some "micro" -> run_micro ()
   | Some "experiments" -> run_experiments ()
   | Some "scaling" -> run_scaling ()
   | Some "obs" -> run_obs_overhead ()
   | Some "fig6" -> run_fig6_json ()
+  | Some "serve" -> run_serve ()
   | Some other -> invalid_arg ("unknown PTG_BENCH_ONLY section: " ^ other)
   | None ->
       run_micro ();
       run_experiments ();
       run_scaling ();
       run_obs_overhead ();
-      run_fig6_json ()
+      run_fig6_json ();
+      run_serve ()

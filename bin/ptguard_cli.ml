@@ -45,10 +45,6 @@ let design_arg =
     & opt (enum designs) Ptguard.Config.Baseline
     & info [ "design" ] ~docv:"DESIGN" ~doc:"PT-Guard design: baseline or optimized.")
 
-let config_of_design = function
-  | Ptguard.Config.Baseline -> Ptguard.Config.baseline
-  | Ptguard.Config.Optimized -> Ptguard.Config.optimized
-
 let seeds_arg =
   Arg.(
     value & opt int 1
@@ -133,21 +129,23 @@ let workloads_arg =
     & info [ "workloads" ] ~docv:"W1,W2,.."
         ~doc:"Comma-separated workload subset (default: all 25).")
 
+(* The scenario-shaped subcommands (fig6/7/8/9, multicore) all funnel
+   through Ptg_sim.Scenario — the same record the server decodes from
+   wire frames — so CLI output and served output cannot drift. *)
+let run_scenario ?obs ?csv scenario =
+  let out = Ptg_sim.Scenario.run ?obs scenario in
+  print_string (Ptg_sim.Scenario.render out);
+  Option.iter (fun path -> Ptg_sim.Scenario.save_csv out ~path) csv
+
 let fig6_cmd =
   let run seed instrs warmup design workloads seeds jobs csv trace metrics =
     let obs = sink_of ~trace ~metrics in
-    let config = config_of_design design in
-    if seeds > 1 then
-      Ptg_sim.Fig6.print_multi
-        (Ptg_sim.Fig6.run_multi ~jobs ~seeds ~instrs ~warmup ~config ?workloads
-           ?obs ())
-    else begin
-      let r =
-        Ptg_sim.Fig6.run ~jobs ~seed ~instrs ~warmup ~config ?workloads ?obs ()
-      in
-      Ptg_sim.Fig6.print r;
-      Option.iter (fun path -> Ptg_sim.Fig6.to_csv r ~path) csv
-    end;
+    let workloads =
+      Option.map (List.map (fun s -> s.Ptg_workloads.Workload.name)) workloads
+    in
+    run_scenario ?obs ?csv
+      (Ptg_sim.Scenario.make ~seed ~seeds ~design ?workloads ~instrs ~warmup
+         ~jobs Ptg_sim.Scenario.Fig6);
     export_sink obs ~trace ~metrics
   in
   Cmd.v
@@ -159,9 +157,8 @@ let fig6_cmd =
 
 let fig7_cmd =
   let run seed instrs jobs csv =
-    let r = Ptg_sim.Fig7.run ~jobs ~seed ~instrs () in
-    Ptg_sim.Fig7.print r;
-    Option.iter (fun path -> Ptg_sim.Fig7.to_csv r ~path) csv
+    run_scenario ?csv
+      (Ptg_sim.Scenario.make ~seed ~instrs ~jobs Ptg_sim.Scenario.Fig7)
   in
   Cmd.v
     (Cmd.info "fig7" ~doc:"Figure 7: slowdown vs MAC latency for both designs.")
@@ -174,9 +171,8 @@ let fig8_cmd =
       & info [ "processes" ] ~docv:"N" ~doc:"Processes to profile (paper: 623).")
   in
   let run seed processes jobs csv =
-    let r = Ptg_sim.Fig8.run ~jobs ~seed ~processes () in
-    Ptg_sim.Fig8.print r;
-    Option.iter (fun path -> Ptg_sim.Fig8.to_csv r ~path) csv
+    run_scenario ?csv
+      (Ptg_sim.Scenario.make ~seed ~processes ~jobs Ptg_sim.Scenario.Fig8)
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"Figure 8: PTE value locality across processes.")
@@ -189,14 +185,8 @@ let fig9_cmd =
       & info [ "lines" ] ~docv:"N" ~doc:"Faulty lines per (workload, p_flip) point.")
   in
   let run seed lines seeds jobs csv =
-    if seeds > 1 then
-      Ptg_sim.Fig9.print_multi
-        (Ptg_sim.Fig9.run_multi ~jobs ~seeds ~lines_per_point:lines ())
-    else begin
-      let r = Ptg_sim.Fig9.run ~jobs ~seed ~lines_per_point:lines () in
-      Ptg_sim.Fig9.print r;
-      Option.iter (fun path -> Ptg_sim.Fig9.to_csv r ~path) csv
-    end
+    run_scenario ?csv
+      (Ptg_sim.Scenario.make ~seed ~seeds ~lines ~jobs Ptg_sim.Scenario.Fig9)
   in
   Cmd.v
     (Cmd.info "fig9" ~doc:"Figure 9: best-effort correction coverage vs p_flip.")
@@ -218,9 +208,9 @@ let multicore_cmd =
     Arg.(value & opt int 16 & info [ "mixes" ] ~docv:"N" ~doc:"Random MIX configs.")
   in
   let run seed instrs mixes jobs csv =
-    let r = Ptg_sim.Multicore_exp.run ~jobs ~seed ~instrs_per_core:instrs ~mixes () in
-    Ptg_sim.Multicore_exp.print r;
-    Option.iter (fun path -> Ptg_sim.Multicore_exp.to_csv r ~path) csv
+    run_scenario ?csv
+      (Ptg_sim.Scenario.make ~seed ~instrs ~mixes ~jobs
+         Ptg_sim.Scenario.Multicore)
   in
   Cmd.v
     (Cmd.info "multicore" ~doc:"Section VII-C: 4-core SAME/MIX slowdowns.")
@@ -371,6 +361,155 @@ let stats_cmd =
              reports (engine, memory controller, DRAM, TLB, OS journal).")
     Term.(const run $ seed_arg $ instrs $ pages $ json $ trace_file_arg)
 
+(* ---------------------------------------------------------------- *)
+(* Serving                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket at $(docv).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP on 127.0.0.1:$(docv) (0 picks an ephemeral port).")
+
+let addr_of ~cmd ~required socket port =
+  match (socket, port) with
+  | Some _, Some _ ->
+      Printf.eprintf "%s: --socket and --port are mutually exclusive\n" cmd;
+      exit 2
+  | Some path, None -> Ptg_server.Server.Unix_socket path
+  | None, Some port -> Ptg_server.Server.Tcp port
+  | None, None ->
+      if required then begin
+        Printf.eprintf "%s: need --socket PATH or --port PORT\n" cmd;
+        exit 2
+      end
+      else Ptg_server.Server.Tcp 0
+
+let serve_cmd =
+  let high_water =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "high-water" ] ~docv:"N"
+          ~doc:
+            "In-flight computations beyond which new requests are shed \
+             with an immediate overloaded response (default: 2x workers).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 64
+      & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (LRU entries).")
+  in
+  let run socket port jobs high_water cache trace metrics =
+    let addr = addr_of ~cmd:"serve" ~required:false socket port in
+    let obs = sink_of ~trace ~metrics in
+    let base = Ptg_server.Server.default_config addr in
+    let config =
+      {
+        base with
+        Ptg_server.Server.workers = jobs;
+        high_water = Option.value high_water ~default:(max 4 (2 * jobs));
+        cache_capacity = cache;
+        obs;
+      }
+    in
+    let server = Ptg_server.Server.start config in
+    (match Ptg_server.Server.listen_addr server with
+    | Ptg_server.Server.Unix_socket path ->
+        Printf.printf "serving on %s (workers %d, high-water %d, cache %d)\n%!"
+          path config.Ptg_server.Server.workers
+          config.Ptg_server.Server.high_water cache
+    | Ptg_server.Server.Tcp port ->
+        Printf.printf
+          "serving on 127.0.0.1:%d (workers %d, high-water %d, cache %d)\n%!"
+          port config.Ptg_server.Server.workers
+          config.Ptg_server.Server.high_water cache);
+    Ptg_server.Server.wait server;
+    print_endline "server stopped; final stats:";
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-16s %.0f\n" k v)
+      (Ptg_server.Server.stats server);
+    export_sink obs ~trace ~metrics
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scenario server: line-JSON requests over a socket, \
+          results computed on a domain pool behind an LRU cache with \
+          load shedding. Stops on a shutdown frame.")
+    Term.(
+      const run $ socket_arg $ port_arg $ jobs_arg $ high_water $ cache
+      $ trace_file_arg $ metrics_arg)
+
+let loadgen_cmd =
+  let clients =
+    Arg.(
+      value & opt int 8
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent closed-loop clients.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 20
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let kind =
+    let kinds =
+      List.map
+        (fun k -> (Ptg_sim.Scenario.kind_name k, k))
+        Ptg_sim.Scenario.kinds
+    in
+    Arg.(
+      value
+      & opt (enum kinds) Ptg_sim.Scenario.Fig6
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Scenario kind to request.")
+  in
+  let reduced =
+    Arg.(
+      value & flag
+      & info [ "reduced" ] ~doc:"Use the bench-reduced scenario sizes.")
+  in
+  let distinct =
+    Arg.(
+      value & opt int 1
+      & info [ "distinct" ] ~docv:"N"
+          ~doc:
+            "Cycle through N scenarios differing only in seed (1 keeps \
+             the server cache-hot after the first response).")
+  in
+  let run socket port seed kind reduced distinct clients requests =
+    let addr = addr_of ~cmd:"loadgen" ~required:true socket port in
+    if clients < 1 || requests < 1 || distinct < 1 then begin
+      Printf.eprintf "loadgen: --clients/--requests/--distinct must be >= 1\n";
+      exit 2
+    end;
+    let scenarios =
+      List.init distinct (fun i ->
+          Ptg_sim.Scenario.make
+            ~seed:(Int64.add seed (Int64.of_int i))
+            ~reduced kind)
+    in
+    let report =
+      Ptg_server.Client.loadgen ~addr ~clients ~requests_per_client:requests
+        ~scenarios
+    in
+    print_string (Ptg_server.Client.report_to_string report)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Closed-loop load generator against a running serve instance: \
+          N concurrent clients, throughput and p50/p95/p99 latency.")
+    Term.(
+      const run $ socket_arg $ port_arg $ seed_arg $ kind $ reduced $ distinct
+      $ clients $ requests)
+
 let all_cmd =
   let run seed jobs =
     Ptg_sim.Tables_exp.print_all ();
@@ -406,11 +545,29 @@ let () =
     Cmd.info "ptguard_cli" ~version:"1.0.0"
       ~doc:"PT-Guard (DSN 2023) reproduction: experiments and demos."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; security_cmd; multicore_cmd;
-            tables_cmd; attacks_cmd; baselines_cmd; ablations_cmd; trace_cmd;
-            fullsys_cmd; stats_cmd; all_cmd;
-          ]))
+  let cmds =
+    [
+      fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; security_cmd; multicore_cmd;
+      tables_cmd; attacks_cmd; baselines_cmd; ablations_cmd; trace_cmd;
+      fullsys_cmd; stats_cmd; serve_cmd; loadgen_cmd; all_cmd;
+    ]
+  in
+  let names = List.sort compare (List.map Cmd.name cmds) in
+  (* An unknown subcommand gets a one-screen answer — the full command
+     list — instead of cmdliner's generic error. Unique-prefix
+     invocations (e.g. "tab" for tables) still go through cmdliner. *)
+  (if Array.length Sys.argv > 1 then
+     let first = Sys.argv.(1) in
+     let is_prefix name =
+       String.length first <= String.length name
+       && String.sub name 0 (String.length first) = first
+     in
+     if String.length first > 0 && first.[0] <> '-'
+        && not (List.exists is_prefix names)
+     then begin
+       Printf.eprintf "ptguard_cli: unknown subcommand \"%s\"\n" first;
+       Printf.eprintf "usage: ptguard_cli COMMAND [OPTION]...\n";
+       Printf.eprintf "commands: %s\n" (String.concat ", " names);
+       exit 2
+     end);
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -9,6 +9,7 @@ type event =
   | Mmu_cache_miss of { addr : int64 }
   | Cache_writeback of { addr : int64 }
   | Os_journal of { entry : string }
+  | Server_request of { hash : int64; status : string; cache : string }
 
 type t = {
   cap : int;
@@ -61,6 +62,7 @@ let kind = function
   | Mmu_cache_miss _ -> "mmu_cache_miss"
   | Cache_writeback _ -> "cache_writeback"
   | Os_journal _ -> "os_journal"
+  | Server_request _ -> "server_request"
 
 let hex a = Printf.sprintf "0x%Lx" a
 
@@ -87,6 +89,12 @@ let attrs = function
   | Mmu_cache_miss { addr } -> [ ("addr", hex addr) ]
   | Cache_writeback { addr } -> [ ("addr", hex addr) ]
   | Os_journal { entry } -> [ ("entry", entry) ]
+  | Server_request { hash; status; cache } ->
+      [
+        ("hash", Printf.sprintf "%016Lx" hash);
+        ("status", status);
+        ("cache", cache);
+      ]
 
 let to_csv t =
   let buf = Buffer.create 1024 in

@@ -26,6 +26,10 @@ type event =
   | Cache_writeback of { addr : int64 }
       (** A dirty cacheline evicted and written back to DRAM. *)
   | Os_journal of { entry : string }
+  | Server_request of { hash : int64; status : string; cache : string }
+      (** One served scenario request: the canonical request hash, the
+          response status ("ok" / "overloaded" / "error") and the cache
+          disposition ("hit" / "miss" / "coalesced", "" when shed). *)
 
 type t
 

@@ -1,0 +1,161 @@
+type t = { ic : in_channel; oc : out_channel }
+
+let connect addr =
+  let sockaddr, domain =
+    match addr with
+    | Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Server.Tcp port ->
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, port), Unix.PF_INET)
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close t =
+  (* Both channels share one descriptor; closing the output channel
+     flushes and closes it. *)
+  close_out_noerr t.oc
+
+let request ?id t req =
+  match
+    output_string t.oc (Protocol.encode_request ?id req);
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | exception (End_of_file | Sys_error _) -> Error "connection closed"
+  | line -> (
+      match Protocol.decode_response line with
+      | Ok (_id, resp) -> Ok resp
+      | Error e -> Error e)
+
+let run t scenario = request t (Protocol.Run scenario)
+
+(* ------------------------------------------------------------------ *)
+(* Load generation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  clients : int;
+  requests : int;
+  ok : int;
+  hits : int;
+  misses : int;
+  coalesced : int;
+  overloaded : int;
+  errors : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+}
+
+type worker_tally = {
+  mutable w_ok : int;
+  mutable w_hits : int;
+  mutable w_misses : int;
+  mutable w_coalesced : int;
+  mutable w_overloaded : int;
+  mutable w_errors : int;
+  mutable latencies_us : float list;  (** ok responses only *)
+}
+
+let loadgen ~addr ~clients ~requests_per_client ~scenarios =
+  if clients < 1 then invalid_arg "Client.loadgen: clients";
+  if requests_per_client < 1 then invalid_arg "Client.loadgen: requests_per_client";
+  if scenarios = [] then invalid_arg "Client.loadgen: scenarios";
+  let scenarios = Array.of_list scenarios in
+  let results = Array.make clients None in
+  let worker i =
+    let tally =
+      {
+        w_ok = 0;
+        w_hits = 0;
+        w_misses = 0;
+        w_coalesced = 0;
+        w_overloaded = 0;
+        w_errors = 0;
+        latencies_us = [];
+      }
+    in
+    (match connect addr with
+    | exception _ -> tally.w_errors <- requests_per_client
+    | conn ->
+        for r = 0 to requests_per_client - 1 do
+          let scenario = scenarios.(r mod Array.length scenarios) in
+          let t0 = Unix.gettimeofday () in
+          match run conn scenario with
+          | Ok (Protocol.Result { cache; _ }) ->
+              tally.w_ok <- tally.w_ok + 1;
+              tally.latencies_us <-
+                (1e6 *. (Unix.gettimeofday () -. t0)) :: tally.latencies_us;
+              (match cache with
+              | Protocol.Hit -> tally.w_hits <- tally.w_hits + 1
+              | Protocol.Miss -> tally.w_misses <- tally.w_misses + 1
+              | Protocol.Coalesced -> tally.w_coalesced <- tally.w_coalesced + 1)
+          | Ok Protocol.Overloaded -> tally.w_overloaded <- tally.w_overloaded + 1
+          | Ok (Protocol.Error_reply _) | Ok Protocol.Pong
+          | Ok (Protocol.Stats_reply _) | Error _ ->
+              tally.w_errors <- tally.w_errors + 1
+        done;
+        close conn);
+    results.(i) <- Some tally
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = Array.init clients (fun i -> Thread.create worker i) in
+  Array.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let ok = ref 0
+  and hits = ref 0
+  and misses = ref 0
+  and coalesced = ref 0
+  and overloaded = ref 0
+  and errors = ref 0
+  and latencies = ref [] in
+  Array.iter
+    (function
+      | None -> errors := !errors + requests_per_client
+      | Some w ->
+          ok := !ok + w.w_ok;
+          hits := !hits + w.w_hits;
+          misses := !misses + w.w_misses;
+          coalesced := !coalesced + w.w_coalesced;
+          overloaded := !overloaded + w.w_overloaded;
+          errors := !errors + w.w_errors;
+          latencies := List.rev_append w.latencies_us !latencies)
+    results;
+  let lat = Array.of_list !latencies in
+  let pct p = if Array.length lat = 0 then 0. else Ptg_util.Stats.percentile lat p in
+  {
+    clients;
+    requests = clients * requests_per_client;
+    ok = !ok;
+    hits = !hits;
+    misses = !misses;
+    coalesced = !coalesced;
+    overloaded = !overloaded;
+    errors = !errors;
+    wall_s;
+    throughput_rps = (if wall_s > 0. then float_of_int !ok /. wall_s else 0.);
+    p50_us = pct 50.;
+    p95_us = pct 95.;
+    p99_us = pct 99.;
+  }
+
+let report_to_string r =
+  Printf.sprintf
+    "loadgen: %d clients x %d requests (%d total)\n\
+    \  ok          %d (hit %d / miss %d / coalesced %d)\n\
+    \  overloaded  %d\n\
+    \  errors      %d\n\
+    \  wall        %.3f s\n\
+    \  throughput  %.1f req/s\n\
+    \  latency     p50 %.0f us  p95 %.0f us  p99 %.0f us\n"
+    r.clients
+    (r.requests / max 1 r.clients)
+    r.requests r.ok r.hits r.misses r.coalesced r.overloaded r.errors r.wall_s
+    r.throughput_rps r.p50_us r.p95_us r.p99_us

@@ -1,0 +1,48 @@
+(** Client side of the wire protocol, plus the closed-loop load
+    generator behind the [loadgen] subcommand. *)
+
+type t
+
+val connect : Server.addr -> t
+(** Raises [Unix.Unix_error] if the server is unreachable. *)
+
+val close : t -> unit
+
+val request : ?id:string -> t -> Protocol.request -> (Protocol.response, string) result
+(** One round trip: send the frame, block for the one-line reply.
+    [Error] covers transport failures (connection closed mid-reply) and
+    undecodable response frames. *)
+
+val run : t -> Ptg_sim.Scenario.t -> (Protocol.response, string) result
+
+(** Closed-loop load generation: [clients] concurrent connections, each
+    issuing [requests_per_client] requests back-to-back (a client sends
+    its next request only after the previous response arrives), cycling
+    through [scenarios]. *)
+type report = {
+  clients : int;
+  requests : int;  (** total issued across all clients *)
+  ok : int;
+  hits : int;
+  misses : int;
+  coalesced : int;
+  overloaded : int;
+  errors : int;  (** error frames plus transport failures *)
+  wall_s : float;
+  throughput_rps : float;  (** ok responses per wall-clock second *)
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;  (** latency percentiles over ok responses *)
+}
+
+val loadgen :
+  addr:Server.addr ->
+  clients:int ->
+  requests_per_client:int ->
+  scenarios:Ptg_sim.Scenario.t list ->
+  report
+(** Raises [Invalid_argument] on non-positive [clients] or
+    [requests_per_client], or an empty [scenarios] list. *)
+
+val report_to_string : report -> string
+(** Multi-line human-readable summary, newline-terminated. *)

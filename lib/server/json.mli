@@ -1,0 +1,30 @@
+(** Minimal JSON for the line-oriented wire protocol.
+
+    The repo deliberately carries no external JSON dependency; the wire
+    frames only need objects, arrays, strings, 64-bit integers, floats,
+    booleans and null. Integers are kept exact ([Int] of [int64]) because
+    scenario seeds are 64-bit. Object field order is preserved by the
+    parser and printer — canonicalization (sorting, default resolution)
+    is {!Ptg_sim.Scenario.canonical}'s job, not the codec's. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage rejected). Errors carry a byte offset. *)
+
+val to_string : t -> string
+(** Compact rendering, no whitespace, field order preserved. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing field or non-object. *)
+
+val keys : t -> string list
+(** Field names of an [Obj] in order; [] otherwise. *)

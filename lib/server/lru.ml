@@ -1,0 +1,81 @@
+(* Classic hashtable + intrusive doubly-linked recency list. The list
+   head is most-recently-used; eviction pops the tail. *)
+
+type node = {
+  key : string;
+  mutable value : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let put t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      n.value <- value;
+      unlink t n;
+      push_front t n
+  | None ->
+      if Hashtbl.length t.tbl >= t.cap then begin
+        match t.tail with
+        | None -> ()
+        | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.tbl lru.key;
+            t.evictions <- t.evictions + 1
+      end;
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.tbl key n;
+      push_front t n

@@ -1,0 +1,32 @@
+(** LRU result cache for served scenario renderings.
+
+    Keys are canonical request hashes ({!Ptg_sim.Scenario.hash}); values
+    are the rendered experiment reports. Deterministic simulations make
+    this cache lossless: a hit returns bytes identical to a re-run.
+
+    Not thread-safe by itself — the server guards it with the same mutex
+    that protects its scheduler state. Hit/miss/eviction counts are
+    tracked here and exported into the server's metrics registry. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] on [capacity < 1]. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val find : t -> string -> string option
+(** Returns the cached value and marks the key most-recently-used;
+    counts a hit or a miss. *)
+
+val put : t -> string -> string -> unit
+(** Insert or refresh a binding; evicts the least-recently-used entry
+    when at capacity (counted in {!evictions}). *)
+
+val mem : t -> string -> bool
+(** Presence test without touching recency or hit/miss accounting. *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

@@ -1,0 +1,279 @@
+module Scenario = Ptg_sim.Scenario
+
+let version = 1
+
+type request = Run of Scenario.t | Ping | Stats | Shutdown
+
+type cache_disposition = Hit | Miss | Coalesced
+
+let cache_disposition_name = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Coalesced -> "coalesced"
+
+let cache_disposition_of_name = function
+  | "hit" -> Some Hit
+  | "miss" -> Some Miss
+  | "coalesced" -> Some Coalesced
+  | _ -> None
+
+type response =
+  | Result of { cache : cache_disposition; hash : string; result : string }
+  | Pong
+  | Stats_reply of (string * float) list
+  | Overloaded
+  | Error_reply of string
+
+(* ------------------------------------------------------------------ *)
+(* Scenario codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_to_json (s : Scenario.t) =
+  let fields = ref [] in
+  let add key v = fields := (key, v) :: !fields in
+  add "kind" (Json.String (Scenario.kind_name s.kind));
+  if s.seeds > 1 then add "seeds" (Json.Int (Int64.of_int s.seeds))
+  else add "seed" (Json.Int s.seed);
+  if s.reduced then add "reduced" (Json.Bool true);
+  (match s.kind with
+  | Scenario.Fig6 ->
+      add "design" (Json.String (Scenario.design_wire_name s.design));
+      Option.iter (fun l -> add "mac_latency" (Json.Int (Int64.of_int l))) s.mac_latency;
+      Option.iter
+        (fun ws -> add "workloads" (Json.List (List.map (fun w -> Json.String w) ws)))
+        s.workloads
+  | _ -> ());
+  Option.iter (fun i -> add "instrs" (Json.Int (Int64.of_int i))) s.instrs;
+  Option.iter (fun w -> add "warmup" (Json.Int (Int64.of_int w))) s.warmup;
+  Option.iter (fun p -> add "processes" (Json.Int (Int64.of_int p))) s.processes;
+  Option.iter (fun l -> add "lines" (Json.Int (Int64.of_int l))) s.lines;
+  Option.iter (fun m -> add "mixes" (Json.Int (Int64.of_int m))) s.mixes;
+  if s.jobs <> 1 then add "jobs" (Json.Int (Int64.of_int s.jobs));
+  Json.Obj (List.rev !fields)
+
+let scenario_fields =
+  [
+    "kind"; "seed"; "seeds"; "reduced"; "design"; "mac_latency"; "workloads";
+    "instrs"; "warmup"; "processes"; "lines"; "mixes"; "jobs";
+  ]
+
+let ( let* ) = Result.bind
+
+let as_int what = function
+  | Json.Int i ->
+      if i > Int64.of_int max_int || i < Int64.of_int min_int then
+        Error (Printf.sprintf "%s out of range" what)
+      else Ok (Int64.to_int i)
+  | _ -> Error (Printf.sprintf "%s must be an integer" what)
+
+let as_int64 what = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "%s must be an integer" what)
+
+let as_bool what = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "%s must be a boolean" what)
+
+let as_string what = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "%s must be a string" what)
+
+let opt_field json key conv =
+  match Json.member key json with
+  | None -> Ok None
+  | Some v ->
+      let* x = conv key v in
+      Ok (Some x)
+
+let scenario_of_json json =
+  match json with
+  | Json.Obj _ ->
+      let* () =
+        List.fold_left
+          (fun acc key ->
+            let* () = acc in
+            if List.mem key scenario_fields then Ok ()
+            else Error (Printf.sprintf "unknown scenario field \"%s\"" key))
+          (Ok ()) (Json.keys json)
+      in
+      let* kind_name =
+        match Json.member "kind" json with
+        | Some v -> as_string "kind" v
+        | None -> Error "scenario is missing \"kind\""
+      in
+      let* kind =
+        match Scenario.kind_of_name kind_name with
+        | Some k -> Ok k
+        | None ->
+            Error
+              (Printf.sprintf "unknown kind \"%s\" (one of: %s)" kind_name
+                 (String.concat ", " Scenario.kind_names))
+      in
+      let* seed = opt_field json "seed" as_int64 in
+      let* seeds = opt_field json "seeds" as_int in
+      let* reduced = opt_field json "reduced" as_bool in
+      let* design =
+        match Json.member "design" json with
+        | None -> Ok None
+        | Some v ->
+            let* name = as_string "design" v in
+            (match Scenario.design_of_wire_name name with
+            | Some d -> Ok (Some d)
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown design \"%s\" (baseline or optimized)" name))
+      in
+      let* mac_latency = opt_field json "mac_latency" as_int in
+      let* workloads =
+        match Json.member "workloads" json with
+        | None -> Ok None
+        | Some (Json.List items) ->
+            let* names =
+              List.fold_left
+                (fun acc item ->
+                  let* acc = acc in
+                  let* name = as_string "workloads element" item in
+                  Ok (name :: acc))
+                (Ok []) items
+            in
+            Ok (Some (List.rev names))
+        | Some _ -> Error "workloads must be a list of strings"
+      in
+      let* instrs = opt_field json "instrs" as_int in
+      let* warmup = opt_field json "warmup" as_int in
+      let* processes = opt_field json "processes" as_int in
+      let* lines = opt_field json "lines" as_int in
+      let* mixes = opt_field json "mixes" as_int in
+      let* jobs = opt_field json "jobs" as_int in
+      let scenario =
+        Scenario.make ?seed ?seeds ?reduced ?design ?mac_latency ?workloads
+          ?instrs ?warmup ?processes ?lines ?mixes ?jobs kind
+      in
+      let* () = Scenario.validate scenario in
+      Ok scenario
+  | _ -> Error "scenario must be an object"
+
+(* ------------------------------------------------------------------ *)
+(* Frame codecs                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let base_fields ?id () =
+  ("v", Json.Int (Int64.of_int version))
+  :: (match id with Some id -> [ ("id", Json.String id) ] | None -> [])
+
+let encode_request ?id req =
+  let fields =
+    base_fields ?id ()
+    @
+    match req with
+    | Run scenario ->
+        [ ("op", Json.String "run"); ("scenario", scenario_to_json scenario) ]
+    | Ping -> [ ("op", Json.String "ping") ]
+    | Stats -> [ ("op", Json.String "stats") ]
+    | Shutdown -> [ ("op", Json.String "shutdown") ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let frame_id json =
+  match Json.member "id" json with Some (Json.String s) -> Some s | _ -> None
+
+let check_version json =
+  match Json.member "v" json with
+  | Some (Json.Int v) when Int64.to_int v = version -> Ok ()
+  | Some (Json.Int v) ->
+      Error (Printf.sprintf "unsupported protocol version %Ld (want %d)" v version)
+  | Some _ -> Error "v must be an integer"
+  | None -> Error (Printf.sprintf "frame is missing \"v\" (want %d)" version)
+
+let with_id json r =
+  match r with
+  | Ok x -> Ok (frame_id json, x)
+  | Error e -> Error e
+
+let decode_request line =
+  match Json.parse line with
+  | Error e -> Error ("malformed frame: " ^ e)
+  | Ok json ->
+      let* () = check_version json in
+      with_id json
+        (match Json.member "op" json with
+        | Some (Json.String "run") -> (
+            match Json.member "scenario" json with
+            | None -> Error "run frame is missing \"scenario\""
+            | Some sj ->
+                let* scenario = scenario_of_json sj in
+                Ok (Run scenario))
+        | Some (Json.String "ping") -> Ok Ping
+        | Some (Json.String "stats") -> Ok Stats
+        | Some (Json.String "shutdown") -> Ok Shutdown
+        | Some (Json.String op) -> Error (Printf.sprintf "unknown op \"%s\"" op)
+        | Some _ -> Error "op must be a string"
+        | None -> Error "frame is missing \"op\"")
+
+let encode_response ?id resp =
+  let fields =
+    base_fields ?id ()
+    @
+    match resp with
+    | Result { cache; hash; result } ->
+        [
+          ("status", Json.String "ok");
+          ("cache", Json.String (cache_disposition_name cache));
+          ("hash", Json.String hash);
+          ("result", Json.String result);
+        ]
+    | Pong -> [ ("status", Json.String "ok"); ("result", Json.String "pong") ]
+    | Stats_reply rows ->
+        [
+          ("status", Json.String "ok");
+          ("stats", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) rows));
+        ]
+    | Overloaded -> [ ("status", Json.String "overloaded") ]
+    | Error_reply msg ->
+        [ ("status", Json.String "error"); ("error", Json.String msg) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let decode_response line =
+  match Json.parse line with
+  | Error e -> Error ("malformed frame: " ^ e)
+  | Ok json ->
+      let* () = check_version json in
+      with_id json
+        (match Json.member "status" json with
+        | Some (Json.String "overloaded") -> Ok Overloaded
+        | Some (Json.String "error") -> (
+            match Json.member "error" json with
+            | Some (Json.String msg) -> Ok (Error_reply msg)
+            | _ -> Error "error frame is missing \"error\"")
+        | Some (Json.String "ok") -> (
+            match (Json.member "cache" json, Json.member "stats" json) with
+            | Some (Json.String c), _ -> (
+                match cache_disposition_of_name c with
+                | None -> Error (Printf.sprintf "unknown cache disposition \"%s\"" c)
+                | Some cache -> (
+                    match (Json.member "hash" json, Json.member "result" json) with
+                    | Some (Json.String hash), Some (Json.String result) ->
+                        Ok (Result { cache; hash; result })
+                    | _ -> Error "ok frame is missing \"hash\"/\"result\""))
+            | None, Some (Json.Obj rows) ->
+                let* stats =
+                  List.fold_left
+                    (fun acc (k, v) ->
+                      let* acc = acc in
+                      match v with
+                      | Json.Float f -> Ok ((k, f) :: acc)
+                      | Json.Int i -> Ok ((k, Int64.to_float i) :: acc)
+                      | _ -> Error "stats values must be numbers")
+                    (Ok []) rows
+                in
+                Ok (Stats_reply (List.rev stats))
+            | None, None -> (
+                match Json.member "result" json with
+                | Some (Json.String "pong") -> Ok Pong
+                | _ -> Error "unrecognized ok frame")
+            | _ -> Error "unrecognized ok frame")
+        | Some (Json.String s) -> Error (Printf.sprintf "unknown status \"%s\"" s)
+        | Some _ -> Error "status must be a string"
+        | None -> Error "frame is missing \"status\"")

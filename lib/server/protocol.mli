@@ -1,0 +1,63 @@
+(** Line-JSON wire protocol, version 1.
+
+    Every frame is one JSON object on one line, newline-terminated.
+
+    Requests carry a protocol version, an operation, an optional caller
+    id (echoed back verbatim) and, for [run], a scenario object:
+    {v
+    {"v":1,"op":"run","id":"r1","scenario":{"kind":"fig6","seed":42,
+      "reduced":true,"workloads":["mcf","bc"],"instrs":6000,"warmup":2000}}
+    {"v":1,"op":"ping"}
+    {"v":1,"op":"stats"}
+    {"v":1,"op":"shutdown"}
+    v}
+
+    Responses are one of three statuses — ["ok"], ["overloaded"] (load
+    shed: the server's in-flight high-water mark was reached; retry
+    later) or ["error"] (the explicit error frame):
+    {v
+    {"v":1,"id":"r1","status":"ok","cache":"miss","hash":"63…","result":"…"}
+    {"v":1,"id":"r1","status":"overloaded"}
+    {"v":1,"id":"r1","status":"error","error":"unknown workload zzz (…)"}
+    v}
+
+    Scenario field order and whitespace in a request are irrelevant:
+    the server canonicalizes ({!Ptg_sim.Scenario.canonical}) before
+    hashing, so any spelling of the same scenario shares one cache
+    entry. Unknown scenario or frame fields are rejected (the version
+    field is the compatibility mechanism, not silent tolerance). *)
+
+val version : int
+
+type request = Run of Ptg_sim.Scenario.t | Ping | Stats | Shutdown
+
+type cache_disposition = Hit | Miss | Coalesced
+
+val cache_disposition_name : cache_disposition -> string
+(** ["hit"] / ["miss"] / ["coalesced"]. *)
+
+type response =
+  | Result of { cache : cache_disposition; hash : string; result : string }
+  | Pong
+  | Stats_reply of (string * float) list
+  | Overloaded
+  | Error_reply of string
+
+val scenario_to_json : Ptg_sim.Scenario.t -> Json.t
+(** Wire encoding of a scenario: the canonical fields plus the [jobs]
+    hint when not 1. *)
+
+val scenario_of_json : Json.t -> (Ptg_sim.Scenario.t, string) result
+(** Decode and validate. Rejects unknown fields, bad types, unknown
+    kinds/designs/workloads, and semantically invalid values. *)
+
+val encode_request : ?id:string -> request -> string
+(** One frame, without the trailing newline. *)
+
+val decode_request : string -> (string option * request, string) result
+(** Returns the echoed id (if any) alongside the request; on malformed
+    frames the id is recovered when possible so the error frame can
+    still be correlated. *)
+
+val encode_response : ?id:string -> response -> string
+val decode_response : string -> (string option * response, string) result

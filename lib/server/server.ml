@@ -1,0 +1,424 @@
+module Scenario = Ptg_sim.Scenario
+module Registry = Ptg_obs.Registry
+module Trace = Ptg_obs.Trace
+
+type addr = Unix_socket of string | Tcp of int
+
+type config = {
+  addr : addr;
+  workers : int;
+  high_water : int;
+  cache_capacity : int;
+  obs : Ptg_obs.Sink.t option;
+  handler : (Scenario.t -> string) option;
+}
+
+let default_config addr =
+  let workers = Ptg_util.Pool.default_jobs () in
+  {
+    addr;
+    workers;
+    high_water = max 4 (2 * workers);
+    cache_capacity = 64;
+    obs = None;
+    handler = None;
+  }
+
+(* Metric handles are resolved once at startup (the registry contract);
+   every update below happens under the server mutex, which also makes
+   the shared sink safe across connection threads and worker domains. *)
+type obs_metrics = {
+  c_served : Registry.counter;
+  c_shed : Registry.counter;
+  c_coalesced : Registry.counter;
+  c_errors : Registry.counter;
+  c_hits : Registry.counter;
+  c_misses : Registry.counter;
+  c_evictions : Registry.counter;
+  g_queue : Registry.gauge;
+  h_latency : Registry.histogram;
+  trace : Trace.t;
+}
+
+let make_obs sink =
+  let reg = Ptg_obs.Sink.registry sink in
+  {
+    c_served = Registry.counter reg "server_served_total";
+    c_shed = Registry.counter reg "server_shed_total";
+    c_coalesced = Registry.counter reg "server_coalesced_total";
+    c_errors = Registry.counter reg "server_errors_total";
+    c_hits = Registry.counter reg "server_cache_hits_total";
+    c_misses = Registry.counter reg "server_cache_misses_total";
+    c_evictions = Registry.counter reg "server_cache_evictions_total";
+    g_queue = Registry.gauge reg "server_queue_depth";
+    h_latency =
+      Registry.histogram reg
+        ~buckets:[| 100.; 1_000.; 10_000.; 100_000.; 1_000_000.; 10_000_000. |]
+        "server_request_latency_us";
+    trace = Ptg_obs.Sink.trace sink;
+  }
+
+type pending = { mutable outcome : (string, string) result option }
+
+type t = {
+  config : config;
+  handler : Scenario.t -> string;
+  listen_fd : Unix.file_descr;
+  bound : addr;
+  pipe_r : Unix.file_descr;  (* self-pipe: wakes the accept loop on stop *)
+  pipe_w : Unix.file_descr;
+  service : Ptg_util.Pool.Service.t;
+  mutex : Mutex.t;
+  done_cond : Condition.t;    (* a pending computation finished *)
+  drained : Condition.t;      (* connection-count / stopping transitions *)
+  cache : Lru.t;
+  pending_tbl : (string, pending) Hashtbl.t;
+  conn_fds : (Unix.file_descr, unit) Hashtbl.t;
+  mutable inflight : int;
+  mutable conns : int;
+  mutable stopping : bool;
+  mutable finalized : bool;
+  mutable accept_thread : Thread.t option;
+  mutable served : int;
+  mutable shed : int;
+  mutable coalesced : int;
+  mutable errors : int;
+  mutable last_evictions : int;
+  obs_m : obs_metrics option;
+}
+
+let listen_addr t = t.bound
+
+(* ------------------------------------------------------------------ *)
+(* Stats (also the [stats] op payload); keys sorted alphabetically.    *)
+(* ------------------------------------------------------------------ *)
+
+let stats_locked t =
+  [
+    ("cache_entries", float_of_int (Lru.length t.cache));
+    ("cache_evictions", float_of_int (Lru.evictions t.cache));
+    ("cache_hits", float_of_int (Lru.hits t.cache));
+    ("cache_misses", float_of_int (Lru.misses t.cache));
+    ("coalesced", float_of_int t.coalesced);
+    ("errors", float_of_int t.errors);
+    ("high_water", float_of_int t.config.high_water);
+    ("inflight", float_of_int t.inflight);
+    ("served", float_of_int t.served);
+    ("shed", float_of_int t.shed);
+    ("workers", float_of_int t.config.workers);
+  ]
+
+let stats t =
+  Mutex.lock t.mutex;
+  let rows = stats_locked t in
+  Mutex.unlock t.mutex;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Request scheduling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let set_queue_gauge t =
+  match t.obs_m with
+  | Some m -> Registry.set_gauge m.g_queue (float_of_int t.inflight)
+  | None -> ()
+
+let obs_incr t f = match t.obs_m with Some m -> Registry.incr (f m) | None -> ()
+
+let sync_evictions_locked t =
+  match t.obs_m with
+  | None -> ()
+  | Some m ->
+      let now = Lru.evictions t.cache in
+      Registry.add m.c_evictions (now - t.last_evictions);
+      t.last_evictions <- now
+
+(* Called with the mutex held; releases it while waiting. *)
+let rec await_locked t p =
+  match p.outcome with
+  | Some r -> r
+  | None ->
+      Condition.wait t.done_cond t.mutex;
+      await_locked t p
+
+let submit_job t hash scenario p =
+  Ptg_util.Pool.Service.submit t.service (fun () ->
+      let outcome =
+        try Ok (t.handler scenario)
+        with e -> Error (Printexc.to_string e)
+      in
+      Mutex.lock t.mutex;
+      (match outcome with
+      | Ok rendered ->
+          Lru.put t.cache hash rendered;
+          sync_evictions_locked t
+      | Error _ -> t.errors <- t.errors + 1);
+      (match (outcome, t.obs_m) with
+      | Error _, Some m -> Registry.incr m.c_errors
+      | _ -> ());
+      p.outcome <- Some outcome;
+      Hashtbl.remove t.pending_tbl hash;
+      t.inflight <- t.inflight - 1;
+      set_queue_gauge t;
+      Condition.broadcast t.done_cond;
+      Mutex.unlock t.mutex)
+
+(* The response for one [run] frame. Holds the mutex only around
+   scheduler-state transitions (and while blocked in a condvar wait). *)
+let handle_run t scenario =
+  let hash = Scenario.hash scenario in
+  let t0 = Unix.gettimeofday () in
+  Mutex.lock t.mutex;
+  let disposition, outcome =
+    match Lru.find t.cache hash with
+    | Some rendered ->
+        obs_incr t (fun m -> m.c_hits);
+        (Some Protocol.Hit, Ok rendered)
+    | None -> (
+        obs_incr t (fun m -> m.c_misses);
+        match Hashtbl.find_opt t.pending_tbl hash with
+        | Some p ->
+            t.coalesced <- t.coalesced + 1;
+            obs_incr t (fun m -> m.c_coalesced);
+            (Some Protocol.Coalesced, await_locked t p)
+        | None ->
+            if t.inflight >= t.config.high_water then begin
+              t.shed <- t.shed + 1;
+              obs_incr t (fun m -> m.c_shed);
+              (None, Error "overloaded")
+            end
+            else begin
+              let p = { outcome = None } in
+              Hashtbl.replace t.pending_tbl hash p;
+              t.inflight <- t.inflight + 1;
+              set_queue_gauge t;
+              submit_job t hash scenario p;
+              (Some Protocol.Miss, await_locked t p)
+            end)
+  in
+  let response =
+    match (disposition, outcome) with
+    | Some cache, Ok result ->
+        t.served <- t.served + 1;
+        obs_incr t (fun m -> m.c_served);
+        Protocol.Result { cache; hash; result }
+    | None, _ -> Protocol.Overloaded
+    | Some _, Error msg -> Protocol.Error_reply msg
+  in
+  (match t.obs_m with
+  | None -> ()
+  | Some m ->
+      Registry.observe m.h_latency (1e6 *. (Unix.gettimeofday () -. t0));
+      let status, cache =
+        match response with
+        | Protocol.Result { cache; _ } ->
+            ("ok", Protocol.cache_disposition_name cache)
+        | Protocol.Overloaded -> ("overloaded", "")
+        | _ -> ("error", "")
+      in
+      Trace.record m.trace
+        (Trace.Server_request { hash = Scenario.hash64 scenario; status; cache }));
+  Mutex.unlock t.mutex;
+  response
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let record_protocol_error t =
+  Mutex.lock t.mutex;
+  t.errors <- t.errors + 1;
+  obs_incr t (fun m -> m.c_errors);
+  (match t.obs_m with
+  | Some m ->
+      Trace.record m.trace
+        (Trace.Server_request { hash = 0L; status = "error"; cache = "" })
+  | None -> ());
+  Mutex.unlock t.mutex
+
+let initiate_stop t =
+  Mutex.lock t.mutex;
+  if not t.stopping then begin
+    t.stopping <- true;
+    (try ignore (Unix.write t.pipe_w (Bytes.make 1 'x') 0 1) with _ -> ());
+    Condition.broadcast t.drained
+  end;
+  Mutex.unlock t.mutex
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send frame =
+    output_string oc frame;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line -> (
+        let continue =
+          match Protocol.decode_request line with
+          | Error msg ->
+              record_protocol_error t;
+              send (Protocol.encode_response (Protocol.Error_reply msg));
+              true
+          | Ok (id, req) -> (
+              match req with
+              | Protocol.Ping ->
+                  send (Protocol.encode_response ?id Protocol.Pong);
+                  true
+              | Protocol.Stats ->
+                  send
+                    (Protocol.encode_response ?id (Protocol.Stats_reply (stats t)));
+                  true
+              | Protocol.Shutdown ->
+                  initiate_stop t;
+                  send (Protocol.encode_response ?id Protocol.Pong);
+                  false
+              | Protocol.Run scenario ->
+                  send (Protocol.encode_response ?id (handle_run t scenario));
+                  true)
+        in
+        match continue with
+        | true -> loop ()
+        | false -> ()
+        | exception Sys_error _ -> ())
+  in
+  (try loop () with _ -> ());
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.conn_fds fd;
+  t.conns <- t.conns - 1;
+  Condition.broadcast t.drained;
+  Mutex.unlock t.mutex;
+  (* Flushes and closes the shared fd; the input channel must not be
+     closed too (double close could hit a reused descriptor). *)
+  close_out_noerr oc
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.select [ t.listen_fd; t.pipe_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | readable, _, _ ->
+        if List.mem t.pipe_r readable then ()
+        else begin
+          (match Unix.accept ~cloexec:true t.listen_fd with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+              Mutex.lock t.mutex;
+              t.conns <- t.conns + 1;
+              Hashtbl.replace t.conn_fds fd ();
+              Mutex.unlock t.mutex;
+              ignore (Thread.create (handle_conn t) fd));
+          loop ()
+        end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start config =
+  if config.workers < 1 then invalid_arg "Server.start: workers";
+  if config.high_water < 1 then invalid_arg "Server.start: high_water";
+  if config.cache_capacity < 1 then invalid_arg "Server.start: cache_capacity";
+  (* A peer hanging up mid-response must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd, bound =
+    match config.addr with
+    | Unix_socket path ->
+        if Sys.file_exists path then Sys.remove path;
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        (fd, Unix_socket path)
+    | Tcp port ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen fd 64;
+        let actual =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        (fd, Tcp actual)
+  in
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      config;
+      handler =
+        (match config.handler with
+        | Some h -> h
+        | None -> fun scenario -> Scenario.run_to_string scenario);
+      listen_fd;
+      bound;
+      pipe_r;
+      pipe_w;
+      service = Ptg_util.Pool.Service.create ~workers:config.workers ();
+      mutex = Mutex.create ();
+      done_cond = Condition.create ();
+      drained = Condition.create ();
+      cache = Lru.create ~capacity:config.cache_capacity;
+      pending_tbl = Hashtbl.create 64;
+      conn_fds = Hashtbl.create 64;
+      inflight = 0;
+      conns = 0;
+      stopping = false;
+      finalized = false;
+      accept_thread = None;
+      served = 0;
+      shed = 0;
+      coalesced = 0;
+      errors = 0;
+      last_evictions = 0;
+      obs_m = Option.map make_obs config.obs;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let finalize t =
+  (* Join the accept loop (woken by the self-pipe byte). *)
+  Mutex.lock t.mutex;
+  let acceptor = t.accept_thread in
+  t.accept_thread <- None;
+  Mutex.unlock t.mutex;
+  Option.iter Thread.join acceptor;
+  (* Nudge idle connections: half-close their read side so blocked
+     [input_line]s see EOF. Done under the mutex so a connection thread
+     cannot concurrently remove-and-close the same descriptor. *)
+  Mutex.lock t.mutex;
+  Hashtbl.iter
+    (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    t.conn_fds;
+  while t.conns > 0 do
+    Condition.wait t.drained t.mutex
+  done;
+  let first = not t.finalized in
+  t.finalized <- true;
+  Mutex.unlock t.mutex;
+  if first then begin
+    Ptg_util.Pool.Service.shutdown t.service;
+    (try Unix.close t.listen_fd with _ -> ());
+    (try Unix.close t.pipe_r with _ -> ());
+    (try Unix.close t.pipe_w with _ -> ());
+    match t.bound with
+    | Unix_socket path -> ( try Sys.remove path with _ -> ())
+    | Tcp _ -> ()
+  end
+
+let stop t =
+  initiate_stop t;
+  finalize t
+
+let wait t =
+  Mutex.lock t.mutex;
+  while not t.stopping do
+    Condition.wait t.drained t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  finalize t

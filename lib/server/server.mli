@@ -1,0 +1,67 @@
+(** The scenario-serving subsystem: a long-lived socket server that
+    executes {!Ptg_sim.Scenario} requests on a persistent
+    {!Ptg_util.Pool.Service} domain pool, fronted by an LRU result cache
+    and an admission gate.
+
+    Request lifecycle (one mutex guards cache + scheduler state):
+
+    - canonicalize + hash the scenario ({!Ptg_sim.Scenario.hash});
+    - cache hit → respond immediately ([cache:"hit"]);
+    - an identical request already in flight → attach to it and wait
+      ([cache:"coalesced"]) — K duplicate concurrent requests run the
+      experiment exactly once;
+    - otherwise, if in-flight computations have reached the configured
+      high-water mark → immediate [overloaded] response (load shedding,
+      never unbounded queueing);
+    - otherwise submit the computation and wait ([cache:"miss"]).
+
+    Because every scenario is deterministic given its canonical form, a
+    cache hit is byte-identical to a re-run — caching is lossless.
+
+    Connection I/O runs on one thread per accepted connection; the
+    compute pool is [workers] domains. With an [obs] sink the server
+    reports per-request latency histograms, a queue-depth gauge,
+    served/shed/coalesced/error and cache hit/miss/eviction counters,
+    and a [server_request] trace event per request. *)
+
+type addr =
+  | Unix_socket of string
+  | Tcp of int  (** 127.0.0.1; port 0 binds an ephemeral port *)
+
+type config = {
+  addr : addr;
+  workers : int;         (** compute pool size *)
+  high_water : int;      (** max in-flight computations before shedding *)
+  cache_capacity : int;  (** LRU entries *)
+  obs : Ptg_obs.Sink.t option;
+  handler : (Ptg_sim.Scenario.t -> string) option;
+      (** compute override for tests/benchmarks; default
+          [Ptg_sim.Scenario.run_to_string] *)
+}
+
+val default_config : addr -> config
+(** workers {!Ptg_util.Pool.default_jobs}, high-water [2 * workers]
+    (min 4), 64 cache entries, no obs, default handler. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen and begin accepting (raises [Invalid_argument] on a
+    non-positive worker/high-water/cache size, [Unix.Unix_error] on bind
+    failure). A stale Unix-domain socket file is replaced. *)
+
+val listen_addr : t -> addr
+(** The bound address — for [Tcp 0], the actual ephemeral port. *)
+
+val stats : t -> (string * float) list
+(** Scheduler/cache counters, sorted by key: cache entries/hits/misses/
+    evictions, coalesced, errors, inflight, served, shed, plus the
+    configured high_water/workers. Also what the [stats] op returns. *)
+
+val stop : t -> unit
+(** Stop accepting, wait for open connections to drain, shut the compute
+    pool down. Idempotent; also the path a [shutdown] frame triggers. *)
+
+val wait : t -> unit
+(** Block until the server has fully stopped (a [shutdown] frame or a
+    concurrent {!stop}), then release its resources. *)

@@ -105,15 +105,17 @@ let to_rows result =
 let header =
   [ "workload"; "LLC MPKI"; "IPC_b"; "IPC/IPC_b"; "slowdown"; "DRAM rd"; "PTE rd" ]
 
-let print result =
-  print_endline "Figure 6: PT-Guard normalized IPC and LLC MPKI per workload";
-  Table.print
-    ~align:[ Table.Left; Right; Right; Right; Right; Right; Right ]
-    ~header (to_rows result);
-  Printf.printf
-    "Paper: 1.3%% average slowdown, 3.6%% worst (xalancbmk @ 29 MPKI).\n\
-     Here:  %.2f%% average slowdown, %.2f%% worst.\n"
-    result.amean_slowdown_pct result.max_slowdown_pct
+let to_string result =
+  "Figure 6: PT-Guard normalized IPC and LLC MPKI per workload\n"
+  ^ Table.render
+      ~align:[ Table.Left; Right; Right; Right; Right; Right; Right ]
+      ~header (to_rows result)
+  ^ Printf.sprintf
+      "Paper: 1.3%% average slowdown, 3.6%% worst (xalancbmk @ 29 MPKI).\n\
+       Here:  %.2f%% average slowdown, %.2f%% worst.\n"
+      result.amean_slowdown_pct result.max_slowdown_pct
+
+let print result = print_string (to_string result)
 
 let to_csv result ~path = Table.save_csv ~path ~header (to_rows result)
 
@@ -140,11 +142,13 @@ let run_multi ?jobs ?(seeds = 5) ?instrs ?warmup ?config ?workloads ?obs () =
       Stats.summarize (Array.of_list (List.map (fun r -> r.max_slowdown_pct) runs));
   }
 
-let print_multi m =
-  Printf.printf
+let multi_to_string m =
+  Printf.sprintf
     "Figure 6 across %d seeds: average slowdown %.2f%% (se %.3f, min %.2f, max %.2f);\n\
      worst-case slowdown %.2f%% (se %.3f).\n\
      Paper: 1.3%% average, 3.6%% worst.\n"
     m.amean_slowdown.Stats.n m.amean_slowdown.Stats.mean m.amean_slowdown.Stats.stderr
     m.amean_slowdown.Stats.min m.amean_slowdown.Stats.max m.max_slowdown.Stats.mean
     m.max_slowdown.Stats.stderr
+
+let print_multi m = print_string (multi_to_string m)

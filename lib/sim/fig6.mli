@@ -43,6 +43,10 @@ val run :
     order after the join, so metrics/trace exports are also byte-identical
     for any job count. *)
 
+val to_string : result -> string
+(** Exactly the bytes {!print} writes to stdout (the serving layer caches
+    and ships this rendering). *)
+
 val print : result -> unit
 val to_csv : result -> path:string -> unit
 
@@ -66,4 +70,5 @@ val run_multi :
     the run-to-run spread of the headline numbers. [jobs] is passed to
     each per-seed {!run}. *)
 
+val multi_to_string : multi -> string
 val print_multi : multi -> unit

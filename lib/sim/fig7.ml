@@ -115,14 +115,14 @@ let to_rows result =
       ])
     result.points
 
-let print result =
-  print_endline
-    "Figure 7: slowdown vs MAC latency, PT-Guard vs Optimized PT-Guard";
-  Table.print
-    ~align:[ Table.Left; Right; Right; Right; Left; Right ]
-    ~header (to_rows result);
-  print_endline
-    "Paper: PT-Guard average 0.7%-2.6% across 5-20 cycles; Optimized stays\n\
-     below 0.3% average (MAC computed on <2% of DRAM reads)."
+let to_string result =
+  "Figure 7: slowdown vs MAC latency, PT-Guard vs Optimized PT-Guard\n"
+  ^ Table.render
+      ~align:[ Table.Left; Right; Right; Right; Left; Right ]
+      ~header (to_rows result)
+  ^ "Paper: PT-Guard average 0.7%-2.6% across 5-20 cycles; Optimized stays\n\
+     below 0.3% average (MAC computed on <2% of DRAM reads).\n"
+
+let print result = print_string (to_string result)
 
 let to_csv result ~path = Table.save_csv ~path ~header (to_rows result)

@@ -34,5 +34,8 @@ val run :
     With [obs], each sweep case's guard reports into a child sink merged
     back in case order (deterministic for any job count). *)
 
+val to_string : result -> string
+(** Exactly the bytes {!print} writes to stdout. *)
+
 val print : result -> unit
 val to_csv : result -> path:string -> unit

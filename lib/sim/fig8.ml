@@ -39,34 +39,36 @@ let run ?jobs ?(processes = 623) ?(seed = 8L) ?obs () =
   in
   { aggregate; sample_rows }
 
-let print result =
+let to_string result =
   let a = result.aggregate in
-  print_endline "Figure 8: PFN-value distribution across simulated processes";
-  Table.print
-    ~align:[ Table.Left; Right; Right ]
-    ~header:[ "metric"; "ours"; "paper" ]
-    [
-      [ "processes profiled"; string_of_int a.Ptg_vm.Profile.processes; "623" ];
-      [ "total PTEs"; string_of_int a.total_ptes_profiled; "24M" ];
-      [ "zero PTEs"; Printf.sprintf "%.2f%% (se %.3f)" a.mean_zero a.stderr_zero;
-        "64.13% (se 0.6)" ];
-      [ "contiguous PFNs";
-        Printf.sprintf "%.2f%% (se %.3f)" a.mean_contiguous a.stderr_contiguous;
-        "23.73% (se 0.4)" ];
-      [ "non-contiguous PFNs"; Printf.sprintf "%.2f%%" a.mean_non_contiguous;
-        "~12%" ];
-      [ "flag-uniform lines";
-        Printf.sprintf "%.2f%%" (100.0 *. a.mean_flag_uniformity); "> 99%" ];
-    ];
-  print_endline "Per-process deciles (sorted by contiguous share, as in the figure):";
-  Table.print
-    ~align:[ Table.Right; Right; Right; Right ]
-    ~header:[ "decile"; "zero %"; "contiguous %"; "non-contig %" ]
-    (Array.to_list
-       (Array.mapi
-          (fun i (z, c, n) ->
-            [ string_of_int (i * 10); Table.f2 z; Table.f2 c; Table.f2 n ])
-          result.sample_rows))
+  "Figure 8: PFN-value distribution across simulated processes\n"
+  ^ Table.render
+      ~align:[ Table.Left; Right; Right ]
+      ~header:[ "metric"; "ours"; "paper" ]
+      [
+        [ "processes profiled"; string_of_int a.Ptg_vm.Profile.processes; "623" ];
+        [ "total PTEs"; string_of_int a.total_ptes_profiled; "24M" ];
+        [ "zero PTEs"; Printf.sprintf "%.2f%% (se %.3f)" a.mean_zero a.stderr_zero;
+          "64.13% (se 0.6)" ];
+        [ "contiguous PFNs";
+          Printf.sprintf "%.2f%% (se %.3f)" a.mean_contiguous a.stderr_contiguous;
+          "23.73% (se 0.4)" ];
+        [ "non-contiguous PFNs"; Printf.sprintf "%.2f%%" a.mean_non_contiguous;
+          "~12%" ];
+        [ "flag-uniform lines";
+          Printf.sprintf "%.2f%%" (100.0 *. a.mean_flag_uniformity); "> 99%" ];
+      ]
+  ^ "Per-process deciles (sorted by contiguous share, as in the figure):\n"
+  ^ Table.render
+      ~align:[ Table.Right; Right; Right; Right ]
+      ~header:[ "decile"; "zero %"; "contiguous %"; "non-contig %" ]
+      (Array.to_list
+         (Array.mapi
+            (fun i (z, c, n) ->
+              [ string_of_int (i * 10); Table.f2 z; Table.f2 c; Table.f2 n ])
+            result.sample_rows))
+
+let print result = print_string (to_string result)
 
 let to_csv result ~path =
   let rows =

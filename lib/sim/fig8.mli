@@ -19,5 +19,8 @@ val run :
     process draws from its own serially-split generator, so results are
     independent of the job count. *)
 
+val to_string : result -> string
+(** Exactly the bytes {!print} writes to stdout. *)
+
 val print : result -> unit
 val to_csv : result -> path:string -> unit

@@ -217,23 +217,28 @@ let to_rows result =
     result.per_workload
   @ [ "AVERAGE" :: List.map (fun c -> Table.f2 c.corrected_pct) result.average ]
 
-let print result =
-  print_endline "Figure 9: % of faulty PTE cachelines corrected, by p_flip";
-  Table.print
-    ~align:(Table.Left :: List.map (fun _ -> Table.Right) result.average)
-    ~header:(header result) (to_rows result);
+let to_string result =
   let total_mis =
     List.fold_left (fun acc (c : cell) -> acc + c.miscorrections) 0 result.average
   in
   let total_escapes =
     List.fold_left (fun acc (c : cell) -> acc + c.escapes) 0 result.average
   in
-  Printf.printf
-    "Mis-corrections: %d, undetected escapes: %d (paper: zero of each; 100%% coverage).\n"
-    total_mis total_escapes;
-  Printf.printf "Paper: 93%% corrected at p=1/512, 70%% at p=1/128.\n";
-  print_endline "Correction strategy usage:";
-  List.iter (fun (s, n) -> Printf.printf "  %-16s %d\n" s n) result.step_histogram
+  "Figure 9: % of faulty PTE cachelines corrected, by p_flip\n"
+  ^ Table.render
+      ~align:(Table.Left :: List.map (fun _ -> Table.Right) result.average)
+      ~header:(header result) (to_rows result)
+  ^ Printf.sprintf
+      "Mis-corrections: %d, undetected escapes: %d (paper: zero of each; 100%% coverage).\n"
+      total_mis total_escapes
+  ^ "Paper: 93% corrected at p=1/512, 70% at p=1/128.\n"
+  ^ "Correction strategy usage:\n"
+  ^ String.concat ""
+      (List.map
+         (fun (s, n) -> Printf.sprintf "  %-16s %d\n" s n)
+         result.step_histogram)
+
+let print result = print_string (to_string result)
 
 let to_csv result ~path =
   Table.save_csv ~path ~header:(header result) (to_rows result)
@@ -278,14 +283,17 @@ let run_multi ?jobs ?(seeds = 5) ?lines_per_point ?(p_flips = default_p_flips)
         0 runs;
   }
 
-let print_multi m =
-  Printf.printf "Figure 9 across %d seeds (corrected %%, mean +- se):\n"
-    (match m.corrected with s :: _ -> s.Stats.n | [] -> 0);
-  List.iteri
-    (fun i s ->
-      Printf.printf "  p_flip %-7s %.1f%% +- %.2f\n"
-        (pp_p (List.nth m.p_flips i))
-        s.Stats.mean s.Stats.stderr)
-    m.corrected;
-  Printf.printf "  mis-corrections: %d, escapes: %d (must both be 0)\n"
-    m.total_miscorrections m.total_escapes
+let multi_to_string m =
+  Printf.sprintf "Figure 9 across %d seeds (corrected %%, mean +- se):\n"
+    (match m.corrected with s :: _ -> s.Stats.n | [] -> 0)
+  ^ String.concat ""
+      (List.mapi
+         (fun i s ->
+           Printf.sprintf "  p_flip %-7s %.1f%% +- %.2f\n"
+             (pp_p (List.nth m.p_flips i))
+             s.Stats.mean s.Stats.stderr)
+         m.corrected)
+  ^ Printf.sprintf "  mis-corrections: %d, escapes: %d (must both be 0)\n"
+      m.total_miscorrections m.total_escapes
+
+let print_multi m = print_string (multi_to_string m)

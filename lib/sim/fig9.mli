@@ -51,6 +51,9 @@ val run :
     independent of the job count. With [obs], each workload's engine
     reports into a child sink merged back in workload order. *)
 
+val to_string : result -> string
+(** Exactly the bytes {!print} writes to stdout. *)
+
 val print : result -> unit
 val to_csv : result -> path:string -> unit
 
@@ -73,4 +76,5 @@ val run_multi :
 (** Repeat {!run} over [seeds] seeds (default 5) and summarize the spread
     of the average corrected%% per flip probability. *)
 
+val multi_to_string : multi -> string
 val print_multi : multi -> unit

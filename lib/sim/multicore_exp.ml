@@ -109,14 +109,16 @@ let to_rows result =
       ])
     result.rows
 
-let print result =
-  print_endline "Section VII-C: 4-core slowdown (SAME and MIX configurations)";
-  Table.print
-    ~align:[ Table.Left; Left; Right; Right; Right; Right ]
-    ~header (to_rows result);
-  Printf.printf
-    "Average slowdown %.2f%%, worst %.2f%% (%s).\n\
-     Paper: 0.5%% average, 1.6%% worst case.\n"
-    result.avg_slowdown_pct result.max_slowdown_pct result.max_label
+let to_string result =
+  "Section VII-C: 4-core slowdown (SAME and MIX configurations)\n"
+  ^ Table.render
+      ~align:[ Table.Left; Left; Right; Right; Right; Right ]
+      ~header (to_rows result)
+  ^ Printf.sprintf
+      "Average slowdown %.2f%%, worst %.2f%% (%s).\n\
+       Paper: 0.5%% average, 1.6%% worst case.\n"
+      result.avg_slowdown_pct result.max_slowdown_pct result.max_label
+
+let print result = print_string (to_string result)
 
 let to_csv result ~path = Table.save_csv ~path ~header (to_rows result)

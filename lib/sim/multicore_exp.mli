@@ -38,5 +38,8 @@ val run :
     independent of the job count. With [obs], each case's guard reports
     into a child sink merged back in case order. *)
 
+val to_string : result -> string
+(** Exactly the bytes {!print} writes to stdout. *)
+
 val print : result -> unit
 val to_csv : result -> path:string -> unit

@@ -35,6 +35,85 @@ let fail st exn bt =
   Condition.broadcast st.nonempty;
   Mutex.unlock st.mutex
 
+module Service = struct
+  (* A long-lived variant of the same queue discipline: worker domains
+     are spawned once and keep pulling thunks until [shutdown]. Unlike
+     [parallel_map], jobs are fire-and-forget — a job communicates its
+     result through its own closure (the server stores it under a mutex
+     and broadcasts a condvar), so the service needs no result array. *)
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    jobs : (unit -> unit) Queue.t;
+    mutable stopped : bool;
+    mutable workers : unit Domain.t array;
+  }
+
+  let worker t =
+    let rec loop () =
+      Mutex.lock t.mutex;
+      let rec next () =
+        if not (Queue.is_empty t.jobs) then Some (Queue.pop t.jobs)
+        else if t.stopped then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          next ()
+        end
+      in
+      let job = next () in
+      Mutex.unlock t.mutex;
+      match job with
+      | None -> ()
+      | Some f ->
+          (* A job that raises must not kill the worker: jobs are expected
+             to catch their own errors (the server turns them into error
+             frames); anything that still escapes is dropped here. *)
+          (try f () with _ -> ());
+          loop ()
+    in
+    loop ()
+
+  let create ?workers:(n = default_jobs ()) () =
+    if n < 1 then invalid_arg "Pool.Service.create: workers";
+    let t =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        jobs = Queue.create ();
+        stopped = false;
+        workers = [||];
+      }
+    in
+    t.workers <- Array.init n (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let workers t = Array.length t.workers
+
+  let submit t f =
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.Service.submit: service is shut down"
+    end;
+    Queue.push f t.jobs;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+
+  let queue_depth t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.jobs in
+    Mutex.unlock t.mutex;
+    n
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let was_stopped = t.stopped in
+    t.stopped <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    if not was_stopped then Array.iter Domain.join t.workers
+end
+
 let parallel_map ?jobs f a =
   let n = Array.length a in
   let jobs =

@@ -12,6 +12,36 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]: the number of workers used when
     [?jobs] is omitted. *)
 
+module Service : sig
+  (** A persistent domain pool for long-running services: workers are
+      spawned once at {!create} and keep pulling submitted thunks until
+      {!shutdown}. Jobs communicate results through their own closures
+      (e.g. a mutex-protected cell plus a condition variable); a job that
+      raises is dropped without killing its worker, so jobs should catch
+      and encode their own errors. *)
+
+  type t
+
+  val create : ?workers:int -> unit -> t
+  (** Spawn [workers] worker domains (default {!default_jobs}). Raises
+      [Invalid_argument] on [workers < 1]. *)
+
+  val workers : t -> int
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a job; some worker runs it FIFO. The queue is unbounded —
+      callers that need backpressure must gate admission themselves
+      (the server sheds load before submitting). Raises
+      [Invalid_argument] after {!shutdown}. *)
+
+  val queue_depth : t -> int
+  (** Jobs submitted but not yet picked up by a worker. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting jobs, let workers drain what is already queued, and
+      join them. Idempotent. *)
+end
+
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map ~jobs f a] is [Array.map f a], computed by up to [jobs]
     worker domains (default {!default_jobs}; capped at [Array.length a]).

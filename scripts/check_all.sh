@@ -1,0 +1,42 @@
+#!/bin/sh
+# Full local gate: everything CI would need to trust a change.
+#
+#   1. build the whole tree
+#   2. tier-1 test suite (dune runtest: unit, property, golden, e2e)
+#   3. fast serving tier alone (dune build @server) — redundant with
+#      runtest, but proves the alias stays wired for quick iteration
+#   4. Figure 6 wall-time regression gate (scripts/check_bench_fig6.sh)
+#   5. serving throughput smoke (PTG_BENCH_ONLY=serve): asserts the
+#      cache-hot path serves at least 100x the cold-compute rate
+#
+# Usage: scripts/check_all.sh   (run from anywhere inside the repo)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tier-1 tests (dune runtest) =="
+dune runtest
+
+echo "== serving tier (dune build @server) =="
+dune build @server
+
+echo "== Figure 6 regression gate =="
+scripts/check_bench_fig6.sh
+
+echo "== serving throughput (cold vs cache-hot) =="
+out=$(mktemp /tmp/ptg_bench_serve.XXXXXX.txt)
+trap 'rm -f "$out"' EXIT
+PTG_BENCH_ONLY=serve dune exec bench/main.exe >"$out" 2>&1
+cat "$out"
+ratio=$(sed -n 's/^ *ratio: *\([0-9][0-9]*\)x.*/\1/p' "$out" | head -1)
+if [ -z "$ratio" ]; then
+    echo "FAIL: serve bench did not report a cold-vs-hot ratio" >&2
+    exit 1
+fi
+if [ "$ratio" -lt 100 ]; then
+    echo "FAIL: cache-hot serving only ${ratio}x cold (want >= 100x)" >&2
+    exit 1
+fi
+echo "OK: cache-hot serving ${ratio}x cold (>= 100x)"

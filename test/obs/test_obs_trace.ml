@@ -64,6 +64,9 @@ let test_kind_attrs () =
       ( Trace.Os_journal { entry = "rekeyed" },
         "os_journal",
         [ ("entry", "rekeyed") ] );
+      ( Trace.Server_request { hash = 0x2aL; status = "ok"; cache = "hit" },
+        "server_request",
+        [ ("hash", "000000000000002a"); ("status", "ok"); ("cache", "hit") ] );
     ]
   in
   List.iter

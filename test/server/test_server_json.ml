@@ -1,0 +1,77 @@
+module Json = Ptg_server.Json
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let parse_err s =
+  match Json.parse s with
+  | Ok _ -> Alcotest.failf "parse %S: expected an error" s
+  | Error e -> e
+
+let test_scalars () =
+  Alcotest.(check bool) "null" true (parse_ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (parse_ok "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (parse_ok " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (parse_ok "42" = Json.Int 42L);
+  Alcotest.(check bool) "negative int" true (parse_ok "-7" = Json.Int (-7L));
+  Alcotest.(check bool) "int64 exact" true
+    (parse_ok "9223372036854775807" = Json.Int Int64.max_int);
+  Alcotest.(check bool) "float" true (parse_ok "1.5" = Json.Float 1.5);
+  Alcotest.(check bool) "exponent" true (parse_ok "2e3" = Json.Float 2000.);
+  Alcotest.(check bool) "string" true (parse_ok "\"hi\"" = Json.String "hi")
+
+let test_escapes () =
+  Alcotest.(check bool) "standard escapes" true
+    (parse_ok {|"a\"b\\c\nd\te"|} = Json.String "a\"b\\c\nd\te");
+  Alcotest.(check bool) "unicode escape (ascii)" true
+    (parse_ok "\"\\u0041\"" = Json.String "A");
+  Alcotest.(check bool) "unicode escape (two-byte utf8)" true
+    (parse_ok "\"\\u00e9\"" = Json.String "\xc3\xa9")
+
+let test_containers () =
+  Alcotest.(check bool) "list" true
+    (parse_ok "[1, 2, 3]" = Json.List [ Json.Int 1L; Json.Int 2L; Json.Int 3L ]);
+  Alcotest.(check bool) "empty containers" true
+    (parse_ok {|{"a":[],"b":{}}|}
+    = Json.Obj [ ("a", Json.List []); ("b", Json.Obj []) ]);
+  let j = parse_ok {| { "kind" : "fig6" , "seed" : 42 } |} in
+  Alcotest.(check bool) "member" true
+    (Json.member "kind" j = Some (Json.String "fig6"));
+  Alcotest.(check bool) "missing member" true (Json.member "nope" j = None);
+  Alcotest.(check (list string)) "keys keep order" [ "kind"; "seed" ] (Json.keys j)
+
+let test_errors () =
+  List.iter
+    (fun s -> ignore (parse_err s))
+    [
+      ""; "{"; "[1,"; "{\"a\":}"; "{\"a\" 1}"; "nul"; "\"unterminated";
+      "01"; "1.2.3"; "{\"a\":1} trailing"; "{'a':1}"; "\"bad \\x escape\"";
+    ]
+
+let test_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("v", Json.Int 1L);
+        ("op", Json.String "run");
+        ("flag", Json.Bool true);
+        ("nothing", Json.Null);
+        ("xs", Json.List [ Json.Float 0.5; Json.String "a\"b\n" ]);
+      ]
+  in
+  let s = Json.to_string j in
+  Alcotest.(check bool) "compact form survives reparse" true (parse_ok s = j);
+  Alcotest.(check string) "compact form is stable"
+    s
+    (Json.to_string (parse_ok s))
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "string escapes" `Quick test_escapes;
+    Alcotest.test_case "containers and member access" `Quick test_containers;
+    Alcotest.test_case "malformed inputs rejected" `Quick test_errors;
+    Alcotest.test_case "print/parse round trip" `Quick test_roundtrip;
+  ]

@@ -1,0 +1,63 @@
+module Lru = Ptg_server.Lru
+
+let test_hit_miss () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check bool) "empty miss" true (Lru.find c "a" = None);
+  Lru.put c "a" "1";
+  Alcotest.(check bool) "hit" true (Lru.find c "a" = Some "1");
+  Lru.put c "a" "2";
+  Alcotest.(check bool) "overwrite" true (Lru.find c "a" = Some "2");
+  Alcotest.(check int) "hits" 2 (Lru.hits c);
+  Alcotest.(check int) "misses" 1 (Lru.misses c);
+  Alcotest.(check int) "no evictions yet" 0 (Lru.evictions c);
+  Alcotest.(check int) "length" 1 (Lru.length c);
+  Alcotest.(check bool) "mem does not count" true (Lru.mem c "a");
+  Alcotest.(check int) "hits unchanged by mem" 2 (Lru.hits c)
+
+let test_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  Lru.put c "a" "1";
+  Lru.put c "b" "2";
+  (* Touch a so b becomes the LRU entry. *)
+  ignore (Lru.find c "a");
+  Lru.put c "c" "3";
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
+  Alcotest.(check bool) "b evicted" false (Lru.mem c "b");
+  Alcotest.(check bool) "a kept" true (Lru.mem c "a");
+  Alcotest.(check bool) "c kept" true (Lru.mem c "c");
+  Alcotest.(check int) "at capacity" 2 (Lru.length c)
+
+let test_churn () =
+  let c = Lru.create ~capacity:8 in
+  for i = 0 to 99 do
+    Lru.put c (string_of_int i) (string_of_int (i * i))
+  done;
+  Alcotest.(check int) "length capped" 8 (Lru.length c);
+  Alcotest.(check int) "evictions" 92 (Lru.evictions c);
+  (* The survivors are exactly the 8 most recent inserts. *)
+  for i = 92 to 99 do
+    Alcotest.(check bool)
+      (Printf.sprintf "%d survives" i)
+      true
+      (Lru.find c (string_of_int i) = Some (string_of_int (i * i)))
+  done;
+  Alcotest.(check bool) "older entry gone" false (Lru.mem c "91")
+
+let test_capacity_one () =
+  let c = Lru.create ~capacity:1 in
+  Lru.put c "a" "1";
+  Lru.put c "b" "2";
+  Alcotest.(check bool) "only newest" true
+    ((not (Lru.mem c "a")) && Lru.mem c "b");
+  Alcotest.(check bool) "bad capacity rejected" true
+    (match Lru.create ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "hit/miss accounting" `Quick test_hit_miss;
+    Alcotest.test_case "eviction follows recency" `Quick test_eviction_order;
+    Alcotest.test_case "churn keeps newest entries" `Quick test_churn;
+    Alcotest.test_case "capacity one" `Quick test_capacity_one;
+  ]

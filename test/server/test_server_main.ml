@@ -1,0 +1,11 @@
+(* Serving tier: `dune build @server` runs just this binary. *)
+
+let () =
+  Alcotest.run "ptg_server"
+    [
+      ("server.json", Test_server_json.suite);
+      ("server.lru", Test_server_lru.suite);
+      ("server.protocol", Test_server_protocol.suite);
+      ("server.scenario", Test_server_scenario.suite);
+      ("server.e2e", Test_server_e2e.suite);
+    ]

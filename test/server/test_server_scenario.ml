@@ -1,0 +1,161 @@
+(* Canonicalization properties: the cache key (Scenario.hash) must not
+   depend on how a request spells the scenario — field order, whitespace,
+   explicit-vs-default values — and must separate semantically distinct
+   scenarios. *)
+
+module Json = Ptg_server.Json
+module Protocol = Ptg_server.Protocol
+module Scenario = Ptg_sim.Scenario
+
+let gen_scenario =
+  let open QCheck2.Gen in
+  oneofl Scenario.kinds >>= fun kind ->
+  map2
+    (fun (seed, seeds, reduced, jobs) (design, mac_latency, workloads, size) ->
+      let multi_ok = kind = Scenario.Fig6 || kind = Scenario.Fig9 in
+      Scenario.make
+        ~seed:(Int64.of_int seed)
+        ~seeds:(if multi_ok then seeds else 1)
+        ~reduced ~design ?mac_latency
+        ?workloads:(if kind = Scenario.Fig6 then workloads else None)
+        ?instrs:(if kind = Scenario.Fig7 then Some (1000 + size) else None)
+        ?lines:(if kind = Scenario.Fig9 then Some (10 + size) else None)
+        ~jobs kind)
+    (quad (int_bound 999) (int_range 1 3) bool (int_range 1 4))
+    (quad
+       (oneofl [ Ptguard.Config.Baseline; Ptguard.Config.Optimized ])
+       (opt (int_range 0 40))
+       (opt (oneofl [ [ "mcf" ]; [ "mcf"; "bc" ]; [ "xz"; "leela"; "lbm" ] ]))
+       (int_bound 5000))
+
+(* Re-render a wire scenario object with shuffled field order and random
+   whitespace — the spellings a real client might produce. *)
+let rec render_sloppy st json =
+  let sp () = String.make (Random.State.int st 3) ' ' in
+  match json with
+  | Json.Obj fields ->
+      let shuffled =
+        List.map snd
+          (List.sort compare
+             (List.map (fun f -> (Random.State.bits st, f)) fields))
+      in
+      "{" ^ sp ()
+      ^ String.concat
+          ("," ^ sp ())
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "\"%s\"%s:%s%s" k (sp ()) (sp ())
+                 (render_sloppy st v))
+             shuffled)
+      ^ sp () ^ "}"
+  | Json.List items ->
+      "[" ^ sp ()
+      ^ String.concat ("," ^ sp ()) (List.map (render_sloppy st) items)
+      ^ sp () ^ "]"
+  | other -> Json.to_string other
+
+let prop_hash_spelling_invariant =
+  QCheck2.Test.make
+    ~name:"hash is invariant under wire field order and whitespace" ~count:200
+    QCheck2.Gen.(pair gen_scenario (int_bound 0x3FFFFFF))
+    (fun (scenario, shuffle_seed) ->
+      let st = Random.State.make [| shuffle_seed |] in
+      let sloppy = render_sloppy st (Protocol.scenario_to_json scenario) in
+      match Json.parse sloppy with
+      | Error e -> QCheck2.Test.fail_reportf "sloppy form unparseable: %s" e
+      | Ok j -> (
+          match Protocol.scenario_of_json j with
+          | Error e -> QCheck2.Test.fail_reportf "sloppy form rejected: %s" e
+          | Ok back ->
+              Scenario.hash back = Scenario.hash scenario
+              && Scenario.canonical back = Scenario.canonical scenario))
+
+let prop_jobs_excluded =
+  QCheck2.Test.make ~name:"jobs hint never changes the hash" ~count:100
+    QCheck2.Gen.(pair gen_scenario (int_range 1 16))
+    (fun (scenario, jobs) ->
+      Scenario.hash { scenario with Scenario.jobs } = Scenario.hash scenario)
+
+let prop_defaults_resolved =
+  QCheck2.Test.make
+    ~name:"explicit default values hash like omitted ones" ~count:100
+    QCheck2.Gen.(oneofl Scenario.kinds)
+    (fun kind ->
+      let omitted = Scenario.make kind in
+      let explicit =
+        match kind with
+        | Scenario.Fig6 ->
+            Scenario.make ~seed:42L ~seeds:1 ~instrs:2_000_000 ~warmup:500_000
+              ~design:Ptguard.Config.Baseline
+              ~workloads:Ptg_workloads.Workload.names kind
+        | Scenario.Fig7 -> Scenario.make ~instrs:1_000_000 ~warmup:300_000 kind
+        | Scenario.Fig8 -> Scenario.make ~processes:623 kind
+        | Scenario.Fig9 -> Scenario.make ~lines:300 kind
+        | Scenario.Multicore -> Scenario.make ~instrs:400_000 ~mixes:16 kind
+      in
+      Scenario.hash explicit = Scenario.hash omitted)
+
+(* A golden set of semantically distinct scenarios: every pair must get
+   its own cache entry. *)
+let test_golden_distinct () =
+  let scenarios =
+    List.concat_map
+      (fun kind ->
+        [ Scenario.make kind; Scenario.make ~reduced:true kind ])
+      Scenario.kinds
+    @ List.init 20 (fun i ->
+          Scenario.make ~seed:(Int64.of_int i) Scenario.Fig6)
+    @ [
+        Scenario.make ~design:Ptguard.Config.Optimized Scenario.Fig6;
+        Scenario.make ~mac_latency:0 Scenario.Fig6;
+        Scenario.make ~mac_latency:25 Scenario.Fig6;
+        Scenario.make ~workloads:[ "mcf" ] Scenario.Fig6;
+        Scenario.make ~workloads:[ "mcf"; "bc" ] Scenario.Fig6;
+        Scenario.make ~workloads:[ "bc"; "mcf" ] Scenario.Fig6;
+        Scenario.make ~seeds:2 Scenario.Fig6;
+        Scenario.make ~seeds:3 Scenario.Fig6;
+        Scenario.make ~seeds:2 Scenario.Fig9;
+        Scenario.make ~instrs:999_999 Scenario.Fig7;
+        Scenario.make ~processes:622 Scenario.Fig8;
+        Scenario.make ~lines:299 Scenario.Fig9;
+        Scenario.make ~mixes:15 Scenario.Multicore;
+      ]
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let h = Scenario.hash s in
+      (match Hashtbl.find_opt tbl h with
+      | Some other ->
+          Alcotest.failf "hash collision: %s vs %s" other (Scenario.canonical s)
+      | None -> ());
+      Hashtbl.replace tbl h (Scenario.canonical s))
+    scenarios;
+  Alcotest.(check int) "all distinct" (List.length scenarios)
+    (Hashtbl.length tbl)
+
+let test_validate_rejects () =
+  List.iter
+    (fun (label, s) ->
+      match Scenario.validate s with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "validate accepted %s" label)
+    [
+      ("zero seeds", Scenario.make ~seeds:0 Scenario.Fig6);
+      ("multi-seed fig7", Scenario.make ~seeds:2 Scenario.Fig7);
+      ("zero jobs", Scenario.make ~jobs:0 Scenario.Fig8);
+      ("negative instrs", Scenario.make ~instrs:(-1) Scenario.Fig7);
+      ("unknown workload", Scenario.make ~workloads:[ "zzz" ] Scenario.Fig6);
+      ("empty workloads", Scenario.make ~workloads:[] Scenario.Fig6);
+      ("negative mac latency", Scenario.make ~mac_latency:(-1) Scenario.Fig6);
+    ]
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_hash_spelling_invariant; prop_jobs_excluded; prop_defaults_resolved ]
+  @ [
+      Alcotest.test_case "golden set hashes are distinct" `Quick
+        test_golden_distinct;
+      Alcotest.test_case "validate rejects bad scenarios" `Quick
+        test_validate_rejects;
+    ]

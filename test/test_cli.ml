@@ -62,9 +62,32 @@ let test_fig6_artifacts_job_invariant () =
 
 let test_error_paths () =
   Alcotest.(check int) "unknown flag" 124 (exec "stats --no-such-flag");
-  Alcotest.(check int) "unknown subcommand" 124 (exec "frobnicate");
   Alcotest.(check int) "bad workload name" 124
     (exec "fig6 --workloads not_a_workload --instrs 1000 --warmup 100")
+
+(* An unknown subcommand prints the full command list to stderr and
+   exits 2 (cmdliner's generic error is 124, kept for flag errors). *)
+let test_unknown_subcommand () =
+  let err = tmp "unknown.err" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s frobnicate > %s 2> %s" cli Filename.null err)
+  in
+  Alcotest.(check int) "exit code" 2 code;
+  let listing = read_file err in
+  List.iter
+    (fun needle ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "stderr names %s" needle)
+        true (contains listing needle))
+    [ "frobnicate"; "fig6"; "serve"; "loadgen"; "tables" ]
 
 let suite =
   [
@@ -73,4 +96,6 @@ let suite =
     Alcotest.test_case "fig6 artifacts job-invariant" `Slow
       test_fig6_artifacts_job_invariant;
     Alcotest.test_case "error exit codes" `Quick test_error_paths;
+    Alcotest.test_case "unknown subcommand lists commands" `Quick
+      test_unknown_subcommand;
   ]
