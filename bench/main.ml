@@ -389,7 +389,7 @@ let run_serve () =
       let report =
         Ptg_server.Client.loadgen ~addr ~clients:4
           ~requests_per_client:(if full then 500 else 200)
-          ~scenarios:[ scenario ]
+          ~scenarios:[ scenario ] ()
       in
       let cold_rps = 1.0 /. cold_s in
       Printf.printf

@@ -407,17 +407,75 @@ let serve_cmd =
       value & opt int 64
       & info [ "cache" ] ~docv:"N" ~doc:"Result-cache capacity (LRU entries).")
   in
-  let run socket port jobs high_water cache trace metrics =
+  let deadline =
+    Arg.(
+      value & opt float 30.
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Per-request compute budget: a request whose scenario has \
+             not finished after $(docv) gets a timeout frame (the \
+             computation keeps its worker until it really finishes).")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 60.
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Close a connection whose socket stays idle (or unwritable) \
+             for $(docv); 0 disables.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 256
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent-connection cap; accepts beyond it are shed with \
+             a best-effort overloaded frame.")
+  in
+  let drain_deadline =
+    Arg.(
+      value & opt float 5.
+      & info [ "drain-deadline" ] ~docv:"SECS"
+          ~doc:
+            "On shutdown, force-close connections still open after \
+             $(docv).")
+  in
+  let inject_fault =
+    (* Testing hook; see Ptg_server.Faults.of_spec for the grammar. *)
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-fault" ] ~docv:"SPEC"
+          ~doc:
+            "(testing) Arm a chaos fault: delay:SECS, wedge:SECS, torn \
+             or drop, optionally :TIMES (e.g. wedge:2:3).")
+  in
+  let run socket port jobs high_water cache deadline idle_timeout max_conns
+      drain_deadline inject_fault trace metrics =
     let addr = addr_of ~cmd:"serve" ~required:false socket port in
     let obs = sink_of ~trace ~metrics in
     let base = Ptg_server.Server.default_config addr in
+    let faults = Ptg_server.Faults.create () in
+    (match inject_fault with
+    | None -> ()
+    | Some spec -> (
+        match Ptg_server.Faults.of_spec spec with
+        | Ok (kind, times) -> Ptg_server.Faults.arm ~times faults kind
+        | Error msg ->
+            Printf.eprintf "serve: --inject-fault: %s\n" msg;
+            exit 2));
     let config =
       {
         base with
         Ptg_server.Server.workers = jobs;
         high_water = Option.value high_water ~default:(max 4 (2 * jobs));
         cache_capacity = cache;
+        deadline_s = deadline;
+        idle_timeout_s = idle_timeout;
+        max_conns;
+        drain_deadline_s = drain_deadline;
         obs;
+        faults;
       }
     in
     let server = Ptg_server.Server.start config in
@@ -443,9 +501,11 @@ let serve_cmd =
        ~doc:
          "Run the scenario server: line-JSON requests over a socket, \
           results computed on a domain pool behind an LRU cache with \
-          load shedding. Stops on a shutdown frame.")
+          load shedding, per-request deadlines, idle timeouts and a \
+          connection cap. Stops on a shutdown frame.")
     Term.(
       const run $ socket_arg $ port_arg $ jobs_arg $ high_water $ cache
+      $ deadline $ idle_timeout $ max_conns $ drain_deadline $ inject_fault
       $ trace_file_arg $ metrics_arg)
 
 let loadgen_cmd =
@@ -483,10 +543,44 @@ let loadgen_cmd =
             "Cycle through N scenarios differing only in seed (1 keeps \
              the server cache-hot after the first response).")
   in
-  let run socket port seed kind reduced distinct clients requests =
+  let retries =
+    Arg.(
+      value & opt int Ptg_server.Client.default_retry.Ptg_server.Client.attempts
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Attempts per request (>= 1): transport failures reconnect \
+             and retry with jittered exponential backoff. Retries are \
+             lossless — scenarios are deterministic and cache-keyed.")
+  in
+  let backoff =
+    Arg.(
+      value
+      & opt float
+          Ptg_server.Client.default_retry.Ptg_server.Client.base_backoff_s
+      & info [ "backoff" ] ~docv:"SECS"
+          ~doc:"Base retry backoff (doubles per attempt, jittered).")
+  in
+  let connect_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "connect-timeout" ] ~docv:"SECS"
+          ~doc:"Fail a connect attempt after $(docv).")
+  in
+  let request_timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "request-timeout" ] ~docv:"SECS"
+          ~doc:"Fail (and retry) a request with no reply after $(docv).")
+  in
+  let run socket port seed kind reduced distinct clients requests retries
+      backoff connect_timeout request_timeout =
     let addr = addr_of ~cmd:"loadgen" ~required:true socket port in
     if clients < 1 || requests < 1 || distinct < 1 then begin
       Printf.eprintf "loadgen: --clients/--requests/--distinct must be >= 1\n";
+      exit 2
+    end;
+    if retries < 1 || backoff < 0. then begin
+      Printf.eprintf "loadgen: --retries must be >= 1, --backoff >= 0\n";
       exit 2
     end;
     let scenarios =
@@ -495,9 +589,17 @@ let loadgen_cmd =
             ~seed:(Int64.add seed (Int64.of_int i))
             ~reduced kind)
     in
+    let policy =
+      {
+        Ptg_server.Client.default_retry with
+        Ptg_server.Client.attempts = retries;
+        base_backoff_s = backoff;
+      }
+    in
     let report =
-      Ptg_server.Client.loadgen ~addr ~clients ~requests_per_client:requests
-        ~scenarios
+      Ptg_server.Client.loadgen ~policy ?connect_timeout_s:connect_timeout
+        ?request_timeout_s:request_timeout ~addr ~clients
+        ~requests_per_client:requests ~scenarios ()
     in
     print_string (Ptg_server.Client.report_to_string report)
   in
@@ -505,10 +607,12 @@ let loadgen_cmd =
     (Cmd.info "loadgen"
        ~doc:
          "Closed-loop load generator against a running serve instance: \
-          N concurrent clients, throughput and p50/p95/p99 latency.")
+          N concurrent clients, throughput and p50/p95/p99 latency, \
+          with lossless transport-failure retries.")
     Term.(
       const run $ socket_arg $ port_arg $ seed_arg $ kind $ reduced $ distinct
-      $ clients $ requests)
+      $ clients $ requests $ retries $ backoff $ connect_timeout
+      $ request_timeout)
 
 let all_cmd =
   let run seed jobs =

@@ -1,38 +1,183 @@
-type t = { ic : in_channel; oc : out_channel }
+module Clock = Ptg_util.Clock
 
-let connect addr =
-  let sockaddr, domain =
-    match addr with
-    | Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
-    | Server.Tcp port ->
-        (Unix.ADDR_INET (Unix.inet_addr_loopback, port), Unix.PF_INET)
-  in
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let sockaddr_of = function
+  | Server.Unix_socket path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+  | Server.Tcp port ->
+      (Unix.ADDR_INET (Unix.inet_addr_loopback, port), Unix.PF_INET)
+
+let connect ?timeout_s addr =
+  let sockaddr, domain = sockaddr_of addr in
   let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd sockaddr
+  (try
+     match timeout_s with
+     | None -> Unix.connect fd sockaddr
+     | Some timeout -> (
+         (* Non-blocking connect + select so an unreachable peer costs
+            at most [timeout] rather than the kernel's default. *)
+         Unix.set_nonblock fd;
+         (match Unix.connect fd sockaddr with
+         | () -> ()
+         | exception
+             Unix.Unix_error
+               ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> (
+             match Unix.select [] [ fd ] [] timeout with
+             | [], [], [] ->
+                 raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+             | _ -> (
+                 match Unix.getsockopt_error fd with
+                 | None -> ()
+                 | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+         Unix.clear_nonblock fd)
    with e ->
-     (try Unix.close fd with _ -> ());
+     (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
 let close t =
   (* Both channels share one descriptor; closing the output channel
      flushes and closes it. *)
   close_out_noerr t.oc
 
-let request ?id t req =
+let request ?id ?timeout_s t req =
+  (match timeout_s with
+  | Some v when v > 0. -> (
+      try
+        Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO v;
+        Unix.setsockopt_float t.fd Unix.SO_SNDTIMEO v
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | _ -> ());
+  let t0 = Clock.now_ns () in
   match
     output_string t.oc (Protocol.encode_request ?id req);
     output_char t.oc '\n';
     flush t.oc;
     input_line t.ic
   with
-  | exception (End_of_file | Sys_error _) -> Error "connection closed"
+  | exception (End_of_file | Sys_error _ | Sys_blocked_io) -> (
+      (* A socket-timeout expiry surfaces as [Sys_blocked_io] through
+         the buffered channel (or a read/write error); classify by
+         elapsed time (monotonic). *)
+      match timeout_s with
+      | Some v when v > 0. && Clock.elapsed_s t0 >= 0.9 *. v ->
+          Error "request timed out"
+      | _ -> Error "connection closed")
   | line -> (
       match Protocol.decode_response line with
       | Ok (_id, resp) -> Ok resp
       | Error e -> Error e)
 
 let run t scenario = request t (Protocol.Run scenario)
+
+(* ------------------------------------------------------------------ *)
+(* Retrying sessions                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type retry_policy = {
+  attempts : int;
+  base_backoff_s : float;
+  max_backoff_s : float;
+  jitter : float;
+}
+
+let default_retry =
+  { attempts = 3; base_backoff_s = 0.05; max_backoff_s = 1.0; jitter = 0.5 }
+
+let check_policy p =
+  if p.attempts < 1 then invalid_arg "Client: retry attempts";
+  if not (p.base_backoff_s >= 0. && p.max_backoff_s >= 0.) then
+    invalid_arg "Client: retry backoff";
+  if not (p.jitter >= 0. && p.jitter <= 1.) then invalid_arg "Client: jitter"
+
+let backoff_delay policy ~u ~attempt =
+  let exp = Float.of_int (1 lsl min attempt 30) in
+  let d = Float.min policy.max_backoff_s (policy.base_backoff_s *. exp) in
+  d *. (1. -. (policy.jitter *. u))
+
+type session = {
+  s_addr : Server.addr;
+  policy : retry_policy;
+  connect_timeout_s : float option;
+  request_timeout_s : float option;
+  rng : Ptg_util.Rng.t;
+  mutable conn : t option;
+  mutable ever_connected : bool;
+  mutable retries : int;
+  mutable reconnects : int;
+}
+
+let session ?(policy = default_retry) ?connect_timeout_s ?request_timeout_s
+    ?(seed = 1L) addr =
+  check_policy policy;
+  {
+    s_addr = addr;
+    policy;
+    connect_timeout_s;
+    request_timeout_s;
+    rng = Ptg_util.Rng.create seed;
+    conn = None;
+    ever_connected = false;
+    retries = 0;
+    reconnects = 0;
+  }
+
+let session_retries s = s.retries
+let session_reconnects s = s.reconnects
+
+let session_close s =
+  match s.conn with
+  | Some c ->
+      s.conn <- None;
+      close c
+  | None -> ()
+
+let drop_conn s = session_close s
+
+let ensure_conn s =
+  match s.conn with
+  | Some c -> Ok c
+  | None -> (
+      match connect ?timeout_s:s.connect_timeout_s s.s_addr with
+      | c ->
+          if s.ever_connected then s.reconnects <- s.reconnects + 1;
+          s.ever_connected <- true;
+          s.conn <- Some c;
+          Ok c
+      | exception Unix.Unix_error (err, _, _) ->
+          Error ("connect: " ^ Unix.error_message err)
+      | exception Sys_error msg -> Error ("connect: " ^ msg))
+
+(* Retries are lossless, not merely safe: every scenario is
+   deterministic and cache-keyed, so re-sending an identical request can
+   only hit the cache or recompute the same bytes. Only transport-level
+   failures (connect, torn/closed/timed-out sockets) are retried —
+   server-decided replies, including [Timeout] and [Overloaded], go back
+   to the caller. *)
+let session_request s req =
+  let rec attempt k last_err =
+    if k >= s.policy.attempts then Error last_err
+    else begin
+      if k > 0 then begin
+        s.retries <- s.retries + 1;
+        let d =
+          backoff_delay s.policy ~u:(Ptg_util.Rng.float s.rng) ~attempt:(k - 1)
+        in
+        if d > 0. then Thread.delay d
+      end;
+      match ensure_conn s with
+      | Error e -> attempt (k + 1) e
+      | Ok conn -> (
+          match request ?timeout_s:s.request_timeout_s conn req with
+          | Ok resp -> Ok resp
+          | Error e ->
+              drop_conn s;
+              attempt (k + 1) e)
+    end
+  in
+  attempt 0 "no attempts made"
+
+let session_run s scenario = session_request s (Protocol.Run scenario)
 
 (* ------------------------------------------------------------------ *)
 (* Load generation                                                     *)
@@ -46,7 +191,10 @@ type report = {
   misses : int;
   coalesced : int;
   overloaded : int;
+  timeouts : int;
   errors : int;
+  retries : int;
+  reconnects : int;
   wall_s : float;
   throughput_rps : float;
   p50_us : float;
@@ -60,74 +208,92 @@ type worker_tally = {
   mutable w_misses : int;
   mutable w_coalesced : int;
   mutable w_overloaded : int;
+  mutable w_timeouts : int;
   mutable w_errors : int;
+  mutable w_retries : int;
+  mutable w_reconnects : int;
   mutable latencies_us : float list;  (** ok responses only *)
 }
 
-let loadgen ~addr ~clients ~requests_per_client ~scenarios =
+let loadgen ?(policy = default_retry) ?connect_timeout_s ?request_timeout_s
+    ~addr ~clients ~requests_per_client ~scenarios () =
   if clients < 1 then invalid_arg "Client.loadgen: clients";
   if requests_per_client < 1 then invalid_arg "Client.loadgen: requests_per_client";
   if scenarios = [] then invalid_arg "Client.loadgen: scenarios";
+  check_policy policy;
   let scenarios = Array.of_list scenarios in
-  let results = Array.make clients None in
-  let worker i =
-    let tally =
-      {
-        w_ok = 0;
-        w_hits = 0;
-        w_misses = 0;
-        w_coalesced = 0;
-        w_overloaded = 0;
-        w_errors = 0;
-        latencies_us = [];
-      }
-    in
-    (match connect addr with
-    | exception _ -> tally.w_errors <- requests_per_client
-    | conn ->
-        for r = 0 to requests_per_client - 1 do
-          let scenario = scenarios.(r mod Array.length scenarios) in
-          let t0 = Unix.gettimeofday () in
-          match run conn scenario with
-          | Ok (Protocol.Result { cache; _ }) ->
-              tally.w_ok <- tally.w_ok + 1;
-              tally.latencies_us <-
-                (1e6 *. (Unix.gettimeofday () -. t0)) :: tally.latencies_us;
-              (match cache with
-              | Protocol.Hit -> tally.w_hits <- tally.w_hits + 1
-              | Protocol.Miss -> tally.w_misses <- tally.w_misses + 1
-              | Protocol.Coalesced -> tally.w_coalesced <- tally.w_coalesced + 1)
-          | Ok Protocol.Overloaded -> tally.w_overloaded <- tally.w_overloaded + 1
-          | Ok (Protocol.Error_reply _) | Ok Protocol.Pong
-          | Ok (Protocol.Stats_reply _) | Error _ ->
-              tally.w_errors <- tally.w_errors + 1
-        done;
-        close conn);
-    results.(i) <- Some tally
+  let tallies =
+    Array.init clients (fun _ ->
+        {
+          w_ok = 0;
+          w_hits = 0;
+          w_misses = 0;
+          w_coalesced = 0;
+          w_overloaded = 0;
+          w_timeouts = 0;
+          w_errors = 0;
+          w_retries = 0;
+          w_reconnects = 0;
+          latencies_us = [];
+        })
   in
-  let t0 = Unix.gettimeofday () in
+  let worker i =
+    let tally = tallies.(i) in
+    (* Per-client seed: deterministic jitter streams, distinct per
+       client so backoffs do not synchronize. *)
+    let sess =
+      session ~policy ?connect_timeout_s ?request_timeout_s
+        ~seed:(Int64.of_int (0x10001 + i))
+        addr
+    in
+    for r = 0 to requests_per_client - 1 do
+      let scenario = scenarios.(r mod Array.length scenarios) in
+      let t0 = Clock.now_ns () in
+      match session_run sess scenario with
+      | Ok (Protocol.Result { cache; _ }) -> (
+          tally.w_ok <- tally.w_ok + 1;
+          tally.latencies_us <- Clock.elapsed_us t0 :: tally.latencies_us;
+          match cache with
+          | Protocol.Hit -> tally.w_hits <- tally.w_hits + 1
+          | Protocol.Miss -> tally.w_misses <- tally.w_misses + 1
+          | Protocol.Coalesced -> tally.w_coalesced <- tally.w_coalesced + 1)
+      | Ok Protocol.Overloaded -> tally.w_overloaded <- tally.w_overloaded + 1
+      | Ok Protocol.Timeout -> tally.w_timeouts <- tally.w_timeouts + 1
+      | Ok (Protocol.Error_reply _) | Ok Protocol.Pong
+      | Ok (Protocol.Stats_reply _) | Error _ ->
+          tally.w_errors <- tally.w_errors + 1
+    done;
+    tally.w_retries <- session_retries sess;
+    tally.w_reconnects <- session_reconnects sess;
+    session_close sess
+  in
+  let wall_t0 = Clock.now_ns () in
   let threads = Array.init clients (fun i -> Thread.create worker i) in
   Array.iter Thread.join threads;
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Clock.elapsed_s wall_t0 in
   let ok = ref 0
   and hits = ref 0
   and misses = ref 0
   and coalesced = ref 0
   and overloaded = ref 0
+  and timeouts = ref 0
   and errors = ref 0
+  and retries = ref 0
+  and reconnects = ref 0
   and latencies = ref [] in
   Array.iter
-    (function
-      | None -> errors := !errors + requests_per_client
-      | Some w ->
-          ok := !ok + w.w_ok;
-          hits := !hits + w.w_hits;
-          misses := !misses + w.w_misses;
-          coalesced := !coalesced + w.w_coalesced;
-          overloaded := !overloaded + w.w_overloaded;
-          errors := !errors + w.w_errors;
-          latencies := List.rev_append w.latencies_us !latencies)
-    results;
+    (fun w ->
+      ok := !ok + w.w_ok;
+      hits := !hits + w.w_hits;
+      misses := !misses + w.w_misses;
+      coalesced := !coalesced + w.w_coalesced;
+      overloaded := !overloaded + w.w_overloaded;
+      timeouts := !timeouts + w.w_timeouts;
+      errors := !errors + w.w_errors;
+      retries := !retries + w.w_retries;
+      reconnects := !reconnects + w.w_reconnects;
+      latencies := List.rev_append w.latencies_us !latencies)
+    tallies;
   let lat = Array.of_list !latencies in
   let pct p = if Array.length lat = 0 then 0. else Ptg_util.Stats.percentile lat p in
   {
@@ -138,7 +304,10 @@ let loadgen ~addr ~clients ~requests_per_client ~scenarios =
     misses = !misses;
     coalesced = !coalesced;
     overloaded = !overloaded;
+    timeouts = !timeouts;
     errors = !errors;
+    retries = !retries;
+    reconnects = !reconnects;
     wall_s;
     throughput_rps = (if wall_s > 0. then float_of_int !ok /. wall_s else 0.);
     p50_us = pct 50.;
@@ -151,11 +320,13 @@ let report_to_string r =
     "loadgen: %d clients x %d requests (%d total)\n\
     \  ok          %d (hit %d / miss %d / coalesced %d)\n\
     \  overloaded  %d\n\
-    \  errors      %d\n\
+    \  timeouts    %d\n\
+    \  errors      %d (retries %d, reconnects %d)\n\
     \  wall        %.3f s\n\
     \  throughput  %.1f req/s\n\
     \  latency     p50 %.0f us  p95 %.0f us  p99 %.0f us\n"
     r.clients
     (r.requests / max 1 r.clients)
-    r.requests r.ok r.hits r.misses r.coalesced r.overloaded r.errors r.wall_s
-    r.throughput_rps r.p50_us r.p95_us r.p99_us
+    r.requests r.ok r.hits r.misses r.coalesced r.overloaded r.timeouts
+    r.errors r.retries r.reconnects r.wall_s r.throughput_rps r.p50_us
+    r.p95_us r.p99_us

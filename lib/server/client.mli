@@ -1,24 +1,95 @@
-(** Client side of the wire protocol, plus the closed-loop load
-    generator behind the [loadgen] subcommand. *)
+(** Client side of the wire protocol: one-shot connections, retrying
+    sessions, and the closed-loop load generator behind the [loadgen]
+    subcommand.
+
+    All durations are measured on the monotonic clock
+    ({!Ptg_util.Clock}), never wall-clock time. *)
 
 type t
 
-val connect : Server.addr -> t
-(** Raises [Unix.Unix_error] if the server is unreachable. *)
+val connect : ?timeout_s:float -> Server.addr -> t
+(** Raises [Unix.Unix_error] if the server is unreachable; with
+    [timeout_s], a non-responding peer raises [ETIMEDOUT] after at most
+    that long instead of the kernel default. *)
 
 val close : t -> unit
 
-val request : ?id:string -> t -> Protocol.request -> (Protocol.response, string) result
+val request :
+  ?id:string ->
+  ?timeout_s:float ->
+  t ->
+  Protocol.request ->
+  (Protocol.response, string) result
 (** One round trip: send the frame, block for the one-line reply.
-    [Error] covers transport failures (connection closed mid-reply) and
-    undecodable response frames. *)
+    [Error] covers transport failures (connection closed mid-reply,
+    ["request timed out"] when [timeout_s] elapsed) and undecodable
+    response frames. [timeout_s] bounds both the send and the receive
+    via socket timeouts. *)
 
 val run : t -> Ptg_sim.Scenario.t -> (Protocol.response, string) result
 
-(** Closed-loop load generation: [clients] concurrent connections, each
-    issuing [requests_per_client] requests back-to-back (a client sends
-    its next request only after the previous response arrives), cycling
-    through [scenarios]. *)
+(** {2 Retrying sessions}
+
+    Retries are lossless, not merely safe: every scenario is
+    deterministic and cache-keyed, so re-sending an identical request
+    can only hit the cache or recompute the same bytes (see DESIGN.md).
+    Sessions therefore retry transport failures — failed connects,
+    torn/closed connections, request timeouts — with jittered
+    exponential backoff, transparently reconnecting. Server-decided
+    replies ([Timeout], [Overloaded], error frames) are returned to the
+    caller, which owns that policy. *)
+
+type retry_policy = {
+  attempts : int;        (** total tries, including the first (>= 1) *)
+  base_backoff_s : float;
+  max_backoff_s : float;
+  jitter : float;        (** in [0,1]: each delay is scaled by
+                             [1 - jitter * u], [u] uniform in [0,1) *)
+}
+
+val default_retry : retry_policy
+(** 3 attempts, 50 ms base doubling to at most 1 s, jitter 0.5. *)
+
+val backoff_delay : retry_policy -> u:float -> attempt:int -> float
+(** Pure: delay before retry number [attempt + 1] given a uniform draw
+    [u]. Exposed for tests. *)
+
+type session
+
+val session :
+  ?policy:retry_policy ->
+  ?connect_timeout_s:float ->
+  ?request_timeout_s:float ->
+  ?seed:int64 ->
+  Server.addr ->
+  session
+(** Lazily-connecting session; [seed] fixes the jitter stream. Raises
+    [Invalid_argument] on a nonsensical policy. *)
+
+val session_request :
+  session -> Protocol.request -> (Protocol.response, string) result
+(** Like {!request}, with reconnect-and-retry per the policy. After the
+    final attempt the last transport error is returned. *)
+
+val session_run :
+  session -> Ptg_sim.Scenario.t -> (Protocol.response, string) result
+
+val session_retries : session -> int
+(** Re-attempts made after a transport failure (first tries excluded). *)
+
+val session_reconnects : session -> int
+(** Successful connects after the first one. *)
+
+val session_close : session -> unit
+
+(** {2 Closed-loop load generation}
+
+    [clients] concurrent sessions, each issuing [requests_per_client]
+    requests back-to-back (a client sends its next request only after
+    the previous response arrives or its retries are exhausted), cycling
+    through [scenarios]. A connection that dies mid-run is re-dialled
+    with backoff rather than charging every remaining request as an
+    error. *)
 type report = {
   clients : int;
   requests : int;  (** total issued across all clients *)
@@ -27,7 +98,10 @@ type report = {
   misses : int;
   coalesced : int;
   overloaded : int;
-  errors : int;  (** error frames plus transport failures *)
+  timeouts : int;  (** server [timeout] frames (deadline expiries) *)
+  errors : int;    (** error frames plus exhausted-retry transport failures *)
+  retries : int;   (** transport-failure re-attempts across all clients *)
+  reconnects : int;
   wall_s : float;
   throughput_rps : float;  (** ok responses per wall-clock second *)
   p50_us : float;
@@ -36,13 +110,18 @@ type report = {
 }
 
 val loadgen :
+  ?policy:retry_policy ->
+  ?connect_timeout_s:float ->
+  ?request_timeout_s:float ->
   addr:Server.addr ->
   clients:int ->
   requests_per_client:int ->
   scenarios:Ptg_sim.Scenario.t list ->
+  unit ->
   report
 (** Raises [Invalid_argument] on non-positive [clients] or
-    [requests_per_client], or an empty [scenarios] list. *)
+    [requests_per_client], an empty [scenarios] list, or a nonsensical
+    [policy]. *)
 
 val report_to_string : report -> string
 (** Multi-line human-readable summary, newline-terminated. *)

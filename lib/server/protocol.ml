@@ -22,6 +22,7 @@ type response =
   | Pong
   | Stats_reply of (string * float) list
   | Overloaded
+  | Timeout
   | Error_reply of string
 
 (* ------------------------------------------------------------------ *)
@@ -230,6 +231,7 @@ let encode_response ?id resp =
           ("stats", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) rows));
         ]
     | Overloaded -> [ ("status", Json.String "overloaded") ]
+    | Timeout -> [ ("status", Json.String "timeout") ]
     | Error_reply msg ->
         [ ("status", Json.String "error"); ("error", Json.String msg) ]
   in
@@ -243,6 +245,7 @@ let decode_response line =
       with_id json
         (match Json.member "status" json with
         | Some (Json.String "overloaded") -> Ok Overloaded
+        | Some (Json.String "timeout") -> Ok Timeout
         | Some (Json.String "error") -> (
             match Json.member "error" json with
             | Some (Json.String msg) -> Ok (Error_reply msg)

@@ -12,12 +12,15 @@
     {"v":1,"op":"shutdown"}
     v}
 
-    Responses are one of three statuses — ["ok"], ["overloaded"] (load
+    Responses are one of four statuses — ["ok"], ["overloaded"] (load
     shed: the server's in-flight high-water mark was reached; retry
-    later) or ["error"] (the explicit error frame):
+    later), ["timeout"] (the per-request compute deadline expired before
+    the scenario finished; an identical retry recomputes) or ["error"]
+    (the explicit error frame):
     {v
     {"v":1,"id":"r1","status":"ok","cache":"miss","hash":"63…","result":"…"}
     {"v":1,"id":"r1","status":"overloaded"}
+    {"v":1,"id":"r1","status":"timeout"}
     {"v":1,"id":"r1","status":"error","error":"unknown workload zzz (…)"}
     v}
 
@@ -41,6 +44,10 @@ type response =
   | Pong
   | Stats_reply of (string * float) list
   | Overloaded
+  | Timeout
+      (** The compute deadline expired while this request waited; the
+          pending entry was unhooked, so an identical retry recomputes
+          (or hits the cache if the straggler finished meanwhile). *)
   | Error_reply of string
 
 val scenario_to_json : Ptg_sim.Scenario.t -> Json.t

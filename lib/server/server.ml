@@ -1,6 +1,7 @@
 module Scenario = Ptg_sim.Scenario
 module Registry = Ptg_obs.Registry
 module Trace = Ptg_obs.Trace
+module Clock = Ptg_util.Clock
 
 type addr = Unix_socket of string | Tcp of int
 
@@ -9,8 +10,13 @@ type config = {
   workers : int;
   high_water : int;
   cache_capacity : int;
+  deadline_s : float;
+  idle_timeout_s : float;
+  max_conns : int;
+  drain_deadline_s : float;
   obs : Ptg_obs.Sink.t option;
   handler : (Scenario.t -> string) option;
+  faults : Faults.t;
 }
 
 let default_config addr =
@@ -20,8 +26,13 @@ let default_config addr =
     workers;
     high_water = max 4 (2 * workers);
     cache_capacity = 64;
+    deadline_s = 30.;
+    idle_timeout_s = 60.;
+    max_conns = 256;
+    drain_deadline_s = 5.;
     obs = None;
     handler = None;
+    faults = Faults.create ();
   }
 
 (* Metric handles are resolved once at startup (the registry contract);
@@ -35,7 +46,14 @@ type obs_metrics = {
   c_hits : Registry.counter;
   c_misses : Registry.counter;
   c_evictions : Registry.counter;
+  c_timeouts : Registry.counter;
+  c_conn_shed : Registry.counter;
+  c_accept_errors : Registry.counter;
+  c_idle_closed : Registry.counter;
+  c_faults : Registry.counter;
+  c_pool_dropped : Registry.counter;
   g_queue : Registry.gauge;
+  g_drain : Registry.gauge;
   h_latency : Registry.histogram;
   trace : Trace.t;
 }
@@ -50,7 +68,14 @@ let make_obs sink =
     c_hits = Registry.counter reg "server_cache_hits_total";
     c_misses = Registry.counter reg "server_cache_misses_total";
     c_evictions = Registry.counter reg "server_cache_evictions_total";
+    c_timeouts = Registry.counter reg "server_timeouts_total";
+    c_conn_shed = Registry.counter reg "server_conns_shed_total";
+    c_accept_errors = Registry.counter reg "server_accept_errors_total";
+    c_idle_closed = Registry.counter reg "server_conns_idle_closed_total";
+    c_faults = Registry.counter reg "server_faults_injected_total";
+    c_pool_dropped = Registry.counter reg "server_pool_dropped_exceptions_total";
     g_queue = Registry.gauge reg "server_queue_depth";
+    g_drain = Registry.gauge reg "server_drain_duration_us";
     h_latency =
       Registry.histogram reg
         ~buckets:[| 100.; 1_000.; 10_000.; 100_000.; 1_000_000.; 10_000_000. |]
@@ -77,12 +102,20 @@ type t = {
   mutable inflight : int;
   mutable conns : int;
   mutable stopping : bool;
+  mutable aborting : bool;    (* forced drain: expire every waiter now *)
   mutable finalized : bool;
+  mutable ticker_stop : bool;
   mutable accept_thread : Thread.t option;
+  mutable ticker_thread : Thread.t option;
   mutable served : int;
   mutable shed : int;
   mutable coalesced : int;
   mutable errors : int;
+  mutable timeouts : int;
+  mutable conn_shed : int;
+  mutable accept_errors : int;
+  mutable idle_closed : int;
+  mutable pool_dropped : int;
   mutable last_evictions : int;
   obs_m : obs_metrics option;
 }
@@ -95,16 +128,25 @@ let listen_addr t = t.bound
 
 let stats_locked t =
   [
+    ("accept_errors", float_of_int t.accept_errors);
     ("cache_entries", float_of_int (Lru.length t.cache));
     ("cache_evictions", float_of_int (Lru.evictions t.cache));
     ("cache_hits", float_of_int (Lru.hits t.cache));
     ("cache_misses", float_of_int (Lru.misses t.cache));
     ("coalesced", float_of_int t.coalesced);
+    ("conn_shed", float_of_int t.conn_shed);
+    ("conns", float_of_int t.conns);
     ("errors", float_of_int t.errors);
+    ("faults_injected", float_of_int (Faults.fired t.config.faults));
     ("high_water", float_of_int t.config.high_water);
+    ("idle_closed", float_of_int t.idle_closed);
     ("inflight", float_of_int t.inflight);
+    ("max_conns", float_of_int t.config.max_conns);
+    ("pending", float_of_int (Hashtbl.length t.pending_tbl));
+    ("pool_dropped", float_of_int t.pool_dropped);
     ("served", float_of_int t.served);
     ("shed", float_of_int t.shed);
+    ("timeouts", float_of_int t.timeouts);
     ("workers", float_of_int t.config.workers);
   ]
 
@@ -133,16 +175,53 @@ let sync_evictions_locked t =
       Registry.add m.c_evictions (now - t.last_evictions);
       t.last_evictions <- now
 
-(* Called with the mutex held; releases it while waiting. *)
-let rec await_locked t p =
+(* A consumed fault firing, counted under the mutex. *)
+let record_fault t =
+  Mutex.lock t.mutex;
+  obs_incr t (fun m -> m.c_faults);
+  Mutex.unlock t.mutex
+
+let take_fault t f =
+  match Faults.take_matching t.config.faults f with
+  | Some _ as hit ->
+      record_fault t;
+      hit
+  | None -> None
+
+type wait_outcome = Done of (string, string) result | Expired
+
+(* Called with the mutex held; releases it while waiting. Wakeups come
+   from job completion broadcasts and from the ticker thread, which
+   bounds how late a deadline expiry is noticed. *)
+let rec await_locked t p ~deadline =
   match p.outcome with
-  | Some r -> r
+  | Some r -> Done r
   | None ->
-      Condition.wait t.done_cond t.mutex;
-      await_locked t p
+      if t.aborting || Clock.now_ns () >= deadline then Expired
+      else begin
+        Condition.wait t.done_cond t.mutex;
+        await_locked t p ~deadline
+      end
+
+(* Remove [hash]'s pending entry only if it is still [p]: a timed-out
+   waiter may already have unhooked it and a newer identical request
+   re-registered — that newer entry must survive. *)
+let unhook_locked t hash p =
+  match Hashtbl.find_opt t.pending_tbl hash with
+  | Some q when q == p -> Hashtbl.remove t.pending_tbl hash
+  | _ -> ()
 
 let submit_job t hash scenario p =
   Ptg_util.Pool.Service.submit t.service (fun () ->
+      (match
+         Faults.take_matching t.config.faults (function
+           | Faults.Wedge_worker d -> Some d
+           | _ -> None)
+       with
+      | Some d ->
+          record_fault t;
+          Thread.delay d
+      | None -> ());
       let outcome =
         try Ok (t.handler scenario)
         with e -> Error (Printexc.to_string e)
@@ -157,7 +236,7 @@ let submit_job t hash scenario p =
       | Error _, Some m -> Registry.incr m.c_errors
       | _ -> ());
       p.outcome <- Some outcome;
-      Hashtbl.remove t.pending_tbl hash;
+      unhook_locked t hash p;
       t.inflight <- t.inflight - 1;
       set_queue_gauge t;
       Condition.broadcast t.done_cond;
@@ -167,25 +246,28 @@ let submit_job t hash scenario p =
    scheduler-state transitions (and while blocked in a condvar wait). *)
 let handle_run t scenario =
   let hash = Scenario.hash scenario in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_ns () in
+  let deadline = Clock.ns_after t0 t.config.deadline_s in
   Mutex.lock t.mutex;
   let disposition, outcome =
     match Lru.find t.cache hash with
     | Some rendered ->
         obs_incr t (fun m -> m.c_hits);
-        (Some Protocol.Hit, Ok rendered)
+        (Some Protocol.Hit, Done (Ok rendered))
     | None -> (
         obs_incr t (fun m -> m.c_misses);
         match Hashtbl.find_opt t.pending_tbl hash with
         | Some p ->
             t.coalesced <- t.coalesced + 1;
             obs_incr t (fun m -> m.c_coalesced);
-            (Some Protocol.Coalesced, await_locked t p)
+            let r = await_locked t p ~deadline in
+            if r = Expired then unhook_locked t hash p;
+            (Some Protocol.Coalesced, r)
         | None ->
             if t.inflight >= t.config.high_water then begin
               t.shed <- t.shed + 1;
               obs_incr t (fun m -> m.c_shed);
-              (None, Error "overloaded")
+              (None, Done (Error "overloaded"))
             end
             else begin
               let p = { outcome = None } in
@@ -193,27 +275,38 @@ let handle_run t scenario =
               t.inflight <- t.inflight + 1;
               set_queue_gauge t;
               submit_job t hash scenario p;
-              (Some Protocol.Miss, await_locked t p)
+              let r = await_locked t p ~deadline in
+              (* On expiry, unhook so a later identical request
+                 recomputes instead of coalescing onto the zombie. The
+                 in-flight slot stays charged: the worker really is
+                 still busy, and it releases the slot itself. *)
+              if r = Expired then unhook_locked t hash p;
+              (Some Protocol.Miss, r)
             end)
   in
   let response =
     match (disposition, outcome) with
-    | Some cache, Ok result ->
+    | Some cache, Done (Ok result) ->
         t.served <- t.served + 1;
         obs_incr t (fun m -> m.c_served);
         Protocol.Result { cache; hash; result }
     | None, _ -> Protocol.Overloaded
-    | Some _, Error msg -> Protocol.Error_reply msg
+    | Some _, Done (Error msg) -> Protocol.Error_reply msg
+    | Some _, Expired ->
+        t.timeouts <- t.timeouts + 1;
+        obs_incr t (fun m -> m.c_timeouts);
+        Protocol.Timeout
   in
   (match t.obs_m with
   | None -> ()
   | Some m ->
-      Registry.observe m.h_latency (1e6 *. (Unix.gettimeofday () -. t0));
+      Registry.observe m.h_latency (Clock.elapsed_us t0);
       let status, cache =
         match response with
         | Protocol.Result { cache; _ } ->
             ("ok", Protocol.cache_disposition_name cache)
         | Protocol.Overloaded -> ("overloaded", "")
+        | Protocol.Timeout -> ("timeout", "")
         | _ -> ("error", "")
       in
       Trace.record m.trace
@@ -236,16 +329,43 @@ let record_protocol_error t =
   | None -> ());
   Mutex.unlock t.mutex
 
+let record_idle_close t =
+  Mutex.lock t.mutex;
+  t.idle_closed <- t.idle_closed + 1;
+  obs_incr t (fun m -> m.c_idle_closed);
+  Mutex.unlock t.mutex
+
+(* An exception no connection should produce: counted (never silent),
+   then the connection is dropped. *)
+let record_conn_crash t _e =
+  Mutex.lock t.mutex;
+  t.errors <- t.errors + 1;
+  obs_incr t (fun m -> m.c_errors);
+  (match t.obs_m with
+  | Some m ->
+      Trace.record m.trace
+        (Trace.Server_request { hash = 0L; status = "error"; cache = "" })
+  | None -> ());
+  Mutex.unlock t.mutex
+
 let initiate_stop t =
   Mutex.lock t.mutex;
   if not t.stopping then begin
     t.stopping <- true;
-    (try ignore (Unix.write t.pipe_w (Bytes.make 1 'x') 0 1) with _ -> ());
+    (try ignore (Unix.write t.pipe_w (Bytes.make 1 'x') 0 1)
+     with Unix.Unix_error _ -> ());
     Condition.broadcast t.drained
   end;
   Mutex.unlock t.mutex
 
 let handle_conn t fd =
+  (* Read/write timeouts bound how long a slow or hung peer can hold
+     this thread: an idle socket times the blocked read out, and a peer
+     that stops reading times our blocked write out. 0 disables. *)
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.idle_timeout_s
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let send frame =
@@ -253,9 +373,24 @@ let handle_conn t fd =
     output_char oc '\n';
     flush oc
   in
+  let send_torn frame =
+    output_string oc (String.sub frame 0 (String.length frame / 2));
+    flush oc
+  in
+  let read_t0 = ref (Clock.now_ns ()) in
   let rec loop () =
+    read_t0 := Clock.now_ns ();
     match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
+    | exception End_of_file -> ()
+    | exception (Sys_error _ | Sys_blocked_io) ->
+        (* SO_RCVTIMEO expiry surfaces as [Sys_blocked_io] through the
+           buffered channel (or a read error); classify by how long the
+           read actually blocked so idle closes are counted apart from
+           peer resets. *)
+        if
+          t.config.idle_timeout_s > 0.
+          && Clock.elapsed_s !read_t0 >= 0.9 *. t.config.idle_timeout_s
+        then record_idle_close t
     | line -> (
         let continue =
           match Protocol.decode_request line with
@@ -264,28 +399,54 @@ let handle_conn t fd =
               send (Protocol.encode_response (Protocol.Error_reply msg));
               true
           | Ok (id, req) -> (
-              match req with
-              | Protocol.Ping ->
-                  send (Protocol.encode_response ?id Protocol.Pong);
-                  true
-              | Protocol.Stats ->
-                  send
-                    (Protocol.encode_response ?id (Protocol.Stats_reply (stats t)));
-                  true
-              | Protocol.Shutdown ->
-                  initiate_stop t;
-                  send (Protocol.encode_response ?id Protocol.Pong);
-                  false
-              | Protocol.Run scenario ->
-                  send (Protocol.encode_response ?id (handle_run t scenario));
-                  true)
+              (match
+                 take_fault t (function
+                   | Faults.Delay_handler d -> Some d
+                   | _ -> None)
+               with
+              | Some d -> Thread.delay d
+              | None -> ());
+              match
+                take_fault t (function
+                  | Faults.Drop_connection -> Some ()
+                  | _ -> None)
+              with
+              | Some () -> false
+              | None -> (
+                  match req with
+                  | Protocol.Ping ->
+                      send (Protocol.encode_response ?id Protocol.Pong);
+                      true
+                  | Protocol.Stats ->
+                      send
+                        (Protocol.encode_response ?id
+                           (Protocol.Stats_reply (stats t)));
+                      true
+                  | Protocol.Shutdown ->
+                      initiate_stop t;
+                      send (Protocol.encode_response ?id Protocol.Pong);
+                      false
+                  | Protocol.Run scenario -> (
+                      let frame =
+                        Protocol.encode_response ?id (handle_run t scenario)
+                      in
+                      match
+                        take_fault t (function
+                          | Faults.Torn_frame -> Some ()
+                          | _ -> None)
+                      with
+                      | Some () ->
+                          send_torn frame;
+                          false
+                      | None ->
+                          send frame;
+                          true)))
         in
-        match continue with
-        | true -> loop ()
-        | false -> ()
-        | exception Sys_error _ -> ())
+        if continue then loop ())
   in
-  (try loop () with _ -> ());
+  (try loop () with
+  | End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ()
+  | e -> record_conn_crash t e);
   Mutex.lock t.mutex;
   Hashtbl.remove t.conn_fds fd;
   t.conns <- t.conns - 1;
@@ -295,6 +456,27 @@ let handle_conn t fd =
      closed too (double close could hit a reused descriptor). *)
   close_out_noerr oc
 
+(* Accepted but over the connection cap: tell the peer why (best effort,
+   non-blocking — a hostile peer must not stall the accept loop) and
+   hang up. *)
+let shed_conn fd =
+  (try
+     Unix.set_nonblock fd;
+     let frame = Protocol.encode_response Protocol.Overloaded ^ "\n" in
+     ignore (Unix.write_substring fd frame 0 (String.length frame))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let record_accept_error t =
+  Mutex.lock t.mutex;
+  t.accept_errors <- t.accept_errors + 1;
+  obs_incr t (fun m -> m.c_accept_errors);
+  Mutex.unlock t.mutex
+
+(* Transient fd exhaustion leaves listen_fd readable, so without a pause
+   select+accept would busy-loop at 100% CPU until an fd frees up. *)
+let accept_backoff_s = 0.05
+
 let accept_loop t =
   let rec loop () =
     match Unix.select [ t.listen_fd; t.pipe_r ] [] [] (-1.0) with
@@ -303,15 +485,53 @@ let accept_loop t =
         if List.mem t.pipe_r readable then ()
         else begin
           (match Unix.accept ~cloexec:true t.listen_fd with
-          | exception Unix.Unix_error _ -> ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM), _, _)
+            ->
+              record_accept_error t;
+              Thread.delay accept_backoff_s
+          | exception Unix.Unix_error _ ->
+              (* e.g. ECONNABORTED: the event was consumed, no spin. *)
+              record_accept_error t
           | fd, _ ->
-              Mutex.lock t.mutex;
-              t.conns <- t.conns + 1;
-              Hashtbl.replace t.conn_fds fd ();
-              Mutex.unlock t.mutex;
-              ignore (Thread.create (handle_conn t) fd));
+              let over =
+                Mutex.lock t.mutex;
+                let over = t.conns >= t.config.max_conns in
+                if over then begin
+                  t.conn_shed <- t.conn_shed + 1;
+                  obs_incr t (fun m -> m.c_conn_shed)
+                end
+                else begin
+                  t.conns <- t.conns + 1;
+                  Hashtbl.replace t.conn_fds fd ()
+                end;
+                Mutex.unlock t.mutex;
+                over
+              in
+              if over then shed_conn fd
+              else ignore (Thread.create (handle_conn t) fd));
           loop ()
         end
+  in
+  loop ()
+
+(* Periodic broadcasts bound how late deadline-style waits (request
+   deadlines in [await_locked], the drain deadline in [finalize]) notice
+   that their clock ran out; completion events still wake them at once. *)
+let tick_interval_s = 0.05
+
+let ticker t =
+  let rec loop () =
+    Thread.delay tick_interval_s;
+    Mutex.lock t.mutex;
+    let stop = t.ticker_stop in
+    if not stop then begin
+      Condition.broadcast t.done_cond;
+      Condition.broadcast t.drained
+    end;
+    Mutex.unlock t.mutex;
+    if not stop then loop ()
   in
   loop ()
 
@@ -323,6 +543,12 @@ let start config =
   if config.workers < 1 then invalid_arg "Server.start: workers";
   if config.high_water < 1 then invalid_arg "Server.start: high_water";
   if config.cache_capacity < 1 then invalid_arg "Server.start: cache_capacity";
+  if not (config.deadline_s > 0.) then invalid_arg "Server.start: deadline_s";
+  if not (config.idle_timeout_s >= 0.) then
+    invalid_arg "Server.start: idle_timeout_s";
+  if config.max_conns < 1 then invalid_arg "Server.start: max_conns";
+  if not (config.drain_deadline_s >= 0.) then
+    invalid_arg "Server.start: drain_deadline_s";
   (* A peer hanging up mid-response must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -347,6 +573,9 @@ let start config =
         (fd, Tcp actual)
   in
   let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  (* The pool is created before the server record exists, so its drop
+     hook goes through a cell filled in just below. *)
+  let drop_hook = ref (fun (_ : exn) -> ()) in
   let t =
     {
       config;
@@ -358,7 +587,9 @@ let start config =
       bound;
       pipe_r;
       pipe_w;
-      service = Ptg_util.Pool.Service.create ~workers:config.workers ();
+      service =
+        Ptg_util.Pool.Service.create ~workers:config.workers
+          ~on_drop:(fun e -> !drop_hook e) ();
       mutex = Mutex.create ();
       done_cond = Condition.create ();
       drained = Condition.create ();
@@ -368,17 +599,32 @@ let start config =
       inflight = 0;
       conns = 0;
       stopping = false;
+      aborting = false;
       finalized = false;
+      ticker_stop = false;
       accept_thread = None;
+      ticker_thread = None;
       served = 0;
       shed = 0;
       coalesced = 0;
       errors = 0;
+      timeouts = 0;
+      conn_shed = 0;
+      accept_errors = 0;
+      idle_closed = 0;
+      pool_dropped = 0;
       last_evictions = 0;
       obs_m = Option.map make_obs config.obs;
     }
   in
+  (drop_hook :=
+     fun _e ->
+       Mutex.lock t.mutex;
+       t.pool_dropped <- t.pool_dropped + 1;
+       obs_incr t (fun m -> m.c_pool_dropped);
+       Mutex.unlock t.mutex);
   t.accept_thread <- Some (Thread.create accept_loop t);
+  t.ticker_thread <- Some (Thread.create ticker t);
   t
 
 let finalize t =
@@ -390,24 +636,46 @@ let finalize t =
   Option.iter Thread.join acceptor;
   (* Nudge idle connections: half-close their read side so blocked
      [input_line]s see EOF. Done under the mutex so a connection thread
-     cannot concurrently remove-and-close the same descriptor. *)
+     cannot concurrently remove-and-close the same descriptor. In-flight
+     requests get [drain_deadline_s] to finish; stragglers are then
+     force-closed and their compute waits expired. *)
   Mutex.lock t.mutex;
+  let drain_t0 = Clock.now_ns () in
+  let force_at = Clock.ns_after drain_t0 t.config.drain_deadline_s in
   Hashtbl.iter
-    (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
     t.conn_fds;
+  let forced = ref false in
   while t.conns > 0 do
+    if (not !forced) && Clock.now_ns () >= force_at then begin
+      forced := true;
+      t.aborting <- true;
+      Condition.broadcast t.done_cond;
+      Hashtbl.iter
+        (fun fd () ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.conn_fds
+    end;
     Condition.wait t.drained t.mutex
   done;
   let first = not t.finalized in
+  (match (first, t.obs_m) with
+  | true, Some m -> Registry.set_gauge m.g_drain (Clock.elapsed_us drain_t0)
+  | _ -> ());
   t.finalized <- true;
+  t.ticker_stop <- true;
+  let tick = t.ticker_thread in
+  t.ticker_thread <- None;
   Mutex.unlock t.mutex;
+  Option.iter Thread.join tick;
   if first then begin
     Ptg_util.Pool.Service.shutdown t.service;
-    (try Unix.close t.listen_fd with _ -> ());
-    (try Unix.close t.pipe_r with _ -> ());
-    (try Unix.close t.pipe_w with _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
     match t.bound with
-    | Unix_socket path -> ( try Sys.remove path with _ -> ())
+    | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
     | Tcp _ -> ()
   end
 

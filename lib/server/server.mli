@@ -18,10 +18,25 @@
     Because every scenario is deterministic given its canonical form, a
     cache hit is byte-identical to a re-run — caching is lossless.
 
+    Fault tolerance: a waiter whose computation has not finished within
+    [deadline_s] gets a [timeout] frame instead of blocking forever, and
+    its pending entry is unhooked so identical retries recompute rather
+    than coalesce onto the straggler (whose in-flight slot stays charged
+    until its worker actually finishes — a wedged worker still counts
+    against [high_water]). Connections carry socket read/write timeouts
+    ([idle_timeout_s]) so idle or non-reading peers cannot hold handler
+    threads; accepts beyond [max_conns] are shed at accept time with a
+    best-effort [overloaded] frame; accept-loop resource errors
+    (EMFILE/ENFILE) back off briefly instead of busy-looping; and
+    shutdown force-closes stragglers after [drain_deadline_s]. {!Faults}
+    can inject each failure for chaos tests.
+
     Connection I/O runs on one thread per accepted connection; the
     compute pool is [workers] domains. With an [obs] sink the server
-    reports per-request latency histograms, a queue-depth gauge,
-    served/shed/coalesced/error and cache hit/miss/eviction counters,
+    reports per-request latency histograms, queue-depth and
+    drain-duration gauges, served/shed/coalesced/error/timeout,
+    connection-shed/idle-closed/accept-error, fault-injection and
+    pool-dropped-exception counters, cache hit/miss/eviction counters,
     and a [server_request] trace event per request. *)
 
 type addr =
@@ -33,15 +48,28 @@ type config = {
   workers : int;         (** compute pool size *)
   high_water : int;      (** max in-flight computations before shedding *)
   cache_capacity : int;  (** LRU entries *)
+  deadline_s : float;
+      (** per-request compute budget: a waiter past it gets
+          [Protocol.Timeout] (must be [> 0]; expiry is noticed within
+          ~50 ms of the deadline) *)
+  idle_timeout_s : float;
+      (** socket read/write timeout per connection; [0.] disables *)
+  max_conns : int;       (** concurrent connections before accept-time shed *)
+  drain_deadline_s : float;
+      (** shutdown drain budget before stragglers are force-closed;
+          [0.] force-closes immediately *)
   obs : Ptg_obs.Sink.t option;
   handler : (Ptg_sim.Scenario.t -> string) option;
       (** compute override for tests/benchmarks; default
           [Ptg_sim.Scenario.run_to_string] *)
+  faults : Faults.t;     (** chaos injection slot; unarmed by default *)
 }
 
 val default_config : addr -> config
 (** workers {!Ptg_util.Pool.default_jobs}, high-water [2 * workers]
-    (min 4), 64 cache entries, no obs, default handler. *)
+    (min 4), 64 cache entries, 30 s deadline, 60 s idle timeout, 256
+    connections, 5 s drain deadline, no obs, default handler, unarmed
+    faults. *)
 
 type t
 
@@ -54,13 +82,18 @@ val listen_addr : t -> addr
 (** The bound address — for [Tcp 0], the actual ephemeral port. *)
 
 val stats : t -> (string * float) list
-(** Scheduler/cache counters, sorted by key: cache entries/hits/misses/
-    evictions, coalesced, errors, inflight, served, shed, plus the
-    configured high_water/workers. Also what the [stats] op returns. *)
+(** Scheduler/cache/failure counters, sorted by key: accept_errors,
+    cache entries/hits/misses/evictions, coalesced, conn_shed, conns,
+    errors, faults_injected, idle_closed, inflight, pending,
+    pool_dropped, served, shed, timeouts, plus the configured
+    high_water/max_conns/workers. Also what the [stats] op returns. *)
 
 val stop : t -> unit
-(** Stop accepting, wait for open connections to drain, shut the compute
-    pool down. Idempotent; also the path a [shutdown] frame triggers. *)
+(** Stop accepting, drain open connections (force-closing stragglers
+    after [drain_deadline_s]), shut the compute pool down. Idempotent;
+    also the path a [shutdown] frame triggers. Note: a genuinely wedged
+    worker domain cannot be killed — shutdown waits for it, so injected
+    wedges should use finite delays. *)
 
 val wait : t -> unit
 (** Block until the server has fully stopped (a [shutdown] frame or a

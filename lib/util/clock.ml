@@ -1,0 +1,9 @@
+let now_ns () = Monotonic_clock.now ()
+
+let ns_after t0 seconds =
+  let delta = seconds *. 1e9 in
+  if delta >= 9.0e18 then Int64.max_int
+  else Int64.add t0 (Int64.of_float delta)
+
+let elapsed_us t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e3
+let elapsed_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9

@@ -1,0 +1,24 @@
+(** Monotonic time for latency measurement and deadlines.
+
+    [Unix.gettimeofday] is wall-clock time: NTP slews and steps make
+    intervals derived from it negative or wildly skewed, which poisons
+    latency percentiles and bench regression gates. Every duration in
+    the serving stack is therefore measured against the OS monotonic
+    clock (CLOCK_MONOTONIC via the bechamel stubs), which never jumps.
+
+    Instants are opaque nanosecond counts from an arbitrary origin:
+    only differences between two instants are meaningful — never
+    compare an instant to a wall-clock time. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock, from an unspecified origin. *)
+
+val ns_after : int64 -> float -> int64
+(** [ns_after t0 seconds] is the instant [seconds] after [t0]
+    (saturating on overflow; [seconds] may be fractional). *)
+
+val elapsed_us : int64 -> float
+(** Microseconds elapsed since instant [t0]. *)
+
+val elapsed_s : int64 -> float
+(** Seconds elapsed since instant [t0]. *)

@@ -47,6 +47,8 @@ module Service = struct
     jobs : (unit -> unit) Queue.t;
     mutable stopped : bool;
     mutable workers : unit Domain.t array;
+    mutable dropped : int;
+    on_drop : (exn -> unit) option;
   }
 
   let worker t =
@@ -67,13 +69,32 @@ module Service = struct
       | Some f ->
           (* A job that raises must not kill the worker: jobs are expected
              to catch their own errors (the server turns them into error
-             frames); anything that still escapes is dropped here. *)
-          (try f () with _ -> ());
+             frames). Anything that still escapes is counted, and the
+             owner's [on_drop] hook is told — except fatal runtime
+             exhaustion, which must propagate (the domain dies and
+             [shutdown]'s join re-raises it) rather than be retried into
+             a crash loop. *)
+          (match f () with
+          | () -> ()
+          | exception ((Out_of_memory | Stack_overflow) as fatal) -> raise fatal
+          | exception e ->
+              Mutex.lock t.mutex;
+              t.dropped <- t.dropped + 1;
+              Mutex.unlock t.mutex;
+              (match t.on_drop with
+              | None -> ()
+              | Some g -> (
+                  (* The hook must not raise; fatal exhaustion inside it
+                     still propagates. *)
+                  try g e
+                  with
+                  | (Out_of_memory | Stack_overflow) as fatal -> raise fatal
+                  | _ -> ())));
           loop ()
     in
     loop ()
 
-  let create ?workers:(n = default_jobs ()) () =
+  let create ?workers:(n = default_jobs ()) ?on_drop () =
     if n < 1 then invalid_arg "Pool.Service.create: workers";
     let t =
       {
@@ -82,10 +103,18 @@ module Service = struct
         jobs = Queue.create ();
         stopped = false;
         workers = [||];
+        dropped = 0;
+        on_drop;
       }
     in
     t.workers <- Array.init n (fun _ -> Domain.spawn (fun () -> worker t));
     t
+
+  let dropped t =
+    Mutex.lock t.mutex;
+    let n = t.dropped in
+    Mutex.unlock t.mutex;
+    n
 
   let workers t = Array.length t.workers
 

@@ -16,15 +16,25 @@ module Service : sig
   (** A persistent domain pool for long-running services: workers are
       spawned once at {!create} and keep pulling submitted thunks until
       {!shutdown}. Jobs communicate results through their own closures
-      (e.g. a mutex-protected cell plus a condition variable); a job that
-      raises is dropped without killing its worker, so jobs should catch
-      and encode their own errors. *)
+      (e.g. a mutex-protected cell plus a condition variable); jobs
+      should catch and encode their own errors. An exception that still
+      escapes a job is counted ({!dropped}) and reported to [on_drop]
+      without killing the worker — except [Out_of_memory] and
+      [Stack_overflow], which kill the worker domain and re-raise at
+      {!shutdown}'s join: fatal exhaustion must never be silently
+      retried. *)
 
   type t
 
-  val create : ?workers:int -> unit -> t
+  val create : ?workers:int -> ?on_drop:(exn -> unit) -> unit -> t
   (** Spawn [workers] worker domains (default {!default_jobs}). Raises
-      [Invalid_argument] on [workers < 1]. *)
+      [Invalid_argument] on [workers < 1]. [on_drop] is called from the
+      worker domain for every non-fatal exception that escapes a job
+      (e.g. to feed an observability counter); it must not raise —
+      anything it raises besides fatal exhaustion is ignored. *)
+
+  val dropped : t -> int
+  (** Non-fatal exceptions that escaped jobs since {!create}. *)
 
   val workers : t -> int
 
@@ -39,7 +49,8 @@ module Service : sig
 
   val shutdown : t -> unit
   (** Stop accepting jobs, let workers drain what is already queued, and
-      join them. Idempotent. *)
+      join them. Idempotent. If a worker domain died of fatal exhaustion
+      ([Out_of_memory] / [Stack_overflow]), the join re-raises it here. *)
 end
 
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array

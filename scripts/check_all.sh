@@ -5,8 +5,12 @@
 #   2. tier-1 test suite (dune runtest: unit, property, golden, e2e)
 #   3. fast serving tier alone (dune build @server) — redundant with
 #      runtest, but proves the alias stays wired for quick iteration
-#   4. Figure 6 wall-time regression gate (scripts/check_bench_fig6.sh)
-#   5. serving throughput smoke (PTG_BENCH_ONLY=serve): asserts the
+#   4. chaos tier alone (fault injection, deadlines, slow-loris) — also
+#      part of runtest, but kept addressable for quick iteration
+#   5. grep gate: no bare `with _ -> ()` in lib/server — every dropped
+#      exception there must be classified or counted
+#   6. Figure 6 wall-time regression gate (scripts/check_bench_fig6.sh)
+#   7. serving throughput smoke (PTG_BENCH_ONLY=serve): asserts the
 #      cache-hot path serves at least 100x the cold-compute rate
 #
 # Usage: scripts/check_all.sh   (run from anywhere inside the repo)
@@ -21,6 +25,16 @@ dune runtest
 
 echo "== serving tier (dune build @server) =="
 dune build @server
+
+echo "== chaos tier (fault injection) =="
+dune exec test/server/test_server_main.exe -- test server.chaos
+
+echo "== no silent exception swallowing in lib/server =="
+if grep -rn 'with _ -> ()' lib/server; then
+    echo "FAIL: bare 'with _ -> ()' in lib/server — classify or count it" >&2
+    exit 1
+fi
+echo "OK: lib/server swallows no exception silently"
 
 echo "== Figure 6 regression gate =="
 scripts/check_bench_fig6.sh

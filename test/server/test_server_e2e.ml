@@ -249,13 +249,17 @@ let test_loadgen_report () =
       let addr = Server.listen_addr server in
       let report =
         Client.loadgen ~addr ~clients:4 ~requests_per_client:10
-          ~scenarios:[ scenario_seed 1L; scenario_seed 2L ]
+          ~scenarios:[ scenario_seed 1L; scenario_seed 2L ] ()
       in
       Alcotest.(check int) "all requests issued" 40 report.Client.requests;
       Alcotest.(check int) "all ok" 40 report.Client.ok;
       Alcotest.(check int) "none shed below high water" 0
         report.Client.overloaded;
       Alcotest.(check int) "no errors" 0 report.Client.errors;
+      Alcotest.(check int) "no deadline expiries" 0 report.Client.timeouts;
+      Alcotest.(check int) "no retries against a healthy server" 0
+        report.Client.retries;
+      Alcotest.(check int) "no reconnects" 0 report.Client.reconnects;
       Alcotest.(check int) "dispositions add up" 40
         (report.Client.hits + report.Client.misses + report.Client.coalesced);
       Alcotest.(check bool) "two distinct computations" true

@@ -1,0 +1,369 @@
+(* Chaos tests: every Faults kind injected against a live server, plus
+   the failure surfaces that need no injection — slow-loris connections
+   against the cap and idle timeout, and the forced shutdown drain. The
+   deadline test is the acceptance criterion for the fault-tolerance
+   layer: a wedged worker yields a [timeout] frame within the configured
+   deadline, the pending entry is unhooked, and an identical retry
+   recomputes instead of coalescing onto the zombie. *)
+
+module Server = Ptg_server.Server
+module Client = Ptg_server.Client
+module Protocol = Ptg_server.Protocol
+module Faults = Ptg_server.Faults
+module Scenario = Ptg_sim.Scenario
+module Clock = Ptg_util.Clock
+
+let with_server config f =
+  let server = Server.start config in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let base_config ?(handler = fun _ -> "payload") ?obs ?(workers = 2)
+    ?(high_water = 8) ?(deadline_s = 30.) ?(idle_timeout_s = 60.)
+    ?(max_conns = 256) ?(drain_deadline_s = 5.)
+    ?(faults = Faults.create ()) () =
+  {
+    (Server.default_config (Server.Tcp 0)) with
+    Server.workers;
+    high_water;
+    deadline_s;
+    idle_timeout_s;
+    max_conns;
+    drain_deadline_s;
+    obs;
+    handler = Some handler;
+    faults;
+  }
+
+let stat server key =
+  match List.assoc_opt key (Server.stats server) with
+  | Some v -> int_of_float v
+  | None -> Alcotest.failf "stat %s missing" key
+
+(* Poll [stats] until [key] reaches [want] — for transitions driven by
+   server-side timers (idle closes, connection teardown). *)
+let wait_for_stat server key want =
+  let deadline = Clock.ns_after (Clock.now_ns ()) 3.0 in
+  let rec go () =
+    if stat server key = want then ()
+    else if Clock.now_ns () >= deadline then
+      Alcotest.failf "stat %s never reached %d (now %d)" key want
+        (stat server key)
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let scenario_seed seed = Scenario.make ~seed Scenario.Fig8
+
+(* A fast retry policy so chaos tests do not sleep through real
+   production backoffs. *)
+let fast_policy =
+  {
+    Client.attempts = 3;
+    base_backoff_s = 0.01;
+    max_backoff_s = 0.05;
+    jitter = 0.5;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deadline expiry: the acceptance criterion                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_wedged_worker_times_out () =
+  let faults = Faults.create () in
+  Faults.arm faults (Faults.Wedge_worker 1.0);
+  let config =
+    base_config ~handler:(fun _ -> "quick") ~workers:2 ~deadline_s:0.25 ~faults
+      ()
+  in
+  with_server config (fun server ->
+      let addr = Server.listen_addr server in
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          let t0 = Clock.now_ns () in
+          (match Client.run c (scenario_seed 1L) with
+          | Ok Protocol.Timeout -> ()
+          | Ok _ -> Alcotest.fail "expected a timeout frame"
+          | Error e -> Alcotest.fail e);
+          let waited = Clock.elapsed_s t0 in
+          Alcotest.(check bool) "bounded by the deadline, not the wedge" true
+            (waited >= 0.2 && waited < 0.9);
+          Alcotest.(check int) "timeout counted" 1 (stat server "timeouts");
+          Alcotest.(check int) "pending entry unhooked" 0
+            (stat server "pending");
+          Alcotest.(check int) "wedge consumed" 1
+            (stat server "faults_injected");
+          (* The worker really is still busy: its in-flight slot stays
+             charged until it finishes. *)
+          Alcotest.(check int) "wedged slot still charged" 1
+            (stat server "inflight");
+          (* An identical retry recomputes on the free worker — a miss,
+             not a coalesce onto the zombie, and not a stale answer. *)
+          (match Client.run c (scenario_seed 1L) with
+          | Ok (Protocol.Result { cache = Protocol.Miss; result = "quick"; _ })
+            ->
+              ()
+          | Ok Protocol.Timeout ->
+              Alcotest.fail "retry coalesced onto the wedged computation"
+          | Ok _ -> Alcotest.fail "unexpected frame"
+          | Error e -> Alcotest.fail e);
+          Alcotest.(check int) "retry served" 1 (stat server "served")))
+
+(* ------------------------------------------------------------------ *)
+(* Client-side retries against each injected fault                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_with_session ?request_timeout_s config scenario =
+  with_server config (fun server ->
+      let sess =
+        Client.session ~policy:fast_policy ?request_timeout_s ~seed:42L
+          (Server.listen_addr server)
+      in
+      Fun.protect ~finally:(fun () -> Client.session_close sess) (fun () ->
+          let reply = Client.session_run sess scenario in
+          ( reply,
+            Client.session_retries sess,
+            Client.session_reconnects sess )))
+
+let check_recovered (reply, retries, reconnects) =
+  (match reply with
+  | Ok (Protocol.Result { result = "payload"; _ }) -> ()
+  | Ok _ -> Alcotest.fail "unexpected frame"
+  | Error e -> Alcotest.failf "retry did not recover: %s" e);
+  Alcotest.(check int) "one retry" 1 retries;
+  Alcotest.(check int) "one reconnect" 1 reconnects
+
+let test_delay_fault_retried () =
+  (* The handler thread stalls past the client's request timeout; the
+     retry lands on a fresh connection whose fault budget is spent. *)
+  let faults = Faults.create () in
+  Faults.arm faults (Faults.Delay_handler 0.6);
+  check_recovered
+    (run_with_session ~request_timeout_s:0.2 (base_config ~faults ())
+       (scenario_seed 2L))
+
+let test_torn_frame_retried () =
+  (* Half a frame then a hangup: the client sees a decode error, drops
+     the connection and retries — the second answer is a cache hit. *)
+  let faults = Faults.create () in
+  Faults.arm faults Faults.Torn_frame;
+  check_recovered
+    (run_with_session (base_config ~faults ()) (scenario_seed 3L))
+
+let test_dropped_connection_retried () =
+  let faults = Faults.create () in
+  Faults.arm faults Faults.Drop_connection;
+  check_recovered
+    (run_with_session (base_config ~faults ()) (scenario_seed 4L))
+
+(* Server-decided frames are not transport failures: a [timeout] reply
+   comes straight back to the caller, with no retry burned. *)
+let test_timeout_frame_not_retried () =
+  let faults = Faults.create () in
+  Faults.arm faults (Faults.Wedge_worker 0.8);
+  let config =
+    base_config ~handler:(fun _ -> "quick") ~workers:2 ~deadline_s:0.2 ~faults
+      ()
+  in
+  let reply, retries, _ = run_with_session config (scenario_seed 5L) in
+  (match reply with
+  | Ok Protocol.Timeout -> ()
+  | Ok _ -> Alcotest.fail "expected the timeout frame itself"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "no transport retries" 0 retries
+
+(* ------------------------------------------------------------------ *)
+(* Slow loris: connection cap and idle timeout                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_conn_cap_and_idle_timeout () =
+  let config = base_config ~max_conns:2 ~idle_timeout_s:0.3 () in
+  with_server config (fun server ->
+      let port =
+        match Server.listen_addr server with
+        | Server.Tcp p -> p
+        | Server.Unix_socket _ -> Alcotest.fail "expected tcp"
+      in
+      let dial () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd
+      in
+      (* Two connections that never send a byte occupy the whole cap. *)
+      let loris1 = dial () and loris2 = dial () in
+      wait_for_stat server "conns" 2;
+      (* The third is shed at accept time with a best-effort overloaded
+         frame, then closed. *)
+      let fd3 = dial () in
+      let ic3 = Unix.in_channel_of_descr fd3 in
+      (match input_line ic3 with
+      | exception End_of_file -> Alcotest.fail "no shed frame before close"
+      | line -> (
+          match Protocol.decode_response line with
+          | Ok (None, Protocol.Overloaded) -> ()
+          | _ -> Alcotest.failf "unexpected shed frame %s" line));
+      (match input_line ic3 with
+      | exception End_of_file -> ()
+      | _ -> Alcotest.fail "expected close after the shed frame");
+      close_in_noerr ic3;
+      Alcotest.(check int) "accept-time shed counted" 1
+        (stat server "conn_shed");
+      (* The idle timeout reaps both loris connections... *)
+      wait_for_stat server "conns" 0;
+      Alcotest.(check int) "idle closes counted" 2 (stat server "idle_closed");
+      (try Unix.close loris1 with Unix.Unix_error _ -> ());
+      (try Unix.close loris2 with Unix.Unix_error _ -> ());
+      (* ...freeing capacity for a real client. *)
+      let c = Client.connect (Server.listen_addr server) in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          match Client.run c (scenario_seed 6L) with
+          | Ok (Protocol.Result { result = "payload"; _ }) -> ()
+          | Ok _ -> Alcotest.fail "unexpected frame"
+          | Error e -> Alcotest.fail e))
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown drain deadline                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_drain_deadline_forces_stragglers () =
+  let obs = Ptg_obs.Sink.create () in
+  let config =
+    base_config
+      ~handler:(fun _ ->
+        Thread.delay 0.8;
+        "slow")
+      ~workers:1 ~drain_deadline_s:0.2 ~obs ()
+  in
+  let server = Server.start config in
+  let addr = Server.listen_addr server in
+  let reply = ref (Error "unset") in
+  let c = Client.connect addr in
+  let straggler =
+    Thread.create (fun () -> reply := Client.run c (scenario_seed 7L)) ()
+  in
+  Thread.delay 0.2 (* let the request get admitted and start computing *);
+  Server.stop server;
+  Thread.join straggler;
+  Client.close c;
+  (* The straggler was expired, not served: either it saw the timeout
+     frame before its socket was force-closed, or the close itself. *)
+  (match !reply with
+  | Ok Protocol.Timeout | Error _ -> ()
+  | Ok _ -> Alcotest.fail "straggler should have been expired");
+  (* Connection drain was bounded by the drain deadline (~0.2 s), not
+     held open for the 0.8 s handler. *)
+  match
+    Ptg_obs.Registry.find (Ptg_obs.Sink.metrics obs) "server_drain_duration_us"
+  with
+  | Some d ->
+      Alcotest.(check bool) "drain bounded by its deadline" true (d < 700_000.)
+  | None -> Alcotest.fail "drain gauge missing"
+
+(* ------------------------------------------------------------------ *)
+(* The fault slot itself                                               *)
+(* ------------------------------------------------------------------ *)
+
+let take_if_torn t =
+  Faults.take_matching t (function Faults.Torn_frame -> Some () | _ -> None)
+
+let test_fault_slot_budget () =
+  let t = Faults.create () in
+  Alcotest.(check (option unit)) "unarmed injects nothing" None
+    (Faults.take_matching t (fun _ -> Some ()));
+  Faults.arm ~times:2 t Faults.Torn_frame;
+  (* A non-matching injection point never burns a firing. *)
+  Alcotest.(check (option unit)) "non-matching point" None
+    (Faults.take_matching t (function
+      | Faults.Drop_connection -> Some ()
+      | _ -> None));
+  Alcotest.(check (option unit)) "first firing" (Some ()) (take_if_torn t);
+  Alcotest.(check (option unit)) "second firing" (Some ()) (take_if_torn t);
+  Alcotest.(check (option unit)) "budget exhausted" None (take_if_torn t);
+  Alcotest.(check int) "fired total" 2 (Faults.fired t);
+  Faults.arm t (Faults.Delay_handler 0.1);
+  Faults.disarm t;
+  Alcotest.(check (option unit)) "disarmed" None
+    (Faults.take_matching t (fun _ -> Some ()));
+  Alcotest.check_raises "times < 1 rejected"
+    (Invalid_argument "Faults.arm: times") (fun () ->
+      Faults.arm ~times:0 t Faults.Torn_frame);
+  Alcotest.check_raises "negative delay rejected"
+    (Invalid_argument "Faults.arm: delay") (fun () ->
+      Faults.arm t (Faults.Wedge_worker (-1.)))
+
+let test_fault_spec_parsing () =
+  let ok spec want_kind want_times =
+    match Faults.of_spec spec with
+    | Ok (kind, times) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s kind" spec)
+          true (kind = want_kind);
+        Alcotest.(check int) (Printf.sprintf "%s times" spec) want_times times
+    | Error e -> Alcotest.failf "of_spec %S: %s" spec e
+  in
+  let err spec =
+    match Faults.of_spec spec with
+    | Ok _ -> Alcotest.failf "of_spec %S: expected an error" spec
+    | Error _ -> ()
+  in
+  ok "torn" Faults.Torn_frame 1;
+  ok "drop" Faults.Drop_connection 1;
+  ok "drop:*:5" Faults.Drop_connection 5;
+  ok "delay:0.5" (Faults.Delay_handler 0.5) 1;
+  ok "wedge:2:3" (Faults.Wedge_worker 2.) 3;
+  err "delay" (* missing seconds *);
+  err "wedge:-1";
+  err "torn:0.5" (* torn takes no argument *);
+  err "drop:*:0";
+  err "bogus";
+  err "wedge:1:2:3"
+
+(* ------------------------------------------------------------------ *)
+(* Backoff is pure and bounded                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_delay () =
+  let p =
+    {
+      Client.attempts = 5;
+      base_backoff_s = 0.05;
+      max_backoff_s = 1.0;
+      jitter = 0.5;
+    }
+  in
+  let f = Alcotest.(check (float 1e-9)) in
+  f "first retry at the base" 0.05 (Client.backoff_delay p ~u:0. ~attempt:0);
+  f "doubles" 0.1 (Client.backoff_delay p ~u:0. ~attempt:1);
+  f "caps at max" 1.0 (Client.backoff_delay p ~u:0. ~attempt:10);
+  f "full jitter halves" 0.5 (Client.backoff_delay p ~u:1. ~attempt:10);
+  (* Huge attempt numbers must not overflow the shift. *)
+  f "no overflow" 1.0 (Client.backoff_delay p ~u:0. ~attempt:1000);
+  for attempt = 0 to 8 do
+    let d = Client.backoff_delay p ~u:0.3 ~attempt in
+    Alcotest.(check bool) "within [0, max]" true (d >= 0. && d <= 1.0)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "wedged worker yields timeout within deadline" `Slow
+      test_wedged_worker_times_out;
+    Alcotest.test_case "delayed handler recovered by request-timeout retry"
+      `Slow test_delay_fault_retried;
+    Alcotest.test_case "torn frame recovered by retry" `Slow
+      test_torn_frame_retried;
+    Alcotest.test_case "dropped connection recovered by retry" `Slow
+      test_dropped_connection_retried;
+    Alcotest.test_case "timeout frames are not retried" `Slow
+      test_timeout_frame_not_retried;
+    Alcotest.test_case "slow loris: connection cap and idle timeout" `Slow
+      test_conn_cap_and_idle_timeout;
+    Alcotest.test_case "shutdown drain deadline force-closes stragglers" `Slow
+      test_drain_deadline_forces_stragglers;
+    Alcotest.test_case "fault slot budget and disarm" `Quick
+      test_fault_slot_budget;
+    Alcotest.test_case "fault spec parsing" `Quick test_fault_spec_parsing;
+    Alcotest.test_case "backoff delay is pure and bounded" `Quick
+      test_backoff_delay;
+  ]

@@ -8,4 +8,5 @@ let () =
       ("server.protocol", Test_server_protocol.suite);
       ("server.scenario", Test_server_scenario.suite);
       ("server.e2e", Test_server_e2e.suite);
+      ("server.chaos", Test_server_faults.suite);
     ]

@@ -85,6 +85,7 @@ let test_response_roundtrip () =
       Protocol.Pong;
       Protocol.Stats_reply [ ("served", 3.); ("shed", 0.) ];
       Protocol.Overloaded;
+      Protocol.Timeout;
       Protocol.Error_reply "unknown workload \"zzz\"";
     ]
 
@@ -95,7 +96,38 @@ let test_wire_shape () =
     {|{"v":1,"id":"r1","op":"ping"}|} line;
   Alcotest.(check string) "overloaded frame"
     {|{"v":1,"status":"overloaded"}|}
-    (Protocol.encode_response Protocol.Overloaded)
+    (Protocol.encode_response Protocol.Overloaded);
+  Alcotest.(check string) "timeout frame"
+    {|{"v":1,"status":"timeout"}|}
+    (Protocol.encode_response Protocol.Timeout)
+
+(* Generator-driven coverage of the response codec: any frame the server
+   can emit must survive encode/decode, id included. *)
+let response_gen =
+  let open QCheck2.Gen in
+  let printable = string_size ~gen:printable (int_range 0 24) in
+  let finite = map (fun n -> float_of_int n /. 8.) (int_range (-8000) 8000) in
+  oneof
+    [
+      return Protocol.Pong;
+      return Protocol.Overloaded;
+      return Protocol.Timeout;
+      map (fun m -> Protocol.Error_reply m) printable;
+      map
+        (fun rows -> Protocol.Stats_reply rows)
+        (list_size (int_range 0 8) (pair printable finite));
+      map3
+        (fun cache hash result -> Protocol.Result { cache; hash; result })
+        (oneofl [ Protocol.Hit; Protocol.Miss; Protocol.Coalesced ])
+        printable printable;
+    ]
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"response frames survive the wire" ~count:300
+    response_gen (fun resp ->
+      match Protocol.decode_response (Protocol.encode_response ~id:"q" resp) with
+      | Ok (Some "q", back) -> back = resp
+      | _ -> false)
 
 let suite =
   [
@@ -104,4 +136,5 @@ let suite =
     Alcotest.test_case "id recovery on errors" `Quick test_request_id_recovery;
     Alcotest.test_case "response round trip" `Quick test_response_roundtrip;
     Alcotest.test_case "pinned wire shapes" `Quick test_wire_shape;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
   ]

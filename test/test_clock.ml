@@ -1,0 +1,49 @@
+open Ptg_util
+
+(* The monotonic clock only promises non-decreasing instants and
+   sensible arithmetic; both are what the serving stack's deadlines and
+   latency measurements lean on. *)
+
+let test_monotone () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "never goes backwards" true (Int64.compare a b <= 0);
+  Alcotest.(check bool) "elapsed_us non-negative" true (Clock.elapsed_us a >= 0.);
+  Alcotest.(check bool) "elapsed_s non-negative" true (Clock.elapsed_s a >= 0.)
+
+let test_elapsed_measures_sleep () =
+  let t0 = Clock.now_ns () in
+  Thread.delay 0.05;
+  let s = Clock.elapsed_s t0 in
+  Alcotest.(check bool) "sleep visible" true (s >= 0.045);
+  Alcotest.(check bool) "not wildly over" true (s < 1.0);
+  (* Both units describe the same interval. *)
+  let us = Clock.elapsed_us t0 in
+  Alcotest.(check bool) "units agree" true (us >= s *. 1e6)
+
+let test_ns_after () =
+  let t0 = 1_000_000L in
+  Alcotest.(check int64) "adds whole seconds" 2_001_000_000L
+    (Clock.ns_after t0 2.0);
+  Alcotest.(check int64) "fractional seconds" 501_000_000L
+    (Clock.ns_after t0 0.5);
+  Alcotest.(check int64) "zero is identity" t0 (Clock.ns_after t0 0.);
+  (* A deadline of centuries saturates instead of wrapping negative. *)
+  Alcotest.(check int64) "saturates on overflow" Int64.max_int
+    (Clock.ns_after t0 1e19)
+
+let test_deadline_ordering () =
+  let t0 = Clock.now_ns () in
+  let deadline = Clock.ns_after t0 30. in
+  Alcotest.(check bool) "future deadline is later" true
+    (Int64.compare (Clock.now_ns ()) deadline < 0)
+
+let suite =
+  [
+    Alcotest.test_case "monotone and non-negative" `Quick test_monotone;
+    Alcotest.test_case "elapsed measures a real sleep" `Quick
+      test_elapsed_measures_sleep;
+    Alcotest.test_case "ns_after arithmetic and saturation" `Quick
+      test_ns_after;
+    Alcotest.test_case "deadline ordering" `Quick test_deadline_ordering;
+  ]

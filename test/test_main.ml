@@ -7,6 +7,7 @@ let () =
       ("util.bits", Test_bits.suite);
       ("util.rng", Test_rng.suite);
       ("util.stats", Test_stats.suite);
+      ("util.clock", Test_clock.suite);
       ("util.pool", Test_pool.suite);
       ("util.binomial", Test_binomial.suite);
       ("util.table", Test_table.suite);

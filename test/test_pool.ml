@@ -46,6 +46,59 @@ let test_empty_and_singleton () =
 let test_default_jobs_positive () =
   Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1)
 
+(* --- Service: the persistent pool behind the server --- *)
+
+let drain_and_shutdown s = Pool.Service.shutdown s
+
+let test_service_runs_jobs () =
+  let s = Pool.Service.create ~workers:2 () in
+  let hits = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Pool.Service.submit s (fun () -> Atomic.incr hits)
+  done;
+  drain_and_shutdown s;
+  Alcotest.(check int) "every job ran" 50 (Atomic.get hits);
+  Alcotest.(check int) "nothing dropped" 0 (Pool.Service.dropped s);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.Service.submit: service is shut down") (fun () ->
+      Pool.Service.submit s (fun () -> ()))
+
+let test_service_drop_counting () =
+  (* A job exception must not kill the worker: it is counted, reported
+     to [on_drop], and the next job still runs. *)
+  let seen = Atomic.make 0 in
+  let s =
+    Pool.Service.create ~workers:1 ~on_drop:(fun _ -> Atomic.incr seen) ()
+  in
+  Pool.Service.submit s (fun () -> failwith "job blew up");
+  let later = Atomic.make false in
+  Pool.Service.submit s (fun () -> Atomic.set later true);
+  drain_and_shutdown s;
+  Alcotest.(check int) "dropped counted" 1 (Pool.Service.dropped s);
+  Alcotest.(check int) "on_drop told" 1 (Atomic.get seen);
+  Alcotest.(check bool) "worker survived" true (Atomic.get later)
+
+let test_service_raising_hook_ignored () =
+  let s =
+    Pool.Service.create ~workers:1 ~on_drop:(fun _ -> failwith "hook bug") ()
+  in
+  Pool.Service.submit s (fun () -> failwith "job blew up");
+  let later = Atomic.make false in
+  Pool.Service.submit s (fun () -> Atomic.set later true);
+  drain_and_shutdown s;
+  Alcotest.(check int) "still counted" 1 (Pool.Service.dropped s);
+  Alcotest.(check bool) "hook exception did not kill the worker" true
+    (Atomic.get later)
+
+let test_service_fatal_reraised () =
+  (* Fatal exhaustion is never swallowed: the worker domain dies and the
+     join at shutdown re-raises it. *)
+  let s = Pool.Service.create ~workers:1 () in
+  Pool.Service.submit s (fun () -> raise Out_of_memory);
+  Alcotest.check_raises "fatal re-raised at shutdown" Out_of_memory (fun () ->
+      Pool.Service.shutdown s);
+  Alcotest.(check int) "fatal is not a drop" 0 (Pool.Service.dropped s)
+
 let prop_matches_array_map =
   QCheck2.Test.make ~name:"parallel_map f = Array.map f" ~count:100
     QCheck2.Gen.(pair (int_range 1 8) (array_size (int_range 0 64) int))
@@ -62,5 +115,12 @@ let suite =
     Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
     Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
     Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+    Alcotest.test_case "service runs jobs" `Quick test_service_runs_jobs;
+    Alcotest.test_case "service counts dropped exceptions" `Quick
+      test_service_drop_counting;
+    Alcotest.test_case "service ignores a raising on_drop hook" `Quick
+      test_service_raising_hook_ignored;
+    Alcotest.test_case "service re-raises fatal exhaustion" `Quick
+      test_service_fatal_reraised;
     QCheck_alcotest.to_alcotest prop_matches_array_map;
   ]
