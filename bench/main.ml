@@ -404,12 +404,134 @@ let run_serve () =
         report.Ptg_server.Client.hits report.Ptg_server.Client.misses
         report.Ptg_server.Client.overloaded report.Ptg_server.Client.errors)
 
+(* ------------------------------------------------------------------ *)
+(* Sharded serving: 1 vs 2 vs 4 shards behind the consistent-hash      *)
+(* router (BENCH_serve_sharded.json).                                  *)
+(*                                                                     *)
+(* This container has one hardware thread, so the scaling axis is      *)
+(* aggregate cache capacity, not CPU: the working set holds [distinct] *)
+(* scenarios cycled round-robin, and each shard's LRU holds fewer than *)
+(* that. One shard therefore thrashes — a cyclic scan over more keys   *)
+(* than the cache holds hits never — and recomputes every request,     *)
+(* while two or more shards partition the keyspace until each slice    *)
+(* fits its shard's cache and requests are served cache-hot. The       *)
+(* router's own LRU is kept far below the working set so it cannot     *)
+(* mask the difference.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve_sharded () =
+  section "Sharded serving: throughput vs shard count (router over TCP)";
+  let distinct = 64 in
+  let shard_cache = 56 in
+  let router_cache = 8 in
+  let clients = 4 in
+  let requests_per_client = if full then 400 else 150 in
+  let scenarios =
+    List.init distinct (fun i ->
+        Ptg_sim.Scenario.make ~reduced:true
+          ~seed:(Int64.of_int (1000 + i))
+          ~processes:(if full then 60 else 24)
+          Ptg_sim.Scenario.Fig8)
+  in
+  let topology n =
+    let shards =
+      List.init n (fun _ ->
+          Ptg_server.Server.start
+            {
+              (Ptg_server.Server.default_config (Ptg_server.Server.Tcp 0)) with
+              Ptg_server.Server.workers = 1;
+              high_water = 64;
+              cache_capacity = shard_cache;
+            })
+    in
+    let router =
+      Ptg_server.Router.start
+        {
+          (Ptg_server.Router.default_config (Ptg_server.Server.Tcp 0)
+             ~shards:(List.map Ptg_server.Server.listen_addr shards)) with
+          Ptg_server.Router.cache_capacity = router_cache;
+          health_interval_s = 0.2;
+        }
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Ptg_server.Router.stop router;
+        List.iter Ptg_server.Server.stop shards)
+      (fun () ->
+        let addr = Ptg_server.Router.listen_addr router in
+        (* Warm pass: every scenario once, so the steady state being
+           timed is the topology's, not the cold start's. With one
+           thrashing shard the pass is recomputed anyway — that is the
+           steady state. *)
+        let warm = Ptg_server.Client.connect addr in
+        List.iter
+          (fun s ->
+            match Ptg_server.Client.run warm s with
+            | Ok _ -> ()
+            | Error e -> failwith ("serve_sharded bench: warm pass: " ^ e))
+          scenarios;
+        Ptg_server.Client.close warm;
+        let report =
+          Ptg_server.Client.loadgen ~addr ~clients ~requests_per_client
+            ~scenarios ()
+        in
+        let lost =
+          report.Ptg_server.Client.requests - report.Ptg_server.Client.ok
+          - report.Ptg_server.Client.overloaded
+          - report.Ptg_server.Client.timeouts - report.Ptg_server.Client.errors
+        in
+        Printf.printf
+          "  %d shard%s: %8.2f req/s (ok %d, errors %d, lost %d, p99 %.0f us)\n%!"
+          n
+          (if n = 1 then " " else "s")
+          report.Ptg_server.Client.throughput_rps report.Ptg_server.Client.ok
+          report.Ptg_server.Client.errors lost report.Ptg_server.Client.p99_us;
+        (report.Ptg_server.Client.throughput_rps, report.Ptg_server.Client.ok,
+         lost))
+  in
+  let rps1, ok1, lost1 = topology 1 in
+  let rps2, ok2, lost2 = topology 2 in
+  let rps4, ok4, lost4 = topology 4 in
+  let path =
+    match Sys.getenv_opt "PTG_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_serve_sharded.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"serve_sharded\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"distinct_scenarios\": %d,\n\
+    \  \"shard_cache_capacity\": %d,\n\
+    \  \"router_cache_capacity\": %d,\n\
+    \  \"clients\": %d,\n\
+    \  \"requests_per_client\": %d,\n\
+    \  \"rps_1_shard\": %.2f,\n\
+    \  \"rps_2_shards\": %.2f,\n\
+    \  \"rps_4_shards\": %.2f,\n\
+    \  \"speedup_2_shards\": %.2f,\n\
+    \  \"speedup_4_shards\": %.2f,\n\
+    \  \"ok_1_shard\": %d,\n\
+    \  \"ok_2_shards\": %d,\n\
+    \  \"ok_4_shards\": %d,\n\
+    \  \"lost_1_shard\": %d,\n\
+    \  \"lost_2_shards\": %d,\n\
+    \  \"lost_4_shards\": %d\n\
+     }\n"
+    (if full then "full" else "reduced")
+    distinct shard_cache router_cache clients requests_per_client rps1 rps2
+    rps4 (rps2 /. rps1) (rps4 /. rps1) ok1 ok2 ok4 lost1 lost2 lost4;
+  close_out oc;
+  Printf.printf "  speedup: %.2fx at 2 shards, %.2fx at 4\n  wrote %s\n"
+    (rps2 /. rps1) (rps4 /. rps1) path
+
 let () =
   Printf.printf "PT-Guard bench harness (%s sizes, %d worker domains)\n\n%!"
     (if full then "full" else "reduced; set PTG_BENCH_FULL=1 for paper-scale")
     jobs;
-  (* PTG_BENCH_ONLY=micro|experiments|scaling|obs|fig6|serve runs one
-     section. *)
+  (* PTG_BENCH_ONLY=micro|experiments|scaling|obs|fig6|serve|serve_sharded
+     runs one section. *)
   match Sys.getenv_opt "PTG_BENCH_ONLY" with
   | Some "micro" -> run_micro ()
   | Some "experiments" -> run_experiments ()
@@ -417,6 +539,7 @@ let () =
   | Some "obs" -> run_obs_overhead ()
   | Some "fig6" -> run_fig6_json ()
   | Some "serve" -> run_serve ()
+  | Some "serve_sharded" -> run_serve_sharded ()
   | Some other -> invalid_arg ("unknown PTG_BENCH_ONLY section: " ^ other)
   | None ->
       run_micro ();
@@ -424,4 +547,5 @@ let () =
       run_scaling ();
       run_obs_overhead ();
       run_fig6_json ();
-      run_serve ()
+      run_serve ();
+      run_serve_sharded ()

@@ -572,11 +572,21 @@ let loadgen_cmd =
       & info [ "request-timeout" ] ~docv:"SECS"
           ~doc:"Fail (and retry) a request with no reply after $(docv).")
   in
+  let swarm =
+    Arg.(
+      value & opt int 1
+      & info [ "swarm" ] ~docv:"N"
+          ~doc:
+            "Independent sessions per client thread, dealt requests \
+             round-robin: N x --clients connections without N x the \
+             threads — the mode that soaks a sharded router.")
+  in
   let run socket port seed kind reduced distinct clients requests retries
-      backoff connect_timeout request_timeout =
+      backoff connect_timeout request_timeout swarm =
     let addr = addr_of ~cmd:"loadgen" ~required:true socket port in
-    if clients < 1 || requests < 1 || distinct < 1 then begin
-      Printf.eprintf "loadgen: --clients/--requests/--distinct must be >= 1\n";
+    if clients < 1 || requests < 1 || distinct < 1 || swarm < 1 then begin
+      Printf.eprintf
+        "loadgen: --clients/--requests/--distinct/--swarm must be >= 1\n";
       exit 2
     end;
     if retries < 1 || backoff < 0. then begin
@@ -598,7 +608,7 @@ let loadgen_cmd =
     in
     let report =
       Ptg_server.Client.loadgen ~policy ?connect_timeout_s:connect_timeout
-        ?request_timeout_s:request_timeout ~addr ~clients
+        ?request_timeout_s:request_timeout ~swarm ~addr ~clients
         ~requests_per_client:requests ~scenarios ()
     in
     print_string (Ptg_server.Client.report_to_string report)
@@ -612,7 +622,192 @@ let loadgen_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ seed_arg $ kind $ reduced $ distinct
       $ clients $ requests $ retries $ backoff $ connect_timeout
-      $ request_timeout)
+      $ request_timeout $ swarm)
+
+let serve_router_cmd =
+  let shard_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "shard" ] ~docv:"ADDR"
+          ~doc:
+            "Backend shard address: a TCP port number (on 127.0.0.1) or \
+             a unix socket path. Repeatable; shard ids follow the order \
+             given.")
+  in
+  let spawn =
+    Arg.(
+      value & opt int 0
+      & info [ "spawn" ] ~docv:"N"
+          ~doc:
+            "Fork N shard processes (each a $(b,serve --port 0) child of \
+             this binary) and route across them in addition to any \
+             --shard addresses; they are shut down when the router \
+             stops.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 64
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Router hot-set cache capacity (LRU entries).")
+  in
+  let vnodes =
+    Arg.(
+      value & opt int 64
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:"Consistent-hash ring points per shard.")
+  in
+  let health_interval =
+    Arg.(
+      value & opt float 0.5
+      & info [ "health-interval" ] ~docv:"SECS"
+          ~doc:
+            "Delay between health-ping sweeps over the shards; failures \
+             accumulate strikes until ejection, a successful ping \
+             re-admits the shard.")
+  in
+  let strikes =
+    Arg.(
+      value & opt int 3
+      & info [ "strikes" ] ~docv:"N"
+          ~doc:"Consecutive health failures before a shard is ejected.")
+  in
+  let request_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "request-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-forward socket deadline; an expiry counts as a \
+             transport failure (retried, then the shard is ejected and \
+             the request re-routed).")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 60.
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Close a client connection whose socket stays idle for \
+             $(docv); 0 disables.")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 256
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent-connection cap; accepts beyond it are shed with \
+             a best-effort overloaded frame.")
+  in
+  let drain_deadline =
+    Arg.(
+      value & opt float 5.
+      & info [ "drain-deadline" ] ~docv:"SECS"
+          ~doc:
+            "On shutdown, force-close connections still open after \
+             $(docv).")
+  in
+  (* A spawned shard announces its kernel-chosen port on its first
+     stdout line; everything after that flows to our stdout untouched. *)
+  let spawn_shard i =
+    let r, w = Unix.pipe () in
+    let pid =
+      Unix.create_process Sys.executable_name
+        [| Sys.executable_name; "serve"; "--port"; "0" |]
+        Unix.stdin w Unix.stderr
+    in
+    Unix.close w;
+    let ic = Unix.in_channel_of_descr r in
+    let fail msg =
+      Printf.eprintf "serve-router: spawned shard %d %s\n" i msg;
+      exit 1
+    in
+    match input_line ic with
+    | exception End_of_file -> fail "exited before announcing its address"
+    | line -> (
+        match Scanf.sscanf_opt line "serving on 127.0.0.1:%d" (fun p -> p) with
+        | Some port -> (pid, ic, Ptg_server.Server.Tcp port)
+        | None -> fail (Printf.sprintf "announced %S, expected a port" line))
+  in
+  let shutdown_shard (pid, ic, addr) =
+    (try
+       let c = Ptg_server.Client.connect ~timeout_s:1.0 addr in
+       ignore (Ptg_server.Client.request ~timeout_s:5.0 c Ptg_server.Protocol.Shutdown);
+       Ptg_server.Client.close c
+     with _ -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+    close_in_noerr ic
+  in
+  let run socket port shard_addrs spawn cache vnodes health_interval strikes
+      request_timeout idle_timeout max_conns drain_deadline trace metrics =
+    let addr = addr_of ~cmd:"serve-router" ~required:false socket port in
+    if spawn < 0 then begin
+      Printf.eprintf "serve-router: --spawn must be >= 0\n";
+      exit 2
+    end;
+    if shard_addrs = [] && spawn = 0 then begin
+      Printf.eprintf
+        "serve-router: need at least one shard (--shard ADDR or --spawn N)\n";
+      exit 2
+    end;
+    let named =
+      List.map
+        (fun s ->
+          match int_of_string_opt s with
+          | Some p when p >= 0 -> Ptg_server.Server.Tcp p
+          | _ -> Ptg_server.Server.Unix_socket s)
+        shard_addrs
+    in
+    let children = List.init spawn spawn_shard in
+    let shards = named @ List.map (fun (_, _, a) -> a) children in
+    let obs = sink_of ~trace ~metrics in
+    let base = Ptg_server.Router.default_config addr ~shards in
+    let config =
+      {
+        base with
+        Ptg_server.Router.cache_capacity = cache;
+        vnodes;
+        health_interval_s = health_interval;
+        strike_limit = strikes;
+        request_timeout_s = request_timeout;
+        idle_timeout_s = idle_timeout;
+        max_conns;
+        drain_deadline_s = drain_deadline;
+        obs;
+      }
+    in
+    let router =
+      try Ptg_server.Router.start config
+      with Invalid_argument msg ->
+        List.iter shutdown_shard children;
+        Printf.eprintf "serve-router: %s\n" msg;
+        exit 2
+    in
+    (match Ptg_server.Router.listen_addr router with
+    | Ptg_server.Server.Unix_socket path ->
+        Printf.printf "routing on %s across %d shards (cache %d, vnodes %d)\n%!"
+          path (List.length shards) cache vnodes
+    | Ptg_server.Server.Tcp port ->
+        Printf.printf
+          "routing on 127.0.0.1:%d across %d shards (cache %d, vnodes %d)\n%!"
+          port (List.length shards) cache vnodes);
+    Ptg_server.Router.wait router;
+    List.iter shutdown_shard children;
+    print_endline "router stopped; final stats:";
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-16s %.0f\n" k v)
+      (Ptg_server.Router.stats router);
+    export_sink obs ~trace ~metrics
+  in
+  Cmd.v
+    (Cmd.info "serve-router"
+       ~doc:
+         "Run the sharding front tier: consistent-hash route each \
+          request's canonical scenario hash across backend shards, with \
+          a router-local hot-set cache, health-check ejection and \
+          re-admission, and transport-crash re-routing. Stops on a \
+          shutdown frame.")
+    Term.(
+      const run $ socket_arg $ port_arg $ shard_args $ spawn $ cache $ vnodes
+      $ health_interval $ strikes $ request_timeout $ idle_timeout $ max_conns
+      $ drain_deadline $ trace_file_arg $ metrics_arg)
 
 let all_cmd =
   let run seed jobs =
@@ -653,7 +848,7 @@ let () =
     [
       fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; security_cmd; multicore_cmd;
       tables_cmd; attacks_cmd; baselines_cmd; ablations_cmd; trace_cmd;
-      fullsys_cmd; stats_cmd; serve_cmd; loadgen_cmd; all_cmd;
+      fullsys_cmd; stats_cmd; serve_cmd; serve_router_cmd; loadgen_cmd; all_cmd;
     ]
   in
   let names = List.sort compare (List.map Cmd.name cmds) in

@@ -10,6 +10,7 @@ type event =
   | Cache_writeback of { addr : int64 }
   | Os_journal of { entry : string }
   | Server_request of { hash : int64; status : string; cache : string }
+  | Router_request of { hash : int64; status : string; shard : string }
 
 type t = {
   cap : int;
@@ -63,6 +64,7 @@ let kind = function
   | Cache_writeback _ -> "cache_writeback"
   | Os_journal _ -> "os_journal"
   | Server_request _ -> "server_request"
+  | Router_request _ -> "router_request"
 
 let hex a = Printf.sprintf "0x%Lx" a
 
@@ -94,6 +96,12 @@ let attrs = function
         ("hash", Printf.sprintf "%016Lx" hash);
         ("status", status);
         ("cache", cache);
+      ]
+  | Router_request { hash; status; shard } ->
+      [
+        ("hash", Printf.sprintf "%016Lx" hash);
+        ("status", status);
+        ("shard", shard);
       ]
 
 let to_csv t =

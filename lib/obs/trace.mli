@@ -30,6 +30,12 @@ type event =
       (** One served scenario request: the canonical request hash, the
           response status ("ok" / "overloaded" / "error") and the cache
           disposition ("hit" / "miss" / "coalesced", "" when shed). *)
+  | Router_request of { hash : int64; status : string; shard : string }
+      (** One routed scenario request at the sharding router: the
+          canonical request hash, the outcome status ("ok" / "hit" /
+          "overloaded" / "timeout" / "error") and the shard index that
+          answered ("" when served from the router cache or when no
+          shard was live). *)
 
 type t
 

@@ -93,7 +93,12 @@ let check_policy p =
 let backoff_delay policy ~u ~attempt =
   let exp = Float.of_int (1 lsl min attempt 30) in
   let d = Float.min policy.max_backoff_s (policy.base_backoff_s *. exp) in
-  d *. (1. -. (policy.jitter *. u))
+  (* Full jitter ([jitter = 1.0], [u -> 1.0]) must not collapse the
+     delay to ~0 s — that turns retries into a hot loop against a server
+     that is already struggling. Floor at 10% of the base backoff
+     (clamped to the cap so a base above the cap cannot push past it). *)
+  let floor_s = Float.min policy.max_backoff_s (0.1 *. policy.base_backoff_s) in
+  Float.max floor_s (d *. (1. -. (policy.jitter *. u)))
 
 type session = {
   s_addr : Server.addr;
@@ -216,10 +221,11 @@ type worker_tally = {
 }
 
 let loadgen ?(policy = default_retry) ?connect_timeout_s ?request_timeout_s
-    ~addr ~clients ~requests_per_client ~scenarios () =
+    ?(swarm = 1) ~addr ~clients ~requests_per_client ~scenarios () =
   if clients < 1 then invalid_arg "Client.loadgen: clients";
   if requests_per_client < 1 then invalid_arg "Client.loadgen: requests_per_client";
   if scenarios = [] then invalid_arg "Client.loadgen: scenarios";
+  if swarm < 1 then invalid_arg "Client.loadgen: swarm";
   check_policy policy;
   let scenarios = Array.of_list scenarios in
   let tallies =
@@ -239,14 +245,20 @@ let loadgen ?(policy = default_retry) ?connect_timeout_s ?request_timeout_s
   in
   let worker i =
     let tally = tallies.(i) in
-    (* Per-client seed: deterministic jitter streams, distinct per
-       client so backoffs do not synchronize. *)
-    let sess =
-      session ~policy ?connect_timeout_s ?request_timeout_s
-        ~seed:(Int64.of_int (0x10001 + i))
-        addr
+    (* Per-client seeds: deterministic jitter streams, distinct per
+       client (and per swarm connection) so backoffs do not
+       synchronize. Swarm mode keeps [swarm] independent sessions per
+       closed-loop thread and deals requests across them round-robin —
+       a connection pool that multiplies socket-level concurrency
+       without multiplying threads. *)
+    let sessions =
+      Array.init swarm (fun s ->
+          session ~policy ?connect_timeout_s ?request_timeout_s
+            ~seed:(Int64.of_int (0x10001 + (i * swarm) + s))
+            addr)
     in
     for r = 0 to requests_per_client - 1 do
+      let sess = sessions.(r mod swarm) in
       let scenario = scenarios.(r mod Array.length scenarios) in
       let t0 = Clock.now_ns () in
       match session_run sess scenario with
@@ -263,9 +275,12 @@ let loadgen ?(policy = default_retry) ?connect_timeout_s ?request_timeout_s
       | Ok (Protocol.Stats_reply _) | Error _ ->
           tally.w_errors <- tally.w_errors + 1
     done;
-    tally.w_retries <- session_retries sess;
-    tally.w_reconnects <- session_reconnects sess;
-    session_close sess
+    Array.iter
+      (fun sess ->
+        tally.w_retries <- tally.w_retries + session_retries sess;
+        tally.w_reconnects <- tally.w_reconnects + session_reconnects sess;
+        session_close sess)
+      sessions
   in
   let wall_t0 = Clock.now_ns () in
   let threads = Array.init clients (fun i -> Thread.create worker i) in

@@ -52,7 +52,10 @@ val default_retry : retry_policy
 
 val backoff_delay : retry_policy -> u:float -> attempt:int -> float
 (** Pure: delay before retry number [attempt + 1] given a uniform draw
-    [u]. Exposed for tests. *)
+    [u]. Exposed for tests. For a positive [base_backoff_s] the result
+    is strictly positive — jitter is floored at 10% of the base (clamped
+    to [max_backoff_s]) so full jitter can never produce a 0 s delay and
+    a retry hot loop — and never exceeds [max_backoff_s]. *)
 
 type session
 
@@ -113,15 +116,20 @@ val loadgen :
   ?policy:retry_policy ->
   ?connect_timeout_s:float ->
   ?request_timeout_s:float ->
+  ?swarm:int ->
   addr:Server.addr ->
   clients:int ->
   requests_per_client:int ->
   scenarios:Ptg_sim.Scenario.t list ->
   unit ->
   report
-(** Raises [Invalid_argument] on non-positive [clients] or
-    [requests_per_client], an empty [scenarios] list, or a nonsensical
-    [policy]. *)
+(** [swarm] (default 1) is the number of independent sessions each
+    client thread holds, dealt requests round-robin: [clients * swarm]
+    connections sustained by [clients] closed-loop threads — the mode
+    that soaks a sharded router without thousands of OS threads.
+    Raises [Invalid_argument] on non-positive [clients],
+    [requests_per_client] or [swarm], an empty [scenarios] list, or a
+    nonsensical [policy]. *)
 
 val report_to_string : report -> string
 (** Multi-line human-readable summary, newline-terminated. *)

@@ -24,7 +24,8 @@ let arm ?(times = 1) t kind =
   if times < 1 then invalid_arg "Faults.arm: times";
   (match kind with
   | Delay_handler d | Wedge_worker d ->
-      if not (d >= 0.) then invalid_arg "Faults.arm: delay"
+      (* Finite too: an infinite wedge can never drain at shutdown. *)
+      if not (d >= 0. && Float.is_finite d) then invalid_arg "Faults.arm: delay"
   | Torn_frame | Drop_connection -> ());
   Mutex.lock t.mutex;
   t.armed <- Some kind;
@@ -66,15 +67,24 @@ let of_spec spec =
     | None | Some "*" | Some "" -> Ok None
     | Some s -> (
         match float_of_string_opt s with
-        | Some f when f >= 0. -> Ok (Some f)
-        | _ -> Error (Printf.sprintf "bad fault argument %S" s))
+        | Some f when f >= 0. && Float.is_finite f -> Ok (Some f)
+        | Some f when Float.is_finite f ->
+            Error
+              (Printf.sprintf
+                 "fault argument %S must be a non-negative number of seconds" s)
+        | Some _ ->
+            Error (Printf.sprintf "fault argument %S must be finite" s)
+        | None -> Error (Printf.sprintf "bad fault argument %S" s))
   in
   let times = function
     | None | Some "" -> Ok 1
     | Some s -> (
         match int_of_string_opt s with
         | Some n when n >= 1 -> Ok n
-        | _ -> Error (Printf.sprintf "bad fault count %S" s))
+        | Some _ ->
+            Error
+              (Printf.sprintf "fault count %S must be a positive repeat count" s)
+        | None -> Error (Printf.sprintf "bad fault count %S" s))
   in
   let nth i = List.nth_opt parts i in
   if List.length parts > 3 then Error (Printf.sprintf "bad fault spec %S" spec)

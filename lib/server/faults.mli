@@ -36,7 +36,8 @@ val create : unit -> t
 val arm : ?times:int -> t -> kind -> unit
 (** Arm [kind] for the next [times] (default 1) matching injection
     points; replaces any previously armed fault. Raises
-    [Invalid_argument] on [times < 1] or a negative delay. *)
+    [Invalid_argument] on [times < 1] or a negative or non-finite delay
+    (an infinite wedge could never drain at shutdown). *)
 
 val disarm : t -> unit
 
@@ -53,4 +54,6 @@ val of_spec : string -> (kind * int, string) result
 (** Parse a CLI fault spec: [KIND[:ARG][:TIMES]] —
     ["delay:0.5"], ["wedge:2:3"] (wedge 2 s, 3 firings), ["torn"],
     ["drop:*:5"] (["*"] keeps the default argument slot empty). [delay]
-    and [wedge] require a non-negative seconds argument. *)
+    and [wedge] require a finite non-negative seconds argument; [TIMES]
+    must be a positive integer. Violations produce a descriptive
+    [Error] naming the offending token and the constraint. *)

@@ -36,6 +36,13 @@ let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
 
+let to_alist t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.key, n.value) :: acc) n.next
+  in
+  go [] t.head
+
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
   (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);

@@ -30,3 +30,8 @@ val mem : t -> string -> bool
 val hits : t -> int
 val misses : t -> int
 val evictions : t -> int
+
+val to_alist : t -> (string * string) list
+(** All bindings, most-recently-used first. Touches neither recency nor
+    the hit/miss accounting; O(n). The recency order it exposes is the
+    contract the model-based property test checks. *)

@@ -1,0 +1,762 @@
+(* Sharding front tier for the scenario service.
+
+   The router accepts the same line-JSON protocol the shards speak and
+   forwards each [run] to the backend shard owning the scenario's
+   canonical hash on a consistent-hash ring ([Ring]). In front of the
+   shards it keeps its own hot-set LRU over the union of the per-shard
+   caches, so repeat requests for the hottest scenarios are answered
+   without a network hop at all.
+
+   Failure handling follows the client's fault taxonomy:
+
+   - transport failures (connect refused, torn/closed connection,
+     request timeout at the socket) are first retried by the inter-tier
+     [Client.session]; when its retries are exhausted the shard is
+     ejected and the request re-routed to the next live shard on the
+     ring — a non-shed request is never lost to a shard crash;
+   - server-decided [Timeout] and [Overloaded] replies pass through to
+     the caller (that policy belongs to the edge client) but count as
+     health strikes against the shard;
+   - a health thread pings every shard each interval: failures add
+     strikes until the shard is ejected, a successful ping resets the
+     strikes and re-admits an ejected shard, restoring its original
+     keyspace.
+
+   Connection handling mirrors [Server]: per-connection threads, idle
+   timeouts, a connection cap with best-effort shedding, a self-pipe to
+   wake the accept loop, and a drain deadline at shutdown. Forwarding is
+   I/O-bound, so requests run inline on the connection thread — no
+   worker pool. *)
+
+module Scenario = Ptg_sim.Scenario
+module Registry = Ptg_obs.Registry
+module Trace = Ptg_obs.Trace
+module Clock = Ptg_util.Clock
+
+type config = {
+  addr : Server.addr;
+  shards : Server.addr list;
+  cache_capacity : int;
+  vnodes : int;
+  retry : Client.retry_policy;
+  connect_timeout_s : float;
+  request_timeout_s : float;
+  health_interval_s : float;
+  strike_limit : int;
+  idle_timeout_s : float;
+  max_conns : int;
+  drain_deadline_s : float;
+  obs : Ptg_obs.Sink.t option;
+}
+
+let default_config addr ~shards =
+  {
+    addr;
+    shards;
+    cache_capacity = 64;
+    vnodes = 64;
+    retry = Client.default_retry;
+    connect_timeout_s = 1.0;
+    request_timeout_s = 30.;
+    health_interval_s = 0.5;
+    strike_limit = 3;
+    idle_timeout_s = 60.;
+    max_conns = 256;
+    drain_deadline_s = 5.;
+    obs = None;
+  }
+
+(* Handles resolved once at startup; per-shard series are labelled with
+   the shard index so one registry serves any topology. *)
+type obs_metrics = {
+  c_served : Registry.counter;
+  c_hits : Registry.counter;
+  c_misses : Registry.counter;
+  c_forwarded : Registry.counter;
+  c_reroutes : Registry.counter;
+  c_no_live : Registry.counter;
+  c_errors : Registry.counter;
+  c_timeouts : Registry.counter;
+  c_overloaded : Registry.counter;
+  c_conn_shed : Registry.counter;
+  c_accept_errors : Registry.counter;
+  c_idle_closed : Registry.counter;
+  shard_requests : Registry.counter array;
+  shard_ejections : Registry.counter array;
+  shard_readmissions : Registry.counter array;
+  g_ring : Registry.gauge array;
+  g_hit_ratio : Registry.gauge;
+  g_live : Registry.gauge;
+  trace : Trace.t;
+}
+
+let make_obs sink ~shards =
+  let reg = Ptg_obs.Sink.registry sink in
+  let per name =
+    Array.init shards (fun i ->
+        Registry.counter reg ~labels:[ ("shard", string_of_int i) ] name)
+  in
+  {
+    c_served = Registry.counter reg "router_served_total";
+    c_hits = Registry.counter reg "router_cache_hits_total";
+    c_misses = Registry.counter reg "router_cache_misses_total";
+    c_forwarded = Registry.counter reg "router_forwarded_total";
+    c_reroutes = Registry.counter reg "router_reroutes_total";
+    c_no_live = Registry.counter reg "router_no_live_shard_total";
+    c_errors = Registry.counter reg "router_errors_total";
+    c_timeouts = Registry.counter reg "router_timeouts_total";
+    c_overloaded = Registry.counter reg "router_overloaded_total";
+    c_conn_shed = Registry.counter reg "router_conns_shed_total";
+    c_accept_errors = Registry.counter reg "router_accept_errors_total";
+    c_idle_closed = Registry.counter reg "router_conns_idle_closed_total";
+    shard_requests = per "router_shard_requests_total";
+    shard_ejections = per "router_shard_ejections_total";
+    shard_readmissions = per "router_shard_readmissions_total";
+    g_ring =
+      Array.init shards (fun i ->
+          Registry.gauge reg
+            ~labels:[ ("shard", string_of_int i) ]
+            "router_ring_share");
+    g_hit_ratio = Registry.gauge reg "router_cache_hit_ratio";
+    g_live = Registry.gauge reg "router_live_shards";
+    trace = Ptg_obs.Sink.trace sink;
+  }
+
+type shard_state = {
+  s_addr : Server.addr;
+  mutable live : bool;
+  mutable strikes : int;
+  mutable requests : int;
+  mutable ejections : int;
+  mutable readmissions : int;
+}
+
+type t = {
+  config : config;
+  ring : Ring.t;
+  states : shard_state array;
+  listen_fd : Unix.file_descr;
+  bound : Server.addr;
+  pipe_r : Unix.file_descr;  (* self-pipe: wakes the accept loop on stop *)
+  pipe_w : Unix.file_descr;
+  mutex : Mutex.t;
+  drained : Condition.t;
+  cache : Lru.t;
+  conn_fds : (Unix.file_descr, unit) Hashtbl.t;
+  mutable conns : int;
+  mutable conn_seq : int;
+  mutable stopping : bool;
+  mutable finalized : bool;
+  mutable ticker_stop : bool;
+  mutable accept_thread : Thread.t option;
+  mutable ticker_thread : Thread.t option;
+  mutable health_thread : Thread.t option;
+  mutable served : int;
+  mutable forwarded : int;
+  mutable reroutes : int;
+  mutable no_live : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable overloaded : int;
+  mutable conn_shed : int;
+  mutable accept_errors : int;
+  mutable idle_closed : int;
+  obs_m : obs_metrics option;
+}
+
+let listen_addr t = t.bound
+
+let obs_incr t f = match t.obs_m with Some m -> Registry.incr (f m) | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Shard health (all _locked helpers require the router mutex)         *)
+(* ------------------------------------------------------------------ *)
+
+let live_mask_locked t = Array.map (fun s -> s.live) t.states
+
+let live_count_locked t =
+  Array.fold_left (fun a s -> if s.live then a + 1 else a) 0 t.states
+
+let sync_topology_gauges_locked t =
+  match t.obs_m with
+  | None -> ()
+  | Some m ->
+      let shares = Ring.ownership t.ring ~live:(live_mask_locked t) in
+      Array.iteri (fun i g -> Registry.set_gauge g shares.(i)) m.g_ring;
+      Registry.set_gauge m.g_live (float_of_int (live_count_locked t))
+
+let eject_locked t i =
+  let st = t.states.(i) in
+  if st.live then begin
+    st.live <- false;
+    st.ejections <- st.ejections + 1;
+    (match t.obs_m with
+    | Some m -> Registry.incr m.shard_ejections.(i)
+    | None -> ());
+    sync_topology_gauges_locked t
+  end
+
+let strike_locked t i =
+  let st = t.states.(i) in
+  st.strikes <- st.strikes + 1;
+  if st.strikes >= t.config.strike_limit then eject_locked t i
+
+let mark_healthy_locked t i =
+  let st = t.states.(i) in
+  st.strikes <- 0;
+  if not st.live then begin
+    st.live <- true;
+    st.readmissions <- st.readmissions + 1;
+    (match t.obs_m with
+    | Some m -> Registry.incr m.shard_readmissions.(i)
+    | None -> ());
+    sync_topology_gauges_locked t
+  end
+
+let sync_hit_ratio_locked t =
+  match t.obs_m with
+  | None -> ()
+  | Some m ->
+      let lookups = Lru.hits t.cache + Lru.misses t.cache in
+      if lookups > 0 then
+        Registry.set_gauge m.g_hit_ratio
+          (float_of_int (Lru.hits t.cache) /. float_of_int lookups)
+
+(* ------------------------------------------------------------------ *)
+(* Stats (also the [stats] op payload); keys sorted alphabetically.    *)
+(* ------------------------------------------------------------------ *)
+
+let stats_locked t =
+  let totals f = Array.fold_left (fun a s -> a + f s) 0 t.states in
+  let base =
+    [
+      ("accept_errors", float_of_int t.accept_errors);
+      ("cache_entries", float_of_int (Lru.length t.cache));
+      ("cache_evictions", float_of_int (Lru.evictions t.cache));
+      ("cache_hits", float_of_int (Lru.hits t.cache));
+      ("cache_misses", float_of_int (Lru.misses t.cache));
+      ("conn_shed", float_of_int t.conn_shed);
+      ("conns", float_of_int t.conns);
+      ("ejections", float_of_int (totals (fun s -> s.ejections)));
+      ("errors", float_of_int t.errors);
+      ("forwarded", float_of_int t.forwarded);
+      ("idle_closed", float_of_int t.idle_closed);
+      ("no_live", float_of_int t.no_live);
+      ("overloaded", float_of_int t.overloaded);
+      ("readmissions", float_of_int (totals (fun s -> s.readmissions)));
+      ("reroutes", float_of_int t.reroutes);
+      ("served", float_of_int t.served);
+      ("shards", float_of_int (Array.length t.states));
+      ("shards_live", float_of_int (live_count_locked t));
+      ("timeouts", float_of_int t.timeouts);
+    ]
+  in
+  let per_shard =
+    List.concat
+      (List.init (Array.length t.states) (fun i ->
+           let st = t.states.(i) in
+           [
+             (Printf.sprintf "shard%d_ejections" i, float_of_int st.ejections);
+             (Printf.sprintf "shard%d_live" i, if st.live then 1. else 0.);
+             (Printf.sprintf "shard%d_requests" i, float_of_int st.requests);
+           ]))
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (base @ per_shard)
+
+let stats t =
+  Mutex.lock t.mutex;
+  let rows = stats_locked t in
+  Mutex.unlock t.mutex;
+  rows
+
+let live_shards t =
+  Mutex.lock t.mutex;
+  let mask = live_mask_locked t in
+  Mutex.unlock t.mutex;
+  mask
+
+(* ------------------------------------------------------------------ *)
+(* Request routing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let record_trace_locked t ~hash64 ~status ~shard =
+  match t.obs_m with
+  | Some m ->
+      Trace.record m.trace (Trace.Router_request { hash = hash64; status; shard })
+  | None -> ()
+
+(* The response for one [run] frame. [get_session] hands out this
+   connection's lazily-built session for a shard index; the blocking
+   forward happens outside the mutex. *)
+let handle_run t get_session scenario =
+  let hash = Scenario.hash scenario in
+  let hash64 = Scenario.hash64 scenario in
+  Mutex.lock t.mutex;
+  let cached = Lru.find t.cache hash in
+  (match (cached, t.obs_m) with
+  | Some _, Some m -> Registry.incr m.c_hits
+  | None, Some m -> Registry.incr m.c_misses
+  | _, None -> ());
+  sync_hit_ratio_locked t;
+  match cached with
+  | Some result ->
+      t.served <- t.served + 1;
+      obs_incr t (fun m -> m.c_served);
+      record_trace_locked t ~hash64 ~status:"hit" ~shard:"";
+      Mutex.unlock t.mutex;
+      Protocol.Result { cache = Protocol.Hit; hash; result }
+  | None ->
+      Mutex.unlock t.mutex;
+      let n = Array.length t.states in
+      let no_live_reply () =
+        Mutex.lock t.mutex;
+        t.no_live <- t.no_live + 1;
+        obs_incr t (fun m -> m.c_no_live);
+        record_trace_locked t ~hash64 ~status:"overloaded" ~shard:"";
+        Mutex.unlock t.mutex;
+        Protocol.Overloaded
+      in
+      (* Each transport failure ejects its shard, so successive attempts
+         see a strictly smaller live set; [n + 1] tries bounds the walk
+         even if health pings re-admit a flapping shard mid-request. *)
+      let rec attempt tried =
+        if tried > n then no_live_reply ()
+        else begin
+          Mutex.lock t.mutex;
+          let target = Ring.route t.ring ~live:(live_mask_locked t) hash64 in
+          (match target with
+          | Some i ->
+              t.states.(i).requests <- t.states.(i).requests + 1;
+              (match t.obs_m with
+              | Some m -> Registry.incr m.shard_requests.(i)
+              | None -> ())
+          | None -> ());
+          Mutex.unlock t.mutex;
+          match target with
+          | None -> no_live_reply ()
+          | Some i -> (
+              let shard = string_of_int i in
+              let finish ?(strike = false) ~status response =
+                Mutex.lock t.mutex;
+                if strike then strike_locked t i
+                else t.states.(i).strikes <- 0;
+                (match response with
+                | Protocol.Result { hash = h; result; _ } ->
+                    Lru.put t.cache h result;
+                    t.served <- t.served + 1;
+                    t.forwarded <- t.forwarded + 1;
+                    obs_incr t (fun m -> m.c_served);
+                    obs_incr t (fun m -> m.c_forwarded)
+                | Protocol.Overloaded ->
+                    t.overloaded <- t.overloaded + 1;
+                    obs_incr t (fun m -> m.c_overloaded)
+                | Protocol.Timeout ->
+                    t.timeouts <- t.timeouts + 1;
+                    obs_incr t (fun m -> m.c_timeouts)
+                | _ ->
+                    t.errors <- t.errors + 1;
+                    obs_incr t (fun m -> m.c_errors));
+                record_trace_locked t ~hash64 ~status ~shard;
+                Mutex.unlock t.mutex;
+                response
+              in
+              match Client.session_request (get_session i) (Protocol.Run scenario) with
+              | Ok (Protocol.Result _ as r) -> finish ~status:"ok" r
+              | Ok Protocol.Overloaded ->
+                  (* Server-decided: pass through (re-routing would
+                     defeat the keyspace partition) but strike — a shard
+                     shedding load is part of the health signal. *)
+                  finish ~strike:true ~status:"overloaded" Protocol.Overloaded
+              | Ok Protocol.Timeout ->
+                  finish ~strike:true ~status:"timeout" Protocol.Timeout
+              | Ok (Protocol.Error_reply _ as r) -> finish ~status:"error" r
+              | Ok (Protocol.Pong | Protocol.Stats_reply _) ->
+                  finish ~status:"error"
+                    (Protocol.Error_reply "unexpected response from shard")
+              | Error _ ->
+                  (* Transport crash after the session's own retries:
+                     eject and re-route — the request is not lost. *)
+                  Mutex.lock t.mutex;
+                  eject_locked t i;
+                  t.reroutes <- t.reroutes + 1;
+                  obs_incr t (fun m -> m.c_reroutes);
+                  Mutex.unlock t.mutex;
+                  attempt (tried + 1))
+        end
+      in
+      attempt 1
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling (mirrors Server, minus fault injection)         *)
+(* ------------------------------------------------------------------ *)
+
+let record_idle_close t =
+  Mutex.lock t.mutex;
+  t.idle_closed <- t.idle_closed + 1;
+  obs_incr t (fun m -> m.c_idle_closed);
+  Mutex.unlock t.mutex
+
+let record_error t =
+  Mutex.lock t.mutex;
+  t.errors <- t.errors + 1;
+  obs_incr t (fun m -> m.c_errors);
+  Mutex.unlock t.mutex
+
+let initiate_stop t =
+  Mutex.lock t.mutex;
+  if not t.stopping then begin
+    t.stopping <- true;
+    (try ignore (Unix.write t.pipe_w (Bytes.make 1 'x') 0 1)
+     with Unix.Unix_error _ -> ());
+    Condition.broadcast t.drained
+  end;
+  Mutex.unlock t.mutex
+
+let handle_conn t fd =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.idle_timeout_s
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send frame =
+    output_string oc frame;
+    output_char oc '\n';
+    flush oc
+  in
+  let conn_id =
+    Mutex.lock t.mutex;
+    let id = t.conn_seq in
+    t.conn_seq <- id + 1;
+    Mutex.unlock t.mutex;
+    id
+  in
+  (* One session per shard per connection, built on first use: sessions
+     are single-threaded, and per-connection ownership keeps the
+     inter-tier connection count proportional to the edge's. *)
+  let n = Array.length t.states in
+  let sessions = Array.make n None in
+  let get_session i =
+    match sessions.(i) with
+    | Some s -> s
+    | None ->
+        let s =
+          Client.session ~policy:t.config.retry
+            ~connect_timeout_s:t.config.connect_timeout_s
+            ~request_timeout_s:t.config.request_timeout_s
+            ~seed:(Int64.of_int (0x5eed + (conn_id * n) + i))
+            t.states.(i).s_addr
+        in
+        sessions.(i) <- Some s;
+        s
+  in
+  let read_t0 = ref (Clock.now_ns ()) in
+  let rec loop () =
+    read_t0 := Clock.now_ns ();
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception (Sys_error _ | Sys_blocked_io) ->
+        if
+          t.config.idle_timeout_s > 0.
+          && Clock.elapsed_s !read_t0 >= 0.9 *. t.config.idle_timeout_s
+        then record_idle_close t
+    | line -> (
+        let continue =
+          match Protocol.decode_request line with
+          | Error msg ->
+              record_error t;
+              send (Protocol.encode_response (Protocol.Error_reply msg));
+              true
+          | Ok (id, req) -> (
+              match req with
+              | Protocol.Ping ->
+                  send (Protocol.encode_response ?id Protocol.Pong);
+                  true
+              | Protocol.Stats ->
+                  send
+                    (Protocol.encode_response ?id (Protocol.Stats_reply (stats t)));
+                  true
+              | Protocol.Shutdown ->
+                  initiate_stop t;
+                  send (Protocol.encode_response ?id Protocol.Pong);
+                  false
+              | Protocol.Run scenario ->
+                  send
+                    (Protocol.encode_response ?id
+                       (handle_run t get_session scenario));
+                  true)
+        in
+        if continue then loop ())
+  in
+  (try loop () with
+  | End_of_file | Sys_error _ | Sys_blocked_io | Unix.Unix_error _ -> ()
+  | _ -> record_error t);
+  Array.iter (Option.iter Client.session_close) sessions;
+  Mutex.lock t.mutex;
+  Hashtbl.remove t.conn_fds fd;
+  t.conns <- t.conns - 1;
+  Condition.broadcast t.drained;
+  Mutex.unlock t.mutex;
+  close_out_noerr oc
+
+let shed_conn fd =
+  (try
+     Unix.set_nonblock fd;
+     let frame = Protocol.encode_response Protocol.Overloaded ^ "\n" in
+     ignore (Unix.write_substring fd frame 0 (String.length frame))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let record_accept_error t =
+  Mutex.lock t.mutex;
+  t.accept_errors <- t.accept_errors + 1;
+  obs_incr t (fun m -> m.c_accept_errors);
+  Mutex.unlock t.mutex
+
+let accept_backoff_s = 0.05
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.select [ t.listen_fd; t.pipe_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | readable, _, _ ->
+        if List.mem t.pipe_r readable then ()
+        else begin
+          (match Unix.accept ~cloexec:true t.listen_fd with
+          | exception
+              Unix.Unix_error
+                ((Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM), _, _)
+            ->
+              record_accept_error t;
+              Thread.delay accept_backoff_s
+          | exception Unix.Unix_error _ -> record_accept_error t
+          | fd, _ ->
+              let over =
+                Mutex.lock t.mutex;
+                let over = t.conns >= t.config.max_conns in
+                if over then begin
+                  t.conn_shed <- t.conn_shed + 1;
+                  obs_incr t (fun m -> m.c_conn_shed)
+                end
+                else begin
+                  t.conns <- t.conns + 1;
+                  Hashtbl.replace t.conn_fds fd ()
+                end;
+                Mutex.unlock t.mutex;
+                over
+              in
+              if over then shed_conn fd
+              else ignore (Thread.create (handle_conn t) fd));
+          loop ()
+        end
+  in
+  loop ()
+
+let tick_interval_s = 0.05
+
+let ticker t =
+  let rec loop () =
+    Thread.delay tick_interval_s;
+    Mutex.lock t.mutex;
+    let stop = t.ticker_stop in
+    if not stop then Condition.broadcast t.drained;
+    Mutex.unlock t.mutex;
+    if not stop then loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Health checks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_shard t i =
+  let ok =
+    match Client.connect ~timeout_s:t.config.connect_timeout_s t.states.(i).s_addr with
+    | exception _ -> false
+    | c ->
+        let r = Client.request ~timeout_s:t.config.request_timeout_s c Protocol.Ping in
+        Client.close c;
+        (match r with Ok Protocol.Pong -> true | _ -> false)
+  in
+  Mutex.lock t.mutex;
+  if ok then mark_healthy_locked t i else strike_locked t i;
+  Mutex.unlock t.mutex
+
+(* Sleeps in small slices so shutdown is never blocked behind a full
+   health interval. *)
+let health_loop t =
+  let stopping () =
+    Mutex.lock t.mutex;
+    let s = t.ticker_stop in
+    Mutex.unlock t.mutex;
+    s
+  in
+  let rec sleep remaining =
+    if (not (stopping ())) && remaining > 0. then begin
+      let slice = Float.min 0.05 remaining in
+      Thread.delay slice;
+      sleep (remaining -. slice)
+    end
+  in
+  let rec loop () =
+    if not (stopping ()) then begin
+      sleep t.config.health_interval_s;
+      if not (stopping ()) then begin
+        Array.iteri (fun i _ -> if not (stopping ()) then check_shard t i) t.states;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start config =
+  if config.shards = [] then invalid_arg "Router.start: shards";
+  if config.cache_capacity < 1 then invalid_arg "Router.start: cache_capacity";
+  if config.vnodes < 1 then invalid_arg "Router.start: vnodes";
+  if not (config.connect_timeout_s > 0.) then
+    invalid_arg "Router.start: connect_timeout_s";
+  if not (config.request_timeout_s > 0.) then
+    invalid_arg "Router.start: request_timeout_s";
+  if not (config.health_interval_s > 0.) then
+    invalid_arg "Router.start: health_interval_s";
+  if config.strike_limit < 1 then invalid_arg "Router.start: strike_limit";
+  if not (config.idle_timeout_s >= 0.) then
+    invalid_arg "Router.start: idle_timeout_s";
+  if config.max_conns < 1 then invalid_arg "Router.start: max_conns";
+  if not (config.drain_deadline_s >= 0.) then
+    invalid_arg "Router.start: drain_deadline_s";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd, bound =
+    match config.addr with
+    | Server.Unix_socket path ->
+        if Sys.file_exists path then Sys.remove path;
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        (fd, Server.Unix_socket path)
+    | Server.Tcp port ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen fd 64;
+        let actual =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        (fd, Server.Tcp actual)
+  in
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  let shards = Array.of_list config.shards in
+  let t =
+    {
+      config;
+      ring = Ring.create ~vnodes:config.vnodes (Array.length shards);
+      states =
+        Array.map
+          (fun a ->
+            {
+              s_addr = a;
+              live = true;
+              strikes = 0;
+              requests = 0;
+              ejections = 0;
+              readmissions = 0;
+            })
+          shards;
+      listen_fd;
+      bound;
+      pipe_r;
+      pipe_w;
+      mutex = Mutex.create ();
+      drained = Condition.create ();
+      cache = Lru.create ~capacity:config.cache_capacity;
+      conn_fds = Hashtbl.create 64;
+      conns = 0;
+      conn_seq = 0;
+      stopping = false;
+      finalized = false;
+      ticker_stop = false;
+      accept_thread = None;
+      ticker_thread = None;
+      health_thread = None;
+      served = 0;
+      forwarded = 0;
+      reroutes = 0;
+      no_live = 0;
+      errors = 0;
+      timeouts = 0;
+      overloaded = 0;
+      conn_shed = 0;
+      accept_errors = 0;
+      idle_closed = 0;
+      obs_m =
+        Option.map (fun s -> make_obs s ~shards:(Array.length shards)) config.obs;
+    }
+  in
+  Mutex.lock t.mutex;
+  sync_topology_gauges_locked t;
+  Mutex.unlock t.mutex;
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t.ticker_thread <- Some (Thread.create ticker t);
+  t.health_thread <- Some (Thread.create health_loop t);
+  t
+
+let finalize t =
+  Mutex.lock t.mutex;
+  let acceptor = t.accept_thread in
+  t.accept_thread <- None;
+  Mutex.unlock t.mutex;
+  Option.iter Thread.join acceptor;
+  Mutex.lock t.mutex;
+  let drain_t0 = Clock.now_ns () in
+  let force_at = Clock.ns_after drain_t0 t.config.drain_deadline_s in
+  Hashtbl.iter
+    (fun fd () ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    t.conn_fds;
+  let forced = ref false in
+  while t.conns > 0 do
+    if (not !forced) && Clock.now_ns () >= force_at then begin
+      forced := true;
+      Hashtbl.iter
+        (fun fd () ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.conn_fds
+    end;
+    Condition.wait t.drained t.mutex
+  done;
+  let first = not t.finalized in
+  t.finalized <- true;
+  t.ticker_stop <- true;
+  let tick = t.ticker_thread in
+  t.ticker_thread <- None;
+  let health = t.health_thread in
+  t.health_thread <- None;
+  Mutex.unlock t.mutex;
+  Option.iter Thread.join tick;
+  Option.iter Thread.join health;
+  if first then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.pipe_w with Unix.Unix_error _ -> ());
+    match t.bound with
+    | Server.Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Server.Tcp _ -> ()
+  end
+
+let stop t =
+  initiate_stop t;
+  finalize t
+
+let wait t =
+  Mutex.lock t.mutex;
+  while not t.stopping do
+    Condition.wait t.drained t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  finalize t

@@ -1,0 +1,64 @@
+(** Sharding front tier for the scenario service.
+
+    Speaks the same protocol as {!Server} on its listen address and
+    forwards each [run] frame to the backend shard that owns the
+    scenario's canonical hash on a consistent-hash ring ({!Ring}),
+    using {!Client} retrying sessions as the inter-tier transport. A
+    router-local LRU over the hot set answers repeat requests without a
+    network hop.
+
+    Failure handling follows the client's fault taxonomy: transport
+    failures exhaust the inter-tier session's retries, then eject the
+    shard and re-route the request to the ring successor (a non-shed
+    request is never lost to a shard crash); server-decided [Timeout] /
+    [Overloaded] replies pass through to the caller but count as health
+    strikes. A health thread pings every shard each interval — failures
+    accumulate strikes until ejection, and a successful ping re-admits
+    the shard with its original keyspace. *)
+
+type config = {
+  addr : Server.addr;          (** where the router listens *)
+  shards : Server.addr list;   (** backend shard addresses; index = shard id *)
+  cache_capacity : int;        (** router hot-set LRU entries *)
+  vnodes : int;                (** ring points per shard *)
+  retry : Client.retry_policy; (** inter-tier transport retries *)
+  connect_timeout_s : float;
+  request_timeout_s : float;   (** per-forward deadline at the socket *)
+  health_interval_s : float;   (** delay between ping sweeps *)
+  strike_limit : int;          (** consecutive failures before ejection *)
+  idle_timeout_s : float;
+  max_conns : int;
+  drain_deadline_s : float;
+  obs : Ptg_obs.Sink.t option;
+}
+
+val default_config : Server.addr -> shards:Server.addr list -> config
+(** 64-entry cache, 64 vnodes, {!Client.default_retry}, 1 s connects,
+    30 s forwards, 0.5 s health sweeps, 3 strikes, and {!Server}-like
+    connection limits. *)
+
+type t
+
+val start : config -> t
+(** Binds, then serves on background threads until {!stop} (or a
+    [shutdown] frame). Raises [Invalid_argument] on an empty shard list
+    or nonsensical tuning values, [Unix.Unix_error] when binding fails.
+    All shards start live; the first health sweep corrects that within
+    [health_interval_s]. *)
+
+val listen_addr : t -> Server.addr
+(** Actual bound address ([Tcp 0] resolves to the kernel-chosen port). *)
+
+val stats : t -> (string * float) list
+(** Router counters plus per-shard [shardN_live] / [shardN_requests] /
+    [shardN_ejections] rows; keys sorted, also the [stats] op payload. *)
+
+val live_shards : t -> bool array
+(** Current ejection state, indexed by shard id. *)
+
+val stop : t -> unit
+(** Stop accepting, drain connections (bounded by [drain_deadline_s]),
+    join every background thread. Idempotent. *)
+
+val wait : t -> unit
+(** Block until a [shutdown] frame arrives, then finalize as {!stop}. *)

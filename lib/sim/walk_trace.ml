@@ -40,16 +40,42 @@ let load ~path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let header = input_line ic in
+      let header =
+        try input_line ic
+        with End_of_file ->
+          invalid_arg (Printf.sprintf "Walk_trace.load: %s: empty file" path)
+      in
       let workload =
         if String.length header > 2 && String.sub header 0 2 = "# " then
           String.sub header 2 (String.length header - 2)
-        else invalid_arg "Walk_trace.load: missing header"
+        else
+          invalid_arg
+            (Printf.sprintf "Walk_trace.load: %s, line 1: missing \"# workload\" header" path)
       in
+      (* Blank lines (e.g. a trailing newline left by an editor) are
+         skipped; anything else that fails to parse names the file and
+         its 1-based line number instead of a bare [int_of_string]. *)
       let acc = ref [] in
+      let lineno = ref 1 in
       (try
          while true do
-           acc := int_of_string (String.trim (input_line ic)) :: !acc
+           let raw = input_line ic in
+           incr lineno;
+           match String.trim raw with
+           | "" -> ()
+           | s -> (
+               match int_of_string_opt s with
+               | Some i when i >= 0 -> acc := i :: !acc
+               | Some _ ->
+                   invalid_arg
+                     (Printf.sprintf
+                        "Walk_trace.load: %s, line %d: negative line index %S"
+                        path !lineno s)
+               | None ->
+                   invalid_arg
+                     (Printf.sprintf
+                        "Walk_trace.load: %s, line %d: not a line index: %S"
+                        path !lineno s))
          done
        with End_of_file -> ());
       { workload; line_indices = Array.of_list (List.rev !acc) })

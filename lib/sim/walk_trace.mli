@@ -33,6 +33,9 @@ val save : t -> path:string -> unit
 (** One decimal index per line, preceded by a [# workload] header. *)
 
 val load : path:string -> t
+(** Inverse of {!save}. Blank lines are skipped; a missing header or a
+    line that is not a non-negative decimal index raises
+    [Invalid_argument] naming the file and its 1-based line number. *)
 
 type replay_result = {
   trace_len : int;

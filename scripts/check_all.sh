@@ -12,6 +12,9 @@
 #   6. Figure 6 wall-time regression gate (scripts/check_bench_fig6.sh)
 #   7. serving throughput smoke (PTG_BENCH_ONLY=serve): asserts the
 #      cache-hot path serves at least 100x the cold-compute rate
+#   8. sharded-scaling gate (scripts/check_bench_serve_sharded.sh):
+#      2 router shards must serve >= 1.6x one shard's throughput, with
+#      zero lost requests
 #
 # Usage: scripts/check_all.sh   (run from anywhere inside the repo)
 set -eu
@@ -54,3 +57,6 @@ if [ "$ratio" -lt 100 ]; then
     exit 1
 fi
 echo "OK: cache-hot serving ${ratio}x cold (>= 100x)"
+
+echo "== sharded-scaling gate =="
+scripts/check_bench_serve_sharded.sh

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Scaling gate for the sharded scenario service.
+#
+# Re-runs the router bench (PTG_BENCH_ONLY=serve_sharded): 1, 2 and 4
+# in-process shards behind the consistent-hash router, a working set of
+# distinct scenarios larger than one shard's cache but smaller than the
+# aggregate. Fails when:
+#   - the committed baseline BENCH_serve_sharded.json is missing,
+#   - either file is missing a required field (or is not reduced mode),
+#   - either file reports a lost (non-shed, unanswered) request,
+#   - fresh 2-shard throughput is below 1.6x the fresh 1-shard rate.
+#
+# The container has a single hardware thread, so the scaling axis is
+# aggregate cache capacity, not CPU parallelism — see DESIGN.md.
+#
+# Usage: scripts/check_bench_serve_sharded.sh
+# (builds via dune; run from anywhere inside the repo)
+set -eu
+cd "$(dirname "$0")/.."
+
+base=BENCH_serve_sharded.json
+if [ ! -f "$base" ]; then
+    echo "FAIL: missing committed baseline $base" >&2
+    echo "  (generate with: PTG_BENCH_ONLY=serve_sharded dune exec bench/main.exe)" >&2
+    exit 1
+fi
+
+out=$(mktemp /tmp/ptg_bench_serve_sharded.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+PTG_BENCH_ONLY=serve_sharded PTG_BENCH_JSON="$out" dune exec bench/main.exe >/dev/null
+
+# One "key": value pair per line in our own emitter, so sed suffices.
+num_field() {
+    sed -n 's/^ *"'"$2"'": *\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p' "$1" | head -1
+}
+str_field() {
+    sed -n 's/^ *"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+status=0
+for f in "$base" "$out"; do
+    for k in distinct_scenarios shard_cache_capacity router_cache_capacity \
+             clients requests_per_client rps_1_shard rps_2_shards \
+             rps_4_shards speedup_2_shards speedup_4_shards \
+             ok_1_shard ok_2_shards ok_4_shards \
+             lost_1_shard lost_2_shards lost_4_shards; do
+        v=$(num_field "$f" "$k")
+        if [ -z "$v" ]; then
+            echo "FAIL: missing field \"$k\" in $f" >&2
+            status=1
+        fi
+    done
+    mode=$(str_field "$f" mode)
+    if [ "$mode" != "reduced" ]; then
+        echo "FAIL: $f is not a reduced-mode measurement (mode=\"$mode\")" >&2
+        status=1
+    fi
+    for k in lost_1_shard lost_2_shards lost_4_shards; do
+        v=$(num_field "$f" "$k")
+        if [ -n "$v" ] && [ "$v" != "0" ]; then
+            echo "FAIL: $f reports $v lost requests ($k)" >&2
+            status=1
+        fi
+    done
+done
+[ "$status" -eq 0 ] || exit "$status"
+
+r1=$(num_field "$out" rps_1_shard)
+r2=$(num_field "$out" rps_2_shards)
+r4=$(num_field "$out" rps_4_shards)
+awk -v r1="$r1" -v r2="$r2" -v r4="$r4" 'BEGIN {
+    if (r2 < 1.6 * r1) {
+        printf "FAIL: 2 shards %.1f rps vs 1 shard %.1f rps (%.2fx, want >= 1.6x)\n", r2, r1, r2 / r1
+        exit 1
+    }
+    printf "OK: 2 shards %.1f rps vs 1 shard %.1f rps (%.2fx >= 1.6x; 4 shards %.2fx)\n", r2, r1, r2 / r1, r4 / r1
+}'

@@ -291,7 +291,13 @@ let test_fault_slot_budget () =
       Faults.arm ~times:0 t Faults.Torn_frame);
   Alcotest.check_raises "negative delay rejected"
     (Invalid_argument "Faults.arm: delay") (fun () ->
-      Faults.arm t (Faults.Wedge_worker (-1.)))
+      Faults.arm t (Faults.Wedge_worker (-1.)));
+  Alcotest.check_raises "infinite delay rejected"
+    (Invalid_argument "Faults.arm: delay") (fun () ->
+      Faults.arm t (Faults.Delay_handler Float.infinity));
+  Alcotest.check_raises "nan delay rejected"
+    (Invalid_argument "Faults.arm: delay") (fun () ->
+      Faults.arm t (Faults.Wedge_worker Float.nan))
 
 let test_fault_spec_parsing () =
   let ok spec want_kind want_times =
@@ -318,7 +324,14 @@ let test_fault_spec_parsing () =
   err "torn:0.5" (* torn takes no argument *);
   err "drop:*:0";
   err "bogus";
-  err "wedge:1:2:3"
+  err "wedge:1:2:3";
+  (* Non-finite durations parse as floats but can never fire or drain:
+     they must be rejected at the spec boundary, not at arm time. *)
+  err "delay:inf";
+  err "delay:-inf";
+  err "delay:nan";
+  err "wedge:inf";
+  err "wedge:nan:3"
 
 (* ------------------------------------------------------------------ *)
 (* Backoff is pure and bounded                                         *)
@@ -343,7 +356,46 @@ let test_backoff_delay () =
   for attempt = 0 to 8 do
     let d = Client.backoff_delay p ~u:0.3 ~attempt in
     Alcotest.(check bool) "within [0, max]" true (d >= 0. && d <= 1.0)
-  done
+  done;
+  (* Full jitter (jitter = 1, u = 1) can no longer collapse the delay
+     to zero: the floor is 10% of the base. Before the fix this was a
+     hot retry loop against an already-struggling server. *)
+  let full = { p with Client.jitter = 1.0 } in
+  f "jitter floor at 10% of base" 0.005
+    (Client.backoff_delay full ~u:1. ~attempt:0);
+  f "floor clamped to the cap"
+    (Float.min 1.0 (0.1 *. full.Client.base_backoff_s))
+    (Client.backoff_delay full ~u:1. ~attempt:6)
+
+(* Property: over arbitrary (sane) policies, every delay respects the
+   anti-hot-loop floor — at least 10% of the base backoff (clamped to
+   the cap), so full jitter cannot collapse a retry to ~0 s against an
+   overloaded shard — and never exceeds the configured cap. *)
+let prop_backoff_positive_and_capped =
+  QCheck2.Test.make ~name:"backoff delays strictly positive and capped"
+    ~count:1000
+    ~print:(fun (base, max_s, jitter, u, attempt) ->
+      Printf.sprintf "base=%g max=%g jitter=%g u=%g attempt=%d" base max_s
+        jitter u attempt)
+    QCheck2.Gen.(
+      map
+        (fun ((base, max_s), (jitter, u), attempt) ->
+          (base, max_s, jitter, u, attempt))
+        (triple
+           (pair (float_range 1e-4 2.) (float_range 1e-4 10.))
+           (pair (float_range 0. 1.) (float_range 0. 1.))
+           (int_range 0 1000)))
+    (fun (base, max_s, jitter, u, attempt) ->
+      let p =
+        {
+          Client.attempts = 5;
+          base_backoff_s = base;
+          max_backoff_s = max_s;
+          jitter;
+        }
+      in
+      let d = Client.backoff_delay p ~u ~attempt in
+      d >= Float.min max_s (0.1 *. base) && d <= max_s)
 
 let suite =
   [
@@ -366,4 +418,5 @@ let suite =
     Alcotest.test_case "fault spec parsing" `Quick test_fault_spec_parsing;
     Alcotest.test_case "backoff delay is pure and bounded" `Quick
       test_backoff_delay;
+    QCheck_alcotest.to_alcotest prop_backoff_positive_and_capped;
   ]

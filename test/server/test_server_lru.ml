@@ -54,10 +54,98 @@ let test_capacity_one () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+(* Model-based property: drive the cache and a reference model — an
+   association list kept most-recently-used first — through the same
+   random op sequence and demand identical observable state after every
+   step: bindings in recency order, which key gets evicted, and the
+   hit/miss/eviction counters. *)
+
+type op = Put of string * string | Find of string | Mem of string
+
+let op_gen =
+  let open QCheck2.Gen in
+  (* A small key universe so collisions, refreshes and evictions all
+     actually happen at capacity 3. *)
+  let key = map (Printf.sprintf "k%d") (int_range 0 7) in
+  let value = map (Printf.sprintf "v%d") (int_range 0 99) in
+  oneof
+    [
+      map2 (fun k v -> Put (k, v)) key value;
+      map (fun k -> Find k) key;
+      map (fun k -> Mem k) key;
+    ]
+
+let print_op = function
+  | Put (k, v) -> Printf.sprintf "Put(%s,%s)" k v
+  | Find k -> Printf.sprintf "Find(%s)" k
+  | Mem k -> Printf.sprintf "Mem(%s)" k
+
+type model = {
+  mutable entries : (string * string) list; (* MRU first *)
+  mutable m_hits : int;
+  mutable m_misses : int;
+  mutable m_evictions : int;
+}
+
+let model_capacity = 3
+
+let model_apply m = function
+  | Put (k, v) ->
+      let rest = List.remove_assoc k m.entries in
+      if List.mem_assoc k m.entries then m.entries <- (k, v) :: rest
+      else begin
+        if List.length rest >= model_capacity then begin
+          (* Evict the LRU entry: last in recency order. *)
+          m.entries <- (k, v) :: List.filteri (fun i _ -> i < model_capacity - 1) rest;
+          m.m_evictions <- m.m_evictions + 1
+        end
+        else m.entries <- (k, v) :: rest
+      end
+  | Find k -> (
+      match List.assoc_opt k m.entries with
+      | Some v ->
+          m.m_hits <- m.m_hits + 1;
+          m.entries <- (k, v) :: List.remove_assoc k m.entries
+      | None -> m.m_misses <- m.m_misses + 1)
+  | Mem _ -> ()
+
+let prop_lru_matches_model =
+  QCheck2.Test.make ~name:"lru agrees with a reference model" ~count:500
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    QCheck2.Gen.(list_size (int_range 1 80) op_gen)
+    (fun ops ->
+      let c = Lru.create ~capacity:model_capacity in
+      let m = { entries = []; m_hits = 0; m_misses = 0; m_evictions = 0 } in
+      List.for_all
+        (fun op ->
+          let live_result =
+            match op with
+            | Put (k, v) ->
+                Lru.put c k v;
+                None
+            | Find k -> Lru.find c k
+            | Mem k -> Some (string_of_bool (Lru.mem c k))
+          in
+          let model_result =
+            match op with
+            | Put _ -> None
+            | Find k -> List.assoc_opt k m.entries
+            | Mem k -> Some (string_of_bool (List.mem_assoc k m.entries))
+          in
+          model_apply m op;
+          live_result = model_result
+          && Lru.to_alist c = m.entries
+          && Lru.length c = List.length m.entries
+          && Lru.hits c = m.m_hits
+          && Lru.misses c = m.m_misses
+          && Lru.evictions c = m.m_evictions)
+        ops)
+
 let suite =
   [
     Alcotest.test_case "hit/miss accounting" `Quick test_hit_miss;
     Alcotest.test_case "eviction follows recency" `Quick test_eviction_order;
     Alcotest.test_case "churn keeps newest entries" `Quick test_churn;
     Alcotest.test_case "capacity one" `Quick test_capacity_one;
+    QCheck_alcotest.to_alcotest prop_lru_matches_model;
   ]

@@ -8,5 +8,6 @@ let () =
       ("server.protocol", Test_server_protocol.suite);
       ("server.scenario", Test_server_scenario.suite);
       ("server.e2e", Test_server_e2e.suite);
-      ("server.chaos", Test_server_faults.suite);
+      ("server.router", Test_server_router.suite);
+      ("server.chaos", Test_server_faults.suite @ Test_server_router.chaos_suite);
     ]

@@ -65,6 +65,41 @@ let test_error_paths () =
   Alcotest.(check int) "bad workload name" 124
     (exec "fig6 --workloads not_a_workload --instrs 1000 --warmup 100")
 
+(* CLI-level validation (as opposed to cmdliner parse errors, which exit
+   124) exits 2 with a message naming the offending flag. *)
+let test_validation_exit_codes () =
+  let err_of args =
+    let err = tmp "validation.err" in
+    let code =
+      Sys.command
+        (Printf.sprintf "%s %s > %s 2> %s" cli args Filename.null err)
+    in
+    (code, read_file err)
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let check_exit2 args needle =
+    let code, err = err_of args in
+    Alcotest.(check int) (args ^ " exits 2") 2 code;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: stderr names the problem (got %S)" args err)
+      true (contains err needle)
+  in
+  (* Fault specs that parse as floats but can never fire or drain. *)
+  check_exit2 "serve --inject-fault delay:inf" "finite";
+  check_exit2 "serve --inject-fault wedge:nan" "finite";
+  check_exit2 "serve --inject-fault bogus" "--inject-fault";
+  (* Swarm and friends must be at least 1. *)
+  check_exit2 "loadgen --port 1 --swarm 0" "--swarm";
+  check_exit2 "loadgen --port 1 --clients 0" "--clients";
+  (* The router needs at least one shard. *)
+  check_exit2 "serve-router" "shard"
+
 (* An unknown subcommand prints the full command list to stderr and
    exits 2 (cmdliner's generic error is 124, kept for flag errors). *)
 let test_unknown_subcommand () =
@@ -96,6 +131,8 @@ let suite =
     Alcotest.test_case "fig6 artifacts job-invariant" `Slow
       test_fig6_artifacts_job_invariant;
     Alcotest.test_case "error exit codes" `Quick test_error_paths;
+    Alcotest.test_case "validation exit codes" `Quick
+      test_validation_exit_codes;
     Alcotest.test_case "unknown subcommand lists commands" `Quick
       test_unknown_subcommand;
   ]

@@ -34,6 +34,46 @@ let test_save_load () =
   Alcotest.(check (array int)) "indices" t.Ptg_sim.Walk_trace.line_indices
     t'.Ptg_sim.Walk_trace.line_indices
 
+(* Hand-authored trace files under golden/: blank lines are tolerated
+   anywhere, and each malformed shape is rejected with an error that
+   names the file and the 1-based line of the offending token — the
+   regression for the old bare [int_of_string] failure. *)
+let test_load_skips_blank_lines () =
+  let t = Ptg_sim.Walk_trace.load ~path:"golden/trace_blank_lines.txt" in
+  Alcotest.(check string) "workload" "demo" t.Ptg_sim.Walk_trace.workload;
+  Alcotest.(check (array int)) "blank lines skipped" [| 3; 7; 9 |]
+    t.Ptg_sim.Walk_trace.line_indices
+
+let test_load_malformed () =
+  let expect_invalid path check_msg =
+    match Ptg_sim.Walk_trace.load ~path with
+    | _ -> Alcotest.failf "load %s: expected Invalid_argument" path
+    | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: descriptive error (got %S)" path msg)
+          true (check_msg msg)
+  in
+  let contains sub s =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  expect_invalid "golden/trace_bad_token.txt" (fun m ->
+      contains "trace_bad_token.txt" m
+      && contains "line 3" m
+      && contains "seven" m);
+  expect_invalid "golden/trace_negative_index.txt" (fun m ->
+      contains "line 4" m && contains "-7" m);
+  expect_invalid "golden/trace_missing_header.txt" (fun m ->
+      contains "line 1" m && contains "header" m);
+  let empty = Filename.temp_file "ptg_trace_empty" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove empty)
+    (fun () ->
+      expect_invalid empty (fun m -> contains "empty" m))
+
 let test_replay () =
   let rng = Ptg_util.Rng.create 4L in
   let params =
@@ -70,6 +110,10 @@ let suite =
     Alcotest.test_case "record deterministic" `Slow test_record_deterministic;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "save/load" `Quick test_save_load;
+    Alcotest.test_case "load skips blank lines" `Quick
+      test_load_skips_blank_lines;
+    Alcotest.test_case "load rejects malformed files with located errors"
+      `Quick test_load_malformed;
     Alcotest.test_case "replay with faults" `Slow test_replay;
     Alcotest.test_case "sampler agreement" `Slow test_sampler_agreement;
   ]
