@@ -352,6 +352,142 @@ let run_fig6_json () =
     path
 
 (* ------------------------------------------------------------------ *)
+(* Batched MAC verification: scalar oracle vs lane-parallel batch.     *)
+(* The speedup here is what the engine's Batch path and the batched    *)
+(* rekey harvest; the equality check is the differential oracle run    *)
+(* once more on bench-sized data.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch_bench () =
+  section "Batched MAC: scalar vs lane-parallel (same inputs, same outputs)";
+  let reqs = 4096 in
+  let passes = if full then 8 else 3 in
+  let brng = Ptg_util.Rng.create 77L in
+  let addrs = Array.init reqs (fun i -> Int64.of_int (0x4000 + (i * 64))) in
+  let lines =
+    Array.init reqs (fun _ ->
+        Array.init 8 (fun _ ->
+            (* Masked-shape inputs: any int64s are valid MAC inputs. *)
+            Ptg_util.Rng.next brng))
+  in
+  let ctx = Ptg_crypto.Mac.ctx () in
+  let bctx = Ptg_crypto.Mac.batch_ctx () in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to passes do f () done;
+    (Unix.gettimeofday () -. t0) /. float_of_int passes
+  in
+  let scalar = Array.make reqs Ptg_crypto.Mac.zero in
+  let t_scalar =
+    timed (fun () ->
+        for i = 0 to reqs - 1 do
+          scalar.(i) <- Ptg_crypto.Mac.compute_with ctx key ~addr:addrs.(i) lines.(i)
+        done)
+  in
+  let batched = ref [||] in
+  let t_batch =
+    timed (fun () -> batched := Ptg_crypto.Mac.compute_batch bctx key ~n:reqs ~addrs ~lines)
+  in
+  let identical =
+    Array.for_all
+      (fun i -> Ptg_crypto.Mac.equal scalar.(i) !batched.(i))
+      (Array.init reqs (fun i -> i))
+  in
+  Printf.printf
+    "  scalar:  %8.1f ns/MAC (%d MACs, %d passes)\n\
+    \  batched: %8.1f ns/MAC (capacity %d)\n\
+    \  speedup: %8.2fx\n\
+    \  batched == scalar oracle: %b\n"
+    (1e9 *. t_scalar /. float_of_int reqs)
+    reqs passes
+    (1e9 *. t_batch /. float_of_int reqs)
+    (Ptg_crypto.Mac.batch_capacity bctx)
+    (t_scalar /. t_batch) identical;
+  if not identical then failwith "batch bench: batched MACs diverge from scalar oracle"
+
+(* ------------------------------------------------------------------ *)
+(* Full-system regression benchmark: BENCH_fullsys.json                *)
+(* The paths the fig6 gate never touches: real QARMA on every walk     *)
+(* (fullsys co-simulation) and the multicore scheduler's batched       *)
+(* engine-backed verification.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run_fullsys_json () =
+  section "Full-system regression benchmark (BENCH_fullsys.json)";
+  let instrs = if full then 60_000 else 30_000 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* Guarded co-simulation under live Rowhammer: every TLB miss pays real
+     MAC verification through the controller. *)
+  let t_guarded, r_guarded =
+    timed (fun () ->
+        let t = Ptg_sim.Fullsys.create ~seed:42L () in
+        Ptg_sim.Fullsys.run t ~instrs)
+  in
+  if r_guarded.Ptg_sim.Fullsys.wrong_translations <> 0 then
+    failwith "fullsys bench: guarded run consumed a wrong translation";
+  (* Multicore with engine-backed verification: PTE reads from all four
+     cores batched into lane-parallel MAC checks. *)
+  let mc_instrs = if full then 100_000 else 50_000 in
+  let t_mc, r_mc =
+    timed (fun () ->
+        let spec = Option.get (Ptg_workloads.Workload.by_name "pr") in
+        let engine = Ptguard.Engine.create ~rng:(Ptg_util.Rng.create 9L) () in
+        let mc =
+          Ptg_cpu.Multicore.create ~verify_engine:engine
+            ~guard:Ptg_cpu.Guard_timing.unprotected ()
+        in
+        let streams =
+          Array.init 4 (fun i ->
+              Ptg_workloads.Workload.stream (Ptg_util.Rng.create (Int64.of_int i)) spec)
+        in
+        Ptg_cpu.Multicore.run mc ~instrs_per_core:mc_instrs ~streams)
+  in
+  if r_mc.Ptg_cpu.Multicore.mac_verify_failures <> 0 then
+    failwith "fullsys bench: multicore verification failed on untampered PTEs";
+  let wall = t_guarded +. t_mc in
+  let path =
+    match Sys.getenv_opt "PTG_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_fullsys.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"fullsys\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"instrs\": %d,\n\
+    \  \"wall_time_s\": %.3f,\n\
+    \  \"fullsys_wall_s\": %.3f,\n\
+    \  \"fullsys_walks\": %d,\n\
+    \  \"fullsys_flips_landed\": %d,\n\
+    \  \"fullsys_wrong_translations\": %d,\n\
+    \  \"mc_wall_s\": %.3f,\n\
+    \  \"mc_instrs_per_core\": %d,\n\
+    \  \"mc_macs_verified\": %d,\n\
+    \  \"mc_verify_failures\": %d,\n\
+    \  \"mc_macs_per_sec\": %.0f\n\
+     }\n"
+    (if full then "full" else "reduced")
+    instrs wall t_guarded r_guarded.Ptg_sim.Fullsys.walks
+    r_guarded.Ptg_sim.Fullsys.flips_landed
+    r_guarded.Ptg_sim.Fullsys.wrong_translations t_mc mc_instrs
+    r_mc.Ptg_cpu.Multicore.macs_verified r_mc.Ptg_cpu.Multicore.mac_verify_failures
+    (float_of_int r_mc.Ptg_cpu.Multicore.macs_verified /. t_mc);
+  close_out oc;
+  Printf.printf
+    "  fullsys: %.2f s (%d walks, %d flips landed, 0 wrong translations)\n\
+    \  multicore verify: %.2f s (%d MACs batch-verified, %.0f MACs/s)\n\
+    \  wrote %s\n"
+    t_guarded r_guarded.Ptg_sim.Fullsys.walks r_guarded.Ptg_sim.Fullsys.flips_landed
+    t_mc r_mc.Ptg_cpu.Multicore.macs_verified
+    (float_of_int r_mc.Ptg_cpu.Multicore.macs_verified /. t_mc)
+    path
+
+(* ------------------------------------------------------------------ *)
 (* Serving throughput: cold (computed) vs cache-hot served requests.   *)
 (* The server, client and load generator are the real ptg_server       *)
 (* stack over a real loopback socket; only the scenario is small.      *)
@@ -530,22 +666,27 @@ let () =
   Printf.printf "PT-Guard bench harness (%s sizes, %d worker domains)\n\n%!"
     (if full then "full" else "reduced; set PTG_BENCH_FULL=1 for paper-scale")
     jobs;
-  (* PTG_BENCH_ONLY=micro|experiments|scaling|obs|fig6|serve|serve_sharded
-     runs one section. *)
+  (* PTG_BENCH_ONLY=<section> runs one section; see [sections]. *)
+  let sections =
+    [
+      ("micro", run_micro);
+      ("experiments", run_experiments);
+      ("scaling", run_scaling);
+      ("obs", run_obs_overhead);
+      ("fig6", run_fig6_json);
+      ("batch", run_batch_bench);
+      ("fullsys", run_fullsys_json);
+      ("serve", run_serve);
+      ("serve_sharded", run_serve_sharded);
+    ]
+  in
   match Sys.getenv_opt "PTG_BENCH_ONLY" with
-  | Some "micro" -> run_micro ()
-  | Some "experiments" -> run_experiments ()
-  | Some "scaling" -> run_scaling ()
-  | Some "obs" -> run_obs_overhead ()
-  | Some "fig6" -> run_fig6_json ()
-  | Some "serve" -> run_serve ()
-  | Some "serve_sharded" -> run_serve_sharded ()
-  | Some other -> invalid_arg ("unknown PTG_BENCH_ONLY section: " ^ other)
-  | None ->
-      run_micro ();
-      run_experiments ();
-      run_scaling ();
-      run_obs_overhead ();
-      run_fig6_json ();
-      run_serve ();
-      run_serve_sharded ()
+  | Some name -> (
+      match List.assoc_opt name sections with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown PTG_BENCH_ONLY section: %s\nvalid sections: %s\n"
+            name
+            (String.concat " " (List.map fst sections));
+          exit 2)
+  | None -> List.iter (fun (_, run) -> run ()) sections

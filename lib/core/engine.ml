@@ -88,6 +88,8 @@ type t = {
   (* Reused by every MAC computation; engines are single-domain, and the
      read-only view [rekey] builds shares it safely (strictly sequential). *)
   mac_ctx : Mac.ctx;
+  (* Lane buffers shared by [Batch] flushes and the rekey sweep. *)
+  mac_batch : Mac.batch_ctx;
 }
 
 let obs_incr t sel =
@@ -131,6 +133,7 @@ let create ?(config = Config.baseline) ?obs ~rng () =
     listeners = [];
     obs = Option.map obs_of_sink obs;
     mac_ctx = Mac.ctx ();
+    mac_batch = Mac.batch_ctx ();
   }
 
 let config t = t.config
@@ -239,7 +242,15 @@ let restore_identifier t line =
   | Config.Baseline -> line
   | Config.Optimized -> L.embed_identifier line t.identifier
 
-let read_pte t ~addr line =
+(* The [?mac] parameter on the read paths carries a MAC that a [Batch]
+   flush already computed for this (addr, line): the decision logic and
+   stats accounting are identical to the scalar path — including counting
+   the computation — only the cipher work itself is skipped. *)
+let computed_or t ~addr line = function
+  | Some m -> m
+  | None -> compute_mac t ~addr line
+
+let read_pte ?mac t ~addr line =
   let module L = (val layout t : Layout.S) in
   let mac_latency = t.config.Config.mac_latency_cycles in
   let stored = L.extract_mac line in
@@ -261,7 +272,7 @@ let read_pte t ~addr line =
   else begin
   t.stats.mac_computations <- t.stats.mac_computations + 1;
   obs_incr t (fun o -> o.o_mac_computations);
-  let computed = compute_mac t ~addr line in
+  let computed = computed_or t ~addr line mac in
   if embedded_matches ~stored ~computed then begin
     t.stats.macs_stripped <- t.stats.macs_stripped + 1;
     obs_incr t (fun o -> o.o_macs_stripped);
@@ -315,12 +326,12 @@ let read_pte t ~addr line =
   end
   end
 
-let read_data_baseline t ~addr line =
+let read_data_baseline ?mac t ~addr line =
   let module L = (val layout t : Layout.S) in
   let mac_latency = t.config.Config.mac_latency_cycles in
   t.stats.mac_computations <- t.stats.mac_computations + 1;
   obs_incr t (fun o -> o.o_mac_computations);
-  let computed = compute_mac t ~addr line in
+  let computed = computed_or t ~addr line mac in
   let stored = L.extract_mac line in
   if embedded_matches ~stored ~computed then begin
     t.stats.macs_stripped <- t.stats.macs_stripped + 1;
@@ -332,7 +343,7 @@ let read_data_baseline t ~addr line =
     { line = Some (Ptg_pte.Line.copy line); integrity = Data_passthrough;
       extra_latency = mac_latency; raw_line = line }
 
-let read_data_optimized t ~addr line =
+let read_data_optimized ?mac t ~addr line =
   let mac_latency = t.config.Config.mac_latency_cycles in
   if not (identifier_present t line) then
     (* No identifier, no embedded MAC: forward with zero added latency —
@@ -353,7 +364,7 @@ let read_data_optimized t ~addr line =
     else begin
       t.stats.mac_computations <- t.stats.mac_computations + 1;
       obs_incr t (fun o -> o.o_mac_computations);
-      let computed = compute_mac t ~addr line in
+      let computed = computed_or t ~addr line mac in
       if embedded_matches ~stored ~computed then begin
         t.stats.macs_stripped <- t.stats.macs_stripped + 1;
         obs_incr t (fun o -> o.o_macs_stripped);
@@ -366,7 +377,7 @@ let read_data_optimized t ~addr line =
     end
   end
 
-let process_read t ~addr ~is_pte line =
+let process_read_with ?mac t ~addr ~is_pte line =
   t.stats.reads_total <- t.stats.reads_total + 1;
   obs_incr t (fun o -> o.o_reads_total);
   if is_pte then begin
@@ -375,17 +386,38 @@ let process_read t ~addr ~is_pte line =
     (* Page-table walks are always verified, CTB or not: a PTE line can
        never legitimately be a tracked collision because the kernel's
        protected write evicts any stale CTB entry. *)
-    read_pte t ~addr line
+    read_pte ?mac t ~addr line
   end
   else if Ctb.mem t.ctb addr then
     { line = Some (Ptg_pte.Line.copy line); integrity = Data_passthrough;
       extra_latency = 0; raw_line = line }
   else
     match t.config.Config.design with
-    | Config.Baseline -> read_data_baseline t ~addr line
-    | Config.Optimized -> read_data_optimized t ~addr line
+    | Config.Baseline -> read_data_baseline ?mac t ~addr line
+    | Config.Optimized -> read_data_optimized ?mac t ~addr line
 
-let rekey t ~rng ~iter_lines =
+let process_read t ~addr ~is_pte line = process_read_with t ~addr ~is_pte line
+
+(* Will [process_read] need a fresh MAC computation for this request?
+   Mirrors the shortcut structure of the read paths above exactly (the
+   mac-zero constant comparison, the CTB passthrough, the Optimized
+   identifier gate); the batched-vs-sequential differential tests pin the
+   agreement. Pure: no stats, no traces. *)
+let needs_mac t ~addr ~is_pte line =
+  let module L = (val layout t : Layout.S) in
+  let mac_zero_hit () =
+    t.config.Config.design = Config.Optimized
+    && Ptg_pte.Line.is_zero (strip t line)
+    && embedded_matches ~stored:(L.extract_mac line) ~computed:t.mac_zero
+  in
+  if is_pte then not (mac_zero_hit ())
+  else if Ctb.mem t.ctb addr then false
+  else
+    match t.config.Config.design with
+    | Config.Baseline -> true
+    | Config.Optimized -> identifier_present t line && not (mac_zero_hit ())
+
+let rekey t ~rng ~iter_lines ~write =
   (* [old] is a read-only view under the outgoing key: no stats, no
      listeners, and no observability (the re-embedding writes on [t] are
      the ones that count). *)
@@ -393,9 +425,24 @@ let rekey t ~rng ~iter_lines =
   t.key <- Qarma.key_of_rng ~rounds:t.config.Config.qarma_rounds rng;
   t.mac_zero <- Mac.truncate ~width:t.config.Config.mac_bits (Mac.compute_zero t.key);
   Ctb.clear t.ctb;
-  let count = ref 0 in
+  (* Snapshot the stored lines first, so the old-key verification MACs can
+     be computed as one lane-parallel batch instead of line-at-a-time. The
+     verification only reads [old]'s frozen key material, so hoisting it
+     ahead of the re-embedding writes cannot change any outcome. *)
+  let addrs = ref [] and count = ref 0 in
   iter_lines (fun ~addr line ->
       incr count;
+      addrs := (addr, Ptg_pte.Line.copy line) :: !addrs);
+  let items = Array.of_list (List.rev !addrs) in
+  let n = Array.length items in
+  let module L = (val layout old : Layout.S) in
+  let macs =
+    Mac.compute_batch t.mac_batch old.key ~n
+      ~addrs:(Array.map fst items)
+      ~lines:(Array.map (fun (_, line) -> L.masked_for_mac line) items)
+  in
+  Array.iteri
+    (fun i (addr, line) ->
       (* Recover the pre-DRAM view under the old key, then re-embed. *)
       let logical =
         let id_ok =
@@ -403,19 +450,121 @@ let rekey t ~rng ~iter_lines =
           | Config.Baseline -> true
           | Config.Optimized -> identifier_present old line
         in
-        let module L = (val layout old : Layout.S) in
         if
           id_ok
           && embedded_matches ~stored:(L.extract_mac line)
-               ~computed:(compute_mac old ~addr line)
+               ~computed:
+                 (Mac.truncate ~width:old.config.Config.mac_bits macs.(i))
         then strip old line
         else Ptg_pte.Line.copy line
       in
-      process_write t ~addr logical);
+      write ~addr (process_write t ~addr logical))
+    items;
   t.stats.rekeys <- t.stats.rekeys + 1;
   obs_incr t (fun o -> o.o_rekeys);
   obs_event t (Ptg_obs.Trace.Rekey { writes = !count });
   emit t (Rekey_completed { writes = !count })
+
+(* Deferred verification: reads are staged into a lane buffer and resolved
+   together when the buffer reaches capacity (or on an explicit flush).
+   The flush computes every needed MAC with one [Mac.compute_batch], then
+   replays the scalar decision logic per request in stage order with the
+   precomputed MAC substituted in — so stats, traces, OS events and
+   results are exactly those of calling [process_read] sequentially
+   (pinned by the differential tests). Corrections, being rare and
+   iterative, fall back to the scalar cipher inside [Correction]. *)
+module Batch = struct
+  type engine = t
+
+  type nonrec t = {
+    engine : engine;
+    capacity : int;
+    mutable n : int;
+    addrs : int64 array;
+    is_ptes : bool array;
+    lines : Ptg_pte.Line.t array;
+    ks : (read_result -> unit) array;
+    (* flush scratch: lane -> request mapping *)
+    lane_addrs : int64 array;
+    lane_lines : Ptg_pte.Line.t array;
+    lane_req : int array;
+  }
+
+  let nop (_ : read_result) = ()
+
+  let create ?(capacity = Mac.default_batch_capacity) engine =
+    if capacity < 1 then invalid_arg "Engine.Batch.create: capacity";
+    {
+      engine;
+      capacity;
+      n = 0;
+      addrs = Array.make capacity 0L;
+      is_ptes = Array.make capacity false;
+      lines = Array.make capacity [||];
+      ks = Array.make capacity nop;
+      lane_addrs = Array.make capacity 0L;
+      lane_lines = Array.make capacity [||];
+      lane_req = Array.make capacity (-1);
+    }
+
+  let capacity b = b.capacity
+  let pending b = b.n
+
+  let flush b =
+    if b.n > 0 then begin
+      let e = b.engine in
+      let module L = (val layout e : Layout.S) in
+      (* Which staged reads will pay for a cipher call? The predicate only
+         depends on engine state that reads never mutate, so deciding for
+         the whole batch up front matches per-request decisions. *)
+      let k = ref 0 in
+      for i = 0 to b.n - 1 do
+        if needs_mac e ~addr:b.addrs.(i) ~is_pte:b.is_ptes.(i) b.lines.(i)
+        then begin
+          b.lane_addrs.(!k) <- b.addrs.(i);
+          b.lane_lines.(!k) <- L.masked_for_mac b.lines.(i);
+          b.lane_req.(!k) <- i;
+          incr k
+        end
+      done;
+      let macs =
+        Mac.compute_batch e.mac_batch e.key ~n:!k ~addrs:b.lane_addrs
+          ~lines:b.lane_lines
+      in
+      let next_lane = ref 0 in
+      for i = 0 to b.n - 1 do
+        let mac =
+          if !next_lane < !k && b.lane_req.(!next_lane) = i then begin
+            let m =
+              Mac.truncate ~width:e.config.Config.mac_bits macs.(!next_lane)
+            in
+            incr next_lane;
+            Some m
+          end
+          else None
+        in
+        let r =
+          process_read_with ?mac e ~addr:b.addrs.(i) ~is_pte:b.is_ptes.(i)
+            b.lines.(i)
+        in
+        b.ks.(i) r
+      done;
+      (* Drop line references so staged lines don't outlive the flush. *)
+      for i = 0 to b.n - 1 do
+        b.lines.(i) <- [||];
+        b.ks.(i) <- nop
+      done;
+      b.n <- 0
+    end
+
+  let stage b ~addr ~is_pte line k =
+    b.addrs.(b.n) <- addr;
+    b.is_ptes.(b.n) <- is_pte;
+    b.lines.(b.n) <- Ptg_pte.Line.copy line;
+    b.ks.(b.n) <- k;
+    b.n <- b.n + 1;
+    if b.n = b.capacity then flush b
+end
 
 let pte_bounds_check t line =
   let module L = (val layout t : Layout.S) in

@@ -96,12 +96,49 @@ val ctb : t -> Ctb.t
 val rekey :
   t ->
   rng:Ptg_util.Rng.t ->
-  iter_lines:((addr:int64 -> Ptg_pte.Line.t -> Ptg_pte.Line.t) -> unit) ->
+  iter_lines:((addr:int64 -> Ptg_pte.Line.t -> unit) -> unit) ->
+  write:(addr:int64 -> Ptg_pte.Line.t -> unit) ->
   unit
 (** Gradual re-keying (Section VII-B): draws a fresh key, then
-    [iter_lines] must present every stored line for re-processing — the
-    engine verifies/strips under the old key and re-embeds under the new
-    one. The CTB is cleared. *)
+    [iter_lines] must present every stored line (the engine snapshots
+    them); each line is verified/stripped under the old key — as one
+    lane-parallel MAC batch — re-embedded under the new key, and handed
+    to [write] in iteration order. The CTB is cleared. *)
+
+(** {2 Batched verification}
+
+    Reads staged here are resolved together: one lane-parallel
+    {!Ptg_crypto.Mac.compute_batch} covers every staged read that needs a
+    cipher call, then each request is resolved in stage order with the
+    precomputed MAC substituted into the ordinary read path. Stats,
+    traces, OS events and results are exactly those of calling
+    {!process_read} sequentially at flush time (differential-tested);
+    only the cipher work is amortized. Corrections still run the scalar
+    cipher. *)
+
+module Batch : sig
+  type engine := t
+  type t
+
+  val create : ?capacity:int -> engine -> t
+  (** Lane buffer for up to [capacity] staged reads (default
+      {!Ptg_crypto.Mac.default_batch_capacity}). *)
+
+  val capacity : t -> int
+
+  val pending : t -> int
+  (** Number of staged, unresolved reads. *)
+
+  val stage :
+    t -> addr:int64 -> is_pte:bool -> Ptg_pte.Line.t -> (read_result -> unit) -> unit
+  (** [stage b ~addr ~is_pte line k] defers [process_read] of [line]
+      (copied) and invokes [k] with the result at flush. Reaching
+      [capacity] flushes automatically — the batch boundary. *)
+
+  val flush : t -> unit
+  (** Resolve all staged reads now, invoking their callbacks in stage
+      order. No-op when empty. *)
+end
 
 val pte_bounds_check : t -> Ptg_pte.Line.t -> bool
 (** Section IV-E: would the OS's PFN bounds check flag this stored PTE

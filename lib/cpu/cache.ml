@@ -6,17 +6,25 @@ let l3_2m = { size_bytes = 2 * 1024 * 1024; assoc = 16; line_bytes = 64; latency
 let l3_1m = { size_bytes = 1024 * 1024; assoc = 16; line_bytes = 64; latency = 38 }
 let mmu_8k = { size_bytes = 8 * 1024; assoc = 4; line_bytes = 8; latency = 1 }
 
-type way = { mutable tag : int64; mutable valid : bool; mutable dirty : bool; mutable lru : int }
-
 type obs = {
   o_accesses : Ptg_obs.Registry.counter;
   o_misses : Ptg_obs.Registry.counter;
 }
 
+(* Way state is stored structure-of-arrays: the lookup loop scans a
+   contiguous int array of tags instead of chasing one record pointer per
+   way. Tags are native ints — simulated physical addresses are
+   nonnegative and far below 2^62, so [Int64.to_int] is exact — with -1
+   as the "invalid way" sentinel (a real tag is always >= 0, so a tag
+   match implies validity). Way w of set s lives at index
+   [s * assoc + w]. *)
 type t = {
   cfg : config;
-  sets : way array array;
   set_count : int;
+  assoc : int;
+  tags : int array;   (* -1 = invalid *)
+  lrus : int array;
+  dirty : Bytes.t;    (* '\001' = dirty *)
   (* Shift/mask decomposition of the address split; exact because
      [create] validates that line size and set count are powers of two
      and simulated physical addresses are non-negative. *)
@@ -52,13 +60,14 @@ let create ?obs ?(name = "cache") cfg =
     invalid_arg "Cache.create: line_bytes must be a power of two";
   if not (is_pow2 set_count) then
     invalid_arg "Cache.create: set count must be a power of two";
+  let ways = set_count * cfg.assoc in
   {
     cfg;
-    sets =
-      Array.init set_count (fun _ ->
-          Array.init cfg.assoc (fun _ ->
-              { tag = 0L; valid = false; dirty = false; lru = 0 }));
     set_count;
+    assoc = cfg.assoc;
+    tags = Array.make ways (-1);
+    lrus = Array.make ways 0;
+    dirty = Bytes.make ways '\000';
     line_shift = log2 cfg.line_bytes;
     set_shift = log2 set_count;
     set_mask = set_count - 1;
@@ -73,72 +82,82 @@ let create ?obs ?(name = "cache") cfg =
 let config t = t.cfg
 
 (* Single source of truth for the address split: every caller derives the
-   set, its index, and the tag from the same shift/mask chain, so a
+   set base index and the tag from the same shift/mask chain, so a
    writeback address can never be reconstructed from a different set
    index than the one the lookup used. *)
+(* The line index is shifted in int64 before conversion: for any
+   line_bytes >= 4 the result is below 2^62, so [Int64.to_int] is exact
+   even for addresses with the top bits set (the simulators stay far
+   below that, but the property tests exercise the full domain). *)
+let line_index t addr =
+  Int64.to_int (Int64.shift_right_logical addr t.line_shift)
+
 let locate t addr =
-  let line = Int64.shift_right_logical addr t.line_shift in
-  let set_idx = Int64.to_int line land t.set_mask in
-  let tag = Int64.shift_right_logical line t.set_shift in
-  (t.sets.(set_idx), set_idx, tag)
+  let line = line_index t addr in
+  let set_idx = line land t.set_mask in
+  let tag = line lsr t.set_shift in
+  (set_idx * t.assoc, set_idx, tag)
 
 type result = Hit | Miss of { writeback : int64 option }
 
 let line_addr_of t ~set_idx ~tag =
-  let line = Int64.logor (Int64.shift_left tag t.set_shift) (Int64.of_int set_idx) in
-  Int64.shift_left line t.line_shift
+  Int64.shift_left
+    (Int64.of_int ((tag lsl t.set_shift) lor set_idx))
+    t.line_shift
 
 let access_fast t ~addr ~is_write =
   t.tick <- t.tick + 1;
   t.accesses <- t.accesses + 1;
   (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_accesses);
   t.wb_pending <- false;
-  let line = Int64.shift_right_logical addr t.line_shift in
-  let set_idx = Int64.to_int line land t.set_mask in
-  let tag = Int64.shift_right_logical line t.set_shift in
-  let set = t.sets.(set_idx) in
-  let n = Array.length set in
+  let line = line_index t addr in
+  let set_idx = line land t.set_mask in
+  let tag = line lsr t.set_shift in
+  let base = set_idx * t.assoc in
+  let tags = t.tags in
+  let lrus = t.lrus in
+  (* One pass computes the hit way and, in case of a miss, the victim:
+     first invalid way if any, else the leftmost LRU minimum among the
+     (then all-valid) ways — identical choice to the separate scans this
+     fused loop replaced. The partial victim state is simply unused on a
+     hit. *)
   let hit = ref (-1) in
+  let invalid = ref (-1) in
+  let best = ref (-1) in
+  let best_lru = ref max_int in
   let i = ref 0 in
-  while !hit < 0 && !i < n do
-    let w = Array.unsafe_get set !i in
-    if w.valid && Int64.equal w.tag tag then hit := !i;
+  while !hit < 0 && !i < t.assoc do
+    let w_tag = Array.unsafe_get tags (base + !i) in
+    if w_tag = tag then hit := base + !i
+    else if w_tag < 0 then begin
+      if !invalid < 0 then invalid := base + !i
+    end
+    else begin
+      let w_lru = Array.unsafe_get lrus (base + !i) in
+      if w_lru < !best_lru then begin
+        best := base + !i;
+        best_lru := w_lru
+      end
+    end;
     incr i
   done;
   if !hit >= 0 then begin
-    let w = Array.unsafe_get set !hit in
-    w.lru <- t.tick;
-    if is_write then w.dirty <- true;
+    Array.unsafe_set lrus !hit t.tick;
+    if is_write then Bytes.unsafe_set t.dirty !hit '\001';
     true
   end
   else begin
     t.misses <- t.misses + 1;
     (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_misses);
-    (* Victim: first invalid way if any, else true-LRU — the leftmost
-       minimum, matching the strict-< fold this loop replaced. *)
-    let victim = ref (-1) in
-    let j = ref 0 in
-    while !victim < 0 && !j < n do
-      if not (Array.unsafe_get set !j).valid then victim := !j;
-      incr j
-    done;
-    if !victim < 0 then begin
-      let best = ref 0 in
-      for k = 1 to n - 1 do
-        if (Array.unsafe_get set k).lru < (Array.unsafe_get set !best).lru then
-          best := k
-      done;
-      victim := !best
-    end;
-    let w = Array.unsafe_get set !victim in
-    if w.valid && w.dirty then begin
+    let victim = if !invalid >= 0 then !invalid else !best in
+    let old_tag = Array.unsafe_get tags victim in
+    if old_tag >= 0 && Bytes.unsafe_get t.dirty victim = '\001' then begin
       t.wb_pending <- true;
-      t.wb_addr <- line_addr_of t ~set_idx ~tag:w.tag
+      t.wb_addr <- line_addr_of t ~set_idx ~tag:old_tag
     end;
-    w.tag <- tag;
-    w.valid <- true;
-    w.dirty <- is_write;
-    w.lru <- t.tick;
+    Array.unsafe_set tags victim tag;
+    Bytes.unsafe_set t.dirty victim (if is_write then '\001' else '\000');
+    Array.unsafe_set lrus victim t.tick;
     false
   end
 
@@ -150,12 +169,18 @@ let access t ~addr ~is_write =
   else Miss { writeback = (if t.wb_pending then Some t.wb_addr else None) }
 
 let probe t ~addr =
-  let set, _, tag = locate t addr in
-  Array.exists (fun w -> w.valid && Int64.equal w.tag tag) set
+  let base, _, tag = locate t addr in
+  let found = ref false in
+  for i = 0 to t.assoc - 1 do
+    if t.tags.(base + i) = tag then found := true
+  done;
+  !found
 
 let invalidate t ~addr =
-  let set, _, tag = locate t addr in
-  Array.iter (fun w -> if w.valid && Int64.equal w.tag tag then w.valid <- false) set
+  let base, _, tag = locate t addr in
+  for i = 0 to t.assoc - 1 do
+    if t.tags.(base + i) = tag then t.tags.(base + i) <- -1
+  done
 
 let accesses t = t.accesses
 let misses t = t.misses

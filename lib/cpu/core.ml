@@ -112,7 +112,7 @@ let upper_entry_addr t ~level vpn =
 let drain_writeback t cache =
   if Cache.writeback_pending cache then begin
     let addr = Cache.writeback_addr cache in
-    ignore (Ptg_dram.Dram.access t.dram ~now:t.now ~addr ~is_write:true);
+    ignore (Ptg_dram.Dram.access_fast t.dram ~now:t.now ~addr ~is_write:true);
     t.cache_writebacks <- t.cache_writebacks + 1;
     match t.obs with
     | None -> ()
@@ -141,7 +141,10 @@ let mem_access t ~paddr ~is_write ~is_pte ~through_l1 =
       else begin
         drain_writeback t t.l3;
         let l3_lat = (Cache.config t.l3).Cache.latency in
-        let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr:paddr ~is_write:false in
+        let dram_lat =
+          Ptg_dram.Dram.access_fast t.dram ~now:t.now ~addr:paddr
+            ~is_write:false
+        in
         let guard_extra = Guard_timing.read_penalty t.guard ~is_pte in
         if is_pte then t.pte_dram_reads <- t.pte_dram_reads + 1
         else t.dram_reads <- t.dram_reads + 1;
@@ -150,8 +153,7 @@ let mem_access t ~paddr ~is_write ~is_pte ~through_l1 =
         | Some o ->
             Ptg_obs.Registry.incr
               (if is_pte then o.o_pte_dram_reads else o.o_dram_reads));
-        l2_lat + l3_lat + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency
-        + guard_extra
+        l2_lat + l3_lat + t.cfg.llc_miss_overhead + dram_lat + guard_extra
       end
     end
   end

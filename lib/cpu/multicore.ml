@@ -37,6 +37,24 @@ type result = {
   pte_dram_reads : int;
   avg_queue_delay : float;
   cache_writebacks : int;
+  macs_verified : int;
+  mac_verify_failures : int;
+}
+
+(* Engine-backed verification (optional): every PTE line that reaches DRAM
+   gets real MAC'd content installed on first touch, and every PTE DRAM
+   read from any core stages a verification into one shared
+   [Engine.Batch] — the batch boundary is where verifications from
+   different cores/workloads get amortized into one lane-parallel cipher
+   pass. Purely additive: timing still comes from [Guard_timing] (which
+   already models the pipelined MAC latency), so results with [verify]
+   off are bit-identical to builds without this feature. *)
+type verify = {
+  engine : Ptguard.Engine.t;
+  batch : Ptguard.Engine.Batch.t;
+  store : (int64, Ptg_pte.Line.t) Hashtbl.t;
+  mutable passed : int;
+  mutable failed : int;
 }
 
 type core_state = {
@@ -63,10 +81,22 @@ type t = {
   mutable queue_delay_total : int;
   mutable queued_accesses : int;
   mutable cache_writebacks : int;
+  verify : verify option;
 }
 
-let create ?(config = default_config) ~guard () =
+let create ?(config = default_config) ?verify_engine ~guard () =
   {
+    verify =
+      Option.map
+        (fun engine ->
+          {
+            engine;
+            batch = Ptguard.Engine.Batch.create engine;
+            store = Hashtbl.create 1024;
+            passed = 0;
+            failed = 0;
+          })
+        verify_engine;
     cfg = config;
     cores =
       Array.init config.cores (fun id ->
@@ -112,9 +142,42 @@ let upper_entry_addr t core ~level vpn =
     (Int64.add (pt_base t core) (Int64.of_int (512 * 1024 * 1024 * level)))
     (Int64.mul index 8L)
 
+(* First PTE touch installs deterministic MAC-embedded content; every PTE
+   read stages a content verification. Address-derived PFNs keep the
+   synthetic tables reproducible without consuming any RNG stream. *)
+let verify_pte_read v ~paddr =
+  let laddr = Ptg_pte.Line.line_addr paddr in
+  let stored =
+    match Hashtbl.find_opt v.store laddr with
+    | Some l -> l
+    | None ->
+        let idx =
+          Int64.to_int (Int64.logand (Int64.shift_right_logical laddr 6) 0xffffL)
+        in
+        let line =
+          Array.init 8 (fun i ->
+              Ptg_pte.X86.make ~writable:true ~user:true ~accessed:false
+                ~pfn:(Int64.of_int (((idx lsl 3) lor i) land 0xfffff))
+                ())
+        in
+        let s = Ptguard.Engine.process_write v.engine ~addr:laddr line in
+        Hashtbl.replace v.store laddr s;
+        s
+  in
+  Ptguard.Engine.Batch.stage v.batch ~addr:laddr ~is_pte:true stored (fun r ->
+      match r.Ptguard.Engine.integrity with
+      | Ptguard.Engine.Passed | Ptguard.Engine.Corrected _ ->
+          v.passed <- v.passed + 1
+      | _ -> v.failed <- v.failed + 1)
+
 let dram_access t core ~paddr ~is_pte =
-  let r = Ptg_dram.Dram.access t.dram ~now:core.now ~addr:paddr ~is_write:false in
-  let chan = r.Ptg_dram.Dram.coords.Ptg_dram.Geometry.channel mod t.cfg.channels in
+  (match t.verify with
+  | Some v when is_pte -> verify_pte_read v ~paddr
+  | Some _ | None -> ());
+  let dram_lat =
+    Ptg_dram.Dram.access_fast t.dram ~now:core.now ~addr:paddr ~is_write:false
+  in
+  let chan = Ptg_dram.Dram.last_channel t.dram mod t.cfg.channels in
   let wait = max 0 (t.channel_busy.(chan) - core.now) in
   t.channel_busy.(chan) <- max t.channel_busy.(chan) core.now + t.cfg.channel_service;
   t.queue_delay_total <- t.queue_delay_total + wait;
@@ -132,14 +195,14 @@ let dram_access t core ~paddr ~is_pte =
     t.dram_reads <- t.dram_reads + 1;
     core.dram_reads <- core.dram_reads + 1
   end;
-  wait + t.cfg.llc_miss_overhead + r.Ptg_dram.Dram.latency + guard_extra
+  wait + t.cfg.llc_miss_overhead + dram_lat + guard_extra
 
 (* Posted writebacks: dirty victims update DRAM device state but skip the
    channel-queue model and charge no stall (write buffers absorb them). *)
 let drain_writeback t core cache =
   if Cache.writeback_pending cache then begin
     ignore
-      (Ptg_dram.Dram.access t.dram ~now:core.now
+      (Ptg_dram.Dram.access_fast t.dram ~now:core.now
          ~addr:(Cache.writeback_addr cache) ~is_write:true);
     t.cache_writebacks <- t.cache_writebacks + 1
   end
@@ -215,6 +278,10 @@ let run t ~instrs_per_core ~streams =
     end
   done;
   let total_cycles = Array.fold_left (fun acc c -> max acc c.now) 0 t.cores in
+  (* Resolve any ragged final batch before reporting. *)
+  (match t.verify with
+  | None -> ()
+  | Some v -> Ptguard.Engine.Batch.flush v.batch);
   {
     per_core =
       Array.map
@@ -234,4 +301,6 @@ let run t ~instrs_per_core ~streams =
       (if t.queued_accesses = 0 then 0.0
        else float_of_int t.queue_delay_total /. float_of_int t.queued_accesses);
     cache_writebacks = t.cache_writebacks;
+    macs_verified = (match t.verify with None -> 0 | Some v -> v.passed);
+    mac_verify_failures = (match t.verify with None -> 0 | Some v -> v.failed);
   }

@@ -43,11 +43,27 @@ type result = {
   cache_writebacks : int;
       (** dirty victims written back to DRAM across all cores (posted:
           no stall, no channel occupancy, but they touch row buffers) *)
+  macs_verified : int;
+      (** engine-backed verification mode only: PTE reads whose MAC
+          verified (0 when no [verify_engine] was given) *)
+  mac_verify_failures : int;
+      (** PTE reads whose staged verification failed outright *)
 }
 
 type t
 
-val create : ?config:config -> guard:Guard_timing.t -> unit -> t
+val create :
+  ?config:config -> ?verify_engine:Ptguard.Engine.t -> guard:Guard_timing.t -> unit -> t
+(** With [verify_engine], the scheduler runs {e content-level} MAC
+    verification on top of the timing model: the first DRAM touch of each
+    PTE line installs deterministic MAC-embedded content through the
+    engine, and every PTE DRAM read from any core stages a verification
+    into a shared {!Ptguard.Engine.Batch} (flushed at batch boundaries
+    and at the end of the run — this is where verifications from
+    different cores are amortized into lane-parallel cipher passes).
+    Timing is unchanged: the MAC {e latency} is already modeled by
+    [guard], so all cycle/IPC numbers are identical with or without
+    [verify_engine]; only [macs_verified]/[mac_verify_failures] differ. *)
 
 val run : t -> instrs_per_core:int -> streams:(unit -> Core.op) array -> result
 (** [streams] must have length [config.cores]; each core executes

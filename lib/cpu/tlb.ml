@@ -1,4 +1,7 @@
-type entry = { mutable vpn : int64; mutable valid : bool; mutable lru : int }
+(* VPNs are stored as native ints (exact for the nonnegative sub-2^62
+   addresses the simulators generate), keeping the lookup loop free of
+   boxed-int64 loads and comparisons. *)
+type entry = { mutable vpn : int; mutable valid : bool; mutable lru : int }
 
 type obs = {
   o_hits : Ptg_obs.Registry.counter;
@@ -12,6 +15,10 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  (* Index of the most recently hit/filled entry. Pure fast path: entries
+     are unique by vpn (fill never duplicates), so when the MRU entry
+     matches, the scan would have found exactly that entry. *)
+  mutable mru : int;
 }
 
 let obs_of_sink sink =
@@ -25,11 +32,12 @@ let obs_of_sink sink =
 let create ?(entries = 64) ?obs () =
   if entries < 1 then invalid_arg "Tlb.create";
   {
-    entries = Array.init entries (fun _ -> { vpn = 0L; valid = false; lru = 0 });
+    entries = Array.init entries (fun _ -> { vpn = 0; valid = false; lru = 0 });
     obs = Option.map obs_of_sink obs;
     tick = 0;
     hits = 0;
     misses = 0;
+    mru = 0;
   }
 
 (* Index of the valid entry holding [vpn], or -1. Runs once per
@@ -41,16 +49,23 @@ let find t vpn =
   let i = ref 0 in
   while !found < 0 && !i < n do
     let e = Array.unsafe_get entries !i in
-    if e.valid && Int64.equal e.vpn vpn then found := !i;
+    if e.valid && e.vpn = vpn then found := !i;
     incr i
   done;
   !found
 
 let lookup t ~vpn =
   t.tick <- t.tick + 1;
-  let idx = find t vpn in
+  let vpn = Int64.to_int vpn in
+  (* MRU shortcut: page locality makes consecutive lookups overwhelmingly
+     hit the same entry; skip the associative scan when they do. *)
+  let mru_e = Array.unsafe_get t.entries t.mru in
+  let idx =
+    if mru_e.valid && mru_e.vpn = vpn then t.mru else find t vpn
+  in
   if idx >= 0 then begin
     (Array.unsafe_get t.entries idx).lru <- t.tick;
+    t.mru <- idx;
     t.hits <- t.hits + 1;
     (match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr o.o_hits);
     true
@@ -61,12 +76,14 @@ let lookup t ~vpn =
     | None -> ()
     | Some o ->
         Ptg_obs.Registry.incr o.o_misses;
-        Ptg_obs.Trace.record o.o_trace (Ptg_obs.Trace.Tlb_miss { vpn }));
+        Ptg_obs.Trace.record o.o_trace
+          (Ptg_obs.Trace.Tlb_miss { vpn = Int64.of_int vpn }));
     false
   end
 
 let fill t ~vpn =
   t.tick <- t.tick + 1;
+  let vpn = Int64.to_int vpn in
   if find t vpn < 0 then begin
     let entries = t.entries in
     let n = Array.length entries in
@@ -89,7 +106,8 @@ let fill t ~vpn =
     let e = Array.unsafe_get entries !victim in
     e.vpn <- vpn;
     e.valid <- true;
-    e.lru <- t.tick
+    e.lru <- t.tick;
+    t.mru <- !victim
   end
 
 let flush t = Array.iter (fun e -> e.valid <- false) t.entries

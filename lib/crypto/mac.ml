@@ -55,6 +55,54 @@ let compute_with ctx key ~addr line =
   done;
   { hi32 = Int64.logand !acc_hi 0xFFFFFFFFL; lo = !acc_lo }
 
+(* Batched fold: MAC j occupies cipher lanes [4j .. 4j+3] of a
+   [Qarma.batch]; after one [encrypt_batch] over all lanes, each MAC is
+   XOR-folded back from its four lanes. Requests beyond the context's
+   capacity are processed in full-capacity chunks, so callers can hand
+   over arbitrarily large (or ragged) request sets. *)
+type batch_ctx = { qb : Qarma.batch; capacity : int }
+
+let default_batch_capacity = 64
+
+let batch_ctx ?(capacity = default_batch_capacity) () =
+  if capacity < 1 then invalid_arg "Mac.batch_ctx: capacity";
+  { qb = Qarma.batch ~capacity:(4 * capacity); capacity }
+
+let batch_capacity c = c.capacity
+
+let compute_batch ctx key ~n ~addrs ~lines =
+  if n < 0 || n > Array.length addrs || n > Array.length lines then
+    invalid_arg "Mac.compute_batch: n out of range";
+  let out = Array.make n zero in
+  let pos = ref 0 in
+  while !pos < n do
+    let m = min ctx.capacity (n - !pos) in
+    for j = 0 to m - 1 do
+      let addr = addrs.(!pos + j) and line = lines.(!pos + j) in
+      if Array.length line <> 8 then
+        invalid_arg "Mac.compute_batch: line must be 8 words";
+      for i = 0 to 3 do
+        (* Same per-chunk inputs as [compute_with]: A_i = {hi=i; lo=addr},
+           plaintext = C_i xor A_i. *)
+        let a_hi = Int64.of_int i in
+        Qarma.set_lane ctx.qb ((4 * j) + i) ~t_hi:a_hi ~t_lo:addr
+          ~p_hi:(Int64.logxor line.((2 * i) + 1) a_hi)
+          ~p_lo:(Int64.logxor line.(2 * i) addr)
+      done
+    done;
+    Qarma.encrypt_batch key ctx.qb ~n:(4 * m);
+    for j = 0 to m - 1 do
+      let acc_hi = ref 0L and acc_lo = ref 0L in
+      for i = 0 to 3 do
+        acc_hi := Int64.logxor !acc_hi (Qarma.lane_hi ctx.qb ((4 * j) + i));
+        acc_lo := Int64.logxor !acc_lo (Qarma.lane_lo ctx.qb ((4 * j) + i))
+      done;
+      out.(!pos + j) <- { hi32 = Int64.logand !acc_hi 0xFFFFFFFFL; lo = !acc_lo }
+    done;
+    pos := !pos + m
+  done;
+  out
+
 let compute_zero key = compute key ~addr:0L (Array.make 8 0L)
 
 let truncate ~width m =

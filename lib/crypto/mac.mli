@@ -40,6 +40,27 @@ val compute_with : ctx -> Qarma.key -> addr:int64 -> int64 array -> t
 (** Allocation-free {!compute}: identical result, but the per-chunk blocks
     and cipher state live in [ctx] instead of being freshly allocated. *)
 
+type batch_ctx
+(** Reusable lane buffers for {!compute_batch} (wraps a {!Qarma.batch}
+    with four cipher lanes per MAC). Not thread-safe: one per domain. *)
+
+val default_batch_capacity : int
+(** Default MAC capacity per flush (64 MACs = 256 cipher lanes). *)
+
+val batch_ctx : ?capacity:int -> unit -> batch_ctx
+(** [batch_ctx ~capacity ()] sizes the context for [capacity] MACs per
+    internal flush; larger request sets are chunked transparently. *)
+
+val batch_capacity : batch_ctx -> int
+
+val compute_batch :
+  batch_ctx -> Qarma.key -> n:int -> addrs:int64 array -> lines:int64 array array -> t array
+(** [compute_batch ctx key ~n ~addrs ~lines] MACs the [n] requests
+    [(addrs.(i), lines.(i))], [i < n], in lane-parallel batches. Result
+    [i] equals [compute key ~addr:addrs.(i) lines.(i)] exactly (the
+    property tests assert lane-for-lane agreement with the scalar
+    oracle). Lines must already be masked as for {!compute}. *)
+
 val compute_zero : Qarma.key -> t
 (** The pre-computed MAC of the all-zero cacheline {e without} the address
     input — the MAC-zero optimization of Section V-B. Equals

@@ -1,6 +1,12 @@
+(* Row state is kept allocation-free: [open_row] uses -1 as the
+   "no open row" sentinel instead of an option, and per-row activation
+   counts live in a flat int array indexed by row (rows_per_bank entries
+   per bank) rather than a hashtable — the simulators hit [access] once
+   per LLC miss, so the per-access cost here is on the fig6 critical
+   path. *)
 type bank_state = {
-  mutable open_row : int option;
-  activations : (int, int) Hashtbl.t; (* row -> count since last refresh *)
+  mutable open_row : int; (* -1 = closed *)
+  activations : int array; (* row -> count since last refresh *)
 }
 
 type obs = {
@@ -36,6 +42,14 @@ type t = {
   mutable refresh_listeners : (channel:int -> bank:int -> row:int -> unit) list;
   mutable epoch_listeners : (unit -> unit) list;
   mutable total_activations : int;
+  (* Decode/outcome of the last [access_fast], valid until the next
+     access — same publication protocol as [Cache.access_fast]. *)
+  mutable last_outcome : Timing.row_buffer_outcome;
+  mutable last_channel : int;
+  mutable last_rank : int;
+  mutable last_bank : int;
+  mutable last_row : int;
+  mutable last_col : int;
 }
 
 type access_result = {
@@ -52,7 +66,10 @@ let create ?(geometry = Geometry.ddr4_4gb) ?(timing = Timing.ddr4_3ghz)
     banks =
       Array.init geometry.Geometry.channels (fun _ ->
           Array.init (Geometry.total_banks geometry) (fun _ ->
-              { open_row = None; activations = Hashtbl.create 64 }));
+              {
+                open_row = -1;
+                activations = Array.make geometry.Geometry.rows_per_bank 0;
+              }));
     storage = Hashtbl.create 4096;
     obs = Option.map (obs_of_sink ~hot_row_threshold) obs;
     epoch = 0;
@@ -60,6 +77,12 @@ let create ?(geometry = Geometry.ddr4_4gb) ?(timing = Timing.ddr4_3ghz)
     refresh_listeners = [];
     epoch_listeners = [];
     total_activations = 0;
+    last_outcome = Timing.Hit;
+    last_channel = 0;
+    last_rank = 0;
+    last_bank = 0;
+    last_row = 0;
+    last_col = 0;
   }
 
 let geometry t = t.geometry
@@ -80,34 +103,60 @@ let roll_epoch_if_needed t ~now =
       (fun channel_banks ->
         Array.iter
           (fun b ->
-            Hashtbl.reset b.activations;
-            b.open_row <- None)
+            Array.fill b.activations 0 (Array.length b.activations) 0;
+            b.open_row <- -1)
           channel_banks)
       t.banks;
     List.iter (fun f -> f ()) t.epoch_listeners
   end
 
-let bump_activation b row =
-  let c = Option.value ~default:0 (Hashtbl.find_opt b.activations row) in
-  Hashtbl.replace b.activations row (c + 1)
-
-let access t ~now ~addr ~is_write =
+let access_fast t ~now ~addr ~is_write =
   roll_epoch_if_needed t ~now;
-  let coords = Geometry.decode t.geometry addr in
-  let b = t.banks.(coords.Geometry.channel).(coords.Geometry.bank) in
+  (* Inline [Geometry.decode]: identical arithmetic, but no coords record
+     on the hit path — the record is materialized only for listeners. *)
+  let g = t.geometry in
+  let line = Int64.to_int (Int64.shift_right_logical addr 6) in
+  let col = line mod g.Geometry.columns in
+  let rest = line / g.Geometry.columns in
+  let channel = rest mod g.Geometry.channels in
+  let rest = rest / g.Geometry.channels in
+  let banks = Geometry.total_banks g in
+  let bank_raw = rest mod banks in
+  let rest = rest / banks in
+  let row = rest mod g.Geometry.rows_per_bank in
+  let bank = (bank_raw lxor (row land (banks - 1))) mod banks in
+  t.last_channel <- channel;
+  t.last_rank <- bank / g.Geometry.banks_per_rank;
+  t.last_bank <- bank;
+  t.last_row <- row;
+  t.last_col <- col;
+  let b = Array.unsafe_get (Array.unsafe_get t.banks channel) bank in
   let outcome : Timing.row_buffer_outcome =
-    match b.open_row with
-    | Some r when r = coords.Geometry.row -> Timing.Hit
-    | Some _ -> Timing.Conflict
-    | None -> Timing.Closed_row
+    if b.open_row = row then Timing.Hit
+    else if b.open_row >= 0 then Timing.Conflict
+    else Timing.Closed_row
   in
+  t.last_outcome <- outcome;
   (match outcome with
   | Timing.Hit -> ()
   | Timing.Closed_row | Timing.Conflict ->
-      b.open_row <- Some coords.Geometry.row;
-      bump_activation b coords.Geometry.row;
+      b.open_row <- row;
+      Array.unsafe_set b.activations row
+        (Array.unsafe_get b.activations row + 1);
       t.total_activations <- t.total_activations + 1;
-      List.iter (fun f -> f coords) t.activate_listeners);
+      (match t.activate_listeners with
+      | [] -> ()
+      | ls ->
+          let coords =
+            {
+              Geometry.channel;
+              rank = t.last_rank;
+              bank;
+              row;
+              col;
+            }
+          in
+          List.iter (fun f -> f coords) ls));
   (match t.obs with
   | None -> ()
   | Some o ->
@@ -117,26 +166,32 @@ let access t ~now ~addr ~is_write =
       | Timing.Closed_row -> Ptg_obs.Registry.incr o.o_row_closed);
       if outcome <> Timing.Hit then begin
         Ptg_obs.Registry.incr o.o_activations;
-        let row = coords.Geometry.row in
-        let count =
-          Option.value ~default:0 (Hashtbl.find_opt b.activations row)
-        in
+        let count = b.activations.(row) in
         (* Fire exactly once per refresh window, on the crossing access. *)
         if count = o.o_hot_row_threshold then
           Ptg_obs.Trace.record o.o_trace
-            (Ptg_obs.Trace.Row_activation
-               {
-                 channel = coords.Geometry.channel;
-                 bank = coords.Geometry.bank;
-                 row;
-                 count;
-               })
+            (Ptg_obs.Trace.Row_activation { channel; bank; row; count })
       end);
-  let latency =
-    if is_write then Timing.write_latency t.timing outcome
-    else Timing.read_latency t.timing outcome
-  in
-  { latency; outcome; coords }
+  if is_write then Timing.write_latency t.timing outcome
+  else Timing.read_latency t.timing outcome
+
+let last_outcome t = t.last_outcome
+let last_channel t = t.last_channel
+
+let access t ~now ~addr ~is_write =
+  let latency = access_fast t ~now ~addr ~is_write in
+  {
+    latency;
+    outcome = t.last_outcome;
+    coords =
+      {
+        Geometry.channel = t.last_channel;
+        rank = t.last_rank;
+        bank = t.last_bank;
+        row = t.last_row;
+        col = t.last_col;
+      };
+  }
 
 let read_line t addr =
   let key = Ptg_pte.Line.line_addr addr in
@@ -149,11 +204,10 @@ let write_line t addr line =
 
 let refresh_row t ~channel ~bank ~row =
   let b = t.banks.(channel).(bank) in
-  Hashtbl.remove b.activations row;
+  b.activations.(row) <- 0;
   List.iter (fun f -> f ~channel ~bank ~row) t.refresh_listeners
 
-let activations t ~channel ~bank ~row =
-  Option.value ~default:0 (Hashtbl.find_opt t.banks.(channel).(bank).activations row)
+let activations t ~channel ~bank ~row = t.banks.(channel).(bank).activations.(row)
 
 let lines_in_row t ~channel ~bank ~row =
   Hashtbl.fold

@@ -48,6 +48,17 @@ val access : t -> now:int -> addr:int64 -> is_write:bool -> access_result
 (** Perform a timed access at cycle [now]. Advancing [now] past the
     refresh window triggers the epoch rollover. *)
 
+val access_fast : t -> now:int -> addr:int64 -> is_write:bool -> int
+(** Allocation-free variant of {!access}: same device-state updates,
+    returns only the latency in cycles. The decoded outcome and channel
+    of the most recent [access_fast] (or {!access}, which is a wrapper)
+    are published via {!last_outcome} / {!last_channel} and stay valid
+    until the next access — the same publication protocol as
+    [Cache.access_fast]. *)
+
+val last_outcome : t -> Timing.row_buffer_outcome
+val last_channel : t -> int
+
 val read_line : t -> int64 -> Ptg_pte.Line.t
 (** Functional read of the 64-byte line containing [addr]. Unwritten lines
     read as zero. *)

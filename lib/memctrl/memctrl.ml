@@ -110,6 +110,7 @@ let rekey t ~rng =
   match t.engine with
   | None -> ()
   | Some engine ->
-      Ptguard.Engine.rekey engine ~rng ~iter_lines:(fun process ->
-          Ptg_dram.Dram.iter_stored t.dram (fun addr line ->
-              Ptg_dram.Dram.write_line t.dram addr (process ~addr line)))
+      Ptguard.Engine.rekey engine ~rng
+        ~iter_lines:(fun visit ->
+          Ptg_dram.Dram.iter_stored t.dram (fun addr line -> visit ~addr line))
+        ~write:(fun ~addr line -> Ptg_dram.Dram.write_line t.dram addr line)

@@ -9,10 +9,17 @@
 #      part of runtest, but kept addressable for quick iteration
 #   5. grep gate: no bare `with _ -> ()` in lib/server — every dropped
 #      exception there must be classified or counted
-#   6. Figure 6 wall-time regression gate (scripts/check_bench_fig6.sh)
-#   7. serving throughput smoke (PTG_BENCH_ONLY=serve): asserts the
+#   6. crypto tier alone (dune build @crypto) — the batched-QARMA
+#      differential oracle, golden vectors and Block128 algebra, also
+#      part of runtest but addressable for quick cipher iteration
+#   7. Figure 6 wall-time regression gate (scripts/check_bench_fig6.sh)
+#   8. full-system regression gate (scripts/check_bench_fullsys.sh):
+#      real-crypto co-simulation + batched multicore verification wall
+#      time vs the committed BENCH_fullsys.json, zero wrong translations
+#      and zero verify failures required
+#   9. serving throughput smoke (PTG_BENCH_ONLY=serve): asserts the
 #      cache-hot path serves at least 100x the cold-compute rate
-#   8. sharded-scaling gate (scripts/check_bench_serve_sharded.sh):
+#  10. sharded-scaling gate (scripts/check_bench_serve_sharded.sh):
 #      2 router shards must serve >= 1.6x one shard's throughput, with
 #      zero lost requests
 #
@@ -39,8 +46,14 @@ if grep -rn 'with _ -> ()' lib/server; then
 fi
 echo "OK: lib/server swallows no exception silently"
 
+echo "== crypto tier (dune build @crypto) =="
+dune build @crypto
+
 echo "== Figure 6 regression gate =="
 scripts/check_bench_fig6.sh
+
+echo "== full-system regression gate =="
+scripts/check_bench_fullsys.sh
 
 echo "== serving throughput (cold vs cache-hot) =="
 out=$(mktemp /tmp/ptg_bench_serve.XXXXXX.txt)

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Regression gate for the full-system benchmark.
+#
+# Re-runs the reduced fullsys section (PTG_BENCH_ONLY=fullsys): the
+# guarded co-simulation with real QARMA on every walk, plus the
+# multicore scheduler's batched engine-backed verification. Compares the
+# fresh BENCH_fullsys.json against the committed baseline at the repo
+# root. Fails when:
+#   - the committed baseline is missing,
+#   - either file is missing a required field (or is not a reduced-mode
+#     measurement),
+#   - either run saw a wrong translation or a MAC verification failure,
+#   - fresh wall time exceeds the baseline by more than 25%.
+#
+# Usage: scripts/check_bench_fullsys.sh
+# (builds via dune; run from anywhere inside the repo)
+set -eu
+cd "$(dirname "$0")/.."
+
+base=BENCH_fullsys.json
+if [ ! -f "$base" ]; then
+    echo "FAIL: missing committed baseline $base" >&2
+    echo "  (generate with: PTG_BENCH_ONLY=fullsys dune exec bench/main.exe)" >&2
+    exit 1
+fi
+
+out=$(mktemp /tmp/ptg_bench_fullsys.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+PTG_BENCH_ONLY=fullsys PTG_BENCH_JSON="$out" dune exec bench/main.exe >/dev/null
+
+# One "key": value pair per line in our own emitter, so sed suffices.
+num_field() {
+    sed -n 's/^ *"'"$2"'": *\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p' "$1" | head -1
+}
+str_field() {
+    sed -n 's/^ *"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+status=0
+for f in "$base" "$out"; do
+    for k in instrs wall_time_s fullsys_wall_s fullsys_walks \
+             fullsys_flips_landed fullsys_wrong_translations mc_wall_s \
+             mc_instrs_per_core mc_macs_verified mc_verify_failures \
+             mc_macs_per_sec; do
+        v=$(num_field "$f" "$k")
+        if [ -z "$v" ]; then
+            echo "FAIL: missing field \"$k\" in $f" >&2
+            status=1
+        fi
+    done
+    mode=$(str_field "$f" mode)
+    if [ "$mode" != "reduced" ]; then
+        echo "FAIL: $f is not a reduced-mode measurement (mode=\"$mode\")" >&2
+        status=1
+    fi
+    wrong=$(num_field "$f" fullsys_wrong_translations)
+    if [ "$wrong" != "0" ]; then
+        echo "FAIL: $f recorded $wrong wrong translations (must be 0)" >&2
+        status=1
+    fi
+    failures=$(num_field "$f" mc_verify_failures)
+    if [ "$failures" != "0" ]; then
+        echo "FAIL: $f recorded $failures MAC verify failures (must be 0)" >&2
+        status=1
+    fi
+done
+[ "$status" -eq 0 ] || exit "$status"
+
+b=$(num_field "$base" wall_time_s)
+n=$(num_field "$out" wall_time_s)
+awk -v b="$b" -v n="$n" 'BEGIN {
+    if (n > 1.25 * b) {
+        printf "FAIL: wall time %.2fs vs baseline %.2fs (>25%% regression)\n", n, b
+        exit 1
+    }
+    printf "OK: wall time %.2fs vs baseline %.2fs (limit %.2fs)\n", n, b, 1.25 * b
+}'

@@ -1,0 +1,1 @@
+let () = Alcotest.run "ptguard-crypto" [ ("crypto.conformance", Test_qarma_props.suite) ]

@@ -124,6 +124,40 @@ let test_unknown_subcommand () =
         true (contains listing needle))
     [ "frobnicate"; "fig6"; "serve"; "loadgen"; "tables" ]
 
+(* The bench harness rejects an unknown PTG_BENCH_ONLY section with exit
+   2 and the list of valid sections on stderr — before running anything,
+   so the test is fast. *)
+let test_bench_unknown_section () =
+  let bench =
+    Filename.concat Filename.parent_dir_name
+      (Filename.concat "bench" "main.exe")
+  in
+  let err = tmp "bench_unknown.err" in
+  let code =
+    Sys.command
+      (Printf.sprintf "PTG_BENCH_ONLY=nonsense %s > %s 2> %s" bench
+         Filename.null err)
+  in
+  Alcotest.(check int) "exit code" 2 code;
+  let listing = read_file err in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stderr names %s" needle)
+        true (contains listing needle))
+    [
+      "unknown PTG_BENCH_ONLY section: nonsense";
+      "valid sections:";
+      "micro"; "fig6"; "batch"; "fullsys"; "serve_sharded";
+    ]
+
 let suite =
   [
     Alcotest.test_case "stats golden output" `Slow test_stats_golden;
@@ -135,4 +169,6 @@ let suite =
       test_validation_exit_codes;
     Alcotest.test_case "unknown subcommand lists commands" `Quick
       test_unknown_subcommand;
+    Alcotest.test_case "bench rejects unknown section" `Quick
+      test_bench_unknown_section;
   ]

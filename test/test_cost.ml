@@ -1,0 +1,69 @@
+(* Golden assertions for the hardware cost table (paper Sections IV-F and
+   V-E): the numbers the paper quotes are pinned here so a refactor of
+   [Cost] cannot silently drift the claimed overheads. *)
+
+open Ptguard
+
+let test_baseline_golden () =
+  let c = Cost.of_config Config.baseline in
+  Alcotest.(check int) "32 B key" 32 c.Cost.sram_key_bytes;
+  Alcotest.(check int) "5 B per CTB entry, 4 entries" 20 c.Cost.sram_ctb_bytes;
+  Alcotest.(check int) "no identifier in baseline" 0 c.Cost.sram_identifier_bytes;
+  Alcotest.(check int) "no MAC-zero in baseline" 0 c.Cost.sram_mac_zero_bytes;
+  Alcotest.(check int) "52 B SRAM total" 52 c.Cost.sram_total_bytes;
+  Alcotest.(check int) "zero DRAM overhead (headline claim)" 0 c.Cost.dram_overhead_bytes;
+  Alcotest.(check int) "~280K gates" 280_000 c.Cost.mac_gates;
+  Alcotest.(check (float 1e-9)) "0.015 mm^2 at 7 nm" 0.015 c.Cost.mac_area_mm2;
+  Alcotest.(check (float 1e-9)) "1.6 nJ per MAC" 1.6 c.Cost.mac_energy_nj;
+  Alcotest.(check (float 1e-9)) "3.4 ns MAC latency" 3.4 c.Cost.mac_latency_ns
+
+let test_optimized_golden () =
+  let c = Cost.of_config Config.optimized in
+  Alcotest.(check int) "7 B identifier" 7 c.Cost.sram_identifier_bytes;
+  Alcotest.(check int) "12 B MAC-zero" 12 c.Cost.sram_mac_zero_bytes;
+  Alcotest.(check int) "71 B SRAM total" 71 c.Cost.sram_total_bytes;
+  Alcotest.(check int) "still zero DRAM overhead" 0 c.Cost.dram_overhead_bytes
+
+let test_ctb_scaling () =
+  (* The only config-dependent SRAM term: 5 bytes per CTB entry. *)
+  List.iter
+    (fun entries ->
+      let cfg = { Config.baseline with Config.ctb_entries = entries } in
+      let c = Cost.of_config cfg in
+      Alcotest.(check int)
+        (Printf.sprintf "CTB bytes for %d entries" entries)
+        (5 * entries) c.Cost.sram_ctb_bytes;
+      Alcotest.(check int) "total = key + ctb" (32 + (5 * entries)) c.Cost.sram_total_bytes)
+    [ 0; 1; 16; 128 ]
+
+let test_totals_consistent () =
+  (* The total must always be the sum of its parts, for any design. *)
+  List.iter
+    (fun cfg ->
+      let c = Cost.of_config cfg in
+      Alcotest.(check int) "sum of parts"
+        (c.Cost.sram_key_bytes + c.Cost.sram_ctb_bytes + c.Cost.sram_identifier_bytes
+       + c.Cost.sram_mac_zero_bytes)
+        c.Cost.sram_total_bytes)
+    [ Config.baseline; Config.optimized ]
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp_renders () =
+  let s = Format.asprintf "%a" Cost.pp (Cost.of_config Config.optimized) in
+  List.iter
+    (fun needle ->
+      if not (contains s needle) then Alcotest.failf "pp output missing %S in %S" needle s)
+    [ "71B total"; "280K gates"; "3.4 ns" ]
+
+let suite =
+  [
+    Alcotest.test_case "baseline cost table golden" `Quick test_baseline_golden;
+    Alcotest.test_case "optimized cost table golden" `Quick test_optimized_golden;
+    Alcotest.test_case "CTB SRAM scaling" `Quick test_ctb_scaling;
+    Alcotest.test_case "totals consistent" `Quick test_totals_consistent;
+    Alcotest.test_case "pp renders paper numbers" `Quick test_pp_renders;
+  ]

@@ -161,6 +161,51 @@ let test_multicore_contention () =
   Alcotest.(check bool) "memory-heavy mix queues" true (r.Multicore.avg_queue_delay > 0.1);
   Alcotest.(check bool) "dram reads recorded" true (r.Multicore.dram_reads > 1000)
 
+let test_multicore_verify_engine () =
+  (* Engine-backed verification: every PTE DRAM read is staged into a
+     shared Engine.Batch and must verify against the content the engine
+     itself installed — zero failures, one verification per PTE read. *)
+  let spec = Option.get (Ptg_workloads.Workload.by_name "pr") in
+  let engine = Ptguard.Engine.create ~rng:(Ptg_util.Rng.create 9L) () in
+  let mc = Multicore.create ~verify_engine:engine ~guard:Guard_timing.unprotected () in
+  let streams =
+    Array.init 4 (fun i ->
+        Ptg_workloads.Workload.stream (Ptg_util.Rng.create (Int64.of_int i)) spec)
+  in
+  let r = Multicore.run mc ~instrs_per_core:50_000 ~streams in
+  Alcotest.(check bool) "verifications ran" true (r.Multicore.macs_verified > 100);
+  Alcotest.(check int) "no failures on untampered PTEs" 0 r.Multicore.mac_verify_failures;
+  Alcotest.(check int) "one verification per PTE DRAM read"
+    r.Multicore.pte_dram_reads r.Multicore.macs_verified
+
+let test_multicore_verify_timing_invariant () =
+  (* Content verification is additive: cycle/IPC numbers are identical
+     with and without the verify engine. *)
+  let spec = Option.get (Ptg_workloads.Workload.by_name "pr") in
+  let run ?verify_engine () =
+    let mc = Multicore.create ?verify_engine ~guard:Guard_timing.unprotected () in
+    let streams =
+      Array.init 4 (fun i ->
+          Ptg_workloads.Workload.stream (Ptg_util.Rng.create (Int64.of_int i)) spec)
+    in
+    Multicore.run mc ~instrs_per_core:20_000 ~streams
+  in
+  let plain = run () in
+  let verified =
+    run ~verify_engine:(Ptguard.Engine.create ~rng:(Ptg_util.Rng.create 9L) ()) ()
+  in
+  Alcotest.(check int) "total cycles unchanged" plain.Multicore.total_cycles
+    verified.Multicore.total_cycles;
+  Alcotest.(check int) "dram reads unchanged" plain.Multicore.dram_reads
+    verified.Multicore.dram_reads;
+  Array.iteri
+    (fun i pc ->
+      Alcotest.(check int)
+        (Printf.sprintf "core %d cycles unchanged" i)
+        pc.Multicore.cycles verified.Multicore.per_core.(i).Multicore.cycles)
+    plain.Multicore.per_core;
+  Alcotest.(check int) "plain run verifies nothing" 0 plain.Multicore.macs_verified
+
 let suite =
   [
     Alcotest.test_case "guard: unprotected" `Quick test_guard_unprotected;
@@ -176,4 +221,8 @@ let suite =
     Alcotest.test_case "multicore: runs" `Quick test_multicore_runs;
     Alcotest.test_case "multicore: stream arity" `Quick test_multicore_stream_count;
     Alcotest.test_case "multicore: contention" `Slow test_multicore_contention;
+    Alcotest.test_case "multicore: engine-backed verify" `Quick
+      test_multicore_verify_engine;
+    Alcotest.test_case "multicore: verify is timing-invariant" `Quick
+      test_multicore_verify_timing_invariant;
   ]

@@ -221,9 +221,10 @@ let test_rekey () =
   Hashtbl.replace store 0x440L
     (Engine.process_write e ~addr:0x440L (data_line_unmatched ()));
   let old_stored = Hashtbl.find store 0x400L in
-  Engine.rekey e ~rng:(Ptg_util.Rng.create 99L) ~iter_lines:(fun process ->
-      Hashtbl.iter (fun addr l -> Hashtbl.replace store addr (process ~addr l))
-        (Hashtbl.copy store));
+  Engine.rekey e ~rng:(Ptg_util.Rng.create 99L)
+    ~iter_lines:(fun visit ->
+      Hashtbl.iter (fun addr l -> visit ~addr l) (Hashtbl.copy store))
+    ~write:(fun ~addr line -> Hashtbl.replace store addr line);
   let new_stored = Hashtbl.find store 0x400L in
   Alcotest.(check bool) "MAC changed under new key" false
     (Ptg_pte.Line.equal old_stored new_stored);
