@@ -266,42 +266,193 @@ let ablations_cmd =
        ~doc:"Correction-strategy, write-pattern and CTB/re-keying ablations.")
     Term.(const run $ seed_arg $ jobs_arg)
 
-let trace_cmd =
-  let workload =
+(* ---------------------------------------------------------------- *)
+(* Traces                                                            *)
+(* ---------------------------------------------------------------- *)
+
+let workload_name_arg =
+  Arg.(
+    value & opt string "mcf"
+    & info [ "workload" ] ~docv:"NAME" ~doc:"Workload to trace.")
+
+let require_workload ~cmd name =
+  match Ptg_workloads.Workload.by_name name with
+  | Some spec -> spec
+  | None ->
+      Printf.eprintf "%s: unknown workload %s (try: %s)\n" cmd name
+        (String.concat ", " Ptg_workloads.Workload.names);
+      exit 2
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [ ("text", Ptg_sim.Mem_trace.Text); ("binary", Ptg_sim.Mem_trace.Binary) ]))
+        None
+    & info [ "format" ] ~docv:"FORMAT" ~doc:"Trace file format: text or binary.")
+
+let mitigation_spec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mitigation" ] ~docv:"SPEC"
+        ~doc:
+          "Registered mitigation to attach, as NAME or \
+           NAME:key=value,key=value (e.g. para:p=0.002). Names and \
+           parameter schemas come from the plugin registry.")
+
+let parse_mitigation ~cmd = function
+  | None -> (None, [])
+  | Some spec -> (
+      match Ptg_mitigations.Registry.parse_spec spec with
+      | Ok (name, params) -> (Some name, params)
+      | Error msg ->
+          Printf.eprintf "%s: --mitigation: %s\nregistered mitigations:\n%s\n"
+            cmd msg
+            (Ptg_mitigations.Registry.spec_help ());
+          exit 2)
+
+let load_mem_trace ~cmd path =
+  try Ptg_sim.Mem_trace.load ~path
+  with Invalid_argument msg | Sys_error msg ->
+    Printf.eprintf "%s: %s\n" cmd msg;
+    exit 2
+
+let save_mem_trace ~cmd t ~format ~path =
+  try Ptg_sim.Mem_trace.save t ~format ~path
+  with Invalid_argument msg | Sys_error msg ->
+    Printf.eprintf "%s: %s\n" cmd msg;
+    exit 2
+
+let trace_record_cmd =
+  let out =
     Arg.(
-      value & opt string "mcf"
-      & info [ "workload" ] ~docv:"NAME" ~doc:"Workload to trace.")
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Write the trace to $(docv).")
   in
+  let run seed instrs workload format out =
+    let spec = require_workload ~cmd:"trace record" workload in
+    let t = Ptg_sim.Mem_trace.record ~seed ~instrs spec in
+    let format = Option.value format ~default:Ptg_sim.Mem_trace.Text in
+    save_mem_trace ~cmd:"trace record" t ~format ~path:out;
+    Printf.printf "recorded %d memory events for %s -> %s (%s)\n"
+      (Ptg_sim.Mem_trace.length t)
+      t.Ptg_sim.Mem_trace.workload out
+      (match format with Ptg_sim.Mem_trace.Text -> "text" | Binary -> "binary")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Record a workload's memory-access stream as a trace file (one \
+          event per load/store, cycle = instruction index).")
+    Term.(
+      const run $ seed_arg $ instrs_arg 500_000 $ workload_name_arg
+      $ trace_format_arg $ out)
+
+let trace_replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file (text or binary, sniffed).")
+  in
+  let run seed file mitigation =
+    let t = load_mem_trace ~cmd:"trace replay" file in
+    let name, params = parse_mitigation ~cmd:"trace replay" mitigation in
+    match Ptg_sim.Mem_trace.replay ?mitigation:name ~params ~seed t with
+    | Ok r -> print_string (Ptg_sim.Mem_trace.render_result ?mitigation:name r)
+    | Error msg ->
+        Printf.eprintf "trace replay: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a trace through the memory controller, optionally with \
+          a registry mitigation attached; report activations and \
+          refreshes. Deterministic for a given seed.")
+    Term.(const run $ seed_arg $ file $ mitigation_spec_arg)
+
+let trace_convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"IN" ~doc:"Input trace (text or binary, sniffed).")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Output trace path.")
+  in
+  let run input output format =
+    let t = load_mem_trace ~cmd:"trace convert" input in
+    let format =
+      match format with
+      | Some f -> f
+      | None ->
+          (* Default: flip whatever the input was. *)
+          let is_binary =
+            In_channel.with_open_bin input (fun ic ->
+                match really_input_string ic 4 with
+                | s -> s = "PTGM"
+                | exception End_of_file -> false)
+          in
+          if is_binary then Ptg_sim.Mem_trace.Text else Ptg_sim.Mem_trace.Binary
+    in
+    save_mem_trace ~cmd:"trace convert" t ~format ~path:output;
+    Printf.printf "converted %s -> %s (%d events, %s)\n" input output
+      (Ptg_sim.Mem_trace.length t)
+      (match format with Ptg_sim.Mem_trace.Text -> "text" | Binary -> "binary")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a trace between the text and binary formats (default: \
+          the opposite of the input's format). Lossless both ways.")
+    Term.(const run $ input $ output $ trace_format_arg)
+
+let trace_walk_cmd =
+  let workload = workload_name_arg in
   let save =
     Arg.(
       value & opt (some string) None
       & info [ "save" ] ~docv:"PATH" ~doc:"Persist the trace to $(docv).")
   in
   let run seed instrs workload save =
-    match Ptg_workloads.Workload.by_name workload with
-    | None ->
-        Printf.eprintf "unknown workload %s (try: %s)\n" workload
-          (String.concat ", " Ptg_workloads.Workload.names);
-        exit 1
-    | Some spec ->
-        let t = Ptg_sim.Walk_trace.record ~seed ~instrs spec in
-        Printf.printf "recorded %d page-table walks for %s (%d distinct PTE lines)\n"
-          (Ptg_sim.Walk_trace.length t)
-          t.Ptg_sim.Walk_trace.workload
-          (Hashtbl.length (Ptg_sim.Walk_trace.histogram t));
-        Option.iter
-          (fun path ->
-            Ptg_sim.Walk_trace.save t ~path;
-            Printf.printf "saved to %s\n" path)
-          save;
-        Ptg_sim.Walk_trace.print_comparison spec
-          (Ptg_sim.Walk_trace.compare_samplers ~seed spec)
+    let spec = require_workload ~cmd:"trace walk" workload in
+    let t = Ptg_sim.Walk_trace.record ~seed ~instrs spec in
+    Printf.printf "recorded %d page-table walks for %s (%d distinct PTE lines)\n"
+      (Ptg_sim.Walk_trace.length t)
+      t.Ptg_sim.Walk_trace.workload
+      (Hashtbl.length (Ptg_sim.Walk_trace.histogram t));
+    Option.iter
+      (fun path ->
+        Ptg_sim.Walk_trace.save t ~path;
+        Printf.printf "saved to %s\n" path)
+      save;
+    Ptg_sim.Walk_trace.print_comparison spec
+      (Ptg_sim.Walk_trace.compare_samplers ~seed spec)
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "walk"
        ~doc:"Record a page-walk trace (Section VI-F methodology) and validate \
              the Fig. 9 sampler against trace-frequency replay.")
     Term.(const run $ seed_arg $ instrs_arg 500_000 $ workload $ save)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Memory-trace frontend: record a workload's access stream, \
+          replay it against any registered mitigation, convert between \
+          the text and binary formats, or record a page-walk trace \
+          (walk, the pre-registry recorder).")
+    [ trace_record_cmd; trace_replay_cmd; trace_convert_cmd; trace_walk_cmd ]
 
 let fullsys_cmd =
   let instrs =
@@ -520,9 +671,13 @@ let loadgen_cmd =
       & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
   in
   let kind =
+    (* Trace scenarios need a server-local trace file the loadgen cannot
+       synthesize; exercise them via `serve` + a run frame instead. *)
     let kinds =
-      List.map
-        (fun k -> (Ptg_sim.Scenario.kind_name k, k))
+      List.filter_map
+        (fun k ->
+          if k = Ptg_sim.Scenario.Trace then None
+          else Some (Ptg_sim.Scenario.kind_name k, k))
         Ptg_sim.Scenario.kinds
     in
     Arg.(

@@ -22,13 +22,30 @@ type t = {
   engine : Ptguard.Engine.t option;
   obs : obs option;
   mutable now : int;
+  mutable line_read_hooks : (addr:int64 -> is_pte:bool -> unit) list;
+      (* newest first; invoked in subscription order on every read_line *)
 }
 
 let create ?engine ?obs dram =
-  { dram; engine; obs = Option.map obs_of_sink obs; now = 0 }
+  {
+    dram;
+    engine;
+    obs = Option.map obs_of_sink obs;
+    now = 0;
+    line_read_hooks = [];
+  }
 
 let dram t = t.dram
 let engine t = t.engine
+
+(* Observer hook points. Activation and refresh observers forward to the
+   DRAM device (one subscription stream shared with the mitigations);
+   line-read observers are the controller's own — they see the request
+   stream with its isPTE tag, which the DRAM layer does not carry. *)
+let on_activate t f = Ptg_dram.Dram.on_activate t.dram f
+let on_refresh t f = Ptg_dram.Dram.subscribe_refresh t.dram f
+
+let on_line_read t f = t.line_read_hooks <- t.line_read_hooks @ [ f ]
 
 let obs_incr t sel =
   match t.obs with None -> () | Some o -> Ptg_obs.Registry.incr (sel o)
@@ -45,6 +62,7 @@ let advance t = function
 
 let read_line t ?now ~addr ~is_pte () =
   advance t now;
+  List.iter (fun f -> f ~addr ~is_pte) t.line_read_hooks;
   obs_incr t (fun o -> o.o_reads_total);
   if is_pte then obs_incr t (fun o -> o.o_reads_pte);
   let r = Ptg_dram.Dram.access t.dram ~now:t.now ~addr ~is_write:false in

@@ -20,6 +20,25 @@ val create : ?engine:Ptguard.Engine.t -> ?obs:Ptg_obs.Sink.t -> Ptg_dram.Dram.t 
 val dram : t -> Ptg_dram.Dram.t
 val engine : t -> Ptguard.Engine.t option
 
+(** {2 Observer hook points}
+
+    The attachment surface for mitigation plugins and passive
+    observers ({!Ptg_mitigations.Registry} instances subscribe through
+    these rather than bespoke wiring). Multiple observers may register;
+    they run in subscription order. *)
+
+val on_activate : t -> (Ptg_dram.Geometry.coords -> unit) -> unit
+(** Called on every DRAM row activation (forwards to
+    {!Ptg_dram.Dram.on_activate} on the controller's device). *)
+
+val on_refresh : t -> (channel:int -> bank:int -> row:int -> unit) -> unit
+(** Called on every targeted row refresh (forwards to
+    {!Ptg_dram.Dram.subscribe_refresh}). *)
+
+val on_line_read : t -> (addr:int64 -> is_pte:bool -> unit) -> unit
+(** Called at the start of every {!read_line} with the request's
+    line address and isPTE tag — the stream the DRAM layer cannot see. *)
+
 type read = {
   data : Ptg_pte.Line.t option;
       (** [None] when a page-walk read failed its integrity check

@@ -22,7 +22,13 @@ let walk mc ~root ~vaddr =
   let latency = ref 0 in
   let correction = ref None in
   let rec go table_paddr = function
-    | [] -> assert false
+    | [] ->
+        invalid_arg
+          (Printf.sprintf
+             "Mmu.walk: exhausted page-table levels below the PT without \
+              terminating (vaddr 0x%Lx, table 0x%Lx): malformed walk \
+              configuration"
+             vaddr table_paddr)
     | level :: deeper -> (
         let entry_addr =
           Int64.add table_paddr (Int64.of_int (Page_table.level_index level vaddr * 8))

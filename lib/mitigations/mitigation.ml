@@ -1,195 +1,48 @@
-type t = {
-  name : string;
-  mutable refreshes : int;
-  mutable active : bool;
-}
+(* Thin wrappers over the plugin registry. The implementation bodies
+   live in Registry (lib/mitigations/registry.ml); these entry points
+   keep the historical signatures and Invalid_argument messages, and
+   double as the differential oracles for the registry path. *)
 
-let name t = t.name
-let refreshes_issued t = t.refreshes
-let detach t = t.active <- false
+type t = Registry.instance
 
-let refresh_neighbors t dram ~channel ~bank ~row =
-  let geometry = Ptg_dram.Dram.geometry dram in
-  List.iter
-    (fun r ->
-      Ptg_dram.Dram.refresh_row dram ~channel ~bank ~row:r;
-      t.refreshes <- t.refreshes + 1)
-    (Ptg_dram.Geometry.row_neighbors geometry row ~distance:1)
+let name = Registry.instance_name
+let refreshes_issued = Registry.refreshes_issued
+let detach = Registry.detach
 
-(* --- TRR ------------------------------------------------------------- *)
+let ok_or_invalid = function Ok t -> t | Error msg -> invalid_arg msg
 
-type trr_entry = { row : int; mutable count : int; inserted_at : int }
-
-type trr_bank = {
-  mutable entries : trr_entry list; (* newest first, length <= sampler_size *)
-  mutable acts_since_ref : int;
-  mutable acts_total : int;
-}
-
-let attach_trr ?(sampler_size = 4) ?(ref_interval_acts = 166) ?(sample_window = 8) dram =
-  if sampler_size < 1 then invalid_arg "Mitigation.attach_trr: sampler_size";
-  let t = { name = "TRR"; refreshes = 0; active = true } in
-  let banks : (int * int, trr_bank) Hashtbl.t = Hashtbl.create 32 in
-  let bank_state channel bank =
-    let key = (channel, bank) in
-    match Hashtbl.find_opt banks key with
-    | Some b -> b
-    | None ->
-        let b = { entries = []; acts_since_ref = 0; acts_total = 0 } in
-        Hashtbl.replace banks key b;
-        b
-  in
-  Ptg_dram.Dram.on_activate dram (fun c ->
-      if t.active then begin
-        let channel = c.Ptg_dram.Geometry.channel
-        and bank = c.Ptg_dram.Geometry.bank
-        and row = c.Ptg_dram.Geometry.row in
-        let b = bank_state channel bank in
-        b.acts_total <- b.acts_total + 1;
-        if b.acts_since_ref < sample_window then begin
-        (match List.find_opt (fun e -> e.row = row) b.entries with
-        | Some e -> e.count <- e.count + 1
-        | None ->
-            let entry = { row; count = 1; inserted_at = b.acts_total } in
-            if List.length b.entries < sampler_size then
-              b.entries <- entry :: b.entries
-            else begin
-              (* Sampler full: evict the oldest entry, losing its history.
-                 With more distinct aggressors than sampler entries, no row
-                 ever accumulates a meaningful count. *)
-              let oldest =
-                List.fold_left
-                  (fun acc e -> if e.inserted_at < acc.inserted_at then e else acc)
-                  (List.hd b.entries) b.entries
-              in
-              b.entries <-
-                entry :: List.filter (fun e -> e != oldest) b.entries
-            end)
-        end;
-        b.acts_since_ref <- b.acts_since_ref + 1;
-        if b.acts_since_ref >= ref_interval_acts then begin
-          b.acts_since_ref <- 0;
-          (* REF-time mitigation: refresh neighbours of the hottest entry. *)
-          match b.entries with
-          | [] -> ()
-          | e :: rest ->
-              let hottest =
-                List.fold_left (fun acc e -> if e.count > acc.count then e else acc) e rest
-              in
-              b.entries <- List.filter (fun e -> e != hottest) b.entries;
-              refresh_neighbors t dram ~channel ~bank ~row:hottest.row
-        end
-      end);
-  t
-
-(* --- PARA ------------------------------------------------------------ *)
+let attach_trr ?(sampler_size = 4) ?(ref_interval_acts = 166)
+    ?(sample_window = 8) dram =
+  ok_or_invalid
+    (Registry.instantiate
+       ~params:
+         [
+           ("sampler_size", Registry.Int sampler_size);
+           ("ref_interval_acts", Registry.Int ref_interval_acts);
+           ("sample_window", Registry.Int sample_window);
+         ]
+       "trr" (Registry.ctx dram))
 
 let attach_para ?(p = 0.001) ~rng dram =
-  if p < 0.0 || p > 1.0 then invalid_arg "Mitigation.attach_para: p";
-  let t = { name = "PARA"; refreshes = 0; active = true } in
-  let geometry = Ptg_dram.Dram.geometry dram in
-  Ptg_dram.Dram.on_activate dram (fun c ->
-      if t.active then
-        List.iter
-          (fun r ->
-            if Ptg_util.Rng.bernoulli rng p then begin
-              Ptg_dram.Dram.refresh_row dram ~channel:c.Ptg_dram.Geometry.channel
-                ~bank:c.Ptg_dram.Geometry.bank ~row:r;
-              t.refreshes <- t.refreshes + 1
-            end)
-          (Ptg_dram.Geometry.row_neighbors geometry c.Ptg_dram.Geometry.row
-             ~distance:1));
-  t
-
-(* --- Graphene -------------------------------------------------------- *)
-
-type graphene_bank = {
-  counts : (int, int) Hashtbl.t; (* Misra-Gries estimated counts *)
-  mutable spillover : int;
-}
+  ok_or_invalid
+    (Registry.instantiate
+       ~params:[ ("p", Registry.Float p) ]
+       "para"
+       (Registry.ctx ~rng dram))
 
 let attach_graphene ?(counters = 128) ?(threshold = 2500) dram =
-  if counters < 1 || threshold < 1 then invalid_arg "Mitigation.attach_graphene";
-  let t = { name = "Graphene"; refreshes = 0; active = true } in
-  let banks : (int * int, graphene_bank) Hashtbl.t = Hashtbl.create 32 in
-  let bank_state channel bank =
-    let key = (channel, bank) in
-    match Hashtbl.find_opt banks key with
-    | Some b -> b
-    | None ->
-        let b = { counts = Hashtbl.create counters; spillover = 0 } in
-        Hashtbl.replace banks key b;
-        b
-  in
-  Ptg_dram.Dram.on_activate dram (fun c ->
-      if t.active then begin
-        let channel = c.Ptg_dram.Geometry.channel
-        and bank = c.Ptg_dram.Geometry.bank
-        and row = c.Ptg_dram.Geometry.row in
-        let b = bank_state channel bank in
-        (match Hashtbl.find_opt b.counts row with
-        | Some n -> Hashtbl.replace b.counts row (n + 1)
-        | None ->
-            if Hashtbl.length b.counts < counters then Hashtbl.replace b.counts row 1
-            else begin
-              (* Misra-Gries decrement step: no entry is ever silently
-                 undercounted by more than the spillover. *)
-              b.spillover <- b.spillover + 1;
-              let doomed =
-                Hashtbl.fold
-                  (fun r n acc -> if n <= 1 then r :: acc else acc)
-                  b.counts []
-              in
-              if doomed = [] then begin
-                let all = Hashtbl.fold (fun r n acc -> (r, n) :: acc) b.counts [] in
-                List.iter (fun (r, n) -> Hashtbl.replace b.counts r (n - 1)) all
-              end
-              else List.iter (Hashtbl.remove b.counts) doomed;
-              Hashtbl.replace b.counts row 1
-            end);
-        match Hashtbl.find_opt b.counts row with
-        | Some n when n >= threshold ->
-            Hashtbl.replace b.counts row 0;
-            refresh_neighbors t dram ~channel ~bank ~row
-        | _ -> ()
-      end);
-  t
-
-(* --- SoftTRR ---------------------------------------------------------- *)
+  ok_or_invalid
+    (Registry.instantiate
+       ~params:
+         [
+           ("counters", Registry.Int counters);
+           ("threshold", Registry.Int threshold);
+         ]
+       "graphene" (Registry.ctx dram))
 
 let attach_soft_trr ?(threshold = 2500) ~pt_row dram =
-  if threshold < 1 then invalid_arg "Mitigation.attach_soft_trr: threshold";
-  let t = { name = "SoftTRR"; refreshes = 0; active = true } in
-  let geometry = Ptg_dram.Dram.geometry dram in
-  (* aggressor (channel, bank, row) -> activations seen since the guarded
-     PT row was last refreshed *)
-  let counts : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
-  Ptg_dram.Dram.on_activate dram (fun c ->
-      if t.active then begin
-        let channel = c.Ptg_dram.Geometry.channel
-        and bank = c.Ptg_dram.Geometry.bank
-        and row = c.Ptg_dram.Geometry.row in
-        (* Software visibility: only the attacker's activations adjacent
-           to a page-table row register. *)
-        let guarded_neighbors =
-          List.filter
-            (fun r -> pt_row ~channel ~bank ~row:r)
-            (Ptg_dram.Geometry.row_neighbors geometry row ~distance:1)
-        in
-        if guarded_neighbors <> [] then begin
-          let key = (channel, bank, row) in
-          let n = 1 + Option.value ~default:0 (Hashtbl.find_opt counts key) in
-          if n >= threshold then begin
-            Hashtbl.remove counts key;
-            (* Refresh the page-table rows this aggressor endangers (a
-               kernel read of the PT page re-writes the row). *)
-            List.iter
-              (fun r ->
-                Ptg_dram.Dram.refresh_row dram ~channel ~bank ~row:r;
-                t.refreshes <- t.refreshes + 1)
-              guarded_neighbors
-          end
-          else Hashtbl.replace counts key n
-        end
-      end);
-  t
+  ok_or_invalid
+    (Registry.instantiate
+       ~params:[ ("threshold", Registry.Int threshold) ]
+       "soft-trr"
+       (Registry.ctx ~pt_row dram))

@@ -20,9 +20,14 @@
       provisioned for a known RTH.
     - {b Graphene}: a Misra-Gries frequent-item counter — never misses a
       row that exceeds the threshold, but the threshold is fixed at design
-      time; a module with lower RTH than provisioned still flips. *)
+      time; a module with lower RTH than provisioned still flips.
 
-type t
+    Since the registry landed ({!Registry}), these [attach_*] entry
+    points are thin wrappers over {!Registry.instantiate} with the
+    historical defaults and [Invalid_argument] messages; they are kept
+    as differential oracles for the registry path. *)
+
+type t = Registry.instance
 
 val name : t -> string
 val refreshes_issued : t -> int

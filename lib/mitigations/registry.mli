@@ -1,0 +1,111 @@
+(** Named mitigation plugins with typed parameter schemas.
+
+    The registry is the extensibility point ramulator2 gets from its
+    [IControllerPlugin] implementations: a defense registers once, by
+    name, with a schema of typed parameters (ints, floats, booleans,
+    each with a default), and every front-end — the CLI's
+    [trace replay --mitigation], the server's [kind:"trace"] scenarios,
+    and the programmatic {!Mitigation.attach_trr}-style wrappers —
+    instantiates it through the same validated path. Unknown plugin
+    names, unknown parameter keys and type mismatches are rejected with
+    messages that name the valid alternatives.
+
+    Built-ins registered at load time: [trr], [para], [soft-trr],
+    [graphene] (see {!Mitigation} for their semantics). *)
+
+type instance
+(** A live mitigation subscribed to a DRAM device. [Mitigation.t] is an
+    alias of this type; use {!Mitigation.name},
+    {!Mitigation.refreshes_issued} and {!Mitigation.detach} (re-exported
+    below) to interact with one. *)
+
+val instance_name : instance -> string
+val refreshes_issued : instance -> int
+val detach : instance -> unit
+
+(** {1 Typed parameters} *)
+
+type value = Int of int | Float of float | Bool of bool
+
+val value_to_string : value -> string
+(** Canonical rendering: decimal ints, [%.17g] floats, [true]/[false]. *)
+
+val value_of_string : like:value -> string -> (value, string) result
+(** Parse a CLI token with the type carried by [like] (a parameter's
+    default). Rejects non-finite floats. *)
+
+type param = {
+  key : string;
+  doc : string;
+  default : value;  (** also fixes the parameter's type *)
+}
+
+(** {1 Instantiation context}
+
+    What a plugin may need beyond the DRAM device itself. Plugins state
+    their requirements by failing instantiation with a descriptive
+    error when a needed capability is absent. *)
+
+type ctx = {
+  dram : Ptg_dram.Dram.t;
+  rng : Ptg_util.Rng.t option;
+      (** randomized defenses (PARA) refuse to instantiate without one *)
+  pt_row : (channel:int -> bank:int -> row:int -> bool) option;
+      (** page-table-row oracle; required by [soft-trr] *)
+}
+
+val ctx :
+  ?rng:Ptg_util.Rng.t ->
+  ?pt_row:(channel:int -> bank:int -> row:int -> bool) ->
+  Ptg_dram.Dram.t ->
+  ctx
+
+(** {1 Registration and lookup} *)
+
+val register :
+  name:string ->
+  doc:string ->
+  params:param list ->
+  ((string -> value) -> ctx -> instance) ->
+  unit
+(** [register ~name ~doc ~params build] adds a plugin. [build get ctx]
+    receives a resolver [get] that returns the validated value of each
+    declared parameter (override or default). Raises [Invalid_argument]
+    on a duplicate name or a duplicate parameter key. *)
+
+val names : unit -> string list
+(** Registered plugin names, in registration order (built-ins first). *)
+
+val doc : string -> string option
+val params : string -> param list option
+
+val resolved_params : string -> (string * value) list -> (string * value) list option
+(** [resolved_params name overrides] is the full parameter set of
+    [name] — defaults overlaid with [overrides], sorted by key — or
+    [None] for an unknown plugin. Unknown override keys are ignored
+    here; use {!check_params} first. *)
+
+val check_params : string -> (string * value) list -> (unit, string) result
+(** Validate override keys and types against [name]'s schema without
+    instantiating (the server does this during scenario validation). *)
+
+val instantiate :
+  ?params:(string * value) list -> string -> ctx -> (instance, string) result
+(** Look up by name, validate the overrides, and build. All failure
+    modes — unknown plugin, unknown key, type mismatch, out-of-range
+    value, missing context capability — come back as [Error msg]. *)
+
+(** {1 CLI spec syntax}
+
+    [NAME] or [NAME:key=value,key=value] — e.g. [para:p=0.002]. *)
+
+val parse_spec : string -> (string * (string * value) list, string) result
+(** Split and type-check a spec string against the named plugin's
+    schema. *)
+
+val of_spec : string -> ctx -> (instance, string) result
+(** [parse_spec] followed by {!instantiate}. *)
+
+val spec_help : unit -> string
+(** One line per plugin: name, parameters with defaults, and doc — for
+    CLI error messages and [--help] text. *)

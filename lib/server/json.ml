@@ -137,9 +137,17 @@ let parse_number c =
     && text.[int_start] = '0'
     && (match text.[int_start + 1] with '0' .. '9' -> true | _ -> false)
   then fail start "leading zero in number";
+  (* Overflowed literals ("1e999", a 400-digit integer) parse to
+     [infinity], which the emitter could never have produced and which
+     would round-trip as the invalid token "inf" — reject them here so a
+     non-finite float can never enter through the codec. *)
+  let finite_or_fail f =
+    if Float.is_finite f then Float f
+    else fail start "number overflows a finite float"
+  in
   if !is_float then
     match float_of_string_opt text with
-    | Some f -> Float f
+    | Some f -> finite_or_fail f
     | None -> fail start "invalid number"
   else
     match Int64.of_string_opt text with
@@ -147,7 +155,7 @@ let parse_number c =
     | None -> (
         (* Out of int64 range: degrade to float rather than reject. *)
         match float_of_string_opt text with
-        | Some f -> Float f
+        | Some f -> finite_or_fail f
         | None -> fail start "invalid number")
 
 let rec parse_value c =
@@ -225,6 +233,12 @@ let rec write buf = function
   | Bool b -> Buffer.add_string buf (string_of_bool b)
   | Int i -> Buffer.add_string buf (Int64.to_string i)
   | Float f ->
+      (* JSON has no encoding for nan/inf: %.17g would print the tokens
+         "nan"/"inf", which our own parser (and every real client)
+         rejects. Fail at the emit boundary instead of shipping an
+         unparseable frame. *)
+      if not (Float.is_finite f) then
+        invalid_arg (Printf.sprintf "Json.to_string: non-finite float %h" f);
       (* %.17g round-trips every float; trim is not worth the bytes here. *)
       Buffer.add_string buf (Printf.sprintf "%.17g" f)
   | String s ->

@@ -18,10 +18,15 @@ type t =
 
 val parse : string -> (t, string) result
 (** Parse one JSON value (surrounding whitespace allowed; trailing
-    garbage rejected). Errors carry a byte offset. *)
+    garbage rejected). Errors carry a byte offset. Number literals that
+    overflow to a non-finite float (["1e999"]) are rejected: a
+    non-finite value cannot re-serialize as valid JSON. *)
 
 val to_string : t -> string
-(** Compact rendering, no whitespace, field order preserved. *)
+(** Compact rendering, no whitespace, field order preserved. Raises
+    [Invalid_argument] on a non-finite [Float] — JSON has no encoding
+    for nan/inf, and emitting the bare tokens would produce a frame
+    {!parse} itself rejects. *)
 
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] on missing field or non-object. *)

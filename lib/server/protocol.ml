@@ -49,13 +49,27 @@ let scenario_to_json (s : Scenario.t) =
   Option.iter (fun p -> add "processes" (Json.Int (Int64.of_int p))) s.processes;
   Option.iter (fun l -> add "lines" (Json.Int (Int64.of_int l))) s.lines;
   Option.iter (fun m -> add "mixes" (Json.Int (Int64.of_int m))) s.mixes;
+  Option.iter (fun p -> add "trace" (Json.String p)) s.trace_path;
+  Option.iter (fun m -> add "mitigation" (Json.String m)) s.mitigation;
+  if s.mit_params <> [] then
+    add "params"
+      (Json.Obj
+         (List.map
+            (fun (key, v) ->
+              ( key,
+                match v with
+                | Ptg_mitigations.Registry.Int i -> Json.Int (Int64.of_int i)
+                | Ptg_mitigations.Registry.Float f -> Json.Float f
+                | Ptg_mitigations.Registry.Bool b -> Json.Bool b ))
+            s.mit_params));
   if s.jobs <> 1 then add "jobs" (Json.Int (Int64.of_int s.jobs));
   Json.Obj (List.rev !fields)
 
 let scenario_fields =
   [
     "kind"; "seed"; "seeds"; "reduced"; "design"; "mac_latency"; "workloads";
-    "instrs"; "warmup"; "processes"; "lines"; "mixes"; "jobs";
+    "instrs"; "warmup"; "processes"; "lines"; "mixes"; "trace"; "mitigation";
+    "params"; "jobs";
   ]
 
 let ( let* ) = Result.bind
@@ -147,9 +161,40 @@ let scenario_of_json json =
       let* lines = opt_field json "lines" as_int in
       let* mixes = opt_field json "mixes" as_int in
       let* jobs = opt_field json "jobs" as_int in
+      let* trace = opt_field json "trace" as_string in
+      let* mitigation = opt_field json "mitigation" as_string in
+      let* mit_params =
+        match Json.member "params" json with
+        | None -> Ok None
+        | Some (Json.Obj fields) ->
+            let* params =
+              List.fold_left
+                (fun acc (key, v) ->
+                  let* acc = acc in
+                  let* value =
+                    match v with
+                    | Json.Int i ->
+                        if i > Int64.of_int max_int || i < Int64.of_int min_int
+                        then Error (Printf.sprintf "params.%s out of range" key)
+                        else
+                          Ok (Ptg_mitigations.Registry.Int (Int64.to_int i))
+                    | Json.Float f -> Ok (Ptg_mitigations.Registry.Float f)
+                    | Json.Bool b -> Ok (Ptg_mitigations.Registry.Bool b)
+                    | _ ->
+                        Error
+                          (Printf.sprintf
+                             "params.%s must be a number or boolean" key)
+                  in
+                  Ok ((key, value) :: acc))
+                (Ok []) fields
+            in
+            Ok (Some (List.rev params))
+        | Some _ -> Error "params must be an object"
+      in
       let scenario =
         Scenario.make ?seed ?seeds ?reduced ?design ?mac_latency ?workloads
-          ?instrs ?warmup ?processes ?lines ?mixes ?jobs kind
+          ?instrs ?warmup ?processes ?lines ?mixes ?trace ?mitigation
+          ?mit_params ?jobs kind
       in
       let* () = Scenario.validate scenario in
       Ok scenario

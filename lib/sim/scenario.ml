@@ -1,6 +1,6 @@
-type kind = Fig6 | Fig7 | Fig8 | Fig9 | Multicore
+type kind = Fig6 | Fig7 | Fig8 | Fig9 | Multicore | Trace
 
-let kinds = [ Fig6; Fig7; Fig8; Fig9; Multicore ]
+let kinds = [ Fig6; Fig7; Fig8; Fig9; Multicore; Trace ]
 
 let kind_name = function
   | Fig6 -> "fig6"
@@ -8,6 +8,7 @@ let kind_name = function
   | Fig8 -> "fig8"
   | Fig9 -> "fig9"
   | Multicore -> "multicore"
+  | Trace -> "trace"
 
 let kind_names = List.map kind_name kinds
 
@@ -27,12 +28,16 @@ type t = {
   processes : int option;
   lines : int option;
   mixes : int option;
+  trace_path : string option;
+  mitigation : string option;
+  mit_params : (string * Ptg_mitigations.Registry.value) list;
   jobs : int;
 }
 
 let make ?(seed = 42L) ?(seeds = 1) ?(reduced = false)
     ?(design = Ptguard.Config.Baseline) ?mac_latency ?workloads ?instrs ?warmup
-    ?processes ?lines ?mixes ?(jobs = 1) kind =
+    ?processes ?lines ?mixes ?trace ?mitigation ?(mit_params = []) ?(jobs = 1)
+    kind =
   {
     kind;
     seed;
@@ -46,6 +51,9 @@ let make ?(seed = 42L) ?(seeds = 1) ?(reduced = false)
     processes;
     lines;
     mixes;
+    trace_path = trace;
+    mitigation;
+    mit_params;
     jobs;
   }
 
@@ -78,7 +86,7 @@ let resolve_instrs t =
   | None, Fig7, true -> 250_000
   | None, Multicore, false -> 400_000
   | None, Multicore, true -> 120_000
-  | None, (Fig8 | Fig9), _ -> 0
+  | None, (Fig8 | Fig9 | Trace), _ -> 0
 
 let resolve_warmup t =
   match (t.warmup, t.kind, t.reduced) with
@@ -87,7 +95,7 @@ let resolve_warmup t =
   | None, Fig6, true -> 200_000
   | None, Fig7, false -> 300_000
   | None, Fig7, true -> 100_000
-  | None, (Fig8 | Fig9 | Multicore), _ -> 0
+  | None, (Fig8 | Fig9 | Multicore | Trace), _ -> 0
 
 let resolve_mac_latency t =
   match t.mac_latency with
@@ -167,6 +175,32 @@ let validate t =
                      (String.concat ", " Ptg_workloads.Workload.names)))
           (Ok ()) names
   in
+  let* () =
+    match (t.kind, t.trace_path) with
+    | Trace, None -> Error "trace scenarios require a trace file"
+    | Trace, Some path ->
+        if Sys.file_exists path && not (Sys.is_directory path) then Ok ()
+        else Error (Printf.sprintf "trace file %s does not exist" path)
+    | _, Some _ ->
+        Error
+          (Printf.sprintf "trace is only valid for kind trace, not %s"
+             (kind_name t.kind))
+    | _, None -> Ok ()
+  in
+  let* () =
+    match (t.kind, t.mitigation) with
+    | Trace, Some name -> Ptg_mitigations.Registry.check_params name t.mit_params
+    | Trace, None ->
+        if t.mit_params = [] then Ok ()
+        else Error "params require a mitigation"
+    | _, Some _ ->
+        Error
+          (Printf.sprintf "mitigation is only valid for kind trace, not %s"
+             (kind_name t.kind))
+    | _, None ->
+        if t.mit_params = [] then Ok ()
+        else Error "params are only valid for kind trace"
+  in
   Ok ()
 
 let check t =
@@ -177,6 +211,29 @@ let check t =
 (* ------------------------------------------------------------------ *)
 (* Canonical form and content hash                                     *)
 (* ------------------------------------------------------------------ *)
+
+(* FNV-1a, 64-bit: tiny, dependency-free, and stable across runs and
+   platforms — exactly what a cache key and a trace payload need. Not
+   adversarially collision-resistant; the cache is an optimization, not a
+   security boundary (and a collision only ever returns another
+   deterministic experiment report). *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+(* Trace scenarios cache by what the trace *contains*, not where it
+   lives: two paths with identical bytes share a cache entry, and
+   rewriting a file under a cached path misses instead of serving stale
+   results. *)
+let trace_content_hash path =
+  Printf.sprintf "%016Lx"
+    (fnv1a64 (In_channel.with_open_bin path In_channel.input_all))
 
 let canonical t =
   check t;
@@ -240,24 +297,30 @@ let canonical t =
       int_field "instrs" (resolve_instrs t);
       str_field "kind" "multicore";
       int_field "mixes" (resolve_mixes t);
-      seed_field ());
+      seed_field ()
+  | Trace ->
+      str_field "kind" "trace";
+      (match t.mitigation with
+      | None -> ()
+      | Some name ->
+          str_field "mitigation" name;
+          field "params" (fun () ->
+              Buffer.add_char buf '{';
+              List.iteri
+                (fun i (key, v) ->
+                  if i > 0 then Buffer.add_char buf ',';
+                  Buffer.add_char buf '"';
+                  Buffer.add_string buf (Ptg_obs.Registry.json_escape key);
+                  Buffer.add_string buf "\":";
+                  Buffer.add_string buf
+                    (Ptg_mitigations.Registry.value_to_string v))
+                (Option.get
+                   (Ptg_mitigations.Registry.resolved_params name t.mit_params));
+              Buffer.add_char buf '}'));
+      seed_field ();
+      str_field "trace" (trace_content_hash (Option.get t.trace_path)));
   Buffer.add_char buf '}';
   Buffer.contents buf
-
-(* FNV-1a, 64-bit: tiny, dependency-free, and stable across runs and
-   platforms — exactly what a cache key and a trace payload need. Not
-   adversarially collision-resistant; the cache is an optimization, not a
-   security boundary (and a collision only ever returns another
-   deterministic experiment report). *)
-let fnv1a64 s =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h prime)
-    s;
-  !h
 
 let hash64 t = fnv1a64 (canonical t)
 let hash t = Printf.sprintf "%016Lx" (hash64 t)
@@ -274,6 +337,7 @@ type output =
   | Fig9_out of Fig9.result
   | Fig9_multi_out of Fig9.multi
   | Multicore_out of Multicore_exp.result
+  | Trace_out of { mitigation : string option; result : Mem_trace.replay_result }
 
 let run ?obs t =
   check t;
@@ -315,6 +379,14 @@ let run ?obs t =
       Multicore_out
         (Multicore_exp.run ~jobs ~seed:t.seed
            ~instrs_per_core:(resolve_instrs t) ~mixes:(resolve_mixes t) ?obs ())
+  | Trace -> (
+      let trace = Mem_trace.load ~path:(Option.get t.trace_path) in
+      match
+        Mem_trace.replay ?mitigation:t.mitigation ~params:t.mit_params
+          ~seed:t.seed trace
+      with
+      | Ok result -> Trace_out { mitigation = t.mitigation; result }
+      | Error msg -> invalid_arg ("Scenario: " ^ msg))
 
 let render = function
   | Fig6_out r -> Fig6.to_string r
@@ -324,6 +396,8 @@ let render = function
   | Fig9_out r -> Fig9.to_string r
   | Fig9_multi_out m -> Fig9.multi_to_string m
   | Multicore_out r -> Multicore_exp.to_string r
+  | Trace_out { mitigation; result } ->
+      Mem_trace.render_result ?mitigation result
 
 let run_to_string ?obs t = render (run ?obs t)
 
@@ -334,4 +408,4 @@ let save_csv out ~path =
   | Fig8_out r -> Fig8.to_csv r ~path
   | Fig9_out r -> Fig9.to_csv r ~path
   | Multicore_out r -> Multicore_exp.to_csv r ~path
-  | Fig6_multi_out _ | Fig9_multi_out _ -> ()
+  | Fig6_multi_out _ | Fig9_multi_out _ | Trace_out _ -> ()

@@ -17,7 +17,7 @@
     cache key. Because every experiment is deterministic given its
     canonical form, a cache hit is byte-identical to a re-run. *)
 
-type kind = Fig6 | Fig7 | Fig8 | Fig9 | Multicore
+type kind = Fig6 | Fig7 | Fig8 | Fig9 | Multicore | Trace
 
 val kinds : kind list
 val kind_name : kind -> string
@@ -43,6 +43,10 @@ type t = {
   processes : int option;       (** Fig8 *)
   lines : int option;           (** Fig9 lines per (workload, p_flip) point *)
   mixes : int option;           (** Multicore *)
+  trace_path : string option;   (** Trace only: path to the trace file *)
+  mitigation : string option;   (** Trace only: a {!Ptg_mitigations.Registry} name *)
+  mit_params : (string * Ptg_mitigations.Registry.value) list;
+      (** Trace only: overrides for the mitigation's declared defaults *)
   jobs : int;  (** execution hint: worker domains inside the experiment *)
 }
 
@@ -58,6 +62,9 @@ val make :
   ?processes:int ->
   ?lines:int ->
   ?mixes:int ->
+  ?trace:string ->
+  ?mitigation:string ->
+  ?mit_params:(string * Ptg_mitigations.Registry.value) list ->
   ?jobs:int ->
   kind ->
   t
@@ -67,11 +74,18 @@ val make :
 
 val validate : t -> (unit, string) result
 (** Semantic checks beyond typing: known workload names, positive sizes,
-    [seeds > 1] only for the kinds with a multi-seed sweep (Fig6/Fig9). *)
+    [seeds > 1] only for the kinds with a multi-seed sweep (Fig6/Fig9);
+    for [Trace], an existing trace file, a registered mitigation name
+    and schema-valid parameter overrides. *)
 
 val canonical : t -> string
 (** Single-line JSON, sorted keys, defaults resolved, kind-relevant
-    fields only. Raises [Invalid_argument] when {!validate} rejects. *)
+    fields only. Raises [Invalid_argument] when {!validate} rejects.
+    For [Trace], the [trace] field is {!trace_content_hash} of the file
+    — the cache key follows content, not path. *)
+
+val trace_content_hash : string -> string
+(** FNV-1a (64-bit, 16 hex digits) of a file's bytes. *)
 
 val hash64 : t -> int64
 (** FNV-1a (64-bit) of {!canonical}. *)
@@ -87,6 +101,7 @@ type output =
   | Fig9_out of Fig9.result
   | Fig9_multi_out of Fig9.multi
   | Multicore_out of Multicore_exp.result
+  | Trace_out of { mitigation : string option; result : Mem_trace.replay_result }
 
 val run : ?obs:Ptg_obs.Sink.t -> t -> output
 (** Execute the scenario (raising [Invalid_argument] when {!validate}

@@ -27,7 +27,21 @@ let histogram t =
     t.line_indices;
   h
 
+(* Shared with Mem_trace: a workload name is a single non-empty header
+   line in both text formats, so a newline inside it would silently
+   shear the tail of the name into the data section (where it parses as
+   garbage — or worse, as a valid record). *)
+let validate_name ~context name =
+  if name = "" then invalid_arg (Printf.sprintf "%s: empty workload name" context);
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\r' then
+        invalid_arg
+          (Printf.sprintf "%s: workload name %S contains a newline" context name))
+    name
+
 let save t ~path =
+  validate_name ~context:"Walk_trace.save" t.workload;
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

@@ -30,7 +30,14 @@ val histogram : t -> (int, int) Hashtbl.t
 (** line index -> access count. *)
 
 val save : t -> path:string -> unit
-(** One decimal index per line, preceded by a [# workload] header. *)
+(** One decimal index per line, preceded by a [# workload] header.
+    Raises [Invalid_argument] if the workload name is empty or contains
+    a newline (it could not round-trip through the one-line header). *)
+
+val validate_name : context:string -> string -> unit
+(** The header-name rule shared by the trace formats ({!save} and
+    [Mem_trace]): non-empty, no [\n]/[\r]. Raises [Invalid_argument]
+    prefixed with [context] on violation. *)
 
 val load : path:string -> t
 (** Inverse of {!save}. Blank lines are skipped; a missing header or a

@@ -85,7 +85,13 @@ let leaf_entry_addr t ~create_missing vaddr =
 let map t ~vaddr ~pte =
   match leaf_entry_addr t ~create_missing:true vaddr with
   | Some addr -> t.mem.Phys_mem.write_word addr pte
-  | None -> assert false
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Page_table.map: could not materialise the walk for vaddr 0x%Lx \
+            (an intermediate entry reads back non-present: corrupted or \
+            tampered page-table memory)"
+           vaddr)
 
 let map_huge t ~vaddr ~pde =
   if Int64.rem (Ptg_pte.X86.pfn pde) 512L <> 0L then
@@ -97,7 +103,14 @@ let map_huge t ~vaddr ~pde =
     else
       match descend t ~create_missing:true table level vaddr with
       | Some child -> go child (Option.get (next_level level))
-      | None -> assert false
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Page_table.map_huge: could not materialise the walk for \
+                vaddr 0x%Lx at %s (an intermediate entry reads back \
+                non-present: corrupted or tampered page-table memory)"
+               vaddr
+               (Format.asprintf "%a" pp_level level))
   in
   go t.root Pml4
 

@@ -12,6 +12,11 @@
 #   6. crypto tier alone (dune build @crypto) — the batched-QARMA
 #      differential oracle, golden vectors and Block128 algebra, also
 #      part of runtest but addressable for quick cipher iteration
+#   6b. trace tier alone (dune build @trace) — registry conformance +
+#      memory-trace formats, also part of runtest but addressable
+#   6c. grep gate: the plugin names registered in
+#      lib/mitigations/registry.ml and the plugin table documented in
+#      README.md must stay in sync
 #   7. Figure 6 wall-time regression gate (scripts/check_bench_fig6.sh)
 #   8. full-system regression gate (scripts/check_bench_fullsys.sh):
 #      real-crypto co-simulation + batched multicore verification wall
@@ -48,6 +53,24 @@ echo "OK: lib/server swallows no exception silently"
 
 echo "== crypto tier (dune build @crypto) =="
 dune build @crypto
+
+echo "== trace tier (dune build @trace) =="
+dune build @trace
+
+echo "== registry plugins documented in README =="
+registered=$(sed -n 's/.*register ~name:"\([^"]*\)".*/\1/p' lib/mitigations/registry.ml | sort)
+documented=$(sed -n 's/^| `\([a-z-]*\)` *|.*=.*|.*|$/\1/p' README.md | sort)
+if [ -z "$registered" ]; then
+    echo "FAIL: no plugin registrations found in lib/mitigations/registry.ml" >&2
+    exit 1
+fi
+if [ "$registered" != "$documented" ]; then
+    echo "FAIL: registry plugins and README plugin table out of sync" >&2
+    echo "  registered: $(echo $registered)" >&2
+    echo "  documented: $(echo $documented)" >&2
+    exit 1
+fi
+echo "OK: registry plugins match the README table ($(echo $registered))"
 
 echo "== Figure 6 regression gate =="
 scripts/check_bench_fig6.sh

@@ -274,6 +274,115 @@ let test_loadgen_report () =
         (String.length rendered > 0
         && rendered.[String.length rendered - 1] = '\n'))
 
+(* A trace scenario served end to end: the first request computes the
+   replay, the second hits the cache, and the key is content-addressed —
+   the same trace bytes at a different path still hit. *)
+let test_trace_scenario_served () =
+  let write_trace path contents =
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc contents)
+  in
+  let trace_contents =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "# demo\n";
+    for i = 0 to 499 do
+      Buffer.add_string buf
+        (Printf.sprintf "0x%x %c %d\n"
+           (0x48000000 + (i mod 7 * 0x40))
+           (if i mod 3 = 0 then 'W' else 'R')
+           i)
+    done;
+    Buffer.contents buf
+  in
+  let trace_path = Filename.temp_file "ptg_e2e_trace_" ".txt" in
+  let copy_path = Filename.temp_file "ptg_e2e_copy_" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove trace_path;
+      Sys.remove copy_path)
+    (fun () ->
+      write_trace trace_path trace_contents;
+      write_trace copy_path trace_contents;
+      let scenario = Scenario.make ~trace:trace_path ~mitigation:"trr" Scenario.Trace in
+      let config = base_config () in
+      with_server config (fun server ->
+          let addr = Server.listen_addr server in
+          with_client addr (fun c ->
+              let once s =
+                match Client.run c s with
+                | Ok (Protocol.Result { cache; hash; result }) ->
+                    (cache, hash, result)
+                | Ok _ -> Alcotest.fail "unexpected frame"
+                | Error e -> Alcotest.fail e
+              in
+              let c1, h1, r1 = once scenario in
+              let c2, h2, r2 = once scenario in
+              Alcotest.(check bool) "first is a miss" true (c1 = Protocol.Miss);
+              Alcotest.(check bool) "second is a hit" true (c2 = Protocol.Hit);
+              Alcotest.(check string) "hit bytes identical" r1 r2;
+              Alcotest.(check string) "hash is the scenario content hash"
+                (Scenario.hash scenario) h1;
+              Alcotest.(check string) "hash stable across hit" h1 h2;
+              Alcotest.(check string)
+                "served bytes are exactly the replay rendering"
+                (Scenario.run_to_string scenario) r1;
+              (* Identical bytes at a different path share the entry. *)
+              let c3, h3, r3 =
+                once (Scenario.make ~trace:copy_path ~mitigation:"trr" Scenario.Trace)
+              in
+              Alcotest.(check bool) "content-addressed key: still a hit" true
+                (c3 = Protocol.Hit);
+              Alcotest.(check string) "same key" h1 h3;
+              Alcotest.(check string) "same bytes" r1 r3);
+          Alcotest.(check int) "one underlying computation" 1
+            (stat server "cache_misses")))
+
+(* Trace scenarios that cannot run come back as error frames — both the
+   validation failure (decode time) and the capability failure (compute
+   time, the replaced-assert path) — and the connection survives. *)
+let test_trace_scenario_error_frames () =
+  let trace_path = Filename.temp_file "ptg_e2e_err_" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove trace_path)
+    (fun () ->
+      Out_channel.with_open_bin trace_path (fun oc ->
+          Out_channel.output_string oc "# demo\n0x48000000 R 0\n");
+      let contains sub s =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      let config = base_config () in
+      with_server config (fun server ->
+          let addr = Server.listen_addr server in
+          with_client addr (fun c ->
+              let expect_error what scenario needle =
+                match Client.run c scenario with
+                | Ok (Protocol.Error_reply msg) ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s: error names the cause (got %S)" what
+                         msg)
+                      true (contains needle msg)
+                | Ok _ -> Alcotest.failf "%s: expected an error frame" what
+                | Error e -> Alcotest.fail e
+              in
+              expect_error "nonexistent trace file"
+                (Scenario.make ~trace:"/nonexistent/ptg_trace.txt"
+                   Scenario.Trace)
+                "does not exist";
+              expect_error "soft-trr without its pt_row oracle"
+                (Scenario.make ~trace:trace_path ~mitigation:"soft-trr"
+                   Scenario.Trace)
+                "oracle";
+              (* The connection is still usable. *)
+              match Client.request c Protocol.Ping with
+              | Ok Protocol.Pong -> ()
+              | _ -> Alcotest.fail "ping after trace error frames");
+          Alcotest.(check bool) "errors counted" true
+            (stat server "errors" >= 1)))
+
 let test_unix_socket_lifecycle () =
   let path = Filename.temp_file "ptg_sock_" ".sock" in
   (* start replaces the stale file left by temp_file. *)
@@ -304,6 +413,10 @@ let suite =
     Alcotest.test_case "error frames keep the connection" `Quick
       test_protocol_error_frames;
     Alcotest.test_case "loadgen report" `Slow test_loadgen_report;
+    Alcotest.test_case "trace scenario served with content-addressed cache"
+      `Quick test_trace_scenario_served;
+    Alcotest.test_case "trace scenario error frames" `Quick
+      test_trace_scenario_error_frames;
     Alcotest.test_case "unix socket lifecycle" `Quick
       test_unix_socket_lifecycle;
   ]

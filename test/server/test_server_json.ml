@@ -67,6 +67,58 @@ let test_roundtrip () =
     s
     (Json.to_string (parse_ok s))
 
+(* Regression for the non-finite hole: [to_string (Float nan)] used to
+   print the bare token "nan" (invalid JSON the parser itself rejects),
+   and "1e999" used to parse to [Float infinity], which could then never
+   re-serialize. Both directions must reject. *)
+let test_non_finite_rejected () =
+  List.iter
+    (fun f ->
+      match Json.to_string (Json.Float f) with
+      | s -> Alcotest.failf "emitted %S for non-finite %h" s f
+      | exception Invalid_argument _ -> ())
+    [ nan; infinity; neg_infinity ];
+  (* Non-finite inside a container must not slip through either. *)
+  (match Json.to_string (Json.Obj [ ("x", Json.Float nan) ]) with
+  | s -> Alcotest.failf "emitted %S for nested nan" s
+  | exception Invalid_argument _ -> ());
+  List.iter
+    (fun s ->
+      let e = parse_err s in
+      Alcotest.(check bool)
+        (Printf.sprintf "parse %S names finiteness (got %S)" s e)
+        true
+        (let sub = "finite" in
+         let n = String.length sub in
+         let rec go i =
+           i + n <= String.length e && (String.sub e i n = sub || go (i + 1))
+         in
+         go 0))
+    [ "1e999"; "-1e999"; "2e308"; String.make 400 '9' ]
+
+(* Any finite float round-trips exactly through %.17g; any non-finite
+   one is refused at the emit boundary. The generator forces the
+   non-finite corner cases in, so this property fails before the fix. *)
+let prop_float_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"floats: finite round-trip, non-finite rejected"
+    (QCheck.make
+       ~print:(Printf.sprintf "%h")
+       QCheck.Gen.(
+         frequency
+           [ (1, oneofl [ nan; infinity; neg_infinity ]); (5, float) ]))
+    (fun f ->
+      if Float.is_finite f then
+        match Json.parse (Json.to_string (Json.Float f)) with
+        | Ok (Json.Float g) -> g = f
+        | Ok (Json.Int i) ->
+            (* %.17g prints integral floats without a point ("3"). *)
+            Int64.to_float i = f
+        | _ -> false
+      else
+        match Json.to_string (Json.Float f) with
+        | _ -> false
+        | exception Invalid_argument _ -> true)
+
 let suite =
   [
     Alcotest.test_case "scalars" `Quick test_scalars;
@@ -74,4 +126,7 @@ let suite =
     Alcotest.test_case "containers and member access" `Quick test_containers;
     Alcotest.test_case "malformed inputs rejected" `Quick test_errors;
     Alcotest.test_case "print/parse round trip" `Quick test_roundtrip;
+    Alcotest.test_case "non-finite floats rejected both ways" `Quick
+      test_non_finite_rejected;
+    QCheck_alcotest.to_alcotest prop_float_roundtrip;
   ]

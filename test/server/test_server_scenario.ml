@@ -7,9 +7,15 @@ module Json = Ptg_server.Json
 module Protocol = Ptg_server.Protocol
 module Scenario = Ptg_sim.Scenario
 
+(* Trace scenarios need an on-disk trace file, so the generators draw
+   from the synthetic kinds only; trace canonicalization/caching has its
+   own tests (test_mem_trace.ml, test_server_e2e.ml). *)
+let synthetic_kinds =
+  List.filter (fun k -> k <> Scenario.Trace) Scenario.kinds
+
 let gen_scenario =
   let open QCheck2.Gen in
-  oneofl Scenario.kinds >>= fun kind ->
+  oneofl synthetic_kinds >>= fun kind ->
   map2
     (fun (seed, seeds, reduced, jobs) (design, mac_latency, workloads, size) ->
       let multi_ok = kind = Scenario.Fig6 || kind = Scenario.Fig9 in
@@ -79,7 +85,7 @@ let prop_jobs_excluded =
 let prop_defaults_resolved =
   QCheck2.Test.make
     ~name:"explicit default values hash like omitted ones" ~count:100
-    QCheck2.Gen.(oneofl Scenario.kinds)
+    QCheck2.Gen.(oneofl synthetic_kinds)
     (fun kind ->
       let omitted = Scenario.make kind in
       let explicit =
@@ -92,6 +98,7 @@ let prop_defaults_resolved =
         | Scenario.Fig8 -> Scenario.make ~processes:623 kind
         | Scenario.Fig9 -> Scenario.make ~lines:300 kind
         | Scenario.Multicore -> Scenario.make ~instrs:400_000 ~mixes:16 kind
+        | Scenario.Trace -> assert false (* not in synthetic_kinds *)
       in
       Scenario.hash explicit = Scenario.hash omitted)
 
@@ -102,7 +109,7 @@ let test_golden_distinct () =
     List.concat_map
       (fun kind ->
         [ Scenario.make kind; Scenario.make ~reduced:true kind ])
-      Scenario.kinds
+      synthetic_kinds
     @ List.init 20 (fun i ->
           Scenario.make ~seed:(Int64.of_int i) Scenario.Fig6)
     @ [

@@ -100,6 +100,88 @@ let test_validation_exit_codes () =
   (* The router needs at least one shard. *)
   check_exit2 "serve-router" "shard"
 
+(* The trace pipeline end to end through the binary: record a trace,
+   convert text -> binary -> text losslessly, and replay it under a
+   registry mitigation with byte-identical output across runs. *)
+let test_trace_pipeline () =
+  let txt = tmp ".txt" in
+  let bin = tmp ".ptgm" in
+  let txt2 = tmp ".txt" in
+  Alcotest.(check int) "record" 0
+    (exec (Printf.sprintf "trace record --workload mcf --instrs 8000 -o %s" txt));
+  Alcotest.(check int) "convert to binary" 0
+    (exec (Printf.sprintf "trace convert %s %s" txt bin));
+  Alcotest.(check int) "convert back to text" 0
+    (exec (Printf.sprintf "trace convert %s %s" bin txt2));
+  Alcotest.(check string) "text -> binary -> text byte-identical"
+    (read_file txt) (read_file txt2);
+  Alcotest.(check bool) "binary is smaller" true
+    (String.length (read_file bin) < String.length (read_file txt));
+  let replay source =
+    let out = tmp ".out" in
+    Alcotest.(check int) "replay" 0
+      (exec ~out
+         (Printf.sprintf "trace replay %s --mitigation graphene:threshold=50"
+            source));
+    read_file out
+  in
+  let report = replay txt in
+  Alcotest.(check bool) "report is the replay rendering" true
+    (String.length report > 0
+    && String.sub report 0 (String.length "Trace replay") = "Trace replay");
+  Alcotest.(check string) "replay deterministic across runs" report (replay txt);
+  Alcotest.(check string) "replay identical from the binary form" report
+    (replay bin)
+
+(* trace subcommand validation: CLI-level errors exit 2 with a message
+   naming the problem (124 stays reserved for cmdliner parse errors). *)
+let test_trace_validation_exit_codes () =
+  let err_of args =
+    let err = tmp "trace.err" in
+    let code =
+      Sys.command
+        (Printf.sprintf "%s %s > %s 2> %s" cli args Filename.null err)
+    in
+    (code, read_file err)
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let check_exit2 args needle =
+    let code, err = err_of args in
+    Alcotest.(check int) (args ^ " exits 2") 2 code;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: stderr names the problem (got %S)" args err)
+      true (contains err needle)
+  in
+  check_exit2 "trace record --workload not_a_workload -o /dev/null" "workload";
+  check_exit2 "trace replay /nonexistent/trace.txt" "trace.txt";
+  (* A reachable malformed-input error: located file + line, instead of
+     the old assert-style crash. *)
+  let bad = tmp ".txt" in
+  Out_channel.with_open_bin bad (fun oc ->
+      Out_channel.output_string oc "# demo\n0x1000 Q 0\n");
+  check_exit2 (Printf.sprintf "trace replay %s" bad) "line 2";
+  let good = tmp ".txt" in
+  Out_channel.with_open_bin good (fun oc ->
+      Out_channel.output_string oc "# demo\n0x1000 R 0\n");
+  check_exit2
+    (Printf.sprintf "trace replay %s --mitigation bogus" good)
+    "registered";
+  check_exit2
+    (Printf.sprintf "trace replay %s --mitigation para:p=abc" good)
+    "abc";
+  check_exit2
+    (Printf.sprintf "trace replay %s --mitigation trr:zap=1" good)
+    "zap";
+  check_exit2
+    (Printf.sprintf "trace convert %s /nonexistent/dir/out.ptgm" good)
+    "out.ptgm"
+
 (* An unknown subcommand prints the full command list to stderr and
    exits 2 (cmdliner's generic error is 124, kept for flag errors). *)
 let test_unknown_subcommand () =
@@ -167,6 +249,10 @@ let suite =
     Alcotest.test_case "error exit codes" `Quick test_error_paths;
     Alcotest.test_case "validation exit codes" `Quick
       test_validation_exit_codes;
+    Alcotest.test_case "trace pipeline record/convert/replay" `Slow
+      test_trace_pipeline;
+    Alcotest.test_case "trace validation exit codes" `Quick
+      test_trace_validation_exit_codes;
     Alcotest.test_case "unknown subcommand lists commands" `Quick
       test_unknown_subcommand;
     Alcotest.test_case "bench rejects unknown section" `Quick

@@ -26,6 +26,7 @@ let () =
       ("rowhammer.attack", Test_attack.suite);
       ("rowhammer.blacksmith", Test_blacksmith.suite);
       ("mitigations", Test_mitigation.suite);
+      ("mitigations.registry", Test_registry.suite);
       ("vm.core", Test_vm.suite);
       ("vm.process_model", Test_process_model.suite);
       ("vm.profile", Test_profile.suite);
@@ -45,6 +46,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("os", Test_os.suite);
       ("walk_trace", Test_walk_trace.suite);
+      ("mem_trace", Test_mem_trace.suite);
       ("fullsys", Test_fullsys.suite);
       ("obs.integration", Test_obs_integration.suite);
       ("cli", Test_cli.suite);
