@@ -488,6 +488,92 @@ let run_fullsys_json () =
     path
 
 (* ------------------------------------------------------------------ *)
+(* Warm-start regression benchmark: BENCH_snapshot.json                *)
+(* The checkpoint/restore tier's whole value proposition in one        *)
+(* number: re-running a finished fullsys budget against its snapshot   *)
+(* store must be at least 5x faster than computing it cold, while the  *)
+(* adopted result stays byte-identical.                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_snapshot_json () =
+  section "Warm-start regression benchmark (BENCH_snapshot.json)";
+  let instrs = if full then 60_000 else 20_000 in
+  let every = instrs / 10 in
+  let dir = Filename.temp_file "ptg_bench_store" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+  @@ fun () ->
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_cold, cold =
+    timed (fun () ->
+        Ptg_sim.Checkpoint.run_fullsys ~every ~dir ~seed:42L ~instrs ())
+  in
+  let t_warm, warm =
+    timed (fun () ->
+        Ptg_sim.Checkpoint.run_fullsys ~every ~dir ~seed:42L ~instrs ())
+  in
+  let identical =
+    cold.Ptg_sim.Checkpoint.f_result = warm.Ptg_sim.Checkpoint.f_result
+  in
+  if not identical then
+    failwith "snapshot bench: warm-started result diverged from the cold run";
+  let resumed_from =
+    Option.value warm.Ptg_sim.Checkpoint.f_resumed_from ~default:0
+  in
+  if resumed_from <> instrs then
+    failwith "snapshot bench: warm run did not adopt the completed checkpoint";
+  let checkpoints = Array.length (Sys.readdir dir) in
+  let store_bytes =
+    Array.fold_left
+      (fun a n -> a + (Unix.stat (Filename.concat dir n)).Unix.st_size)
+      0 (Sys.readdir dir)
+  in
+  let speedup = t_cold /. t_warm in
+  let path =
+    match Sys.getenv_opt "PTG_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_snapshot.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"snapshot\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"instrs\": %d,\n\
+    \  \"every\": %d,\n\
+    \  \"wall_time_s\": %.3f,\n\
+    \  \"cold_wall_s\": %.3f,\n\
+    \  \"warm_wall_s\": %.3f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"warm_resumed_from\": %d,\n\
+    \  \"identical\": %d,\n\
+    \  \"checkpoints\": %d,\n\
+    \  \"store_bytes\": %d\n\
+     }\n"
+    (if full then "full" else "reduced")
+    instrs every (t_cold +. t_warm) t_cold t_warm speedup resumed_from
+    (if identical then 1 else 0)
+    checkpoints store_bytes;
+  close_out oc;
+  Printf.printf
+    "  cold: %.2f s (%d checkpoints, %d KiB store)\n\
+    \  warm: %.3f s (adopted %d/%d instructions)\n\
+    \  speedup: %.1fx, byte-identical: %b\n\
+    \  wrote %s\n"
+    t_cold checkpoints (store_bytes / 1024) t_warm resumed_from instrs speedup
+    identical path
+
+(* ------------------------------------------------------------------ *)
 (* Serving throughput: cold (computed) vs cache-hot served requests.   *)
 (* The server, client and load generator are the real ptg_server       *)
 (* stack over a real loopback socket; only the scenario is small.      *)
@@ -528,14 +614,18 @@ let run_serve () =
           ~scenarios:[ scenario ] ()
       in
       let cold_rps = 1.0 /. cold_s in
+      let p99 =
+        match report.Ptg_server.Client.p99_us with
+        | Some v -> Printf.sprintf "%.0f us" v
+        | None -> "n/a"
+      in
       Printf.printf
         "  cold:   %8.2f req/s (one computed request: %.3f s)\n\
-        \  hot:    %8.2f req/s (%d requests, %d clients, p99 %.0f us)\n\
+        \  hot:    %8.2f req/s (%d requests, %d clients, p99 %s)\n\
         \  ratio:  %8.0fx\n\
         \  hits %d / misses %d / shed %d / errors %d\n"
         cold_rps cold_s report.Ptg_server.Client.throughput_rps
-        report.Ptg_server.Client.ok report.Ptg_server.Client.clients
-        report.Ptg_server.Client.p99_us
+        report.Ptg_server.Client.ok report.Ptg_server.Client.clients p99
         (report.Ptg_server.Client.throughput_rps /. cold_rps)
         report.Ptg_server.Client.hits report.Ptg_server.Client.misses
         report.Ptg_server.Client.overloaded report.Ptg_server.Client.errors)
@@ -616,12 +706,17 @@ let run_serve_sharded () =
           - report.Ptg_server.Client.overloaded
           - report.Ptg_server.Client.timeouts - report.Ptg_server.Client.errors
         in
+        let p99 =
+          match report.Ptg_server.Client.p99_us with
+          | Some v -> Printf.sprintf "%.0f us" v
+          | None -> "n/a"
+        in
         Printf.printf
-          "  %d shard%s: %8.2f req/s (ok %d, errors %d, lost %d, p99 %.0f us)\n%!"
+          "  %d shard%s: %8.2f req/s (ok %d, errors %d, lost %d, p99 %s)\n%!"
           n
           (if n = 1 then " " else "s")
           report.Ptg_server.Client.throughput_rps report.Ptg_server.Client.ok
-          report.Ptg_server.Client.errors lost report.Ptg_server.Client.p99_us;
+          report.Ptg_server.Client.errors lost p99;
         (report.Ptg_server.Client.throughput_rps, report.Ptg_server.Client.ok,
          lost))
   in
@@ -676,6 +771,7 @@ let () =
       ("fig6", run_fig6_json);
       ("batch", run_batch_bench);
       ("fullsys", run_fullsys_json);
+      ("snapshot", run_snapshot_json);
       ("serve", run_serve);
       ("serve_sharded", run_serve_sharded);
     ]

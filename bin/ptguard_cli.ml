@@ -458,33 +458,121 @@ let fullsys_cmd =
   let instrs =
     Arg.(value & opt int 60_000 & info [ "instrs" ] ~docv:"N" ~doc:"Instructions.")
   in
-  let run seed instrs trace metrics =
-    let obs = sink_of ~trace ~metrics in
+  let checkpoint_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Warm-start store: snapshot each machine's complete state \
+             into $(docv) every $(b,--checkpoint-every) instructions \
+             (atomic temp-file-and-rename writes; the directory is \
+             created if missing). Results are byte-identical to an \
+             uncheckpointed run.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Instructions between checkpoints (default: one checkpoint \
+             at completion only).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Adopt the deepest stored checkpoint at or below the \
+             instruction budget instead of starting cold; damaged or \
+             mismatched files are skipped. Requires \
+             $(b,--checkpoint-dir).")
+  in
+  let banner () =
     print_endline
       "Full-system co-simulation: real page tables in DRAM, functional\n\
-       PT-Guard on every walk, Rowhammer attacker running concurrently.\n";
-    List.iter
-      (fun (label, guarded, attack) ->
-        let config = { Ptg_sim.Fullsys.default_config with guarded; attack } in
-        let t = Ptg_sim.Fullsys.create ~config ?obs ~seed () in
-        let r = Ptg_sim.Fullsys.run t ~instrs in
-        Printf.printf "=== %s ===\n" label;
-        Format.printf "%a@.@." Ptg_sim.Fullsys.pp_result r)
-      [
-        ("baseline, no attack", true, false);
-        ("PT-Guard under attack", true, true);
-        ("UNPROTECTED under attack", false, true);
-      ];
+       PT-Guard on every walk, Rowhammer attacker running concurrently.\n"
+  in
+  let configs =
+    [
+      ("baseline, no attack", true, false);
+      ("PT-Guard under attack", true, true);
+      ("UNPROTECTED under attack", false, true);
+    ]
+  in
+  let closer () =
     print_endline
       "The number that matters: WRONG TRANSLATIONS is nonzero only on the\n\
-       unprotected machine — the invariant of Section IV-G holds.";
-    export_sink obs ~trace ~metrics
+       unprotected machine — the invariant of Section IV-G holds."
+  in
+  let run seed instrs trace metrics checkpoint_dir checkpoint_every resume =
+    (match checkpoint_every with
+    | Some n when n < 1 ->
+        Printf.eprintf "fullsys: --checkpoint-every must be >= 1\n";
+        exit 2
+    | _ -> ());
+    if checkpoint_dir = None && (checkpoint_every <> None || resume) then begin
+      Printf.eprintf
+        "fullsys: --checkpoint-every and --resume need --checkpoint-dir\n";
+      exit 2
+    end;
+    match checkpoint_dir with
+    | None ->
+        let obs = sink_of ~trace ~metrics in
+        banner ();
+        List.iter
+          (fun (label, guarded, attack) ->
+            let config =
+              { Ptg_sim.Fullsys.default_config with guarded; attack }
+            in
+            let t = Ptg_sim.Fullsys.create ~config ?obs ~seed () in
+            let r = Ptg_sim.Fullsys.run t ~instrs in
+            Printf.printf "=== %s ===\n" label;
+            Format.printf "%a@.@." Ptg_sim.Fullsys.pp_result r)
+          configs;
+        closer ();
+        export_sink obs ~trace ~metrics
+    | Some dir ->
+        (* Checkpointing excludes observability (the sink is not part of
+           the snapshot, so a resumed run could not reproduce it). *)
+        if trace <> None || metrics <> None then begin
+          Printf.eprintf
+            "fullsys: --checkpoint-dir excludes --trace/--metrics \
+             (observer state is not checkpointed)\n";
+          exit 2
+        end;
+        banner ();
+        List.iter
+          (fun (label, guarded, attack) ->
+            let config =
+              { Ptg_sim.Fullsys.default_config with guarded; attack }
+            in
+            let key = Ptg_sim.Checkpoint.fullsys_key ~config ~seed () in
+            let o =
+              Ptg_sim.Checkpoint.run_fullsys ~config ~key
+                ?every:checkpoint_every ~dir ~adopt:resume ~seed ~instrs ()
+            in
+            Option.iter
+              (fun n ->
+                Printf.eprintf "fullsys: %s: resumed from %d/%d instructions\n%!"
+                  label n instrs)
+              o.Ptg_sim.Checkpoint.f_resumed_from;
+            Printf.printf "=== %s ===\n" label;
+            Format.printf "%a@.@." Ptg_sim.Fullsys.pp_result
+              o.Ptg_sim.Checkpoint.f_result)
+          configs;
+        closer ()
   in
   Cmd.v
     (Cmd.info "fullsys"
        ~doc:"Full-system co-simulation: execution + live Rowhammer + functional \
-             PT-Guard on real in-DRAM page tables.")
-    Term.(const run $ seed_arg $ instrs $ trace_file_arg $ metrics_arg)
+             PT-Guard on real in-DRAM page tables. With --checkpoint-dir, \
+             periodically snapshot state and (with --resume) warm-start a \
+             killed run byte-identically.")
+    Term.(
+      const run $ seed_arg $ instrs $ trace_file_arg $ metrics_arg
+      $ checkpoint_dir $ checkpoint_every $ resume)
 
 let stats_cmd =
   let instrs =
@@ -601,8 +689,39 @@ let serve_cmd =
             "(testing) Arm a chaos fault: delay:SECS, wedge:SECS, torn \
              or drop, optionally :TIMES (e.g. wedge:2:3).")
   in
-  let run socket port jobs high_water cache deadline idle_timeout max_conns
-      drain_deadline inject_fault trace metrics =
+  let cache_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte budget for the result cache (key + value weights), \
+             enforced alongside the entry cap; unset means entries-only.")
+  in
+  let snapshot_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR"
+          ~doc:
+            "Warm-start store: checkpoint fullsys and single-seed fig6 \
+             computations into $(docv) and adopt stored prefixes on \
+             later requests — including retries of runs a client \
+             cancelled or a drain interrupted.")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Checkpoint cadence in instructions (fullsys) or rows \
+             (fig6); also the granularity at which cancelled or drained \
+             computations stop. Default: checkpoint at completion only.")
+  in
+  let run socket port jobs high_water cache cache_bytes snapshot_dir
+      snapshot_every deadline idle_timeout max_conns drain_deadline
+      inject_fault trace metrics =
     let addr = addr_of ~cmd:"serve" ~required:false socket port in
     let obs = sink_of ~trace ~metrics in
     let base = Ptg_server.Server.default_config addr in
@@ -621,6 +740,9 @@ let serve_cmd =
         Ptg_server.Server.workers = jobs;
         high_water = Option.value high_water ~default:(max 4 (2 * jobs));
         cache_capacity = cache;
+        cache_bytes;
+        snapshot_dir;
+        snapshot_every;
         deadline_s = deadline;
         idle_timeout_s = idle_timeout;
         max_conns;
@@ -629,7 +751,12 @@ let serve_cmd =
         faults;
       }
     in
-    let server = Ptg_server.Server.start config in
+    let server =
+      try Ptg_server.Server.start config
+      with Invalid_argument msg ->
+        Printf.eprintf "serve: %s\n" msg;
+        exit 2
+    in
     (match Ptg_server.Server.listen_addr server with
     | Ptg_server.Server.Unix_socket path ->
         Printf.printf "serving on %s (workers %d, high-water %d, cache %d)\n%!"
@@ -656,6 +783,7 @@ let serve_cmd =
           connection cap. Stops on a shutdown frame.")
     Term.(
       const run $ socket_arg $ port_arg $ jobs_arg $ high_water $ cache
+      $ cache_bytes $ snapshot_dir $ snapshot_every
       $ deadline $ idle_timeout $ max_conns $ drain_deadline $ inject_fault
       $ trace_file_arg $ metrics_arg)
 
@@ -766,7 +894,10 @@ let loadgen_cmd =
         ?request_timeout_s:request_timeout ~swarm ~addr ~clients
         ~requests_per_client:requests ~scenarios ()
     in
-    print_string (Ptg_server.Client.report_to_string report)
+    print_string (Ptg_server.Client.report_to_string report);
+    (* A run where nothing succeeded is a failure, and scripts must see
+       it as one — the percentile lines already read n/a. *)
+    if report.Ptg_server.Client.ok = 0 then exit 1
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -804,6 +935,15 @@ let serve_router_cmd =
       value & opt int 64
       & info [ "cache" ] ~docv:"N"
           ~doc:"Router hot-set cache capacity (LRU entries).")
+  in
+  let cache_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte budget for the hot-set cache (key + value weights), \
+             enforced alongside the entry cap; unset means entries-only.")
   in
   let vnodes =
     Arg.(
@@ -890,8 +1030,9 @@ let serve_router_cmd =
     (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
     close_in_noerr ic
   in
-  let run socket port shard_addrs spawn cache vnodes health_interval strikes
-      request_timeout idle_timeout max_conns drain_deadline trace metrics =
+  let run socket port shard_addrs spawn cache cache_bytes vnodes
+      health_interval strikes request_timeout idle_timeout max_conns
+      drain_deadline trace metrics =
     let addr = addr_of ~cmd:"serve-router" ~required:false socket port in
     if spawn < 0 then begin
       Printf.eprintf "serve-router: --spawn must be >= 0\n";
@@ -918,6 +1059,7 @@ let serve_router_cmd =
       {
         base with
         Ptg_server.Router.cache_capacity = cache;
+        cache_bytes;
         vnodes;
         health_interval_s = health_interval;
         strike_limit = strikes;
@@ -960,9 +1102,10 @@ let serve_router_cmd =
           re-admission, and transport-crash re-routing. Stops on a \
           shutdown frame.")
     Term.(
-      const run $ socket_arg $ port_arg $ shard_args $ spawn $ cache $ vnodes
-      $ health_interval $ strikes $ request_timeout $ idle_timeout $ max_conns
-      $ drain_deadline $ trace_file_arg $ metrics_arg)
+      const run $ socket_arg $ port_arg $ shard_args $ spawn $ cache
+      $ cache_bytes $ vnodes $ health_interval $ strikes $ request_timeout
+      $ idle_timeout $ max_conns $ drain_deadline $ trace_file_arg
+      $ metrics_arg)
 
 let all_cmd =
   let run seed jobs =

@@ -24,4 +24,8 @@ let remove t addr =
 
 let clear t = t.entries <- []
 let entries t = t.entries
+
+let set_entries t addrs =
+  if List.length addrs > t.capacity then invalid_arg "Ctb.set_entries: capacity";
+  t.entries <- List.map Ptg_pte.Line.line_addr addrs
 let sram_bytes t = 5 * t.capacity

@@ -29,5 +29,11 @@ val clear : t -> unit
 (** Re-keying voids all tracked collisions. *)
 
 val entries : t -> int64 list
+
+val set_entries : t -> int64 list -> unit
+(** Overwrite the tracked entries (checkpoint restore); newest first, as
+    {!entries} returns them. Raises [Invalid_argument] beyond capacity. *)
+
+
 val sram_bytes : t -> int
 (** 5 bytes per entry (a 34-bit line address within 1 TB, padded). *)

@@ -141,6 +141,50 @@ let stats t = t.stats
 let key t = t.key
 let identifier t = t.identifier
 let ctb t = t.ctb
+
+type state = {
+  s_key_w0 : Block128.t;
+  s_key_k0 : Block128.t;
+  s_ctb : int64 list;
+  s_stats : stats;
+}
+
+let state t =
+  let w0, k0 = Qarma.key_material t.key in
+  {
+    s_key_w0 = w0;
+    s_key_k0 = k0;
+    s_ctb = Ctb.entries t.ctb;
+    s_stats = { t.stats with writes_total = t.stats.writes_total };
+  }
+
+let set_state t s =
+  (* [mac_zero] and the derived round material are functions of the key;
+     recomputing them keeps the snapshot payload down to the 256-bit key
+     input. The identifier is drawn at creation from the same seed the
+     restore path recreates the engine with, so it needs no field here. *)
+  let key =
+    Qarma.expand_key ~rounds:t.config.Config.qarma_rounds ~w0:s.s_key_w0
+      s.s_key_k0
+  in
+  t.key <- key;
+  t.mac_zero <-
+    Mac.truncate ~width:t.config.Config.mac_bits (Mac.compute_zero key);
+  Ctb.clear t.ctb;
+  Ctb.set_entries t.ctb s.s_ctb;
+  let d = t.stats and src = s.s_stats in
+  d.writes_total <- src.writes_total;
+  d.writes_protected <- src.writes_protected;
+  d.writes_mac_zero <- src.writes_mac_zero;
+  d.collisions_tracked <- src.collisions_tracked;
+  d.reads_total <- src.reads_total;
+  d.reads_pte <- src.reads_pte;
+  d.mac_computations <- src.mac_computations;
+  d.macs_stripped <- src.macs_stripped;
+  d.integrity_failures <- src.integrity_failures;
+  d.corrections_attempted <- src.corrections_attempted;
+  d.corrections_succeeded <- src.corrections_succeeded;
+  d.rekeys <- src.rekeys
 let on_os_event t f = t.listeners <- f :: t.listeners
 let emit t e = List.iter (fun f -> f e) t.listeners
 

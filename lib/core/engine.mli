@@ -93,6 +93,28 @@ val process_read : t -> addr:int64 -> is_pte:bool -> Ptg_pte.Line.t -> read_resu
 
 val ctb : t -> Ctb.t
 
+(** {2 Checkpointable state}
+
+    Everything mutable beyond what re-creation from the same seed already
+    reproduces: the (possibly re-keyed) 256-bit key input, the CTB
+    contents, and the statistics counters. [mac_zero] and the expanded
+    round material are recomputed from the key on restore; the identifier
+    is immutable and re-derived by creation. *)
+
+type state = {
+  s_key_w0 : Ptg_crypto.Block128.t;
+  s_key_k0 : Ptg_crypto.Block128.t;
+  s_ctb : int64 list;
+  s_stats : stats;
+}
+
+val state : t -> state
+(** Defensive copy (the stats record is duplicated). *)
+
+val set_state : t -> state -> unit
+(** Overwrite key, CTB and stats with captured state. The engine must
+    have the same configuration the state was captured under. *)
+
 val rekey :
   t ->
   rng:Ptg_util.Rng.t ->

@@ -114,6 +114,40 @@ let flush t = Array.iter (fun e -> e.valid <- false) t.entries
 let hits t = t.hits
 let misses t = t.misses
 
+type state = {
+  s_entries : (int * bool * int) array; (* vpn, valid, lru *)
+  s_tick : int;
+  s_hits : int;
+  s_misses : int;
+  s_mru : int;
+}
+
+let state t =
+  {
+    s_entries = Array.map (fun e -> (e.vpn, e.valid, e.lru)) t.entries;
+    s_tick = t.tick;
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_mru = t.mru;
+  }
+
+let set_state t s =
+  let n = Array.length t.entries in
+  if Array.length s.s_entries <> n then
+    invalid_arg "Tlb.set_state: entry count mismatch";
+  if s.s_mru < 0 || s.s_mru >= n then invalid_arg "Tlb.set_state: mru";
+  Array.iteri
+    (fun i (vpn, valid, lru) ->
+      let e = t.entries.(i) in
+      e.vpn <- vpn;
+      e.valid <- valid;
+      e.lru <- lru)
+    s.s_entries;
+  t.tick <- s.s_tick;
+  t.hits <- s.s_hits;
+  t.misses <- s.s_misses;
+  t.mru <- s.s_mru
+
 let miss_rate t =
   let total = t.hits + t.misses in
   if total = 0 then 0.0 else float_of_int t.misses /. float_of_int total

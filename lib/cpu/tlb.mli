@@ -18,3 +18,20 @@ val hits : t -> int
 val misses : t -> int
 val miss_rate : t -> float
 val reset_stats : t -> unit
+
+(** {2 Checkpointable state} *)
+
+type state = {
+  s_entries : (int * bool * int) array;  (** vpn, valid, lru per entry *)
+  s_tick : int;
+  s_hits : int;
+  s_misses : int;
+  s_mru : int;
+}
+
+val state : t -> state
+(** Defensive copy of the mutable contents (entries, recency, counters). *)
+
+val set_state : t -> state -> unit
+(** Overwrite the TLB with captured contents; raises [Invalid_argument]
+    on an entry-count mismatch or out-of-range MRU index. *)

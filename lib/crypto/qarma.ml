@@ -187,6 +187,8 @@ let key_of_rng ?rounds rng =
 
 let rounds k = k.rounds
 
+let key_material k = (Block128.of_cells k.w0, Block128.of_cells k.k0)
+
 let encrypt key ~tweak p =
   let s = ref (Block128.to_cells p) in
   let s' = ref (Array.make 16 0) in

@@ -36,6 +36,12 @@ val key_of_rng : ?rounds:int -> Ptg_util.Rng.t -> key
 
 val rounds : key -> int
 
+val key_material : key -> Block128.t * Block128.t
+(** The 256-bit key input [(w0, k0)] the schedule was expanded from.
+    [expand_key ~rounds:(rounds k) ~w0 k0] rebuilds an identical schedule
+    — this is how checkpoints serialize a key without persisting the
+    derived round material. *)
+
 val encrypt : key -> tweak:Block128.t -> Block128.t -> Block128.t
 (** [encrypt key ~tweak p] is the ciphertext of block [p] under [tweak]. *)
 

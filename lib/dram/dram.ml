@@ -209,6 +209,10 @@ let refresh_row t ~channel ~bank ~row =
 
 let activations t ~channel ~bank ~row = t.banks.(channel).(bank).activations.(row)
 
+(* Sorted by address: [Hashtbl.fold] order depends on the table's
+   insertion/resize history, which a checkpoint restore cannot reproduce —
+   and the fault model draws RNG per line it visits, so iteration order is
+   part of the deterministic stream. *)
 let lines_in_row t ~channel ~bank ~row =
   Hashtbl.fold
     (fun addr line acc ->
@@ -217,6 +221,7 @@ let lines_in_row t ~channel ~bank ~row =
       then (addr, Ptg_pte.Line.copy line) :: acc
       else acc)
     t.storage []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
 
 let flip_stored_bit t ~addr ~bit =
   let key = Ptg_pte.Line.line_addr addr in
@@ -232,8 +237,92 @@ let flip_stored_bit t ~addr ~bit =
 
 let total_activations t = t.total_activations
 
+(* Address-sorted for the same reason as [lines_in_row]: rekey sweeps and
+   checkpoint encoding must visit lines in an order independent of the
+   hashtable's history. *)
 let iter_stored t f =
   let snapshot = Hashtbl.fold (fun addr line acc -> (addr, Ptg_pte.Line.copy line) :: acc) t.storage [] in
-  List.iter (fun (addr, line) -> f addr line) snapshot
+  List.iter
+    (fun (addr, line) -> f addr line)
+    (List.sort (fun (a, _) (b, _) -> Int64.compare a b) snapshot)
 
 let stored_line_count t = Hashtbl.length t.storage
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointable state                                                *)
+(* ------------------------------------------------------------------ *)
+
+type bank_snapshot = { bs_open_row : int; bs_activations : (int * int) list }
+
+type state = {
+  s_banks : bank_snapshot array array;
+  s_storage : (int64 * Ptg_pte.Line.t) list; (* address-sorted *)
+  s_epoch : int;
+  s_total_activations : int;
+  s_last_outcome : Timing.row_buffer_outcome;
+  s_last_channel : int;
+  s_last_rank : int;
+  s_last_bank : int;
+  s_last_row : int;
+  s_last_col : int;
+}
+
+let state t =
+  let snap_bank b =
+    let acts = ref [] in
+    for row = Array.length b.activations - 1 downto 0 do
+      if b.activations.(row) <> 0 then acts := (row, b.activations.(row)) :: !acts
+    done;
+    { bs_open_row = b.open_row; bs_activations = !acts }
+  in
+  let storage = ref [] in
+  iter_stored t (fun addr line -> storage := (addr, line) :: !storage);
+  {
+    s_banks = Array.map (Array.map snap_bank) t.banks;
+    s_storage = List.rev !storage;
+    s_epoch = t.epoch;
+    s_total_activations = t.total_activations;
+    s_last_outcome = t.last_outcome;
+    s_last_channel = t.last_channel;
+    s_last_rank = t.last_rank;
+    s_last_bank = t.last_bank;
+    s_last_row = t.last_row;
+    s_last_col = t.last_col;
+  }
+
+let set_state t s =
+  if
+    Array.length s.s_banks <> Array.length t.banks
+    || Array.exists2
+         (fun a b -> Array.length a <> Array.length b)
+         s.s_banks t.banks
+  then invalid_arg "Dram.set_state: bank geometry mismatch";
+  Array.iteri
+    (fun ci channel_banks ->
+      Array.iteri
+        (fun bi snap ->
+          let b = t.banks.(ci).(bi) in
+          b.open_row <- snap.bs_open_row;
+          Array.fill b.activations 0 (Array.length b.activations) 0;
+          List.iter
+            (fun (row, count) ->
+              if row < 0 || row >= Array.length b.activations then
+                invalid_arg "Dram.set_state: row out of range";
+              b.activations.(row) <- count)
+            snap.bs_activations)
+        channel_banks)
+    s.s_banks;
+  Hashtbl.reset t.storage;
+  List.iter
+    (fun (addr, line) ->
+      Hashtbl.replace t.storage (Ptg_pte.Line.line_addr addr)
+        (Ptg_pte.Line.copy line))
+    s.s_storage;
+  t.epoch <- s.s_epoch;
+  t.total_activations <- s.s_total_activations;
+  t.last_outcome <- s.s_last_outcome;
+  t.last_channel <- s.s_last_channel;
+  t.last_rank <- s.s_last_rank;
+  t.last_bank <- s.s_last_bank;
+  t.last_row <- s.s_last_row;
+  t.last_col <- s.s_last_col

@@ -74,7 +74,9 @@ val activations : t -> channel:int -> bank:int -> row:int -> int
 (** Activations of the row since it was last refreshed. *)
 
 val lines_in_row : t -> channel:int -> bank:int -> row:int -> (int64 * Ptg_pte.Line.t) list
-(** All (address, line) pairs currently stored in the given row. *)
+(** All (address, line) pairs currently stored in the given row, in
+    ascending address order — stable across checkpoint save/restore, which
+    matters because fault injection draws RNG per visited line. *)
 
 val flip_stored_bit : t -> addr:int64 -> bit:int -> unit
 (** Corrupt one bit of the stored line at [addr] (fault injection). *)
@@ -83,9 +85,38 @@ val total_activations : t -> int
 (** Lifetime activate-command count (for bench reporting). *)
 
 val iter_stored : t -> (int64 -> Ptg_pte.Line.t -> unit) -> unit
-(** Visit every stored (non-zero-initialized) line. The callback receives
-    copies; mutating storage during iteration is safe only via
-    {!write_line} on already-visited addresses (used by re-keying, which
-    snapshots addresses first). *)
+(** Visit every stored (non-zero-initialized) line in ascending address
+    order. The callback receives copies; mutating storage during iteration
+    is safe only via {!write_line} on already-visited addresses (used by
+    re-keying, which snapshots addresses first). *)
 
 val stored_line_count : t -> int
+
+(** {2 Checkpointable state}
+
+    The device's full mutable state as plain data: per-bank open row and
+    nonzero activation counts (sparse), the stored lines (address-sorted),
+    the refresh epoch, and the published last-access decode. *)
+
+type bank_snapshot = { bs_open_row : int; bs_activations : (int * int) list }
+
+type state = {
+  s_banks : bank_snapshot array array;
+  s_storage : (int64 * Ptg_pte.Line.t) list;
+  s_epoch : int;
+  s_total_activations : int;
+  s_last_outcome : Timing.row_buffer_outcome;
+  s_last_channel : int;
+  s_last_rank : int;
+  s_last_bank : int;
+  s_last_row : int;
+  s_last_col : int;
+}
+
+val state : t -> state
+(** Defensive copy of the current device state. *)
+
+val set_state : t -> state -> unit
+(** Overwrite the device with captured state. Requires identical
+    geometry (bank/row counts); raises [Invalid_argument] otherwise.
+    Listeners are untouched. *)

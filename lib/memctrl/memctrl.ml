@@ -37,6 +37,8 @@ let create ?engine ?obs dram =
 
 let dram t = t.dram
 let engine t = t.engine
+let now t = t.now
+let set_now t now = t.now <- now
 
 (* Observer hook points. Activation and refresh observers forward to the
    DRAM device (one subscription stream shared with the mitigations);

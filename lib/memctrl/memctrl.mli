@@ -47,6 +47,12 @@ type read = {
   latency : int;  (** DRAM latency + integrity-engine delay *)
 }
 
+val now : t -> int
+(** The controller's current clock (max of all [~now] values seen). *)
+
+val set_now : t -> int -> unit
+(** Overwrite the clock (checkpoint restore). *)
+
 val read_line : t -> ?now:int -> addr:int64 -> is_pte:bool -> unit -> read
 val write_line : t -> ?now:int -> addr:int64 -> Ptg_pte.Line.t -> unit -> int
 (** Returns the write latency. *)

@@ -2,11 +2,27 @@ type instance = {
   name : string;
   mutable refreshes : int;
   mutable active : bool;
+  (* Checkpoint capability: a flat, canonically-ordered key/value image of
+     the plugin's internal state (sampler tables, counters, coin-flip RNG).
+     Builders without hidden state keep the empty defaults. *)
+  mutable save : unit -> (string * int64) list;
+  mutable restore : (string * int64) list -> unit;
 }
+
+let make_instance name =
+  { name; refreshes = 0; active = true; save = (fun () -> []); restore = ignore }
 
 let instance_name i = i.name
 let refreshes_issued i = i.refreshes
 let detach i = i.active <- false
+
+let save_state i = ("refreshes", Int64.of_int i.refreshes) :: i.save ()
+
+let restore_state i kvs =
+  (match List.assoc_opt "refreshes" kvs with
+  | Some n -> i.refreshes <- Int64.to_int n
+  | None -> ());
+  i.restore (List.remove_assoc "refreshes" kvs)
 
 (* ------------------------------------------------------------------ *)
 (* Typed parameters                                                    *)
@@ -272,7 +288,7 @@ let make_trr ~sampler_size ~ref_interval_acts ~sample_window dram =
   if ref_interval_acts < 1 then
     invalid_arg "Mitigation.attach_trr: ref_interval_acts";
   if sample_window < 0 then invalid_arg "Mitigation.attach_trr: sample_window";
-  let t = { name = "TRR"; refreshes = 0; active = true } in
+  let t = make_instance "TRR" in
   let banks : (int * int, trr_bank) Hashtbl.t = Hashtbl.create 32 in
   let bank_state channel bank =
     let key = (channel, bank) in
@@ -283,6 +299,63 @@ let make_trr ~sampler_size ~ref_interval_acts ~sample_window dram =
         Hashtbl.replace banks key b;
         b
   in
+  t.save <-
+    (fun () ->
+      let keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) banks [] |> List.sort compare
+      in
+      List.concat_map
+        (fun (c, bk) ->
+          let b = Hashtbl.find banks (c, bk) in
+          let prefix = Printf.sprintf "%d.%d." c bk in
+          [
+            (prefix ^ "asr", Int64.of_int b.acts_since_ref);
+            (prefix ^ "att", Int64.of_int b.acts_total);
+            (prefix ^ "n", Int64.of_int (List.length b.entries));
+          ]
+          @ List.concat
+              (List.mapi
+                 (fun i e ->
+                   let ep = Printf.sprintf "%se%d." prefix i in
+                   [
+                     (ep ^ "row", Int64.of_int e.row);
+                     (ep ^ "count", Int64.of_int e.count);
+                     (ep ^ "at", Int64.of_int e.inserted_at);
+                   ])
+                 b.entries))
+        keys);
+  t.restore <-
+    (fun kvs ->
+      Hashtbl.reset banks;
+      let get k =
+        match List.assoc_opt k kvs with
+        | Some v -> Int64.to_int v
+        | None -> invalid_arg (Printf.sprintf "trr restore: missing %S" k)
+      in
+      List.iter
+        (fun (k, v) ->
+          match String.split_on_char '.' k with
+          | [ c; bk; "asr" ] ->
+              let c = int_of_string c and bk = int_of_string bk in
+              let prefix = Printf.sprintf "%d.%d." c bk in
+              let n = get (prefix ^ "n") in
+              let entries =
+                List.init n (fun i ->
+                    let ep = Printf.sprintf "%se%d." prefix i in
+                    {
+                      row = get (ep ^ "row");
+                      count = get (ep ^ "count");
+                      inserted_at = get (ep ^ "at");
+                    })
+              in
+              Hashtbl.replace banks (c, bk)
+                {
+                  entries;
+                  acts_since_ref = Int64.to_int v;
+                  acts_total = get (prefix ^ "att");
+                }
+          | _ -> ())
+        kvs);
   Ptg_dram.Dram.on_activate dram (fun c ->
       if t.active then begin
         let channel = c.Ptg_dram.Geometry.channel
@@ -330,7 +403,19 @@ let make_trr ~sampler_size ~ref_interval_acts ~sample_window dram =
 
 let make_para ~p ~rng dram =
   if p < 0.0 || p > 1.0 then invalid_arg "Mitigation.attach_para: p";
-  let t = { name = "PARA"; refreshes = 0; active = true } in
+  let t = make_instance "PARA" in
+  t.save <-
+    (fun () ->
+      Array.to_list (Ptg_util.Rng.state rng)
+      |> List.mapi (fun i w -> (Printf.sprintf "rng.%d" i, w)));
+  t.restore <-
+    (fun kvs ->
+      let word i =
+        match List.assoc_opt (Printf.sprintf "rng.%d" i) kvs with
+        | Some w -> w
+        | None -> invalid_arg "para restore: missing rng word"
+      in
+      Ptg_util.Rng.set_state rng (Array.init 4 word));
   let geometry = Ptg_dram.Dram.geometry dram in
   Ptg_dram.Dram.on_activate dram (fun c ->
       if t.active then
@@ -354,7 +439,7 @@ type graphene_bank = {
 
 let make_graphene ~counters ~threshold dram =
   if counters < 1 || threshold < 1 then invalid_arg "Mitigation.attach_graphene";
-  let t = { name = "Graphene"; refreshes = 0; active = true } in
+  let t = make_instance "Graphene" in
   let banks : (int * int, graphene_bank) Hashtbl.t = Hashtbl.create 32 in
   let bank_state channel bank =
     let key = (channel, bank) in
@@ -365,6 +450,38 @@ let make_graphene ~counters ~threshold dram =
         Hashtbl.replace banks key b;
         b
   in
+  t.save <-
+    (fun () ->
+      let keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) banks [] |> List.sort compare
+      in
+      List.concat_map
+        (fun (c, bk) ->
+          let b = Hashtbl.find banks (c, bk) in
+          let rows =
+            Hashtbl.fold (fun r n acc -> (r, n) :: acc) b.counts []
+            |> List.sort compare
+          in
+          (Printf.sprintf "%d.%d.spill" c bk, Int64.of_int b.spillover)
+          :: List.map
+               (fun (r, n) ->
+                 (Printf.sprintf "%d.%d.row.%d" c bk r, Int64.of_int n))
+               rows)
+        keys);
+  t.restore <-
+    (fun kvs ->
+      Hashtbl.reset banks;
+      List.iter
+        (fun (k, v) ->
+          match String.split_on_char '.' k with
+          | [ c; bk; "spill" ] ->
+              let b = bank_state (int_of_string c) (int_of_string bk) in
+              b.spillover <- Int64.to_int v
+          | [ c; bk; "row"; r ] ->
+              let b = bank_state (int_of_string c) (int_of_string bk) in
+              Hashtbl.replace b.counts (int_of_string r) (Int64.to_int v)
+          | _ -> ())
+        kvs);
   Ptg_dram.Dram.on_activate dram (fun c ->
       if t.active then begin
         let channel = c.Ptg_dram.Geometry.channel
@@ -403,11 +520,29 @@ let make_graphene ~counters ~threshold dram =
 
 let make_soft_trr ~threshold ~pt_row dram =
   if threshold < 1 then invalid_arg "Mitigation.attach_soft_trr: threshold";
-  let t = { name = "SoftTRR"; refreshes = 0; active = true } in
+  let t = make_instance "SoftTRR" in
   let geometry = Ptg_dram.Dram.geometry dram in
   (* aggressor (channel, bank, row) -> activations seen since the guarded
      PT row was last refreshed *)
   let counts : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  t.save <-
+    (fun () ->
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []
+      |> List.sort compare
+      |> List.map (fun ((c, bk, r), n) ->
+             (Printf.sprintf "%d.%d.%d" c bk r, Int64.of_int n)));
+  t.restore <-
+    (fun kvs ->
+      Hashtbl.reset counts;
+      List.iter
+        (fun (k, v) ->
+          match String.split_on_char '.' k with
+          | [ c; bk; r ] ->
+              Hashtbl.replace counts
+                (int_of_string c, int_of_string bk, int_of_string r)
+                (Int64.to_int v)
+          | _ -> ())
+        kvs);
   Ptg_dram.Dram.on_activate dram (fun c ->
       if t.active then begin
         let channel = c.Ptg_dram.Geometry.channel

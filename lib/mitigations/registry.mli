@@ -23,6 +23,17 @@ val instance_name : instance -> string
 val refreshes_issued : instance -> int
 val detach : instance -> unit
 
+val save_state : instance -> (string * int64) list
+(** The plugin's mutable state as a flat, canonically-ordered key/value
+    image (always includes a ["refreshes"] entry; plugin-internal tables
+    follow under plugin-chosen keys). Snapshots embed this image so a
+    restored simulation resumes with identical mitigation behaviour. *)
+
+val restore_state : instance -> (string * int64) list -> unit
+(** Overwrite the plugin's state with a previously captured image. The
+    instance must come from the same plugin with the same parameters.
+    Raises [Invalid_argument] on a malformed image. *)
+
 (** {1 Typed parameters} *)
 
 type value = Int of int | Float of float | Bool of bool

@@ -115,6 +115,30 @@ let handle_refresh t ~channel ~bank ~row =
     add_disturbance t ~channel ~bank ~row:(row + 1) t.config.refresh_disturb_weight
   end
 
+type state = {
+  s_rng : int64 array;
+  s_disturbance : ((int * int * int) * float) list; (* key-sorted *)
+  s_flips : flip list;
+  s_flip_count : int;
+}
+
+let state t =
+  {
+    s_rng = Ptg_util.Rng.state t.rng;
+    s_disturbance =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.disturbance []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    s_flips = t.flips;
+    s_flip_count = t.flip_count;
+  }
+
+let set_state t s =
+  Ptg_util.Rng.set_state t.rng s.s_rng;
+  Hashtbl.reset t.disturbance;
+  List.iter (fun (k, v) -> Hashtbl.replace t.disturbance k v) s.s_disturbance;
+  t.flips <- s.s_flips;
+  t.flip_count <- s.s_flip_count
+
 let attach ?(config = ddr4) ~rng dram =
   let t =
     {

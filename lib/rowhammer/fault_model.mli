@@ -54,6 +54,22 @@ val flip_count : t -> int
 val clear_flips : t -> unit
 
 val on_flip : t -> (flip -> unit) -> unit
+
+(** {2 Checkpointable state}
+
+    The model's own RNG stream, the accumulated per-row disturbance, and
+    the flip journal. Listeners and the DRAM subscription are structural
+    and survive in the re-created model. *)
+
+type state = {
+  s_rng : int64 array;
+  s_disturbance : ((int * int * int) * float) list;
+  s_flips : flip list;
+  s_flip_count : int;
+}
+
+val state : t -> state
+val set_state : t -> state -> unit
 val disturbance : t -> channel:int -> bank:int -> row:int -> float
 val row_is_true_cell : t -> row:int -> bool
 (** Orientation assigned to a row (under [Per_row_hash]). *)

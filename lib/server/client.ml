@@ -40,35 +40,87 @@ let close t =
      flushes and closes it. *)
   close_out_noerr t.oc
 
-let request ?id ?timeout_s t req =
-  (match timeout_s with
+let set_timeouts t timeout_s =
+  match timeout_s with
   | Some v when v > 0. -> (
       try
         Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO v;
         Unix.setsockopt_float t.fd Unix.SO_SNDTIMEO v
       with Unix.Unix_error _ | Invalid_argument _ -> ())
-  | _ -> ());
+  | _ -> ()
+
+(* A socket-timeout expiry surfaces as [Sys_blocked_io] through the
+   buffered channel (or a read/write error); classify by elapsed time
+   (monotonic). *)
+let classify_transport_error timeout_s t0 =
+  match timeout_s with
+  | Some v when v > 0. && Clock.elapsed_s t0 >= 0.9 *. v ->
+      Error "request timed out"
+  | _ -> Error "connection closed"
+
+let request ?id ?v ?timeout_s t req =
+  set_timeouts t timeout_s;
   let t0 = Clock.now_ns () in
   match
-    output_string t.oc (Protocol.encode_request ?id req);
+    output_string t.oc (Protocol.encode_request ?id ?v req);
     output_char t.oc '\n';
     flush t.oc;
     input_line t.ic
   with
-  | exception (End_of_file | Sys_error _ | Sys_blocked_io) -> (
-      (* A socket-timeout expiry surfaces as [Sys_blocked_io] through
-         the buffered channel (or a read/write error); classify by
-         elapsed time (monotonic). *)
-      match timeout_s with
-      | Some v when v > 0. && Clock.elapsed_s t0 >= 0.9 *. v ->
-          Error "request timed out"
-      | _ -> Error "connection closed")
+  | exception (End_of_file | Sys_error _ | Sys_blocked_io) ->
+      classify_transport_error timeout_s t0
   | line -> (
       match Protocol.decode_response line with
-      | Ok (_id, resp) -> Ok resp
+      | Ok (_meta, resp) -> Ok resp
       | Error e -> Error e)
 
 let run t scenario = request t (Protocol.Run scenario)
+
+let hello ?timeout_s t =
+  match request ~v:2 ?timeout_s t (Protocol.Hello Protocol.max_version) with
+  | Ok (Protocol.Hello_reply v) -> Ok v
+  | Ok _ -> Error "hello: unexpected reply"
+  | Error e -> Error e
+
+let cancel ?timeout_s t ~target =
+  match request ~v:2 ?timeout_s t (Protocol.Cancel target) with
+  | Ok Protocol.Pong -> Ok ()
+  | Ok (Protocol.Error_reply e) -> Error e
+  | Ok _ -> Error "cancel: unexpected reply"
+  | Error e -> Error e
+
+(* A streamed run holds the connection in a read loop, forwarding each
+   progress frame, until the terminal frame arrives. The read timeout
+   restarts per frame — progress frames are keep-alives, so a streamed
+   run survives a per-frame timeout shorter than the whole compute. *)
+let run_stream ?id ?timeout_s ?on_progress t scenario =
+  set_timeouts t timeout_s;
+  let t0 = Clock.now_ns () in
+  match
+    output_string t.oc
+      (Protocol.encode_request ?id ~v:2 (Protocol.Run_stream scenario));
+    output_char t.oc '\n';
+    flush t.oc
+  with
+  | exception (Sys_error _ | Sys_blocked_io) ->
+      classify_transport_error timeout_s t0
+  | () ->
+      let rec read_frame () =
+        let t_frame = Clock.now_ns () in
+        match input_line t.ic with
+        | exception (End_of_file | Sys_error _ | Sys_blocked_io) ->
+            classify_transport_error timeout_s t_frame
+        | line -> (
+            match Protocol.decode_response line with
+            | Ok (_meta, Protocol.Progress { done_count; total }) ->
+                (match on_progress with
+                | Some f -> f ~done_count ~total
+                | None -> ());
+                read_frame ()
+            | Ok (_meta, resp) -> Ok resp
+            | Error e -> Error e)
+      in
+      read_frame ()
 
 (* ------------------------------------------------------------------ *)
 (* Retrying sessions                                                   *)
@@ -202,9 +254,9 @@ type report = {
   reconnects : int;
   wall_s : float;
   throughput_rps : float;
-  p50_us : float;
-  p95_us : float;
-  p99_us : float;
+  p50_us : float option;
+  p95_us : float option;
+  p99_us : float option;
 }
 
 type worker_tally = {
@@ -271,8 +323,10 @@ let loadgen ?(policy = default_retry) ?connect_timeout_s ?request_timeout_s
           | Protocol.Coalesced -> tally.w_coalesced <- tally.w_coalesced + 1)
       | Ok Protocol.Overloaded -> tally.w_overloaded <- tally.w_overloaded + 1
       | Ok Protocol.Timeout -> tally.w_timeouts <- tally.w_timeouts + 1
-      | Ok (Protocol.Error_reply _) | Ok Protocol.Pong
-      | Ok (Protocol.Stats_reply _) | Error _ ->
+      | Ok Protocol.Cancelled
+      | Ok (Protocol.Error_reply _ | Protocol.Progress _)
+      | Ok (Protocol.Pong | Protocol.Stats_reply _ | Protocol.Hello_reply _)
+      | Error _ ->
           tally.w_errors <- tally.w_errors + 1
     done;
     Array.iter
@@ -310,7 +364,12 @@ let loadgen ?(policy = default_retry) ?connect_timeout_s ?request_timeout_s
       latencies := List.rev_append w.latencies_us !latencies)
     tallies;
   let lat = Array.of_list !latencies in
-  let pct p = if Array.length lat = 0 then 0. else Ptg_util.Stats.percentile lat p in
+  (* No ok responses means no latency sample: the percentiles are
+     undefined, not 0 us — a 0 would read as an impossibly fast server
+     in exactly the runs that are total failures. *)
+  let pct p =
+    if Array.length lat = 0 then None else Some (Ptg_util.Stats.percentile lat p)
+  in
   {
     clients;
     requests = clients * requests_per_client;
@@ -331,6 +390,7 @@ let loadgen ?(policy = default_retry) ?connect_timeout_s ?request_timeout_s
   }
 
 let report_to_string r =
+  let pct = function Some v -> Printf.sprintf "%.0f us" v | None -> "n/a" in
   Printf.sprintf
     "loadgen: %d clients x %d requests (%d total)\n\
     \  ok          %d (hit %d / miss %d / coalesced %d)\n\
@@ -339,9 +399,9 @@ let report_to_string r =
     \  errors      %d (retries %d, reconnects %d)\n\
     \  wall        %.3f s\n\
     \  throughput  %.1f req/s\n\
-    \  latency     p50 %.0f us  p95 %.0f us  p99 %.0f us\n"
+    \  latency     p50 %s  p95 %s  p99 %s\n"
     r.clients
     (r.requests / max 1 r.clients)
     r.requests r.ok r.hits r.misses r.coalesced r.overloaded r.timeouts
-    r.errors r.retries r.reconnects r.wall_s r.throughput_rps r.p50_us
-    r.p95_us r.p99_us
+    r.errors r.retries r.reconnects r.wall_s r.throughput_rps (pct r.p50_us)
+    (pct r.p95_us) (pct r.p99_us)

@@ -16,6 +16,7 @@ val close : t -> unit
 
 val request :
   ?id:string ->
+  ?v:int ->
   ?timeout_s:float ->
   t ->
   Protocol.request ->
@@ -24,9 +25,38 @@ val request :
     [Error] covers transport failures (connection closed mid-reply,
     ["request timed out"] when [timeout_s] elapsed) and undecodable
     response frames. [timeout_s] bounds both the send and the receive
-    via socket timeouts. *)
+    via socket timeouts. [v] is the frame's protocol version (default
+    {!Protocol.version}); v2-only requests raise through
+    {!Protocol.encode_request} unless [v >= 2]. *)
 
 val run : t -> Ptg_sim.Scenario.t -> (Protocol.response, string) result
+
+(** {2 Protocol v2} *)
+
+val hello : ?timeout_s:float -> t -> (int, string) result
+(** Negotiate: send [hello] with our {!Protocol.max_version}, return
+    the version the server settled on. A v1-only server rejects the
+    frame, which surfaces as [Error] — callers may treat that as
+    "speak v1". *)
+
+val cancel : ?timeout_s:float -> t -> target:string -> (unit, string) result
+(** Cancel the in-flight run whose request id is [target]. Must be sent
+    on a different connection than the run itself (that connection is
+    blocked awaiting its result). [Error] carries the server's reply
+    when the id names nothing in flight. *)
+
+val run_stream :
+  ?id:string ->
+  ?timeout_s:float ->
+  ?on_progress:(done_count:int -> total:int -> unit) ->
+  t ->
+  Ptg_sim.Scenario.t ->
+  (Protocol.response, string) result
+(** Streamed run: sends [stream:true] at v2 and forwards each
+    [progress] frame to [on_progress] until the terminal frame, which
+    is returned exactly like {!request}. [timeout_s] applies per frame
+    (progress frames reset it), so it can be much shorter than the
+    whole computation. *)
 
 (** {2 Retrying sessions}
 
@@ -107,9 +137,12 @@ type report = {
   reconnects : int;
   wall_s : float;
   throughput_rps : float;  (** ok responses per wall-clock second *)
-  p50_us : float;
-  p95_us : float;
-  p99_us : float;  (** latency percentiles over ok responses *)
+  p50_us : float option;
+  p95_us : float option;
+  p99_us : float option;
+      (** latency percentiles over ok responses; [None] when no request
+          succeeded (an empty sample has no percentiles — reporting 0
+          would fake a perfect server in a fully-failed run) *)
 }
 
 val loadgen :

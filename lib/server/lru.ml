@@ -1,5 +1,11 @@
 (* Classic hashtable + intrusive doubly-linked recency list. The list
-   head is most-recently-used; eviction pops the tail. *)
+   head is most-recently-used; eviction pops the tail.
+
+   Capacity is two-dimensional: an entry count and an optional byte
+   budget over encoded sizes (key + value bytes). A fullsys rendering is
+   three orders of magnitude bigger than a fig6 row summary, so counting
+   entries alone would let a handful of huge results evict the whole hot
+   set's worth of budget while reporting a healthy entry count. *)
 
 type node = {
   key : string;
@@ -10,28 +16,39 @@ type node = {
 
 type t = {
   cap : int;
+  max_bytes : int option;
   tbl : (string, node) Hashtbl.t;
   mutable head : node option;
   mutable tail : node option;
+  mutable bytes : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
-let create ~capacity =
+let weight ~key ~value = String.length key + String.length value
+
+let create ?max_bytes ~capacity () =
   if capacity < 1 then invalid_arg "Lru.create: capacity";
+  (match max_bytes with
+  | Some b when b < 1 -> invalid_arg "Lru.create: max_bytes"
+  | _ -> ());
   {
     cap = capacity;
+    max_bytes;
     tbl = Hashtbl.create (2 * capacity);
     head = None;
     tail = None;
+    bytes = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
   }
 
 let capacity t = t.cap
+let max_bytes t = t.max_bytes
 let length t = Hashtbl.length t.tbl
+let bytes t = t.bytes
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = t.evictions
@@ -68,21 +85,35 @@ let find t key =
 
 let mem t key = Hashtbl.mem t.tbl key
 
+let over_budget t =
+  Hashtbl.length t.tbl > t.cap
+  || (match t.max_bytes with Some m -> t.bytes > m | None -> false)
+
+(* Evict least-recently-used entries until both budgets are respected.
+   An entry whose own weight exceeds [max_bytes] drains the whole cache
+   and is finally evicted itself — oversized results are simply not
+   cacheable under that budget, never an error. *)
+let rec evict_while_over t =
+  if over_budget t then
+    match t.tail with
+    | None -> ()
+    | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.tbl lru.key;
+        t.bytes <- t.bytes - weight ~key:lru.key ~value:lru.value;
+        t.evictions <- t.evictions + 1;
+        evict_while_over t
+
 let put t key value =
-  match Hashtbl.find_opt t.tbl key with
+  (match Hashtbl.find_opt t.tbl key with
   | Some n ->
+      t.bytes <- t.bytes - String.length n.value + String.length value;
       n.value <- value;
       unlink t n;
       push_front t n
   | None ->
-      if Hashtbl.length t.tbl >= t.cap then begin
-        match t.tail with
-        | None -> ()
-        | Some lru ->
-            unlink t lru;
-            Hashtbl.remove t.tbl lru.key;
-            t.evictions <- t.evictions + 1
-      end;
       let n = { key; value; prev = None; next = None } in
       Hashtbl.replace t.tbl key n;
-      push_front t n
+      t.bytes <- t.bytes + weight ~key ~value;
+      push_front t n);
+  evict_while_over t

@@ -4,25 +4,42 @@
     are the rendered experiment reports. Deterministic simulations make
     this cache lossless: a hit returns bytes identical to a re-run.
 
+    Capacity is two-dimensional: an entry count, and an optional byte
+    budget over encoded entry sizes (key + value bytes) so one huge
+    fullsys rendering cannot masquerade as "one entry" next to a
+    hundred tiny fig6 rows.
+
     Not thread-safe by itself — the server guards it with the same mutex
     that protects its scheduler state. Hit/miss/eviction counts are
     tracked here and exported into the server's metrics registry. *)
 
 type t
 
-val create : capacity:int -> t
-(** Raises [Invalid_argument] on [capacity < 1]. *)
+val create : ?max_bytes:int -> capacity:int -> unit -> t
+(** Raises [Invalid_argument] on [capacity < 1] or [max_bytes < 1].
+    Without [max_bytes] only the entry count bounds the cache. *)
 
 val capacity : t -> int
+val max_bytes : t -> int option
 val length : t -> int
+
+val bytes : t -> int
+(** Sum of [weight] over the live entries. *)
+
+val weight : key:string -> value:string -> int
+(** The byte cost one entry charges against [max_bytes]:
+    [String.length key + String.length value]. *)
 
 val find : t -> string -> string option
 (** Returns the cached value and marks the key most-recently-used;
     counts a hit or a miss. *)
 
 val put : t -> string -> string -> unit
-(** Insert or refresh a binding; evicts the least-recently-used entry
-    when at capacity (counted in {!evictions}). *)
+(** Insert or refresh a binding, then evict least-recently-used entries
+    (counted in {!evictions}) until both the entry count and the byte
+    budget are respected. An entry bigger than [max_bytes] by itself
+    drains the cache and is then evicted too — oversized values are
+    uncacheable, never an error. *)
 
 val mem : t -> string -> bool
 (** Presence test without touching recency or hit/miss accounting. *)

@@ -37,6 +37,7 @@ type config = {
   addr : Server.addr;
   shards : Server.addr list;
   cache_capacity : int;
+  cache_bytes : int option;
   vnodes : int;
   retry : Client.retry_policy;
   connect_timeout_s : float;
@@ -54,6 +55,7 @@ let default_config addr ~shards =
     addr;
     shards;
     cache_capacity = 64;
+    cache_bytes = None;
     vnodes = 64;
     retry = Client.default_retry;
     connect_timeout_s = 1.0;
@@ -231,6 +233,7 @@ let stats_locked t =
   let base =
     [
       ("accept_errors", float_of_int t.accept_errors);
+      ("cache_bytes", float_of_int (Lru.bytes t.cache));
       ("cache_entries", float_of_int (Lru.length t.cache));
       ("cache_evictions", float_of_int (Lru.evictions t.cache));
       ("cache_hits", float_of_int (Lru.hits t.cache));
@@ -370,7 +373,9 @@ let handle_run t get_session scenario =
               | Ok Protocol.Timeout ->
                   finish ~strike:true ~status:"timeout" Protocol.Timeout
               | Ok (Protocol.Error_reply _ as r) -> finish ~status:"error" r
-              | Ok (Protocol.Pong | Protocol.Stats_reply _) ->
+              | Ok
+                  ( Protocol.Pong | Protocol.Stats_reply _ | Protocol.Cancelled
+                  | Protocol.Progress _ | Protocol.Hello_reply _ ) ->
                   finish ~status:"error"
                     (Protocol.Error_reply "unexpected response from shard")
               | Error _ ->
@@ -467,22 +472,45 @@ let handle_conn t fd =
               record_error t;
               send (Protocol.encode_response (Protocol.Error_reply msg));
               true
-          | Ok (id, req) -> (
+          | Ok ({ Protocol.id; v }, req) -> (
               match req with
               | Protocol.Ping ->
-                  send (Protocol.encode_response ?id Protocol.Pong);
+                  send (Protocol.encode_response ?id ~v Protocol.Pong);
                   true
               | Protocol.Stats ->
                   send
-                    (Protocol.encode_response ?id (Protocol.Stats_reply (stats t)));
+                    (Protocol.encode_response ?id ~v
+                       (Protocol.Stats_reply (stats t)));
                   true
               | Protocol.Shutdown ->
                   initiate_stop t;
-                  send (Protocol.encode_response ?id Protocol.Pong);
+                  send (Protocol.encode_response ?id ~v Protocol.Pong);
                   false
-              | Protocol.Run scenario ->
+              | Protocol.Hello client_max ->
                   send
-                    (Protocol.encode_response ?id
+                    (Protocol.encode_response ?id ~v
+                       (Protocol.Hello_reply
+                          (min client_max Protocol.max_version)));
+                  true
+              | Protocol.Cancel target ->
+                  (* The router holds no in-flight registry of its own —
+                     forwarded runs block their connection thread — so a
+                     cancel can never name anything it could stop. *)
+                  record_error t;
+                  send
+                    (Protocol.encode_response ?id ~v
+                       (Protocol.Error_reply
+                          (Printf.sprintf
+                             "cancel: no in-flight request with id \"%s\""
+                             target)));
+                  true
+              | Protocol.Run scenario | Protocol.Run_stream scenario ->
+                  (* A streamed run is forwarded as a plain v1 run (the
+                     inter-tier session API is one-shot); the edge gets
+                     its terminal frame at its own version and simply no
+                     progress frames — which the protocol permits. *)
+                  send
+                    (Protocol.encode_response ?id ~v
                        (handle_run t get_session scenario));
                   true)
         in
@@ -616,6 +644,9 @@ let health_loop t =
 let start config =
   if config.shards = [] then invalid_arg "Router.start: shards";
   if config.cache_capacity < 1 then invalid_arg "Router.start: cache_capacity";
+  (match config.cache_bytes with
+  | Some b when b < 1 -> invalid_arg "Router.start: cache_bytes"
+  | _ -> ());
   if config.vnodes < 1 then invalid_arg "Router.start: vnodes";
   if not (config.connect_timeout_s > 0.) then
     invalid_arg "Router.start: connect_timeout_s";
@@ -674,7 +705,9 @@ let start config =
       pipe_w;
       mutex = Mutex.create ();
       drained = Condition.create ();
-      cache = Lru.create ~capacity:config.cache_capacity;
+      cache =
+        Lru.create ?max_bytes:config.cache_bytes
+          ~capacity:config.cache_capacity ();
       conn_fds = Hashtbl.create 64;
       conns = 0;
       conn_seq = 0;

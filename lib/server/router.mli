@@ -14,12 +14,20 @@
     [Overloaded] replies pass through to the caller but count as health
     strikes. A health thread pings every shard each interval — failures
     accumulate strikes until ejection, and a successful ping re-admits
-    the shard with its original keyspace. *)
+    the shard with its original keyspace.
+
+    Protocol v2: responses mirror the request's version. [hello]
+    negotiates normally; a streamed run is forwarded as a plain run
+    (the terminal frame comes back at the edge's version, with no
+    progress frames — the protocol permits zero); [cancel] is always an
+    error, since forwarded runs block their connection thread and the
+    router tracks no in-flight ids. *)
 
 type config = {
   addr : Server.addr;          (** where the router listens *)
   shards : Server.addr list;   (** backend shard addresses; index = shard id *)
   cache_capacity : int;        (** router hot-set LRU entries *)
+  cache_bytes : int option;    (** optional hot-set LRU byte budget *)
   vnodes : int;                (** ring points per shard *)
   retry : Client.retry_policy; (** inter-tier transport retries *)
   connect_timeout_s : float;

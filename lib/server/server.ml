@@ -1,4 +1,5 @@
 module Scenario = Ptg_sim.Scenario
+module Checkpoint = Ptg_sim.Checkpoint
 module Registry = Ptg_obs.Registry
 module Trace = Ptg_obs.Trace
 module Clock = Ptg_util.Clock
@@ -10,12 +11,21 @@ type config = {
   workers : int;
   high_water : int;
   cache_capacity : int;
+  cache_bytes : int option;
   deadline_s : float;
   idle_timeout_s : float;
   max_conns : int;
   drain_deadline_s : float;
+  snapshot_dir : string option;
+  snapshot_every : int option;
   obs : Ptg_obs.Sink.t option;
   handler : (Scenario.t -> string) option;
+  handler_ext :
+    (progress:(done_count:int -> total:int -> unit) ->
+    should_stop:(unit -> bool) ->
+    Scenario.t ->
+    Checkpoint.served)
+    option;
   faults : Faults.t;
 }
 
@@ -26,12 +36,16 @@ let default_config addr =
     workers;
     high_water = max 4 (2 * workers);
     cache_capacity = 64;
+    cache_bytes = None;
     deadline_s = 30.;
     idle_timeout_s = 60.;
     max_conns = 256;
     drain_deadline_s = 5.;
+    snapshot_dir = None;
+    snapshot_every = None;
     obs = None;
     handler = None;
+    handler_ext = None;
     faults = Faults.create ();
   }
 
@@ -47,6 +61,8 @@ type obs_metrics = {
   c_misses : Registry.counter;
   c_evictions : Registry.counter;
   c_timeouts : Registry.counter;
+  c_cancelled : Registry.counter;
+  c_warm_starts : Registry.counter;
   c_conn_shed : Registry.counter;
   c_accept_errors : Registry.counter;
   c_idle_closed : Registry.counter;
@@ -69,6 +85,8 @@ let make_obs sink =
     c_misses = Registry.counter reg "server_cache_misses_total";
     c_evictions = Registry.counter reg "server_cache_evictions_total";
     c_timeouts = Registry.counter reg "server_timeouts_total";
+    c_cancelled = Registry.counter reg "server_cancelled_total";
+    c_warm_starts = Registry.counter reg "server_warm_starts_total";
     c_conn_shed = Registry.counter reg "server_conns_shed_total";
     c_accept_errors = Registry.counter reg "server_accept_errors_total";
     c_idle_closed = Registry.counter reg "server_conns_idle_closed_total";
@@ -83,11 +101,35 @@ let make_obs sink =
     trace = Ptg_obs.Sink.trace sink;
   }
 
-type pending = { mutable outcome : (string, string) result option }
+(* One in-flight computation. [p_interest] counts the waiters still
+   wanting the result; the worker's [should_stop] turns true when it
+   reaches zero (every waiter cancelled or expired), which lets a
+   checkpointed run stop at its next chunk boundary instead of burning
+   the worker to completion for nobody. [p_done]/[p_total] carry the
+   computation's progress for streaming waiters. *)
+type pending = {
+  mutable outcome : (string, string) result option;
+  mutable p_done : int;
+  mutable p_total : int;
+  mutable p_interest : int;
+}
+
+(* One waiter attached to a pending computation; registered in
+   [cancel_tbl] under its request id when cancellable (v2 + id). *)
+type waiter = {
+  w_hash : string;
+  w_pending : pending;
+  mutable w_cancelled : bool;
+  mutable w_detached : bool;  (* interest already released *)
+}
 
 type t = {
   config : config;
-  handler : Scenario.t -> string;
+  handler :
+    progress:(done_count:int -> total:int -> unit) ->
+    should_stop:(unit -> bool) ->
+    Scenario.t ->
+    Checkpoint.served;
   listen_fd : Unix.file_descr;
   bound : addr;
   pipe_r : Unix.file_descr;  (* self-pipe: wakes the accept loop on stop *)
@@ -98,6 +140,7 @@ type t = {
   drained : Condition.t;      (* connection-count / stopping transitions *)
   cache : Lru.t;
   pending_tbl : (string, pending) Hashtbl.t;
+  cancel_tbl : (string, waiter) Hashtbl.t;
   conn_fds : (Unix.file_descr, unit) Hashtbl.t;
   mutable inflight : int;
   mutable conns : int;
@@ -112,6 +155,8 @@ type t = {
   mutable coalesced : int;
   mutable errors : int;
   mutable timeouts : int;
+  mutable cancelled : int;
+  mutable warm_starts : int;
   mutable conn_shed : int;
   mutable accept_errors : int;
   mutable idle_closed : int;
@@ -129,10 +174,12 @@ let listen_addr t = t.bound
 let stats_locked t =
   [
     ("accept_errors", float_of_int t.accept_errors);
+    ("cache_bytes", float_of_int (Lru.bytes t.cache));
     ("cache_entries", float_of_int (Lru.length t.cache));
     ("cache_evictions", float_of_int (Lru.evictions t.cache));
     ("cache_hits", float_of_int (Lru.hits t.cache));
     ("cache_misses", float_of_int (Lru.misses t.cache));
+    ("cancelled", float_of_int t.cancelled);
     ("coalesced", float_of_int t.coalesced);
     ("conn_shed", float_of_int t.conn_shed);
     ("conns", float_of_int t.conns);
@@ -147,6 +194,7 @@ let stats_locked t =
     ("served", float_of_int t.served);
     ("shed", float_of_int t.shed);
     ("timeouts", float_of_int t.timeouts);
+    ("warm_starts", float_of_int t.warm_starts);
     ("workers", float_of_int t.config.workers);
   ]
 
@@ -188,20 +236,50 @@ let take_fault t f =
       hit
   | None -> None
 
-type wait_outcome = Done of (string, string) result | Expired
+type wait_outcome =
+  | Done of (string, string) result
+  | Expired
+  | Was_cancelled
+  | Conn_lost of exn  (* a progress write failed: the peer is gone *)
 
-(* Called with the mutex held; releases it while waiting. Wakeups come
-   from job completion broadcasts and from the ticker thread, which
+(* Called with the mutex held; releases it while waiting and while
+   writing progress frames (socket writes can block). Wakeups come from
+   job completion/progress broadcasts and from the ticker thread, which
    bounds how late a deadline expiry is noticed. *)
-let rec await_locked t p ~deadline =
-  match p.outcome with
-  | Some r -> Done r
-  | None ->
-      if t.aborting || Clock.now_ns () >= deadline then Expired
-      else begin
-        Condition.wait t.done_cond t.mutex;
-        await_locked t p ~deadline
-      end
+let await_locked t p w ~deadline ~on_progress =
+  let last = ref (0, 0) in
+  let rec go () =
+    let fresh_progress =
+      match on_progress with
+      | Some _
+        when p.outcome = None && p.p_total > 0 && (p.p_done, p.p_total) <> !last
+        ->
+          Some (p.p_done, p.p_total)
+      | _ -> None
+    in
+    match (fresh_progress, on_progress) with
+    | Some ((done_count, total) as snap), Some f -> (
+        last := snap;
+        Mutex.unlock t.mutex;
+        match f ~done_count ~total with
+        | () ->
+            Mutex.lock t.mutex;
+            go ()
+        | exception e ->
+            Mutex.lock t.mutex;
+            Conn_lost e)
+    | _ -> (
+        match p.outcome with
+        | Some r -> Done r
+        | None when w.w_cancelled -> Was_cancelled
+        | None ->
+            if t.aborting || Clock.now_ns () >= deadline then Expired
+            else begin
+              Condition.wait t.done_cond t.mutex;
+              go ()
+            end)
+  in
+  go ()
 
 (* Remove [hash]'s pending entry only if it is still [p]: a timed-out
    waiter may already have unhooked it and a newer identical request
@@ -210,6 +288,8 @@ let unhook_locked t hash p =
   match Hashtbl.find_opt t.pending_tbl hash with
   | Some q when q == p -> Hashtbl.remove t.pending_tbl hash
   | _ -> ()
+
+type job_result = Finished of string * int option | Stopped | Failed of string
 
 let submit_job t hash scenario p =
   Ptg_util.Pool.Service.submit t.service (fun () ->
@@ -222,20 +302,47 @@ let submit_job t hash scenario p =
           record_fault t;
           Thread.delay d
       | None -> ());
-      let outcome =
-        try Ok (t.handler scenario)
-        with e -> Error (Printexc.to_string e)
+      let progress ~done_count ~total =
+        Mutex.lock t.mutex;
+        p.p_done <- done_count;
+        p.p_total <- total;
+        Condition.broadcast t.done_cond;
+        Mutex.unlock t.mutex
+      in
+      let should_stop () =
+        Mutex.lock t.mutex;
+        let s = t.aborting || p.p_interest <= 0 in
+        Mutex.unlock t.mutex;
+        s
+      in
+      let result =
+        try
+          let served = t.handler ~progress ~should_stop scenario in
+          match served.Checkpoint.text with
+          | Some rendered -> Finished (rendered, served.Checkpoint.resumed_from)
+          | None -> Stopped
+        with e -> Failed (Printexc.to_string e)
       in
       Mutex.lock t.mutex;
-      (match outcome with
-      | Ok rendered ->
+      (match result with
+      | Finished (rendered, resumed_from) ->
           Lru.put t.cache hash rendered;
-          sync_evictions_locked t
-      | Error _ -> t.errors <- t.errors + 1);
-      (match (outcome, t.obs_m) with
-      | Error _, Some m -> Registry.incr m.c_errors
-      | _ -> ());
-      p.outcome <- Some outcome;
+          sync_evictions_locked t;
+          (match resumed_from with
+          | Some _ ->
+              t.warm_starts <- t.warm_starts + 1;
+              obs_incr t (fun m -> m.c_warm_starts)
+          | None -> ());
+          p.outcome <- Some (Ok rendered)
+      | Stopped ->
+          (* Abandoned (cancelled or draining) and stopped at a
+             checkpoint boundary: nothing to cache, nobody to count an
+             error for — the store holds the prefix for a retry. *)
+          p.outcome <- Some (Error "cancelled")
+      | Failed msg ->
+          t.errors <- t.errors + 1;
+          obs_incr t (fun m -> m.c_errors);
+          p.outcome <- Some (Error msg));
       unhook_locked t hash p;
       t.inflight <- t.inflight - 1;
       set_queue_gauge t;
@@ -243,12 +350,34 @@ let submit_job t hash scenario p =
       Mutex.unlock t.mutex)
 
 (* The response for one [run] frame. Holds the mutex only around
-   scheduler-state transitions (and while blocked in a condvar wait). *)
-let handle_run t scenario =
+   scheduler-state transitions (and while blocked in a condvar wait).
+   [cancel_id] registers this waiter for [cancel] frames; [on_progress]
+   streams progress frames to the peer between wakeups. *)
+let handle_run t ?on_progress ?cancel_id scenario =
   let hash = Scenario.hash scenario in
   let t0 = Clock.now_ns () in
   let deadline = Clock.ns_after t0 t.config.deadline_s in
   Mutex.lock t.mutex;
+  let attach_locked p =
+    p.p_interest <- p.p_interest + 1;
+    let w =
+      { w_hash = hash; w_pending = p; w_cancelled = false; w_detached = false }
+    in
+    Option.iter (fun id -> Hashtbl.replace t.cancel_tbl id w) cancel_id;
+    w
+  in
+  let detach_locked w =
+    Option.iter
+      (fun id ->
+        match Hashtbl.find_opt t.cancel_tbl id with
+        | Some w' when w' == w -> Hashtbl.remove t.cancel_tbl id
+        | _ -> ())
+      cancel_id;
+    if not w.w_detached then begin
+      w.w_detached <- true;
+      w.w_pending.p_interest <- w.w_pending.p_interest - 1
+    end
+  in
   let disposition, outcome =
     match Lru.find t.cache hash with
     | Some rendered ->
@@ -260,8 +389,12 @@ let handle_run t scenario =
         | Some p ->
             t.coalesced <- t.coalesced + 1;
             obs_incr t (fun m -> m.c_coalesced);
-            let r = await_locked t p ~deadline in
-            if r = Expired then unhook_locked t hash p;
+            let w = attach_locked p in
+            let r = await_locked t p w ~deadline ~on_progress in
+            detach_locked w;
+            (match r with
+            | Expired | Conn_lost _ -> unhook_locked t hash p
+            | _ -> ());
             (Some Protocol.Coalesced, r)
         | None ->
             if t.inflight >= t.config.high_water then begin
@@ -270,47 +403,94 @@ let handle_run t scenario =
               (None, Done (Error "overloaded"))
             end
             else begin
-              let p = { outcome = None } in
+              let p =
+                { outcome = None; p_done = 0; p_total = 0; p_interest = 0 }
+              in
+              let w = attach_locked p in
               Hashtbl.replace t.pending_tbl hash p;
               t.inflight <- t.inflight + 1;
               set_queue_gauge t;
               submit_job t hash scenario p;
-              let r = await_locked t p ~deadline in
+              let r = await_locked t p w ~deadline ~on_progress in
+              detach_locked w;
               (* On expiry, unhook so a later identical request
                  recomputes instead of coalescing onto the zombie. The
                  in-flight slot stays charged: the worker really is
-                 still busy, and it releases the slot itself. *)
-              if r = Expired then unhook_locked t hash p;
+                 still busy, and it releases the slot itself (stopping
+                 early at its next checkpoint boundary now that no
+                 interest remains). *)
+              (match r with
+              | Expired | Conn_lost _ -> unhook_locked t hash p
+              | _ -> ());
               (Some Protocol.Miss, r)
             end)
   in
-  let response =
-    match (disposition, outcome) with
-    | Some cache, Done (Ok result) ->
-        t.served <- t.served + 1;
-        obs_incr t (fun m -> m.c_served);
-        Protocol.Result { cache; hash; result }
-    | None, _ -> Protocol.Overloaded
-    | Some _, Done (Error msg) -> Protocol.Error_reply msg
-    | Some _, Expired ->
-        t.timeouts <- t.timeouts + 1;
-        obs_incr t (fun m -> m.c_timeouts);
-        Protocol.Timeout
-  in
-  (match t.obs_m with
-  | None -> ()
-  | Some m ->
-      Registry.observe m.h_latency (Clock.elapsed_us t0);
-      let status, cache =
-        match response with
-        | Protocol.Result { cache; _ } ->
-            ("ok", Protocol.cache_disposition_name cache)
-        | Protocol.Overloaded -> ("overloaded", "")
-        | Protocol.Timeout -> ("timeout", "")
-        | _ -> ("error", "")
+  match outcome with
+  | Conn_lost e ->
+      (* The peer vanished mid-stream: interest is released and the
+         pending entry unhooked above; let the connection unwind. *)
+      Mutex.unlock t.mutex;
+      raise e
+  | _ ->
+      let response =
+        match (disposition, outcome) with
+        | Some cache, Done (Ok result) ->
+            t.served <- t.served + 1;
+            obs_incr t (fun m -> m.c_served);
+            Protocol.Result { cache; hash; result }
+        | None, _ -> Protocol.Overloaded
+        | Some _, Done (Error msg) -> Protocol.Error_reply msg
+        | Some _, Was_cancelled ->
+            t.cancelled <- t.cancelled + 1;
+            obs_incr t (fun m -> m.c_cancelled);
+            Protocol.Cancelled
+        | Some _, (Expired | Conn_lost _) ->
+            t.timeouts <- t.timeouts + 1;
+            obs_incr t (fun m -> m.c_timeouts);
+            Protocol.Timeout
       in
-      Trace.record m.trace
-        (Trace.Server_request { hash = Scenario.hash64 scenario; status; cache }));
+      (match t.obs_m with
+      | None -> ()
+      | Some m ->
+          Registry.observe m.h_latency (Clock.elapsed_us t0);
+          let status, cache =
+            match response with
+            | Protocol.Result { cache; _ } ->
+                ("ok", Protocol.cache_disposition_name cache)
+            | Protocol.Overloaded -> ("overloaded", "")
+            | Protocol.Timeout -> ("timeout", "")
+            | Protocol.Cancelled -> ("cancelled", "")
+            | _ -> ("error", "")
+          in
+          Trace.record m.trace
+            (Trace.Server_request { hash = Scenario.hash64 scenario; status; cache }));
+      Mutex.unlock t.mutex;
+      response
+
+(* A [cancel] frame: flip the target waiter, release its interest, and
+   wake everyone. Acked with the generic ok frame; an id naming nothing
+   in flight (never registered, already finished, or v1) is an error. *)
+let handle_cancel t target =
+  Mutex.lock t.mutex;
+  let response =
+    match Hashtbl.find_opt t.cancel_tbl target with
+    | None ->
+        Protocol.Error_reply
+          (Printf.sprintf "cancel: no in-flight request with id \"%s\"" target)
+    | Some w ->
+        Hashtbl.remove t.cancel_tbl target;
+        w.w_cancelled <- true;
+        if not w.w_detached then begin
+          w.w_detached <- true;
+          w.w_pending.p_interest <- w.w_pending.p_interest - 1
+        end;
+        (* Nobody is waiting any more: unhook so identical retries
+           recompute (warm-starting from whatever was checkpointed)
+           rather than coalescing onto the dying computation. *)
+        if w.w_pending.p_interest <= 0 then unhook_locked t w.w_hash w.w_pending;
+        Condition.broadcast t.done_cond;
+        Protocol.Pong
+  in
   Mutex.unlock t.mutex;
   response
 
@@ -398,7 +578,7 @@ let handle_conn t fd =
               record_protocol_error t;
               send (Protocol.encode_response (Protocol.Error_reply msg));
               true
-          | Ok (id, req) -> (
+          | Ok ({ Protocol.id; v }, req) -> (
               (match
                  take_fault t (function
                    | Faults.Delay_handler d -> Some d
@@ -415,20 +595,44 @@ let handle_conn t fd =
               | None -> (
                   match req with
                   | Protocol.Ping ->
-                      send (Protocol.encode_response ?id Protocol.Pong);
+                      send (Protocol.encode_response ?id ~v Protocol.Pong);
                       true
                   | Protocol.Stats ->
                       send
-                        (Protocol.encode_response ?id
+                        (Protocol.encode_response ?id ~v
                            (Protocol.Stats_reply (stats t)));
                       true
                   | Protocol.Shutdown ->
                       initiate_stop t;
-                      send (Protocol.encode_response ?id Protocol.Pong);
+                      send (Protocol.encode_response ?id ~v Protocol.Pong);
                       false
-                  | Protocol.Run scenario -> (
+                  | Protocol.Hello client_max ->
+                      send
+                        (Protocol.encode_response ?id ~v
+                           (Protocol.Hello_reply
+                              (min client_max Protocol.max_version)));
+                      true
+                  | Protocol.Cancel target ->
+                      send (Protocol.encode_response ?id ~v (handle_cancel t target));
+                      true
+                  | Protocol.Run scenario | Protocol.Run_stream scenario -> (
+                      (* Only v2 requests with an id are cancellable: a
+                         v1 waiter could not be answered with the
+                         [cancelled] status its cancellation produces. *)
+                      let cancel_id = if v >= 2 then id else None in
+                      let on_progress =
+                        match req with
+                        | Protocol.Run_stream _ ->
+                            Some
+                              (fun ~done_count ~total ->
+                                send
+                                  (Protocol.encode_response ?id ~v
+                                     (Protocol.Progress { done_count; total })))
+                        | _ -> None
+                      in
                       let frame =
-                        Protocol.encode_response ?id (handle_run t scenario)
+                        Protocol.encode_response ?id ~v
+                          (handle_run t ?on_progress ?cancel_id scenario)
                       in
                       match
                         take_fault t (function
@@ -543,12 +747,18 @@ let start config =
   if config.workers < 1 then invalid_arg "Server.start: workers";
   if config.high_water < 1 then invalid_arg "Server.start: high_water";
   if config.cache_capacity < 1 then invalid_arg "Server.start: cache_capacity";
+  (match config.cache_bytes with
+  | Some b when b < 1 -> invalid_arg "Server.start: cache_bytes"
+  | _ -> ());
   if not (config.deadline_s > 0.) then invalid_arg "Server.start: deadline_s";
   if not (config.idle_timeout_s >= 0.) then
     invalid_arg "Server.start: idle_timeout_s";
   if config.max_conns < 1 then invalid_arg "Server.start: max_conns";
   if not (config.drain_deadline_s >= 0.) then
     invalid_arg "Server.start: drain_deadline_s";
+  (match config.snapshot_every with
+  | Some n when n < 1 -> invalid_arg "Server.start: snapshot_every"
+  | _ -> ());
   (* A peer hanging up mid-response must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -580,9 +790,22 @@ let start config =
     {
       config;
       handler =
-        (match config.handler with
-        | Some h -> h
-        | None -> fun scenario -> Scenario.run_to_string scenario);
+        (match (config.handler_ext, config.handler) with
+        | Some h, _ -> h
+        | None, Some h ->
+            fun ~progress:_ ~should_stop:_ scenario ->
+              {
+                Checkpoint.text = Some (h scenario);
+                completed = true;
+                resumed_from = None;
+              }
+        | None, None ->
+            (* The warm-start-aware path: with [snapshot_dir],
+               checkpointable scenarios resume from stored prefixes,
+               report progress, and stop early when abandoned. *)
+            fun ~progress ~should_stop scenario ->
+              Checkpoint.run_scenario ?dir:config.snapshot_dir
+                ?every:config.snapshot_every ~should_stop ~progress scenario);
       listen_fd;
       bound;
       pipe_r;
@@ -593,8 +816,11 @@ let start config =
       mutex = Mutex.create ();
       done_cond = Condition.create ();
       drained = Condition.create ();
-      cache = Lru.create ~capacity:config.cache_capacity;
+      cache =
+        Lru.create ?max_bytes:config.cache_bytes
+          ~capacity:config.cache_capacity ();
       pending_tbl = Hashtbl.create 64;
+      cancel_tbl = Hashtbl.create 16;
       conn_fds = Hashtbl.create 64;
       inflight = 0;
       conns = 0;
@@ -609,6 +835,8 @@ let start config =
       coalesced = 0;
       errors = 0;
       timeouts = 0;
+      cancelled = 0;
+      warm_starts = 0;
       conn_shed = 0;
       accept_errors = 0;
       idle_closed = 0;
@@ -638,7 +866,9 @@ let finalize t =
      [input_line]s see EOF. Done under the mutex so a connection thread
      cannot concurrently remove-and-close the same descriptor. In-flight
      requests get [drain_deadline_s] to finish; stragglers are then
-     force-closed and their compute waits expired. *)
+     force-closed and their compute waits expired (checkpointed
+     computations notice [aborting] through [should_stop] and persist
+     their position for a resume after restart). *)
   Mutex.lock t.mutex;
   let drain_t0 = Clock.now_ns () in
   let force_at = Clock.ns_after drain_t0 t.config.drain_deadline_s in
@@ -659,6 +889,9 @@ let finalize t =
     end;
     Condition.wait t.drained t.mutex
   done;
+  (* Workers the pool shutdown below must wait for should stop early
+     rather than compute for closed connections. *)
+  t.aborting <- true;
   let first = not t.finalized in
   (match (first, t.obs_m) with
   | true, Some m -> Registry.set_gauge m.g_drain (Clock.elapsed_us drain_t0)

@@ -31,6 +31,19 @@
     shutdown force-closes stragglers after [drain_deadline_s]. {!Faults}
     can inject each failure for chaos tests.
 
+    Protocol v2 ({!Protocol}): responses mirror the request's version,
+    so v1 clients interoperate unchanged. v2 adds [hello] version
+    negotiation, streamed [progress] frames for [stream:true] runs
+    (emitted from the waiting connection's own thread as the
+    computation reports chunk progress), and [cancel] — the cancelled
+    waiter gets a terminal [cancelled] frame, and once an in-flight
+    computation has no interested waiters left it stops at its next
+    checkpoint boundary instead of running to completion. With
+    [snapshot_dir] set, computations checkpoint periodically and
+    identical re-requests warm-start from the deepest stored prefix —
+    which also makes a forced drain lossless: interrupted runs resume
+    where they stopped after a restart over the same store.
+
     Connection I/O runs on one thread per accepted connection; the
     compute pool is [workers] domains. With an [obs] sink the server
     reports per-request latency histograms, queue-depth and
@@ -48,6 +61,9 @@ type config = {
   workers : int;         (** compute pool size *)
   high_water : int;      (** max in-flight computations before shedding *)
   cache_capacity : int;  (** LRU entries *)
+  cache_bytes : int option;
+      (** optional LRU byte budget over encoded entry sizes (see
+          {!Lru.weight}); [None] bounds by entry count alone *)
   deadline_s : float;
       (** per-request compute budget: a waiter past it gets
           [Protocol.Timeout] (must be [> 0]; expiry is noticed within
@@ -58,18 +74,41 @@ type config = {
   drain_deadline_s : float;
       (** shutdown drain budget before stragglers are force-closed;
           [0.] force-closes immediately *)
+  snapshot_dir : string option;
+      (** warm-start snapshot store for the default handler: scenario
+          computations checkpoint their position here and resume from
+          the deepest stored prefix of an identical later request (see
+          {!Ptg_sim.Checkpoint.run_scenario}) *)
+  snapshot_every : int option;
+      (** checkpoint cadence (scenario units) for [snapshot_dir] *)
   obs : Ptg_obs.Sink.t option;
   handler : (Ptg_sim.Scenario.t -> string) option;
       (** compute override for tests/benchmarks; default
-          [Ptg_sim.Scenario.run_to_string] *)
+          [Ptg_sim.Scenario.run_to_string] (via
+          {!Ptg_sim.Checkpoint.run_scenario} when [snapshot_dir] is
+          set). Overrides ignore snapshotting, progress and early
+          stop. *)
+  handler_ext :
+    (progress:(done_count:int -> total:int -> unit) ->
+    should_stop:(unit -> bool) ->
+    Ptg_sim.Scenario.t ->
+    Ptg_sim.Checkpoint.served)
+    option;
+      (** full-control compute override (takes precedence over
+          [handler]): receives the progress callback that feeds
+          streamed [progress] frames and the [should_stop] poll that
+          turns true once every waiter has cancelled or expired (or the
+          server is aborting). Returning [{text = None; _}] means the
+          computation stopped early — nothing is cached and no error is
+          counted. *)
   faults : Faults.t;     (** chaos injection slot; unarmed by default *)
 }
 
 val default_config : addr -> config
 (** workers {!Ptg_util.Pool.default_jobs}, high-water [2 * workers]
-    (min 4), 64 cache entries, 30 s deadline, 60 s idle timeout, 256
-    connections, 5 s drain deadline, no obs, default handler, unarmed
-    faults. *)
+    (min 4), 64 cache entries (no byte budget), 30 s deadline, 60 s
+    idle timeout, 256 connections, 5 s drain deadline, no snapshot
+    store, no obs, default handler, unarmed faults. *)
 
 type t
 
@@ -83,10 +122,11 @@ val listen_addr : t -> addr
 
 val stats : t -> (string * float) list
 (** Scheduler/cache/failure counters, sorted by key: accept_errors,
-    cache entries/hits/misses/evictions, coalesced, conn_shed, conns,
-    errors, faults_injected, idle_closed, inflight, pending,
-    pool_dropped, served, shed, timeouts, plus the configured
-    high_water/max_conns/workers. Also what the [stats] op returns. *)
+    cache bytes/entries/hits/misses/evictions, cancelled, coalesced,
+    conn_shed, conns, errors, faults_injected, idle_closed, inflight,
+    pending, pool_dropped, served, shed, timeouts, warm_starts, plus
+    the configured high_water/max_conns/workers. Also what the [stats]
+    op returns. *)
 
 val stop : t -> unit
 (** Stop accepting, drain open connections (force-closing stragglers

@@ -1,0 +1,465 @@
+open Ptg_snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Meta section                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Every checkpoint opens with a meta section naming what produced it:
+   the driver kind, the warm-start store key, and how far the run had
+   got. Restoring validates all three — a snapshot from a different
+   scenario (or a stale key collision) is rejected before any state is
+   touched. *)
+type meta = { m_kind : string; m_key : string; m_count : int }
+
+let meta_section m =
+  let b = Codec.writer () in
+  Codec.put_string b m.m_kind;
+  Codec.put_string b m.m_key;
+  Codec.put_varint b m.m_count;
+  Snapshot.section ~name:"meta" (Codec.contents b)
+
+let meta_of_sections ~what sections =
+  let r = Snapshot.reader ~what sections "meta" in
+  let m_kind = Codec.get_string r in
+  let m_key = Codec.get_string r in
+  let m_count = Codec.get_varint r in
+  Codec.expect_end r;
+  { m_kind; m_key; m_count }
+
+let check_meta ~what ~kind ~key m =
+  if m.m_kind <> kind then
+    invalid_arg
+      (Printf.sprintf "Snapshot.load: %s: checkpoint kind %S, want %S" what
+         m.m_kind kind);
+  if m.m_key <> key then
+    invalid_arg
+      (Printf.sprintf "Snapshot.load: %s: checkpoint key %s, want %s" what
+         m.m_key key)
+
+(* ------------------------------------------------------------------ *)
+(* Warm-start store: <dir>/<key>.<count>.ptgs                          *)
+(* ------------------------------------------------------------------ *)
+
+let file_name ~key count = Printf.sprintf "%s.%d.ptgs" key count
+let path ~dir ~key count = Filename.concat dir (file_name ~key count)
+
+(* Counts present in the store for [key], newest first. *)
+let stored_counts ~dir ~key =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             match String.split_on_char '.' name with
+             | [ k; n; "ptgs" ] when k = key -> int_of_string_opt n
+             | _ -> None)
+      |> List.sort (fun a b -> compare b a)
+
+(* Best usable checkpoint at or below [upto] instructions/rows. *)
+let find_latest ~dir ~key ~upto =
+  List.find_opt (fun n -> n <= upto && n > 0) (stored_counts ~dir ~key)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+(* ------------------------------------------------------------------ *)
+(* Fullsys checkpoints                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Keying a fullsys machine outside the scenario layer: everything
+   [Fullsys.create] consumed, rendered canonically (alphabetical keys)
+   and hashed — the same recipe as [Scenario.prefix_hash], over the
+   creation parameters instead of the scenario fields. *)
+let fullsys_key ?(config = Fullsys.default_config) ?(pages = 2048) ~seed () =
+  let f = config.Fullsys.fault in
+  let orientation =
+    match f.Ptg_rowhammer.Fault_model.orientation with
+    | Ptg_rowhammer.Fault_model.All_true -> "true"
+    | Ptg_rowhammer.Fault_model.All_anti -> "anti"
+    | Ptg_rowhammer.Fault_model.Per_row_hash -> "hash"
+  in
+  let canonical =
+    Printf.sprintf
+      "{\"attack\":%b,\"burst\":%d,\"fault\":{\"d2\":%.17g,\"orient\":%S,\"pflip\":%.17g,\"refresh\":%.17g,\"rth\":%d},\"guarded\":%b,\"pages\":%d,\"period\":%d,\"seed\":%Ld}"
+      config.Fullsys.attack config.Fullsys.hammer_burst
+      f.Ptg_rowhammer.Fault_model.distance2_weight orientation
+      f.Ptg_rowhammer.Fault_model.p_flip
+      f.Ptg_rowhammer.Fault_model.refresh_disturb_weight
+      f.Ptg_rowhammer.Fault_model.rth config.Fullsys.guarded pages
+      config.Fullsys.hammer_period seed
+  in
+  Snapshot.hash_hex (Codec.fnv1a64 canonical)
+
+let fullsys_sections ~key (m : Fullsys.t) =
+  let s = Fullsys.state m in
+  let w = Codec.writer in
+  let sec name fill =
+    let b = w () in
+    fill b;
+    Snapshot.section ~name (Codec.contents b)
+  in
+  [
+    meta_section { m_kind = "fullsys"; m_key = key; m_count = s.Fullsys.s_instr };
+    sec "rng" (fun b -> Sections.put_words b s.Fullsys.s_rng);
+    sec "dram" (fun b -> Sections.put_dram b s.Fullsys.s_dram);
+    sec "fault" (fun b -> Sections.put_fault b s.Fullsys.s_fault);
+    sec "engine" (fun b -> Codec.put_option b Sections.put_engine s.Fullsys.s_engine);
+    sec "memctrl" (fun b -> Codec.put_int b s.Fullsys.s_mc_now);
+    sec "vm" (fun b ->
+        Sections.put_page_table b s.Fullsys.s_table;
+        Sections.put_frame_allocator b s.Fullsys.s_alloc);
+    sec "tlb" (fun b -> Sections.put_tlb b s.Fullsys.s_tlb);
+    sec "translations" (fun b ->
+        Codec.put_list b
+          (fun b (vpn, paddr) ->
+            Codec.put_i64 b vpn;
+            Codec.put_i64 b paddr)
+          s.Fullsys.s_translations);
+    sec "counters" (fun b ->
+        Codec.put_varint b s.Fullsys.s_instr;
+        Codec.put_varint b s.Fullsys.s_now;
+        Codec.put_varint b s.Fullsys.s_walks;
+        Codec.put_varint b s.Fullsys.s_walk_corrections;
+        Codec.put_varint b s.Fullsys.s_walk_exceptions;
+        Codec.put_varint b s.Fullsys.s_refaults;
+        Codec.put_varint b s.Fullsys.s_wrong_translations);
+  ]
+
+let fullsys_state_of_sections ~what sections : Fullsys.state =
+  let sect name = Snapshot.reader ~what sections name in
+  let finish r v =
+    Codec.expect_end r;
+    v
+  in
+  let r = sect "rng" in
+  let s_rng = finish r (Sections.get_words r) in
+  let r = sect "dram" in
+  let s_dram = finish r (Sections.get_dram r) in
+  let r = sect "fault" in
+  let s_fault = finish r (Sections.get_fault r) in
+  let r = sect "engine" in
+  let s_engine = finish r (Codec.get_option r Sections.get_engine) in
+  let r = sect "memctrl" in
+  let s_mc_now = finish r (Codec.get_int r) in
+  let r = sect "vm" in
+  let s_table = Sections.get_page_table r in
+  let s_alloc = finish r (Sections.get_frame_allocator r) in
+  let r = sect "tlb" in
+  let s_tlb = finish r (Sections.get_tlb r) in
+  let r = sect "translations" in
+  let s_translations =
+    finish r
+      (Codec.get_list r (fun r ->
+           let vpn = Codec.get_i64 r in
+           let paddr = Codec.get_i64 r in
+           (vpn, paddr)))
+  in
+  let r = sect "counters" in
+  let s_instr = Codec.get_varint r in
+  let s_now = Codec.get_varint r in
+  let s_walks = Codec.get_varint r in
+  let s_walk_corrections = Codec.get_varint r in
+  let s_walk_exceptions = Codec.get_varint r in
+  let s_refaults = Codec.get_varint r in
+  let s_wrong_translations = finish r (Codec.get_varint r) in
+  {
+    Fullsys.s_rng;
+    s_dram;
+    s_fault;
+    s_engine;
+    s_mc_now;
+    s_table;
+    s_alloc;
+    s_tlb;
+    s_translations;
+    s_instr;
+    s_now;
+    s_walks;
+    s_walk_corrections;
+    s_walk_exceptions;
+    s_refaults;
+    s_wrong_translations;
+  }
+
+let fullsys_save ~path ~key m = Snapshot.save ~path (fullsys_sections ~key m)
+
+let fullsys_restore ~path ~key m =
+  let sections = Snapshot.load ~path in
+  let meta = meta_of_sections ~what:path sections in
+  check_meta ~what:path ~kind:"fullsys" ~key meta;
+  Fullsys.set_state m (fullsys_state_of_sections ~what:path sections);
+  meta.m_count
+
+(* ------------------------------------------------------------------ *)
+(* Chunked fullsys driver                                              *)
+(* ------------------------------------------------------------------ *)
+
+type fullsys_outcome = {
+  f_result : Fullsys.result;
+  f_completed : bool;
+  f_done : int;
+  f_resumed_from : int option;
+}
+
+let never_stop () = false
+let no_progress ~done_count:_ ~total:_ = ()
+
+let run_fullsys ?config ?pages ?key ?every ?dir ?(adopt = true)
+    ?(should_stop = never_stop) ?(progress = no_progress) ~seed ~instrs () =
+  let key =
+    match key with Some k -> k | None -> fullsys_key ?config ?pages ~seed ()
+  in
+  let m = Fullsys.create ?config ?pages ~seed () in
+  (* Warm start: adopt the deepest stored checkpoint not past the
+     budget. A damaged or mismatched file is skipped (the store is an
+     optimization); deeper candidates are tried in order. *)
+  let resumed_from =
+    match dir with
+    | None -> None
+    | Some _ when not adopt -> None
+    | Some dir ->
+        stored_counts ~dir ~key
+        |> List.filter (fun n -> n <= instrs && n > 0)
+        |> List.find_map (fun n ->
+               match fullsys_restore ~path:(path ~dir ~key n) ~key m with
+               | count -> Some count
+               | exception Invalid_argument _ -> None)
+  in
+  let checkpoint () =
+    match dir with
+    | None -> ()
+    | Some dir ->
+        ensure_dir dir;
+        let n = Fullsys.instrs_done m in
+        let p = path ~dir ~key n in
+        if not (Sys.file_exists p) then fullsys_save ~path:p ~key m
+  in
+  (* Make the adopted depth visible to progress streams before any new
+     work happens (also the only progress a full-depth adoption emits). *)
+  (match resumed_from with
+  | Some n -> progress ~done_count:n ~total:instrs
+  | None -> ());
+  let chunk = match every with Some e when e > 0 -> e | _ -> instrs in
+  let stopped = ref false in
+  while (not !stopped) && Fullsys.instrs_done m < instrs do
+    if should_stop () then stopped := true
+    else begin
+      let step = min chunk (instrs - Fullsys.instrs_done m) in
+      ignore (Fullsys.run m ~instrs:step);
+      if every <> None || Fullsys.instrs_done m >= instrs then checkpoint ();
+      progress ~done_count:(Fullsys.instrs_done m) ~total:instrs
+    end
+  done;
+  if !stopped then checkpoint ();
+  {
+    f_result = Fullsys.totals m;
+    f_completed = not !stopped;
+    f_done = Fullsys.instrs_done m;
+    f_resumed_from = resumed_from;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig6 row-batch checkpoints                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig6_rows_sections ~key ~total rows =
+  let b = Codec.writer () in
+  Codec.put_varint b total;
+  Codec.put_list b
+    (fun b (r : Fig6.row) ->
+      Codec.put_string b r.Fig6.workload;
+      Codec.put_float b r.mpki;
+      Codec.put_float b r.base_ipc;
+      Codec.put_float b r.norm_ipc;
+      Codec.put_float b r.slowdown_pct;
+      Codec.put_varint b r.pte_dram_reads;
+      Codec.put_varint b r.dram_reads)
+    rows;
+  [
+    meta_section { m_kind = "fig6"; m_key = key; m_count = List.length rows };
+    Snapshot.section ~name:"fig6.rows" (Codec.contents b);
+  ]
+
+let fig6_rows_of_sections ~what sections =
+  let r = Snapshot.reader ~what sections "fig6.rows" in
+  let total = Codec.get_varint r in
+  let rows =
+    Codec.get_list r (fun r ->
+        let workload = Codec.get_string r in
+        let mpki = Codec.get_float r in
+        let base_ipc = Codec.get_float r in
+        let norm_ipc = Codec.get_float r in
+        let slowdown_pct = Codec.get_float r in
+        let pte_dram_reads = Codec.get_varint r in
+        let dram_reads = Codec.get_varint r in
+        {
+          Fig6.workload;
+          mpki;
+          base_ipc;
+          norm_ipc;
+          slowdown_pct;
+          pte_dram_reads;
+          dram_reads;
+        })
+  in
+  Codec.expect_end r;
+  (total, rows)
+
+type fig6_outcome = {
+  g_result : Fig6.result option; (* None when stopped before the last row *)
+  g_rows : Fig6.row list;
+  g_completed : bool;
+  g_resumed_from : int option;
+}
+
+let run_fig6 ?jobs ?key ?every ?dir ?(adopt = true)
+    ?(should_stop = never_stop) ?(progress = no_progress) ~instrs ~warmup ~seed
+    ~config ~workloads () =
+  let total = List.length workloads in
+  let key =
+    match key with
+    | Some k -> k
+    | None ->
+        (* No scenario at hand: key by the run parameters and the
+           workload list. *)
+        let names =
+          String.concat ","
+            (List.map (fun s -> s.Ptg_workloads.Workload.name) workloads)
+        in
+        Snapshot.hash_hex
+          (Codec.fnv1a64
+             (Printf.sprintf
+                "{\"instrs\":%d,\"mac\":%d,\"seed\":%Ld,\"warmup\":%d,\"workloads\":[%s]}"
+                instrs config.Ptguard.Config.mac_latency_cycles seed warmup
+                names))
+  in
+  (* Resume: the deepest stored row prefix whose workloads match ours in
+     order (a stale or colliding checkpoint is skipped). *)
+  let resumed =
+    match dir with
+    | None -> None
+    | Some _ when not adopt -> None
+    | Some dir ->
+        stored_counts ~dir ~key
+        |> List.filter (fun n -> n <= total && n > 0)
+        |> List.find_map (fun n ->
+               let p = path ~dir ~key n in
+               match
+                 let sections = Snapshot.load ~path:p in
+                 let meta = meta_of_sections ~what:p sections in
+                 check_meta ~what:p ~kind:"fig6" ~key meta;
+                 fig6_rows_of_sections ~what:p sections
+               with
+               | stored_total, rows
+                 when stored_total = total
+                      && List.length rows = n
+                      && List.for_all2
+                           (fun (r : Fig6.row) s ->
+                             r.Fig6.workload = s.Ptg_workloads.Workload.name)
+                           rows
+                           (List.filteri (fun i _ -> i < n) workloads) ->
+                   Some (n, rows)
+               | _ -> None
+               | exception Invalid_argument _ -> None)
+  in
+  let done_rows = ref (match resumed with None -> [] | Some (_, rows) -> rows) in
+  let checkpoint () =
+    match dir with
+    | None -> ()
+    | Some dir ->
+        ensure_dir dir;
+        let n = List.length !done_rows in
+        let p = path ~dir ~key n in
+        if n > 0 && not (Sys.file_exists p) then
+          Snapshot.save ~path:p (fig6_rows_sections ~key ~total !done_rows)
+  in
+  (match resumed with
+  | Some (n, _) -> progress ~done_count:n ~total
+  | None -> ());
+  let batch = match every with Some e when e > 0 -> e | _ -> total in
+  let stopped = ref false in
+  while (not !stopped) && List.length !done_rows < total do
+    if should_stop () then stopped := true
+    else begin
+      let n = List.length !done_rows in
+      let step = min batch (total - n) in
+      let specs = List.filteri (fun i _ -> i >= n && i < n + step) workloads in
+      let rows = Fig6.run_rows ?jobs ~instrs ~warmup ~seed ~config specs in
+      done_rows := !done_rows @ rows;
+      if every <> None || List.length !done_rows >= total then checkpoint ();
+      progress ~done_count:(List.length !done_rows) ~total
+    end
+  done;
+  if !stopped then checkpoint ();
+  let completed = not !stopped in
+  {
+    g_result = (if completed then Some (Fig6.of_rows !done_rows) else None);
+    g_rows = !done_rows;
+    g_completed = completed;
+    g_resumed_from = Option.map fst resumed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario entry point (server warm-start path)                       *)
+(* ------------------------------------------------------------------ *)
+
+type served = {
+  text : string option; (* None when stopped before completion *)
+  completed : bool;
+  resumed_from : int option;
+}
+
+(* Scenarios the snapshot store can serve incrementally: single-seed,
+   non-observed fullsys (instruction-prefix warm start, keyed by
+   [Scenario.prefix_hash]) and fig6 (row-prefix warm start, keyed by the
+   full [Scenario.hash] — rows are only reusable for identical sizing).
+   Everything else runs in one piece; [should_stop] then only takes
+   effect between scenarios. *)
+let run_scenario ?dir ?every ?should_stop ?progress (t : Scenario.t) =
+  Scenario.check t;
+  match (t.Scenario.kind, dir) with
+  | Scenario.Fullsys, Some _ ->
+      let o =
+        run_fullsys ?every ?dir ?should_stop ?progress
+          ~key:(Scenario.prefix_hash t) ~seed:t.Scenario.seed
+          ~instrs:(Scenario.resolve_instrs t) ()
+      in
+      {
+        text =
+          (if o.f_completed then
+             Some (Scenario.render (Scenario.Fullsys_out o.f_result))
+           else None);
+        completed = o.f_completed;
+        resumed_from = o.f_resumed_from;
+      }
+  | Scenario.Fig6, Some _ when t.Scenario.seeds = 1 ->
+      let config =
+        Ptguard.Config.with_mac_latency
+          (Scenario.config_of_design t.Scenario.design)
+          (Scenario.resolve_mac_latency t)
+      in
+      let workloads =
+        List.map
+          (fun name -> Option.get (Ptg_workloads.Workload.by_name name))
+          (Scenario.resolve_workload_names t)
+      in
+      let o =
+        run_fig6 ~jobs:t.Scenario.jobs ?every ?dir ?should_stop ?progress
+          ~key:(Scenario.hash t) ~instrs:(Scenario.resolve_instrs t)
+          ~warmup:(Scenario.resolve_warmup t) ~seed:t.Scenario.seed ~config
+          ~workloads ()
+      in
+      {
+        text = Option.map (fun r -> Scenario.render (Scenario.Fig6_out r)) o.g_result;
+        completed = o.g_completed;
+        resumed_from = o.g_resumed_from;
+      }
+  | _ ->
+      (match should_stop with
+      | Some stop when stop () -> { text = None; completed = false; resumed_from = None }
+      | _ ->
+          {
+            text = Some (Scenario.run_to_string t);
+            completed = true;
+            resumed_from = None;
+          })

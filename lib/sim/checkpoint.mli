@@ -1,0 +1,152 @@
+(** Checkpoint/restore drivers over {!Ptg_snapshot}.
+
+    Two experiment families checkpoint usefully:
+
+    - {b fullsys} — the machine's complete mutable state
+      ({!Fullsys.state}) every [every] instructions. Because the hammer
+      schedule, RNG streams and all counters are absolute, a run
+      resumed from any checkpoint is byte-identical to one that never
+      stopped.
+    - {b fig6} — completed per-workload rows in batches of [every].
+      Rows are independent and job-count invariant, so a resumed run
+      recomputes only the missing suffix and aggregates identically.
+
+    Checkpoints live in a {e warm-start store}: a directory of
+    [<key>.<count>.ptgs] snapshot files, where [key] hashes everything
+    the run depends on {e except} how far it goes
+    ({!Scenario.prefix_hash} for fullsys scenarios) and [count] is the
+    instruction (or row) prefix covered. A longer run warm-starts from
+    the deepest stored prefix at or below its budget; damaged or
+    mismatched files are skipped, never fatal — explicit restores
+    ({!fullsys_restore}) raise instead.
+
+    Checkpointing excludes observability: drivers never pass [obs]. *)
+
+(** {1 Warm-start store} *)
+
+val file_name : key:string -> int -> string
+val path : dir:string -> key:string -> int -> string
+
+val stored_counts : dir:string -> key:string -> int list
+(** Prefix depths present for [key], deepest first; [] when [dir] is
+    missing. *)
+
+val find_latest : dir:string -> key:string -> upto:int -> int option
+
+(** {1 Fullsys} *)
+
+val fullsys_key :
+  ?config:Fullsys.config -> ?pages:int -> seed:int64 -> unit -> string
+(** Store key for a machine built outside the scenario layer: FNV-1a
+    over the canonicalized creation parameters. Scenario-driven runs
+    use {!Scenario.prefix_hash} instead. *)
+
+val fullsys_sections : key:string -> Fullsys.t -> Ptg_snapshot.Snapshot.section list
+(** Snapshot sections for the machine's current state: a meta header
+    (kind, key, instruction count) plus one section per subsystem
+    (rng, dram, fault, engine, memctrl, vm, tlb, translations,
+    counters). *)
+
+val fullsys_state_of_sections :
+  what:string -> Ptg_snapshot.Snapshot.section list -> Fullsys.state
+(** Decode the subsystem sections back into a state record. Raises
+    [Invalid_argument] naming [what] on any missing or malformed
+    section. *)
+
+val fullsys_save : path:string -> key:string -> Fullsys.t -> unit
+
+val fullsys_restore : path:string -> key:string -> Fullsys.t -> int
+(** Load, validate the meta header against [key], and overwrite the
+    machine's state; returns the checkpoint's instruction count.
+    Raises [Invalid_argument] on a corrupt file or a kind/key
+    mismatch. *)
+
+type fullsys_outcome = {
+  f_result : Fullsys.result;  (** lifetime totals, partial when stopped *)
+  f_completed : bool;
+  f_done : int;               (** absolute instructions executed *)
+  f_resumed_from : int option;
+}
+
+val run_fullsys :
+  ?config:Fullsys.config ->
+  ?pages:int ->
+  ?key:string ->
+  ?every:int ->
+  ?dir:string ->
+  ?adopt:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?progress:(done_count:int -> total:int -> unit) ->
+  seed:int64 ->
+  instrs:int ->
+  unit ->
+  fullsys_outcome
+(** Build the machine, warm-start it from [dir] when possible, and run
+    the remaining budget in chunks of [every] (one chunk when absent),
+    checkpointing after each chunk and at completion. [should_stop] is
+    polled between chunks; stopping checkpoints the current position
+    and returns with [f_completed = false]. [adopt:false] still writes
+    checkpoints but starts cold, ignoring stored ones (the CLI's
+    checkpoint-without-[--resume] mode). The final result is
+    byte-identical for any [every], any kill/resume schedule, and any
+    warm-start depth. *)
+
+(** {1 Fig6} *)
+
+val fig6_rows_sections :
+  key:string -> total:int -> Fig6.row list -> Ptg_snapshot.Snapshot.section list
+
+val fig6_rows_of_sections :
+  what:string ->
+  Ptg_snapshot.Snapshot.section list ->
+  int * Fig6.row list
+(** [(total, completed-prefix)]. *)
+
+type fig6_outcome = {
+  g_result : Fig6.result option;  (** [None] when stopped early *)
+  g_rows : Fig6.row list;
+  g_completed : bool;
+  g_resumed_from : int option;    (** rows adopted from the store *)
+}
+
+val run_fig6 :
+  ?jobs:int ->
+  ?key:string ->
+  ?every:int ->
+  ?dir:string ->
+  ?adopt:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?progress:(done_count:int -> total:int -> unit) ->
+  instrs:int ->
+  warmup:int ->
+  seed:int64 ->
+  config:Ptguard.Config.t ->
+  workloads:Ptg_workloads.Workload.spec list ->
+  unit ->
+  fig6_outcome
+(** Row-batch analogue of {!run_fullsys}: compute missing rows in
+    ordered batches of [every] (all at once when absent) through
+    {!Fig6.run_rows}, checkpointing the completed prefix. A stored
+    prefix is only adopted when its workload names match this run's
+    list in order. *)
+
+(** {1 Scenario entry point} *)
+
+type served = {
+  text : string option;  (** the {!Scenario.render}ing; [None] if stopped *)
+  completed : bool;
+  resumed_from : int option;
+}
+
+val run_scenario :
+  ?dir:string ->
+  ?every:int ->
+  ?should_stop:(unit -> bool) ->
+  ?progress:(done_count:int -> total:int -> unit) ->
+  Scenario.t ->
+  served
+(** The server's warm-start-aware execution path. With [dir], fullsys
+    scenarios warm-start by instruction prefix (key
+    {!Scenario.prefix_hash}) and single-seed fig6 scenarios by row
+    prefix (key {!Scenario.hash}); the rendering is byte-identical to
+    {!Scenario.run_to_string}. Other kinds run in one piece. *)

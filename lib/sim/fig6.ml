@@ -25,14 +25,54 @@ let run_workload ?obs ~instrs ~warmup ~seed ~guard spec =
   ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
   Ptg_cpu.Core.run core ~instrs ~stream
 
+(* One workload's row. Each row builds its own Rng/Engine from [seed]
+   alone, so rows are independent of each other and of which process,
+   domain or chunk computes them — the property both the parallel
+   fan-out and the row-batch checkpoint driver rely on. *)
+let row_of_spec ?obs ~instrs ~warmup ~seed ~config spec =
+  let base =
+    run_workload ~instrs ~warmup ~seed ~guard:Ptg_cpu.Guard_timing.unprotected
+      spec
+  in
+  let guard =
+    Ptg_cpu.Guard_timing.of_config config ?obs
+      ~rng:(Rng.create (Int64.add seed 1L))
+  in
+  let guarded = run_workload ?obs ~instrs ~warmup ~seed ~guard spec in
+  let norm_ipc = guarded.Ptg_cpu.Core.ipc /. base.Ptg_cpu.Core.ipc in
+  {
+    workload = spec.Ptg_workloads.Workload.name;
+    mpki = base.Ptg_cpu.Core.llc_mpki;
+    base_ipc = base.Ptg_cpu.Core.ipc;
+    norm_ipc;
+    slowdown_pct = 100.0 *. (1.0 -. norm_ipc);
+    pte_dram_reads = base.Ptg_cpu.Core.pte_dram_reads;
+    dram_reads = base.Ptg_cpu.Core.dram_reads;
+  }
+
+let of_rows rows =
+  let norms = Array.of_list (List.map (fun r -> r.norm_ipc) rows) in
+  let slowdowns = Array.of_list (List.map (fun r -> r.slowdown_pct) rows) in
+  {
+    rows;
+    gmean_norm_ipc = Stats.geomean norms;
+    amean_norm_ipc = Stats.mean norms;
+    amean_slowdown_pct = Stats.mean slowdowns;
+    max_slowdown_pct = Array.fold_left Float.max 0.0 slowdowns;
+  }
+
+let run_rows ?jobs ~instrs ~warmup ~seed ~config workloads =
+  Array.to_list
+    (Pool.parallel_map ?jobs
+       (row_of_spec ~instrs ~warmup ~seed ~config)
+       (Array.of_list workloads))
+
 let run ?jobs ?(instrs = 2_000_000) ?(warmup = 500_000) ?(seed = 42L)
     ?(config = Ptguard.Config.baseline) ?(workloads = Ptg_workloads.Workload.all)
     ?obs () =
-  (* Each workload run builds its own Rng/Engine from [seed] alone, so the
-     per-workload fan-out is bit-identical to serial execution. Each task
-     writes into its own child sink; the children are merged into [obs] in
-     task order after the join, so metrics and traces are also identical
-     for any job count. *)
+  (* Each task writes into its own child sink; the children are merged
+     into [obs] in task order after the join, so metrics and traces are
+     identical for any job count. *)
   let children =
     match obs with
     | None -> [||]
@@ -43,43 +83,14 @@ let run ?jobs ?(instrs = 2_000_000) ?(warmup = 500_000) ?(seed = 42L)
     Pool.parallel_map ?jobs
       (fun (i, spec) ->
         let obs = if Array.length children = 0 then None else Some children.(i) in
-        let base =
-          run_workload ~instrs ~warmup ~seed ~guard:Ptg_cpu.Guard_timing.unprotected
-            spec
-        in
-        let guard =
-          Ptg_cpu.Guard_timing.of_config config ?obs
-            ~rng:(Rng.create (Int64.add seed 1L))
-        in
-        let guarded = run_workload ?obs ~instrs ~warmup ~seed ~guard spec in
-        let norm_ipc =
-          guarded.Ptg_cpu.Core.ipc /. base.Ptg_cpu.Core.ipc
-        in
-        {
-          workload = spec.Ptg_workloads.Workload.name;
-          mpki = base.Ptg_cpu.Core.llc_mpki;
-          base_ipc = base.Ptg_cpu.Core.ipc;
-          norm_ipc;
-          slowdown_pct = 100.0 *. (1.0 -. norm_ipc);
-          pte_dram_reads = base.Ptg_cpu.Core.pte_dram_reads;
-          dram_reads = base.Ptg_cpu.Core.dram_reads;
-        })
+        row_of_spec ?obs ~instrs ~warmup ~seed ~config spec)
       (Array.of_list (List.mapi (fun i spec -> (i, spec)) workloads))
   in
   (match obs with
   | None -> ()
   | Some sink ->
       Array.iter (fun child -> Ptg_obs.Sink.merge_into ~src:child ~dst:sink) children);
-  let rows = Array.to_list rows_arr in
-  let norms = Array.of_list (List.map (fun r -> r.norm_ipc) rows) in
-  let slowdowns = Array.of_list (List.map (fun r -> r.slowdown_pct) rows) in
-  {
-    rows;
-    gmean_norm_ipc = Stats.geomean norms;
-    amean_norm_ipc = Stats.mean norms;
-    amean_slowdown_pct = Stats.mean slowdowns;
-    max_slowdown_pct = Array.fold_left Float.max 0.0 slowdowns;
-  }
+  of_rows (Array.to_list rows_arr)
 
 let to_rows result =
   List.map

@@ -43,6 +43,23 @@ val run :
     order after the join, so metrics/trace exports are also byte-identical
     for any job count. *)
 
+val run_rows :
+  ?jobs:int ->
+  instrs:int ->
+  warmup:int ->
+  seed:int64 ->
+  config:Ptguard.Config.t ->
+  Ptg_workloads.Workload.spec list ->
+  row list
+(** The per-workload rows of {!run} for an arbitrary subset of
+    workloads, in order. Rows are independent — each builds its own RNG
+    and guard from [seed] alone — so computing them in separate calls
+    (the checkpoint driver's row batches) yields exactly the rows a
+    single {!run} over the full list produces. No observability. *)
+
+val of_rows : row list -> result
+(** Aggregate rows (gmean/amean/max) exactly as {!run} does. *)
+
 val to_string : result -> string
 (** Exactly the bytes {!print} writes to stdout (the serving layer caches
     and ships this rendering). *)

@@ -44,6 +44,7 @@ type t = {
   tlb : Ptg_cpu.Tlb.t;
   translations : (int64, int64) Hashtbl.t; (* vpn -> cached paddr (TLB payload) *)
   victim : Ptg_dram.Geometry.coords;
+  mutable instr : int; (* absolute executed-instruction count, across runs *)
   mutable now : int;
   mutable walks : int;
   mutable walk_corrections : int;
@@ -117,6 +118,7 @@ let create ?(config = default_config) ?(pages = 2048) ?obs ~seed () =
     tlb = Ptg_cpu.Tlb.create ?obs ();
     translations = Hashtbl.create 64;
     victim;
+    instr = 0;
     now = 0;
     walks = 0;
     walk_corrections = 0;
@@ -195,9 +197,13 @@ let run t ~instrs =
   let start_corr = t.walk_corrections and start_exc = t.walk_exceptions in
   let start_refaults = t.refaults and start_wrong = t.wrong_translations in
   let hot = Array.sub t.vaddrs 0 (min 32 (Array.length t.vaddrs)) in
-  for i = 1 to instrs do
+  (* The hammer schedule keys off the absolute instruction counter, so a
+     run split into chunks (checkpointed, or resumed from a snapshot)
+     fires bursts at exactly the instants one uninterrupted run would. *)
+  for _ = 1 to instrs do
+    t.instr <- t.instr + 1;
     t.now <- t.now + 1;
-    if t.cfg.attack && i mod t.cfg.hammer_period = 0 then hammer t;
+    if t.cfg.attack && t.instr mod t.cfg.hammer_period = 0 then hammer t;
     (* 35% memory operations: mostly hot pages (TLB-resident), a cold
        tail that walks. *)
     if Rng.bernoulli t.rng 0.35 then begin
@@ -243,6 +249,94 @@ let run t ~instrs =
 let memctrl t = t.mc
 let os_handler t = t.os
 let engine t = Ptg_memctrl.Memctrl.engine t.mc
+let instrs_done t = t.instr
+
+(* Lifetime result: identical to what a single [run] over the whole
+   instruction budget returns, however many chunks (or snapshot resumes)
+   actually produced it — the checkpoint drivers report this. *)
+let totals t =
+  {
+    instrs = t.instr;
+    cycles = t.now;
+    ipc = float_of_int t.instr /. float_of_int (max 1 t.now);
+    walks = t.walks;
+    walk_corrections = t.walk_corrections;
+    walk_exceptions = t.walk_exceptions;
+    refaults = t.refaults;
+    flips_landed = Ptg_rowhammer.Fault_model.flip_count t.fault;
+    wrong_translations = t.wrong_translations;
+  }
+
+type state = {
+  s_rng : int64 array;
+  s_dram : Ptg_dram.Dram.state;
+  s_fault : Ptg_rowhammer.Fault_model.state;
+  s_engine : Ptguard.Engine.state option;
+  s_mc_now : int;
+  s_table : Page_table.state;
+  s_alloc : Frame_allocator.state;
+  s_tlb : Ptg_cpu.Tlb.state;
+  s_translations : (int64 * int64) list; (* vpn-sorted *)
+  s_instr : int;
+  s_now : int;
+  s_walks : int;
+  s_walk_corrections : int;
+  s_walk_exceptions : int;
+  s_refaults : int;
+  s_wrong_translations : int;
+}
+
+let state t =
+  {
+    s_rng = Rng.state t.rng;
+    s_dram = Ptg_dram.Dram.state t.dram;
+    s_fault = Ptg_rowhammer.Fault_model.state t.fault;
+    s_engine = Option.map Ptguard.Engine.state (engine t);
+    s_mc_now = Ptg_memctrl.Memctrl.now t.mc;
+    s_table = Page_table.state t.table;
+    s_alloc = Frame_allocator.state (Page_table.allocator t.table);
+    s_tlb = Ptg_cpu.Tlb.state t.tlb;
+    s_translations =
+      Hashtbl.fold (fun vpn paddr acc -> (vpn, paddr) :: acc) t.translations []
+      |> List.sort (fun (a, _) (b, _) -> Int64.compare a b);
+    s_instr = t.instr;
+    s_now = t.now;
+    s_walks = t.walks;
+    s_walk_corrections = t.walk_corrections;
+    s_walk_exceptions = t.walk_exceptions;
+    s_refaults = t.refaults;
+    s_wrong_translations = t.wrong_translations;
+  }
+
+(* Everything not restored here is reconstructed bit-identically by
+   [create] from the same (config, pages, seed): the shadow mapping,
+   victim coordinates and vaddr array are write-once, and the OS journal
+   observer only exists under observability (which checkpointing
+   excludes). *)
+let set_state t s =
+  (match (engine t, s.s_engine) with
+  | None, None | Some _, Some _ -> ()
+  | _ -> invalid_arg "Fullsys.set_state: guarded/unguarded mismatch");
+  Rng.set_state t.rng s.s_rng;
+  Ptg_dram.Dram.set_state t.dram s.s_dram;
+  Ptg_rowhammer.Fault_model.set_state t.fault s.s_fault;
+  (match (engine t, s.s_engine) with
+  | Some e, Some es -> Ptguard.Engine.set_state e es
+  | _ -> ());
+  Ptg_memctrl.Memctrl.set_now t.mc s.s_mc_now;
+  Page_table.set_state t.table s.s_table;
+  Frame_allocator.set_state (Page_table.allocator t.table) s.s_alloc;
+  Ptg_cpu.Tlb.set_state t.tlb s.s_tlb;
+  Hashtbl.reset t.translations;
+  List.iter (fun (vpn, paddr) -> Hashtbl.replace t.translations vpn paddr)
+    s.s_translations;
+  t.instr <- s.s_instr;
+  t.now <- s.s_now;
+  t.walks <- s.s_walks;
+  t.walk_corrections <- s.s_walk_corrections;
+  t.walk_exceptions <- s.s_walk_exceptions;
+  t.refaults <- s.s_refaults;
+  t.wrong_translations <- s.s_wrong_translations
 
 let pp_result fmt r =
   Format.fprintf fmt

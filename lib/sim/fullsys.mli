@@ -59,6 +59,18 @@ val create :
     unobserved one. *)
 
 val run : t -> instrs:int -> result
+(** Execute [instrs] more instructions. The attacker's hammer schedule
+    keys off the {e absolute} instruction counter, so splitting a budget
+    across several [run] calls (checkpointing, resume) replays exactly
+    the bursts of one uninterrupted call. The returned statistics cover
+    this call only; use {!totals} for the lifetime numbers. *)
+
+val instrs_done : t -> int
+(** Instructions executed so far, across all [run] calls. *)
+
+val totals : t -> result
+(** Lifetime result — equal to the single-[run] result when the whole
+    budget ran in one call, however many chunks actually produced it. *)
 
 val memctrl : t -> Ptg_memctrl.Memctrl.t
 val os_handler : t -> Ptg_os.Os_handler.t option
@@ -68,3 +80,38 @@ val engine : t -> Ptguard.Engine.t option
 (** The controller's integrity engine ([None] when unguarded). *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {2 Checkpointable state}
+
+    The full mutable surface of the machine. Everything else — the
+    shadow mapping, the vaddr array, victim coordinates — is write-once
+    in [create] and reconstructed bit-identically from the same
+    (config, pages, seed), which is the restore contract: build a fresh
+    [t] with the creation parameters of the checkpointed run, then
+    [set_state] it. Checkpointing excludes observability ([obs]), whose
+    sinks cannot be serialized. *)
+
+type state = {
+  s_rng : int64 array;
+  s_dram : Ptg_dram.Dram.state;
+  s_fault : Ptg_rowhammer.Fault_model.state;
+  s_engine : Ptguard.Engine.state option;
+  s_mc_now : int;
+  s_table : Ptg_vm.Page_table.state;
+  s_alloc : Ptg_vm.Frame_allocator.state;
+  s_tlb : Ptg_cpu.Tlb.state;
+  s_translations : (int64 * int64) list;  (** vpn-sorted *)
+  s_instr : int;
+  s_now : int;
+  s_walks : int;
+  s_walk_corrections : int;
+  s_walk_exceptions : int;
+  s_refaults : int;
+  s_wrong_translations : int;
+}
+
+val state : t -> state
+
+val set_state : t -> state -> unit
+(** Raises [Invalid_argument] when the state's guarded/unguarded shape
+    does not match this machine's configuration. *)

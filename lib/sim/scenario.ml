@@ -1,6 +1,6 @@
-type kind = Fig6 | Fig7 | Fig8 | Fig9 | Multicore | Trace
+type kind = Fig6 | Fig7 | Fig8 | Fig9 | Multicore | Trace | Fullsys
 
-let kinds = [ Fig6; Fig7; Fig8; Fig9; Multicore; Trace ]
+let kinds = [ Fig6; Fig7; Fig8; Fig9; Multicore; Trace; Fullsys ]
 
 let kind_name = function
   | Fig6 -> "fig6"
@@ -9,6 +9,7 @@ let kind_name = function
   | Fig9 -> "fig9"
   | Multicore -> "multicore"
   | Trace -> "trace"
+  | Fullsys -> "fullsys"
 
 let kind_names = List.map kind_name kinds
 
@@ -86,6 +87,8 @@ let resolve_instrs t =
   | None, Fig7, true -> 250_000
   | None, Multicore, false -> 400_000
   | None, Multicore, true -> 120_000
+  | None, Fullsys, false -> 60_000
+  | None, Fullsys, true -> 20_000
   | None, (Fig8 | Fig9 | Trace), _ -> 0
 
 let resolve_warmup t =
@@ -95,7 +98,7 @@ let resolve_warmup t =
   | None, Fig6, true -> 200_000
   | None, Fig7, false -> 300_000
   | None, Fig7, true -> 100_000
-  | None, (Fig8 | Fig9 | Multicore | Trace), _ -> 0
+  | None, (Fig8 | Fig9 | Multicore | Trace | Fullsys), _ -> 0
 
 let resolve_mac_latency t =
   match t.mac_latency with
@@ -235,7 +238,11 @@ let trace_content_hash path =
   Printf.sprintf "%016Lx"
     (fnv1a64 (In_channel.with_open_bin path In_channel.input_all))
 
-let canonical t =
+(* [skip_instrs] drops the instruction budget from the rendering: the
+   warm-start store keys checkpoints by everything {e except} how far
+   the run goes, so a longer run can resume from a shorter run's
+   snapshots (only [Fullsys] scales by instructions this way). *)
+let canonical_ext ~skip_instrs t =
   check t;
   let buf = Buffer.create 128 in
   let first = ref true in
@@ -318,12 +325,20 @@ let canonical t =
                    (Ptg_mitigations.Registry.resolved_params name t.mit_params));
               Buffer.add_char buf '}'));
       seed_field ();
-      str_field "trace" (trace_content_hash (Option.get t.trace_path)));
+      str_field "trace" (trace_content_hash (Option.get t.trace_path))
+  | Fullsys ->
+      if not skip_instrs then int_field "instrs" (resolve_instrs t);
+      str_field "kind" "fullsys";
+      seed_field ());
   Buffer.add_char buf '}';
   Buffer.contents buf
 
+let canonical t = canonical_ext ~skip_instrs:false t
 let hash64 t = fnv1a64 (canonical t)
 let hash t = Printf.sprintf "%016Lx" (hash64 t)
+let prefix_canonical t = canonical_ext ~skip_instrs:true t
+let prefix_hash64 t = fnv1a64 (prefix_canonical t)
+let prefix_hash t = Printf.sprintf "%016Lx" (prefix_hash64 t)
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -338,6 +353,7 @@ type output =
   | Fig9_multi_out of Fig9.multi
   | Multicore_out of Multicore_exp.result
   | Trace_out of { mitigation : string option; result : Mem_trace.replay_result }
+  | Fullsys_out of Fullsys.result
 
 let run ?obs t =
   check t;
@@ -387,6 +403,14 @@ let run ?obs t =
       with
       | Ok result -> Trace_out { mitigation = t.mitigation; result }
       | Error msg -> invalid_arg ("Scenario: " ^ msg))
+  | Fullsys ->
+      (* Guarded machine under attack (the mode's defaults); [totals] so
+         the rendering is identical however the budget was chunked —
+         including when the checkpoint driver serves this scenario from
+         a warm-start snapshot instead. *)
+      let m = Fullsys.create ?obs ~seed:t.seed () in
+      ignore (Fullsys.run m ~instrs:(resolve_instrs t));
+      Fullsys_out (Fullsys.totals m)
 
 let render = function
   | Fig6_out r -> Fig6.to_string r
@@ -398,6 +422,7 @@ let render = function
   | Multicore_out r -> Multicore_exp.to_string r
   | Trace_out { mitigation; result } ->
       Mem_trace.render_result ?mitigation result
+  | Fullsys_out r -> Format.asprintf "%a@." Fullsys.pp_result r
 
 let run_to_string ?obs t = render (run ?obs t)
 
@@ -408,4 +433,4 @@ let save_csv out ~path =
   | Fig8_out r -> Fig8.to_csv r ~path
   | Fig9_out r -> Fig9.to_csv r ~path
   | Multicore_out r -> Multicore_exp.to_csv r ~path
-  | Fig6_multi_out _ | Fig9_multi_out _ | Trace_out _ -> ()
+  | Fig6_multi_out _ | Fig9_multi_out _ | Trace_out _ | Fullsys_out _ -> ()

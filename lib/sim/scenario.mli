@@ -17,7 +17,7 @@
     cache key. Because every experiment is deterministic given its
     canonical form, a cache hit is byte-identical to a re-run. *)
 
-type kind = Fig6 | Fig7 | Fig8 | Fig9 | Multicore | Trace
+type kind = Fig6 | Fig7 | Fig8 | Fig9 | Multicore | Trace | Fullsys
 
 val kinds : kind list
 val kind_name : kind -> string
@@ -78,6 +78,19 @@ val validate : t -> (unit, string) result
     for [Trace], an existing trace file, a registered mitigation name
     and schema-valid parameter overrides. *)
 
+val check : t -> unit
+(** {!validate}, raising [Invalid_argument] on rejection. *)
+
+val config_of_design : Ptguard.Config.design -> Ptguard.Config.t
+
+val resolve_instrs : t -> int
+val resolve_warmup : t -> int
+val resolve_mac_latency : t -> int
+val resolve_workload_names : t -> string list
+(** Kind-aware defaults, as {!canonical} resolves them — exposed for
+    drivers (the checkpoint layer) that must reproduce {!run}'s exact
+    parameters. *)
+
 val canonical : t -> string
 (** Single-line JSON, sorted keys, defaults resolved, kind-relevant
     fields only. Raises [Invalid_argument] when {!validate} rejects.
@@ -93,6 +106,18 @@ val hash64 : t -> int64
 val hash : t -> string
 (** {!hash64} as 16 lowercase hex digits: the result-cache key. *)
 
+val prefix_canonical : t -> string
+(** {!canonical} with the instruction budget omitted: everything the
+    run depends on {e except} how far it goes. Two [Fullsys] scenarios
+    differing only in [instrs] share a prefix form, which is what lets
+    a longer run warm-start from a shorter run's checkpoints. *)
+
+val prefix_hash64 : t -> int64
+
+val prefix_hash : t -> string
+(** {!prefix_hash64} as 16 lowercase hex digits: the warm-start store
+    key ([Checkpoint] names snapshot files [<prefix_hash>.<n>.ptgs]). *)
+
 type output =
   | Fig6_out of Fig6.result
   | Fig6_multi_out of Fig6.multi
@@ -102,6 +127,8 @@ type output =
   | Fig9_multi_out of Fig9.multi
   | Multicore_out of Multicore_exp.result
   | Trace_out of { mitigation : string option; result : Mem_trace.replay_result }
+  | Fullsys_out of Fullsys.result
+      (** guarded machine under double-sided attack, default sizing *)
 
 val run : ?obs:Ptg_obs.Sink.t -> t -> output
 (** Execute the scenario (raising [Invalid_argument] when {!validate}

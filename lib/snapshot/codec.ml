@@ -1,0 +1,124 @@
+(* Little binary codec shared by every snapshot section: unsigned LEB128
+   varints for lengths and counters, zigzag varints for signed ints,
+   fixed 8-byte little-endian words for int64 payloads (addresses, RNG
+   words, float bits). The framing and error style deliberately mirror
+   [Mem_trace]'s trace format so corrupt inputs fail the same way
+   everywhere: [Invalid_argument] naming the input and byte offset. *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 4096
+let contents (b : writer) = Buffer.contents b
+let put_varint b n =
+  if n < 0 then invalid_arg "Snapshot: negative varint";
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char b (Char.chr (0x80 lor (!n land 0x7f)));
+    n := !n lsr 7
+  done;
+  Buffer.add_char b (Char.chr !n)
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (- (n land 1))
+
+let put_int b n = put_varint b (zigzag n)
+let put_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+let put_i64 b (v : int64) = Buffer.add_int64_le b v
+let put_float b f = put_i64 b (Int64.bits_of_float f)
+
+let put_string b s =
+  put_varint b (String.length s);
+  Buffer.add_string b s
+
+let put_list b put xs =
+  put_varint b (List.length xs);
+  List.iter (put b) xs
+
+let put_array b put xs =
+  put_varint b (Array.length xs);
+  Array.iter (put b) xs
+
+let put_option b put = function
+  | None -> put_bool b false
+  | Some v ->
+      put_bool b true;
+      put b v
+
+type reader = { what : string; src : string; mutable pos : int }
+
+let reader ~what src = { what; src; pos = 0 }
+let pos r = r.pos
+
+let truncated r =
+  invalid_arg
+    (Printf.sprintf "Snapshot.load: %s: truncated at byte %d" r.what r.pos)
+
+let corrupt r msg =
+  invalid_arg
+    (Printf.sprintf "Snapshot.load: %s: %s at byte %d" r.what msg r.pos)
+
+let get_u8 r =
+  if r.pos >= String.length r.src then truncated r;
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_varint r =
+  let n = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if !shift > 62 then corrupt r "varint overflow";
+    let byte = get_u8 r in
+    n := !n lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := byte land 0x80 <> 0
+  done;
+  !n
+
+let get_int r = unzigzag (get_varint r)
+
+let get_bool r =
+  match get_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | n -> corrupt r (Printf.sprintf "bad boolean byte %d" n)
+
+let get_i64 r =
+  if r.pos + 8 > String.length r.src then truncated r;
+  let v = String.get_int64_le r.src r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let get_float r = Int64.float_of_bits (get_i64 r)
+
+let get_string r =
+  let len = get_varint r in
+  if r.pos + len > String.length r.src then truncated r;
+  let s = String.sub r.src r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let get_list r get =
+  let n = get_varint r in
+  List.init n (fun _ -> get r)
+
+let get_array r get =
+  let n = get_varint r in
+  Array.init n (fun _ -> get r)
+
+let get_option r get = if get_bool r then Some (get r) else None
+
+let expect_end r =
+  if r.pos <> String.length r.src then
+    corrupt r
+      (Printf.sprintf "%d trailing bytes" (String.length r.src - r.pos))
+
+(* FNV-1a 64 — same content-hash primitive the scenario canonicalizer
+   uses, applied here to the framed section region of a snapshot. *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h

@@ -1,0 +1,51 @@
+(** Binary primitives for the snapshot format.
+
+    Unsigned LEB128 varints frame every length and counter; signed ints
+    travel zigzag-encoded; [int64] payloads (addresses, RNG words, float
+    bits) are fixed 8-byte little-endian words. Readers reject malformed
+    input with [Invalid_argument] messages naming the input and the byte
+    offset — the same contract as [Mem_trace.load_binary]. *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val put_varint : writer -> int -> unit
+(** Unsigned; raises [Invalid_argument] on a negative value. *)
+
+val put_int : writer -> int -> unit
+(** Signed (zigzag). *)
+
+val put_bool : writer -> bool -> unit
+val put_i64 : writer -> int64 -> unit
+val put_float : writer -> float -> unit
+val put_string : writer -> string -> unit
+val put_list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+val put_array : writer -> (writer -> 'a -> unit) -> 'a array -> unit
+val put_option : writer -> (writer -> 'a -> unit) -> 'a option -> unit
+
+type reader
+
+val reader : what:string -> string -> reader
+(** [what] names the input (a path, or ["<memory>"]) in error messages. *)
+
+val pos : reader -> int
+val truncated : reader -> 'a
+val corrupt : reader -> string -> 'a
+val get_u8 : reader -> int
+val get_varint : reader -> int
+val get_int : reader -> int
+val get_bool : reader -> bool
+val get_i64 : reader -> int64
+val get_float : reader -> float
+val get_string : reader -> string
+val get_list : reader -> (reader -> 'a) -> 'a list
+val get_array : reader -> (reader -> 'a) -> 'a array
+val get_option : reader -> (reader -> 'a) -> 'a option
+
+val expect_end : reader -> unit
+(** Raises unless every byte has been consumed. *)
+
+val fnv1a64 : string -> int64
+(** The snapshot content-hash primitive (FNV-1a, 64-bit). *)

@@ -1,0 +1,413 @@
+(* Per-subsystem section payloads: every [put_x]/[get_x] pair round-trips
+   one checkpointable state record from the simulator libraries through
+   {!Codec}. These are deliberately dumb field-by-field serializers —
+   validation of the decoded values (geometry, ranges, key material)
+   happens in the corresponding [set_state], which owns the invariants. *)
+
+open Codec
+
+(* xoshiro word vectors (Rng streams, PARA/fault-model RNGs). *)
+let put_words b words = put_array b put_i64 words
+let get_words r = get_array r get_i64
+
+let put_line b (line : Ptg_pte.Line.t) = Array.iter (put_i64 b) line
+
+let get_line r : Ptg_pte.Line.t =
+  Ptg_pte.Line.of_words (Array.init Ptg_pte.Line.words (fun _ -> get_i64 r))
+
+let put_addr_line b (addr, line) =
+  put_i64 b addr;
+  put_line b line
+
+let get_addr_line r =
+  let addr = get_i64 r in
+  (addr, get_line r)
+
+let put_block b (blk : Ptg_crypto.Block128.t) =
+  put_i64 b blk.Ptg_crypto.Block128.hi;
+  put_i64 b blk.Ptg_crypto.Block128.lo
+
+let get_block r =
+  let hi = get_i64 r in
+  let lo = get_i64 r in
+  Ptg_crypto.Block128.make ~hi ~lo
+
+(* Mitigation-plugin key/value images ([Registry.save_state]). *)
+let put_kv b (k, v) =
+  put_string b k;
+  put_i64 b v
+
+let get_kv r =
+  let k = get_string r in
+  (k, get_i64 r)
+
+let put_kvs b kvs = put_list b put_kv kvs
+let get_kvs r = get_list r get_kv
+
+let put_cache b (s : Ptg_cpu.Cache.state) =
+  put_array b (fun b n -> put_int b n) s.Ptg_cpu.Cache.s_tags;
+  put_array b (fun b n -> put_int b n) s.s_lrus;
+  put_string b (Bytes.to_string s.s_dirty);
+  put_int b s.s_tick;
+  put_int b s.s_accesses;
+  put_int b s.s_misses;
+  put_bool b s.s_wb_pending;
+  put_i64 b s.s_wb_addr
+
+let get_cache r : Ptg_cpu.Cache.state =
+  let s_tags = get_array r get_int in
+  let s_lrus = get_array r get_int in
+  let s_dirty = Bytes.of_string (get_string r) in
+  let s_tick = get_int r in
+  let s_accesses = get_int r in
+  let s_misses = get_int r in
+  let s_wb_pending = get_bool r in
+  let s_wb_addr = get_i64 r in
+  { s_tags; s_lrus; s_dirty; s_tick; s_accesses; s_misses; s_wb_pending; s_wb_addr }
+
+let put_tlb b (s : Ptg_cpu.Tlb.state) =
+  put_array b
+    (fun b (vpn, valid, lru) ->
+      put_int b vpn;
+      put_bool b valid;
+      put_int b lru)
+    s.Ptg_cpu.Tlb.s_entries;
+  put_int b s.s_tick;
+  put_int b s.s_hits;
+  put_int b s.s_misses;
+  put_int b s.s_mru
+
+let get_tlb r : Ptg_cpu.Tlb.state =
+  let s_entries =
+    get_array r (fun r ->
+        let vpn = get_int r in
+        let valid = get_bool r in
+        let lru = get_int r in
+        (vpn, valid, lru))
+  in
+  let s_tick = get_int r in
+  let s_hits = get_int r in
+  let s_misses = get_int r in
+  let s_mru = get_int r in
+  { s_entries; s_tick; s_hits; s_misses; s_mru }
+
+let put_outcome b (o : Ptg_dram.Timing.row_buffer_outcome) =
+  put_varint b
+    (match o with
+    | Ptg_dram.Timing.Hit -> 0
+    | Ptg_dram.Timing.Closed_row -> 1
+    | Ptg_dram.Timing.Conflict -> 2)
+
+let get_outcome r : Ptg_dram.Timing.row_buffer_outcome =
+  match get_varint r with
+  | 0 -> Ptg_dram.Timing.Hit
+  | 1 -> Ptg_dram.Timing.Closed_row
+  | 2 -> Ptg_dram.Timing.Conflict
+  | n -> corrupt r (Printf.sprintf "bad row-buffer outcome tag %d" n)
+
+let put_dram b (s : Ptg_dram.Dram.state) =
+  put_array b
+    (fun b banks ->
+      put_array b
+        (fun b (bs : Ptg_dram.Dram.bank_snapshot) ->
+          put_int b bs.Ptg_dram.Dram.bs_open_row;
+          put_list b
+            (fun b (row, acts) ->
+              put_int b row;
+              put_int b acts)
+            bs.bs_activations)
+        banks)
+    s.Ptg_dram.Dram.s_banks;
+  put_list b put_addr_line s.s_storage;
+  put_int b s.s_epoch;
+  put_int b s.s_total_activations;
+  put_outcome b s.s_last_outcome;
+  put_int b s.s_last_channel;
+  put_int b s.s_last_rank;
+  put_int b s.s_last_bank;
+  put_int b s.s_last_row;
+  put_int b s.s_last_col
+
+let get_dram r : Ptg_dram.Dram.state =
+  let s_banks =
+    get_array r (fun r ->
+        get_array r (fun r ->
+            let bs_open_row = get_int r in
+            let bs_activations =
+              get_list r (fun r ->
+                  let row = get_int r in
+                  let acts = get_int r in
+                  (row, acts))
+            in
+            { Ptg_dram.Dram.bs_open_row; bs_activations }))
+  in
+  let s_storage = get_list r get_addr_line in
+  let s_epoch = get_int r in
+  let s_total_activations = get_int r in
+  let s_last_outcome = get_outcome r in
+  let s_last_channel = get_int r in
+  let s_last_rank = get_int r in
+  let s_last_bank = get_int r in
+  let s_last_row = get_int r in
+  let s_last_col = get_int r in
+  {
+    s_banks;
+    s_storage;
+    s_epoch;
+    s_total_activations;
+    s_last_outcome;
+    s_last_channel;
+    s_last_rank;
+    s_last_bank;
+    s_last_row;
+    s_last_col;
+  }
+
+let put_engine_stats b (s : Ptguard.Engine.stats) =
+  put_int b s.Ptguard.Engine.writes_total;
+  put_int b s.writes_protected;
+  put_int b s.writes_mac_zero;
+  put_int b s.collisions_tracked;
+  put_int b s.reads_total;
+  put_int b s.reads_pte;
+  put_int b s.mac_computations;
+  put_int b s.macs_stripped;
+  put_int b s.integrity_failures;
+  put_int b s.corrections_attempted;
+  put_int b s.corrections_succeeded;
+  put_int b s.rekeys
+
+let get_engine_stats r : Ptguard.Engine.stats =
+  let writes_total = get_int r in
+  let writes_protected = get_int r in
+  let writes_mac_zero = get_int r in
+  let collisions_tracked = get_int r in
+  let reads_total = get_int r in
+  let reads_pte = get_int r in
+  let mac_computations = get_int r in
+  let macs_stripped = get_int r in
+  let integrity_failures = get_int r in
+  let corrections_attempted = get_int r in
+  let corrections_succeeded = get_int r in
+  let rekeys = get_int r in
+  {
+    writes_total;
+    writes_protected;
+    writes_mac_zero;
+    collisions_tracked;
+    reads_total;
+    reads_pte;
+    mac_computations;
+    macs_stripped;
+    integrity_failures;
+    corrections_attempted;
+    corrections_succeeded;
+    rekeys;
+  }
+
+let put_engine b (s : Ptguard.Engine.state) =
+  put_block b s.Ptguard.Engine.s_key_w0;
+  put_block b s.s_key_k0;
+  put_list b put_i64 s.s_ctb;
+  put_engine_stats b s.s_stats
+
+let get_engine r : Ptguard.Engine.state =
+  let s_key_w0 = get_block r in
+  let s_key_k0 = get_block r in
+  let s_ctb = get_list r get_i64 in
+  let s_stats = get_engine_stats r in
+  { s_key_w0; s_key_k0; s_ctb; s_stats }
+
+let put_guard b (s : Ptg_cpu.Guard_timing.state) =
+  put_int b s.Ptg_cpu.Guard_timing.s_mac_computations;
+  put_int b s.s_reads;
+  put_option b put_words s.s_rng
+
+let get_guard r : Ptg_cpu.Guard_timing.state =
+  let s_mac_computations = get_int r in
+  let s_reads = get_int r in
+  let s_rng = get_option r get_words in
+  { s_mac_computations; s_reads; s_rng }
+
+let put_core b (s : Ptg_cpu.Core.state) =
+  put_cache b s.Ptg_cpu.Core.s_l1;
+  put_cache b s.s_l2;
+  put_cache b s.s_l3;
+  put_cache b s.s_mmu;
+  put_tlb b s.s_tlb;
+  put_dram b s.s_dram;
+  put_guard b s.s_guard;
+  put_int b s.s_now;
+  put_int b s.s_dram_reads;
+  put_int b s.s_pte_dram_reads;
+  put_int b s.s_walks;
+  put_int b s.s_cache_writebacks
+
+let get_core r : Ptg_cpu.Core.state =
+  let s_l1 = get_cache r in
+  let s_l2 = get_cache r in
+  let s_l3 = get_cache r in
+  let s_mmu = get_cache r in
+  let s_tlb = get_tlb r in
+  let s_dram = get_dram r in
+  let s_guard = get_guard r in
+  let s_now = get_int r in
+  let s_dram_reads = get_int r in
+  let s_pte_dram_reads = get_int r in
+  let s_walks = get_int r in
+  let s_cache_writebacks = get_int r in
+  {
+    s_l1;
+    s_l2;
+    s_l3;
+    s_mmu;
+    s_tlb;
+    s_dram;
+    s_guard;
+    s_now;
+    s_dram_reads;
+    s_pte_dram_reads;
+    s_walks;
+    s_cache_writebacks;
+  }
+
+let put_multicore b (s : Ptg_cpu.Multicore.state) =
+  put_array b
+    (fun b (c : Ptg_cpu.Multicore.core_snapshot) ->
+      put_cache b c.Ptg_cpu.Multicore.sc_l1;
+      put_cache b c.sc_l2;
+      put_tlb b c.sc_tlb;
+      put_cache b c.sc_mmu;
+      put_int b c.sc_now;
+      put_int b c.sc_done_instrs;
+      put_int b c.sc_dram_reads)
+    s.Ptg_cpu.Multicore.s_cores;
+  put_cache b s.s_llc;
+  put_dram b s.s_dram;
+  put_guard b s.s_guard;
+  put_array b (fun b n -> put_int b n) s.s_channel_busy;
+  put_int b s.s_read_counter;
+  put_int b s.s_dram_reads;
+  put_int b s.s_pte_dram_reads;
+  put_int b s.s_queue_delay_total;
+  put_int b s.s_queued_accesses;
+  put_int b s.s_cache_writebacks;
+  put_option b
+    (fun b (v : Ptg_cpu.Multicore.verify_snapshot) ->
+      put_engine b v.Ptg_cpu.Multicore.sv_engine;
+      put_list b put_addr_line v.sv_store;
+      put_int b v.sv_passed;
+      put_int b v.sv_failed)
+    s.s_verify
+
+let get_multicore r : Ptg_cpu.Multicore.state =
+  let s_cores =
+    get_array r (fun r ->
+        let sc_l1 = get_cache r in
+        let sc_l2 = get_cache r in
+        let sc_tlb = get_tlb r in
+        let sc_mmu = get_cache r in
+        let sc_now = get_int r in
+        let sc_done_instrs = get_int r in
+        let sc_dram_reads = get_int r in
+        {
+          Ptg_cpu.Multicore.sc_l1;
+          sc_l2;
+          sc_tlb;
+          sc_mmu;
+          sc_now;
+          sc_done_instrs;
+          sc_dram_reads;
+        })
+  in
+  let s_llc = get_cache r in
+  let s_dram = get_dram r in
+  let s_guard = get_guard r in
+  let s_channel_busy = get_array r get_int in
+  let s_read_counter = get_int r in
+  let s_dram_reads = get_int r in
+  let s_pte_dram_reads = get_int r in
+  let s_queue_delay_total = get_int r in
+  let s_queued_accesses = get_int r in
+  let s_cache_writebacks = get_int r in
+  let s_verify =
+    get_option r (fun r ->
+        let sv_engine = get_engine r in
+        let sv_store = get_list r get_addr_line in
+        let sv_passed = get_int r in
+        let sv_failed = get_int r in
+        { Ptg_cpu.Multicore.sv_engine; sv_store; sv_passed; sv_failed })
+  in
+  {
+    s_cores;
+    s_llc;
+    s_dram;
+    s_guard;
+    s_channel_busy;
+    s_read_counter;
+    s_dram_reads;
+    s_pte_dram_reads;
+    s_queue_delay_total;
+    s_queued_accesses;
+    s_cache_writebacks;
+    s_verify;
+  }
+
+let put_fault b (s : Ptg_rowhammer.Fault_model.state) =
+  put_words b s.Ptg_rowhammer.Fault_model.s_rng;
+  put_list b
+    (fun b ((channel, bank, row), d) ->
+      put_int b channel;
+      put_int b bank;
+      put_int b row;
+      put_float b d)
+    s.s_disturbance;
+  put_list b
+    (fun b (f : Ptg_rowhammer.Fault_model.flip) ->
+      put_i64 b f.Ptg_rowhammer.Fault_model.addr;
+      put_int b f.bit;
+      put_int b f.row;
+      put_int b f.bank;
+      put_int b f.channel)
+    s.s_flips;
+  put_int b s.s_flip_count
+
+let get_fault r : Ptg_rowhammer.Fault_model.state =
+  let s_rng = get_words r in
+  let s_disturbance =
+    get_list r (fun r ->
+        let channel = get_int r in
+        let bank = get_int r in
+        let row = get_int r in
+        let d = get_float r in
+        ((channel, bank, row), d))
+  in
+  let s_flips =
+    get_list r (fun r ->
+        let addr = get_i64 r in
+        let bit = get_int r in
+        let row = get_int r in
+        let bank = get_int r in
+        let channel = get_int r in
+        { Ptg_rowhammer.Fault_model.addr; bit; row; bank; channel })
+  in
+  let s_flip_count = get_int r in
+  { s_rng; s_disturbance; s_flips; s_flip_count }
+
+let put_frame_allocator b (s : Ptg_vm.Frame_allocator.state) =
+  put_i64 b s.Ptg_vm.Frame_allocator.s_cursor;
+  put_int b s.s_count
+
+let get_frame_allocator r : Ptg_vm.Frame_allocator.state =
+  let s_cursor = get_i64 r in
+  let s_count = get_int r in
+  { s_cursor; s_count }
+
+let put_page_table b (s : Ptg_vm.Page_table.state) =
+  put_list b put_i64 s.Ptg_vm.Page_table.s_pt_frames;
+  put_list b put_i64 s.s_all_frames
+
+let get_page_table r : Ptg_vm.Page_table.state =
+  let s_pt_frames = get_list r get_i64 in
+  let s_all_frames = get_list r get_i64 in
+  { s_pt_frames; s_all_frames }

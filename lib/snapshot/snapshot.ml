@@ -1,0 +1,106 @@
+let magic = "PTGS"
+let version = 1
+
+type section = { name : string; payload : string }
+
+let section ~name payload = { name; payload }
+
+(* Layout: magic(4) | version(1) | section region | FNV-1a hash(8, LE).
+   Section region: varint count, then per section a length-prefixed name
+   and a length-prefixed payload. The hash covers exactly the section
+   region, so any bit damage between the header and the trailer is
+   caught before a single section is decoded. *)
+let to_string sections =
+  let body = Codec.writer () in
+  Codec.put_varint body (List.length sections);
+  List.iter
+    (fun s ->
+      Codec.put_string body s.name;
+      Codec.put_string body s.payload)
+    sections;
+  let body = Codec.contents body in
+  let out = Buffer.create (String.length body + 16) in
+  Buffer.add_string out magic;
+  Buffer.add_char out (Char.chr version);
+  Buffer.add_string out body;
+  Buffer.add_int64_le out (Codec.fnv1a64 body);
+  Buffer.contents out
+
+let content_hash sections =
+  let body = Codec.writer () in
+  Codec.put_varint body (List.length sections);
+  List.iter
+    (fun s ->
+      Codec.put_string body s.name;
+      Codec.put_string body s.payload)
+    sections;
+  Codec.fnv1a64 (Codec.contents body)
+
+let hash_hex h = Printf.sprintf "%016Lx" h
+
+let of_string ~what s =
+  let fail msg = invalid_arg (Printf.sprintf "Snapshot.load: %s: %s" what msg) in
+  let len = String.length s in
+  if len < 13 then fail (Printf.sprintf "truncated at byte %d" len);
+  if String.sub s 0 4 <> magic then fail "bad magic (not a PTGS snapshot)";
+  let v = Char.code s.[4] in
+  if v <> version then
+    fail (Printf.sprintf "unsupported snapshot version %d (want %d)" v version);
+  let body = String.sub s 5 (len - 13) in
+  let stored = String.get_int64_le s (len - 8) in
+  if not (Int64.equal stored (Codec.fnv1a64 body)) then
+    fail "content hash mismatch (corrupt snapshot)";
+  let r = Codec.reader ~what body in
+  let n = Codec.get_varint r in
+  if n < 0 then Codec.corrupt r "negative section count";
+  let sections =
+    List.init n (fun _ ->
+        let name = Codec.get_string r in
+        let payload = Codec.get_string r in
+        { name; payload })
+  in
+  Codec.expect_end r;
+  sections
+
+(* Write-to-temp + rename: a crash (or a concurrent writer racing on the
+   same warm-start path) can never leave a torn file behind — readers
+   see the old complete snapshot or the new complete snapshot, and the
+   last writer wins. The temp file lives next to the target so the
+   rename stays within one filesystem. *)
+let save ~path sections =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".ptgs-tmp" ".partial" in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !ok then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (to_string sections));
+      Sys.rename tmp path;
+      ok := true)
+
+let load ~path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ~what:path s
+
+let find sections name =
+  List.find_map (fun s -> if s.name = name then Some s.payload else None) sections
+
+let get ~what sections name =
+  match find sections name with
+  | Some payload -> payload
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Snapshot.load: %s: missing section %S" what name)
+
+let reader ~what sections name =
+  Codec.reader ~what:(Printf.sprintf "%s[%s]" what name)
+    (get ~what sections name)

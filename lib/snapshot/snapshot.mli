@@ -1,0 +1,49 @@
+(** Versioned, hashed snapshot container.
+
+    A snapshot is an ordered list of named binary sections wrapped in a
+    compact envelope:
+
+    {v magic "PTGS" | version (1 byte) | sections | FNV-1a hash (8 bytes LE) v}
+
+    where the section region is a varint count followed by
+    length-prefixed (name, payload) pairs, and the trailing hash covers
+    exactly that region. Loading rejects — with [Invalid_argument]
+    messages naming the input — a bad magic, an unsupported version, a
+    hash mismatch, truncation, and trailing bytes, in that order of
+    detection. Section payloads are produced and consumed with {!Codec}
+    by the per-subsystem encoders in {!Sections}. *)
+
+val magic : string
+val version : int
+
+type section = { name : string; payload : string }
+
+val section : name:string -> string -> section
+
+val to_string : section list -> string
+val of_string : what:string -> string -> section list
+(** [what] names the input in error messages. *)
+
+val save : path:string -> section list -> unit
+(** Atomic: written to a temp file beside [path], then renamed over it —
+    a crash or a concurrent writer on the same path can never leave a
+    torn snapshot (last complete writer wins). *)
+
+val load : path:string -> section list
+
+val content_hash : section list -> int64
+(** FNV-1a over the encoded section region — the same value the trailer
+    stores; two snapshots are byte-identical iff their hashes agree
+    (modulo 64-bit collisions). *)
+
+val hash_hex : int64 -> string
+(** 16-digit lowercase hex. *)
+
+val find : section list -> string -> string option
+
+val get : what:string -> section list -> string -> string
+(** Raises [Invalid_argument] naming [what] and the missing section. *)
+
+val reader : what:string -> section list -> string -> Codec.reader
+(** [get] wrapped in a {!Codec.reader} whose error messages carry both
+    the input name and the section name. *)

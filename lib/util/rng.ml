@@ -64,6 +64,22 @@ let next (t : t) =
 
 let split t = create (next t)
 
+let state (t : t) =
+  [|
+    Bigarray.Array1.unsafe_get t 0;
+    Bigarray.Array1.unsafe_get t 1;
+    Bigarray.Array1.unsafe_get t 2;
+    Bigarray.Array1.unsafe_get t 3;
+  |]
+
+let set_state (t : t) words =
+  if Array.length words <> 4 then invalid_arg "Rng.set_state: want 4 words";
+  if Array.for_all (Int64.equal 0L) words then
+    invalid_arg "Rng.set_state: all-zero xoshiro state";
+  for i = 0 to 3 do
+    Bigarray.Array1.unsafe_set t i words.(i)
+  done
+
 let copy (t : t) =
   make4
     (Bigarray.Array1.unsafe_get t 0)

@@ -20,6 +20,16 @@ val split : t -> t
 val copy : t -> t
 (** Snapshot of the current state (advances nothing). *)
 
+val state : t -> int64 array
+(** The four xoshiro256** state words (a defensive copy). Together with
+    {!set_state} this makes the stream checkpointable: restoring the words
+    into any generator resumes the exact stream. *)
+
+val set_state : t -> int64 array -> unit
+(** Overwrite the generator with previously captured {!state} words.
+    Raises [Invalid_argument] unless given exactly four words with at
+    least one nonzero (the all-zero state is a xoshiro fixed point). *)
+
 val next : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -41,3 +41,14 @@ let alloc_discontiguous t =
   take t
 
 let frames_allocated t = t.count
+
+type state = { s_cursor : int64; s_count : int }
+
+let state t = { s_cursor = t.cursor; s_count = t.count }
+
+let set_state t s =
+  if Int64.compare s.s_cursor t.start_frame < 0
+     || Int64.compare s.s_cursor t.max_frame >= 0
+  then invalid_arg "Frame_allocator.set_state: cursor out of range";
+  t.cursor <- s.s_cursor;
+  t.count <- s.s_count

@@ -30,3 +30,16 @@ val alloc_discontiguous : t -> int64
     pages themselves, which the kernel allocates from its own pools). *)
 
 val frames_allocated : t -> int
+
+(** {2 Checkpointable state}
+
+    The allocation cursor and lifetime count. The fragmentation RNG is
+    shared with the owning simulation and checkpointed there. *)
+
+type state = { s_cursor : int64; s_count : int }
+
+val state : t -> state
+
+val set_state : t -> state -> unit
+(** Raises [Invalid_argument] when the cursor falls outside this
+    allocator's frame range. *)

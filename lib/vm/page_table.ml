@@ -47,6 +47,15 @@ let create ~mem ~alloc =
   { t with root }
 
 let root t = t.root
+let allocator t = t.alloc
+
+type state = { s_pt_frames : int64 list; s_all_frames : int64 list }
+
+let state t = { s_pt_frames = t.pt_frames; s_all_frames = t.all_frames }
+
+let set_state t s =
+  t.pt_frames <- s.s_pt_frames;
+  t.all_frames <- s.s_all_frames
 
 let entry_addr table_paddr index = Int64.add table_paddr (Int64.of_int (index * 8))
 

@@ -22,6 +22,21 @@ val create : mem:Phys_mem.t -> alloc:Frame_allocator.t -> t
 val root : t -> int64
 (** Physical address of the PML4 (the CR3 value). *)
 
+val allocator : t -> Frame_allocator.t
+(** The frame allocator the table draws table pages from (checkpointing
+    needs its cursor alongside the frame index below). *)
+
+(** {2 Checkpointable state}
+
+    The shadow frame index — the only mutable state beyond what already
+    lives in physical memory. The tables themselves are restored with the
+    DRAM contents. *)
+
+type state = { s_pt_frames : int64 list; s_all_frames : int64 list }
+
+val state : t -> state
+val set_state : t -> state -> unit
+
 val map : t -> vaddr:int64 -> pte:int64 -> unit
 (** Install a leaf PTE for the 4 KB page containing [vaddr], creating
     intermediate tables as needed. [pte] is the raw leaf entry (use

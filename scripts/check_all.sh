@@ -22,6 +22,13 @@
 #      real-crypto co-simulation + batched multicore verification wall
 #      time vs the committed BENCH_fullsys.json, zero wrong translations
 #      and zero verify failures required
+#   8b. snapshot tier alone (dune build @snapshot) — codec/container
+#      properties and resume determinism, also part of runtest but
+#      addressable for quick checkpoint iteration
+#   8c. warm-start regression gate (scripts/check_bench_snapshot.sh):
+#      resuming a finished fullsys budget from its snapshot store must
+#      stay >= 5x faster than computing it cold and byte-identical,
+#      cold wall time vs the committed BENCH_snapshot.json
 #   9. serving throughput smoke (PTG_BENCH_ONLY=serve): asserts the
 #      cache-hot path serves at least 100x the cold-compute rate
 #  10. sharded-scaling gate (scripts/check_bench_serve_sharded.sh):
@@ -77,6 +84,12 @@ scripts/check_bench_fig6.sh
 
 echo "== full-system regression gate =="
 scripts/check_bench_fullsys.sh
+
+echo "== snapshot tier (dune build @snapshot) =="
+dune build @snapshot
+
+echo "== warm-start regression gate =="
+scripts/check_bench_snapshot.sh
 
 echo "== serving throughput (cold vs cache-hot) =="
 out=$(mktemp /tmp/ptg_bench_serve.XXXXXX.txt)

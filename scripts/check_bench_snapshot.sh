@@ -1,0 +1,88 @@
+#!/bin/sh
+# Regression gate for the checkpoint/restore warm-start benchmark.
+#
+# Re-runs the reduced snapshot section (PTG_BENCH_ONLY=snapshot): one
+# cold fullsys budget checkpointed into a fresh store, then the same
+# budget again warm-started from it. Compares the fresh
+# BENCH_snapshot.json against the committed baseline at the repo root.
+# Fails when:
+#   - the committed baseline is missing,
+#   - either file is missing a required field (or is not a reduced-mode
+#     measurement),
+#   - either run's warm start was not byte-identical to its cold run,
+#     or did not adopt the full instruction budget,
+#   - the fresh warm-start speedup drops below 5x (the tier's whole
+#     point is skipping recomputation; losing that is a regression even
+#     when absolute wall time still looks fine),
+#   - fresh cold wall time exceeds the baseline by more than 25%.
+#
+# Usage: scripts/check_bench_snapshot.sh
+# (builds via dune; run from anywhere inside the repo)
+set -eu
+cd "$(dirname "$0")/.."
+
+base=BENCH_snapshot.json
+if [ ! -f "$base" ]; then
+    echo "FAIL: missing committed baseline $base" >&2
+    echo "  (generate with: PTG_BENCH_ONLY=snapshot dune exec bench/main.exe)" >&2
+    exit 1
+fi
+
+out=$(mktemp /tmp/ptg_bench_snapshot.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+PTG_BENCH_ONLY=snapshot PTG_BENCH_JSON="$out" dune exec bench/main.exe >/dev/null
+
+# One "key": value pair per line in our own emitter, so sed suffices.
+num_field() {
+    sed -n 's/^ *"'"$2"'": *\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p' "$1" | head -1
+}
+str_field() {
+    sed -n 's/^ *"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+status=0
+for f in "$base" "$out"; do
+    for k in instrs every wall_time_s cold_wall_s warm_wall_s speedup \
+             warm_resumed_from identical checkpoints store_bytes; do
+        v=$(num_field "$f" "$k")
+        if [ -z "$v" ]; then
+            echo "FAIL: missing field \"$k\" in $f" >&2
+            status=1
+        fi
+    done
+    mode=$(str_field "$f" mode)
+    if [ "$mode" != "reduced" ]; then
+        echo "FAIL: $f is not a reduced-mode measurement (mode=\"$mode\")" >&2
+        status=1
+    fi
+    identical=$(num_field "$f" identical)
+    if [ "$identical" != "1" ]; then
+        echo "FAIL: $f warm start was not byte-identical to the cold run" >&2
+        status=1
+    fi
+    instrs=$(num_field "$f" instrs)
+    adopted=$(num_field "$f" warm_resumed_from)
+    if [ "$adopted" != "$instrs" ]; then
+        echo "FAIL: $f warm run adopted $adopted of $instrs instructions" >&2
+        status=1
+    fi
+done
+[ "$status" -eq 0 ] || exit "$status"
+
+speedup=$(num_field "$out" speedup)
+awk -v s="$speedup" 'BEGIN {
+    if (s < 5.0) {
+        printf "FAIL: warm-start speedup %.2fx (< 5x floor)\n", s
+        exit 1
+    }
+}'
+
+b=$(num_field "$base" cold_wall_s)
+n=$(num_field "$out" cold_wall_s)
+awk -v b="$b" -v n="$n" -v s="$speedup" 'BEGIN {
+    if (n > 1.25 * b) {
+        printf "FAIL: cold wall time %.2fs vs baseline %.2fs (>25%% regression)\n", n, b
+        exit 1
+    }
+    printf "OK: warm-start speedup %.2fx, cold wall %.2fs vs baseline %.2fs (limit %.2fs)\n", s, n, b, 1.25 * b
+}'

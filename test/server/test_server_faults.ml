@@ -202,7 +202,7 @@ let test_conn_cap_and_idle_timeout () =
       | exception End_of_file -> Alcotest.fail "no shed frame before close"
       | line -> (
           match Protocol.decode_response line with
-          | Ok (None, Protocol.Overloaded) -> ()
+          | Ok ({ Protocol.id = None; _ }, Protocol.Overloaded) -> ()
           | _ -> Alcotest.failf "unexpected shed frame %s" line));
       (match input_line ic3 with
       | exception End_of_file -> ()

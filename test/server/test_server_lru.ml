@@ -1,7 +1,7 @@
 module Lru = Ptg_server.Lru
 
 let test_hit_miss () =
-  let c = Lru.create ~capacity:2 in
+  let c = Lru.create ~capacity:2 () in
   Alcotest.(check bool) "empty miss" true (Lru.find c "a" = None);
   Lru.put c "a" "1";
   Alcotest.(check bool) "hit" true (Lru.find c "a" = Some "1");
@@ -15,7 +15,7 @@ let test_hit_miss () =
   Alcotest.(check int) "hits unchanged by mem" 2 (Lru.hits c)
 
 let test_eviction_order () =
-  let c = Lru.create ~capacity:2 in
+  let c = Lru.create ~capacity:2 () in
   Lru.put c "a" "1";
   Lru.put c "b" "2";
   (* Touch a so b becomes the LRU entry. *)
@@ -28,7 +28,7 @@ let test_eviction_order () =
   Alcotest.(check int) "at capacity" 2 (Lru.length c)
 
 let test_churn () =
-  let c = Lru.create ~capacity:8 in
+  let c = Lru.create ~capacity:8 () in
   for i = 0 to 99 do
     Lru.put c (string_of_int i) (string_of_int (i * i))
   done;
@@ -44,13 +44,53 @@ let test_churn () =
   Alcotest.(check bool) "older entry gone" false (Lru.mem c "91")
 
 let test_capacity_one () =
-  let c = Lru.create ~capacity:1 in
+  let c = Lru.create ~capacity:1 () in
   Lru.put c "a" "1";
   Lru.put c "b" "2";
   Alcotest.(check bool) "only newest" true
     ((not (Lru.mem c "a")) && Lru.mem c "b");
   Alcotest.(check bool) "bad capacity rejected" true
-    (match Lru.create ~capacity:0 with
+    (match Lru.create ~capacity:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Byte budget                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_byte_budget () =
+  (* Keys are 1 byte; "1234" weighs 5, so two such entries fit in 10
+     bytes exactly and a third forces an eviction even though the entry
+     count (8) is far from its cap. *)
+  let c = Lru.create ~max_bytes:10 ~capacity:8 () in
+  Alcotest.(check (option int)) "budget exposed" (Some 10) (Lru.max_bytes c);
+  Alcotest.(check int) "weight" 5 (Lru.weight ~key:"a" ~value:"1234");
+  Lru.put c "a" "1234";
+  Lru.put c "b" "1234";
+  Alcotest.(check int) "bytes tracked" 10 (Lru.bytes c);
+  Alcotest.(check int) "no evictions at budget" 0 (Lru.evictions c);
+  Lru.put c "c" "1234";
+  Alcotest.(check int) "one eviction over budget" 1 (Lru.evictions c);
+  Alcotest.(check bool) "lru entry evicted" false (Lru.mem c "a");
+  Alcotest.(check int) "bytes back at budget" 10 (Lru.bytes c);
+  (* Refreshing a key with a bigger value charges the difference. *)
+  Lru.put c "c" "123456789";
+  Alcotest.(check int) "refresh adjusts bytes" 10 (Lru.bytes c);
+  Alcotest.(check int) "refresh evicted lru" 2 (Lru.evictions c);
+  Alcotest.(check bool) "b evicted by growth" false (Lru.mem c "b")
+
+let test_oversized_entry () =
+  let c = Lru.create ~max_bytes:8 ~capacity:4 () in
+  Lru.put c "a" "12";
+  Lru.put c "b" "12";
+  (* 1 + 100 bytes can never fit: it drains the cache and then evicts
+     itself — cache empty, no error. *)
+  Lru.put c "x" (String.make 100 'v');
+  Alcotest.(check int) "cache drained" 0 (Lru.length c);
+  Alcotest.(check int) "bytes zero" 0 (Lru.bytes c);
+  Alcotest.(check int) "all three evicted" 3 (Lru.evictions c);
+  Alcotest.(check bool) "bad budget rejected" true
+    (match Lru.create ~max_bytes:0 ~capacity:1 () with
     | exception Invalid_argument _ -> true
     | _ -> false)
 
@@ -114,7 +154,7 @@ let prop_lru_matches_model =
     ~print:(fun ops -> String.concat "; " (List.map print_op ops))
     QCheck2.Gen.(list_size (int_range 1 80) op_gen)
     (fun ops ->
-      let c = Lru.create ~capacity:model_capacity in
+      let c = Lru.create ~capacity:model_capacity () in
       let m = { entries = []; m_hits = 0; m_misses = 0; m_evictions = 0 } in
       List.for_all
         (fun op ->
@@ -141,11 +181,96 @@ let prop_lru_matches_model =
           && Lru.evictions c = m.m_evictions)
         ops)
 
+(* Same model, byte-weighted: evict from the recency tail while either
+   the entry count or the byte budget is exceeded. Values of random
+   length (keys "kN" weigh 2, values 0..9 bytes) exercise refresh
+   re-charging and multi-entry evictions from one put. *)
+
+let model_bytes entries =
+  List.fold_left
+    (fun a (k, v) -> a + Lru.weight ~key:k ~value:v)
+    0 entries
+
+let byte_model_capacity = 4
+let byte_model_budget = 20
+
+let byte_model_apply m = function
+  | Put (k, v) ->
+      let rest = List.remove_assoc k m.entries in
+      m.entries <- (k, v) :: rest;
+      let rec evict () =
+        if
+          List.length m.entries > byte_model_capacity
+          || model_bytes m.entries > byte_model_budget
+        then begin
+          m.entries <- List.filteri (fun i _ -> i < List.length m.entries - 1) m.entries;
+          m.m_evictions <- m.m_evictions + 1;
+          evict ()
+        end
+      in
+      evict ()
+  | Find k -> (
+      match List.assoc_opt k m.entries with
+      | Some v ->
+          m.m_hits <- m.m_hits + 1;
+          m.entries <- (k, v) :: List.remove_assoc k m.entries
+      | None -> m.m_misses <- m.m_misses + 1)
+  | Mem _ -> ()
+
+let byte_op_gen =
+  let open QCheck2.Gen in
+  let key = map (Printf.sprintf "k%d") (int_range 0 7) in
+  let value = map (fun n -> String.make n 'v') (int_range 0 9) in
+  oneof
+    [
+      map2 (fun k v -> Put (k, v)) key value;
+      map (fun k -> Find k) key;
+      map (fun k -> Mem k) key;
+    ]
+
+let prop_lru_bytes_matches_model =
+  QCheck2.Test.make ~name:"byte-weighted lru agrees with a reference model"
+    ~count:500
+    ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+    QCheck2.Gen.(list_size (int_range 1 80) byte_op_gen)
+    (fun ops ->
+      let c =
+        Lru.create ~max_bytes:byte_model_budget ~capacity:byte_model_capacity ()
+      in
+      let m = { entries = []; m_hits = 0; m_misses = 0; m_evictions = 0 } in
+      List.for_all
+        (fun op ->
+          let live_result =
+            match op with
+            | Put (k, v) ->
+                Lru.put c k v;
+                None
+            | Find k -> Lru.find c k
+            | Mem k -> Some (string_of_bool (Lru.mem c k))
+          in
+          let model_result =
+            match op with
+            | Put _ -> None
+            | Find k -> List.assoc_opt k m.entries
+            | Mem k -> Some (string_of_bool (List.mem_assoc k m.entries))
+          in
+          byte_model_apply m op;
+          live_result = model_result
+          && Lru.to_alist c = m.entries
+          && Lru.bytes c = model_bytes m.entries
+          && Lru.hits c = m.m_hits
+          && Lru.misses c = m.m_misses
+          && Lru.evictions c = m.m_evictions)
+        ops)
+
 let suite =
   [
     Alcotest.test_case "hit/miss accounting" `Quick test_hit_miss;
     Alcotest.test_case "eviction follows recency" `Quick test_eviction_order;
     Alcotest.test_case "churn keeps newest entries" `Quick test_churn;
     Alcotest.test_case "capacity one" `Quick test_capacity_one;
+    Alcotest.test_case "byte budget" `Quick test_byte_budget;
+    Alcotest.test_case "oversized entry" `Quick test_oversized_entry;
     QCheck_alcotest.to_alcotest prop_lru_matches_model;
+    QCheck_alcotest.to_alcotest prop_lru_bytes_matches_model;
   ]

@@ -8,6 +8,9 @@ let () =
       ("server.protocol", Test_server_protocol.suite);
       ("server.scenario", Test_server_scenario.suite);
       ("server.e2e", Test_server_e2e.suite);
+      ("server.v2", Test_server_v2.suite);
       ("server.router", Test_server_router.suite);
-      ("server.chaos", Test_server_faults.suite @ Test_server_router.chaos_suite);
+      ( "server.chaos",
+        Test_server_faults.suite @ Test_server_router.chaos_suite
+        @ Test_server_v2.chaos_suite );
     ]

@@ -4,7 +4,7 @@ module Scenario = Ptg_sim.Scenario
 
 let decode_req_ok line =
   match Protocol.decode_request line with
-  | Ok (id, req) -> (id, req)
+  | Ok (meta, req) -> (meta, req)
   | Error e -> Alcotest.failf "decode_request %S: %s" line e
 
 let decode_req_err line =
@@ -20,8 +20,9 @@ let test_request_roundtrip () =
   List.iter
     (fun req ->
       let line = Protocol.encode_request ~id:"r1" req in
-      let id, back = decode_req_ok line in
-      Alcotest.(check (option string)) "id echoed" (Some "r1") id;
+      let meta, back = decode_req_ok line in
+      Alcotest.(check (option string)) "id echoed" (Some "r1") meta.Protocol.id;
+      Alcotest.(check int) "v1 by default" 1 meta.Protocol.v;
       Alcotest.(check bool) "request survives" true (back = req))
     [ Protocol.Run scenario; Protocol.Ping; Protocol.Stats; Protocol.Shutdown ];
   (* The scenario codec preserves the cache identity, not just shape. *)
@@ -38,7 +39,8 @@ let test_request_errors () =
     [
       "not json at all";
       {|{"op":"run"}|} (* missing v *);
-      {|{"v":2,"op":"ping"}|} (* wrong version *);
+      {|{"v":3,"op":"ping"}|} (* unsupported version *);
+      {|{"v":0,"op":"ping"}|};
       {|{"v":1}|} (* missing op *);
       {|{"v":1,"op":"frobnicate"}|};
       {|{"v":1,"op":"run"}|} (* missing scenario *);
@@ -73,7 +75,7 @@ let test_response_roundtrip () =
     (fun resp ->
       let line = Protocol.encode_response ~id:"q" resp in
       match Protocol.decode_response line with
-      | Ok (Some "q", back) ->
+      | Ok ({ Protocol.id = Some "q"; _ }, back) ->
           Alcotest.(check bool) "response survives" true (back = resp)
       | Ok _ -> Alcotest.failf "lost id in %s" line
       | Error e -> Alcotest.failf "decode_response %s: %s" line e)
@@ -101,13 +103,119 @@ let test_wire_shape () =
     {|{"v":1,"status":"timeout"}|}
     (Protocol.encode_response Protocol.Timeout)
 
+(* ------------------------------------------------------------------ *)
+(* Version 2                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_v2_roundtrip () =
+  let scenario = Scenario.make ~reduced:true Scenario.Fig6 in
+  List.iter
+    (fun req ->
+      let line = Protocol.encode_request ~id:"s1" ~v:2 req in
+      let meta, back = decode_req_ok line in
+      Alcotest.(check int) "v2 frame" 2 meta.Protocol.v;
+      Alcotest.(check bool) "v2 request survives" true (back = req))
+    [
+      Protocol.Run scenario;
+      Protocol.Run_stream scenario;
+      Protocol.Hello 2;
+      Protocol.Cancel "s0";
+      Protocol.Ping;
+    ];
+  List.iter
+    (fun resp ->
+      let line = Protocol.encode_response ~id:"s1" ~v:2 resp in
+      match Protocol.decode_response line with
+      | Ok (({ Protocol.v = 2; _ } as meta), back) ->
+          Alcotest.(check (option string)) "id kept" (Some "s1")
+            meta.Protocol.id;
+          Alcotest.(check bool) "v2 response survives" true (back = resp)
+      | Ok _ -> Alcotest.failf "wrong meta in %s" line
+      | Error e -> Alcotest.failf "decode_response %s: %s" line e)
+    [
+      Protocol.Progress { done_count = 12_000; total = 60_000 };
+      Protocol.Cancelled;
+      Protocol.Hello_reply 2;
+      Protocol.Result { cache = Protocol.Miss; hash = "ff"; result = "r" };
+      Protocol.Timeout;
+    ]
+
+let test_v2_wire_shape () =
+  (* Pin the v2 grammar documented in protocol.mli. *)
+  Alcotest.(check string) "hello frame"
+    {|{"v":2,"op":"hello","max":2}|}
+    (Protocol.encode_request ~v:2 (Protocol.Hello 2));
+  Alcotest.(check string) "cancel frame"
+    {|{"v":2,"op":"cancel","target":"r2"}|}
+    (Protocol.encode_request ~v:2 (Protocol.Cancel "r2"));
+  Alcotest.(check string) "progress frame"
+    {|{"v":2,"id":"r2","status":"progress","done":20000,"total":60000}|}
+    (Protocol.encode_response ~id:"r2" ~v:2
+       (Protocol.Progress { done_count = 20_000; total = 60_000 }));
+  Alcotest.(check string) "cancelled frame"
+    {|{"v":2,"id":"r2","status":"cancelled"}|}
+    (Protocol.encode_response ~id:"r2" ~v:2 Protocol.Cancelled);
+  Alcotest.(check string) "hello reply"
+    {|{"v":2,"status":"ok","result":"hello","version":2}|}
+    (Protocol.encode_response ~v:2 (Protocol.Hello_reply 2))
+
+let test_v2_only_rejected_at_v1 () =
+  (* Encode guards: the type-level side of "a v1 client never sees a v2
+     frame". *)
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  let scenario = Scenario.make ~reduced:true Scenario.Fig6 in
+  Alcotest.(check bool) "stream at v1" true
+    (raises (fun () ->
+         Protocol.encode_request (Protocol.Run_stream scenario)));
+  Alcotest.(check bool) "hello at v1" true
+    (raises (fun () -> Protocol.encode_request (Protocol.Hello 2)));
+  Alcotest.(check bool) "cancel at v1" true
+    (raises (fun () -> Protocol.encode_request (Protocol.Cancel "x")));
+  Alcotest.(check bool) "progress at v1" true
+    (raises (fun () ->
+         Protocol.encode_response (Protocol.Progress { done_count = 1; total = 2 })));
+  Alcotest.(check bool) "cancelled at v1" true
+    (raises (fun () -> Protocol.encode_response Protocol.Cancelled));
+  Alcotest.(check bool) "unsupported version" true
+    (raises (fun () -> Protocol.encode_request ~v:3 Protocol.Ping));
+  (* Decode guards: the same constructs arriving on the wire at v1 are
+     protocol errors, not silently tolerated. *)
+  List.iter
+    (fun line -> ignore (decode_req_err line))
+    [
+      {|{"v":1,"op":"hello","max":2}|};
+      {|{"v":1,"op":"cancel","target":"r2"}|};
+      {|{"v":1,"op":"run","stream":true,"scenario":{"kind":"fig6"}}|};
+      {|{"v":2,"op":"hello","max":0}|};
+      {|{"v":2,"op":"cancel"}|} (* missing target *);
+    ];
+  List.iter
+    (fun line ->
+      match Protocol.decode_response line with
+      | Ok _ -> Alcotest.failf "decode_response %S: expected an error" line
+      | Error _ -> ())
+    [
+      {|{"v":1,"status":"progress","done":1,"total":2}|};
+      {|{"v":1,"status":"cancelled"}|};
+    ]
+
+let test_hello_defaults () =
+  (* "max" may be omitted: it defaults to the highest version we speak. *)
+  match decode_req_ok {|{"v":2,"op":"hello"}|} with
+  | _, Protocol.Hello m ->
+      Alcotest.(check int) "default max" Protocol.max_version m
+  | _ -> Alcotest.fail "expected hello"
+
 (* Generator-driven coverage of the response codec: any frame the server
-   can emit must survive encode/decode, id included. *)
-let response_gen =
+   can emit must survive encode/decode, id included. Version picked per
+   sample; v2-only responses are generated only at v2. *)
+let response_gen ~v =
   let open QCheck2.Gen in
   let printable = string_size ~gen:printable (int_range 0 24) in
   let finite = map (fun n -> float_of_int n /. 8.) (int_range (-8000) 8000) in
-  oneof
+  let v1 =
     [
       return Protocol.Pong;
       return Protocol.Overloaded;
@@ -121,12 +229,26 @@ let response_gen =
         (oneofl [ Protocol.Hit; Protocol.Miss; Protocol.Coalesced ])
         printable printable;
     ]
+  in
+  let v2 =
+    [
+      map2
+        (fun done_count total -> Protocol.Progress { done_count; total })
+        (int_bound 1_000_000) (int_bound 1_000_000);
+      return Protocol.Cancelled;
+      map (fun n -> Protocol.Hello_reply n) (int_range 1 2);
+    ]
+  in
+  oneof (if v >= 2 then v1 @ v2 else v1)
 
 let prop_response_roundtrip =
   QCheck2.Test.make ~name:"response frames survive the wire" ~count:300
-    response_gen (fun resp ->
-      match Protocol.decode_response (Protocol.encode_response ~id:"q" resp) with
-      | Ok (Some "q", back) -> back = resp
+    QCheck2.Gen.(int_range 1 2 >>= fun v -> pair (return v) (response_gen ~v))
+    (fun (v, resp) ->
+      match
+        Protocol.decode_response (Protocol.encode_response ~id:"q" ~v resp)
+      with
+      | Ok ({ Protocol.id = Some "q"; v = v' }, back) -> v' = v && back = resp
       | _ -> false)
 
 let suite =
@@ -136,5 +258,10 @@ let suite =
     Alcotest.test_case "id recovery on errors" `Quick test_request_id_recovery;
     Alcotest.test_case "response round trip" `Quick test_response_roundtrip;
     Alcotest.test_case "pinned wire shapes" `Quick test_wire_shape;
+    Alcotest.test_case "v2 round trip" `Quick test_v2_roundtrip;
+    Alcotest.test_case "pinned v2 wire shapes" `Quick test_v2_wire_shape;
+    Alcotest.test_case "v2 constructs rejected at v1" `Quick
+      test_v2_only_rejected_at_v1;
+    Alcotest.test_case "hello max defaults" `Quick test_hello_defaults;
     QCheck_alcotest.to_alcotest prop_response_roundtrip;
   ]

@@ -98,6 +98,7 @@ let prop_defaults_resolved =
         | Scenario.Fig8 -> Scenario.make ~processes:623 kind
         | Scenario.Fig9 -> Scenario.make ~lines:300 kind
         | Scenario.Multicore -> Scenario.make ~instrs:400_000 ~mixes:16 kind
+        | Scenario.Fullsys -> Scenario.make ~seed:42L ~instrs:60_000 kind
         | Scenario.Trace -> assert false (* not in synthetic_kinds *)
       in
       Scenario.hash explicit = Scenario.hash omitted)

@@ -1,0 +1,314 @@
+(* The checkpoint contract, end to end: a run that is killed at any
+   chunk boundary and resumed from the store finishes byte-identical to
+   one that never stopped, for any chunk size, any job count and any
+   warm-start depth. Demo-scale budgets keep each machine run fast. *)
+
+module Checkpoint = Ptg_sim.Checkpoint
+module Fullsys = Ptg_sim.Fullsys
+module Fig6 = Ptg_sim.Fig6
+module Scenario = Ptg_sim.Scenario
+module Snapshot = Ptg_snapshot.Snapshot
+
+let seed = 42L
+let instrs = 3_000
+
+let with_dir f =
+  let dir = Filename.temp_file "ptgstore" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+(* Stop after [n] chunk boundaries: should_stop is polled once before
+   every chunk, so the first [n] polls pass and the next one stops. *)
+let stop_after n =
+  let polls = ref 0 in
+  fun () ->
+    incr polls;
+    !polls > n
+
+let check_result = Alcotest.testable Fullsys.pp_result ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Fullsys                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let uninterrupted =
+  lazy
+    (let m = Fullsys.create ~seed () in
+     ignore (Fullsys.run m ~instrs);
+     Fullsys.totals m)
+
+let test_chunked_equals_plain () =
+  List.iter
+    (fun every ->
+      let o = Checkpoint.run_fullsys ~every ~seed ~instrs () in
+      Alcotest.(check bool)
+        (Printf.sprintf "every=%d completed" every)
+        true o.Checkpoint.f_completed;
+      Alcotest.check check_result
+        (Printf.sprintf "every=%d result" every)
+        (Lazy.force uninterrupted) o.Checkpoint.f_result)
+    [ 500; 1_000; 7_000 ]
+
+let test_killed_and_resumed_identical () =
+  with_dir (fun dir ->
+      let killed =
+        Checkpoint.run_fullsys ~every:1_000 ~dir
+          ~should_stop:(stop_after 1) ~seed ~instrs ()
+      in
+      Alcotest.(check bool) "stopped early" false killed.Checkpoint.f_completed;
+      Alcotest.(check int) "one chunk done" 1_000 killed.Checkpoint.f_done;
+      let resumed = Checkpoint.run_fullsys ~every:1_000 ~dir ~seed ~instrs () in
+      Alcotest.(check bool) "finished" true resumed.Checkpoint.f_completed;
+      Alcotest.(check (option int))
+        "adopted the kill point" (Some 1_000) resumed.Checkpoint.f_resumed_from;
+      Alcotest.check check_result "byte-identical to uninterrupted"
+        (Lazy.force uninterrupted) resumed.Checkpoint.f_result)
+
+let test_warm_start_full_depth () =
+  with_dir (fun dir ->
+      let first = Checkpoint.run_fullsys ~dir ~seed ~instrs () in
+      Alcotest.(check (option int))
+        "first run is cold" None first.Checkpoint.f_resumed_from;
+      (* The completion checkpoint serves the identical re-request
+         without executing a single instruction. *)
+      let again =
+        Checkpoint.run_fullsys ~dir
+          ~should_stop:(fun () -> Alcotest.fail "re-ran a finished run")
+          ~seed ~instrs ()
+      in
+      Alcotest.(check (option int))
+        "adopted at full depth" (Some instrs) again.Checkpoint.f_resumed_from;
+      Alcotest.check check_result "identical result" first.Checkpoint.f_result
+        again.Checkpoint.f_result)
+
+let test_adopt_false_starts_cold () =
+  with_dir (fun dir ->
+      ignore (Checkpoint.run_fullsys ~every:1_000 ~dir ~seed ~instrs ());
+      let progressed = ref [] in
+      let cold =
+        Checkpoint.run_fullsys ~every:1_000 ~dir ~adopt:false
+          ~progress:(fun ~done_count ~total:_ ->
+            progressed := done_count :: !progressed)
+          ~seed ~instrs ()
+      in
+      Alcotest.(check (option int))
+        "store ignored" None cold.Checkpoint.f_resumed_from;
+      Alcotest.(check (list int))
+        "every chunk re-executed" [ 1_000; 2_000; 3_000 ]
+        (List.rev !progressed);
+      Alcotest.check check_result "still the same bytes"
+        (Lazy.force uninterrupted) cold.Checkpoint.f_result)
+
+let test_damaged_checkpoint_skipped () =
+  with_dir (fun dir ->
+      ignore (Checkpoint.run_fullsys ~every:1_000 ~dir ~seed ~instrs ());
+      let key = Checkpoint.fullsys_key ~seed () in
+      (* Damage the deepest checkpoint: resume must fall back to the
+         next one rather than fail (the store is an optimization). *)
+      let deepest = Checkpoint.path ~dir ~key instrs in
+      let bytes = In_channel.with_open_bin deepest In_channel.input_all in
+      Out_channel.with_open_bin deepest (fun oc ->
+          Out_channel.output_string oc
+            (String.sub bytes 0 (String.length bytes - 1)));
+      let o = Checkpoint.run_fullsys ~every:1_000 ~dir ~seed ~instrs () in
+      Alcotest.(check (option int))
+        "fell back to the previous depth" (Some 2_000)
+        o.Checkpoint.f_resumed_from;
+      Alcotest.check check_result "result unharmed"
+        (Lazy.force uninterrupted) o.Checkpoint.f_result)
+
+let test_restore_rejects_wrong_key () =
+  with_dir (fun dir ->
+      let key = Checkpoint.fullsys_key ~seed () in
+      ignore (Checkpoint.run_fullsys ~every:instrs ~dir ~seed ~instrs ());
+      let m = Fullsys.create ~seed () in
+      Alcotest.(check bool)
+        "explicit restore with a foreign key raises" true
+        (match
+           Checkpoint.fullsys_restore
+             ~path:(Checkpoint.path ~dir ~key instrs)
+             ~key:"deadbeefdeadbeef" m
+         with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+(* Stored snapshot bytes are themselves deterministic: two cold runs of
+   the same machine leave byte-identical stores. *)
+let test_store_bytes_deterministic () =
+  with_dir (fun dir1 ->
+      with_dir (fun dir2 ->
+          ignore (Checkpoint.run_fullsys ~every:1_000 ~dir:dir1 ~seed ~instrs ());
+          ignore (Checkpoint.run_fullsys ~every:1_000 ~dir:dir2 ~seed ~instrs ());
+          let key = Checkpoint.fullsys_key ~seed () in
+          List.iter
+            (fun n ->
+              let read d =
+                In_channel.with_open_bin
+                  (Checkpoint.path ~dir:d ~key n)
+                  In_channel.input_all
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "checkpoint %d identical" n)
+                true
+                (read dir1 = read dir2))
+            [ 1_000; 2_000; 3_000 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Fig6 row batches                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let workloads =
+  List.filteri (fun i _ -> i < 4) Ptg_workloads.Workload.all
+
+let fig6_args = (600, 200, Ptguard.Config.baseline)
+
+let fig6_run ?jobs ?key ?every ?dir ?adopt ?should_stop () =
+  let instrs, warmup, config = fig6_args in
+  Checkpoint.run_fig6 ?jobs ?key ?every ?dir ?adopt ?should_stop ~instrs
+    ~warmup ~seed ~config ~workloads ()
+
+let fig6_reference =
+  lazy
+    (let instrs, warmup, config = fig6_args in
+     Fig6.run_rows ~jobs:1 ~instrs ~warmup ~seed ~config workloads)
+
+let test_fig6_batched_equals_plain () =
+  List.iter
+    (fun every ->
+      let o = fig6_run ~jobs:1 ~every () in
+      Alcotest.(check bool)
+        (Printf.sprintf "every=%d completed" every)
+        true o.Checkpoint.g_completed;
+      Alcotest.(check bool)
+        (Printf.sprintf "every=%d rows" every)
+        true
+        (o.Checkpoint.g_rows = Lazy.force fig6_reference))
+    [ 1; 3; 10 ]
+
+let test_fig6_jobs_invariant () =
+  (* The acceptance bar for sharing a store across servers: the rows —
+     and therefore the snapshot bytes — cannot depend on -j. *)
+  with_dir (fun dir1 ->
+      with_dir (fun dir2 ->
+          let a = fig6_run ~jobs:1 ~every:2 ~dir:dir1 () in
+          let b = fig6_run ~jobs:3 ~every:2 ~dir:dir2 () in
+          Alcotest.(check bool)
+            "rows identical across -j" true
+            (a.Checkpoint.g_rows = b.Checkpoint.g_rows);
+          let files d =
+            Sys.readdir d |> Array.to_list |> List.sort compare
+            |> List.map (fun n ->
+                   ( n,
+                     Snapshot.hash_hex
+                       (Snapshot.content_hash
+                          (Snapshot.load ~path:(Filename.concat d n))) ))
+          in
+          Alcotest.(check bool)
+            "store hashes identical across -j" true (files dir1 = files dir2)))
+
+let test_fig6_killed_and_resumed () =
+  with_dir (fun dir ->
+      let killed = fig6_run ~every:1 ~dir ~should_stop:(stop_after 2) () in
+      Alcotest.(check bool) "stopped" false killed.Checkpoint.g_completed;
+      Alcotest.(check bool) "no aggregate yet" true
+        (killed.Checkpoint.g_result = None);
+      Alcotest.(check int) "two rows done" 2
+        (List.length killed.Checkpoint.g_rows);
+      let resumed = fig6_run ~every:1 ~dir () in
+      Alcotest.(check (option int))
+        "adopted the row prefix" (Some 2) resumed.Checkpoint.g_resumed_from;
+      Alcotest.(check bool)
+        "rows byte-identical to uninterrupted" true
+        (resumed.Checkpoint.g_rows = Lazy.force fig6_reference);
+      Alcotest.(check bool)
+        "aggregate equals of_rows" true
+        (resumed.Checkpoint.g_result
+        = Some (Fig6.of_rows (Lazy.force fig6_reference))))
+
+let test_fig6_prefix_not_adopted_for_other_workloads () =
+  with_dir (fun dir ->
+      (* Same explicit key, different workload list: the stored prefix
+         must be rejected by the row-name check, not silently reused. *)
+      ignore (fig6_run ~key:"cafe" ~every:1 ~dir ());
+      let instrs, warmup, config = fig6_args in
+      let others =
+        List.filteri (fun i _ -> i >= 4 && i < 8) Ptg_workloads.Workload.all
+      in
+      let o =
+        Checkpoint.run_fig6 ~key:"cafe" ~every:1 ~dir ~instrs ~warmup ~seed
+          ~config ~workloads:others ()
+      in
+      Alcotest.(check (option int))
+        "foreign prefix ignored" None o.Checkpoint.g_resumed_from)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario entry point (the server's execution path)                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_warm_start_text_identical () =
+  with_dir (fun dir ->
+      let s = Scenario.make ~seed ~instrs Scenario.Fullsys in
+      let cold_text = Scenario.run_to_string s in
+      let first = Checkpoint.run_scenario ~dir ~every:1_000 s in
+      Alcotest.(check bool) "completed" true first.Checkpoint.completed;
+      Alcotest.(check (option string))
+        "matches run_to_string" (Some cold_text) first.Checkpoint.text;
+      let again = Checkpoint.run_scenario ~dir ~every:1_000 s in
+      Alcotest.(check (option int))
+        "warm-started" (Some instrs) again.Checkpoint.resumed_from;
+      Alcotest.(check (option string))
+        "warm text byte-identical" (Some cold_text) again.Checkpoint.text)
+
+let test_scenario_interrupted_then_resumed () =
+  with_dir (fun dir ->
+      let s = Scenario.make ~seed ~instrs Scenario.Fullsys in
+      let stopped =
+        Checkpoint.run_scenario ~dir ~every:1_000 ~should_stop:(stop_after 1) s
+      in
+      Alcotest.(check bool) "stopped" false stopped.Checkpoint.completed;
+      Alcotest.(check (option string))
+        "no text when stopped" None stopped.Checkpoint.text;
+      let resumed = Checkpoint.run_scenario ~dir ~every:1_000 s in
+      Alcotest.(check bool)
+        "resumed from the interruption" true
+        (resumed.Checkpoint.resumed_from = Some 1_000);
+      Alcotest.(check (option string))
+        "text byte-identical" (Some (Scenario.run_to_string s))
+        resumed.Checkpoint.text)
+
+let suite =
+  [
+    Alcotest.test_case "fullsys: chunked = uninterrupted" `Quick
+      test_chunked_equals_plain;
+    Alcotest.test_case "fullsys: killed + resumed = uninterrupted" `Quick
+      test_killed_and_resumed_identical;
+    Alcotest.test_case "fullsys: full-depth warm start" `Quick
+      test_warm_start_full_depth;
+    Alcotest.test_case "fullsys: adopt:false starts cold" `Quick
+      test_adopt_false_starts_cold;
+    Alcotest.test_case "fullsys: damaged checkpoint skipped" `Quick
+      test_damaged_checkpoint_skipped;
+    Alcotest.test_case "fullsys: restore rejects wrong key" `Quick
+      test_restore_rejects_wrong_key;
+    Alcotest.test_case "fullsys: store bytes deterministic" `Quick
+      test_store_bytes_deterministic;
+    Alcotest.test_case "fig6: batched = plain" `Quick
+      test_fig6_batched_equals_plain;
+    Alcotest.test_case "fig6: rows and store invariant under -j" `Quick
+      test_fig6_jobs_invariant;
+    Alcotest.test_case "fig6: killed + resumed = uninterrupted" `Quick
+      test_fig6_killed_and_resumed;
+    Alcotest.test_case "fig6: foreign workload prefix ignored" `Quick
+      test_fig6_prefix_not_adopted_for_other_workloads;
+    Alcotest.test_case "scenario: warm-start text identical" `Quick
+      test_scenario_warm_start_text_identical;
+    Alcotest.test_case "scenario: interrupted then resumed" `Quick
+      test_scenario_interrupted_then_resumed;
+  ]
