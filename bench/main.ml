@@ -757,6 +757,185 @@ let run_serve_sharded () =
   Printf.printf "  speedup: %.2fx at 2 shards, %.2fx at 4\n  wrote %s\n"
     (rps2 /. rps1) (rps4 /. rps1) path
 
+(* ------------------------------------------------------------------ *)
+(* Deadline-sliced serving: BENCH_slices.json.                         *)
+(*                                                                     *)
+(* Two claims, both through the real ptg_server stack or the real      *)
+(* chunked drivers:                                                    *)
+(*                                                                     *)
+(* 1. Slicing tax — a served fullsys run forced through several        *)
+(*    compute windows (checkpoint, requeue, resume per window) must    *)
+(*    land within a few percent of the same request served in one      *)
+(*    uninterrupted window, and byte-identical to it. Each extra       *)
+(*    slice re-pays machine construction (~0.2 s here), so the tax     *)
+(*    ratio is roughly construction/window; the sizes below keep the   *)
+(*    expected tax near 5% against the 10% gate.                       *)
+(*                                                                     *)
+(* 2. Ejection-resume speedup — a "victim" run stopped at 80% of its   *)
+(*    budget (the chunked driver's should_stop, exactly what a         *)
+(*    deadline yield or a SIGKILL between saves leaves behind) must    *)
+(*    be at least 2x cheaper to finish from its deepest checkpoint     *)
+(*    than to recompute cold, with an identical final result.          *)
+(* ------------------------------------------------------------------ *)
+
+let run_slices_json () =
+  section "Deadline-sliced serving benchmark (BENCH_slices.json)";
+  let with_store f =
+    let dir = Filename.temp_file "ptg_bench_slices" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          (try Sys.readdir dir with Sys_error _ -> [||]);
+        try Sys.rmdir dir with Sys_error _ -> ())
+      (fun () -> f dir)
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* Part 1: slicing tax over the served path. *)
+  let instrs = if full then 300_000 else 150_000 in
+  let deadline_s = 4.0 in
+  let scenario =
+    Ptg_sim.Scenario.make ~seed:97L ~instrs Ptg_sim.Scenario.Fullsys
+  in
+  let serve config =
+    let server = Ptg_server.Server.start config in
+    Fun.protect
+      ~finally:(fun () -> Ptg_server.Server.stop server)
+      (fun () ->
+        let client =
+          Ptg_server.Client.connect (Ptg_server.Server.listen_addr server)
+        in
+        let t, reply =
+          timed (fun () -> Ptg_server.Client.run client scenario)
+        in
+        Ptg_server.Client.close client;
+        match reply with
+        | Ok (Ptg_server.Protocol.Result { result; _ }) ->
+            let sliced =
+              match
+                List.assoc_opt "sliced" (Ptg_server.Server.stats server)
+              with
+              | Some v -> int_of_float v
+              | None -> failwith "slices bench: server has no sliced stat"
+            in
+            (t, result, sliced)
+        | Ok Ptg_server.Protocol.Timeout ->
+            failwith "slices bench: served run timed out"
+        | Ok _ -> failwith "slices bench: unexpected terminal frame"
+        | Error e -> failwith ("slices bench: " ^ e))
+  in
+  let base =
+    {
+      (Ptg_server.Server.default_config (Ptg_server.Server.Tcp 0)) with
+      Ptg_server.Server.workers = 1;
+    }
+  in
+  let t_plain, plain_bytes, plain_sliced = serve base in
+  if plain_sliced <> 0 then
+    failwith "slices bench: uninterrupted run was sliced";
+  let t_sliced, sliced_bytes, slices = with_store (fun dir ->
+      serve
+        {
+          base with
+          Ptg_server.Server.snapshot_dir = Some dir;
+          snapshot_every = Some (instrs / 15);
+          deadline_s;
+          slices = 50;
+        })
+  in
+  if slices < 1 then
+    failwith "slices bench: the deadline never sliced the run (raise instrs)";
+  let identical = String.equal plain_bytes sliced_bytes in
+  if not identical then
+    failwith "slices bench: sliced bytes diverge from the uninterrupted run";
+  let overhead_pct = 100.0 *. ((t_sliced -. t_plain) /. t_plain) in
+  (* Part 2: finishing from a victim's deepest checkpoint vs cold. *)
+  let r_instrs = if full then 80_000 else 40_000 in
+  let every = r_instrs / 10 in
+  let victim_stop_at = 8 * every in
+  let t_cold, t_resume, adopted, resume_identical =
+    with_store (fun dir ->
+        let t_cold, cold =
+          with_store (fun cold_dir ->
+              timed (fun () ->
+                  Ptg_sim.Checkpoint.run_fullsys ~every ~dir:cold_dir ~seed:42L
+                    ~instrs:r_instrs ()))
+        in
+        let stop = ref false in
+        let victim =
+          Ptg_sim.Checkpoint.run_fullsys ~every ~dir ~seed:42L ~instrs:r_instrs
+            ~should_stop:(fun () -> !stop)
+            ~progress:(fun ~done_count ~total:_ ->
+              if done_count >= victim_stop_at then stop := true)
+            ()
+        in
+        if victim.Ptg_sim.Checkpoint.f_completed then
+          failwith "slices bench: victim ran to completion before the stop";
+        let t_resume, resumed =
+          timed (fun () ->
+              Ptg_sim.Checkpoint.run_fullsys ~every ~dir ~seed:42L
+                ~instrs:r_instrs ())
+        in
+        ( t_cold,
+          t_resume,
+          Option.value resumed.Ptg_sim.Checkpoint.f_resumed_from ~default:0,
+          resumed.Ptg_sim.Checkpoint.f_result = cold.Ptg_sim.Checkpoint.f_result
+        ))
+  in
+  if adopted < victim_stop_at then
+    failwith "slices bench: resume did not adopt the victim's deepest checkpoint";
+  if not resume_identical then
+    failwith "slices bench: resumed result diverged from the cold run";
+  let resume_speedup = t_cold /. t_resume in
+  let path =
+    match Sys.getenv_opt "PTG_BENCH_JSON" with
+    | Some p -> p
+    | None -> "BENCH_slices.json"
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"slices\",\n\
+    \  \"mode\": \"%s\",\n\
+    \  \"instrs\": %d,\n\
+    \  \"deadline_s\": %.1f,\n\
+    \  \"wall_time_s\": %.3f,\n\
+    \  \"plain_wall_s\": %.3f,\n\
+    \  \"sliced_wall_s\": %.3f,\n\
+    \  \"slices\": %d,\n\
+    \  \"overhead_pct\": %.2f,\n\
+    \  \"identical\": %d,\n\
+    \  \"resume_instrs\": %d,\n\
+    \  \"victim_stopped_at\": %d,\n\
+    \  \"cold_wall_s\": %.3f,\n\
+    \  \"resume_wall_s\": %.3f,\n\
+    \  \"resume_adopted_from\": %d,\n\
+    \  \"resume_identical\": %d,\n\
+    \  \"resume_speedup\": %.2f\n\
+     }\n"
+    (if full then "full" else "reduced")
+    instrs deadline_s
+    (t_plain +. t_sliced +. t_cold +. t_resume)
+    t_plain t_sliced slices overhead_pct
+    (if identical then 1 else 0)
+    r_instrs victim_stop_at t_cold t_resume adopted
+    (if resume_identical then 1 else 0)
+    resume_speedup;
+  close_out oc;
+  Printf.printf
+    "  uninterrupted: %.2f s; sliced (%d yields): %.2f s (%+.1f%% tax), \
+     byte-identical: %b\n\
+    \  cold: %.2f s; resumed from %d/%d: %.2f s (%.1fx), identical: %b\n\
+    \  wrote %s\n"
+    t_plain slices t_sliced overhead_pct identical t_cold adopted r_instrs
+    t_resume resume_speedup resume_identical path
+
 let () =
   Printf.printf "PT-Guard bench harness (%s sizes, %d worker domains)\n\n%!"
     (if full then "full" else "reduced; set PTG_BENCH_FULL=1 for paper-scale")
@@ -772,6 +951,7 @@ let () =
       ("batch", run_batch_bench);
       ("fullsys", run_fullsys_json);
       ("snapshot", run_snapshot_json);
+      ("slices", run_slices_json);
       ("serve", run_serve);
       ("serve_sharded", run_serve_sharded);
     ]

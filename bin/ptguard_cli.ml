@@ -655,6 +655,19 @@ let serve_cmd =
              not finished after $(docv) gets a timeout frame (the \
              computation keeps its worker until it really finishes).")
   in
+  let slices =
+    Arg.(
+      value & opt int 0
+      & info [ "slices" ] ~docv:"N"
+          ~doc:
+            "Deadline-slice budget: instead of a timeout frame, a \
+             sliceable scenario that exhausts --deadline checkpoints, \
+             is requeued, and gets another compute window — up to \
+             $(docv) times per request (0 disables). Pair with \
+             --snapshot-dir: each slice resumes from the previous \
+             one's persisted checkpoint, so the window extension \
+             actually buys forward progress.")
+  in
   let idle_timeout =
     Arg.(
       value & opt float 60.
@@ -720,7 +733,7 @@ let serve_cmd =
              computations stop. Default: checkpoint at completion only.")
   in
   let run socket port jobs high_water cache cache_bytes snapshot_dir
-      snapshot_every deadline idle_timeout max_conns drain_deadline
+      snapshot_every deadline slices idle_timeout max_conns drain_deadline
       inject_fault trace metrics =
     let addr = addr_of ~cmd:"serve" ~required:false socket port in
     let obs = sink_of ~trace ~metrics in
@@ -744,6 +757,7 @@ let serve_cmd =
         snapshot_dir;
         snapshot_every;
         deadline_s = deadline;
+        slices;
         idle_timeout_s = idle_timeout;
         max_conns;
         drain_deadline_s = drain_deadline;
@@ -784,8 +798,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ jobs_arg $ high_water $ cache
       $ cache_bytes $ snapshot_dir $ snapshot_every
-      $ deadline $ idle_timeout $ max_conns $ drain_deadline $ inject_fault
-      $ trace_file_arg $ metrics_arg)
+      $ deadline $ slices $ idle_timeout $ max_conns $ drain_deadline
+      $ inject_fault $ trace_file_arg $ metrics_arg)
 
 let loadgen_cmd =
   let clients =
@@ -999,13 +1013,52 @@ let serve_router_cmd =
             "On shutdown, force-close connections still open after \
              $(docv).")
   in
+  let shard_snapshot_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot-dir" ] ~docv:"DIR"
+          ~doc:
+            "Pass $(b,--snapshot-dir) $(docv) to every spawned shard: \
+             one shared warm-start store, so when a shard dies \
+             mid-slice the ring successor that adopts the re-routed \
+             request resumes from the victim's deepest checkpoint \
+             instead of recomputing. Content-hash keys and write-once \
+             atomic saves make the sharing race-free.")
+  in
+  let shard_snapshot_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Pass $(b,--snapshot-every) $(docv) to every spawned shard.")
+  in
+  let shard_slices =
+    Arg.(
+      value & opt int 0
+      & info [ "slices" ] ~docv:"N"
+          ~doc:
+            "Pass $(b,--slices) $(docv) to every spawned shard: \
+             deadline expiries checkpoint and requeue (the shard keeps \
+             the router alive with progress frames) instead of \
+             returning timeout frames.")
+  in
+  let shard_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:
+            "Pass $(b,--deadline) $(docv) to every spawned shard (the \
+             per-slice compute window when --slices is set).")
+  in
   (* A spawned shard announces its kernel-chosen port on its first
      stdout line; everything after that flows to our stdout untouched. *)
-  let spawn_shard i =
+  let spawn_shard extra i =
     let r, w = Unix.pipe () in
     let pid =
       Unix.create_process Sys.executable_name
-        [| Sys.executable_name; "serve"; "--port"; "0" |]
+        (Array.append [| Sys.executable_name; "serve"; "--port"; "0" |] extra)
         Unix.stdin w Unix.stderr
     in
     Unix.close w;
@@ -1030,9 +1083,9 @@ let serve_router_cmd =
     (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
     close_in_noerr ic
   in
-  let run socket port shard_addrs spawn cache cache_bytes vnodes
-      health_interval strikes request_timeout idle_timeout max_conns
-      drain_deadline trace metrics =
+  let run socket port shard_addrs spawn snapshot_dir snapshot_every slices
+      deadline cache cache_bytes vnodes health_interval strikes
+      request_timeout idle_timeout max_conns drain_deadline trace metrics =
     let addr = addr_of ~cmd:"serve-router" ~required:false socket port in
     if spawn < 0 then begin
       Printf.eprintf "serve-router: --spawn must be >= 0\n";
@@ -1051,7 +1104,23 @@ let serve_router_cmd =
           | _ -> Ptg_server.Server.Unix_socket s)
         shard_addrs
     in
-    let children = List.init spawn spawn_shard in
+    let shard_extra =
+      Array.of_list
+        (List.concat
+           [
+             (match snapshot_dir with
+             | Some d -> [ "--snapshot-dir"; d ]
+             | None -> []);
+             (match snapshot_every with
+             | Some n -> [ "--snapshot-every"; string_of_int n ]
+             | None -> []);
+             (if slices > 0 then [ "--slices"; string_of_int slices ] else []);
+             (match deadline with
+             | Some s -> [ "--deadline"; Printf.sprintf "%g" s ]
+             | None -> []);
+           ])
+    in
+    let children = List.init spawn (spawn_shard shard_extra) in
     let shards = named @ List.map (fun (_, _, a) -> a) children in
     let obs = sink_of ~trace ~metrics in
     let base = Ptg_server.Router.default_config addr ~shards in
@@ -1102,10 +1171,11 @@ let serve_router_cmd =
           re-admission, and transport-crash re-routing. Stops on a \
           shutdown frame.")
     Term.(
-      const run $ socket_arg $ port_arg $ shard_args $ spawn $ cache
-      $ cache_bytes $ vnodes $ health_interval $ strikes $ request_timeout
-      $ idle_timeout $ max_conns $ drain_deadline $ trace_file_arg
-      $ metrics_arg)
+      const run $ socket_arg $ port_arg $ shard_args $ spawn
+      $ shard_snapshot_dir $ shard_snapshot_every $ shard_slices
+      $ shard_deadline $ cache $ cache_bytes $ vnodes $ health_interval
+      $ strikes $ request_timeout $ idle_timeout $ max_conns
+      $ drain_deadline $ trace_file_arg $ metrics_arg)
 
 let all_cmd =
   let run seed jobs =

@@ -236,6 +236,38 @@ let session_request s req =
 
 let session_run s scenario = session_request s (Protocol.Run scenario)
 
+(* Streamed analogue of [session_request]. The same lossless-retry
+   argument applies to a torn stream: re-sending the run replays any
+   progress already forwarded (duplicates, never gaps) and the terminal
+   frame is byte-identical, so [on_progress] must be idempotent per
+   (done_count, total) pair — both consumers (keep-alive, edge
+   re-emission) are. *)
+let session_run_stream ?on_progress s scenario =
+  let rec attempt k last_err =
+    if k >= s.policy.attempts then Error last_err
+    else begin
+      if k > 0 then begin
+        s.retries <- s.retries + 1;
+        let d =
+          backoff_delay s.policy ~u:(Ptg_util.Rng.float s.rng) ~attempt:(k - 1)
+        in
+        if d > 0. then Thread.delay d
+      end;
+      match ensure_conn s with
+      | Error e -> attempt (k + 1) e
+      | Ok conn -> (
+          match
+            run_stream ?timeout_s:s.request_timeout_s ?on_progress conn
+              scenario
+          with
+          | Ok resp -> Ok resp
+          | Error e ->
+              drop_conn s;
+              attempt (k + 1) e)
+    end
+  in
+  attempt 0 "no attempts made"
+
 (* ------------------------------------------------------------------ *)
 (* Load generation                                                     *)
 (* ------------------------------------------------------------------ *)

@@ -107,6 +107,18 @@ val session_request :
 val session_run :
   session -> Ptg_sim.Scenario.t -> (Protocol.response, string) result
 
+val session_run_stream :
+  ?on_progress:(done_count:int -> total:int -> unit) ->
+  session ->
+  Ptg_sim.Scenario.t ->
+  (Protocol.response, string) result
+(** {!run_stream} with reconnect-and-retry per the policy. Because the
+    read timeout restarts per frame, a server that slices a long run
+    keeps this call alive with [progress] frames even when every slice
+    exceeds [request_timeout_s]. A retry after a torn stream may replay
+    progress pairs already seen (never skip any), so [on_progress] must
+    tolerate duplicates. *)
+
 val session_retries : session -> int
 (** Re-attempts made after a transport failure (first tries excluded). *)
 

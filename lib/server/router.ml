@@ -76,6 +76,7 @@ type obs_metrics = {
   c_misses : Registry.counter;
   c_forwarded : Registry.counter;
   c_reroutes : Registry.counter;
+  c_adoptions : Registry.counter;
   c_no_live : Registry.counter;
   c_errors : Registry.counter;
   c_timeouts : Registry.counter;
@@ -104,6 +105,7 @@ let make_obs sink ~shards =
     c_misses = Registry.counter reg "router_cache_misses_total";
     c_forwarded = Registry.counter reg "router_forwarded_total";
     c_reroutes = Registry.counter reg "router_reroutes_total";
+    c_adoptions = Registry.counter reg "router_adoptions_total";
     c_no_live = Registry.counter reg "router_no_live_shard_total";
     c_errors = Registry.counter reg "router_errors_total";
     c_timeouts = Registry.counter reg "router_timeouts_total";
@@ -156,6 +158,7 @@ type t = {
   mutable served : int;
   mutable forwarded : int;
   mutable reroutes : int;
+  mutable adoptions : int;
   mutable no_live : int;
   mutable errors : int;
   mutable timeouts : int;
@@ -233,6 +236,7 @@ let stats_locked t =
   let base =
     [
       ("accept_errors", float_of_int t.accept_errors);
+      ("adoptions", float_of_int t.adoptions);
       ("cache_bytes", float_of_int (Lru.bytes t.cache));
       ("cache_entries", float_of_int (Lru.length t.cache));
       ("cache_evictions", float_of_int (Lru.evictions t.cache));
@@ -290,8 +294,11 @@ let record_trace_locked t ~hash64 ~status ~shard =
 
 (* The response for one [run] frame. [get_session] hands out this
    connection's lazily-built session for a shard index; the blocking
-   forward happens outside the mutex. *)
-let handle_run t get_session scenario =
+   forward happens outside the mutex. Forwards always travel as a v2
+   stream so a shard slicing a long run keeps the inter-tier hop alive
+   with progress frames; [on_progress] (the edge re-emission hook) runs
+   on this thread, between frame reads. *)
+let handle_run ?on_progress t get_session scenario =
   let hash = Scenario.hash scenario in
   let hash64 = Scenario.hash64 scenario in
   Mutex.lock t.mutex;
@@ -339,7 +346,8 @@ let handle_run t get_session scenario =
           | None -> no_live_reply ()
           | Some i -> (
               let shard = string_of_int i in
-              let finish ?(strike = false) ~status response =
+              let finish ?(strike = false) ?(adopted = false) ~status
+                  response =
                 Mutex.lock t.mutex;
                 if strike then strike_locked t i
                 else t.states.(i).strikes <- 0;
@@ -349,7 +357,11 @@ let handle_run t get_session scenario =
                     t.served <- t.served + 1;
                     t.forwarded <- t.forwarded + 1;
                     obs_incr t (fun m -> m.c_served);
-                    obs_incr t (fun m -> m.c_forwarded)
+                    obs_incr t (fun m -> m.c_forwarded);
+                    if adopted then begin
+                      t.adoptions <- t.adoptions + 1;
+                      obs_incr t (fun m -> m.c_adoptions)
+                    end
                 | Protocol.Overloaded ->
                     t.overloaded <- t.overloaded + 1;
                     obs_incr t (fun m -> m.c_overloaded)
@@ -363,8 +375,16 @@ let handle_run t get_session scenario =
                 Mutex.unlock t.mutex;
                 response
               in
-              match Client.session_request (get_session i) (Protocol.Run scenario) with
-              | Ok (Protocol.Result _ as r) -> finish ~status:"ok" r
+              match
+                Client.session_run_stream ?on_progress (get_session i)
+                  scenario
+              with
+              | Ok (Protocol.Result _ as r) ->
+                  (* A result reached after ≥1 re-route means the ring
+                     successor adopted the victim's request — and, when
+                     the shards share a warm-start store, its deepest
+                     checkpoint. *)
+                  finish ~adopted:(tried > 1) ~status:"ok" r
               | Ok Protocol.Overloaded ->
                   (* Server-decided: pass through (re-routing would
                      defeat the keyspace partition) but strike — a shard
@@ -504,14 +524,30 @@ let handle_conn t fd =
                              "cancel: no in-flight request with id \"%s\""
                              target)));
                   true
-              | Protocol.Run scenario | Protocol.Run_stream scenario ->
-                  (* A streamed run is forwarded as a plain v1 run (the
-                     inter-tier session API is one-shot); the edge gets
-                     its terminal frame at its own version and simply no
-                     progress frames — which the protocol permits. *)
+              | Protocol.Run scenario ->
+                  (* Forwarded as a v2 stream regardless (shard progress
+                     frames keep the inter-tier hop alive through sliced
+                     runs) but the edge asked for a plain run, so the
+                     frames are consumed here and only the terminal one
+                     goes back, at the edge's version. *)
                   send
                     (Protocol.encode_response ?id ~v
                        (handle_run t get_session scenario));
+                  true
+              | Protocol.Run_stream scenario ->
+                  (* [Run_stream] only decodes at v2, so re-emitting
+                     progress frames to the edge is always legal. The
+                     re-emission is duplicate-tolerant (an inter-tier
+                     retry may replay pairs), matching what Server
+                     itself sends on a re-coalesced waiter. *)
+                  let on_progress ~done_count ~total =
+                    send
+                      (Protocol.encode_response ?id ~v
+                         (Protocol.Progress { done_count; total }))
+                  in
+                  send
+                    (Protocol.encode_response ?id ~v
+                       (handle_run ~on_progress t get_session scenario));
                   true)
         in
         if continue then loop ())
@@ -720,6 +756,7 @@ let start config =
       served = 0;
       forwarded = 0;
       reroutes = 0;
+      adoptions = 0;
       no_live = 0;
       errors = 0;
       timeouts = 0;

@@ -16,10 +16,24 @@
     accumulate strikes until ejection, and a successful ping re-admits
     the shard with its original keyspace.
 
+    The router is checkpoint-aware by construction: requests route by
+    the scenario's canonical hash, so each shard owns the warm-start
+    store keys of exactly the scenarios it serves, and when the shards
+    share one snapshot directory (the [serve-router] spawner's default)
+    an ejection re-route lands the request on a successor that resumes
+    from the victim's deepest persisted checkpoint rather than
+    recomputing from scratch. A [Result] obtained after ≥1 re-route is
+    counted as an {e adoption} ([adoptions] /
+    [router_adoptions_total]).
+
     Protocol v2: responses mirror the request's version. [hello]
-    negotiates normally; a streamed run is forwarded as a plain run
-    (the terminal frame comes back at the edge's version, with no
-    progress frames — the protocol permits zero); [cancel] is always an
+    negotiates normally. Every forward travels as a v2 stream
+    ({!Client.session_run_stream}) so a shard slicing a long run past
+    its deadline keeps the inter-tier hop alive with [progress] frames;
+    when the edge itself sent [stream:true] those frames are re-emitted
+    to it (duplicates possible across inter-tier retries, gaps never),
+    otherwise they are consumed at the router and only the terminal
+    frame goes back, at the edge's version. [cancel] is always an
     error, since forwarded runs block their connection thread and the
     router tracks no in-flight ids. *)
 
@@ -58,7 +72,8 @@ val listen_addr : t -> Server.addr
 (** Actual bound address ([Tcp 0] resolves to the kernel-chosen port). *)
 
 val stats : t -> (string * float) list
-(** Router counters plus per-shard [shardN_live] / [shardN_requests] /
+(** Router counters — including [adoptions], [reroutes], [ejections],
+    [readmissions] — plus per-shard [shardN_live] / [shardN_requests] /
     [shardN_ejections] rows; keys sorted, also the [stats] op payload. *)
 
 val live_shards : t -> bool array

@@ -13,6 +13,7 @@ type config = {
   cache_capacity : int;
   cache_bytes : int option;
   deadline_s : float;
+  slices : int;
   idle_timeout_s : float;
   max_conns : int;
   drain_deadline_s : float;
@@ -38,6 +39,7 @@ let default_config addr =
     cache_capacity = 64;
     cache_bytes = None;
     deadline_s = 30.;
+    slices = 0;
     idle_timeout_s = 60.;
     max_conns = 256;
     drain_deadline_s = 5.;
@@ -63,6 +65,8 @@ type obs_metrics = {
   c_timeouts : Registry.counter;
   c_cancelled : Registry.counter;
   c_warm_starts : Registry.counter;
+  c_sliced : Registry.counter;
+  c_orphaned : Registry.counter;
   c_conn_shed : Registry.counter;
   c_accept_errors : Registry.counter;
   c_idle_closed : Registry.counter;
@@ -87,6 +91,8 @@ let make_obs sink =
     c_timeouts = Registry.counter reg "server_timeouts_total";
     c_cancelled = Registry.counter reg "server_cancelled_total";
     c_warm_starts = Registry.counter reg "server_warm_starts_total";
+    c_sliced = Registry.counter reg "server_sliced_total";
+    c_orphaned = Registry.counter reg "server_orphaned_stops_total";
     c_conn_shed = Registry.counter reg "server_conns_shed_total";
     c_accept_errors = Registry.counter reg "server_accept_errors_total";
     c_idle_closed = Registry.counter reg "server_conns_idle_closed_total";
@@ -106,12 +112,21 @@ let make_obs sink =
    reaches zero (every waiter cancelled or expired), which lets a
    checkpointed run stop at its next chunk boundary instead of burning
    the worker to completion for nobody. [p_done]/[p_total] carry the
-   computation's progress for streaming waiters. *)
+   computation's progress for streaming waiters.
+
+   [p_yield] is the deadline-slice handshake: a waiter whose compute
+   deadline ran out (with slice budget left) arms it instead of
+   expiring, the worker sees it through [should_stop], persists its
+   deepest checkpoint and returns [Stopped], and the scheduler requeues
+   the remainder — the fresh job warm-starts from that checkpoint.
+   [p_slices] counts requeues consumed, bounded by [config.slices]. *)
 type pending = {
   mutable outcome : (string, string) result option;
   mutable p_done : int;
   mutable p_total : int;
   mutable p_interest : int;
+  mutable p_yield : bool;
+  mutable p_slices : int;
 }
 
 (* One waiter attached to a pending computation; registered in
@@ -157,6 +172,8 @@ type t = {
   mutable timeouts : int;
   mutable cancelled : int;
   mutable warm_starts : int;
+  mutable sliced : int;
+  mutable orphaned_stops : int;
   mutable conn_shed : int;
   mutable accept_errors : int;
   mutable idle_closed : int;
@@ -189,10 +206,12 @@ let stats_locked t =
     ("idle_closed", float_of_int t.idle_closed);
     ("inflight", float_of_int t.inflight);
     ("max_conns", float_of_int t.config.max_conns);
+    ("orphaned_stops", float_of_int t.orphaned_stops);
     ("pending", float_of_int (Hashtbl.length t.pending_tbl));
     ("pool_dropped", float_of_int t.pool_dropped);
     ("served", float_of_int t.served);
     ("shed", float_of_int t.shed);
+    ("sliced", float_of_int t.sliced);
     ("timeouts", float_of_int t.timeouts);
     ("warm_starts", float_of_int t.warm_starts);
     ("workers", float_of_int t.config.workers);
@@ -245,8 +264,15 @@ type wait_outcome =
 (* Called with the mutex held; releases it while waiting and while
    writing progress frames (socket writes can block). Wakeups come from
    job completion/progress broadcasts and from the ticker thread, which
-   bounds how late a deadline expiry is noticed. *)
-let await_locked t p w ~deadline ~on_progress =
+   bounds how late a deadline expiry is noticed.
+
+   [sliceable] requests whose deadline runs out with slice budget left
+   do not expire: the waiter arms [p_yield] (the worker checkpoints and
+   the scheduler requeues the remainder) and grants itself one more
+   deadline window per slice. Once the pending entry has consumed
+   [config.slices] requeues the next expiry is final. *)
+let await_locked t p w ~deadline ~sliceable ~on_progress =
+  let deadline = ref deadline in
   let last = ref (0, 0) in
   let rec go () =
     let fresh_progress =
@@ -273,7 +299,16 @@ let await_locked t p w ~deadline ~on_progress =
         | Some r -> Done r
         | None when w.w_cancelled -> Was_cancelled
         | None ->
-            if t.aborting || Clock.now_ns () >= deadline then Expired
+            if t.aborting then Expired
+            else if Clock.now_ns () >= !deadline then
+              if sliceable && t.config.slices > 0 && p.p_slices < t.config.slices
+              then begin
+                p.p_yield <- true;
+                deadline := Clock.ns_after (Clock.now_ns ()) t.config.deadline_s;
+                Condition.wait t.done_cond t.mutex;
+                go ()
+              end
+              else Expired
             else begin
               Condition.wait t.done_cond t.mutex;
               go ()
@@ -291,7 +326,7 @@ let unhook_locked t hash p =
 
 type job_result = Finished of string * int option | Stopped | Failed of string
 
-let submit_job t hash scenario p =
+let rec submit_job t hash scenario p =
   Ptg_util.Pool.Service.submit t.service (fun () ->
       (match
          Faults.take_matching t.config.faults (function
@@ -311,7 +346,7 @@ let submit_job t hash scenario p =
       in
       let should_stop () =
         Mutex.lock t.mutex;
-        let s = t.aborting || p.p_interest <= 0 in
+        let s = t.aborting || p.p_yield || p.p_interest <= 0 in
         Mutex.unlock t.mutex;
         s
       in
@@ -324,28 +359,53 @@ let submit_job t hash scenario p =
         with e -> Failed (Printexc.to_string e)
       in
       Mutex.lock t.mutex;
-      (match result with
-      | Finished (rendered, resumed_from) ->
-          Lru.put t.cache hash rendered;
-          sync_evictions_locked t;
-          (match resumed_from with
-          | Some _ ->
-              t.warm_starts <- t.warm_starts + 1;
-              obs_incr t (fun m -> m.c_warm_starts)
-          | None -> ());
-          p.outcome <- Some (Ok rendered)
-      | Stopped ->
-          (* Abandoned (cancelled or draining) and stopped at a
-             checkpoint boundary: nothing to cache, nobody to count an
-             error for — the store holds the prefix for a retry. *)
-          p.outcome <- Some (Error "cancelled")
-      | Failed msg ->
-          t.errors <- t.errors + 1;
-          obs_incr t (fun m -> m.c_errors);
-          p.outcome <- Some (Error msg));
-      unhook_locked t hash p;
-      t.inflight <- t.inflight - 1;
-      set_queue_gauge t;
+      let requeued =
+        match result with
+        | Stopped when p.p_yield && p.p_interest > 0 && not t.aborting ->
+            (* Deadline slice: the worker checkpointed and yielded while
+               waiters remain. Requeue the remainder — the fresh job
+               warm-starts from the checkpoint just persisted. The
+               in-flight slot stays charged; the pending entry stays
+               hooked so identical requests keep coalescing. *)
+            p.p_yield <- false;
+            p.p_slices <- p.p_slices + 1;
+            t.sliced <- t.sliced + 1;
+            obs_incr t (fun m -> m.c_sliced);
+            submit_job t hash scenario p;
+            true
+        | _ -> false
+      in
+      if not requeued then begin
+        (match result with
+        | Finished (rendered, resumed_from) ->
+            Lru.put t.cache hash rendered;
+            sync_evictions_locked t;
+            (match resumed_from with
+            | Some _ ->
+                t.warm_starts <- t.warm_starts + 1;
+                obs_incr t (fun m -> m.c_warm_starts)
+            | None -> ());
+            p.outcome <- Some (Ok rendered)
+        | Stopped ->
+            (* Abandoned (cancelled, expired or draining) and stopped at
+               a checkpoint boundary: nothing to cache, nobody to count
+               an error for — the store holds the prefix for a retry. An
+               orphan (zero waiters, no requeue pending, not draining)
+               is counted: it proves abandoned compute stops early
+               instead of burning the worker to completion. *)
+            if p.p_interest <= 0 && not t.aborting then begin
+              t.orphaned_stops <- t.orphaned_stops + 1;
+              obs_incr t (fun m -> m.c_orphaned)
+            end;
+            p.outcome <- Some (Error "cancelled")
+        | Failed msg ->
+            t.errors <- t.errors + 1;
+            obs_incr t (fun m -> m.c_errors);
+            p.outcome <- Some (Error msg));
+        unhook_locked t hash p;
+        t.inflight <- t.inflight - 1;
+        set_queue_gauge t
+      end;
       Condition.broadcast t.done_cond;
       Mutex.unlock t.mutex)
 
@@ -355,6 +415,7 @@ let submit_job t hash scenario p =
    streams progress frames to the peer between wakeups. *)
 let handle_run t ?on_progress ?cancel_id scenario =
   let hash = Scenario.hash scenario in
+  let sliceable = Checkpoint.sliceable scenario in
   let t0 = Clock.now_ns () in
   let deadline = Clock.ns_after t0 t.config.deadline_s in
   Mutex.lock t.mutex;
@@ -390,7 +451,7 @@ let handle_run t ?on_progress ?cancel_id scenario =
             t.coalesced <- t.coalesced + 1;
             obs_incr t (fun m -> m.c_coalesced);
             let w = attach_locked p in
-            let r = await_locked t p w ~deadline ~on_progress in
+            let r = await_locked t p w ~deadline ~sliceable ~on_progress in
             detach_locked w;
             (match r with
             | Expired | Conn_lost _ -> unhook_locked t hash p
@@ -404,14 +465,21 @@ let handle_run t ?on_progress ?cancel_id scenario =
             end
             else begin
               let p =
-                { outcome = None; p_done = 0; p_total = 0; p_interest = 0 }
+                {
+                  outcome = None;
+                  p_done = 0;
+                  p_total = 0;
+                  p_interest = 0;
+                  p_yield = false;
+                  p_slices = 0;
+                }
               in
               let w = attach_locked p in
               Hashtbl.replace t.pending_tbl hash p;
               t.inflight <- t.inflight + 1;
               set_queue_gauge t;
               submit_job t hash scenario p;
-              let r = await_locked t p w ~deadline ~on_progress in
+              let r = await_locked t p w ~deadline ~sliceable ~on_progress in
               detach_locked w;
               (* On expiry, unhook so a later identical request
                  recomputes instead of coalescing onto the zombie. The
@@ -751,6 +819,7 @@ let start config =
   | Some b when b < 1 -> invalid_arg "Server.start: cache_bytes"
   | _ -> ());
   if not (config.deadline_s > 0.) then invalid_arg "Server.start: deadline_s";
+  if config.slices < 0 then invalid_arg "Server.start: slices";
   if not (config.idle_timeout_s >= 0.) then
     invalid_arg "Server.start: idle_timeout_s";
   if config.max_conns < 1 then invalid_arg "Server.start: max_conns";
@@ -837,6 +906,8 @@ let start config =
       timeouts = 0;
       cancelled = 0;
       warm_starts = 0;
+      sliced = 0;
+      orphaned_stops = 0;
       conn_shed = 0;
       accept_errors = 0;
       idle_closed = 0;

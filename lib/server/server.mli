@@ -23,7 +23,13 @@
     its pending entry is unhooked so identical retries recompute rather
     than coalesce onto the straggler (whose in-flight slot stays charged
     until its worker actually finishes — a wedged worker still counts
-    against [high_water]). Connections carry socket read/write timeouts
+    against [high_water]). With [slices > 0], a sliceable scenario
+    ({!Ptg_sim.Checkpoint.sliceable}) whose deadline runs out is {e not}
+    timed out: the worker persists its deepest checkpoint and yields,
+    the scheduler requeues the remainder (up to [slices] times per
+    request), and the waiter — kept alive by streamed [progress] frames
+    on v2 — receives the final slice's result, byte-identical to an
+    uninterrupted run. Connections carry socket read/write timeouts
     ([idle_timeout_s]) so idle or non-reading peers cannot hold handler
     threads; accepts beyond [max_conns] are shed at accept time with a
     best-effort [overloaded] frame; accept-loop resource errors
@@ -68,6 +74,11 @@ type config = {
       (** per-request compute budget: a waiter past it gets
           [Protocol.Timeout] (must be [> 0]; expiry is noticed within
           ~50 ms of the deadline) *)
+  slices : int;
+      (** max deadline-slice requeues per request ([0] disables): each
+          expiry of [deadline_s] on a sliceable scenario checkpoints,
+          requeues the remainder and grants one more window instead of
+          timing out *)
   idle_timeout_s : float;
       (** socket read/write timeout per connection; [0.] disables *)
   max_conns : int;       (** concurrent connections before accept-time shed *)
@@ -106,9 +117,9 @@ type config = {
 
 val default_config : addr -> config
 (** workers {!Ptg_util.Pool.default_jobs}, high-water [2 * workers]
-    (min 4), 64 cache entries (no byte budget), 30 s deadline, 60 s
-    idle timeout, 256 connections, 5 s drain deadline, no snapshot
-    store, no obs, default handler, unarmed faults. *)
+    (min 4), 64 cache entries (no byte budget), 30 s deadline, no
+    slicing, 60 s idle timeout, 256 connections, 5 s drain deadline,
+    no snapshot store, no obs, default handler, unarmed faults. *)
 
 type t
 
@@ -124,9 +135,9 @@ val stats : t -> (string * float) list
 (** Scheduler/cache/failure counters, sorted by key: accept_errors,
     cache bytes/entries/hits/misses/evictions, cancelled, coalesced,
     conn_shed, conns, errors, faults_injected, idle_closed, inflight,
-    pending, pool_dropped, served, shed, timeouts, warm_starts, plus
-    the configured high_water/max_conns/workers. Also what the [stats]
-    op returns. *)
+    orphaned_stops, pending, pool_dropped, served, shed, sliced,
+    timeouts, warm_starts, plus the configured
+    high_water/max_conns/workers. Also what the [stats] op returns. *)
 
 val stop : t -> unit
 (** Stop accepting, drain open connections (force-closing stragglers

@@ -40,20 +40,16 @@ let check_meta ~what ~kind ~key m =
 (* Warm-start store: <dir>/<key>.<count>.ptgs                          *)
 (* ------------------------------------------------------------------ *)
 
-let file_name ~key count = Printf.sprintf "%s.%d.ptgs" key count
-let path ~dir ~key count = Filename.concat dir (file_name ~key count)
+let file_name = Snapshot.store_file_name
+let path = Snapshot.store_path
 
 (* Counts present in the store for [key], newest first. *)
-let stored_counts ~dir ~key =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> []
-  | entries ->
-      Array.to_list entries
-      |> List.filter_map (fun name ->
-             match String.split_on_char '.' name with
-             | [ k; n; "ptgs" ] when k = key -> int_of_string_opt n
-             | _ -> None)
-      |> List.sort (fun a b -> compare b a)
+let stored_counts = Snapshot.store_counts
+
+(* Deepest-N retention applied after every successful save: the deepest
+   checkpoint plus one fallback. Without this every chunk leaks a file
+   and a long served run grows the store without bound. *)
+let default_keep = 2
 
 (* Best usable checkpoint at or below [upto] instructions/rows. *)
 let find_latest ~dir ~key ~upto =
@@ -204,8 +200,9 @@ type fullsys_outcome = {
 let never_stop () = false
 let no_progress ~done_count:_ ~total:_ = ()
 
-let run_fullsys ?config ?pages ?key ?every ?dir ?(adopt = true)
-    ?(should_stop = never_stop) ?(progress = no_progress) ~seed ~instrs () =
+let run_fullsys ?config ?pages ?key ?(keep = default_keep) ?every ?dir
+    ?(adopt = true) ?(should_stop = never_stop) ?(progress = no_progress) ~seed
+    ~instrs () =
   let key =
     match key with Some k -> k | None -> fullsys_key ?config ?pages ~seed ()
   in
@@ -223,7 +220,10 @@ let run_fullsys ?config ?pages ?key ?every ?dir ?(adopt = true)
         |> List.find_map (fun n ->
                match fullsys_restore ~path:(path ~dir ~key n) ~key m with
                | count -> Some count
-               | exception Invalid_argument _ -> None)
+               | exception Invalid_argument _ -> None
+               (* A sharing peer may prune a file between our readdir
+                  and the open; skip it like any other dead candidate. *)
+               | exception Sys_error _ -> None)
   in
   let checkpoint () =
     match dir with
@@ -232,7 +232,10 @@ let run_fullsys ?config ?pages ?key ?every ?dir ?(adopt = true)
         ensure_dir dir;
         let n = Fullsys.instrs_done m in
         let p = path ~dir ~key n in
-        if not (Sys.file_exists p) then fullsys_save ~path:p ~key m
+        if not (Sys.file_exists p) then begin
+          fullsys_save ~path:p ~key m;
+          ignore (Snapshot.prune ~keep ~dir ~key ())
+        end
   in
   (* Make the adopted depth visible to progress streams before any new
      work happens (also the only progress a full-depth adoption emits). *)
@@ -312,7 +315,7 @@ type fig6_outcome = {
   g_resumed_from : int option;
 }
 
-let run_fig6 ?jobs ?key ?every ?dir ?(adopt = true)
+let run_fig6 ?jobs ?key ?(keep = default_keep) ?every ?dir ?(adopt = true)
     ?(should_stop = never_stop) ?(progress = no_progress) ~instrs ~warmup ~seed
     ~config ~workloads () =
   let total = List.length workloads in
@@ -360,7 +363,8 @@ let run_fig6 ?jobs ?key ?every ?dir ?(adopt = true)
                            (List.filteri (fun i _ -> i < n) workloads) ->
                    Some (n, rows)
                | _ -> None
-               | exception Invalid_argument _ -> None)
+               | exception Invalid_argument _ -> None
+               | exception Sys_error _ -> None)
   in
   let done_rows = ref (match resumed with None -> [] | Some (_, rows) -> rows) in
   let checkpoint () =
@@ -370,8 +374,10 @@ let run_fig6 ?jobs ?key ?every ?dir ?(adopt = true)
         ensure_dir dir;
         let n = List.length !done_rows in
         let p = path ~dir ~key n in
-        if n > 0 && not (Sys.file_exists p) then
-          Snapshot.save ~path:p (fig6_rows_sections ~key ~total !done_rows)
+        if n > 0 && not (Sys.file_exists p) then begin
+          Snapshot.save ~path:p (fig6_rows_sections ~key ~total !done_rows);
+          ignore (Snapshot.prune ~keep ~dir ~key ())
+        end
   in
   (match resumed with
   | Some (n, _) -> progress ~done_count:n ~total
@@ -400,6 +406,560 @@ let run_fig6 ?jobs ?key ?every ?dir ?(adopt = true)
   }
 
 (* ------------------------------------------------------------------ *)
+(* Fig7 point-batch checkpoints                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A fig7 checkpoint carries the shared per-workload baseline runs in
+   every file: they cost as much as one sweep point, are needed by every
+   remaining point, and storing them means a resumed slice never
+   recomputes them. The count is the completed-point prefix; a count of
+   0 (baselines only) is a legal checkpoint. *)
+
+let put_core_result b (r : Ptg_cpu.Core.result) =
+  Codec.put_varint b r.Ptg_cpu.Core.instrs;
+  Codec.put_varint b r.Ptg_cpu.Core.cycles;
+  Codec.put_float b r.Ptg_cpu.Core.ipc;
+  Codec.put_float b r.Ptg_cpu.Core.llc_mpki;
+  Codec.put_varint b r.Ptg_cpu.Core.dram_reads;
+  Codec.put_varint b r.Ptg_cpu.Core.pte_dram_reads;
+  Codec.put_varint b r.Ptg_cpu.Core.walks;
+  Codec.put_float b r.Ptg_cpu.Core.tlb_miss_rate;
+  Codec.put_varint b r.Ptg_cpu.Core.guard_mac_computations;
+  Codec.put_varint b r.Ptg_cpu.Core.cache_writebacks
+
+let get_core_result r : Ptg_cpu.Core.result =
+  let instrs = Codec.get_varint r in
+  let cycles = Codec.get_varint r in
+  let ipc = Codec.get_float r in
+  let llc_mpki = Codec.get_float r in
+  let dram_reads = Codec.get_varint r in
+  let pte_dram_reads = Codec.get_varint r in
+  let walks = Codec.get_varint r in
+  let tlb_miss_rate = Codec.get_float r in
+  let guard_mac_computations = Codec.get_varint r in
+  let cache_writebacks = Codec.get_varint r in
+  {
+    Ptg_cpu.Core.instrs;
+    cycles;
+    ipc;
+    llc_mpki;
+    dram_reads;
+    pte_dram_reads;
+    walks;
+    tlb_miss_rate;
+    guard_mac_computations;
+    cache_writebacks;
+  }
+
+let put_design b d = Codec.put_bool b (d = Ptguard.Config.Optimized)
+
+let get_design r =
+  if Codec.get_bool r then Ptguard.Config.Optimized else Ptguard.Config.Baseline
+
+let fig7_sections ~key ~total ~base ~points =
+  let b = Codec.writer () in
+  Codec.put_list b
+    (fun b (spec, r) ->
+      Codec.put_string b spec.Ptg_workloads.Workload.name;
+      put_core_result b r)
+    base;
+  let p = Codec.writer () in
+  Codec.put_varint p total;
+  Codec.put_list p
+    (fun p (pt : Fig7.point) ->
+      put_design p pt.Fig7.design;
+      Codec.put_varint p pt.Fig7.mac_latency;
+      Codec.put_float p pt.Fig7.avg_slowdown_pct;
+      Codec.put_float p pt.Fig7.max_slowdown_pct;
+      Codec.put_string p pt.Fig7.max_workload;
+      Codec.put_float p pt.Fig7.mac_reads_fraction)
+    points;
+  [
+    meta_section { m_kind = "fig7"; m_key = key; m_count = List.length points };
+    Snapshot.section ~name:"fig7.base" (Codec.contents b);
+    Snapshot.section ~name:"fig7.points" (Codec.contents p);
+  ]
+
+let fig7_parts_of_sections ~what sections =
+  let r = Snapshot.reader ~what sections "fig7.base" in
+  let base =
+    Codec.get_list r (fun r ->
+        let name = Codec.get_string r in
+        let core = get_core_result r in
+        (name, core))
+  in
+  Codec.expect_end r;
+  let r = Snapshot.reader ~what sections "fig7.points" in
+  let total = Codec.get_varint r in
+  let points =
+    Codec.get_list r (fun r ->
+        let design = get_design r in
+        let mac_latency = Codec.get_varint r in
+        let avg_slowdown_pct = Codec.get_float r in
+        let max_slowdown_pct = Codec.get_float r in
+        let max_workload = Codec.get_string r in
+        let mac_reads_fraction = Codec.get_float r in
+        {
+          Fig7.design;
+          mac_latency;
+          avg_slowdown_pct;
+          max_slowdown_pct;
+          max_workload;
+          mac_reads_fraction;
+        })
+  in
+  Codec.expect_end r;
+  (total, base, points)
+
+type fig7_outcome = {
+  p_result : Fig7.result option; (* None when stopped before the last point *)
+  p_points : Fig7.point list;
+  p_completed : bool;
+  p_resumed_from : int option;
+}
+
+let run_fig7 ?jobs ?key ?(keep = default_keep) ?every ?dir ?(adopt = true)
+    ?(should_stop = never_stop) ?(progress = no_progress)
+    ?(latencies = Fig7.default_latencies)
+    ?(workloads = Ptg_workloads.Workload.all) ~instrs ~warmup ~seed () =
+  let cases = Fig7.cases ~latencies () in
+  let total = List.length cases in
+  let names = List.map (fun s -> s.Ptg_workloads.Workload.name) workloads in
+  let key =
+    match key with
+    | Some k -> k
+    | None ->
+        Snapshot.hash_hex
+          (Codec.fnv1a64
+             (Printf.sprintf
+                "{\"instrs\":%d,\"kind\":\"fig7\",\"latencies\":[%s],\"seed\":%Ld,\"warmup\":%d,\"workloads\":[%s]}"
+                instrs
+                (String.concat "," (List.map string_of_int latencies))
+                seed warmup (String.concat "," names)))
+  in
+  (* Adopt the deepest stored point prefix whose baselines cover our
+     workload list and whose points match our case list, in order. *)
+  let resumed =
+    match dir with
+    | None -> None
+    | Some _ when not adopt -> None
+    | Some dir ->
+        Snapshot.store_counts ~dir ~key
+        |> List.filter (fun n -> n >= 0 && n <= total)
+        |> List.find_map (fun n ->
+               let p = path ~dir ~key n in
+               match
+                 let sections = Snapshot.load ~path:p in
+                 let meta = meta_of_sections ~what:p sections in
+                 check_meta ~what:p ~kind:"fig7" ~key meta;
+                 fig7_parts_of_sections ~what:p sections
+               with
+               | stored_total, base, points
+                 when stored_total = total
+                      && List.length points = n
+                      && List.map fst base = names
+                      && List.for_all2
+                           (fun (pt : Fig7.point) (d, l) ->
+                             pt.Fig7.design = d && pt.Fig7.mac_latency = l)
+                           points
+                           (List.filteri (fun i _ -> i < n) cases) ->
+                   Some
+                     ( n,
+                       List.map2
+                         (fun spec (_, core) -> (spec, core))
+                         workloads base,
+                       points )
+               | _ -> None
+               | exception Invalid_argument _ -> None
+               | exception Sys_error _ -> None)
+  in
+  let base = ref (Option.map (fun (_, b, _) -> b) resumed) in
+  let done_points =
+    ref (match resumed with None -> [] | Some (_, _, pts) -> pts)
+  in
+  let checkpoint () =
+    match (dir, !base) with
+    | Some dir, Some b ->
+        ensure_dir dir;
+        let n = List.length !done_points in
+        let p = path ~dir ~key n in
+        if not (Sys.file_exists p) then begin
+          Snapshot.save ~path:p
+            (fig7_sections ~key ~total ~base:b ~points:!done_points);
+          ignore (Snapshot.prune ~keep ~dir ~key ())
+        end
+    | _ -> ()
+  in
+  (match resumed with
+  | Some (n, _, _) -> progress ~done_count:n ~total
+  | None -> ());
+  let batch = match every with Some e when e > 0 -> e | _ -> total in
+  let stopped = ref false in
+  (* The shared baselines are the first chunk. *)
+  if !base = None then
+    if should_stop () then stopped := true
+    else begin
+      base := Some (Fig7.base_runs ?jobs ~instrs ~warmup ~seed workloads);
+      if every <> None then checkpoint ();
+      progress ~done_count:0 ~total
+    end;
+  while (not !stopped) && List.length !done_points < total do
+    if should_stop () then stopped := true
+    else begin
+      let n = List.length !done_points in
+      let step = min batch (total - n) in
+      let chunk = List.filteri (fun i _ -> i >= n && i < n + step) cases in
+      let base_results = Option.get !base in
+      let pts =
+        Array.to_list
+          (Ptg_util.Pool.parallel_map ?jobs
+             (fun case -> Fig7.point ~instrs ~warmup ~seed ~base_results case)
+             (Array.of_list chunk))
+      in
+      done_points := !done_points @ pts;
+      if every <> None || List.length !done_points >= total then checkpoint ();
+      progress ~done_count:(List.length !done_points) ~total
+    end
+  done;
+  if !stopped then checkpoint ();
+  let completed = not !stopped in
+  {
+    p_result =
+      (if completed then Some { Fig7.points = !done_points } else None);
+    p_points = !done_points;
+    p_completed = completed;
+    p_resumed_from = Option.map (fun (n, _, _) -> n) resumed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig9 workload-batch checkpoints                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_sections ~key ~total ~p_flips parts =
+  let b = Codec.writer () in
+  Codec.put_varint b total;
+  Codec.put_list b (Codec.put_float) p_flips;
+  Codec.put_list b
+    (fun b ((w : Fig9.workload_result), steps) ->
+      Codec.put_string b w.Fig9.workload;
+      Codec.put_list b
+        (fun b (c : Fig9.cell) ->
+          Codec.put_float b c.Fig9.p_flip;
+          Codec.put_varint b c.Fig9.sampled;
+          Codec.put_varint b c.Fig9.corrected;
+          Codec.put_varint b c.Fig9.uncorrectable;
+          Codec.put_varint b c.Fig9.benign;
+          Codec.put_varint b c.Fig9.miscorrections;
+          Codec.put_varint b c.Fig9.escapes;
+          Codec.put_float b c.Fig9.corrected_pct)
+        w.Fig9.cells;
+      Codec.put_list b
+        (fun b (k, v) ->
+          Codec.put_string b k;
+          Codec.put_varint b v)
+        steps)
+    parts;
+  [
+    meta_section { m_kind = "fig9"; m_key = key; m_count = List.length parts };
+    Snapshot.section ~name:"fig9.parts" (Codec.contents b);
+  ]
+
+let fig9_parts_of_sections ~what sections =
+  let r = Snapshot.reader ~what sections "fig9.parts" in
+  let total = Codec.get_varint r in
+  let p_flips = Codec.get_list r Codec.get_float in
+  let parts =
+    Codec.get_list r (fun r ->
+        let workload = Codec.get_string r in
+        let cells =
+          Codec.get_list r (fun r ->
+              let p_flip = Codec.get_float r in
+              let sampled = Codec.get_varint r in
+              let corrected = Codec.get_varint r in
+              let uncorrectable = Codec.get_varint r in
+              let benign = Codec.get_varint r in
+              let miscorrections = Codec.get_varint r in
+              let escapes = Codec.get_varint r in
+              let corrected_pct = Codec.get_float r in
+              {
+                Fig9.p_flip;
+                sampled;
+                corrected;
+                uncorrectable;
+                benign;
+                miscorrections;
+                escapes;
+                corrected_pct;
+              })
+        in
+        let steps =
+          Codec.get_list r (fun r ->
+              let k = Codec.get_string r in
+              let v = Codec.get_varint r in
+              (k, v))
+        in
+        ({ Fig9.workload; cells }, steps))
+  in
+  Codec.expect_end r;
+  (total, p_flips, parts)
+
+type fig9_outcome = {
+  q_result : Fig9.result option; (* None when stopped before the last workload *)
+  q_parts : (Fig9.workload_result * (string * int) list) list;
+  q_completed : bool;
+  q_resumed_from : int option;
+}
+
+let run_fig9 ?jobs ?key ?(keep = default_keep) ?every ?dir ?(adopt = true)
+    ?(should_stop = never_stop) ?(progress = no_progress)
+    ?(p_flips = Fig9.default_p_flips) ?(config = Ptguard.Config.optimized)
+    ?(workloads = Ptg_workloads.Workload.fig9_subset) ~lines_per_point ~seed ()
+    =
+  let total = List.length workloads in
+  let names = List.map (fun s -> s.Ptg_workloads.Workload.name) workloads in
+  let key =
+    match key with
+    | Some k -> k
+    | None ->
+        Snapshot.hash_hex
+          (Codec.fnv1a64
+             (Printf.sprintf
+                "{\"kind\":\"fig9\",\"lines\":%d,\"mac\":%d,\"p_flips\":[%s],\"seed\":%Ld,\"workloads\":[%s]}"
+                lines_per_point config.Ptguard.Config.mac_latency_cycles
+                (String.concat ","
+                   (List.map (Printf.sprintf "%.17g") p_flips))
+                seed (String.concat "," names)))
+  in
+  (* Generator states are re-derived every slice (cheap); only the
+     campaign results are stored. *)
+  let prepared = Fig9.prepare ~seed workloads in
+  let resumed =
+    match dir with
+    | None -> None
+    | Some _ when not adopt -> None
+    | Some dir ->
+        Snapshot.store_counts ~dir ~key
+        |> List.filter (fun n -> n <= total && n > 0)
+        |> List.find_map (fun n ->
+               let p = path ~dir ~key n in
+               match
+                 let sections = Snapshot.load ~path:p in
+                 let meta = meta_of_sections ~what:p sections in
+                 check_meta ~what:p ~kind:"fig9" ~key meta;
+                 fig9_parts_of_sections ~what:p sections
+               with
+               | stored_total, stored_p_flips, parts
+                 when stored_total = total
+                      && stored_p_flips = p_flips
+                      && List.length parts = n
+                      && List.for_all2
+                           (fun ((w : Fig9.workload_result), _) name ->
+                             w.Fig9.workload = name)
+                           parts
+                           (List.filteri (fun i _ -> i < n) names) ->
+                   Some (n, parts)
+               | _ -> None
+               | exception Invalid_argument _ -> None
+               | exception Sys_error _ -> None)
+  in
+  let done_parts =
+    ref (match resumed with None -> [] | Some (_, parts) -> parts)
+  in
+  let checkpoint () =
+    match dir with
+    | None -> ()
+    | Some dir ->
+        ensure_dir dir;
+        let n = List.length !done_parts in
+        let p = path ~dir ~key n in
+        if n > 0 && not (Sys.file_exists p) then begin
+          Snapshot.save ~path:p (fig9_sections ~key ~total ~p_flips !done_parts);
+          ignore (Snapshot.prune ~keep ~dir ~key ())
+        end
+  in
+  (match resumed with
+  | Some (n, _) -> progress ~done_count:n ~total
+  | None -> ());
+  let batch = match every with Some e when e > 0 -> e | _ -> total in
+  let stopped = ref false in
+  while (not !stopped) && List.length !done_parts < total do
+    if should_stop () then stopped := true
+    else begin
+      let n = List.length !done_parts in
+      let step = min batch (total - n) in
+      let chunk = List.filteri (fun i _ -> i >= n && i < n + step) prepared in
+      let parts =
+        Array.to_list
+          (Ptg_util.Pool.parallel_map ?jobs
+             (fun p -> Fig9.run_workload ~lines_per_point ~p_flips ~config p)
+             (Array.of_list chunk))
+      in
+      done_parts := !done_parts @ parts;
+      if every <> None || List.length !done_parts >= total then checkpoint ();
+      progress ~done_count:(List.length !done_parts) ~total
+    end
+  done;
+  if !stopped then checkpoint ();
+  let completed = not !stopped in
+  {
+    q_result =
+      (if completed then Some (Fig9.assemble ~p_flips !done_parts) else None);
+    q_parts = !done_parts;
+    q_completed = completed;
+    q_resumed_from = Option.map fst resumed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Multicore row-batch checkpoints                                     *)
+(* ------------------------------------------------------------------ *)
+
+let multicore_sections ~key ~total rows =
+  let b = Codec.writer () in
+  Codec.put_varint b total;
+  Codec.put_list b
+    (fun b (r : Multicore_exp.row) ->
+      Codec.put_string b r.Multicore_exp.label;
+      Codec.put_list b Codec.put_string r.Multicore_exp.workloads;
+      Codec.put_float b r.Multicore_exp.base_ipc;
+      Codec.put_float b r.Multicore_exp.norm_ipc;
+      Codec.put_float b r.Multicore_exp.slowdown_pct;
+      Codec.put_float b r.Multicore_exp.avg_queue_delay)
+    rows;
+  [
+    meta_section
+      { m_kind = "multicore"; m_key = key; m_count = List.length rows };
+    Snapshot.section ~name:"multicore.rows" (Codec.contents b);
+  ]
+
+let multicore_rows_of_sections ~what sections =
+  let r = Snapshot.reader ~what sections "multicore.rows" in
+  let total = Codec.get_varint r in
+  let rows =
+    Codec.get_list r (fun r ->
+        let label = Codec.get_string r in
+        let workloads = Codec.get_list r Codec.get_string in
+        let base_ipc = Codec.get_float r in
+        let norm_ipc = Codec.get_float r in
+        let slowdown_pct = Codec.get_float r in
+        let avg_queue_delay = Codec.get_float r in
+        {
+          Multicore_exp.label;
+          workloads;
+          base_ipc;
+          norm_ipc;
+          slowdown_pct;
+          avg_queue_delay;
+        })
+  in
+  Codec.expect_end r;
+  (total, rows)
+
+type multicore_outcome = {
+  r_result : Multicore_exp.result option; (* None when stopped early *)
+  r_rows : Multicore_exp.row list;
+  r_completed : bool;
+  r_resumed_from : int option;
+}
+
+let run_multicore ?jobs ?key ?(keep = default_keep) ?every ?dir ?(adopt = true)
+    ?(should_stop = never_stop) ?(progress = no_progress)
+    ?(same = Ptg_workloads.Workload.all) ?(config = Ptguard.Config.baseline)
+    ~instrs_per_core ~mixes ~seed () =
+  let cases = Multicore_exp.cases ~same ~seed ~mixes () in
+  let total = List.length cases in
+  let labels = List.map fst cases in
+  let key =
+    match key with
+    | Some k -> k
+    | None ->
+        Snapshot.hash_hex
+          (Codec.fnv1a64
+             (Printf.sprintf
+                "{\"instrs\":%d,\"kind\":\"multicore\",\"mac\":%d,\"mixes\":%d,\"same\":[%s],\"seed\":%Ld}"
+                instrs_per_core config.Ptguard.Config.mac_latency_cycles mixes
+                (String.concat ","
+                   (List.map
+                      (fun s -> s.Ptg_workloads.Workload.name)
+                      same))
+                seed))
+  in
+  let resumed =
+    match dir with
+    | None -> None
+    | Some _ when not adopt -> None
+    | Some dir ->
+        Snapshot.store_counts ~dir ~key
+        |> List.filter (fun n -> n <= total && n > 0)
+        |> List.find_map (fun n ->
+               let p = path ~dir ~key n in
+               match
+                 let sections = Snapshot.load ~path:p in
+                 let meta = meta_of_sections ~what:p sections in
+                 check_meta ~what:p ~kind:"multicore" ~key meta;
+                 multicore_rows_of_sections ~what:p sections
+               with
+               | stored_total, rows
+                 when stored_total = total
+                      && List.length rows = n
+                      && List.for_all2
+                           (fun (r : Multicore_exp.row) label ->
+                             r.Multicore_exp.label = label)
+                           rows
+                           (List.filteri (fun i _ -> i < n) labels) ->
+                   Some (n, rows)
+               | _ -> None
+               | exception Invalid_argument _ -> None
+               | exception Sys_error _ -> None)
+  in
+  let done_rows =
+    ref (match resumed with None -> [] | Some (_, rows) -> rows)
+  in
+  let checkpoint () =
+    match dir with
+    | None -> ()
+    | Some dir ->
+        ensure_dir dir;
+        let n = List.length !done_rows in
+        let p = path ~dir ~key n in
+        if n > 0 && not (Sys.file_exists p) then begin
+          Snapshot.save ~path:p (multicore_sections ~key ~total !done_rows);
+          ignore (Snapshot.prune ~keep ~dir ~key ())
+        end
+  in
+  (match resumed with
+  | Some (n, _) -> progress ~done_count:n ~total
+  | None -> ());
+  let batch = match every with Some e when e > 0 -> e | _ -> total in
+  let stopped = ref false in
+  while (not !stopped) && List.length !done_rows < total do
+    if should_stop () then stopped := true
+    else begin
+      let n = List.length !done_rows in
+      let step = min batch (total - n) in
+      let chunk = List.filteri (fun i _ -> i >= n && i < n + step) cases in
+      let rows =
+        Array.to_list
+          (Ptg_util.Pool.parallel_map ?jobs
+             (fun case ->
+               Multicore_exp.case_row ~instrs_per_core ~seed ~config case)
+             (Array.of_list chunk))
+      in
+      done_rows := !done_rows @ rows;
+      if every <> None || List.length !done_rows >= total then checkpoint ();
+      progress ~done_count:(List.length !done_rows) ~total
+    end
+  done;
+  if !stopped then checkpoint ();
+  let completed = not !stopped in
+  {
+    r_result =
+      (if completed then Some (Multicore_exp.of_rows !done_rows) else None);
+    r_rows = !done_rows;
+    r_completed = completed;
+    r_resumed_from = Option.map fst resumed;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Scenario entry point (server warm-start path)                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -409,16 +969,39 @@ type served = {
   resumed_from : int option;
 }
 
-(* Scenarios the snapshot store can serve incrementally: single-seed,
-   non-observed fullsys (instruction-prefix warm start, keyed by
-   [Scenario.prefix_hash]) and fig6 (row-prefix warm start, keyed by the
-   full [Scenario.hash] — rows are only reusable for identical sizing).
-   Everything else runs in one piece; [should_stop] then only takes
-   effect between scenarios. *)
+(* Scenario kinds the chunked drivers can slice: kill, persist, resume,
+   byte-identically. Multi-seed sweeps aggregate across seeds at the end
+   and are served in one piece. *)
+let sliceable (t : Scenario.t) =
+  match t.Scenario.kind with
+  | Scenario.Fullsys | Scenario.Fig7 | Scenario.Multicore -> true
+  | Scenario.Fig6 | Scenario.Fig9 -> t.Scenario.seeds = 1
+  | Scenario.Fig8 | Scenario.Trace -> false
+
+(* Without an explicit granularity, slice fullsys into ~10 instruction
+   chunks and batched experiments one unit (row/point/workload) at a
+   time, so [should_stop] gets a timely look even when the caller never
+   tuned [every]. *)
+let default_every (t : Scenario.t) =
+  match t.Scenario.kind with
+  | Scenario.Fullsys -> max 1 (Scenario.resolve_instrs t / 10)
+  | _ -> 1
+
+(* Scenarios the snapshot store can serve incrementally: fullsys by
+   instruction prefix (keyed by [Scenario.prefix_hash]) and the batched
+   experiments by unit prefix (keyed by the full [Scenario.hash] — units
+   are only reusable for identical sizing). Even without [dir] the
+   sliceable kinds run chunked, so [should_stop]/[progress] stay live;
+   everything else runs in one piece. *)
 let run_scenario ?dir ?every ?should_stop ?progress (t : Scenario.t) =
   Scenario.check t;
-  match (t.Scenario.kind, dir) with
-  | Scenario.Fullsys, Some _ ->
+  let every =
+    match every with
+    | Some _ -> every
+    | None -> if sliceable t then Some (default_every t) else None
+  in
+  match t.Scenario.kind with
+  | Scenario.Fullsys ->
       let o =
         run_fullsys ?every ?dir ?should_stop ?progress
           ~key:(Scenario.prefix_hash t) ~seed:t.Scenario.seed
@@ -432,7 +1015,7 @@ let run_scenario ?dir ?every ?should_stop ?progress (t : Scenario.t) =
         completed = o.f_completed;
         resumed_from = o.f_resumed_from;
       }
-  | Scenario.Fig6, Some _ when t.Scenario.seeds = 1 ->
+  | Scenario.Fig6 when t.Scenario.seeds = 1 ->
       let config =
         Ptguard.Config.with_mac_latency
           (Scenario.config_of_design t.Scenario.design)
@@ -453,6 +1036,41 @@ let run_scenario ?dir ?every ?should_stop ?progress (t : Scenario.t) =
         text = Option.map (fun r -> Scenario.render (Scenario.Fig6_out r)) o.g_result;
         completed = o.g_completed;
         resumed_from = o.g_resumed_from;
+      }
+  | Scenario.Fig7 ->
+      let o =
+        run_fig7 ~jobs:t.Scenario.jobs ?every ?dir ?should_stop ?progress
+          ~key:(Scenario.hash t) ~instrs:(Scenario.resolve_instrs t)
+          ~warmup:(Scenario.resolve_warmup t) ~seed:t.Scenario.seed ()
+      in
+      {
+        text = Option.map (fun r -> Scenario.render (Scenario.Fig7_out r)) o.p_result;
+        completed = o.p_completed;
+        resumed_from = o.p_resumed_from;
+      }
+  | Scenario.Fig9 when t.Scenario.seeds = 1 ->
+      let o =
+        run_fig9 ~jobs:t.Scenario.jobs ?every ?dir ?should_stop ?progress
+          ~key:(Scenario.hash t) ~lines_per_point:(Scenario.resolve_lines t)
+          ~seed:t.Scenario.seed ()
+      in
+      {
+        text = Option.map (fun r -> Scenario.render (Scenario.Fig9_out r)) o.q_result;
+        completed = o.q_completed;
+        resumed_from = o.q_resumed_from;
+      }
+  | Scenario.Multicore ->
+      let o =
+        run_multicore ~jobs:t.Scenario.jobs ?every ?dir ?should_stop ?progress
+          ~key:(Scenario.hash t)
+          ~instrs_per_core:(Scenario.resolve_instrs t)
+          ~mixes:(Scenario.resolve_mixes t) ~seed:t.Scenario.seed ()
+      in
+      {
+        text =
+          Option.map (fun r -> Scenario.render (Scenario.Multicore_out r)) o.r_result;
+        completed = o.r_completed;
+        resumed_from = o.r_resumed_from;
       }
   | _ ->
       (match should_stop with

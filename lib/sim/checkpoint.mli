@@ -1,6 +1,6 @@
 (** Checkpoint/restore drivers over {!Ptg_snapshot}.
 
-    Two experiment families checkpoint usefully:
+    Every sliceable experiment family has a chunked driver:
 
     - {b fullsys} — the machine's complete mutable state
       ({!Fullsys.state}) every [every] instructions. Because the hammer
@@ -10,15 +10,25 @@
     - {b fig6} — completed per-workload rows in batches of [every].
       Rows are independent and job-count invariant, so a resumed run
       recomputes only the missing suffix and aggregates identically.
+    - {b fig7} — completed sweep points, with the shared unprotected
+      baselines stored in every checkpoint so resumes never recompute
+      them.
+    - {b fig9} — completed per-workload injection campaigns; generator
+      states are re-derived from the seed each slice.
+    - {b multicore} — completed SAME/MIX rows; the case list is
+      re-derived from the seed each slice.
 
     Checkpoints live in a {e warm-start store}: a directory of
     [<key>.<count>.ptgs] snapshot files, where [key] hashes everything
     the run depends on {e except} how far it goes
     ({!Scenario.prefix_hash} for fullsys scenarios) and [count] is the
-    instruction (or row) prefix covered. A longer run warm-starts from
+    instruction (or unit) prefix covered. A longer run warm-starts from
     the deepest stored prefix at or below its budget; damaged or
     mismatched files are skipped, never fatal — explicit restores
-    ({!fullsys_restore}) raise instead.
+    ({!fullsys_restore}) raise instead. After each successful save the
+    drivers prune the store to the deepest [keep] files per key
+    ({!Ptg_snapshot.Snapshot.prune}), so a long multi-chunk run leaves a
+    bounded number of files behind.
 
     Checkpointing excludes observability: drivers never pass [obs]. *)
 
@@ -32,6 +42,10 @@ val stored_counts : dir:string -> key:string -> int list
     missing. *)
 
 val find_latest : dir:string -> key:string -> upto:int -> int option
+
+val default_keep : int
+(** Files retained per key by the drivers' post-save prune (2: the
+    deepest plus one fallback for damaged-file recovery). *)
 
 (** {1 Fullsys} *)
 
@@ -72,6 +86,7 @@ val run_fullsys :
   ?config:Fullsys.config ->
   ?pages:int ->
   ?key:string ->
+  ?keep:int ->
   ?every:int ->
   ?dir:string ->
   ?adopt:bool ->
@@ -112,6 +127,7 @@ type fig6_outcome = {
 val run_fig6 :
   ?jobs:int ->
   ?key:string ->
+  ?keep:int ->
   ?every:int ->
   ?dir:string ->
   ?adopt:bool ->
@@ -130,7 +146,148 @@ val run_fig6 :
     prefix is only adopted when its workload names match this run's
     list in order. *)
 
+(** {1 Fig7} *)
+
+val fig7_sections :
+  key:string ->
+  total:int ->
+  base:(Ptg_workloads.Workload.spec * Ptg_cpu.Core.result) list ->
+  points:Fig7.point list ->
+  Ptg_snapshot.Snapshot.section list
+(** Every fig7 checkpoint carries the shared unprotected baselines
+    alongside the completed point prefix: they cost about one sweep
+    point and every remaining point needs them, so a resumed slice
+    never recomputes them. A points-empty (baselines-only) file is a
+    legal count-0 checkpoint. *)
+
+val fig7_parts_of_sections :
+  what:string ->
+  Ptg_snapshot.Snapshot.section list ->
+  int * (string * Ptg_cpu.Core.result) list * Fig7.point list
+(** [(total, named baselines, completed-prefix)]. *)
+
+type fig7_outcome = {
+  p_result : Fig7.result option;  (** [None] when stopped early *)
+  p_points : Fig7.point list;
+  p_completed : bool;
+  p_resumed_from : int option;    (** points adopted from the store *)
+}
+
+val run_fig7 :
+  ?jobs:int ->
+  ?key:string ->
+  ?keep:int ->
+  ?every:int ->
+  ?dir:string ->
+  ?adopt:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?progress:(done_count:int -> total:int -> unit) ->
+  ?latencies:int list ->
+  ?workloads:Ptg_workloads.Workload.spec list ->
+  instrs:int ->
+  warmup:int ->
+  seed:int64 ->
+  unit ->
+  fig7_outcome
+(** Point-batch analogue of {!run_fig6}: compute the shared baselines
+    as the first chunk, then the missing sweep points in ordered
+    batches of [every] through {!Fig7.point}. A stored prefix is only
+    adopted when its baseline workload names and its (design, latency)
+    points match this run's case list in order. *)
+
+(** {1 Fig9} *)
+
+val fig9_sections :
+  key:string ->
+  total:int ->
+  p_flips:float list ->
+  (Fig9.workload_result * (string * int) list) list ->
+  Ptg_snapshot.Snapshot.section list
+
+val fig9_parts_of_sections :
+  what:string ->
+  Ptg_snapshot.Snapshot.section list ->
+  int * float list * (Fig9.workload_result * (string * int) list) list
+(** [(total, p_flips, completed per-workload parts)]. *)
+
+type fig9_outcome = {
+  q_result : Fig9.result option;  (** [None] when stopped early *)
+  q_parts : (Fig9.workload_result * (string * int) list) list;
+  q_completed : bool;
+  q_resumed_from : int option;    (** workloads adopted from the store *)
+}
+
+val run_fig9 :
+  ?jobs:int ->
+  ?key:string ->
+  ?keep:int ->
+  ?every:int ->
+  ?dir:string ->
+  ?adopt:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?progress:(done_count:int -> total:int -> unit) ->
+  ?p_flips:float list ->
+  ?config:Ptguard.Config.t ->
+  ?workloads:Ptg_workloads.Workload.spec list ->
+  lines_per_point:int ->
+  seed:int64 ->
+  unit ->
+  fig9_outcome
+(** Workload-batch driver: {!Fig9.prepare} re-derives every generator
+    state from [seed] each slice (cheap), missing campaigns run in
+    ordered batches of [every] through {!Fig9.run_workload}, and
+    completion assembles through {!Fig9.assemble}. A stored prefix is
+    only adopted when its [p_flips] and workload-name prefix match. *)
+
+(** {1 Multicore} *)
+
+val multicore_sections :
+  key:string ->
+  total:int ->
+  Multicore_exp.row list ->
+  Ptg_snapshot.Snapshot.section list
+
+val multicore_rows_of_sections :
+  what:string ->
+  Ptg_snapshot.Snapshot.section list ->
+  int * Multicore_exp.row list
+(** [(total, completed-prefix)]. *)
+
+type multicore_outcome = {
+  r_result : Multicore_exp.result option;  (** [None] when stopped early *)
+  r_rows : Multicore_exp.row list;
+  r_completed : bool;
+  r_resumed_from : int option;    (** rows adopted from the store *)
+}
+
+val run_multicore :
+  ?jobs:int ->
+  ?key:string ->
+  ?keep:int ->
+  ?every:int ->
+  ?dir:string ->
+  ?adopt:bool ->
+  ?should_stop:(unit -> bool) ->
+  ?progress:(done_count:int -> total:int -> unit) ->
+  ?same:Ptg_workloads.Workload.spec list ->
+  ?config:Ptguard.Config.t ->
+  instrs_per_core:int ->
+  mixes:int ->
+  seed:int64 ->
+  unit ->
+  multicore_outcome
+(** Row-batch driver over {!Multicore_exp.cases} (re-derived from
+    [seed] each slice) and {!Multicore_exp.case_row}. A stored prefix
+    is only adopted when its labels match this run's case labels in
+    order. *)
+
 (** {1 Scenario entry point} *)
+
+val sliceable : Scenario.t -> bool
+(** Whether {!run_scenario} can execute this scenario in
+    kill-and-resume slices: fullsys, fig7 and multicore always;
+    fig6/fig9 when single-seed; fig8 and trace never. The server only
+    requeues deadline-expired requests for sliceable scenarios. *)
 
 type served = {
   text : string option;  (** the {!Scenario.render}ing; [None] if stopped *)
@@ -147,6 +304,9 @@ val run_scenario :
   served
 (** The server's warm-start-aware execution path. With [dir], fullsys
     scenarios warm-start by instruction prefix (key
-    {!Scenario.prefix_hash}) and single-seed fig6 scenarios by row
+    {!Scenario.prefix_hash}) and the other sliceable kinds by unit
     prefix (key {!Scenario.hash}); the rendering is byte-identical to
-    {!Scenario.run_to_string}. Other kinds run in one piece. *)
+    {!Scenario.run_to_string}. Sliceable scenarios run chunked even
+    without [dir] (default [every]: a tenth of the fullsys budget, one
+    unit otherwise), so [should_stop] and [progress] stay live
+    mid-scenario; other kinds run in one piece. *)

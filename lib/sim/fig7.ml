@@ -11,29 +11,79 @@ type point = {
 
 type result = { points : point list }
 
+let default_latencies = [ 5; 10; 15; 20 ]
+
+let cases ?(latencies = default_latencies) () =
+  List.concat_map
+    (fun design -> List.map (fun lat -> (design, lat)) latencies)
+    [ Ptguard.Config.Baseline; Ptguard.Config.Optimized ]
+
+(* Baseline (unprotected) runs are shared across the sweep; each one
+   seeds its own Rng, so both this fan-out and the per-point fan-out in
+   [run] are bit-identical to serial execution. *)
+let base_runs ?jobs ~instrs ~warmup ~seed workloads =
+  Array.to_list
+    (Pool.parallel_map ?jobs
+       (fun spec ->
+         let rng = Rng.create seed in
+         let stream = Ptg_workloads.Workload.stream rng spec in
+         let core = Ptg_cpu.Core.create ~guard:Ptg_cpu.Guard_timing.unprotected () in
+         ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
+         (spec, Ptg_cpu.Core.run core ~instrs ~stream))
+       (Array.of_list workloads))
+
+let point ?obs ~instrs ~warmup ~seed ~base_results (design, mac_latency) =
+  let cfg =
+    Ptguard.Config.with_mac_latency
+      (match design with
+      | Ptguard.Config.Baseline -> Ptguard.Config.baseline
+      | Ptguard.Config.Optimized -> Ptguard.Config.optimized)
+      mac_latency
+  in
+  let slowdowns, max_w, mac_fracs =
+    List.fold_left
+      (fun (acc, (mx_v, mx_n), fr) (spec, base) ->
+        let guard =
+          Ptg_cpu.Guard_timing.of_config cfg ?obs
+            ~rng:(Rng.create (Int64.add seed 1L))
+        in
+        let rng = Rng.create seed in
+        let stream = Ptg_workloads.Workload.stream rng spec in
+        let core = Ptg_cpu.Core.create ~guard () in
+        ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
+        let r = Ptg_cpu.Core.run core ~instrs ~stream in
+        let slow =
+          100.0 *. (1.0 -. (r.Ptg_cpu.Core.ipc /. base.Ptg_cpu.Core.ipc))
+        in
+        let frac =
+          let reads = r.Ptg_cpu.Core.dram_reads + r.Ptg_cpu.Core.pte_dram_reads in
+          if reads = 0 then 0.0
+          else
+            float_of_int r.Ptg_cpu.Core.guard_mac_computations
+            /. float_of_int reads
+        in
+        ( slow :: acc,
+          (if slow > mx_v then (slow, spec.Ptg_workloads.Workload.name)
+           else (mx_v, mx_n)),
+          frac :: fr ))
+      ([], (neg_infinity, ""), [])
+      base_results
+  in
+  let max_v, max_n = max_w in
+  {
+    design;
+    mac_latency;
+    avg_slowdown_pct = Stats.mean (Array.of_list slowdowns);
+    max_slowdown_pct = max_v;
+    max_workload = max_n;
+    mac_reads_fraction = Stats.mean (Array.of_list mac_fracs);
+  }
+
 let run ?jobs ?(instrs = 1_000_000) ?(warmup = 300_000) ?(seed = 42L)
-    ?(latencies = [ 5; 10; 15; 20 ]) ?(workloads = Ptg_workloads.Workload.all)
+    ?(latencies = default_latencies) ?(workloads = Ptg_workloads.Workload.all)
     ?obs () =
-  (* Baseline (unprotected) runs are shared across the sweep; each one
-     seeds its own Rng, so both this fan-out and the per-point fan-out
-     below are bit-identical to serial execution. *)
-  let base_results =
-    Array.to_list
-      (Pool.parallel_map ?jobs
-         (fun spec ->
-           let rng = Rng.create seed in
-           let stream = Ptg_workloads.Workload.stream rng spec in
-           let core = Ptg_cpu.Core.create ~guard:Ptg_cpu.Guard_timing.unprotected () in
-           ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
-           (spec, Ptg_cpu.Core.run core ~instrs ~stream))
-         (Array.of_list workloads))
-  in
-  let cases =
-    Array.of_list
-      (List.concat_map
-         (fun design -> List.map (fun lat -> (design, lat)) latencies)
-         [ Ptguard.Config.Baseline; Ptguard.Config.Optimized ])
-  in
+  let base_results = base_runs ?jobs ~instrs ~warmup ~seed workloads in
+  let cases = Array.of_list (cases ~latencies ()) in
   let children =
     match obs with
     | None -> [||]
@@ -42,55 +92,11 @@ let run ?jobs ?(instrs = 1_000_000) ?(warmup = 300_000) ?(seed = 42L)
   let points =
     Array.to_list
       (Pool.parallel_map ?jobs
-         (fun (case_idx, (design, mac_latency)) ->
-            let obs =
-              if Array.length children = 0 then None else Some children.(case_idx)
-            in
-            let cfg =
-              Ptguard.Config.with_mac_latency
-                (match design with
-                | Ptguard.Config.Baseline -> Ptguard.Config.baseline
-                | Ptguard.Config.Optimized -> Ptguard.Config.optimized)
-                mac_latency
-            in
-            let slowdowns, max_w, mac_fracs =
-              List.fold_left
-                (fun (acc, (mx_v, mx_n), fr) (spec, base) ->
-                  let guard =
-                    Ptg_cpu.Guard_timing.of_config cfg ?obs
-                      ~rng:(Rng.create (Int64.add seed 1L))
-                  in
-                  let rng = Rng.create seed in
-                  let stream = Ptg_workloads.Workload.stream rng spec in
-                  let core = Ptg_cpu.Core.create ~guard () in
-                  ignore (Ptg_cpu.Core.run core ~instrs:warmup ~stream);
-                  let r = Ptg_cpu.Core.run core ~instrs ~stream in
-                  let slow =
-                    100.0 *. (1.0 -. (r.Ptg_cpu.Core.ipc /. base.Ptg_cpu.Core.ipc))
-                  in
-                  let frac =
-                    let reads = r.Ptg_cpu.Core.dram_reads + r.Ptg_cpu.Core.pte_dram_reads in
-                    if reads = 0 then 0.0
-                    else
-                      float_of_int r.Ptg_cpu.Core.guard_mac_computations
-                      /. float_of_int reads
-                  in
-                  ( slow :: acc,
-                    (if slow > mx_v then (slow, spec.Ptg_workloads.Workload.name)
-                     else (mx_v, mx_n)),
-                    frac :: fr ))
-                ([], (neg_infinity, ""), [])
-                base_results
-            in
-            let max_v, max_n = max_w in
-            {
-              design;
-              mac_latency;
-              avg_slowdown_pct = Stats.mean (Array.of_list slowdowns);
-              max_slowdown_pct = max_v;
-              max_workload = max_n;
-              mac_reads_fraction = Stats.mean (Array.of_list mac_fracs);
-            })
+         (fun (case_idx, case) ->
+           let obs =
+             if Array.length children = 0 then None else Some children.(case_idx)
+           in
+           point ?obs ~instrs ~warmup ~seed ~base_results case)
          (Array.mapi (fun i case -> (i, case)) cases))
   in
   (match obs with

@@ -18,6 +18,37 @@ type point = {
 
 type result = { points : point list }
 
+val default_latencies : int list
+(** [[5; 10; 15; 20]], the paper's sweep. *)
+
+val cases : ?latencies:int list -> unit -> (Ptguard.Config.design * int) list
+(** The sweep's (design, MAC latency) points in presentation order:
+    Baseline across [latencies], then Optimized. *)
+
+val base_runs :
+  ?jobs:int ->
+  instrs:int ->
+  warmup:int ->
+  seed:int64 ->
+  Ptg_workloads.Workload.spec list ->
+  (Ptg_workloads.Workload.spec * Ptg_cpu.Core.result) list
+(** The unprotected per-workload runs every sweep point is normalized
+    against. Deterministic for any [jobs]; each workload seeds its own
+    generator from [seed]. *)
+
+val point :
+  ?obs:Ptg_obs.Sink.t ->
+  instrs:int ->
+  warmup:int ->
+  seed:int64 ->
+  base_results:(Ptg_workloads.Workload.spec * Ptg_cpu.Core.result) list ->
+  Ptguard.Config.design * int ->
+  point
+(** One sweep point from shared baselines: guarded runs over every
+    workload in [base_results], averaged and worst-cased. Independent of
+    every other point, so points can be computed in any batching (the
+    checkpoint driver's slicing contract). *)
+
 val run :
   ?jobs:int ->
   ?instrs:int ->

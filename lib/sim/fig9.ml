@@ -68,34 +68,41 @@ type tally = {
   mutable escapes : int;
 }
 
-let run ?jobs ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
-    ?(config = Ptguard.Config.optimized)
-    ?(workloads = Ptg_workloads.Workload.fig9_subset) ?obs () =
+type prepared = {
+  pr_spec : Ptg_workloads.Workload.spec;
+  pr_params : Ptg_vm.Process_model.params;
+  pr_wl_rng : Rng.t;
+  pr_engine_rng : Rng.t;
+}
+
+(* Per-workload generator state is split off the master stream serially,
+   in workload order, before any fan-out across domains — the injection
+   sequence each workload sees is therefore independent of the job
+   count, and parallel (or resumed-from-checkpoint) runs are
+   bit-identical to serial ones. Preparation is cheap relative to a
+   campaign, so a resumed slice just re-prepares every workload. *)
+let prepare ~seed workloads =
   let rng = Rng.create seed in
+  List.map
+    (fun spec ->
+      let pr_params = process_params rng spec in
+      let pr_wl_rng = Rng.split rng in
+      let pr_engine_rng = Rng.split rng in
+      { pr_spec = spec; pr_params; pr_wl_rng; pr_engine_rng })
+    workloads
+
+(* One workload's injection campaign from its prepared generator state.
+   The correction-strategy histogram is returned as a key-sorted assoc
+   list so it can be serialized and merged deterministically. *)
+let run_workload ?obs ~lines_per_point ~p_flips ~config prepared =
+  let { pr_spec = spec; pr_params = params; pr_wl_rng = wl_rng;
+        pr_engine_rng = engine_rng } = prepared in
   let mask line = Ptguard.Config.masked_for_mac config line in
-  (* Per-workload generator state is split off the master stream serially,
-     in workload order, before fanning out across domains — the injection
-     sequence each workload sees is therefore independent of the job
-     count, and parallel runs are bit-identical to serial ones. *)
-  let prepared =
-    Array.of_list
-      (List.map
-         (fun spec ->
-           let params = process_params rng spec in
-           let wl_rng = Rng.split rng in
-           let engine_rng = Rng.split rng in
-           let child = Option.map Ptg_obs.Sink.child obs in
-           (spec, params, wl_rng, engine_rng, child))
-         workloads)
-  in
-  let per_results =
-    Pool.parallel_map ?jobs
-      (fun (spec, params, wl_rng, engine_rng, child) ->
-          let rng = wl_rng in
-          let steps : (string, int) Hashtbl.t = Hashtbl.create 8 in
-          let lines = Ptg_vm.Process_model.leaf_lines rng params in
-          let sample = weighted_sampler rng lines in
-          let engine = Ptguard.Engine.create ~config ?obs:child ~rng:engine_rng () in
+  let rng = wl_rng in
+  let steps : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let lines = Ptg_vm.Process_model.leaf_lines rng params in
+  let sample = weighted_sampler rng lines in
+  let engine = Ptguard.Engine.create ~config ?obs ~rng:engine_rng () in
           let cells =
             List.map
               (fun p_flip ->
@@ -149,28 +156,26 @@ let run ?jobs ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
                 })
               p_flips
           in
-          ({ workload = spec.Ptg_workloads.Workload.name; cells }, steps))
-      prepared
-  in
-  (match obs with
-  | None -> ()
-  | Some sink ->
-      Array.iter
-        (fun (_, _, _, _, child) ->
-          match child with
-          | Some src -> Ptg_obs.Sink.merge_into ~src ~dst:sink
-          | None -> ())
-        prepared);
-  let per_workload = Array.to_list (Array.map fst per_results) in
-  (* Merge the per-workload strategy histograms in workload order. *)
+  ( { workload = spec.Ptg_workloads.Workload.name; cells },
+    List.sort
+      (fun (ka, _) (kb, _) -> String.compare ka kb)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) steps []) )
+
+(* Assemble per-workload parts — in workload order — into the figure:
+   merged strategy histogram and the pooled per-p_flip average row. The
+   merge sums commutatively and the histogram is re-sorted, so parts
+   computed in any batching (checkpoint slices included) assemble
+   byte-identically. *)
+let assemble ~p_flips parts =
+  let per_workload = List.map fst parts in
   let steps : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  Array.iter
+  List.iter
     (fun (_, wl_steps) ->
-      Hashtbl.iter
-        (fun k v ->
+      List.iter
+        (fun (k, v) ->
           Hashtbl.replace steps k (v + Option.value ~default:0 (Hashtbl.find_opt steps k)))
         wl_steps)
-    per_results;
+    parts;
   (* Pool the per-workload tallies into the per-p_flip average row. *)
   let average =
     List.mapi
@@ -201,6 +206,31 @@ let run ?jobs ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
           match compare b a with 0 -> String.compare ka kb | c -> c)
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) steps []);
   }
+
+let run ?jobs ?(lines_per_point = 300) ?(seed = 9L) ?(p_flips = default_p_flips)
+    ?(config = Ptguard.Config.optimized)
+    ?(workloads = Ptg_workloads.Workload.fig9_subset) ?obs () =
+  let prepared = Array.of_list (prepare ~seed workloads) in
+  let children =
+    match obs with
+    | None -> [||]
+    | Some sink ->
+        Array.init (Array.length prepared) (fun _ -> Ptg_obs.Sink.child sink)
+  in
+  let parts =
+    Pool.parallel_map ?jobs
+      (fun (i, p) ->
+        let obs =
+          if Array.length children = 0 then None else Some children.(i)
+        in
+        run_workload ?obs ~lines_per_point ~p_flips ~config p)
+      (Array.mapi (fun i p -> (i, p)) prepared)
+  in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      Array.iter (fun child -> Ptg_obs.Sink.merge_into ~src:child ~dst:sink) children);
+  assemble ~p_flips (Array.to_list parts)
 
 let pp_p p =
   if p > 0.0 && Float.is_integer (1.0 /. p) then

@@ -34,6 +34,37 @@ type result = {
 val default_p_flips : float list
 (** [1/1024; 1/512; 1/256; 1/128], the x-axis of Figure 9. *)
 
+type prepared = {
+  pr_spec : Ptg_workloads.Workload.spec;
+  pr_params : Ptg_vm.Process_model.params;
+  pr_wl_rng : Ptg_util.Rng.t;
+  pr_engine_rng : Ptg_util.Rng.t;
+}
+(** One workload's generator state, split serially off the master seed
+    stream in workload order. *)
+
+val prepare : seed:int64 -> Ptg_workloads.Workload.spec list -> prepared list
+(** Derive every workload's generator state from [seed]. Cheap relative
+    to a campaign — a checkpoint-resumed slice re-prepares all workloads
+    and runs only the missing ones, bit-identically. *)
+
+val run_workload :
+  ?obs:Ptg_obs.Sink.t ->
+  lines_per_point:int ->
+  p_flips:float list ->
+  config:Ptguard.Config.t ->
+  prepared ->
+  workload_result * (string * int) list
+(** One workload's injection campaign; the snd is its correction-step
+    histogram as a key-sorted assoc list (serializable, mergeable). *)
+
+val assemble :
+  p_flips:float list ->
+  (workload_result * (string * int) list) list ->
+  result
+(** Merge per-workload parts (in workload order) into the figure:
+    byte-identical however the parts were batched. *)
+
 val run :
   ?jobs:int ->
   ?lines_per_point:int ->

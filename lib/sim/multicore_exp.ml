@@ -26,61 +26,46 @@ let run_mix ~instrs_per_core ~seed ~guard specs =
   in
   Ptg_cpu.Multicore.run mc ~instrs_per_core ~streams
 
-let run ?jobs ?(instrs_per_core = 400_000) ?(seed = 7L)
-    ?(same = Ptg_workloads.Workload.all) ?(mixes = 16)
-    ?(config = Ptguard.Config.baseline) ?obs () =
+(* The MIX compositions are drawn serially from a seed-derived stream;
+   each case then simulates from seed-derived generators only, so any
+   per-case fan-out (or checkpoint-slice batching) is bit-identical to
+   serial execution. Re-deriving the case list is cheap, so a resumed
+   slice just recomputes it. *)
+let cases ?(same = Ptg_workloads.Workload.all) ~seed ~mixes () =
   let mix_rng = Rng.create (Int64.add seed 100L) in
-  let cases =
-    List.map
-      (fun spec ->
-        ( "SAME " ^ spec.Ptg_workloads.Workload.name,
-          Ptg_workloads.Workload.multicore_same spec ))
-      same
-    @ Array.to_list
-        (Array.mapi
-           (fun i mix -> (Printf.sprintf "MIX%d" (i + 1), mix))
-           (Ptg_workloads.Workload.multicore_mixes mix_rng mixes))
+  List.map
+    (fun spec ->
+      ( "SAME " ^ spec.Ptg_workloads.Workload.name,
+        Ptg_workloads.Workload.multicore_same spec ))
+    same
+  @ Array.to_list
+      (Array.mapi
+         (fun i mix -> (Printf.sprintf "MIX%d" (i + 1), mix))
+         (Ptg_workloads.Workload.multicore_mixes mix_rng mixes))
+
+let case_row ?obs ~instrs_per_core ~seed ~config (label, specs) =
+  let base =
+    run_mix ~instrs_per_core ~seed ~guard:Ptg_cpu.Guard_timing.unprotected specs
   in
-  (* The MIX compositions above are drawn serially from [mix_rng]; each
-     case then simulates from seed-derived generators only, so the
-     per-case fan-out is bit-identical to serial execution. *)
-  let children =
-    match obs with
-    | None -> [||]
-    | Some sink ->
-        Array.init (List.length cases) (fun _ -> Ptg_obs.Sink.child sink)
+  let guard =
+    Ptg_cpu.Guard_timing.of_config config ?obs
+      ~rng:(Rng.create (Int64.add seed 1L))
   in
-  let rows =
-    Array.to_list
-      (Pool.parallel_map ?jobs
-         (fun (i, (label, specs)) ->
-        let obs = if Array.length children = 0 then None else Some children.(i) in
-        let base =
-          run_mix ~instrs_per_core ~seed ~guard:Ptg_cpu.Guard_timing.unprotected specs
-        in
-        let guard =
-          Ptg_cpu.Guard_timing.of_config config ?obs
-            ~rng:(Rng.create (Int64.add seed 1L))
-        in
-        let guarded = run_mix ~instrs_per_core ~seed ~guard specs in
-        let norm_ipc =
-          guarded.Ptg_cpu.Multicore.aggregate_ipc /. base.Ptg_cpu.Multicore.aggregate_ipc
-        in
-        {
-          label;
-          workloads =
-            Array.to_list (Array.map (fun s -> s.Ptg_workloads.Workload.name) specs);
-          base_ipc = base.Ptg_cpu.Multicore.aggregate_ipc;
-          norm_ipc;
-          slowdown_pct = 100.0 *. (1.0 -. norm_ipc);
-          avg_queue_delay = base.Ptg_cpu.Multicore.avg_queue_delay;
-        })
-         (Array.of_list (List.mapi (fun i case -> (i, case)) cases)))
+  let guarded = run_mix ~instrs_per_core ~seed ~guard specs in
+  let norm_ipc =
+    guarded.Ptg_cpu.Multicore.aggregate_ipc /. base.Ptg_cpu.Multicore.aggregate_ipc
   in
-  (match obs with
-  | None -> ()
-  | Some sink ->
-      Array.iter (fun child -> Ptg_obs.Sink.merge_into ~src:child ~dst:sink) children);
+  {
+    label;
+    workloads =
+      Array.to_list (Array.map (fun s -> s.Ptg_workloads.Workload.name) specs);
+    base_ipc = base.Ptg_cpu.Multicore.aggregate_ipc;
+    norm_ipc;
+    slowdown_pct = 100.0 *. (1.0 -. norm_ipc);
+    avg_queue_delay = base.Ptg_cpu.Multicore.avg_queue_delay;
+  }
+
+let of_rows rows =
   let max_row =
     List.fold_left
       (fun acc r -> if r.slowdown_pct > acc.slowdown_pct then r else acc)
@@ -93,6 +78,32 @@ let run ?jobs ?(instrs_per_core = 400_000) ?(seed = 7L)
     max_slowdown_pct = max_row.slowdown_pct;
     max_label = max_row.label;
   }
+
+let run ?jobs ?(instrs_per_core = 400_000) ?(seed = 7L)
+    ?(same = Ptg_workloads.Workload.all) ?(mixes = 16)
+    ?(config = Ptguard.Config.baseline) ?obs () =
+  let cases = cases ~same ~seed ~mixes () in
+  let children =
+    match obs with
+    | None -> [||]
+    | Some sink ->
+        Array.init (List.length cases) (fun _ -> Ptg_obs.Sink.child sink)
+  in
+  let rows =
+    Array.to_list
+      (Pool.parallel_map ?jobs
+         (fun (i, case) ->
+           let obs =
+             if Array.length children = 0 then None else Some children.(i)
+           in
+           case_row ?obs ~instrs_per_core ~seed ~config case)
+         (Array.of_list (List.mapi (fun i case -> (i, case)) cases)))
+  in
+  (match obs with
+  | None -> ()
+  | Some sink ->
+      Array.iter (fun child -> Ptg_obs.Sink.merge_into ~src:child ~dst:sink) children);
+  of_rows rows
 
 let header = [ "configuration"; "workloads"; "IPC_b"; "IPC/IPC_b"; "slowdown"; "queue delay" ]
 

@@ -22,6 +22,31 @@ type result = {
   max_label : string;
 }
 
+val cases :
+  ?same:Ptg_workloads.Workload.spec list ->
+  seed:int64 ->
+  mixes:int ->
+  unit ->
+  (string * Ptg_workloads.Workload.spec array) list
+(** The labelled SAME and MIX core compositions, in presentation order.
+    MIXes are drawn serially from a seed-derived stream, so the list is
+    deterministic and cheap to re-derive (a checkpoint-resumed slice
+    recomputes it rather than storing it). *)
+
+val case_row :
+  ?obs:Ptg_obs.Sink.t ->
+  instrs_per_core:int ->
+  seed:int64 ->
+  config:Ptguard.Config.t ->
+  string * Ptg_workloads.Workload.spec array ->
+  row
+(** One case's unprotected-vs-guarded 4-core comparison. Independent of
+    every other case. *)
+
+val of_rows : row list -> result
+(** Aggregate completed rows (in case order) into the section's
+    average/worst summary. Raises on []. *)
+
 val run :
   ?jobs:int ->
   ?instrs_per_core:int ->

@@ -87,6 +87,8 @@ val resolve_instrs : t -> int
 val resolve_warmup : t -> int
 val resolve_mac_latency : t -> int
 val resolve_workload_names : t -> string list
+val resolve_lines : t -> int
+val resolve_mixes : t -> int
 (** Kind-aware defaults, as {!canonical} resolves them — exposed for
     drivers (the checkpoint layer) that must reproduce {!run}'s exact
     parameters. *)

@@ -91,6 +91,42 @@ let load ~path =
   in
   of_string ~what:path s
 
+(* ------------------------------------------------------------------ *)
+(* Warm-start store naming: <dir>/<key>.<count>.ptgs                   *)
+(* ------------------------------------------------------------------ *)
+
+let store_file_name ~key count = Printf.sprintf "%s.%d.ptgs" key count
+let store_path ~dir ~key count = Filename.concat dir (store_file_name ~key count)
+
+let store_counts ~dir ~key =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             match String.split_on_char '.' name with
+             | [ k; n; "ptgs" ] when k = key -> int_of_string_opt n
+             | _ -> None)
+      |> List.sort (fun a b -> compare b a)
+
+(* Deeper checkpoints strictly supersede shallower ones for the same
+   key, so only the deepest [keep] are worth disk: the deepest is the
+   warm-start candidate, the one below it the fallback should the
+   deepest arrive damaged. A concurrent reader may hold a file we
+   delete; removal failures are ignored (its readdir snapshot is
+   stale, not torn — every surviving file is still complete). *)
+let prune ?(keep = 2) ~dir ~key () =
+  if keep < 1 then invalid_arg "Snapshot.prune: keep";
+  let victims =
+    List.filteri (fun i _ -> i >= keep) (store_counts ~dir ~key)
+  in
+  List.fold_left
+    (fun removed n ->
+      match Sys.remove (store_path ~dir ~key n) with
+      | () -> removed + 1
+      | exception Sys_error _ -> removed)
+    0 victims
+
 let find sections name =
   List.find_map (fun s -> if s.name = name then Some s.payload else None) sections
 

@@ -39,6 +39,27 @@ val content_hash : section list -> int64
 val hash_hex : int64 -> string
 (** 16-digit lowercase hex. *)
 
+(** {1 Warm-start store}
+
+    The store convention shared by every checkpoint driver: a directory
+    of [<key>.<count>.ptgs] files where [key] hashes everything the run
+    depends on except its depth and [count] is the prefix covered. *)
+
+val store_file_name : key:string -> int -> string
+val store_path : dir:string -> key:string -> int -> string
+
+val store_counts : dir:string -> key:string -> int list
+(** Prefix depths present for [key], deepest first; [] when [dir] is
+    missing. *)
+
+val prune : ?keep:int -> dir:string -> key:string -> unit -> int
+(** Delete every stored checkpoint for [key] below the deepest [keep]
+    (default 2: the warm-start candidate plus one fallback); returns how
+    many files were removed. Removal races with concurrent readers are
+    benign — a failure to delete is ignored, and surviving files are
+    always complete snapshots. Raises [Invalid_argument] when
+    [keep < 1]. *)
+
 val find : section list -> string -> string option
 
 val get : what:string -> section list -> string -> string

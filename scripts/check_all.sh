@@ -29,6 +29,10 @@
 #      resuming a finished fullsys budget from its snapshot store must
 #      stay >= 5x faster than computing it cold and byte-identical,
 #      cold wall time vs the committed BENCH_snapshot.json
+#   8d. deadline-slicing gate (scripts/check_bench_slices.sh): a served
+#      run forced through checkpoint/requeue compute windows must stay
+#      byte-identical at <= 10% tax, and finishing from a victim's
+#      deepest checkpoint must stay >= 2x faster than recomputing cold
 #   9. serving throughput smoke (PTG_BENCH_ONLY=serve): asserts the
 #      cache-hot path serves at least 100x the cold-compute rate
 #  10. sharded-scaling gate (scripts/check_bench_serve_sharded.sh):
@@ -90,6 +94,9 @@ dune build @snapshot
 
 echo "== warm-start regression gate =="
 scripts/check_bench_snapshot.sh
+
+echo "== deadline-slicing gate =="
+scripts/check_bench_slices.sh
 
 echo "== serving throughput (cold vs cache-hot) =="
 out=$(mktemp /tmp/ptg_bench_serve.XXXXXX.txt)

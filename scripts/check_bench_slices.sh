@@ -1,0 +1,109 @@
+#!/bin/sh
+# Regression gate for deadline-sliced serving (BENCH_slices.json).
+#
+# Re-runs the reduced slices section (PTG_BENCH_ONLY=slices): one served
+# fullsys request forced through several checkpoint/requeue compute
+# windows against the same request served uninterrupted, then a
+# finish-from-deepest-checkpoint resume against a cold recompute.
+# Compares the fresh BENCH_slices.json against the committed baseline at
+# the repo root. Fails when:
+#   - the committed baseline is missing,
+#   - either file is missing a required field (or is not a reduced-mode
+#     measurement),
+#   - either run's sliced or resumed bytes were not identical to the
+#     uninterrupted/cold run (byte-identity is the tier's contract),
+#   - the fresh run never actually sliced (slices < 1), or the resume
+#     did not adopt at least the victim's stop point,
+#   - the fresh slicing tax exceeds 10% of the uninterrupted wall time,
+#   - the fresh ejection-resume speedup drops below 2x cold recompute,
+#   - fresh uninterrupted wall time exceeds the baseline by more than
+#     25%.
+#
+# Usage: scripts/check_bench_slices.sh
+# (builds via dune; run from anywhere inside the repo)
+set -eu
+cd "$(dirname "$0")/.."
+
+base=BENCH_slices.json
+if [ ! -f "$base" ]; then
+    echo "FAIL: missing committed baseline $base" >&2
+    echo "  (generate with: PTG_BENCH_ONLY=slices dune exec bench/main.exe)" >&2
+    exit 1
+fi
+
+out=$(mktemp /tmp/ptg_bench_slices.XXXXXX.json)
+trap 'rm -f "$out"' EXIT
+PTG_BENCH_ONLY=slices PTG_BENCH_JSON="$out" dune exec bench/main.exe >/dev/null
+
+# One "key": value pair per line in our own emitter, so sed suffices.
+num_field() {
+    sed -n 's/^ *"'"$2"'": *\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p' "$1" | head -1
+}
+str_field() {
+    sed -n 's/^ *"'"$2"'": *"\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+status=0
+for f in "$base" "$out"; do
+    for k in instrs deadline_s wall_time_s plain_wall_s sliced_wall_s \
+             slices overhead_pct identical resume_instrs victim_stopped_at \
+             cold_wall_s resume_wall_s resume_adopted_from resume_identical \
+             resume_speedup; do
+        v=$(num_field "$f" "$k")
+        if [ -z "$v" ]; then
+            echo "FAIL: missing field \"$k\" in $f" >&2
+            status=1
+        fi
+    done
+    mode=$(str_field "$f" mode)
+    if [ "$mode" != "reduced" ]; then
+        echo "FAIL: $f is not a reduced-mode measurement (mode=\"$mode\")" >&2
+        status=1
+    fi
+    if [ "$(num_field "$f" identical)" != "1" ]; then
+        echo "FAIL: $f sliced run was not byte-identical to the uninterrupted run" >&2
+        status=1
+    fi
+    if [ "$(num_field "$f" resume_identical)" != "1" ]; then
+        echo "FAIL: $f resumed result diverged from the cold run" >&2
+        status=1
+    fi
+done
+[ "$status" -eq 0 ] || exit "$status"
+
+slices=$(num_field "$out" slices)
+if [ "$slices" -lt 1 ]; then
+    echo "FAIL: the deadline never sliced the served run (slices=$slices)" >&2
+    exit 1
+fi
+adopted=$(num_field "$out" resume_adopted_from)
+stopped=$(num_field "$out" victim_stopped_at)
+if [ "$adopted" -lt "$stopped" ]; then
+    echo "FAIL: resume adopted $adopted, below the victim's stop point $stopped" >&2
+    exit 1
+fi
+
+overhead=$(num_field "$out" overhead_pct)
+speedup=$(num_field "$out" resume_speedup)
+awk -v o="$overhead" -v s="$speedup" 'BEGIN {
+    bad = 0
+    if (o > 10.0) {
+        printf "FAIL: slicing tax %.2f%% (> 10%% ceiling)\n", o
+        bad = 1
+    }
+    if (s < 2.0) {
+        printf "FAIL: ejection-resume speedup %.2fx (< 2x floor)\n", s
+        bad = 1
+    }
+    exit bad
+}'
+
+b=$(num_field "$base" plain_wall_s)
+n=$(num_field "$out" plain_wall_s)
+awk -v b="$b" -v n="$n" -v o="$overhead" -v s="$speedup" -v k="$slices" 'BEGIN {
+    if (n > 1.25 * b) {
+        printf "FAIL: uninterrupted wall time %.2fs vs baseline %.2fs (>25%% regression)\n", n, b
+        exit 1
+    }
+    printf "OK: %d slices at %.2f%% tax, resume %.2fx cold, wall %.2fs vs baseline %.2fs (limit %.2fs)\n", k, o, s, n, b, 1.25 * b
+}'

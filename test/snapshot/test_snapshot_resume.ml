@@ -6,6 +6,9 @@
 module Checkpoint = Ptg_sim.Checkpoint
 module Fullsys = Ptg_sim.Fullsys
 module Fig6 = Ptg_sim.Fig6
+module Fig7 = Ptg_sim.Fig7
+module Fig9 = Ptg_sim.Fig9
+module Multicore_exp = Ptg_sim.Multicore_exp
 module Scenario = Ptg_sim.Scenario
 module Snapshot = Ptg_snapshot.Snapshot
 
@@ -140,7 +143,8 @@ let test_restore_rejects_wrong_key () =
         | exception Invalid_argument _ -> true))
 
 (* Stored snapshot bytes are themselves deterministic: two cold runs of
-   the same machine leave byte-identical stores. *)
+   the same machine leave byte-identical stores. Only the deepest
+   [default_keep] prefixes survive pruning. *)
 let test_store_bytes_deterministic () =
   with_dir (fun dir1 ->
       with_dir (fun dir2 ->
@@ -158,7 +162,28 @@ let test_store_bytes_deterministic () =
                 (Printf.sprintf "checkpoint %d identical" n)
                 true
                 (read dir1 = read dir2))
-            [ 1_000; 2_000; 3_000 ]))
+            [ 2_000; 3_000 ]))
+
+(* A multi-chunk run must not leave one file per chunk behind: each
+   deeper save prunes the store to the deepest [keep] prefixes, so the
+   superseded shallow checkpoints disappear. *)
+let test_store_pruned_to_deepest () =
+  with_dir (fun dir ->
+      ignore (Checkpoint.run_fullsys ~every:500 ~dir ~seed ~instrs ());
+      let key = Checkpoint.fullsys_key ~seed () in
+      Alcotest.(check (list int))
+        "deepest two kept, rest pruned" [ 3_000; 2_500 ]
+        (Checkpoint.stored_counts ~dir ~key);
+      (* keep:1 tightens the bound; the survivor still resumes. *)
+      with_dir (fun dir ->
+          ignore
+            (Checkpoint.run_fullsys ~keep:1 ~every:1_000 ~dir ~seed ~instrs ());
+          Alcotest.(check (list int))
+            "keep:1 leaves only the deepest" [ 3_000 ]
+            (Checkpoint.stored_counts ~dir ~key);
+          let o = Checkpoint.run_fullsys ~keep:1 ~every:1_000 ~dir ~seed ~instrs () in
+          Alcotest.(check (option int))
+            "survivor adopted" (Some 3_000) o.Checkpoint.f_resumed_from))
 
 (* ------------------------------------------------------------------ *)
 (* Fig6 row batches                                                    *)
@@ -249,6 +274,133 @@ let test_fig6_prefix_not_adopted_for_other_workloads () =
         "foreign prefix ignored" None o.Checkpoint.g_resumed_from)
 
 (* ------------------------------------------------------------------ *)
+(* Fig7 point batches                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig7_args = (600, 200) (* instrs, warmup *)
+let fig7_workloads = List.filteri (fun i _ -> i < 2) Ptg_workloads.Workload.all
+let fig7_latencies = [ 5; 10 ]
+
+let fig7_run ?every ?dir ?should_stop ?(latencies = fig7_latencies) () =
+  let instrs, warmup = fig7_args in
+  Checkpoint.run_fig7 ~jobs:1 ?every ?dir ?should_stop ~latencies
+    ~workloads:fig7_workloads ~instrs ~warmup ~seed ()
+
+let fig7_reference =
+  lazy
+    (let instrs, warmup = fig7_args in
+     Fig7.run ~jobs:1 ~instrs ~warmup ~seed ~latencies:fig7_latencies
+       ~workloads:fig7_workloads ())
+
+let test_fig7_killed_and_resumed () =
+  with_dir (fun dir ->
+      (* Poll 1 admits the baseline chunk, poll 2 admits one point,
+         poll 3 stops. *)
+      let killed = fig7_run ~every:1 ~dir ~should_stop:(stop_after 2) () in
+      Alcotest.(check bool) "stopped" false killed.Checkpoint.p_completed;
+      Alcotest.(check int) "one point done" 1
+        (List.length killed.Checkpoint.p_points);
+      let resumed = fig7_run ~every:1 ~dir () in
+      Alcotest.(check (option int))
+        "adopted the point prefix" (Some 1) resumed.Checkpoint.p_resumed_from;
+      Alcotest.(check bool)
+        "result byte-identical to uninterrupted" true
+        (resumed.Checkpoint.p_result = Some (Lazy.force fig7_reference)))
+
+let test_fig7_base_only_checkpoint_adopted () =
+  with_dir (fun dir ->
+      (* Killed after the baselines but before any point: the count-0
+         checkpoint still spares the resume the whole baseline sweep. *)
+      let killed = fig7_run ~every:1 ~dir ~should_stop:(stop_after 1) () in
+      Alcotest.(check int) "no points yet" 0
+        (List.length killed.Checkpoint.p_points);
+      let resumed = fig7_run ~every:1 ~dir () in
+      Alcotest.(check (option int))
+        "baselines adopted at depth 0" (Some 0)
+        resumed.Checkpoint.p_resumed_from;
+      Alcotest.(check bool)
+        "result byte-identical to uninterrupted" true
+        (resumed.Checkpoint.p_result = Some (Lazy.force fig7_reference)))
+
+let test_fig7_foreign_sweep_not_adopted () =
+  with_dir (fun dir ->
+      (* Same explicit key, different latency sweep: the stored point
+         prefix no longer matches the case list and must be ignored. *)
+      let instrs, warmup = fig7_args in
+      ignore
+        (Checkpoint.run_fig7 ~jobs:1 ~key:"cafe" ~every:1 ~dir
+           ~latencies:fig7_latencies ~workloads:fig7_workloads ~instrs ~warmup
+           ~seed ());
+      let o =
+        Checkpoint.run_fig7 ~jobs:1 ~key:"cafe" ~every:1 ~dir
+          ~latencies:[ 5; 15 ] ~workloads:fig7_workloads ~instrs ~warmup ~seed
+          ()
+      in
+      Alcotest.(check (option int))
+        "foreign sweep ignored" None o.Checkpoint.p_resumed_from)
+
+(* ------------------------------------------------------------------ *)
+(* Fig9 workload batches                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_lines = 40
+
+let fig9_workloads =
+  List.filteri (fun i _ -> i < 2) Ptg_workloads.Workload.fig9_subset
+
+let fig9_run ?every ?dir ?should_stop () =
+  Checkpoint.run_fig9 ~jobs:1 ?every ?dir ?should_stop
+    ~workloads:fig9_workloads ~lines_per_point:fig9_lines ~seed ()
+
+let fig9_reference =
+  lazy
+    (Fig9.run ~jobs:1 ~lines_per_point:fig9_lines ~seed
+       ~workloads:fig9_workloads ())
+
+let test_fig9_killed_and_resumed () =
+  with_dir (fun dir ->
+      let killed = fig9_run ~every:1 ~dir ~should_stop:(stop_after 1) () in
+      Alcotest.(check bool) "stopped" false killed.Checkpoint.q_completed;
+      Alcotest.(check int) "one workload done" 1
+        (List.length killed.Checkpoint.q_parts);
+      let resumed = fig9_run ~every:1 ~dir () in
+      Alcotest.(check (option int))
+        "adopted the workload prefix" (Some 1)
+        resumed.Checkpoint.q_resumed_from;
+      Alcotest.(check bool)
+        "result byte-identical to uninterrupted" true
+        (resumed.Checkpoint.q_result = Some (Lazy.force fig9_reference)))
+
+(* ------------------------------------------------------------------ *)
+(* Multicore row batches                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mc_same = List.filteri (fun i _ -> i < 2) Ptg_workloads.Workload.all
+let mc_instrs = 1_500
+
+let mc_run ?every ?dir ?should_stop () =
+  Checkpoint.run_multicore ~jobs:1 ?every ?dir ?should_stop ~same:mc_same
+    ~instrs_per_core:mc_instrs ~mixes:1 ~seed ()
+
+let mc_reference =
+  lazy
+    (Multicore_exp.run ~jobs:1 ~instrs_per_core:mc_instrs ~seed ~same:mc_same
+       ~mixes:1 ())
+
+let test_multicore_killed_and_resumed () =
+  with_dir (fun dir ->
+      let killed = mc_run ~every:1 ~dir ~should_stop:(stop_after 1) () in
+      Alcotest.(check bool) "stopped" false killed.Checkpoint.r_completed;
+      Alcotest.(check int) "one row done" 1
+        (List.length killed.Checkpoint.r_rows);
+      let resumed = mc_run ~every:1 ~dir () in
+      Alcotest.(check (option int))
+        "adopted the row prefix" (Some 1) resumed.Checkpoint.r_resumed_from;
+      Alcotest.(check bool)
+        "result byte-identical to uninterrupted" true
+        (resumed.Checkpoint.r_result = Some (Lazy.force mc_reference)))
+
+(* ------------------------------------------------------------------ *)
 (* Scenario entry point (the server's execution path)                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -283,6 +435,53 @@ let test_scenario_interrupted_then_resumed () =
         "text byte-identical" (Some (Scenario.run_to_string s))
         resumed.Checkpoint.text)
 
+let test_scenario_fig7_interrupted_then_resumed () =
+  with_dir (fun dir ->
+      let s = Scenario.make ~seed ~instrs:300 ~warmup:100 Scenario.Fig7 in
+      let stopped =
+        Checkpoint.run_scenario ~dir ~every:2 ~should_stop:(stop_after 2) s
+      in
+      Alcotest.(check bool) "stopped" false stopped.Checkpoint.completed;
+      let resumed = Checkpoint.run_scenario ~dir ~every:2 s in
+      Alcotest.(check bool)
+        "resumed from the interruption" true
+        (resumed.Checkpoint.resumed_from = Some 2);
+      Alcotest.(check (option string))
+        "text byte-identical" (Some (Scenario.run_to_string s))
+        resumed.Checkpoint.text)
+
+(* Sliceable scenarios poll [should_stop] between chunks even with no
+   store attached: a dir-less serve can still abandon orphaned work. *)
+let test_scenario_dirless_stop () =
+  let s = Scenario.make ~seed ~instrs:800 ~mixes:1 Scenario.Multicore in
+  let polls = ref 0 in
+  let o =
+    Checkpoint.run_scenario
+      ~should_stop:(fun () -> incr polls; !polls > 1)
+      s
+  in
+  Alcotest.(check bool) "stopped mid-scenario" false o.Checkpoint.completed;
+  Alcotest.(check (option string)) "no text" None o.Checkpoint.text;
+  Alcotest.(check bool) "polled more than once" true (!polls > 1)
+
+let test_sliceable () =
+  let mk ?seeds kind = Scenario.make ?seeds ~seed kind in
+  List.iter
+    (fun (expected, s) ->
+      Alcotest.(check bool)
+        (Scenario.kind_name s.Scenario.kind)
+        expected (Checkpoint.sliceable s))
+    [
+      (true, mk Scenario.Fullsys);
+      (true, mk Scenario.Fig7);
+      (true, mk Scenario.Multicore);
+      (true, mk Scenario.Fig6);
+      (false, mk ~seeds:3 Scenario.Fig6);
+      (true, mk Scenario.Fig9);
+      (false, mk ~seeds:3 Scenario.Fig9);
+      (false, mk Scenario.Fig8);
+    ]
+
 let suite =
   [
     Alcotest.test_case "fullsys: chunked = uninterrupted" `Quick
@@ -299,6 +498,8 @@ let suite =
       test_restore_rejects_wrong_key;
     Alcotest.test_case "fullsys: store bytes deterministic" `Quick
       test_store_bytes_deterministic;
+    Alcotest.test_case "fullsys: store pruned to deepest" `Quick
+      test_store_pruned_to_deepest;
     Alcotest.test_case "fig6: batched = plain" `Quick
       test_fig6_batched_equals_plain;
     Alcotest.test_case "fig6: rows and store invariant under -j" `Quick
@@ -307,8 +508,23 @@ let suite =
       test_fig6_killed_and_resumed;
     Alcotest.test_case "fig6: foreign workload prefix ignored" `Quick
       test_fig6_prefix_not_adopted_for_other_workloads;
+    Alcotest.test_case "fig7: killed + resumed = uninterrupted" `Quick
+      test_fig7_killed_and_resumed;
+    Alcotest.test_case "fig7: base-only checkpoint adopted" `Quick
+      test_fig7_base_only_checkpoint_adopted;
+    Alcotest.test_case "fig7: foreign sweep prefix ignored" `Quick
+      test_fig7_foreign_sweep_not_adopted;
+    Alcotest.test_case "fig9: killed + resumed = uninterrupted" `Quick
+      test_fig9_killed_and_resumed;
+    Alcotest.test_case "multicore: killed + resumed = uninterrupted" `Quick
+      test_multicore_killed_and_resumed;
     Alcotest.test_case "scenario: warm-start text identical" `Quick
       test_scenario_warm_start_text_identical;
     Alcotest.test_case "scenario: interrupted then resumed" `Quick
       test_scenario_interrupted_then_resumed;
+    Alcotest.test_case "scenario: fig7 interrupted then resumed" `Quick
+      test_scenario_fig7_interrupted_then_resumed;
+    Alcotest.test_case "scenario: dir-less stop mid-scenario" `Quick
+      test_scenario_dirless_stop;
+    Alcotest.test_case "scenario: sliceable kinds" `Quick test_sliceable;
   ]
